@@ -1,0 +1,64 @@
+//===- bench/bench_ablation_spc.cpp - design-choice ablations ---------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablations beyond the paper's figures, for the design choices DESIGN.md
+// calls out: the compare+branch peephole, the number of allocatable
+// registers (how forward-pass register allocation degrades under
+// pressure), and deopt/OSR checkpoint overhead when tiering support is
+// compiled in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+using namespace wisp;
+using namespace wisp::bench;
+
+int main() {
+  printHeader("Ablation: SPC design choices",
+              "main-time relative to the default configuration "
+              "(1.0 = default; higher is slower)");
+
+  std::vector<LineItem> Items = polybenchSuite(scale());
+  EngineConfig Default = configByName("wizard-spc");
+
+  std::vector<double> Base;
+  for (const LineItem &Item : Items)
+    Base.push_back(measure(Default, Item.Bytes, runs()).MainCycles);
+
+  auto Report = [&](const char *Name, const EngineConfig &Cfg) {
+    std::vector<double> Rel;
+    for (size_t I = 0; I < Items.size(); ++I) {
+      double Ms = measure(Cfg, Items[I].Bytes, runs()).MainCycles;
+      if (Ms > 0 && Base[I] > 0)
+        Rel.push_back(Ms / Base[I]);
+    }
+    Stat St = stats(Rel);
+    printf("  %-22s geomean %5.3f   min %5.3f   max %5.3f\n", Name,
+           St.Geomean, St.Min, St.Max);
+  };
+
+  {
+    EngineConfig C = Default;
+    C.Opts.Peephole = false;
+    Report("no cmp+br fusion", C);
+  }
+  for (int Regs : {3, 4, 6, 8, 11}) {
+    EngineConfig C = Default;
+    C.Opts.NumGp = uint8_t(Regs);
+    C.Opts.NumFp = uint8_t(Regs);
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%d allocatable regs", Regs);
+    Report(Buf, C);
+  }
+  {
+    EngineConfig C = Default;
+    C.Opts.EmitDeoptChecks = true;
+    C.Opts.EmitOsrEntries = true;
+    Report("deopt+osr checkpoints", C);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench/bench_fig04_speedup.cpp - paper Figure 4 ----------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Execution-time speedup of Wizard-SPC over Wizard-INT across the five
+// optimization settings (allopt, nok, nokfold, noisel, nomr). Main
+// execution time only (startup and compilation factored out), per the
+// paper's methodology.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+using namespace wisp;
+using namespace wisp::bench;
+
+int main() {
+  printHeader("Figure 4: speedup of Wizard-SPC over Wizard-INT",
+              "main execution (modeled cycles); per-suite geomean, "
+              "min/max over line items");
+
+  struct Setting {
+    const char *Name;
+    CompilerOptions Opts;
+  };
+  const Setting Settings[] = {
+      {"allopt", CompilerOptions::allopt()},
+      {"nok", CompilerOptions::nok()},
+      {"nokfold", CompilerOptions::nokfold()},
+      {"noisel", CompilerOptions::noisel()},
+      {"nomr", CompilerOptions::nomr()},
+  };
+
+  EngineConfig IntCfg = configByName("wizard-int");
+  const char *SuiteNames[] = {"polybench", "libsodium", "ostrich"};
+  std::vector<LineItem> Suites[] = {polybenchSuite(scale()),
+                                    libsodiumSuite(scale()),
+                                    ostrichSuite(scale())};
+
+  for (int S = 0; S < 3; ++S) {
+    printf("\n--- %s (%zu line items) ---\n", SuiteNames[S],
+           Suites[S].size());
+    // Interpreter reference per item.
+    std::vector<double> IntMs;
+    for (const LineItem &Item : Suites[S])
+      IntMs.push_back(measure(IntCfg, Item.Bytes, runs()).MainCycles);
+    for (const Setting &Set : Settings) {
+      EngineConfig Cfg = configByName("wizard-spc");
+      TagMode Tags = Cfg.Opts.Tags;
+      Cfg.Opts = Set.Opts;
+      Cfg.Opts.Tags = Tags;
+      std::vector<double> Speedups;
+      for (size_t I = 0; I < Suites[S].size(); ++I) {
+        double JitMs = measure(Cfg, Suites[S][I].Bytes, runs()).MainCycles;
+        if (JitMs > 0 && IntMs[I] > 0)
+          Speedups.push_back(IntMs[I] / JitMs);
+      }
+      Stat St = stats(Speedups);
+      printf("  %-10s geomean %6.2fx   min %6.2fx   max %6.2fx\n", Set.Name,
+             St.Geomean, St.Min, St.Max);
+    }
+  }
+  printf("\nExpected shape (paper): 5x-28x per item, suite means 10x-15x;\n"
+         "nok hurts most, nomr second, nokfold/noisel small but real.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/bench_fig05_tags.cpp - paper Figure 5 --------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Execution time of Wizard-SPC value-tagging configurations relative to
+// the notags configuration (tag lane removed): eagertags, eagertags-o,
+// eagertags-l, on-demand (default), lazytags. Also reports the static tag
+// store counts and stackmap space as supplementary data (paper §IV.C).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+using namespace wisp;
+using namespace wisp::bench;
+
+int main() {
+  printHeader("Figure 5: value-tagging configurations vs notags",
+              "relative main execution time (1.0 = notags; lower is better)");
+
+  struct Setting {
+    const char *Name;
+    TagMode Mode;
+  };
+  const Setting Settings[] = {
+      {"eagertags", TagMode::Eager},
+      {"eagertags-o", TagMode::EagerOperands},
+      {"eagertags-l", TagMode::EagerLocals},
+      {"on-demand", TagMode::OnDemand},
+      {"lazytags", TagMode::Lazy},
+  };
+
+  const char *SuiteNames[] = {"polybench", "libsodium", "ostrich"};
+  std::vector<LineItem> Suites[] = {polybenchSuite(scale()),
+                                    libsodiumSuite(scale()),
+                                    ostrichSuite(scale())};
+
+  for (int S = 0; S < 3; ++S) {
+    printf("\n--- %s ---\n", SuiteNames[S]);
+    EngineConfig NoTags = configByName("wizard-spc");
+    NoTags.Opts.Tags = TagMode::None;
+    std::vector<double> BaseMs;
+    for (const LineItem &Item : Suites[S])
+      BaseMs.push_back(measure(NoTags, Item.Bytes, runs()).MainCycles);
+    for (const Setting &Set : Settings) {
+      EngineConfig Cfg = configByName("wizard-spc");
+      Cfg.Opts.Tags = Set.Mode;
+      std::vector<double> Rel;
+      for (size_t I = 0; I < Suites[S].size(); ++I) {
+        double Ms = measure(Cfg, Suites[S][I].Bytes, runs()).MainCycles;
+        if (Ms > 0 && BaseMs[I] > 0)
+          Rel.push_back(Ms / BaseMs[I]);
+      }
+      Stat St = stats(Rel);
+      printf("  %-12s geomean %5.3f   min %5.3f   max %5.3f\n", Set.Name,
+             St.Geomean, St.Min, St.Max);
+    }
+  }
+
+  // Supplementary: static tag stores / stackmap bytes on one suite.
+  printf("\nStatic cost on polybench (sum over modules):\n");
+  for (TagMode Mode : {TagMode::None, TagMode::OnDemand, TagMode::Lazy,
+                       TagMode::Eager, TagMode::StackMap}) {
+    EngineConfig Cfg = configByName("wizard-spc");
+    Cfg.Opts.Tags = Mode;
+    uint64_t TagStores = 0, MapBytes = 0, Insts = 0;
+    for (const LineItem &Item : polybenchSuite(1)) {
+      Engine E(Cfg);
+      WasmError Err;
+      auto LM = E.load(Item.Bytes, &Err);
+      if (!LM)
+        continue;
+      TagStores += LM->Stats.TagStores;
+      MapBytes += LM->Stats.StackMapBytes;
+      Insts += LM->Stats.CodeInsts;
+    }
+    const char *Name = Mode == TagMode::None       ? "notags"
+                       : Mode == TagMode::OnDemand ? "on-demand"
+                       : Mode == TagMode::Lazy     ? "lazytags"
+                       : Mode == TagMode::Eager    ? "eagertags"
+                                                   : "stackmaps";
+    printf("  %-10s tag stores %8llu   stackmap bytes %8llu   insts %8llu\n",
+           Name, (unsigned long long)TagStores, (unsigned long long)MapBytes,
+           (unsigned long long)Insts);
+  }
+  printf("\nExpected shape (paper): eager 2.4-3.3x, mostly from operand\n"
+         "tags; on-demand within 0.9-4.9%% of notags; lazytags marginally\n"
+         "better still.\n");
+  return 0;
+}

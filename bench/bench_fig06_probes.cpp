@@ -1,0 +1,100 @@
+//===- bench/bench_fig06_probes.cpp - paper Figure 6 ------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Overhead of the branch monitor (a TOS-reading probe on every conditional
+// branch) in three configurations: interpreted (int), JIT with generic
+// probe calls (jit), and JIT with intrinsified probes (optjit). Reported
+// as the increase in main execution time relative to the *interpreter*
+// execution time, exactly like the paper's Figure 6, plus the
+// JIT-renormalized numbers the paper quotes in prose.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+#include "instr/monitors.h"
+
+using namespace wisp;
+using namespace wisp::bench;
+
+namespace {
+
+/// Runs one item with (or without) a branch monitor attached. Lazy modes
+/// compile after the monitor attaches, so probe sites are known to the
+/// compiler.
+double runWithMonitor(const EngineConfig &Cfg,
+                      const std::vector<uint8_t> &Bytes, bool Monitor,
+                      int N) {
+  // Deterministic modeled cycles; one run suffices.
+  (void)N;
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(Bytes, &Err);
+  if (!LM)
+    return -1;
+  BranchMonitor BM;
+  if (Monitor)
+    BM.attach(*LM->Inst, E.probes());
+  std::vector<Value> Out;
+  if (E.invoke(*LM, "run", {}, &Out) != TrapReason::None)
+    return -1;
+  return double(E.thread().modeledCycles());
+}
+
+} // namespace
+
+int main() {
+  printHeader("Figure 6: branch-monitor probe overhead",
+              "overhead relative to interpreter time (0.0 = none); "
+              "renormalized-to-JIT shown in brackets");
+
+  EngineConfig IntCfg = configByName("wizard-int");
+  EngineConfig JitCfg = configByName("wizard-spc");
+  JitCfg.Mode = ExecMode::JitLazy; // Compile after probes attach.
+  JitCfg.Opts.OptimizeProbes = false;
+  EngineConfig OptJitCfg = JitCfg;
+  OptJitCfg.Opts.OptimizeProbes = true;
+
+  const char *SuiteNames[] = {"polybench", "libsodium", "ostrich"};
+  std::vector<LineItem> Suites[] = {polybenchSuite(scale()),
+                                    libsodiumSuite(scale()),
+                                    ostrichSuite(scale())};
+
+  for (int S = 0; S < 3; ++S) {
+    printf("\n--- %s ---\n", SuiteNames[S]);
+    std::vector<double> IntOv, JitOv, OptOv, JitRel, OptRel;
+    for (const LineItem &Item : Suites[S]) {
+      double IntBase = runWithMonitor(IntCfg, Item.Bytes, false, runs());
+      double IntMon = runWithMonitor(IntCfg, Item.Bytes, true, runs());
+      double JitBase = runWithMonitor(JitCfg, Item.Bytes, false, runs());
+      double JitMon = runWithMonitor(JitCfg, Item.Bytes, true, runs());
+      double OptMon = runWithMonitor(OptJitCfg, Item.Bytes, true, runs());
+      if (IntBase <= 0 || JitBase <= 0)
+        continue;
+      IntOv.push_back((IntMon - IntBase) / IntBase);
+      JitOv.push_back((JitMon - JitBase) / IntBase);
+      OptOv.push_back((OptMon - JitBase) / IntBase);
+      JitRel.push_back((JitMon - JitBase) / JitBase);
+      OptRel.push_back((OptMon - JitBase) / JitBase);
+    }
+    auto Avg = [](const std::vector<double> &Xs) {
+      double Sum = 0;
+      for (double X : Xs)
+        Sum += X;
+      return Xs.empty() ? 0.0 : Sum / double(Xs.size());
+    };
+    printf("  %-8s overhead vs interp %+7.3f   [vs own JIT baseline %+7.2fx]\n",
+           "int", Avg(IntOv), Avg(IntOv));
+    printf("  %-8s overhead vs interp %+7.3f   [vs own JIT baseline %+7.2fx]\n",
+           "jit", Avg(JitOv), Avg(JitRel));
+    printf("  %-8s overhead vs interp %+7.3f   [vs own JIT baseline %+7.2fx]\n",
+           "optjit", Avg(OptOv), Avg(OptRel));
+  }
+  printf("\nExpected shape (paper): int imposes ~20-49%%; jit similar or\n"
+         "slightly lower; optjit roughly 10x lower than jit. Renormalized\n"
+         "to the JIT baseline: 5.4-9x unoptimized vs 42-77%% optimized.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===- bench/bench_fig07_exec.cpp - paper Figure 7 --------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Execution time of the six baseline compilers relative to Wizard-SPC,
+// using the comprehensive methodology that includes VM startup and
+// compilation (total time of load + invoke), per the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+// Total cost combining real setup work (wall time) with modeled execution
+// cycles converted at the modeled clock (cycles at 1 GHz simulated).
+static double totalCost(const wisp::bench::ItemRun &R) {
+  return R.SetupMs + R.MainCycles / 1e6;
+}
+
+using namespace wisp;
+using namespace wisp::bench;
+
+int main() {
+  printHeader("Figure 7: execution time relative to Wizard-SPC",
+              "total time incl. startup and compile; 1.0 = same, lower "
+              "is better");
+
+  std::vector<EngineConfig> Baselines = baselineRegistry();
+  const char *SuiteNames[] = {"polybench", "libsodium", "ostrich"};
+  std::vector<LineItem> Suites[] = {polybenchSuite(scale()),
+                                    libsodiumSuite(scale()),
+                                    ostrichSuite(scale())};
+
+  for (int S = 0; S < 3; ++S) {
+    printf("\n--- %s ---\n", SuiteNames[S]);
+    std::vector<double> RefTotal;
+    for (const LineItem &Item : Suites[S])
+      RefTotal.push_back(
+          totalCost(measure(Baselines[0], Item.Bytes, runs())));
+    for (const EngineConfig &Cfg : Baselines) {
+      std::vector<double> Rel;
+      for (size_t I = 0; I < Suites[S].size(); ++I) {
+        double Ms = totalCost(measure(Cfg, Suites[S][I].Bytes, runs()));
+        if (Ms > 0 && RefTotal[I] > 0)
+          Rel.push_back(Ms / RefTotal[I]);
+      }
+      Stat St = stats(Rel);
+      printf("  %-12s geomean %5.2f   min %5.2f   max %5.2f\n",
+             Cfg.Name.c_str(), St.Geomean, St.Min, St.Max);
+    }
+  }
+  printf("\nExpected shape (paper): wazero slowest code (no constants);\n"
+         "baselines otherwise within ~2x of each other.\n");
+  return 0;
+}

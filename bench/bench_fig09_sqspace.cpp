@@ -1,0 +1,60 @@
+//===- bench/bench_fig09_sqspace.cpp - paper Figure 9 -----------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The compiler SQ-space (speed-quality space): for every baseline compiler
+// and every line item, one scatter point of (compile speed in MB/s,
+// speedup of generated code over Wizard-INT). Emitted as CSV plus a
+// per-compiler summary of the SQ-region.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+using namespace wisp;
+using namespace wisp::bench;
+
+int main() {
+  printHeader("Figure 9: SQ-space for baseline compilers",
+              "x = compile speed (MB/s), y = main-time speedup over "
+              "Wizard-INT; up and right are better");
+
+  std::vector<EngineConfig> Baselines = baselineRegistry();
+  EngineConfig IntCfg = configByName("wizard-int");
+  std::vector<LineItem> Items = allSuites(scale());
+
+  std::vector<double> IntMs;
+  for (const LineItem &Item : Items)
+    IntMs.push_back(measure(IntCfg, Item.Bytes, runs()).MainCycles);
+
+  printf("\ncompiler,item,compile_mbps,speedup_vs_int\n");
+  for (const EngineConfig &Cfg : Baselines) {
+    std::vector<double> Mbps, Speed;
+    for (size_t I = 0; I < Items.size(); ++I) {
+      Engine E(Cfg);
+      WasmError Err;
+      auto LM = E.load(Items[I].Bytes, &Err);
+      if (!LM || LM->Stats.CompileNs == 0)
+        continue;
+      double MBps = double(LM->Stats.CodeBytes) /
+                    (double(LM->Stats.CompileNs) / 1e9) / 1e6;
+      double MainMs = measure(Cfg, Items[I].Bytes, runs()).MainCycles;
+      if (MainMs <= 0 || IntMs[I] <= 0)
+        continue;
+      double Sp = IntMs[I] / MainMs;
+      Mbps.push_back(MBps);
+      Speed.push_back(Sp);
+      printf("%s,%s/%s,%.1f,%.2f\n", Cfg.Name.c_str(),
+             Items[I].Suite.c_str(), Items[I].Name.c_str(), MBps, Sp);
+    }
+    Stat MS = stats(Mbps), SS = stats(Speed);
+    fprintf(stderr,
+            "  %-12s SQ-region: compile %7.1f MB/s [%6.1f..%7.1f]  "
+            "speedup %5.2fx [%4.2f..%5.2f]\n",
+            Cfg.Name.c_str(), MS.Geomean, MS.Min, MS.Max, SS.Geomean, SS.Min,
+            SS.Max);
+  }
+  return 0;
+}

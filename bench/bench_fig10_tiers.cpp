@@ -1,0 +1,72 @@
+//===- bench/bench_fig10_tiers.cpp - paper Figure 10 ------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The larger SQ-space over all execution tiers. Uses the paper's exact
+// methodology: T(Mnop) bounds VM startup, T(m0) (the early-return variant
+// of each module) bounds per-module setup, and the adjusted execution
+// time T(m) - T(m0) with adjusted speedup over wizard-int. Setup speed is
+// module bytes / (T(m0) - T(Mnop)) in MB/s.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+using namespace wisp;
+using namespace wisp::bench;
+
+int main() {
+  printHeader("Figure 10: SQ-space for all execution tiers",
+              "x = setup speed (MB/s), y = adjusted speedup over "
+              "wizard-int");
+  int N = std::max(1, runs() - 1);
+
+  std::vector<EngineConfig> Tiers = figure10Registry();
+  std::vector<LineItem> Items = allSuites(scale());
+
+  // Reference: wizard-int adjusted execution time per item.
+  EngineConfig IntCfg = configByName("wizard-int");
+  std::vector<double> IntAdj(Items.size());
+  {
+    double Nop = measure(IntCfg, nopModule(), N + 4).TotalMs;
+    (void)Nop;
+    for (size_t I = 0; I < Items.size(); ++I) {
+      double M0 = measure(IntCfg, Items[I].M0Bytes, N).MainCycles;
+      double M = measure(IntCfg, Items[I].Bytes, N).MainCycles;
+      IntAdj[I] = std::max(1.0, M - M0);
+    }
+  }
+
+  printf("\ntier,item,setup_mbps,adj_speedup\n");
+  for (const EngineConfig &Cfg : Tiers) {
+    double Nop = measure(Cfg, nopModule(), N + 4).TotalMs;
+    std::vector<double> Mbps, Speed;
+    for (size_t I = 0; I < Items.size(); ++I) {
+      ItemRun R0 = measure(Cfg, Items[I].M0Bytes, N);
+      ItemRun Rm = measure(Cfg, Items[I].Bytes, N);
+      double SetupMs = std::max(1e-4, R0.TotalMs - Nop);
+      double AdjMs = std::max(1.0, Rm.MainCycles - R0.MainCycles);
+      double MBps =
+          double(Items[I].Bytes.size()) / (SetupMs / 1e3) / 1e6;
+      double Sp = IntAdj[I] / AdjMs;
+      Mbps.push_back(MBps);
+      Speed.push_back(Sp);
+      printf("%s,%s/%s,%.2f,%.2f\n", Cfg.Name.c_str(),
+             Items[I].Suite.c_str(), Items[I].Name.c_str(), MBps, Sp);
+    }
+    Stat MS = stats(Mbps), SS = stats(Speed);
+    fprintf(stderr,
+            "  %-16s setup %8.2f MB/s [%7.2f..%8.2f]   adj speedup "
+            "%6.2fx [%5.2f..%6.2f]\n",
+            Cfg.Name.c_str(), MS.Geomean, MS.Min, MS.Max, SS.Geomean, SS.Min,
+            SS.Max);
+  }
+  fprintf(stderr,
+          "\nExpected shape (paper): interpreters cluster at fast setup and\n"
+          "~1x speedup; baselines cluster in the middle; optimizing tiers\n"
+          "2-3x faster execution at ~10x slower setup; lazy tiers (jsc-*)\n"
+          "show inflated setup speed and deflated speedup.\n");
+  return 0;
+}

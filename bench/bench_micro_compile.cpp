@@ -1,0 +1,131 @@
+//===- bench/bench_micro_compile.cpp - pipeline micro-benchmarks ------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark micro-benchmarks of the per-stage costs behind the
+// figures: decode, validate (+ side table), and one compile per pipeline,
+// plus interpreter and JIT steady-state execution of a small kernel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+#include "baselines/copypatch.h"
+#include "baselines/twopass.h"
+#include "opt/optcompiler.h"
+#include "spc/compiler.h"
+#include "wasm/reader.h"
+#include "wasm/validator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace wisp;
+
+namespace {
+
+const std::vector<uint8_t> &gemmBytes() {
+  static const std::vector<uint8_t> Bytes = [] {
+    for (LineItem &Item : polybenchSuite(1))
+      if (Item.Name == "gemm")
+        return Item.Bytes;
+    return std::vector<uint8_t>();
+  }();
+  return Bytes;
+}
+
+void BM_Decode(benchmark::State &State) {
+  for (auto _ : State) {
+    WasmError Err;
+    auto M = decodeModule(gemmBytes(), &Err);
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) *
+                          int64_t(gemmBytes().size()));
+}
+BENCHMARK(BM_Decode);
+
+void BM_Validate(benchmark::State &State) {
+  for (auto _ : State) {
+    WasmError Err;
+    auto M = decodeModule(gemmBytes(), &Err);
+    bool Ok = validateModule(*M, &Err);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) *
+                          int64_t(gemmBytes().size()));
+}
+BENCHMARK(BM_Validate);
+
+template <CompilerKind Kind> void BM_Compile(benchmark::State &State) {
+  WasmError Err;
+  auto M = decodeModule(gemmBytes(), &Err);
+  validateModule(*M, &Err);
+  const FuncDecl &F = M->Funcs[0];
+  CompilerOptions Opts;
+  if (Kind != CompilerKind::SinglePass)
+    Opts.Tags = TagMode::None;
+  warmCopyPatchTemplates();
+  for (auto _ : State) {
+    std::unique_ptr<MCode> Code;
+    switch (Kind) {
+    case CompilerKind::SinglePass:
+      Code = compileFunction(*M, F, Opts);
+      break;
+    case CompilerKind::TwoPass:
+      Code = compileTwoPass(*M, F, Opts);
+      break;
+    case CompilerKind::CopyPatch:
+      Code = compileCopyPatch(*M, F, Opts);
+      break;
+    case CompilerKind::Optimizing:
+      Code = compileOptimizing(*M, F, Opts);
+      break;
+    }
+    benchmark::DoNotOptimize(Code);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) *
+                          int64_t(F.BodyEnd - F.BodyStart));
+}
+BENCHMARK(BM_Compile<CompilerKind::SinglePass>)->Name("BM_Compile_SinglePass");
+BENCHMARK(BM_Compile<CompilerKind::TwoPass>)->Name("BM_Compile_TwoPass");
+BENCHMARK(BM_Compile<CompilerKind::CopyPatch>)->Name("BM_Compile_CopyPatch");
+BENCHMARK(BM_Compile<CompilerKind::Optimizing>)->Name("BM_Compile_Optimizing");
+
+void BM_ExecInterp(benchmark::State &State) {
+  EngineConfig Cfg = configByName("wizard-int");
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(gemmBytes(), &Err);
+  std::vector<Value> Out;
+  for (auto _ : State)
+    E.invoke(*LM, "run", {}, &Out);
+}
+BENCHMARK(BM_ExecInterp)->Unit(benchmark::kMillisecond);
+
+void BM_ExecJit(benchmark::State &State) {
+  EngineConfig Cfg = configByName("wizard-spc");
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(gemmBytes(), &Err);
+  std::vector<Value> Out;
+  for (auto _ : State)
+    E.invoke(*LM, "run", {}, &Out);
+}
+BENCHMARK(BM_ExecJit)->Unit(benchmark::kMillisecond);
+
+void BM_ExecOpt(benchmark::State &State) {
+  EngineConfig Cfg = configByName("wasmtime");
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(gemmBytes(), &Err);
+  std::vector<Value> Out;
+  for (auto _ : State)
+    E.invoke(*LM, "run", {}, &Out);
+}
+BENCHMARK(BM_ExecOpt)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+//===- bench/bench_tab3_features.cpp - paper Figure 3 (feature table) ------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Prints the baseline-compiler feature matrix (paper Fig. 3) from the
+// engine registry, cross-checked against the live CompilerOptions of each
+// configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+
+using namespace wisp;
+
+int main() {
+  bench::printHeader("Figure 3: WebAssembly baseline compilers in this study",
+                     "MR=multi-register, R=register alloc, K=constants, "
+                     "KF=folding, ISEL=instr selection, TAG=value tags, "
+                     "MAP=stackmaps, MV=multi-value");
+  printf("%-12s %-7s %-5s %-22s %s\n", "name", "lang", "year", "features",
+         "description");
+  for (const BaselineFeatureRow &Row : figure3Rows())
+    printf("%-12s %-7s %-5d %-22s %s\n", Row.Name, Row.Language, Row.Year,
+           Row.Features, Row.Description);
+
+  printf("\nLive configuration cross-check (from the engine registry):\n");
+  printf("%-12s %-9s %-4s %-4s %-6s %-4s %-9s\n", "name", "pipeline", "MR",
+         "KF", "ISEL", "K", "gc");
+  for (const EngineConfig &C : baselineRegistry()) {
+    const char *Pipe = C.Compiler == CompilerKind::SinglePass ? "1-pass"
+                       : C.Compiler == CompilerKind::TwoPass  ? "2-pass"
+                       : C.Compiler == CompilerKind::CopyPatch
+                           ? "copypatch"
+                           : "opt";
+    const char *Gc = C.Opts.Tags == TagMode::StackMap  ? "stackmap"
+                     : C.Opts.Tags == TagMode::None    ? "none"
+                     : C.Opts.Tags == TagMode::OnDemand ? "tags"
+                                                        : "tags*";
+    printf("%-12s %-9s %-4s %-4s %-6s %-4s %-9s\n", C.Name.c_str(), Pipe,
+           C.Opts.MultiRegister ? "y" : "-",
+           C.Opts.ConstantFolding ? "y" : "-",
+           C.Opts.InstructionSelect ? "y" : "-",
+           C.Opts.TrackConstants ? "y" : "-", Gc);
+  }
+  return 0;
+}

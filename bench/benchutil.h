@@ -1,0 +1,151 @@
+//===- bench/benchutil.h - shared benchmark harness --------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measurement utilities shared by the per-figure benchmark binaries:
+/// per-item setup/main timing (the paper's T(Mnop)/T(m0)/T(m)
+/// methodology), medians over repeated runs, geometric means, and table
+/// printing. Run counts and workload scale come from WISP_BENCH_RUNS and
+/// WISP_BENCH_SCALE (defaults keep every binary under a minute).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_BENCH_BENCHUTIL_H
+#define WISP_BENCH_BENCHUTIL_H
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "suites/suites.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace wisp {
+namespace bench {
+
+inline int envInt(const char *Name, int Default) {
+  const char *V = getenv(Name);
+  return V ? atoi(V) : Default;
+}
+inline int runs() { return std::max(1, envInt("WISP_BENCH_RUNS", 3)); }
+inline int scale() { return std::max(1, envInt("WISP_BENCH_SCALE", 1)); }
+
+inline double nowMs() {
+  return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) /
+         1e6;
+}
+
+/// One measured execution of a module in a fresh engine (the paper runs
+/// each line item in a separate VM instance).
+struct ItemRun {
+  double SetupMs = 0;   ///< load() time: decode + validate + compile.
+  double MainMs = 0;    ///< invoke("run") wall time.
+  double TotalMs = 0;   ///< Setup + main (wall).
+  double CompileMs = 0; ///< Compile portion of setup.
+  /// Modeled execution cycles (deterministic; the primary metric for
+  /// execution-time comparisons — see Thread::InterpCyclesPerStep).
+  double MainCycles = 0;
+  bool Ok = false;
+};
+
+inline ItemRun runOnce(const EngineConfig &Cfg,
+                       const std::vector<uint8_t> &Bytes) {
+  ItemRun R;
+  Engine E(Cfg);
+  WasmError Err;
+  double T0 = nowMs();
+  auto LM = E.load(Bytes, &Err);
+  double T1 = nowMs();
+  if (!LM) {
+    fprintf(stderr, "load failed (%s): %s\n", Cfg.Name.c_str(),
+            Err.Message.c_str());
+    return R;
+  }
+  std::vector<Value> Out;
+  TrapReason Trap = E.invoke(*LM, "run", {}, &Out);
+  double T2 = nowMs();
+  if (Trap != TrapReason::None) {
+    fprintf(stderr, "trap (%s): %s\n", Cfg.Name.c_str(),
+            trapReasonName(Trap));
+    return R;
+  }
+  R.SetupMs = T1 - T0;
+  R.MainMs = T2 - T1;
+  R.TotalMs = T2 - T0;
+  R.CompileMs = double(LM->Stats.CompileNs) / 1e6;
+  R.MainCycles = double(E.thread().modeledCycles());
+  R.Ok = true;
+  return R;
+}
+
+/// Median-of-N runs.
+inline ItemRun measure(const EngineConfig &Cfg,
+                       const std::vector<uint8_t> &Bytes, int N) {
+  std::vector<ItemRun> Rs;
+  for (int I = 0; I < N; ++I) {
+    ItemRun R = runOnce(Cfg, Bytes);
+    if (R.Ok)
+      Rs.push_back(R);
+  }
+  if (Rs.empty())
+    return ItemRun{};
+  std::sort(Rs.begin(), Rs.end(),
+            [](const ItemRun &A, const ItemRun &B) { return A.MainMs < B.MainMs; });
+  return Rs[Rs.size() / 2];
+}
+
+struct Stat {
+  double Geomean = 0, Min = 0, Max = 0;
+};
+
+inline Stat stats(const std::vector<double> &Xs) {
+  Stat S;
+  if (Xs.empty())
+    return S;
+  double LogSum = 0;
+  S.Min = S.Max = Xs[0];
+  for (double X : Xs) {
+    LogSum += std::log(X);
+    S.Min = std::min(S.Min, X);
+    S.Max = std::max(S.Max, X);
+  }
+  S.Geomean = std::exp(LogSum / double(Xs.size()));
+  return S;
+}
+
+inline void printHeader(const char *Title, const char *Detail) {
+  printf("==============================================================\n");
+  printf("%s\n", Title);
+  printf("%s\n", Detail);
+  printf("runs=%d scale=%d (override: WISP_BENCH_RUNS / WISP_BENCH_SCALE)\n",
+         runs(), scale());
+  printf("==============================================================\n");
+}
+
+/// Prints a bar-chart row like the paper's figures.
+inline void printBar(const char *Label, double V, double Max,
+                     const char *Fmt = "%6.2f") {
+  int Width = Max > 0 ? int(44.0 * V / Max) : 0;
+  Width = std::max(0, std::min(44, Width));
+  printf("  %-26s ", Label);
+  printf(Fmt, V);
+  printf(" |");
+  for (int I = 0; I < Width; ++I)
+    putchar('#');
+  printf("\n");
+}
+
+} // namespace bench
+} // namespace wisp
+
+#endif // WISP_BENCH_BENCHUTIL_H

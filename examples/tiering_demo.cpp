@@ -1,0 +1,82 @@
+//===- examples/tiering_demo.cpp - tier-up (OSR) and tier-down -------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Shows the frame-compatible tiering design of paper §IV.B: a tiered
+// engine starts a hot loop in the interpreter, tiers up mid-loop via OSR
+// by rewriting the frame in place, and tiers down again when a probe is
+// attached to the running function.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "instr/monitors.h"
+#include "wasm/builder.h"
+
+#include <cstdio>
+
+using namespace wisp;
+
+int main() {
+  // A module with one hot function: iterative popcount-sum over a range.
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  uint32_t Acc = F.addLocal(ValType::I32);
+  F.block();
+  F.localGet(0);
+  F.op(Opcode::I32Eqz);
+  F.brIf(0);
+  F.loop();
+  F.localGet(Acc);
+  F.localGet(0);
+  F.op(Opcode::I32Popcnt);
+  F.op(Opcode::I32Add);
+  F.localSet(Acc);
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Sub);
+  F.localTee(0);
+  F.brIf(0);
+  F.end();
+  F.end();
+  F.localGet(Acc);
+  MB.exportFunc("hot", MB.funcIndex(F));
+
+  EngineConfig Cfg = configByName("wizard-tiered");
+  Cfg.TierUpThreshold = 100;
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(MB.build(), &Err);
+  if (!LM) {
+    fprintf(stderr, "load failed: %s\n", Err.Message.c_str());
+    return 1;
+  }
+
+  printf("tiered engine: threshold=%u backedges\n", Cfg.TierUpThreshold);
+  std::vector<Value> Out;
+  E.invoke(*LM, "hot", {Value::makeI32(2000000)}, &Out);
+  printf("after hot run:    result=%d, compiled funcs=%zu, interp steps=%llu,"
+         " jit cycles=%llu\n",
+         Out[0].asI32(), LM->Codes.size(),
+         (unsigned long long)E.thread().InterpSteps,
+         (unsigned long long)E.thread().JitCycles);
+  printf("  -> the loop tiered up mid-execution (OSR): both tiers ran.\n");
+
+  // Attach a counter probe to the loop header: the engine recompiles with
+  // the probe and stale frames tier down at their next checkpoint.
+  OpcodeCountMonitor Loops;
+  Loops.attach(*LM->Inst, E.probes(), Opcode::Loop);
+  E.reinstrument(*LM); // Recompile with the probe; old frames deopt.
+  uint64_t JitBefore = E.thread().JitCycles;
+  E.invoke(*LM, "hot", {Value::makeI32(1000)}, &Out);
+  printf("after probe attach: result=%d, loop-entry count=%llu, "
+         "new jit cycles=%llu\n",
+         Out[0].asI32(), (unsigned long long)Loops.total(),
+         (unsigned long long)(E.thread().JitCycles - JitBefore));
+  printf("  -> probes observed every loop entry without losing JIT speed.\n");
+  return 0;
+}

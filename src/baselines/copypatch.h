@@ -1,0 +1,40 @@
+//===- baselines/copypatch.h - WasmNow-shaped copy-and-patch ----*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A copy-and-patch code generator in the style of WasmNow (Xu & Kjolstad,
+/// OOPSLA 2021; paper §VII). Machine-code *templates* for every opcode are
+/// generated once at engine startup (visible as startup cost, exactly as
+/// the paper observed in WasmNow's SQ region). Compilation is then a cache
+/// lookup, a copy of the snippet, and patching of immediate/slot holes —
+/// the fastest compile path of all baselines. Values live at canonical
+/// value-stack slots with the top of stack cached in a fixed register,
+/// i.e. the register assignments are baked into template variants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_BASELINES_COPYPATCH_H
+#define WISP_BASELINES_COPYPATCH_H
+
+#include "spc/compiler.h"
+
+namespace wisp {
+
+/// Builds the process-wide template cache (idempotent). Called by engines
+/// at startup so the cost is attributed to VM startup, not compilation.
+void warmCopyPatchTemplates();
+
+/// Compiles one function by template copy-and-patch. Probes are not
+/// supported by this design (the paper notes most baselines do not support
+/// instrumentation); the oracle is ignored.
+std::unique_ptr<MCode> compileCopyPatch(const Module &M, const FuncDecl &F,
+                                        const CompilerOptions &Opts,
+                                        const ProbeSiteOracle *Probes =
+                                            nullptr);
+
+} // namespace wisp
+
+#endif // WISP_BASELINES_COPYPATCH_H

@@ -1,0 +1,34 @@
+//===- baselines/twopass.h - wazero-shaped two-pass compiler ----*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A wazero-shaped pipeline: unlike the true single-pass compilers, it
+/// first lowers the bytecode into an internal listing IR (decode +
+/// per-operation records + stack-height analysis), then runs code
+/// generation over the function again. The extra pass and IR allocation
+/// are what make it measurably slower to compile (paper Fig. 8 shows
+/// wazero 3-4x slower); its restricted feature set (single-register
+/// allocation, no constant tracking — Fig. 3 row "wazero") makes its code
+/// slower too (Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_BASELINES_TWOPASS_H
+#define WISP_BASELINES_TWOPASS_H
+
+#include "spc/compiler.h"
+
+namespace wisp {
+
+/// Compiles with the two-pass pipeline. The CompilerOptions' feature flags
+/// are overridden to wazero's feature set (R only); tag mode None.
+std::unique_ptr<MCode> compileTwoPass(const Module &M, const FuncDecl &F,
+                                      const CompilerOptions &Opts,
+                                      const ProbeSiteOracle *Probes = nullptr);
+
+} // namespace wisp
+
+#endif // WISP_BASELINES_TWOPASS_H

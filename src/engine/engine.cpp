@@ -1,0 +1,282 @@
+//===- engine/engine.cpp - the wisp engine facade ---------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/engine.h"
+
+#include "baselines/copypatch.h"
+#include "baselines/twopass.h"
+#include "interp/interpreter.h"
+#include "opt/optcompiler.h"
+#include "wasm/reader.h"
+#include "wasm/validator.h"
+
+#include <chrono>
+
+using namespace wisp;
+
+static uint64_t nowNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+Engine::Engine(EngineConfig CfgIn) : Cfg(std::move(CfgIn)) {
+  T = std::make_unique<Thread>(Cfg.StackSlots, Cfg.wantsTagLane());
+  T->Hooks = this;
+  if (Cfg.Mode == ExecMode::Tiered)
+    T->TierUpThreshold = Cfg.TierUpThreshold;
+  else if (Cfg.Mode == ExecMode::JitLazy)
+    T->TierUpThreshold = 1; // Compile on first call.
+  // Copy-and-patch generates its templates at engine startup (the paper
+  // observes exactly this cost in WasmNow's SQ region).
+  if (Cfg.Compiler == CompilerKind::CopyPatch)
+    warmCopyPatchTemplates();
+}
+
+Engine::~Engine() = default;
+
+std::unique_ptr<MCode> Engine::compileOne(const Module &M,
+                                          const FuncDecl &F) {
+  const ProbeSiteOracle *Oracle = Probes.anyProbes() ? &Probes : nullptr;
+  switch (Cfg.Compiler) {
+  case CompilerKind::SinglePass:
+    return compileFunction(M, F, Cfg.Opts, Oracle);
+  case CompilerKind::TwoPass:
+    return compileTwoPass(M, F, Cfg.Opts, Oracle);
+  case CompilerKind::CopyPatch:
+    return compileCopyPatch(M, F, Cfg.Opts, Oracle);
+  case CompilerKind::Optimizing:
+    return compileOptimizing(M, F, Cfg.Opts, Oracle);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
+                                           WasmError *Err) {
+  auto LM = std::make_unique<LoadedModule>();
+  LM->Stats.ModuleBytes = Bytes.size();
+  uint64_t T0 = nowNs();
+  LM->M = decodeModule(std::move(Bytes), Err);
+  if (!LM->M)
+    return nullptr;
+  uint64_t T1 = nowNs();
+  LM->Stats.DecodeNs = T1 - T0;
+  if (Cfg.Validate) {
+    if (!validateModule(*LM->M, Err))
+      return nullptr;
+  } else {
+    // wasm3-style: trust the module; side tables are still required for
+    // in-place interpretation, so build them without rejecting anything.
+    if (!validateModule(*LM->M, Err))
+      return nullptr;
+  }
+  uint64_t T2 = nowNs();
+  LM->Stats.ValidateNs = T2 - T1;
+  LM->Stats.CodeBytes = LM->M->codeBytes();
+
+  LM->Inst = instantiate(*LM->M, Hosts, &Heap, Err);
+  if (!LM->Inst)
+    return nullptr;
+  uint64_t T3 = nowNs();
+  LM->Stats.InstantiateNs = T3 - T2;
+
+  if (Cfg.Mode == ExecMode::Jit) {
+    for (FuncInstance &FI : LM->Inst->Funcs) {
+      if (FI.Decl->Imported)
+        continue;
+      LM->Codes.push_back(compileOne(*LM->M, *FI.Decl));
+      FI.Code = LM->Codes.back().get();
+      FI.UseJit = true;
+      LM->Stats.CodeInsts += FI.Code->Stats.CodeInsts;
+      LM->Stats.TagStores += FI.Code->Stats.TagStores;
+      LM->Stats.StackMapBytes += FI.Code->Stats.StackMapBytes;
+    }
+  }
+  uint64_t T4 = nowNs();
+  LM->Stats.CompileNs = T4 - T3;
+  LM->Stats.TotalSetupNs = T4 - T0;
+  return LM;
+}
+
+TrapReason Engine::invoke(LoadedModule &LM, const std::string &ExportName,
+                          const std::vector<Value> &Args,
+                          std::vector<Value> *Results) {
+  FuncInstance *F = LM.Inst->findExportedFunc(ExportName);
+  if (!F)
+    return TrapReason::HostError;
+  Current = &LM;
+  T->Inst = LM.Inst.get();
+  if (Cfg.Mode == ExecMode::JitLazy && !F->Decl->Imported && !F->Code)
+    compileAndInstall(F); // Lazy: compile time lands in run time.
+  TrapReason R = wisp::invoke(*T, F, Args, Results);
+  Current = nullptr;
+  return R;
+}
+
+void Engine::compileAndInstall(FuncInstance *Func) {
+  assert(Current && "no module in scope for compilation");
+  Current->Codes.push_back(compileOne(*Current->M, *Func->Decl));
+  Func->Code = Current->Codes.back().get();
+  Func->UseJit = true;
+}
+
+void Engine::addProbe(LoadedModule &LM, uint32_t FuncIdx, uint32_t Ip,
+                      Probe *P) {
+  Probes.insert(*LM.Inst, FuncIdx, Ip, P);
+  FuncInstance *F = LM.Inst->func(FuncIdx);
+  if (F->Code) {
+    // Recompile with the probe; running frames of the old code tier down
+    // at their next checkpoint (stale-code check) if it has any, and all
+    // new calls enter the instrumented code.
+    Current = &LM;
+    compileAndInstall(F);
+    Current = nullptr;
+  }
+}
+
+void Engine::reinstrument(LoadedModule &LM) {
+  Current = &LM;
+  for (FuncInstance &F : LM.Inst->Funcs)
+    if (F.Code)
+      compileAndInstall(&F);
+  Current = nullptr;
+}
+
+void Engine::requestTierDown(LoadedModule &LM, uint32_t FuncIdx) {
+  FuncInstance *F = LM.Inst->func(FuncIdx);
+  F->DeoptRequested = true;
+  F->UseJit = false;
+}
+
+void Engine::fireProbes(Thread &Th, FuncInstance *Func, uint32_t Ip) {
+  Probes.fire(Th, Func, Ip);
+}
+
+void Engine::fireProbeTos(Thread &Th, FuncInstance *Func, uint32_t Ip,
+                          Value Tos) {
+  Probes.fireTos(Th, Func, Ip, Tos);
+}
+
+void Engine::onFuncHot(Thread &Th, FuncInstance *Func) {
+  if (!Current || Func->Decl->Imported || Func->Code)
+    return;
+  compileAndInstall(Func);
+}
+
+bool Engine::onLoopBackedge(Thread &Th, FuncInstance *Func,
+                            uint32_t TargetIp) {
+  if (Cfg.Mode != ExecMode::Tiered || !Current || Func->Decl->Imported)
+    return false;
+  if (!Func->Code) {
+    // Compile with OSR entries and deopt checkpoints.
+    CompilerOptions Opts = Cfg.Opts;
+    Opts.EmitOsrEntries = true;
+    Opts.EmitDeoptChecks = true;
+    const ProbeSiteOracle *Oracle = Probes.anyProbes() ? &Probes : nullptr;
+    Current->Codes.push_back(
+        compileFunction(*Current->M, *Func->Decl, Opts, Oracle));
+    Func->Code = Current->Codes.back().get();
+    Func->UseJit = true;
+  }
+  const MCode::OsrEntry *E = Func->Code->findOsrEntry(TargetIp);
+  if (!E)
+    return false;
+  // Tier up in place: the interpreter already has every slot in memory,
+  // which is exactly the compiled loop-header state.
+  Frame &F = Th.top();
+  assert(F.Func == Func && "OSR on wrong frame");
+  F.Kind = FrameKind::Jit;
+  F.Code = Func->Code;
+  F.Pc = E->Pc;
+  return true;
+}
+
+// --- GC root scanning (paper §IV.C) ---
+
+std::vector<uint64_t> Engine::scanRoots() {
+  std::vector<uint64_t> Roots;
+  const uint64_t *S = T->VS.slots();
+  const uint8_t *Tg = T->VS.tags();
+  auto addTagged = [&](uint32_t Lo, uint32_t Hi) {
+    assert(Tg && "tag scan without tag lane");
+    for (uint32_t I = Lo; I < Hi; ++I)
+      if (ValType(Tg[I]) == ValType::ExternRef && S[I] != 0)
+        Roots.push_back(S[I]);
+  };
+  for (const Frame &F : T->Frames) {
+    const FuncDecl *D = F.Func->Decl;
+    uint32_t NL = D->numLocalSlots();
+    if (F.Kind == FrameKind::Interp) {
+      // The interpreter maintains exact tags for the whole frame.
+      addTagged(F.Vfp, F.Sp);
+      continue;
+    }
+    switch (Cfg.Opts.Tags) {
+    case TagMode::Eager:
+    case TagMode::EagerLocals:
+    case TagMode::EagerOperands:
+    case TagMode::OnDemand:
+      addTagged(F.Vfp, F.Sp);
+      break;
+    case TagMode::Lazy:
+      // Locals reconstructed from declared types by the stack walker;
+      // operand tags from memory.
+      for (uint32_t I = 0; I < NL; ++I)
+        if (isRefType(D->LocalTypes[I]) && S[F.Vfp + I] != 0)
+          Roots.push_back(S[F.Vfp + I]);
+      addTagged(F.Vfp + NL, F.Sp);
+      break;
+    case TagMode::StackMap: {
+      // Suspended at a call: the map was recorded at the call's pc.
+      const StackMapEntry *E =
+          F.Pc > 0 ? F.Code->findStackMap(F.Pc - 1) : nullptr;
+      if (E) {
+        for (uint32_t Slot : E->RefSlots)
+          if (S[F.Vfp + Slot] != 0)
+            Roots.push_back(S[F.Vfp + Slot]);
+      }
+      break;
+    }
+    case TagMode::None:
+      break; // Non-GC configuration.
+    }
+  }
+  return Roots;
+}
+
+size_t Engine::collectGarbage() { return Heap.collect(scanRoots()); }
+
+// --- GC demo host functions ---
+
+void wisp::installGcHostFuncs(Engine &E) {
+  E.hosts().add("wisp", "alloc", FuncType{{ValType::I64}, {ValType::ExternRef}},
+                [&E](Instance &, const Value *Args, Value *Rets) {
+                  Rets[0] =
+                      Value::makeExternRef(E.heap().allocate(Args[0].Bits));
+                  return TrapReason::None;
+                });
+  E.hosts().add("wisp", "payload",
+                FuncType{{ValType::ExternRef}, {ValType::I64}},
+                [&E](Instance &, const Value *Args, Value *Rets) {
+                  if (Args[0].Bits == 0)
+                    return TrapReason::HostError;
+                  Rets[0] =
+                      Value::makeI64(int64_t(E.heap().object(Args[0].Bits).Payload));
+                  return TrapReason::None;
+                });
+  E.hosts().add("wisp", "link",
+                FuncType{{ValType::ExternRef, ValType::ExternRef}, {}},
+                [&E](Instance &, const Value *Args, Value *) {
+                  if (Args[0].Bits != 0 && Args[1].Bits != 0)
+                    E.heap().object(Args[0].Bits).Refs.push_back(Args[1].Bits);
+                  return TrapReason::None;
+                });
+  E.hosts().add("wisp", "collect", FuncType{{}, {ValType::I32}},
+                [&E](Instance &, const Value *, Value *Rets) {
+                  Rets[0] = Value::makeI32(int32_t(E.collectGarbage()));
+                  return TrapReason::None;
+                });
+}

@@ -1,0 +1,159 @@
+//===- engine/engine.h - the wisp engine facade -----------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine facade: loads modules through a configurable pipeline
+/// (decode, validate, compile per execution mode), runs them through the
+/// tier dispatcher, implements the tiering hooks (hot-function compilation,
+/// OSR tier-up, deopt tier-down), dispatches probes, and scans GC roots via
+/// value tags or stackmaps. Engine configurations model the execution tiers
+/// of the paper's Figure 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_ENGINE_ENGINE_H
+#define WISP_ENGINE_ENGINE_H
+
+#include "engine/run.h"
+#include "instr/registry.h"
+#include "machine/isa.h"
+#include "runtime/gcheap.h"
+#include "runtime/hooks.h"
+#include "spc/options.h"
+#include "wasm/module.h"
+
+#include <memory>
+#include <string>
+
+namespace wisp {
+
+/// How a configuration executes Wasm code.
+enum class ExecMode : uint8_t {
+  Interp,  ///< Interpreter only.
+  Jit,     ///< Compile everything eagerly at load time.
+  JitLazy, ///< Compile each function on its first invocation.
+  Tiered,  ///< Start interpreted; tier up hot functions (incl. OSR).
+};
+
+/// Which compiler pipeline a JIT configuration uses.
+enum class CompilerKind : uint8_t {
+  SinglePass, ///< The paper's abstract-interpretation baseline (Wizard-SPC
+              ///< and the Liftoff/SpiderMonkey/wasmer-shaped presets).
+  TwoPass,    ///< wazero-shaped: build a listing IR, then emit (slower).
+  CopyPatch,  ///< WasmNow-shaped: pre-built templates, patched per opcode.
+  Optimizing, ///< IR-based optimizing compiler (TurboFan/Cranelift-shaped).
+};
+
+/// A complete engine configuration.
+struct EngineConfig {
+  std::string Name = "wizard-spc";
+  ExecMode Mode = ExecMode::Jit;
+  CompilerKind Compiler = CompilerKind::SinglePass;
+  CompilerOptions Opts;
+  bool Validate = true; ///< wasm3 famously does not validate.
+  uint32_t TierUpThreshold = 256; ///< Tiered mode hotness threshold.
+  uint32_t StackSlots = 1u << 16;
+
+  /// Whether the value stack needs a tag lane.
+  bool wantsTagLane() const {
+    if (Mode != ExecMode::Jit && Mode != ExecMode::JitLazy)
+      return true; // Interpreter tiers always maintain tags.
+    return Opts.Tags != TagMode::None && Opts.Tags != TagMode::StackMap;
+  }
+};
+
+/// Per-load measurements (the paper's setup-time methodology).
+struct LoadStats {
+  uint64_t DecodeNs = 0;
+  uint64_t ValidateNs = 0;
+  uint64_t CompileNs = 0;
+  uint64_t InstantiateNs = 0;
+  uint64_t TotalSetupNs = 0;
+  size_t ModuleBytes = 0;
+  size_t CodeBytes = 0; ///< Function body bytes (compile-speed denominator).
+  uint64_t CodeInsts = 0;
+  uint64_t TagStores = 0;
+  uint64_t StackMapBytes = 0;
+};
+
+/// A loaded, instantiated module plus its compiled code.
+class LoadedModule {
+public:
+  std::unique_ptr<Module> M;
+  std::unique_ptr<Instance> Inst;
+  std::vector<std::unique_ptr<MCode>> Codes;
+  LoadStats Stats;
+};
+
+/// The engine. Implements EngineHooks for probes and tiering.
+class Engine : public EngineHooks {
+public:
+  explicit Engine(EngineConfig Cfg);
+  ~Engine() override;
+
+  const EngineConfig &config() const { return Cfg; }
+  HostRegistry &hosts() { return Hosts; }
+  GcHeap &heap() { return Heap; }
+  ProbeRegistry &probes() { return Probes; }
+  Thread &thread() { return *T; }
+
+  /// Loads a module: decode, validate, instantiate, compile per mode.
+  /// Fills timing statistics. Returns nullptr and \p Err on failure.
+  std::unique_ptr<LoadedModule> load(std::vector<uint8_t> Bytes,
+                                     WasmError *Err);
+
+  /// Invokes an exported function. Runs lazy compilation if configured.
+  TrapReason invoke(LoadedModule &LM, const std::string &ExportName,
+                    const std::vector<Value> &Args,
+                    std::vector<Value> *Results);
+
+  /// Attaches a probe; recompiles or tiers down compiled functions so the
+  /// probe is observed by all future execution.
+  void addProbe(LoadedModule &LM, uint32_t FuncIdx, uint32_t Ip, Probe *P);
+
+  /// Requests that all JIT frames of \p FuncIdx tier down at their next
+  /// checkpoint and future calls run interpreted.
+  void requestTierDown(LoadedModule &LM, uint32_t FuncIdx);
+
+  /// Recompiles every already-compiled function so newly attached probes
+  /// (e.g. from Monitor::attach) are observed; stale frames tier down at
+  /// their next checkpoint.
+  void reinstrument(LoadedModule &LM);
+
+  /// Scans all live frames for externref roots (tags or stackmaps).
+  std::vector<uint64_t> scanRoots();
+  /// Runs a GC over the host-object heap using scanned roots.
+  size_t collectGarbage();
+
+  // --- EngineHooks ---
+  void fireProbes(Thread &T, FuncInstance *Func, uint32_t Ip) override;
+  void fireProbeTos(Thread &T, FuncInstance *Func, uint32_t Ip,
+                    Value Tos) override;
+  void onFuncHot(Thread &T, FuncInstance *Func) override;
+  bool onLoopBackedge(Thread &T, FuncInstance *Func,
+                      uint32_t TargetIp) override;
+
+  /// Compiles one function with this engine's pipeline.
+  std::unique_ptr<MCode> compileOne(const Module &M, const FuncDecl &F);
+
+private:
+  void compileAndInstall(FuncInstance *Func);
+
+  EngineConfig Cfg;
+  HostRegistry Hosts;
+  GcHeap Heap;
+  ProbeRegistry Probes;
+  std::unique_ptr<Thread> T;
+  LoadedModule *Current = nullptr; ///< Module served by hooks/invoke.
+};
+
+/// Installs the GC demo host functions (wisp.alloc/link/payload/collect)
+/// used by tests and examples.
+void installGcHostFuncs(Engine &E);
+
+} // namespace wisp
+
+#endif // WISP_ENGINE_ENGINE_H

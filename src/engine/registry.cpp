@@ -1,0 +1,157 @@
+//===- engine/registry.cpp - named engine configurations --------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/registry.h"
+
+using namespace wisp;
+
+static EngineConfig base(const char *Name, ExecMode Mode, CompilerKind Kind) {
+  EngineConfig C;
+  C.Name = Name;
+  C.Mode = Mode;
+  C.Compiler = Kind;
+  return C;
+}
+
+std::vector<EngineConfig> wisp::baselineRegistry() {
+  std::vector<EngineConfig> R;
+  // wizeng-spc: MR K KF ISEL TAG MV (the full design of this paper).
+  {
+    EngineConfig C = base("wizard-spc", ExecMode::Jit, CompilerKind::SinglePass);
+    C.Opts = CompilerOptions::allopt(); // Tags default to OnDemand.
+    R.push_back(C);
+  }
+  // wazero: R only; two-pass lowering through a listing IR.
+  {
+    EngineConfig C = base("wazero", ExecMode::Jit, CompilerKind::TwoPass);
+    C.Opts.Tags = TagMode::None;
+    R.push_back(C);
+  }
+  // wasm-now: copy-and-patch templates, fastest compile.
+  {
+    EngineConfig C = base("wasm-now", ExecMode::Jit, CompilerKind::CopyPatch);
+    C.Opts.Tags = TagMode::None;
+    R.push_back(C);
+  }
+  // wasmer-base: R K MV; no MR, no ISEL, no folding; no GC.
+  {
+    EngineConfig C =
+        base("wasmer-base", ExecMode::Jit, CompilerKind::SinglePass);
+    C.Opts.MultiRegister = false;
+    C.Opts.ConstantFolding = false;
+    C.Opts.InstructionSelect = false;
+    C.Opts.Peephole = false;
+    C.Opts.Tags = TagMode::None;
+    R.push_back(C);
+  }
+  // v8-liftoff: MR K ISEL MAP MV; no constant folding.
+  {
+    EngineConfig C =
+        base("v8-liftoff", ExecMode::Jit, CompilerKind::SinglePass);
+    C.Opts.ConstantFolding = false;
+    C.Opts.Tags = TagMode::StackMap;
+    R.push_back(C);
+  }
+  // sm-base: MR K ISEL MAP MV; leaner design (no folding, no peephole).
+  {
+    EngineConfig C = base("sm-base", ExecMode::Jit, CompilerKind::SinglePass);
+    C.Opts.ConstantFolding = false;
+    C.Opts.Peephole = false;
+    C.Opts.Tags = TagMode::StackMap;
+    R.push_back(C);
+  }
+  return R;
+}
+
+std::vector<BaselineFeatureRow> wisp::figure3Rows() {
+  return {
+      {"wizeng-spc", "Virgil", 2023, "MR K KF ISEL TAG MV",
+       "The Wizard Research Engine's single-pass compiler."},
+      {"wazero", "Go", 2022, "R", "An open-source engine written in Go."},
+      {"wasm-now", "C++", 2022, "MR K ISEL",
+       "A research project using Copy&Patch code generation."},
+      {"wasmer-base", "Rust", 2020, "R K MV",
+       "The --singlepass option of wasmer."},
+      {"v8-liftoff", "C++", 2018, "MR K ISEL MAP MV",
+       "The baseline Wasm compiler in V8."},
+      {"sm-base", "C++", 2018, "MR K ISEL MAP MV",
+       "The baseline Wasm compiler in Spidermonkey."},
+  };
+}
+
+std::vector<EngineConfig> wisp::figure10Registry() {
+  std::vector<EngineConfig> R = baselineRegistry();
+  // Interpreters.
+  {
+    EngineConfig C = base("wizard-int", ExecMode::Interp,
+                          CompilerKind::SinglePass);
+    R.push_back(C);
+  }
+  {
+    EngineConfig C = base("jsc-int", ExecMode::Interp,
+                          CompilerKind::SinglePass);
+    R.push_back(C);
+  }
+  {
+    EngineConfig C = base("iwasm-int", ExecMode::Interp,
+                          CompilerKind::SinglePass);
+    R.push_back(C);
+  }
+  {
+    EngineConfig C = base("wasm3", ExecMode::Interp, CompilerKind::SinglePass);
+    C.Validate = false; // wasm3 does not verify the bytecode!
+    R.push_back(C);
+  }
+  // Fast JIT without constant tracking (WAMR fast-jit shape).
+  {
+    EngineConfig C = base("iwasm-fjit", ExecMode::Jit,
+                          CompilerKind::SinglePass);
+    C.Opts = CompilerOptions::nok();
+    C.Opts.Tags = TagMode::None;
+    R.push_back(C);
+  }
+  // JSC tiers: lazy translation is their signature confound.
+  {
+    EngineConfig C = base("jsc-bbq", ExecMode::JitLazy,
+                          CompilerKind::SinglePass);
+    C.Opts.ConstantFolding = false;
+    C.Opts.Tags = TagMode::StackMap;
+    R.push_back(C);
+  }
+  {
+    EngineConfig C = base("jsc-omg", ExecMode::JitLazy,
+                          CompilerKind::Optimizing);
+    C.Opts.Tags = TagMode::None;
+    R.push_back(C);
+  }
+  // Optimizing compilers (eager).
+  for (const char *Name : {"wasmtime", "wasmer-cranelift", "v8-turbofan",
+                           "sm-ion", "wavm-aot"}) {
+    EngineConfig C = base(Name, ExecMode::Jit, CompilerKind::Optimizing);
+    C.Opts.Tags = TagMode::None;
+    R.push_back(C);
+  }
+  // Tiered configuration (interpreter + baseline with OSR), the Wizard
+  // production setup.
+  {
+    EngineConfig C = base("wizard-tiered", ExecMode::Tiered,
+                          CompilerKind::SinglePass);
+    C.TierUpThreshold = 256;
+    C.Opts.EmitDeoptChecks = true;
+    C.Opts.EmitOsrEntries = true;
+    R.push_back(C);
+  }
+  return R;
+}
+
+EngineConfig wisp::configByName(const std::string &Name) {
+  for (const EngineConfig &C : figure10Registry())
+    if (C.Name == Name)
+      return C;
+  EngineConfig Default;
+  Default.Name = Name;
+  return Default;
+}

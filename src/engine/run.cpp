@@ -1,0 +1,60 @@
+//===- engine/run.cpp - tier dispatcher and function invocation ------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/run.h"
+
+#include "interp/interpreter.h"
+#include "machine/executor.h"
+
+using namespace wisp;
+
+RunSignal wisp::runThread(Thread &T, size_t EntryDepth) {
+  for (;;) {
+    if (T.Frames.size() < EntryDepth)
+      return RunSignal::Done;
+    RunSignal Sig = T.top().Kind == FrameKind::Interp
+                        ? runInterpreter(T, EntryDepth)
+                        : runExecutor(T, EntryDepth);
+    if (Sig != RunSignal::SwitchTier)
+      return Sig;
+  }
+}
+
+TrapReason wisp::invoke(Thread &T, FuncInstance *Func,
+                        const std::vector<Value> &Args,
+                        std::vector<Value> *Results) {
+  assert(Args.size() == Func->Type->Params.size() && "argument count");
+  T.clearTrap();
+  T.Frames.clear();
+  uint64_t *S = T.VS.slots();
+  uint8_t *Tg = T.VS.tags();
+  for (size_t I = 0; I < Args.size(); ++I) {
+    S[I] = Args[I].Bits;
+    if (Tg)
+      Tg[I] = uint8_t(Args[I].Type);
+  }
+  if (Func->Host) {
+    // Direct host invocation (no wasm frame).
+    if (!callHostFunc(T, Func, 0, 0))
+      return T.Trap;
+  } else {
+    if (!pushWasmFrame(T, Func, 0))
+      return T.Trap;
+    RunSignal Sig = runThread(T, T.Frames.size());
+    if (Sig == RunSignal::Trapped) {
+      T.Frames.clear();
+      return T.Trap;
+    }
+    assert(Sig == RunSignal::Done && "unexpected dispatcher exit");
+  }
+  if (Results) {
+    Results->clear();
+    for (size_t I = 0; I < Func->Type->Results.size(); ++I)
+      Results->push_back(Value{T.VS.slot(uint32_t(I)),
+                               Func->Type->Results[I]});
+  }
+  return TrapReason::None;
+}

@@ -1,0 +1,37 @@
+//===- engine/run.h - tier dispatcher and function invocation ---*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tier dispatcher: alternates between the interpreter and the machine
+/// executor as frames of different kinds reach the top of the stack
+/// (mixed-tier calls, OSR tier-up, deopt tier-down), plus the top-level
+/// function invocation helper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_ENGINE_RUN_H
+#define WISP_ENGINE_RUN_H
+
+#include "runtime/instance.h"
+#include "runtime/thread.h"
+
+#include <vector>
+
+namespace wisp {
+
+/// Runs until all frames at or above \p EntryDepth have returned or a trap
+/// occurs, switching tiers as needed.
+RunSignal runThread(Thread &T, size_t EntryDepth);
+
+/// Invokes \p Func with \p Args on an empty thread; fills \p Results.
+/// Returns the trap reason (None on success).
+TrapReason invoke(Thread &T, FuncInstance *Func,
+                  const std::vector<Value> &Args,
+                  std::vector<Value> *Results);
+
+} // namespace wisp
+
+#endif // WISP_ENGINE_RUN_H

@@ -1,0 +1,136 @@
+//===- instr/monitors.cpp - standard monitors -------------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/monitors.h"
+
+using namespace wisp;
+
+// --- BranchMonitor ---
+
+class BranchMonitor::BranchProbe : public Probe {
+public:
+  explicit BranchProbe(Site *S) : S(S) {}
+  ProbeSiteKind kind() const override { return ProbeSiteKind::TosReader; }
+  void fire(FrameAccessor &A) override {
+    // Generic path: read the condition through the accessor.
+    count(A.tos());
+  }
+  void fireTos(uint32_t, uint32_t, Value Tos) override { count(Tos); }
+
+private:
+  void count(Value Cond) {
+    if (uint32_t(Cond.Bits) != 0)
+      ++S->Taken;
+    else
+      ++S->NotTaken;
+  }
+  Site *S;
+};
+
+void BranchMonitor::attach(Instance &Inst, ProbeRegistry &Reg) {
+  const Module &M = *Inst.M;
+  for (const FuncDecl &F : M.Funcs) {
+    if (F.Imported)
+      continue;
+    forEachInstruction(M, F, [&](Opcode Op, uint32_t Ip) {
+      if (Op != Opcode::BrIf && Op != Opcode::If)
+        return;
+      auto S = std::make_unique<Site>();
+      S->FuncIdx = F.Index;
+      S->Ip = Ip;
+      auto P = std::make_unique<BranchProbe>(S.get());
+      Reg.insert(Inst, F.Index, Ip, P.get());
+      Sites.push_back(std::move(S));
+      Probes.push_back(std::move(P));
+    });
+  }
+}
+
+uint64_t BranchMonitor::totalTaken() const {
+  uint64_t Sum = 0;
+  for (const auto &S : Sites)
+    Sum += S->Taken;
+  return Sum;
+}
+
+uint64_t BranchMonitor::totalNotTaken() const {
+  uint64_t Sum = 0;
+  for (const auto &S : Sites)
+    Sum += S->NotTaken;
+  return Sum;
+}
+
+// --- Counter probes (shared shape) ---
+
+namespace {
+class CounterProbeImpl : public Probe {
+public:
+  explicit CounterProbeImpl(uint64_t *Cell) : Cell(Cell) {}
+  ProbeSiteKind kind() const override { return ProbeSiteKind::Counter; }
+  uint64_t *counterCell() override { return Cell; }
+  void fire(FrameAccessor &) override { ++*Cell; }
+  void fireTos(uint32_t, uint32_t, Value) override { ++*Cell; }
+
+private:
+  uint64_t *Cell;
+};
+} // namespace
+
+class OpcodeCountMonitor::CountProbe : public CounterProbeImpl {
+public:
+  using CounterProbeImpl::CounterProbeImpl;
+};
+
+void OpcodeCountMonitor::attach(Instance &Inst, ProbeRegistry &Reg,
+                                Opcode Target) {
+  const Module &M = *Inst.M;
+  for (const FuncDecl &F : M.Funcs) {
+    if (F.Imported)
+      continue;
+    forEachInstruction(M, F, [&](Opcode Op, uint32_t Ip) {
+      if (Op != Target)
+        return;
+      Cells.push_back(std::make_unique<uint64_t>(0));
+      auto P = std::make_unique<CountProbe>(Cells.back().get());
+      Reg.insert(Inst, F.Index, Ip, P.get());
+      Probes.push_back(std::move(P));
+    });
+  }
+}
+
+uint64_t OpcodeCountMonitor::total() const {
+  uint64_t Sum = 0;
+  for (const auto &C : Cells)
+    Sum += *C;
+  return Sum;
+}
+
+class CoverageMonitor::CountProbe : public CounterProbeImpl {
+public:
+  using CounterProbeImpl::CounterProbeImpl;
+};
+
+void CoverageMonitor::attach(Instance &Inst, ProbeRegistry &Reg) {
+  const Module &M = *Inst.M;
+  Cells.resize(M.Funcs.size());
+  for (size_t I = 0; I < M.Funcs.size(); ++I)
+    Cells[I] = std::make_unique<uint64_t>(0);
+  for (const FuncDecl &F : M.Funcs) {
+    if (F.Imported || F.BodyStart >= F.BodyEnd)
+      continue;
+    auto P = std::make_unique<CountProbe>(Cells[F.Index].get());
+    Reg.insert(Inst, F.Index, F.BodyStart, P.get());
+    Probes.push_back(std::move(P));
+  }
+}
+
+uint32_t CoverageMonitor::functionsExecuted() const {
+  uint32_t N = 0;
+  for (const auto &C : Cells)
+    if (C && *C > 0)
+      ++N;
+  return N;
+}

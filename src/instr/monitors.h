@@ -1,0 +1,93 @@
+//===- instr/monitors.h - standard monitors ---------------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard monitors built on the probe API, mirroring Wizard's tooling:
+/// the branch monitor (profiles conditional branch outcomes by reading the
+/// top of stack — the paper's Figure 6 workload), opcode counters, function
+/// coverage and hotness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_INSTR_MONITORS_H
+#define WISP_INSTR_MONITORS_H
+
+#include "instr/registry.h"
+#include "wasm/codereader.h"
+#include "wasm/module.h"
+
+#include <memory>
+#include <vector>
+
+namespace wisp {
+
+/// Calls \p Fn with (opcode, bytecode offset) for every instruction of a
+/// function body.
+template <typename Fn>
+void forEachInstruction(const Module &M, const FuncDecl &F, Fn Callback) {
+  CodeReader R(M.Bytes.data(), F.BodyStart, F.BodyEnd);
+  while (!R.atEnd()) {
+    uint32_t Ip = uint32_t(R.pc());
+    Opcode Op = R.readOpcode();
+    if (!R.ok())
+      return;
+    Callback(Op, Ip);
+    R.skipImms(Op);
+  }
+}
+
+/// Profiles the outcome of every conditional branch (br_if and if) by
+/// reading the condition from the top of the value stack.
+class BranchMonitor {
+public:
+  struct Site {
+    uint32_t FuncIdx = 0;
+    uint32_t Ip = 0;
+    uint64_t Taken = 0;
+    uint64_t NotTaken = 0;
+  };
+
+  /// Instruments every br_if/if in every function of the instance.
+  void attach(Instance &Inst, ProbeRegistry &Reg);
+
+  const std::vector<std::unique_ptr<Site>> &sites() const { return Sites; }
+  uint64_t totalTaken() const;
+  uint64_t totalNotTaken() const;
+
+private:
+  class BranchProbe;
+  std::vector<std::unique_ptr<Site>> Sites;
+  std::vector<std::unique_ptr<Probe>> Probes;
+};
+
+/// Counts executions of every site of one opcode (e.g. calls, loads).
+class OpcodeCountMonitor {
+public:
+  void attach(Instance &Inst, ProbeRegistry &Reg, Opcode Target);
+  uint64_t total() const;
+
+private:
+  class CountProbe;
+  std::vector<std::unique_ptr<Probe>> Probes;
+  std::vector<std::unique_ptr<uint64_t>> Cells;
+};
+
+/// Function-entry coverage/hotness: one counter per function.
+class CoverageMonitor {
+public:
+  void attach(Instance &Inst, ProbeRegistry &Reg);
+  uint64_t entries(uint32_t FuncIdx) const { return *Cells[FuncIdx]; }
+  uint32_t functionsExecuted() const;
+
+private:
+  class CountProbe;
+  std::vector<std::unique_ptr<Probe>> Probes;
+  std::vector<std::unique_ptr<uint64_t>> Cells;
+};
+
+} // namespace wisp
+
+#endif // WISP_INSTR_MONITORS_H

@@ -1,0 +1,84 @@
+//===- instr/probe.h - probes and frame accessors ---------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumentation probes (paper §IV.D): user callbacks that fire before a
+/// given instruction executes. Probes receive a lazily-allocated accessor
+/// exposing the frame's state (the unoptimized path), or — when the JIT
+/// intrinsifies them — a direct counter increment or the top-of-stack value
+/// with no accessor allocation at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_INSTR_PROBE_H
+#define WISP_INSTR_PROBE_H
+
+#include "runtime/instance.h"
+#include "runtime/thread.h"
+#include "spc/options.h"
+
+namespace wisp {
+
+/// A lazily-constructed view of a suspended frame's state. Mirrors the
+/// engine-internal accessor object Wizard passes to probes; constructing
+/// one is the allocation the optimized probe paths elide.
+class FrameAccessor {
+public:
+  FrameAccessor(Thread &T, FuncInstance *Func, uint32_t Ip)
+      : T(T), Func(Func), Ip_(Ip), F(&T.top()) {}
+
+  uint32_t ip() const { return Ip_; }
+  FuncInstance *func() const { return Func; }
+
+  uint32_t numLocals() const { return Func->Decl->numLocalSlots(); }
+  Value local(uint32_t I) const {
+    return Value{T.VS.slot(F->Vfp + I), Func->Decl->LocalTypes[I]};
+  }
+  /// Operand stack height (above the locals).
+  uint32_t stackHeight() const {
+    return F->Sp - F->Vfp - Func->Decl->numLocalSlots();
+  }
+  /// Operand stack value; 0 is the bottom, stackHeight()-1 the top.
+  Value stackAt(uint32_t I) const {
+    uint32_t Slot = F->Vfp + Func->Decl->numLocalSlots() + I;
+    ValType Ty =
+        T.VS.hasTags() ? T.VS.tag(Slot) : ValType::I64; // Raw without tags.
+    return Value{T.VS.slot(Slot), Ty};
+  }
+  Value tos() const {
+    assert(stackHeight() > 0 && "empty operand stack");
+    return stackAt(stackHeight() - 1);
+  }
+
+private:
+  Thread &T;
+  FuncInstance *Func;
+  uint32_t Ip_;
+  const Frame *F;
+};
+
+/// A probe attached to one or more bytecode locations.
+class Probe {
+public:
+  virtual ~Probe() = default;
+
+  /// Generic firing path with full frame access.
+  virtual void fire(FrameAccessor &A) = 0;
+
+  /// Classification used by compilers to intrinsify the site.
+  virtual ProbeSiteKind kind() const { return ProbeSiteKind::Generic; }
+
+  /// Counter probes: the cell the JIT increments inline.
+  virtual uint64_t *counterCell() { return nullptr; }
+
+  /// TOS-reader probes: optimized firing path receiving the value
+  /// directly, skipping the runtime lookup and accessor allocation.
+  virtual void fireTos(uint32_t FuncIdx, uint32_t Ip, Value Tos) {}
+};
+
+} // namespace wisp
+
+#endif // WISP_INSTR_PROBE_H

@@ -1,0 +1,88 @@
+//===- instr/registry.h - probe registry ------------------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps (function, bytecode offset) to attached probes, keeps function
+/// probe bitmaps in sync, and implements the compile-time oracle that lets
+/// the JIT intrinsify probe sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_INSTR_REGISTRY_H
+#define WISP_INSTR_REGISTRY_H
+
+#include "instr/probe.h"
+
+#include <map>
+#include <vector>
+
+namespace wisp {
+
+/// Probe registry for one instance.
+class ProbeRegistry : public ProbeSiteOracle {
+public:
+  /// Attaches \p P (not owned) to (func, ip) and updates the function's
+  /// probe bitmap.
+  void insert(Instance &Inst, uint32_t FuncIdx, uint32_t Ip, Probe *P) {
+    Sites[{FuncIdx, Ip}].push_back(P);
+    Inst.func(FuncIdx)->setProbeBit(Ip);
+  }
+
+  /// Removes all probes at (func, ip).
+  void removeAll(Instance &Inst, uint32_t FuncIdx, uint32_t Ip) {
+    Sites.erase({FuncIdx, Ip});
+    Inst.func(FuncIdx)->clearProbeBit(Ip);
+  }
+
+  const std::vector<Probe *> *probesAt(uint32_t FuncIdx, uint32_t Ip) const {
+    auto It = Sites.find({FuncIdx, Ip});
+    return It == Sites.end() ? nullptr : &It->second;
+  }
+
+  bool anyProbes() const { return !Sites.empty(); }
+
+  /// Fires all probes at a site through the generic path.
+  void fire(Thread &T, FuncInstance *Func, uint32_t Ip) const {
+    const std::vector<Probe *> *Ps = probesAt(Func->Decl->Index, Ip);
+    if (!Ps)
+      return;
+    // The accessor object is allocated lazily, once per firing.
+    FrameAccessor A(T, Func, Ip);
+    for (Probe *P : *Ps)
+      P->fire(A);
+  }
+
+  /// Optimized TOS path (single TosReader probe at the site).
+  void fireTos(Thread &T, FuncInstance *Func, uint32_t Ip, Value Tos) const {
+    const std::vector<Probe *> *Ps = probesAt(Func->Decl->Index, Ip);
+    if (!Ps)
+      return;
+    for (Probe *P : *Ps)
+      P->fireTos(Func->Decl->Index, Ip, Tos);
+  }
+
+  // --- ProbeSiteOracle (compile-time classification) ---
+  ProbeSiteKind classify(uint32_t FuncIdx, uint32_t Ip) const override {
+    const std::vector<Probe *> *Ps = probesAt(FuncIdx, Ip);
+    if (!Ps || Ps->empty())
+      return ProbeSiteKind::None;
+    if (Ps->size() > 1)
+      return ProbeSiteKind::Generic;
+    return (*Ps)[0]->kind();
+  }
+  uint64_t *counterAddr(uint32_t FuncIdx, uint32_t Ip) const override {
+    const std::vector<Probe *> *Ps = probesAt(FuncIdx, Ip);
+    assert(Ps && Ps->size() == 1 && "not a counter site");
+    return (*Ps)[0]->counterCell();
+  }
+
+private:
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<Probe *>> Sites;
+};
+
+} // namespace wisp
+
+#endif // WISP_INSTR_REGISTRY_H

@@ -1,0 +1,1182 @@
+//===- interp/interpreter.cpp - in-place Wasm interpreter ------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The dispatch loop decodes the original bytecode directly (immediates are
+// re-decoded on every execution — the defining property of an in-place
+// interpreter). Control transfers consult the side table; the interpreter
+// keeps IP/STP in locals and writes them back to the frame only at
+// observation points (calls, probes, traps, tier transitions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/interpreter.h"
+
+#include "runtime/hooks.h"
+#include "runtime/numerics.h"
+#include "wasm/codereader.h"
+
+using namespace wisp;
+
+#define WISP_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+namespace {
+
+/// Unchecked LEB decoders for validated code (the bytes were verified by
+/// the validator, so bounds and width checks are unnecessary here).
+inline uint32_t fastU32(const uint8_t *&P) {
+  uint32_t B = *P++;
+  if (!(B & 0x80))
+    return B;
+  uint32_t R = B & 0x7f;
+  unsigned Shift = 7;
+  do {
+    B = *P++;
+    R |= uint32_t(B & 0x7f) << Shift;
+    Shift += 7;
+  } while (B & 0x80);
+  return R;
+}
+
+inline int32_t fastS32(const uint8_t *&P) {
+  uint32_t B = *P++;
+  if (!(B & 0x80))
+    return int32_t(B << 25) >> 25; // Sign-extend from 7 bits.
+  uint32_t R = B & 0x7f;
+  unsigned Shift = 7;
+  do {
+    B = *P++;
+    R |= uint32_t(B & 0x7f) << Shift;
+    Shift += 7;
+  } while (B & 0x80);
+  if (Shift < 32 && (B & 0x40))
+    R |= ~uint32_t(0) << Shift;
+  return int32_t(R);
+}
+
+inline int64_t fastS64(const uint8_t *&P) {
+  uint64_t R = 0;
+  unsigned Shift = 0;
+  uint8_t B;
+  do {
+    B = *P++;
+    R |= uint64_t(B & 0x7f) << Shift;
+    Shift += 7;
+  } while (B & 0x80);
+  if (Shift < 64 && (B & 0x40))
+    R |= ~uint64_t(0) << Shift;
+  return int64_t(R);
+}
+
+inline void skipBlockType(const uint8_t *&P) {
+  // A block type is a single byte unless it is a non-negative s33 (type
+  // index), which never has bit 6 set in its final byte... simply decode.
+  (void)fastS64(P);
+}
+
+} // namespace
+
+bool wisp::pushWasmFrame(Thread &T, FuncInstance *Func, uint32_t ArgBase) {
+  const FuncDecl *D = Func->Decl;
+  uint32_t NeedSlots = ArgBase + D->frameSlots();
+  if (T.Frames.size() >= T.MaxFrames || NeedSlots > T.VS.capacity()) {
+    T.setTrap(TrapReason::StackOverflow, D->BodyStart);
+    return false;
+  }
+  Frame F;
+  F.Func = Func;
+  F.Vfp = ArgBase;
+  F.Ip = D->BodyStart;
+  F.Stp = 0;
+  F.Sp = ArgBase + D->numLocalSlots();
+  bool Jit = Func->UseJit && Func->Code != nullptr;
+  F.Kind = Jit ? FrameKind::Jit : FrameKind::Interp;
+  F.Code = Jit ? Func->Code : nullptr;
+  F.Pc = 0;
+  if (!Jit) {
+    // Zero-initialize declared locals and their tags. (JIT prologues do
+    // this themselves, typically as constants in the abstract state.)
+    uint64_t *S = T.VS.slots();
+    uint8_t *Tg = T.VS.tags();
+    uint32_t NParams = uint32_t(Func->Type->Params.size());
+    for (uint32_t I = NParams; I < D->LocalTypes.size(); ++I) {
+      S[ArgBase + I] = 0;
+      if (Tg)
+        Tg[ArgBase + I] = uint8_t(D->LocalTypes[I]);
+    }
+  }
+  T.Frames.push_back(F);
+  return true;
+}
+
+bool wisp::callHostFunc(Thread &T, FuncInstance *Func, uint32_t ArgBase,
+                        uint32_t CallerIp) {
+  const FuncType &FT = *Func->Type;
+  Value Args[16];
+  Value Results[16];
+  assert(FT.Params.size() <= 16 && FT.Results.size() <= 16 &&
+         "host signature too long");
+  uint64_t *S = T.VS.slots();
+  for (size_t I = 0; I < FT.Params.size(); ++I)
+    Args[I] = Value{S[ArgBase + I], FT.Params[I]};
+  for (size_t I = 0; I < FT.Results.size(); ++I)
+    Results[I] = defaultValue(FT.Results[I]);
+  TrapReason R = Func->Host->Fn(*Func->Inst, Args, Results);
+  if (R != TrapReason::None) {
+    T.setTrap(R, CallerIp);
+    return false;
+  }
+  uint8_t *Tg = T.VS.tags();
+  S = T.VS.slots(); // The host may not resize the stack, but be safe.
+  for (size_t I = 0; I < FT.Results.size(); ++I) {
+    S[ArgBase + I] = Results[I].Bits;
+    if (Tg)
+      Tg[ArgBase + I] = uint8_t(FT.Results[I]);
+  }
+  return true;
+}
+
+RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
+  assert(!T.Frames.empty() && T.Frames.size() >= EntryDepth);
+  assert(T.top().Kind == FrameKind::Interp && "top frame is not interp");
+
+  Instance *Inst = T.Inst;
+  const uint8_t *Bytes = Inst->M->Bytes.data();
+  uint64_t *S = T.VS.slots();
+  uint8_t *Tg = T.VS.tags();
+
+  // Per-frame cached state.
+  Frame *F = nullptr;
+  FuncInstance *Func = nullptr;
+  const uint8_t *P = nullptr;
+  const uint8_t *BodyEndP = nullptr;
+  const SideTableEntry *ST = nullptr;
+  uint32_t Stp = 0;
+  uint32_t SpAbs = 0;
+  uint32_t Vfp = 0;
+  uint32_t LocalBase = 0; // == Vfp (locals start at frame base).
+  bool HasProbes = false;
+  uint8_t *MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+  uint64_t MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+
+  auto restore = [&]() {
+    F = &T.Frames.back();
+    Func = F->Func;
+    P = Bytes + F->Ip;
+    BodyEndP = Bytes + Func->Decl->BodyEnd;
+    ST = Func->Decl->Table.Entries.data();
+    Stp = F->Stp;
+    SpAbs = F->Sp;
+    Vfp = F->Vfp;
+    LocalBase = Vfp;
+    HasProbes = !Func->ProbeBits.empty();
+    MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+    MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+  };
+  auto writeback = [&](const uint8_t *At) {
+    F->Ip = uint32_t(At - Bytes);
+    F->Stp = Stp;
+    F->Sp = SpAbs;
+  };
+
+  restore();
+
+  const uint8_t *OpP = P; // Offset of the current opcode (for traps).
+
+#define TRAP(Reason)                                                           \
+  do {                                                                         \
+    writeback(OpP);                                                            \
+    T.setTrap(Reason, uint32_t(OpP - Bytes));                                  \
+    return RunSignal::Trapped;                                                 \
+  } while (0)
+
+  // --- Stack helpers (absolute slot indexing; top at SpAbs-1) ---
+#define PUSH(BitsV, Ty)                                                        \
+  do {                                                                         \
+    S[SpAbs] = (BitsV);                                                        \
+    if (Tg)                                                                    \
+      Tg[SpAbs] = uint8_t(ValType::Ty);                                        \
+    ++SpAbs;                                                                   \
+  } while (0)
+#define TOP() S[SpAbs - 1]
+#define POP() S[--SpAbs]
+
+  // In-place binary op on two same-typed operands (no tag change).
+#define BIN_INPLACE(Expr)                                                      \
+  do {                                                                         \
+    uint64_t B = S[SpAbs - 1];                                                 \
+    uint64_t A = S[SpAbs - 2];                                                 \
+    (void)A;                                                                   \
+    (void)B;                                                                   \
+    S[SpAbs - 2] = (Expr);                                                     \
+    --SpAbs;                                                                   \
+  } while (0)
+  // Binary op whose result type differs from the operand type.
+#define BIN_RETAG(Expr, Ty)                                                    \
+  do {                                                                         \
+    uint64_t B = S[SpAbs - 1];                                                 \
+    uint64_t A = S[SpAbs - 2];                                                 \
+    (void)A;                                                                   \
+    (void)B;                                                                   \
+    S[SpAbs - 2] = (Expr);                                                     \
+    if (Tg)                                                                    \
+      Tg[SpAbs - 2] = uint8_t(ValType::Ty);                                    \
+    --SpAbs;                                                                   \
+  } while (0)
+#define UN_INPLACE(Expr)                                                       \
+  do {                                                                         \
+    uint64_t A = S[SpAbs - 1];                                                 \
+    (void)A;                                                                   \
+    S[SpAbs - 1] = (Expr);                                                     \
+  } while (0)
+#define UN_RETAG(Expr, Ty)                                                     \
+  do {                                                                         \
+    uint64_t A = S[SpAbs - 1];                                                 \
+    (void)A;                                                                   \
+    S[SpAbs - 1] = (Expr);                                                     \
+    if (Tg)                                                                    \
+      Tg[SpAbs - 1] = uint8_t(ValType::Ty);                                    \
+  } while (0)
+
+  // Operand views.
+#define AI32 int32_t(uint32_t(A))
+#define BI32 int32_t(uint32_t(B))
+#define AU32 uint32_t(A)
+#define BU32 uint32_t(B)
+#define AI64 int64_t(A)
+#define BI64 int64_t(B)
+#define AF32 bitsToF32(uint32_t(A))
+#define BF32 bitsToF32(uint32_t(B))
+#define AF64 bitsToF64(A)
+#define BF64 bitsToF64(B)
+
+  // Takes the side-table entry at Stp as a control transfer.
+  auto takeBranch = [&](const SideTableEntry &E, const uint8_t *OpPtr) -> int {
+    uint32_t SrcBase = SpAbs - E.ValCount;
+    uint32_t DstBase = Vfp + Func->Decl->numLocalSlots() + E.TargetHeight;
+    if (SrcBase != DstBase && E.ValCount) {
+      memmove(S + DstBase, S + SrcBase, size_t(E.ValCount) * 8);
+      if (Tg)
+        memmove(Tg + DstBase, Tg + SrcBase, E.ValCount);
+    }
+    SpAbs = DstBase + E.ValCount;
+    bool Backward = E.TargetIp <= uint32_t(OpPtr - Bytes);
+    P = Bytes + E.TargetIp;
+    Stp = E.TargetStp;
+    if (WISP_UNLIKELY(Backward && T.TierUpThreshold)) {
+      if (++Func->HotCount == T.TierUpThreshold && T.Hooks) {
+        writeback(P);
+        if (T.Hooks->onLoopBackedge(T, Func, E.TargetIp))
+          return 1; // Frame tiered up; yield to the dispatcher.
+        restore();
+      }
+    }
+    return 0;
+  };
+
+  for (;;) {
+    OpP = P;
+    ++T.InterpSteps;
+    if (WISP_UNLIKELY(HasProbes) && Func->probedAt(uint32_t(OpP - Bytes))) {
+      writeback(OpP);
+      if (T.Hooks)
+        T.Hooks->fireProbes(T, Func, uint32_t(OpP - Bytes));
+      // Modeled cost of the runtime probe lookup, accessor allocation and
+      // callback (roughly ten bytecode-dispatch equivalents).
+      T.InterpSteps += 10;
+      restore();
+      OpP = P;
+    }
+    uint8_t Op = *P++;
+    switch (Op) {
+    case uint8_t(Opcode::Unreachable):
+      TRAP(TrapReason::Unreachable);
+    case uint8_t(Opcode::Nop):
+      break;
+    case uint8_t(Opcode::Block):
+    case uint8_t(Opcode::Loop):
+      skipBlockType(P);
+      break;
+    case uint8_t(Opcode::If): {
+      skipBlockType(P);
+      uint32_t Cond = uint32_t(POP());
+      if (Cond) {
+        ++Stp; // Skip the false-edge entry.
+      } else if (takeBranch(ST[Stp], OpP)) {
+        return RunSignal::SwitchTier;
+      }
+      break;
+    }
+    case uint8_t(Opcode::Else):
+      // Fallthrough from the then-branch: skip past the end.
+      if (takeBranch(ST[Stp], OpP))
+        return RunSignal::SwitchTier;
+      break;
+    case uint8_t(Opcode::End): {
+      if (P != BodyEndP)
+        break; // Inner end: no-op.
+      // Function return.
+      uint32_t NRes = uint32_t(Func->Type->Results.size());
+      uint32_t Dst = Vfp;
+      uint32_t Src = SpAbs - NRes;
+      if (Src != Dst && NRes) {
+        memmove(S + Dst, S + Src, size_t(NRes) * 8);
+        if (Tg)
+          memmove(Tg + Dst, Tg + Src, NRes);
+      }
+      T.Frames.pop_back();
+      if (T.Frames.size() < EntryDepth)
+        return RunSignal::Done;
+      T.Frames.back().Sp = Dst + NRes;
+      if (T.Frames.back().Kind == FrameKind::Jit)
+        return RunSignal::SwitchTier;
+      restore();
+      break;
+    }
+    case uint8_t(Opcode::Br):
+      fastU32(P);
+      if (takeBranch(ST[Stp], OpP))
+        return RunSignal::SwitchTier;
+      break;
+    case uint8_t(Opcode::BrIf): {
+      fastU32(P);
+      uint32_t Cond = uint32_t(POP());
+      if (!Cond) {
+        ++Stp;
+      } else if (takeBranch(ST[Stp], OpP)) {
+        return RunSignal::SwitchTier;
+      }
+      break;
+    }
+    case uint8_t(Opcode::BrTable): {
+      uint32_t N = fastU32(P);
+      uint32_t Idx = uint32_t(POP());
+      uint32_t Sel = Idx < N ? Idx : N;
+      if (takeBranch(ST[Stp + Sel], OpP))
+        return RunSignal::SwitchTier;
+      break;
+    }
+    case uint8_t(Opcode::Return): {
+      uint32_t NRes = uint32_t(Func->Type->Results.size());
+      uint32_t Dst = Vfp;
+      uint32_t Src = SpAbs - NRes;
+      if (Src != Dst && NRes) {
+        memmove(S + Dst, S + Src, size_t(NRes) * 8);
+        if (Tg)
+          memmove(Tg + Dst, Tg + Src, NRes);
+      }
+      T.Frames.pop_back();
+      if (T.Frames.size() < EntryDepth)
+        return RunSignal::Done;
+      T.Frames.back().Sp = Dst + NRes;
+      if (T.Frames.back().Kind == FrameKind::Jit)
+        return RunSignal::SwitchTier;
+      restore();
+      break;
+    }
+
+    case uint8_t(Opcode::Call): {
+      uint32_t Idx = fastU32(P);
+      FuncInstance *Callee = Inst->func(Idx);
+      uint32_t NArgs = uint32_t(Callee->Type->Params.size());
+      uint32_t ArgBase = SpAbs - NArgs;
+      writeback(P);
+      if (Callee->Host) {
+        if (!callHostFunc(T, Callee, ArgBase, uint32_t(OpP - Bytes)))
+          return RunSignal::Trapped;
+        SpAbs = ArgBase + uint32_t(Callee->Type->Results.size());
+        F->Sp = SpAbs;
+        MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+        MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+        break;
+      }
+      if (WISP_UNLIKELY(T.TierUpThreshold) && !Callee->UseJit) {
+        Callee->HotCount += 8;
+        if (Callee->HotCount >= T.TierUpThreshold && T.Hooks)
+          T.Hooks->onFuncHot(T, Callee);
+      }
+      if (!pushWasmFrame(T, Callee, ArgBase))
+        return RunSignal::Trapped;
+      if (T.Frames.back().Kind == FrameKind::Jit)
+        return RunSignal::SwitchTier;
+      restore();
+      break;
+    }
+
+    case uint8_t(Opcode::CallIndirect): {
+      uint32_t TypeIdx = fastU32(P);
+      uint32_t TableIdx = fastU32(P);
+      uint32_t EIdx = uint32_t(POP());
+      Table &Tab = Inst->Tables[TableIdx];
+      if (EIdx >= Tab.Elems.size())
+        TRAP(TrapReason::TableOutOfBounds);
+      uint64_t Bits = Tab.Elems[EIdx];
+      if (Bits == 0)
+        TRAP(TrapReason::NullFuncRef);
+      FuncInstance *Callee = Inst->func(uint32_t(Bits - 1));
+      if (!(*Callee->Type == Inst->M->Types[TypeIdx]))
+        TRAP(TrapReason::IndirectCallTypeMismatch);
+      uint32_t NArgs = uint32_t(Callee->Type->Params.size());
+      uint32_t ArgBase = SpAbs - NArgs;
+      writeback(P);
+      F->Sp = ArgBase; // Args are consumed by the callee.
+      if (Callee->Host) {
+        if (!callHostFunc(T, Callee, ArgBase, uint32_t(OpP - Bytes)))
+          return RunSignal::Trapped;
+        SpAbs = ArgBase + uint32_t(Callee->Type->Results.size());
+        F->Sp = SpAbs;
+        MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+        MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+        break;
+      }
+      if (!pushWasmFrame(T, Callee, ArgBase))
+        return RunSignal::Trapped;
+      if (T.Frames.back().Kind == FrameKind::Jit)
+        return RunSignal::SwitchTier;
+      restore();
+      break;
+    }
+
+    case uint8_t(Opcode::Drop):
+      --SpAbs;
+      break;
+    case uint8_t(Opcode::Select): {
+      uint32_t Cond = uint32_t(POP());
+      if (!Cond) {
+        S[SpAbs - 2] = S[SpAbs - 1];
+        if (Tg)
+          Tg[SpAbs - 2] = Tg[SpAbs - 1];
+      }
+      --SpAbs;
+      break;
+    }
+    case uint8_t(Opcode::SelectT): {
+      uint32_t N = fastU32(P);
+      P += N; // Type bytes.
+      uint32_t Cond = uint32_t(POP());
+      if (!Cond) {
+        S[SpAbs - 2] = S[SpAbs - 1];
+        if (Tg)
+          Tg[SpAbs - 2] = Tg[SpAbs - 1];
+      }
+      --SpAbs;
+      break;
+    }
+
+    case uint8_t(Opcode::LocalGet): {
+      uint32_t Idx = fastU32(P);
+      S[SpAbs] = S[LocalBase + Idx];
+      if (Tg)
+        Tg[SpAbs] = Tg[LocalBase + Idx];
+      ++SpAbs;
+      break;
+    }
+    case uint8_t(Opcode::LocalSet): {
+      uint32_t Idx = fastU32(P);
+      S[LocalBase + Idx] = POP();
+      break;
+    }
+    case uint8_t(Opcode::LocalTee): {
+      uint32_t Idx = fastU32(P);
+      S[LocalBase + Idx] = TOP();
+      break;
+    }
+    case uint8_t(Opcode::GlobalGet): {
+      uint32_t Idx = fastU32(P);
+      const Global &G = Inst->Globals[Idx];
+      S[SpAbs] = G.Bits;
+      if (Tg)
+        Tg[SpAbs] = uint8_t(G.Type);
+      ++SpAbs;
+      break;
+    }
+    case uint8_t(Opcode::GlobalSet): {
+      uint32_t Idx = fastU32(P);
+      Inst->Globals[Idx].Bits = POP();
+      break;
+    }
+
+      // --- Memory loads ---
+#define LOAD_OP(CType, Read, Ty)                                               \
+  do {                                                                         \
+    fastU32(P); /* align */                                                    \
+    uint32_t Off = fastU32(P);                                                 \
+    uint64_t EA = uint64_t(uint32_t(TOP())) + Off;                             \
+    if (WISP_UNLIKELY(EA + sizeof(CType) > MemSize))                           \
+      TRAP(TrapReason::MemOutOfBounds);                                        \
+    CType V;                                                                   \
+    memcpy(&V, MemData + EA, sizeof(CType));                                   \
+    UN_RETAG(Read, Ty);                                                        \
+  } while (0)
+
+    case uint8_t(Opcode::I32Load):
+      LOAD_OP(uint32_t, V, I32);
+      break;
+    case uint8_t(Opcode::I64Load):
+      LOAD_OP(uint64_t, V, I64);
+      break;
+    case uint8_t(Opcode::F32Load):
+      LOAD_OP(uint32_t, V, F32);
+      break;
+    case uint8_t(Opcode::F64Load):
+      LOAD_OP(uint64_t, V, F64);
+      break;
+    case uint8_t(Opcode::I32Load8S):
+      LOAD_OP(int8_t, uint32_t(int32_t(V)), I32);
+      break;
+    case uint8_t(Opcode::I32Load8U):
+      LOAD_OP(uint8_t, V, I32);
+      break;
+    case uint8_t(Opcode::I32Load16S):
+      LOAD_OP(int16_t, uint32_t(int32_t(V)), I32);
+      break;
+    case uint8_t(Opcode::I32Load16U):
+      LOAD_OP(uint16_t, V, I32);
+      break;
+    case uint8_t(Opcode::I64Load8S):
+      LOAD_OP(int8_t, uint64_t(int64_t(V)), I64);
+      break;
+    case uint8_t(Opcode::I64Load8U):
+      LOAD_OP(uint8_t, V, I64);
+      break;
+    case uint8_t(Opcode::I64Load16S):
+      LOAD_OP(int16_t, uint64_t(int64_t(V)), I64);
+      break;
+    case uint8_t(Opcode::I64Load16U):
+      LOAD_OP(uint16_t, V, I64);
+      break;
+    case uint8_t(Opcode::I64Load32S):
+      LOAD_OP(int32_t, uint64_t(int64_t(V)), I64);
+      break;
+    case uint8_t(Opcode::I64Load32U):
+      LOAD_OP(uint32_t, V, I64);
+      break;
+
+      // --- Memory stores ---
+#define STORE_OP(CType, ValExpr)                                               \
+  do {                                                                         \
+    fastU32(P); /* align */                                                    \
+    uint32_t Off = fastU32(P);                                                 \
+    uint64_t Raw = POP();                                                      \
+    (void)Raw;                                                                 \
+    uint64_t EA = uint64_t(uint32_t(POP())) + Off;                             \
+    if (WISP_UNLIKELY(EA + sizeof(CType) > MemSize))                           \
+      TRAP(TrapReason::MemOutOfBounds);                                        \
+    CType V = (ValExpr);                                                       \
+    memcpy(MemData + EA, &V, sizeof(CType));                                   \
+  } while (0)
+
+    case uint8_t(Opcode::I32Store):
+      STORE_OP(uint32_t, uint32_t(Raw));
+      break;
+    case uint8_t(Opcode::I64Store):
+      STORE_OP(uint64_t, Raw);
+      break;
+    case uint8_t(Opcode::F32Store):
+      STORE_OP(uint32_t, uint32_t(Raw));
+      break;
+    case uint8_t(Opcode::F64Store):
+      STORE_OP(uint64_t, Raw);
+      break;
+    case uint8_t(Opcode::I32Store8):
+      STORE_OP(uint8_t, uint8_t(Raw));
+      break;
+    case uint8_t(Opcode::I32Store16):
+      STORE_OP(uint16_t, uint16_t(Raw));
+      break;
+    case uint8_t(Opcode::I64Store8):
+      STORE_OP(uint8_t, uint8_t(Raw));
+      break;
+    case uint8_t(Opcode::I64Store16):
+      STORE_OP(uint16_t, uint16_t(Raw));
+      break;
+    case uint8_t(Opcode::I64Store32):
+      STORE_OP(uint32_t, uint32_t(Raw));
+      break;
+
+    case uint8_t(Opcode::MemorySize):
+      ++P; // memidx
+      PUSH(Inst->Memory.pages(), I32);
+      break;
+    case uint8_t(Opcode::MemoryGrow): {
+      ++P; // memidx
+      uint32_t Delta = uint32_t(TOP());
+      int64_t Old = Inst->Memory.grow(Delta);
+      S[SpAbs - 1] = uint64_t(uint32_t(Old));
+      MemData = Inst->Memory.data();
+      MemSize = Inst->Memory.byteSize();
+      break;
+    }
+
+    case uint8_t(Opcode::I32Const): {
+      int32_t V = fastS32(P);
+      PUSH(uint32_t(V), I32);
+      break;
+    }
+    case uint8_t(Opcode::I64Const): {
+      int64_t V = fastS64(P);
+      PUSH(uint64_t(V), I64);
+      break;
+    }
+    case uint8_t(Opcode::F32Const): {
+      uint32_t V;
+      memcpy(&V, P, 4);
+      P += 4;
+      PUSH(V, F32);
+      break;
+    }
+    case uint8_t(Opcode::F64Const): {
+      uint64_t V;
+      memcpy(&V, P, 8);
+      P += 8;
+      PUSH(V, F64);
+      break;
+    }
+
+      // --- i32 compare / arith ---
+    case uint8_t(Opcode::I32Eqz):
+      UN_INPLACE(uint32_t(A) == 0);
+      break;
+    case uint8_t(Opcode::I32Eq):
+      BIN_INPLACE(AU32 == BU32);
+      break;
+    case uint8_t(Opcode::I32Ne):
+      BIN_INPLACE(AU32 != BU32);
+      break;
+    case uint8_t(Opcode::I32LtS):
+      BIN_INPLACE(AI32 < BI32);
+      break;
+    case uint8_t(Opcode::I32LtU):
+      BIN_INPLACE(AU32 < BU32);
+      break;
+    case uint8_t(Opcode::I32GtS):
+      BIN_INPLACE(AI32 > BI32);
+      break;
+    case uint8_t(Opcode::I32GtU):
+      BIN_INPLACE(AU32 > BU32);
+      break;
+    case uint8_t(Opcode::I32LeS):
+      BIN_INPLACE(AI32 <= BI32);
+      break;
+    case uint8_t(Opcode::I32LeU):
+      BIN_INPLACE(AU32 <= BU32);
+      break;
+    case uint8_t(Opcode::I32GeS):
+      BIN_INPLACE(AI32 >= BI32);
+      break;
+    case uint8_t(Opcode::I32GeU):
+      BIN_INPLACE(AU32 >= BU32);
+      break;
+
+    case uint8_t(Opcode::I64Eqz):
+      UN_RETAG(A == 0, I32);
+      break;
+    case uint8_t(Opcode::I64Eq):
+      BIN_RETAG(A == B, I32);
+      break;
+    case uint8_t(Opcode::I64Ne):
+      BIN_RETAG(A != B, I32);
+      break;
+    case uint8_t(Opcode::I64LtS):
+      BIN_RETAG(AI64 < BI64, I32);
+      break;
+    case uint8_t(Opcode::I64LtU):
+      BIN_RETAG(A < B, I32);
+      break;
+    case uint8_t(Opcode::I64GtS):
+      BIN_RETAG(AI64 > BI64, I32);
+      break;
+    case uint8_t(Opcode::I64GtU):
+      BIN_RETAG(A > B, I32);
+      break;
+    case uint8_t(Opcode::I64LeS):
+      BIN_RETAG(AI64 <= BI64, I32);
+      break;
+    case uint8_t(Opcode::I64LeU):
+      BIN_RETAG(A <= B, I32);
+      break;
+    case uint8_t(Opcode::I64GeS):
+      BIN_RETAG(AI64 >= BI64, I32);
+      break;
+    case uint8_t(Opcode::I64GeU):
+      BIN_RETAG(A >= B, I32);
+      break;
+
+    case uint8_t(Opcode::F32Eq):
+      BIN_RETAG(AF32 == BF32, I32);
+      break;
+    case uint8_t(Opcode::F32Ne):
+      BIN_RETAG(AF32 != BF32, I32);
+      break;
+    case uint8_t(Opcode::F32Lt):
+      BIN_RETAG(AF32 < BF32, I32);
+      break;
+    case uint8_t(Opcode::F32Gt):
+      BIN_RETAG(AF32 > BF32, I32);
+      break;
+    case uint8_t(Opcode::F32Le):
+      BIN_RETAG(AF32 <= BF32, I32);
+      break;
+    case uint8_t(Opcode::F32Ge):
+      BIN_RETAG(AF32 >= BF32, I32);
+      break;
+    case uint8_t(Opcode::F64Eq):
+      BIN_RETAG(AF64 == BF64, I32);
+      break;
+    case uint8_t(Opcode::F64Ne):
+      BIN_RETAG(AF64 != BF64, I32);
+      break;
+    case uint8_t(Opcode::F64Lt):
+      BIN_RETAG(AF64 < BF64, I32);
+      break;
+    case uint8_t(Opcode::F64Gt):
+      BIN_RETAG(AF64 > BF64, I32);
+      break;
+    case uint8_t(Opcode::F64Le):
+      BIN_RETAG(AF64 <= BF64, I32);
+      break;
+    case uint8_t(Opcode::F64Ge):
+      BIN_RETAG(AF64 >= BF64, I32);
+      break;
+
+    case uint8_t(Opcode::I32Clz):
+      UN_INPLACE(clz32(AU32));
+      break;
+    case uint8_t(Opcode::I32Ctz):
+      UN_INPLACE(ctz32(AU32));
+      break;
+    case uint8_t(Opcode::I32Popcnt):
+      UN_INPLACE(popcnt32(AU32));
+      break;
+    case uint8_t(Opcode::I32Add):
+      BIN_INPLACE(uint32_t(AU32 + BU32));
+      break;
+    case uint8_t(Opcode::I32Sub):
+      BIN_INPLACE(uint32_t(AU32 - BU32));
+      break;
+    case uint8_t(Opcode::I32Mul):
+      BIN_INPLACE(uint32_t(AU32 * BU32));
+      break;
+    case uint8_t(Opcode::I32DivS): {
+      uint64_t B = POP(), A = POP();
+      int32_t R;
+      TrapReason Tr = divS32(int32_t(uint32_t(A)), int32_t(uint32_t(B)), &R);
+      if (Tr != TrapReason::None)
+        TRAP(Tr);
+      PUSH(uint32_t(R), I32);
+      break;
+    }
+    case uint8_t(Opcode::I32DivU): {
+      uint64_t B = POP(), A = POP();
+      uint32_t R;
+      TrapReason Tr = divU32(uint32_t(A), uint32_t(B), &R);
+      if (Tr != TrapReason::None)
+        TRAP(Tr);
+      PUSH(R, I32);
+      break;
+    }
+    case uint8_t(Opcode::I32RemS): {
+      uint64_t B = POP(), A = POP();
+      int32_t R;
+      TrapReason Tr = remS32(int32_t(uint32_t(A)), int32_t(uint32_t(B)), &R);
+      if (Tr != TrapReason::None)
+        TRAP(Tr);
+      PUSH(uint32_t(R), I32);
+      break;
+    }
+    case uint8_t(Opcode::I32RemU): {
+      uint64_t B = POP(), A = POP();
+      uint32_t R;
+      TrapReason Tr = remU32(uint32_t(A), uint32_t(B), &R);
+      if (Tr != TrapReason::None)
+        TRAP(Tr);
+      PUSH(R, I32);
+      break;
+    }
+    case uint8_t(Opcode::I32And):
+      BIN_INPLACE(AU32 & BU32);
+      break;
+    case uint8_t(Opcode::I32Or):
+      BIN_INPLACE(AU32 | BU32);
+      break;
+    case uint8_t(Opcode::I32Xor):
+      BIN_INPLACE(AU32 ^ BU32);
+      break;
+    case uint8_t(Opcode::I32Shl):
+      BIN_INPLACE(shl32(AU32, BU32));
+      break;
+    case uint8_t(Opcode::I32ShrS):
+      BIN_INPLACE(uint32_t(shrS32(AI32, BU32)));
+      break;
+    case uint8_t(Opcode::I32ShrU):
+      BIN_INPLACE(shrU32(AU32, BU32));
+      break;
+    case uint8_t(Opcode::I32Rotl):
+      BIN_INPLACE(rotl32(AU32, BU32));
+      break;
+    case uint8_t(Opcode::I32Rotr):
+      BIN_INPLACE(rotr32(AU32, BU32));
+      break;
+
+    case uint8_t(Opcode::I64Clz):
+      UN_INPLACE(clz64(A));
+      break;
+    case uint8_t(Opcode::I64Ctz):
+      UN_INPLACE(ctz64(A));
+      break;
+    case uint8_t(Opcode::I64Popcnt):
+      UN_INPLACE(popcnt64(A));
+      break;
+    case uint8_t(Opcode::I64Add):
+      BIN_INPLACE(A + B);
+      break;
+    case uint8_t(Opcode::I64Sub):
+      BIN_INPLACE(A - B);
+      break;
+    case uint8_t(Opcode::I64Mul):
+      BIN_INPLACE(A * B);
+      break;
+    case uint8_t(Opcode::I64DivS): {
+      uint64_t B = POP(), A = POP();
+      int64_t R;
+      TrapReason Tr = divS64(int64_t(A), int64_t(B), &R);
+      if (Tr != TrapReason::None)
+        TRAP(Tr);
+      PUSH(uint64_t(R), I64);
+      break;
+    }
+    case uint8_t(Opcode::I64DivU): {
+      uint64_t B = POP(), A = POP();
+      uint64_t R;
+      TrapReason Tr = divU64(A, B, &R);
+      if (Tr != TrapReason::None)
+        TRAP(Tr);
+      PUSH(R, I64);
+      break;
+    }
+    case uint8_t(Opcode::I64RemS): {
+      uint64_t B = POP(), A = POP();
+      int64_t R;
+      TrapReason Tr = remS64(int64_t(A), int64_t(B), &R);
+      if (Tr != TrapReason::None)
+        TRAP(Tr);
+      PUSH(uint64_t(R), I64);
+      break;
+    }
+    case uint8_t(Opcode::I64RemU): {
+      uint64_t B = POP(), A = POP();
+      uint64_t R;
+      TrapReason Tr = remU64(A, B, &R);
+      if (Tr != TrapReason::None)
+        TRAP(Tr);
+      PUSH(R, I64);
+      break;
+    }
+    case uint8_t(Opcode::I64And):
+      BIN_INPLACE(A & B);
+      break;
+    case uint8_t(Opcode::I64Or):
+      BIN_INPLACE(A | B);
+      break;
+    case uint8_t(Opcode::I64Xor):
+      BIN_INPLACE(A ^ B);
+      break;
+    case uint8_t(Opcode::I64Shl):
+      BIN_INPLACE(shl64(A, B));
+      break;
+    case uint8_t(Opcode::I64ShrS):
+      BIN_INPLACE(uint64_t(shrS64(AI64, B)));
+      break;
+    case uint8_t(Opcode::I64ShrU):
+      BIN_INPLACE(shrU64(A, B));
+      break;
+    case uint8_t(Opcode::I64Rotl):
+      BIN_INPLACE(rotl64(A, B));
+      break;
+    case uint8_t(Opcode::I64Rotr):
+      BIN_INPLACE(rotr64(A, B));
+      break;
+
+      // --- f32 arith ---
+#define F32_UN(Expr) UN_INPLACE(f32ToBits(Expr))
+#define F32_BIN(Expr) BIN_INPLACE(f32ToBits(Expr))
+    case uint8_t(Opcode::F32Abs):
+      F32_UN(std::fabs(AF32));
+      break;
+    case uint8_t(Opcode::F32Neg):
+      UN_INPLACE(A ^ 0x80000000u);
+      break;
+    case uint8_t(Opcode::F32Ceil):
+      F32_UN(std::ceil(AF32));
+      break;
+    case uint8_t(Opcode::F32Floor):
+      F32_UN(std::floor(AF32));
+      break;
+    case uint8_t(Opcode::F32Trunc):
+      F32_UN(std::trunc(AF32));
+      break;
+    case uint8_t(Opcode::F32Nearest):
+      F32_UN(wasmNearest(AF32));
+      break;
+    case uint8_t(Opcode::F32Sqrt):
+      F32_UN(std::sqrt(AF32));
+      break;
+    case uint8_t(Opcode::F32Add):
+      F32_BIN(AF32 + BF32);
+      break;
+    case uint8_t(Opcode::F32Sub):
+      F32_BIN(AF32 - BF32);
+      break;
+    case uint8_t(Opcode::F32Mul):
+      F32_BIN(AF32 * BF32);
+      break;
+    case uint8_t(Opcode::F32Div):
+      F32_BIN(AF32 / BF32);
+      break;
+    case uint8_t(Opcode::F32Min):
+      F32_BIN(wasmMin(AF32, BF32));
+      break;
+    case uint8_t(Opcode::F32Max):
+      F32_BIN(wasmMax(AF32, BF32));
+      break;
+    case uint8_t(Opcode::F32Copysign):
+      F32_BIN(std::copysign(AF32, BF32));
+      break;
+
+      // --- f64 arith ---
+#define F64_UN(Expr) UN_INPLACE(f64ToBits(Expr))
+#define F64_BIN(Expr) BIN_INPLACE(f64ToBits(Expr))
+    case uint8_t(Opcode::F64Abs):
+      F64_UN(std::fabs(AF64));
+      break;
+    case uint8_t(Opcode::F64Neg):
+      UN_INPLACE(A ^ 0x8000000000000000ull);
+      break;
+    case uint8_t(Opcode::F64Ceil):
+      F64_UN(std::ceil(AF64));
+      break;
+    case uint8_t(Opcode::F64Floor):
+      F64_UN(std::floor(AF64));
+      break;
+    case uint8_t(Opcode::F64Trunc):
+      F64_UN(std::trunc(AF64));
+      break;
+    case uint8_t(Opcode::F64Nearest):
+      F64_UN(wasmNearest(AF64));
+      break;
+    case uint8_t(Opcode::F64Sqrt):
+      F64_UN(std::sqrt(AF64));
+      break;
+    case uint8_t(Opcode::F64Add):
+      F64_BIN(AF64 + BF64);
+      break;
+    case uint8_t(Opcode::F64Sub):
+      F64_BIN(AF64 - BF64);
+      break;
+    case uint8_t(Opcode::F64Mul):
+      F64_BIN(AF64 * BF64);
+      break;
+    case uint8_t(Opcode::F64Div):
+      F64_BIN(AF64 / BF64);
+      break;
+    case uint8_t(Opcode::F64Min):
+      F64_BIN(wasmMin(AF64, BF64));
+      break;
+    case uint8_t(Opcode::F64Max):
+      F64_BIN(wasmMax(AF64, BF64));
+      break;
+    case uint8_t(Opcode::F64Copysign):
+      F64_BIN(std::copysign(AF64, BF64));
+      break;
+
+      // --- Conversions ---
+    case uint8_t(Opcode::I32WrapI64):
+      UN_RETAG(uint32_t(A), I32);
+      break;
+#define TRUNC_OP(FromView, ToType, Ty)                                         \
+  do {                                                                         \
+    uint64_t A = S[SpAbs - 1];                                                 \
+    ToType R;                                                                  \
+    TrapReason Tr = truncChecked(FromView, &R);                                \
+    if (Tr != TrapReason::None)                                                \
+      TRAP(Tr);                                                                \
+    S[SpAbs - 1] = uint64_t(std::make_unsigned_t<ToType>(R));                  \
+    if (Tg)                                                                    \
+      Tg[SpAbs - 1] = uint8_t(ValType::Ty);                                    \
+  } while (0)
+    case uint8_t(Opcode::I32TruncF32S):
+      TRUNC_OP(AF32, int32_t, I32);
+      break;
+    case uint8_t(Opcode::I32TruncF32U):
+      TRUNC_OP(AF32, uint32_t, I32);
+      break;
+    case uint8_t(Opcode::I32TruncF64S):
+      TRUNC_OP(AF64, int32_t, I32);
+      break;
+    case uint8_t(Opcode::I32TruncF64U):
+      TRUNC_OP(AF64, uint32_t, I32);
+      break;
+    case uint8_t(Opcode::I64ExtendI32S):
+      UN_RETAG(uint64_t(int64_t(int32_t(uint32_t(A)))), I64);
+      break;
+    case uint8_t(Opcode::I64ExtendI32U):
+      UN_RETAG(uint64_t(uint32_t(A)), I64);
+      break;
+    case uint8_t(Opcode::I64TruncF32S):
+      TRUNC_OP(AF32, int64_t, I64);
+      break;
+    case uint8_t(Opcode::I64TruncF32U):
+      TRUNC_OP(AF32, uint64_t, I64);
+      break;
+    case uint8_t(Opcode::I64TruncF64S):
+      TRUNC_OP(AF64, int64_t, I64);
+      break;
+    case uint8_t(Opcode::I64TruncF64U):
+      TRUNC_OP(AF64, uint64_t, I64);
+      break;
+    case uint8_t(Opcode::F32ConvertI32S):
+      UN_RETAG(f32ToBits(float(int32_t(uint32_t(A)))), F32);
+      break;
+    case uint8_t(Opcode::F32ConvertI32U):
+      UN_RETAG(f32ToBits(float(uint32_t(A))), F32);
+      break;
+    case uint8_t(Opcode::F32ConvertI64S):
+      UN_RETAG(f32ToBits(float(int64_t(A))), F32);
+      break;
+    case uint8_t(Opcode::F32ConvertI64U):
+      UN_RETAG(f32ToBits(float(A)), F32);
+      break;
+    case uint8_t(Opcode::F32DemoteF64):
+      UN_RETAG(f32ToBits(float(AF64)), F32);
+      break;
+    case uint8_t(Opcode::F64ConvertI32S):
+      UN_RETAG(f64ToBits(double(int32_t(uint32_t(A)))), F64);
+      break;
+    case uint8_t(Opcode::F64ConvertI32U):
+      UN_RETAG(f64ToBits(double(uint32_t(A))), F64);
+      break;
+    case uint8_t(Opcode::F64ConvertI64S):
+      UN_RETAG(f64ToBits(double(int64_t(A))), F64);
+      break;
+    case uint8_t(Opcode::F64ConvertI64U):
+      UN_RETAG(f64ToBits(double(A)), F64);
+      break;
+    case uint8_t(Opcode::F64PromoteF32):
+      UN_RETAG(f64ToBits(double(AF32)), F64);
+      break;
+    case uint8_t(Opcode::I32ReinterpretF32):
+      UN_RETAG(uint32_t(A), I32);
+      break;
+    case uint8_t(Opcode::I64ReinterpretF64):
+      UN_RETAG(A, I64);
+      break;
+    case uint8_t(Opcode::F32ReinterpretI32):
+      UN_RETAG(uint32_t(A), F32);
+      break;
+    case uint8_t(Opcode::F64ReinterpretI64):
+      UN_RETAG(A, F64);
+      break;
+    case uint8_t(Opcode::I32Extend8S):
+      UN_INPLACE(uint32_t(int32_t(int8_t(uint8_t(A)))));
+      break;
+    case uint8_t(Opcode::I32Extend16S):
+      UN_INPLACE(uint32_t(int32_t(int16_t(uint16_t(A)))));
+      break;
+    case uint8_t(Opcode::I64Extend8S):
+      UN_INPLACE(uint64_t(int64_t(int8_t(uint8_t(A)))));
+      break;
+    case uint8_t(Opcode::I64Extend16S):
+      UN_INPLACE(uint64_t(int64_t(int16_t(uint16_t(A)))));
+      break;
+    case uint8_t(Opcode::I64Extend32S):
+      UN_INPLACE(uint64_t(int64_t(int32_t(uint32_t(A)))));
+      break;
+
+    case uint8_t(Opcode::RefNull): {
+      uint8_t HeapTy = *P++;
+      S[SpAbs] = 0;
+      if (Tg)
+        Tg[SpAbs] =
+            uint8_t(HeapTy == 0x70 ? ValType::FuncRef : ValType::ExternRef);
+      ++SpAbs;
+      break;
+    }
+    case uint8_t(Opcode::RefIsNull):
+      UN_RETAG(A == 0, I32);
+      break;
+    case uint8_t(Opcode::RefFunc): {
+      uint32_t Idx = fastU32(P);
+      PUSH(uint64_t(Idx) + 1, FuncRef);
+      break;
+    }
+
+    case 0xFC: { // Prefixed opcodes.
+      uint32_t Sub = fastU32(P);
+      switch (Opcode(0xFC00 | Sub)) {
+#define TRUNC_SAT(FromView, ToType, Ty)                                        \
+  do {                                                                         \
+    uint64_t A = S[SpAbs - 1];                                                 \
+    ToType R = truncSat<decltype(FromView), ToType>(FromView);                 \
+    S[SpAbs - 1] = uint64_t(std::make_unsigned_t<ToType>(R));                  \
+    if (Tg)                                                                    \
+      Tg[SpAbs - 1] = uint8_t(ValType::Ty);                                    \
+  } while (0)
+      case Opcode::I32TruncSatF32S:
+        TRUNC_SAT(AF32, int32_t, I32);
+        break;
+      case Opcode::I32TruncSatF32U:
+        TRUNC_SAT(AF32, uint32_t, I32);
+        break;
+      case Opcode::I32TruncSatF64S:
+        TRUNC_SAT(AF64, int32_t, I32);
+        break;
+      case Opcode::I32TruncSatF64U:
+        TRUNC_SAT(AF64, uint32_t, I32);
+        break;
+      case Opcode::I64TruncSatF32S:
+        TRUNC_SAT(AF32, int64_t, I64);
+        break;
+      case Opcode::I64TruncSatF32U:
+        TRUNC_SAT(AF32, uint64_t, I64);
+        break;
+      case Opcode::I64TruncSatF64S:
+        TRUNC_SAT(AF64, int64_t, I64);
+        break;
+      case Opcode::I64TruncSatF64U:
+        TRUNC_SAT(AF64, uint64_t, I64);
+        break;
+      case Opcode::MemoryCopy: {
+        P += 2; // Two memidx bytes.
+        uint64_t Len = uint32_t(POP());
+        uint64_t Src = uint32_t(POP());
+        uint64_t Dst = uint32_t(POP());
+        if (Src + Len > MemSize || Dst + Len > MemSize)
+          TRAP(TrapReason::MemOutOfBounds);
+        memmove(MemData + Dst, MemData + Src, size_t(Len));
+        break;
+      }
+      case Opcode::MemoryFill: {
+        ++P; // memidx byte.
+        uint64_t Len = uint32_t(POP());
+        uint32_t Val = uint32_t(POP());
+        uint64_t Dst = uint32_t(POP());
+        if (Dst + Len > MemSize)
+          TRAP(TrapReason::MemOutOfBounds);
+        memset(MemData + Dst, int(Val & 0xff), size_t(Len));
+        break;
+      }
+      default:
+        assert(false && "invalid prefixed opcode in validated code");
+        TRAP(TrapReason::Unreachable);
+      }
+      break;
+    }
+
+    default:
+      assert(false && "invalid opcode in validated code");
+      TRAP(TrapReason::Unreachable);
+    }
+  }
+}

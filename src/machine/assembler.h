@@ -1,0 +1,119 @@
+//===- machine/assembler.h - machine code assembler -------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits MInst sequences into an MCode object with forward-reference label
+/// patching, mirroring the assembler layer every baseline compiler in the
+/// paper is built on. Branch targets always live in the Imm field; branch
+/// tables are patched entry-by-entry on bind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_MACHINE_ASSEMBLER_H
+#define WISP_MACHINE_ASSEMBLER_H
+
+#include "machine/isa.h"
+
+#include <cassert>
+
+namespace wisp {
+
+/// A code label; create with Assembler::newLabel, bind once.
+struct Label {
+  uint32_t Id = ~0u;
+  bool valid() const { return Id != ~0u; }
+};
+
+/// Single-pass assembler with back-patching.
+class Assembler {
+public:
+  explicit Assembler(MCode &Code) : Code(Code) {}
+
+  uint32_t pc() const { return uint32_t(Code.Insts.size()); }
+
+  Label newLabel() {
+    LabelPc.push_back(-1);
+    Pending.emplace_back();
+    return Label{uint32_t(LabelPc.size() - 1)};
+  }
+
+  /// Binds \p L to the current pc and patches pending references.
+  void bind(Label L) {
+    assert(L.valid() && LabelPc[L.Id] < 0 && "label already bound");
+    LabelPc[L.Id] = pc();
+    for (const PendingRef &R : Pending[L.Id]) {
+      if (R.TableIdx < 0)
+        Code.Insts[R.Index].Imm = pc();
+      else
+        Code.BrTables[R.TableIdx][R.Index] = pc();
+    }
+    Pending[L.Id].clear();
+  }
+
+  bool isBound(Label L) const { return LabelPc[L.Id] >= 0; }
+
+  /// Emits a raw instruction; returns its pc.
+  uint32_t emit(MOp Op, uint8_t A = 0, uint8_t B = 0, uint8_t C = 0,
+                uint8_t D = 0, int64_t Imm = 0, int64_t Imm2 = 0) {
+    Code.Insts.push_back(MInst{Op, A, B, C, D, Imm, Imm2});
+    return pc() - 1;
+  }
+
+  // --- Branches with label targets ---
+  void jmp(Label L) { refLabel(emit(MOp::Jmp), L); }
+  void jmpIf(Reg R, Label L) { refLabel(emit(MOp::JmpIf, R), L); }
+  void jmpIfZ(Reg R, Label L) { refLabel(emit(MOp::JmpIfZ, R), L); }
+  void brCmp32(Cond C, Reg A, Reg B, Label L) {
+    refLabel(emit(MOp::BrCmp32, A, B, 0, uint8_t(C)), L);
+  }
+  void brCmpI32(Cond C, Reg A, int64_t RhsImm, Label L) {
+    refLabel(emit(MOp::BrCmpI32, A, 0, 0, uint8_t(C), 0, RhsImm), L);
+  }
+  void brCmp64(Cond C, Reg A, Reg B, Label L) {
+    refLabel(emit(MOp::BrCmp64, A, B, 0, uint8_t(C)), L);
+  }
+  void brCmpI64(Cond C, Reg A, int64_t RhsImm, Label L) {
+    refLabel(emit(MOp::BrCmpI64, A, 0, 0, uint8_t(C), 0, RhsImm), L);
+  }
+
+  /// Emits a branch table dispatch on \p Idx over \p Targets (the last
+  /// entry is the default).
+  void brTable(Reg Idx, const std::vector<Label> &Targets) {
+    int32_t TableIdx = int32_t(Code.BrTables.size());
+    Code.BrTables.emplace_back(Targets.size(), 0);
+    for (size_t I = 0; I < Targets.size(); ++I) {
+      const Label &L = Targets[I];
+      if (LabelPc[L.Id] >= 0)
+        Code.BrTables[size_t(TableIdx)][I] = uint32_t(LabelPc[L.Id]);
+      else
+        Pending[L.Id].push_back(PendingRef{uint32_t(I), TableIdx});
+    }
+    emit(MOp::BrTable, Idx, 0, 0, 0, TableIdx);
+  }
+
+private:
+  struct PendingRef {
+    uint32_t Index;    ///< Instruction pc, or table entry index.
+    int32_t TableIdx;  ///< -1 for instruction Imm patches.
+  };
+
+  void refLabel(uint32_t InstPc, Label L) {
+    assert(L.valid() && "invalid label");
+    if (LabelPc[L.Id] >= 0) {
+      Code.Insts[InstPc].Imm = LabelPc[L.Id];
+      return;
+    }
+    Pending[L.Id].push_back(PendingRef{InstPc, -1});
+  }
+
+  MCode &Code;
+  std::vector<int64_t> LabelPc;
+  std::vector<std::vector<PendingRef>> Pending;
+};
+
+} // namespace wisp
+
+#endif // WISP_MACHINE_ASSEMBLER_H

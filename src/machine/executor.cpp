@@ -1,0 +1,857 @@
+//===- machine/executor.cpp - simulated machine executor --------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/executor.h"
+
+#include "interp/interpreter.h" // pushWasmFrame, callHostFunc
+#include "machine/isa.h"
+#include "runtime/hooks.h"
+#include "runtime/numerics.h"
+
+using namespace wisp;
+
+#define WISP_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
+  assert(!T.Frames.empty() && T.Frames.size() >= EntryDepth);
+  assert(T.top().Kind == FrameKind::Jit && "top frame is not jit");
+
+  Instance *Inst = T.Inst;
+  uint64_t *S = T.VS.slots();
+  uint8_t *Tg = T.VS.tags();
+
+  uint64_t G[NumGpRegs];
+  uint64_t FR[NumFpRegs];
+  uint64_t Cyc = 0;
+
+  Frame *F = nullptr;
+  FuncInstance *Func = nullptr;
+  const MCode *Code = nullptr;
+  const MInst *Insts = nullptr;
+  uint32_t Pc = 0;
+  uint32_t Vfp = 0;
+  uint8_t *MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+  uint64_t MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+
+  auto restore = [&]() {
+    F = &T.Frames.back();
+    Func = F->Func;
+    Code = F->Code;
+    Insts = Code->Insts.data();
+    Pc = F->Pc;
+    Vfp = F->Vfp;
+    MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+    MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+  };
+  auto writeback = [&]() { F->Pc = Pc; };
+
+  restore();
+
+#define TRAP(Reason)                                                           \
+  do {                                                                         \
+    writeback();                                                               \
+    T.JitCycles += Cyc;                                                        \
+    T.setTrap(Reason, F->Ip);                                                  \
+    return RunSignal::Trapped;                                                 \
+  } while (0)
+
+#define FLOAT32(Rg) bitsToF32(uint32_t(Rg))
+#define FLOAT64(Rg) bitsToF64(Rg)
+#define SETF32(Dst, V) Dst = f32ToBits(V)
+#define SETF64(Dst, V) Dst = f64ToBits(V)
+
+  for (;;) {
+    assert(Pc < Code->Insts.size() && "machine pc out of bounds");
+    const MInst &I = Insts[Pc];
+    ++Pc;
+    ++Cyc;
+    switch (I.Op) {
+    case MOp::Nop:
+      --Cyc; // Nops left by peephole rewriting are elided from the model.
+      break;
+
+    // --- Slot traffic ---
+    case MOp::LdSlot:
+      ++Cyc;
+      G[I.A] = S[Vfp + I.Imm];
+      break;
+    case MOp::LdSlotF:
+      ++Cyc;
+      FR[I.A] = S[Vfp + I.Imm];
+      break;
+    case MOp::StSlot:
+      ++Cyc;
+      S[Vfp + I.Imm] = G[I.A];
+      break;
+    case MOp::StSlotF:
+      ++Cyc;
+      S[Vfp + I.Imm] = FR[I.A];
+      break;
+    case MOp::StTag:
+      if (Tg)
+        Tg[Vfp + I.Imm] = I.A;
+      break;
+    case MOp::StSp:
+      F->Sp = Vfp + uint32_t(I.Imm);
+      break;
+    case MOp::ZeroSlots: {
+      Cyc += uint64_t(I.Imm2);
+      memset(S + Vfp + I.Imm, 0, size_t(I.Imm2) * 8);
+      break;
+    }
+
+    // --- Moves ---
+    case MOp::MovRR:
+      G[I.A] = G[I.B];
+      break;
+    case MOp::MovFF:
+      FR[I.A] = FR[I.B];
+      break;
+    case MOp::MovRI:
+      G[I.A] = uint64_t(I.Imm);
+      break;
+    case MOp::MovFI:
+      FR[I.A] = uint64_t(I.Imm);
+      break;
+    case MOp::RintFG32:
+      G[I.A] = uint32_t(FR[I.B]);
+      break;
+    case MOp::RintFG64:
+      G[I.A] = FR[I.B];
+      break;
+    case MOp::RintGF32:
+      FR[I.A] = uint32_t(G[I.B]);
+      break;
+    case MOp::RintGF64:
+      FR[I.A] = G[I.B];
+      break;
+
+    // --- i32 ALU ---
+#define A32 uint32_t(G[I.B])
+#define B32 uint32_t(G[I.C])
+    case MOp::Add32:
+      G[I.A] = uint32_t(A32 + B32);
+      break;
+    case MOp::Sub32:
+      G[I.A] = uint32_t(A32 - B32);
+      break;
+    case MOp::Mul32:
+      Cyc += 2;
+      G[I.A] = uint32_t(A32 * B32);
+      break;
+    case MOp::DivS32: {
+      Cyc += 8;
+      int32_t R;
+      TrapReason Tr = divS32(int32_t(A32), int32_t(B32), &R);
+      if (WISP_UNLIKELY(Tr != TrapReason::None))
+        TRAP(Tr);
+      G[I.A] = uint32_t(R);
+      break;
+    }
+    case MOp::DivU32: {
+      Cyc += 8;
+      uint32_t R;
+      TrapReason Tr = divU32(A32, B32, &R);
+      if (WISP_UNLIKELY(Tr != TrapReason::None))
+        TRAP(Tr);
+      G[I.A] = R;
+      break;
+    }
+    case MOp::RemS32: {
+      Cyc += 8;
+      int32_t R;
+      TrapReason Tr = remS32(int32_t(A32), int32_t(B32), &R);
+      if (WISP_UNLIKELY(Tr != TrapReason::None))
+        TRAP(Tr);
+      G[I.A] = uint32_t(R);
+      break;
+    }
+    case MOp::RemU32: {
+      Cyc += 8;
+      uint32_t R;
+      TrapReason Tr = remU32(A32, B32, &R);
+      if (WISP_UNLIKELY(Tr != TrapReason::None))
+        TRAP(Tr);
+      G[I.A] = R;
+      break;
+    }
+    case MOp::And32:
+      G[I.A] = A32 & B32;
+      break;
+    case MOp::Or32:
+      G[I.A] = A32 | B32;
+      break;
+    case MOp::Xor32:
+      G[I.A] = A32 ^ B32;
+      break;
+    case MOp::Shl32:
+      G[I.A] = shl32(A32, B32);
+      break;
+    case MOp::ShrS32:
+      G[I.A] = uint32_t(shrS32(int32_t(A32), B32));
+      break;
+    case MOp::ShrU32:
+      G[I.A] = shrU32(A32, B32);
+      break;
+    case MOp::Rotl32:
+      G[I.A] = rotl32(A32, B32);
+      break;
+    case MOp::Rotr32:
+      G[I.A] = rotr32(A32, B32);
+      break;
+    case MOp::AddI32:
+      G[I.A] = uint32_t(A32 + uint32_t(I.Imm));
+      break;
+    case MOp::MulI32:
+      Cyc += 2;
+      G[I.A] = uint32_t(A32 * uint32_t(I.Imm));
+      break;
+    case MOp::AndI32:
+      G[I.A] = A32 & uint32_t(I.Imm);
+      break;
+    case MOp::OrI32:
+      G[I.A] = A32 | uint32_t(I.Imm);
+      break;
+    case MOp::XorI32:
+      G[I.A] = A32 ^ uint32_t(I.Imm);
+      break;
+    case MOp::ShlI32:
+      G[I.A] = shl32(A32, uint32_t(I.Imm));
+      break;
+    case MOp::ShrSI32:
+      G[I.A] = uint32_t(shrS32(int32_t(A32), uint32_t(I.Imm)));
+      break;
+    case MOp::ShrUI32:
+      G[I.A] = shrU32(A32, uint32_t(I.Imm));
+      break;
+    case MOp::Clz32:
+      G[I.A] = clz32(A32);
+      break;
+    case MOp::Ctz32:
+      G[I.A] = ctz32(A32);
+      break;
+    case MOp::Popcnt32:
+      G[I.A] = popcnt32(A32);
+      break;
+    case MOp::Eqz32:
+      G[I.A] = A32 == 0;
+      break;
+    case MOp::Ext8S32:
+      G[I.A] = uint32_t(int32_t(int8_t(uint8_t(A32))));
+      break;
+    case MOp::Ext16S32:
+      G[I.A] = uint32_t(int32_t(int16_t(uint16_t(A32))));
+      break;
+    case MOp::CmpSet32:
+      G[I.A] = evalCond32(Cond(I.D), A32, B32);
+      break;
+    case MOp::CmpSetI32:
+      G[I.A] = evalCond32(Cond(I.D), A32, uint32_t(I.Imm));
+      break;
+
+    // --- i64 ALU ---
+#define A64 G[I.B]
+#define B64 G[I.C]
+    case MOp::Add64:
+      G[I.A] = A64 + B64;
+      break;
+    case MOp::Sub64:
+      G[I.A] = A64 - B64;
+      break;
+    case MOp::Mul64:
+      Cyc += 2;
+      G[I.A] = A64 * B64;
+      break;
+    case MOp::DivS64: {
+      Cyc += 10;
+      int64_t R;
+      TrapReason Tr = divS64(int64_t(A64), int64_t(B64), &R);
+      if (WISP_UNLIKELY(Tr != TrapReason::None))
+        TRAP(Tr);
+      G[I.A] = uint64_t(R);
+      break;
+    }
+    case MOp::DivU64: {
+      Cyc += 10;
+      uint64_t R;
+      TrapReason Tr = divU64(A64, B64, &R);
+      if (WISP_UNLIKELY(Tr != TrapReason::None))
+        TRAP(Tr);
+      G[I.A] = R;
+      break;
+    }
+    case MOp::RemS64: {
+      Cyc += 10;
+      int64_t R;
+      TrapReason Tr = remS64(int64_t(A64), int64_t(B64), &R);
+      if (WISP_UNLIKELY(Tr != TrapReason::None))
+        TRAP(Tr);
+      G[I.A] = uint64_t(R);
+      break;
+    }
+    case MOp::RemU64: {
+      Cyc += 10;
+      uint64_t R;
+      TrapReason Tr = remU64(A64, B64, &R);
+      if (WISP_UNLIKELY(Tr != TrapReason::None))
+        TRAP(Tr);
+      G[I.A] = R;
+      break;
+    }
+    case MOp::And64:
+      G[I.A] = A64 & B64;
+      break;
+    case MOp::Or64:
+      G[I.A] = A64 | B64;
+      break;
+    case MOp::Xor64:
+      G[I.A] = A64 ^ B64;
+      break;
+    case MOp::Shl64:
+      G[I.A] = shl64(A64, B64);
+      break;
+    case MOp::ShrS64:
+      G[I.A] = uint64_t(shrS64(int64_t(A64), B64));
+      break;
+    case MOp::ShrU64:
+      G[I.A] = shrU64(A64, B64);
+      break;
+    case MOp::Rotl64:
+      G[I.A] = rotl64(A64, B64);
+      break;
+    case MOp::Rotr64:
+      G[I.A] = rotr64(A64, B64);
+      break;
+    case MOp::AddI64:
+      G[I.A] = A64 + uint64_t(I.Imm);
+      break;
+    case MOp::MulI64:
+      Cyc += 2;
+      G[I.A] = A64 * uint64_t(I.Imm);
+      break;
+    case MOp::AndI64:
+      G[I.A] = A64 & uint64_t(I.Imm);
+      break;
+    case MOp::OrI64:
+      G[I.A] = A64 | uint64_t(I.Imm);
+      break;
+    case MOp::XorI64:
+      G[I.A] = A64 ^ uint64_t(I.Imm);
+      break;
+    case MOp::ShlI64:
+      G[I.A] = shl64(A64, uint64_t(I.Imm));
+      break;
+    case MOp::ShrSI64:
+      G[I.A] = uint64_t(shrS64(int64_t(A64), uint64_t(I.Imm)));
+      break;
+    case MOp::ShrUI64:
+      G[I.A] = shrU64(A64, uint64_t(I.Imm));
+      break;
+    case MOp::Clz64:
+      G[I.A] = clz64(A64);
+      break;
+    case MOp::Ctz64:
+      G[I.A] = ctz64(A64);
+      break;
+    case MOp::Popcnt64:
+      G[I.A] = popcnt64(A64);
+      break;
+    case MOp::Eqz64:
+      G[I.A] = A64 == 0;
+      break;
+    case MOp::Ext8S64:
+      G[I.A] = uint64_t(int64_t(int8_t(uint8_t(A64))));
+      break;
+    case MOp::Ext16S64:
+      G[I.A] = uint64_t(int64_t(int16_t(uint16_t(A64))));
+      break;
+    case MOp::Ext32S64:
+      G[I.A] = uint64_t(int64_t(int32_t(uint32_t(A64))));
+      break;
+    case MOp::CmpSet64:
+      G[I.A] = evalCond64(Cond(I.D), A64, B64);
+      break;
+    case MOp::CmpSetI64:
+      G[I.A] = evalCond64(Cond(I.D), A64, uint64_t(I.Imm));
+      break;
+    case MOp::Wrap64:
+      G[I.A] = uint32_t(G[I.B]);
+      break;
+    case MOp::ExtS3264:
+      G[I.A] = uint64_t(int64_t(int32_t(uint32_t(G[I.B]))));
+      break;
+
+    // --- f32 ALU ---
+#define AF FLOAT32(FR[I.B])
+#define BF FLOAT32(FR[I.C])
+    case MOp::AddF32:
+      Cyc += 2;
+      SETF32(FR[I.A], AF + BF);
+      break;
+    case MOp::SubF32:
+      Cyc += 2;
+      SETF32(FR[I.A], AF - BF);
+      break;
+    case MOp::MulF32:
+      Cyc += 3;
+      SETF32(FR[I.A], AF * BF);
+      break;
+    case MOp::DivF32:
+      Cyc += 8;
+      SETF32(FR[I.A], AF / BF);
+      break;
+    case MOp::MinF32:
+      Cyc += 2;
+      SETF32(FR[I.A], wasmMin(AF, BF));
+      break;
+    case MOp::MaxF32:
+      Cyc += 2;
+      SETF32(FR[I.A], wasmMax(AF, BF));
+      break;
+    case MOp::CopysignF32:
+      SETF32(FR[I.A], std::copysign(AF, BF));
+      break;
+    case MOp::AbsF32:
+      SETF32(FR[I.A], std::fabs(AF));
+      break;
+    case MOp::NegF32:
+      FR[I.A] = FR[I.B] ^ 0x80000000u;
+      break;
+    case MOp::CeilF32:
+      Cyc += 2;
+      SETF32(FR[I.A], std::ceil(AF));
+      break;
+    case MOp::FloorF32:
+      Cyc += 2;
+      SETF32(FR[I.A], std::floor(AF));
+      break;
+    case MOp::TruncF32:
+      Cyc += 2;
+      SETF32(FR[I.A], std::trunc(AF));
+      break;
+    case MOp::NearestF32:
+      Cyc += 2;
+      SETF32(FR[I.A], wasmNearest(AF));
+      break;
+    case MOp::SqrtF32:
+      Cyc += 8;
+      SETF32(FR[I.A], std::sqrt(AF));
+      break;
+
+    // --- f64 ALU ---
+#define AD FLOAT64(FR[I.B])
+#define BD FLOAT64(FR[I.C])
+    case MOp::AddF64:
+      Cyc += 2;
+      SETF64(FR[I.A], AD + BD);
+      break;
+    case MOp::SubF64:
+      Cyc += 2;
+      SETF64(FR[I.A], AD - BD);
+      break;
+    case MOp::MulF64:
+      Cyc += 3;
+      SETF64(FR[I.A], AD * BD);
+      break;
+    case MOp::DivF64:
+      Cyc += 10;
+      SETF64(FR[I.A], AD / BD);
+      break;
+    case MOp::MinF64:
+      Cyc += 2;
+      SETF64(FR[I.A], wasmMin(AD, BD));
+      break;
+    case MOp::MaxF64:
+      Cyc += 2;
+      SETF64(FR[I.A], wasmMax(AD, BD));
+      break;
+    case MOp::CopysignF64:
+      SETF64(FR[I.A], std::copysign(AD, BD));
+      break;
+    case MOp::AbsF64:
+      SETF64(FR[I.A], std::fabs(AD));
+      break;
+    case MOp::NegF64:
+      FR[I.A] = FR[I.B] ^ 0x8000000000000000ull;
+      break;
+    case MOp::CeilF64:
+      Cyc += 2;
+      SETF64(FR[I.A], std::ceil(AD));
+      break;
+    case MOp::FloorF64:
+      Cyc += 2;
+      SETF64(FR[I.A], std::floor(AD));
+      break;
+    case MOp::TruncF64:
+      Cyc += 2;
+      SETF64(FR[I.A], std::trunc(AD));
+      break;
+    case MOp::NearestF64:
+      Cyc += 2;
+      SETF64(FR[I.A], wasmNearest(AD));
+      break;
+    case MOp::SqrtF64:
+      Cyc += 10;
+      SETF64(FR[I.A], std::sqrt(AD));
+      break;
+    case MOp::CmpSetF32:
+      G[I.A] = evalCondF(FCond(I.D), AF, BF);
+      break;
+    case MOp::CmpSetF64:
+      G[I.A] = evalCondF(FCond(I.D), AD, BD);
+      break;
+
+    // --- Conversions ---
+#define TRUNC_CASE(Name, View, ToType)                                        \
+  case MOp::Name: {                                                           \
+    Cyc += 4;                                                                  \
+    ToType R;                                                                  \
+    TrapReason Tr = truncChecked(View, &R);                                    \
+    if (WISP_UNLIKELY(Tr != TrapReason::None))                                 \
+      TRAP(Tr);                                                                \
+    G[I.A] = uint64_t(std::make_unsigned_t<ToType>(R));                        \
+    break;                                                                     \
+  }
+      TRUNC_CASE(TruncF32I32S, FLOAT32(FR[I.B]), int32_t)
+      TRUNC_CASE(TruncF32I32U, FLOAT32(FR[I.B]), uint32_t)
+      TRUNC_CASE(TruncF64I32S, FLOAT64(FR[I.B]), int32_t)
+      TRUNC_CASE(TruncF64I32U, FLOAT64(FR[I.B]), uint32_t)
+      TRUNC_CASE(TruncF32I64S, FLOAT32(FR[I.B]), int64_t)
+      TRUNC_CASE(TruncF32I64U, FLOAT32(FR[I.B]), uint64_t)
+      TRUNC_CASE(TruncF64I64S, FLOAT64(FR[I.B]), int64_t)
+      TRUNC_CASE(TruncF64I64U, FLOAT64(FR[I.B]), uint64_t)
+#define TRUNCSAT_CASE(Name, View, ToType)                                      \
+  case MOp::Name:                                                              \
+    Cyc += 4;                                                                  \
+    G[I.A] = uint64_t(std::make_unsigned_t<ToType>(                            \
+        truncSat<decltype(View), ToType>(View)));                              \
+    break;
+      TRUNCSAT_CASE(TruncSatF32I32S, FLOAT32(FR[I.B]), int32_t)
+      TRUNCSAT_CASE(TruncSatF32I32U, FLOAT32(FR[I.B]), uint32_t)
+      TRUNCSAT_CASE(TruncSatF64I32S, FLOAT64(FR[I.B]), int32_t)
+      TRUNCSAT_CASE(TruncSatF64I32U, FLOAT64(FR[I.B]), uint32_t)
+      TRUNCSAT_CASE(TruncSatF32I64S, FLOAT32(FR[I.B]), int64_t)
+      TRUNCSAT_CASE(TruncSatF32I64U, FLOAT32(FR[I.B]), uint64_t)
+      TRUNCSAT_CASE(TruncSatF64I64S, FLOAT64(FR[I.B]), int64_t)
+      TRUNCSAT_CASE(TruncSatF64I64U, FLOAT64(FR[I.B]), uint64_t)
+    case MOp::ConvI32SF32:
+      Cyc += 3;
+      SETF32(FR[I.A], float(int32_t(uint32_t(G[I.B]))));
+      break;
+    case MOp::ConvI32UF32:
+      Cyc += 3;
+      SETF32(FR[I.A], float(uint32_t(G[I.B])));
+      break;
+    case MOp::ConvI64SF32:
+      Cyc += 3;
+      SETF32(FR[I.A], float(int64_t(G[I.B])));
+      break;
+    case MOp::ConvI64UF32:
+      Cyc += 3;
+      SETF32(FR[I.A], float(G[I.B]));
+      break;
+    case MOp::ConvI32SF64:
+      Cyc += 3;
+      SETF64(FR[I.A], double(int32_t(uint32_t(G[I.B]))));
+      break;
+    case MOp::ConvI32UF64:
+      Cyc += 3;
+      SETF64(FR[I.A], double(uint32_t(G[I.B])));
+      break;
+    case MOp::ConvI64SF64:
+      Cyc += 3;
+      SETF64(FR[I.A], double(int64_t(G[I.B])));
+      break;
+    case MOp::ConvI64UF64:
+      Cyc += 3;
+      SETF64(FR[I.A], double(G[I.B]));
+      break;
+    case MOp::DemoteF64:
+      Cyc += 2;
+      SETF32(FR[I.A], float(FLOAT64(FR[I.B])));
+      break;
+    case MOp::PromoteF32:
+      Cyc += 2;
+      SETF64(FR[I.A], double(FLOAT32(FR[I.B])));
+      break;
+
+    // --- Memory ---
+#define LOAD_CASE(Name, CType, Conv, Dst)                                      \
+  case MOp::Name: {                                                           \
+    Cyc += 2;                                                                  \
+    uint64_t EA = uint64_t(uint32_t(G[I.B])) + uint64_t(I.Imm);                \
+    if (WISP_UNLIKELY(EA + sizeof(CType) > MemSize))                           \
+      TRAP(TrapReason::MemOutOfBounds);                                        \
+    CType V;                                                                   \
+    memcpy(&V, MemData + EA, sizeof(CType));                                   \
+    Dst[I.A] = Conv;                                                           \
+    break;                                                                     \
+  }
+      LOAD_CASE(LdM8S32, int8_t, uint32_t(int32_t(V)), G)
+      LOAD_CASE(LdM8U32, uint8_t, V, G)
+      LOAD_CASE(LdM16S32, int16_t, uint32_t(int32_t(V)), G)
+      LOAD_CASE(LdM16U32, uint16_t, V, G)
+      LOAD_CASE(LdM32, uint32_t, V, G)
+      LOAD_CASE(LdM8S64, int8_t, uint64_t(int64_t(V)), G)
+      LOAD_CASE(LdM8U64, uint8_t, V, G)
+      LOAD_CASE(LdM16S64, int16_t, uint64_t(int64_t(V)), G)
+      LOAD_CASE(LdM16U64, uint16_t, V, G)
+      LOAD_CASE(LdM32S64, int32_t, uint64_t(int64_t(V)), G)
+      LOAD_CASE(LdM32U64, uint32_t, V, G)
+      LOAD_CASE(LdM64, uint64_t, V, G)
+      LOAD_CASE(LdMF32, uint32_t, V, FR)
+      LOAD_CASE(LdMF64, uint64_t, V, FR)
+#define STORE_CASE(Name, CType, Src)                                           \
+  case MOp::Name: {                                                           \
+    Cyc += 2;                                                                  \
+    uint64_t EA = uint64_t(uint32_t(G[I.B])) + uint64_t(I.Imm);                \
+    if (WISP_UNLIKELY(EA + sizeof(CType) > MemSize))                           \
+      TRAP(TrapReason::MemOutOfBounds);                                        \
+    CType V = CType(Src[I.A]);                                                 \
+    memcpy(MemData + EA, &V, sizeof(CType));                                   \
+    break;                                                                     \
+  }
+      STORE_CASE(StM8, uint8_t, G)
+      STORE_CASE(StM16, uint16_t, G)
+      STORE_CASE(StM32, uint32_t, G)
+      STORE_CASE(StM64, uint64_t, G)
+      STORE_CASE(StMF32, uint32_t, FR)
+      STORE_CASE(StMF64, uint64_t, FR)
+    case MOp::MemSize:
+      G[I.A] = Inst->Memory.pages();
+      break;
+    case MOp::MemGrow: {
+      Cyc += 20;
+      int64_t Old = Inst->Memory.grow(uint32_t(G[I.B]));
+      G[I.A] = uint64_t(uint32_t(Old));
+      MemData = Inst->Memory.data();
+      MemSize = Inst->Memory.byteSize();
+      break;
+    }
+    case MOp::MemCopy: {
+      uint64_t Dst = uint32_t(G[I.A]);
+      uint64_t Src = uint32_t(G[I.B]);
+      uint64_t Len = uint32_t(G[I.C]);
+      Cyc += Len / 8 + 2;
+      if (WISP_UNLIKELY(Src + Len > MemSize || Dst + Len > MemSize))
+        TRAP(TrapReason::MemOutOfBounds);
+      memmove(MemData + Dst, MemData + Src, size_t(Len));
+      break;
+    }
+    case MOp::MemFill: {
+      uint64_t Dst = uint32_t(G[I.A]);
+      uint32_t Val = uint32_t(G[I.B]);
+      uint64_t Len = uint32_t(G[I.C]);
+      Cyc += Len / 8 + 2;
+      if (WISP_UNLIKELY(Dst + Len > MemSize))
+        TRAP(TrapReason::MemOutOfBounds);
+      memset(MemData + Dst, int(Val & 0xff), size_t(Len));
+      break;
+    }
+    case MOp::GlobGet:
+      ++Cyc;
+      G[I.A] = Inst->Globals[size_t(I.Imm)].Bits;
+      break;
+    case MOp::GlobGetF:
+      ++Cyc;
+      FR[I.A] = Inst->Globals[size_t(I.Imm)].Bits;
+      break;
+    case MOp::GlobSet:
+      ++Cyc;
+      Inst->Globals[size_t(I.Imm)].Bits = G[I.A];
+      break;
+    case MOp::GlobSetF:
+      ++Cyc;
+      Inst->Globals[size_t(I.Imm)].Bits = FR[I.A];
+      break;
+
+    // --- Control ---
+    case MOp::Jmp:
+      Pc = uint32_t(I.Imm);
+      break;
+    case MOp::JmpIf:
+      if (G[I.A] & 0xffffffffu)
+        Pc = uint32_t(I.Imm);
+      break;
+    case MOp::JmpIfZ:
+      if (!(G[I.A] & 0xffffffffu))
+        Pc = uint32_t(I.Imm);
+      break;
+    case MOp::BrCmp32:
+      if (evalCond32(Cond(I.D), uint32_t(G[I.A]), uint32_t(G[I.B])))
+        Pc = uint32_t(I.Imm);
+      break;
+    case MOp::BrCmpI32:
+      if (evalCond32(Cond(I.D), uint32_t(G[I.A]), uint32_t(I.Imm2)))
+        Pc = uint32_t(I.Imm);
+      break;
+    case MOp::BrCmp64:
+      if (evalCond64(Cond(I.D), G[I.A], G[I.B]))
+        Pc = uint32_t(I.Imm);
+      break;
+    case MOp::BrCmpI64:
+      if (evalCond64(Cond(I.D), G[I.A], uint64_t(I.Imm2)))
+        Pc = uint32_t(I.Imm);
+      break;
+    case MOp::BrTable: {
+      Cyc += 2;
+      const std::vector<uint32_t> &Table = Code->BrTables[size_t(I.Imm)];
+      uint64_t Idx = G[I.A] & 0xffffffffu;
+      if (Idx >= Table.size())
+        Idx = Table.size() - 1;
+      Pc = Table[size_t(Idx)];
+      break;
+    }
+
+    case MOp::CallDirect: {
+      Cyc += 4;
+      FuncInstance *Callee = Inst->func(uint32_t(I.Imm));
+      uint32_t ArgBase = Vfp + uint32_t(I.Imm2);
+      writeback();
+      if (WISP_UNLIKELY(T.TierUpThreshold) && !Callee->UseJit &&
+          !Callee->Host) {
+        // Lazy/tiered compilation of callees from JIT code.
+        Callee->HotCount += 8;
+        if (Callee->HotCount >= T.TierUpThreshold && T.Hooks)
+          T.Hooks->onFuncHot(T, Callee);
+      }
+      if (Callee->Host) {
+        T.JitCycles += Cyc + 20;
+        Cyc = 0;
+        if (!callHostFunc(T, Callee, ArgBase, F->Ip))
+          return RunSignal::Trapped;
+        MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+        MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+        break;
+      }
+      if (!pushWasmFrame(T, Callee, ArgBase)) {
+        T.JitCycles += Cyc;
+        return RunSignal::Trapped;
+      }
+      if (T.Frames.back().Kind != FrameKind::Jit) {
+        T.JitCycles += Cyc;
+        Cyc = 0;
+        return RunSignal::SwitchTier;
+      }
+      restore();
+      break;
+    }
+
+    case MOp::CallIndirect: {
+      Cyc += 6;
+      Table &Tab = Inst->Tables[0];
+      uint64_t EIdx = G[I.A] & 0xffffffffu;
+      if (WISP_UNLIKELY(EIdx >= Tab.Elems.size()))
+        TRAP(TrapReason::TableOutOfBounds);
+      uint64_t Bits = Tab.Elems[size_t(EIdx)];
+      if (WISP_UNLIKELY(Bits == 0))
+        TRAP(TrapReason::NullFuncRef);
+      FuncInstance *Callee = Inst->func(uint32_t(Bits - 1));
+      if (WISP_UNLIKELY(
+              !(*Callee->Type == Inst->M->Types[uint32_t(I.Imm)])))
+        TRAP(TrapReason::IndirectCallTypeMismatch);
+      uint32_t ArgBase = Vfp + uint32_t(I.Imm2);
+      writeback();
+      if (WISP_UNLIKELY(T.TierUpThreshold) && !Callee->UseJit &&
+          !Callee->Host) {
+        Callee->HotCount += 8;
+        if (Callee->HotCount >= T.TierUpThreshold && T.Hooks)
+          T.Hooks->onFuncHot(T, Callee);
+      }
+      if (Callee->Host) {
+        T.JitCycles += Cyc + 20;
+        Cyc = 0;
+        if (!callHostFunc(T, Callee, ArgBase, F->Ip))
+          return RunSignal::Trapped;
+        MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+        MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+        break;
+      }
+      if (!pushWasmFrame(T, Callee, ArgBase)) {
+        T.JitCycles += Cyc;
+        return RunSignal::Trapped;
+      }
+      if (T.Frames.back().Kind != FrameKind::Jit) {
+        T.JitCycles += Cyc;
+        Cyc = 0;
+        return RunSignal::SwitchTier;
+      }
+      restore();
+      break;
+    }
+
+    case MOp::Ret: {
+      Cyc += 2;
+      T.Frames.pop_back();
+      if (T.Frames.size() < EntryDepth) {
+        T.JitCycles += Cyc;
+        return RunSignal::Done;
+      }
+      if (T.Frames.back().Kind != FrameKind::Jit) {
+        T.JitCycles += Cyc;
+        return RunSignal::SwitchTier;
+      }
+      restore();
+      MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
+      MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
+      break;
+    }
+
+    case MOp::TrapOp:
+      TRAP(TrapReason(I.Imm));
+
+    // --- Instrumentation & tiering ---
+    case MOp::ProbeFire: {
+      Cyc += 250; // Runtime call, probe lookup, accessor allocation (heap).
+      writeback();
+      F->Ip = uint32_t(I.Imm);
+      if (T.Hooks)
+        T.Hooks->fireProbes(T, Func, uint32_t(I.Imm));
+      break;
+    }
+    case MOp::ProbeTosG: {
+      Cyc += 30; // Direct call with the top-of-stack value; no accessor.
+      writeback();
+      F->Ip = uint32_t(I.Imm);
+      if (T.Hooks)
+        T.Hooks->fireProbeTos(T, Func, uint32_t(I.Imm),
+                              Value{G[I.A], ValType(I.D)});
+      break;
+    }
+    case MOp::ProbeTosF: {
+      Cyc += 30;
+      writeback();
+      F->Ip = uint32_t(I.Imm);
+      if (T.Hooks)
+        T.Hooks->fireProbeTos(T, Func, uint32_t(I.Imm),
+                              Value{FR[I.A], ValType(I.D)});
+      break;
+    }
+    case MOp::CntInc:
+      Cyc += 4;
+      ++*reinterpret_cast<uint64_t *>(uintptr_t(I.Imm));
+      break;
+    case MOp::DeoptCheck:
+      // Tier down when explicitly requested or when this frame runs stale
+      // code (the function was recompiled, e.g. with probes attached).
+      if (WISP_UNLIKELY(Func->DeoptRequested || F->Code != Func->Code)) {
+        // Tier down: all state is spilled here by construction; rewrite
+        // the frame in place to an interpreter frame (paper Fig. 2).
+        F->Kind = FrameKind::Interp;
+        F->Ip = uint32_t(I.Imm);
+        F->Stp = uint32_t(I.Imm2);
+        F->Code = nullptr;
+        T.JitCycles += Cyc;
+        return RunSignal::SwitchTier;
+      }
+      break;
+
+    case MOp::NumOps:
+      assert(false && "invalid machine opcode");
+      TRAP(TrapReason::Unreachable);
+    }
+  }
+}

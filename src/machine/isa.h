@@ -1,0 +1,304 @@
+//===- machine/isa.h - simulated target instruction set ---------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation target: a compact register machine with 16 general
+/// registers and 16 float registers, fixed-width instructions, immediate
+/// operand forms, fused compare-and-branch, explicit value-stack slot
+/// load/store/tag-store instructions, and probe/deopt pseudo-instructions.
+///
+/// This ISA substitutes for the paper's x86-64 code generation (see
+/// DESIGN.md): every phenomenon the paper measures — spill traffic,
+/// immediate-mode selection, value-tag stores, probe call overhead — is a
+/// property of the dynamic instruction stream, which this target preserves
+/// while remaining portable and deterministic. The executor additionally
+/// charges a per-instruction cycle cost so experiments can report a
+/// deterministic metric alongside wall-clock time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_MACHINE_ISA_H
+#define WISP_MACHINE_ISA_H
+
+#include "wasm/types.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+/// Register number within a class (general or float).
+using Reg = uint8_t;
+constexpr Reg NumGpRegs = 16;
+constexpr Reg NumFpRegs = 16;
+constexpr Reg NoReg = 0xff;
+
+/// Integer comparison conditions (D field of compare/branch instructions).
+enum class Cond : uint8_t { Eq, Ne, LtS, LtU, GtS, GtU, LeS, LeU, GeS, GeU };
+
+/// Float comparison conditions.
+enum class FCond : uint8_t { Eq, Ne, Lt, Gt, Le, Ge };
+
+/// Returns the negation of a condition (used by branch folding and the
+/// compare+branch peephole).
+inline Cond negate(Cond C) {
+  switch (C) {
+  case Cond::Eq:
+    return Cond::Ne;
+  case Cond::Ne:
+    return Cond::Eq;
+  case Cond::LtS:
+    return Cond::GeS;
+  case Cond::LtU:
+    return Cond::GeU;
+  case Cond::GtS:
+    return Cond::LeS;
+  case Cond::GtU:
+    return Cond::LeU;
+  case Cond::LeS:
+    return Cond::GtS;
+  case Cond::LeU:
+    return Cond::GtU;
+  case Cond::GeS:
+    return Cond::LtS;
+  case Cond::GeU:
+    return Cond::LtU;
+  }
+  return Cond::Eq;
+}
+
+inline bool evalCond32(Cond C, uint32_t A, uint32_t B) {
+  switch (C) {
+  case Cond::Eq:
+    return A == B;
+  case Cond::Ne:
+    return A != B;
+  case Cond::LtS:
+    return int32_t(A) < int32_t(B);
+  case Cond::LtU:
+    return A < B;
+  case Cond::GtS:
+    return int32_t(A) > int32_t(B);
+  case Cond::GtU:
+    return A > B;
+  case Cond::LeS:
+    return int32_t(A) <= int32_t(B);
+  case Cond::LeU:
+    return A <= B;
+  case Cond::GeS:
+    return int32_t(A) >= int32_t(B);
+  case Cond::GeU:
+    return A >= B;
+  }
+  return false;
+}
+
+inline bool evalCond64(Cond C, uint64_t A, uint64_t B) {
+  switch (C) {
+  case Cond::Eq:
+    return A == B;
+  case Cond::Ne:
+    return A != B;
+  case Cond::LtS:
+    return int64_t(A) < int64_t(B);
+  case Cond::LtU:
+    return A < B;
+  case Cond::GtS:
+    return int64_t(A) > int64_t(B);
+  case Cond::GtU:
+    return A > B;
+  case Cond::LeS:
+    return int64_t(A) <= int64_t(B);
+  case Cond::LeU:
+    return A <= B;
+  case Cond::GeS:
+    return int64_t(A) >= int64_t(B);
+  case Cond::GeU:
+    return A >= B;
+  }
+  return false;
+}
+
+template <typename T> inline bool evalCondF(FCond C, T A, T B) {
+  switch (C) {
+  case FCond::Eq:
+    return A == B;
+  case FCond::Ne:
+    return A != B;
+  case FCond::Lt:
+    return A < B;
+  case FCond::Gt:
+    return A > B;
+  case FCond::Le:
+    return A <= B;
+  case FCond::Ge:
+    return A >= B;
+  }
+  return false;
+}
+
+/// Machine opcodes. Grouped; see executor.cpp for exact semantics.
+enum class MOp : uint16_t {
+  Nop = 0,
+  // --- Value-stack slot traffic (Imm = slot index relative to VFP) ---
+  LdSlot,   ///< G[A] = slots[vfp+Imm]
+  LdSlotF,  ///< F[A] = slots[vfp+Imm]
+  StSlot,   ///< slots[vfp+Imm] = G[A]
+  StSlotF,  ///< slots[vfp+Imm] = F[A]
+  StTag,    ///< tags[vfp+Imm] = A (a ValType byte); no-op without tag lane
+  StSp,     ///< frame.Sp = vfp + Imm (stack-walker visibility)
+  ZeroSlots,///< slots[vfp+Imm .. +Imm2) = 0
+  // --- Moves ---
+  MovRR, ///< G[A] = G[B]
+  MovFF, ///< F[A] = F[B]
+  MovRI, ///< G[A] = Imm
+  MovFI, ///< F[A] = Imm (bit pattern)
+  RintFG32, ///< G[A] = zext(F[B] low 32)   (i32.reinterpret_f32)
+  RintFG64, ///< G[A] = F[B]
+  RintGF32, ///< F[A] = zext(G[B] low 32)   (f32.reinterpret_i32)
+  RintGF64, ///< F[A] = G[B]
+  // --- i32 ALU (A=dst, B=lhs, C=rhs; *I forms: Imm=rhs) ---
+  Add32, Sub32, Mul32, DivS32, DivU32, RemS32, RemU32,
+  And32, Or32, Xor32, Shl32, ShrS32, ShrU32, Rotl32, Rotr32,
+  AddI32, MulI32, AndI32, OrI32, XorI32, ShlI32, ShrSI32, ShrUI32,
+  Clz32, Ctz32, Popcnt32, Eqz32, Ext8S32, Ext16S32,
+  CmpSet32,  ///< G[A] = evalCond32(D, G[B], G[C])
+  CmpSetI32, ///< G[A] = evalCond32(D, G[B], Imm)
+  // --- i64 ALU ---
+  Add64, Sub64, Mul64, DivS64, DivU64, RemS64, RemU64,
+  And64, Or64, Xor64, Shl64, ShrS64, ShrU64, Rotl64, Rotr64,
+  AddI64, MulI64, AndI64, OrI64, XorI64, ShlI64, ShrSI64, ShrUI64,
+  Clz64, Ctz64, Popcnt64, Eqz64, Ext8S64, Ext16S64, Ext32S64,
+  CmpSet64, CmpSetI64,
+  Wrap64,   ///< G[A] = zext(u32(G[B]))
+  ExtS3264, ///< G[A] = sext64(i32(G[B]))
+  // --- f32 ALU (A=dst, B=lhs, C=rhs in float registers) ---
+  AddF32, SubF32, MulF32, DivF32, MinF32, MaxF32, CopysignF32,
+  AbsF32, NegF32, CeilF32, FloorF32, TruncF32, NearestF32, SqrtF32,
+  // --- f64 ALU ---
+  AddF64, SubF64, MulF64, DivF64, MinF64, MaxF64, CopysignF64,
+  AbsF64, NegF64, CeilF64, FloorF64, TruncF64, NearestF64, SqrtF64,
+  CmpSetF32, ///< G[A] = evalCondF(D, F[B], F[C])
+  CmpSetF64,
+  // --- Conversions (A=dst, B=src; register class per conversion) ---
+  TruncF32I32S, TruncF32I32U, TruncF64I32S, TruncF64I32U,
+  TruncF32I64S, TruncF32I64U, TruncF64I64S, TruncF64I64U,
+  TruncSatF32I32S, TruncSatF32I32U, TruncSatF64I32S, TruncSatF64I32U,
+  TruncSatF32I64S, TruncSatF32I64U, TruncSatF64I64S, TruncSatF64I64U,
+  ConvI32SF32, ConvI32UF32, ConvI64SF32, ConvI64UF32,
+  ConvI32SF64, ConvI32UF64, ConvI64SF64, ConvI64UF64,
+  DemoteF64, PromoteF32,
+  // --- Memory (A=dst/val, B=address reg, Imm=offset) ---
+  LdM8S32, LdM8U32, LdM16S32, LdM16U32, LdM32,
+  LdM8S64, LdM8U64, LdM16S64, LdM16U64, LdM32S64, LdM32U64, LdM64,
+  LdMF32, LdMF64,
+  StM8, StM16, StM32, StM64, StMF32, StMF64,
+  MemSize, ///< G[A] = pages
+  MemGrow, ///< G[A] = grow(G[B])
+  MemCopy, ///< memmove(G[A], G[B], G[C]) within linear memory
+  MemFill, ///< memset(G[A], G[B], G[C])
+  GlobGet,  ///< G[A] = globals[Imm]
+  GlobGetF, ///< F[A] = globals[Imm]
+  GlobSet, GlobSetF,
+  // --- Control (Imm = target pc) ---
+  Jmp,
+  JmpIf,  ///< if (G[A] != 0) goto Imm
+  JmpIfZ, ///< if (G[A] == 0) goto Imm
+  BrCmp32,  ///< if evalCond32(D, G[A], G[B]) goto Imm
+  BrCmpI32, ///< if evalCond32(D, G[A], Imm2) goto Imm
+  BrCmp64, BrCmpI64,
+  BrTable, ///< goto BrTables[Imm][min(G[A], size-1)]
+  CallDirect,   ///< call function Imm with args at vfp+Imm2
+  CallIndirect, ///< A=table-index reg, Imm=type index, Imm2=arg base
+  Ret,
+  TrapOp, ///< trap with reason Imm
+  // --- Instrumentation & tiering ---
+  ProbeFire, ///< generic probe dispatch at bytecode offset Imm
+  ProbeTosG, ///< optimized probe: pass G[A] (type D) at offset Imm
+  ProbeTosF, ///< optimized probe: pass F[A] (type D) at offset Imm
+  CntInc,    ///< ++*(uint64_t*)Imm  (intrinsified counter probe)
+  DeoptCheck,///< if func->DeoptRequested: tier down to Ip=Imm, Stp=Imm2
+  NumOps
+};
+
+/// One fixed-width machine instruction.
+struct MInst {
+  MOp Op = MOp::Nop;
+  uint8_t A = 0;
+  uint8_t B = 0;
+  uint8_t C = 0;
+  uint8_t D = 0;
+  int64_t Imm = 0;
+  int64_t Imm2 = 0;
+};
+
+/// A record of which value-stack slots hold references at a call site
+/// (stackmap-based GC configurations, paper §IV.C).
+struct StackMapEntry {
+  uint32_t Pc = 0;
+  uint32_t Height = 0; ///< Live operand height (slots above locals).
+  std::vector<uint32_t> RefSlots; ///< Slot indexes relative to VFP.
+
+  size_t byteSize() const { return 8 + 4 * RefSlots.size(); }
+};
+
+/// Per-compile statistics, also used by the compile-speed experiments.
+struct CompileStats {
+  uint64_t TimeNs = 0;
+  uint64_t InputBytes = 0;
+  uint64_t CodeInsts = 0;
+  uint64_t TagStores = 0;   ///< Static count of StTag instructions.
+  uint64_t StackMapBytes = 0;
+  uint64_t SnapshotBytes = 0; ///< Abstract-state snapshot traffic.
+};
+
+/// Compiled machine code for one function.
+class MCode {
+public:
+  std::vector<MInst> Insts;
+  std::vector<std::vector<uint32_t>> BrTables;
+  std::vector<StackMapEntry> StackMaps;
+  /// OSR entry points: bytecode loop-header offset -> machine pc (state is
+  /// fully spilled there).
+  struct OsrEntry {
+    uint32_t Ip = 0;
+    uint32_t Stp = 0;
+    uint32_t Pc = 0;
+  };
+  std::vector<OsrEntry> OsrEntries;
+  uint32_t FuncIndex = 0;
+  uint32_t FrameSlots = 0;
+  CompileStats Stats;
+
+  /// Finds the OSR entry for a loop header, or nullptr.
+  const OsrEntry *findOsrEntry(uint32_t Ip) const {
+    for (const OsrEntry &E : OsrEntries)
+      if (E.Ip == Ip)
+        return &E;
+    return nullptr;
+  }
+
+  /// Finds the stackmap covering \p Pc, or nullptr.
+  const StackMapEntry *findStackMap(uint32_t Pc) const {
+    for (const StackMapEntry &E : StackMaps)
+      if (E.Pc == Pc)
+        return &E;
+    return nullptr;
+  }
+
+  size_t codeByteSize() const { return Insts.size() * sizeof(MInst); }
+
+  /// Renders a human-readable listing (examples, debugging).
+  std::string toString() const;
+};
+
+/// Printable mnemonic of a machine opcode.
+const char *mopName(MOp Op);
+
+} // namespace wisp
+
+#endif // WISP_MACHINE_ISA_H

@@ -1,0 +1,59 @@
+//===- runtime/hooks.h - engine callbacks from execution tiers --*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Callbacks from the interpreter and JIT code back into the engine:
+/// probe dispatch (instrumentation) and tiering decisions (hot-function
+/// compilation and on-stack replacement). Keeping this an interface lets
+/// the runtime tiers stay independent of the engine and instrumentation
+/// layers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_RUNTIME_HOOKS_H
+#define WISP_RUNTIME_HOOKS_H
+
+#include "runtime/value.h"
+
+#include <cstdint>
+
+namespace wisp {
+
+class Thread;
+struct FuncInstance;
+
+/// Engine callbacks. All methods have empty defaults so tiers can run
+/// standalone in tests.
+class EngineHooks {
+public:
+  virtual ~EngineHooks() = default;
+
+  /// A probed instruction was reached; frame state has been written back,
+  /// so the probe may inspect the full stack through accessors.
+  virtual void fireProbes(Thread &T, FuncInstance *Func, uint32_t Ip) {}
+
+  /// Optimized JIT probe: the top-of-stack value is passed directly,
+  /// skipping the runtime lookup and accessor allocation (paper §IV.D).
+  virtual void fireProbeTos(Thread &T, FuncInstance *Func, uint32_t Ip,
+                            Value Tos) {}
+
+  /// A function's hotness counter crossed the threshold at entry. The hook
+  /// may compile it and flip FuncInstance::UseJit for future calls.
+  virtual void onFuncHot(Thread &T, FuncInstance *Func) {}
+
+  /// A hot loop backedge in the interpreter. The hook may compile the
+  /// function with an OSR entry at \p TargetIp and rewrite the *top* frame
+  /// in place to a JIT frame. Returns true if the frame was tiered up
+  /// (the interpreter then yields to the dispatcher).
+  virtual bool onLoopBackedge(Thread &T, FuncInstance *Func,
+                              uint32_t TargetIp) {
+    return false;
+  }
+};
+
+} // namespace wisp
+
+#endif // WISP_RUNTIME_HOOKS_H

@@ -1,0 +1,113 @@
+//===- runtime/instance.cpp - module instantiation -------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/instance.h"
+
+#include "support/format.h"
+
+using namespace wisp;
+
+static uint64_t evalInit(const Instance &I, const InitExpr &E) {
+  switch (E.K) {
+  case InitExpr::Const:
+    return E.Bits;
+  case InitExpr::GlobalGet:
+    return I.Globals[E.Index].Bits;
+  case InitExpr::RefNull:
+    return 0;
+  case InitExpr::RefFuncIdx:
+    return uint64_t(E.Index) + 1;
+  }
+  return 0;
+}
+
+std::unique_ptr<Instance> wisp::instantiate(const Module &M,
+                                            const HostRegistry &Hosts,
+                                            GcHeap *Heap, WasmError *Err) {
+  assert(M.Validated && "instantiating unvalidated module");
+  auto Inst = std::make_unique<Instance>();
+  Inst->M = &M;
+  Inst->Heap = Heap;
+
+  // Functions: bind imports.
+  Inst->Funcs.resize(M.Funcs.size());
+  for (size_t I = 0; I < M.Funcs.size(); ++I) {
+    FuncInstance &F = Inst->Funcs[I];
+    F.Decl = &M.Funcs[I];
+    F.Type = &M.Types[F.Decl->TypeIdx];
+    F.Inst = Inst.get();
+    if (!F.Decl->Imported)
+      continue;
+    const HostFunc *H =
+        Hosts.find(F.Decl->ImportModule, F.Decl->ImportName);
+    if (!H) {
+      if (Err)
+        Err->Message = strFormat("unresolved import %s.%s",
+                                 F.Decl->ImportModule.c_str(),
+                                 F.Decl->ImportName.c_str());
+      return nullptr;
+    }
+    if (!(H->Type == *F.Type)) {
+      if (Err)
+        Err->Message = strFormat("import %s.%s signature mismatch",
+                                 F.Decl->ImportModule.c_str(),
+                                 F.Decl->ImportName.c_str());
+      return nullptr;
+    }
+    F.Host = H;
+  }
+
+  // Globals (imported globals get default values unless a host binding
+  // mechanism is added; the paper's experiments do not need them).
+  Inst->Globals.resize(M.Globals.size());
+  for (size_t I = 0; I < M.Globals.size(); ++I) {
+    const GlobalDecl &G = M.Globals[I];
+    Global &RG = Inst->Globals[I];
+    RG.Type = G.Type;
+    RG.Mutable = G.Mutable;
+    RG.Bits = G.Imported ? 0 : evalInit(*Inst, G.Init);
+  }
+
+  // Memory.
+  if (!M.Memories.empty()) {
+    Inst->Memory.init(M.Memories[0].Lim);
+    Inst->HasMemory = true;
+  }
+
+  // Tables.
+  for (const TableDecl &T : M.Tables) {
+    Table RT;
+    RT.Lim = T.Lim;
+    RT.Elems.assign(T.Lim.Min, 0);
+    Inst->Tables.push_back(std::move(RT));
+  }
+
+  // Element segments.
+  for (const ElemSegment &E : M.Elems) {
+    Table &T = Inst->Tables[E.TableIdx];
+    uint64_t Off = evalInit(*Inst, E.Offset) & 0xffffffff;
+    if (Off + E.FuncIndices.size() > T.Elems.size()) {
+      if (Err)
+        Err->Message = "element segment out of bounds";
+      return nullptr;
+    }
+    for (size_t I = 0; I < E.FuncIndices.size(); ++I)
+      T.Elems[Off + I] = uint64_t(E.FuncIndices[I]) + 1;
+  }
+
+  // Data segments.
+  for (const DataSegment &D : M.Datas) {
+    uint64_t Off = evalInit(*Inst, D.Offset) & 0xffffffff;
+    if (Off + D.Bytes.size() > Inst->Memory.byteSize()) {
+      if (Err)
+        Err->Message = "data segment out of bounds";
+      return nullptr;
+    }
+    memcpy(Inst->Memory.data() + Off, D.Bytes.data(), D.Bytes.size());
+  }
+
+  return Inst;
+}

@@ -1,0 +1,179 @@
+//===- runtime/instance.h - module instances --------------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime instances of a module: linear memory, tables, globals, function
+/// instances with their per-tier state (interpreter by default, optional
+/// compiled code, tiering counters, probe bitmaps), and import binding to
+/// host functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_RUNTIME_INSTANCE_H
+#define WISP_RUNTIME_INSTANCE_H
+
+#include "runtime/gcheap.h"
+#include "runtime/trap.h"
+#include "runtime/value.h"
+#include "wasm/error.h"
+#include "wasm/module.h"
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace wisp {
+
+class Instance;
+class MCode;
+
+constexpr uint32_t WasmPageSize = 65536;
+
+/// A host (imported) function implementation.
+using HostFn =
+    std::function<TrapReason(Instance &, const Value *Args, Value *Results)>;
+
+struct HostFunc {
+  FuncType Type;
+  HostFn Fn;
+};
+
+/// Registry of host functions keyed by (module, name).
+class HostRegistry {
+public:
+  void add(const std::string &Mod, const std::string &Name, FuncType Type,
+           HostFn Fn) {
+    Funcs[{Mod, Name}] = HostFunc{std::move(Type), std::move(Fn)};
+  }
+  const HostFunc *find(const std::string &Mod, const std::string &Name) const {
+    auto It = Funcs.find({Mod, Name});
+    return It == Funcs.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::map<std::pair<std::string, std::string>, HostFunc> Funcs;
+};
+
+/// Linear memory with bounds-checked accessors.
+class LinearMemory {
+public:
+  void init(const Limits &L) {
+    Lim = L;
+    Data.assign(size_t(L.Min) * WasmPageSize, 0);
+  }
+  uint32_t pages() const { return uint32_t(Data.size() / WasmPageSize); }
+  size_t byteSize() const { return Data.size(); }
+  uint8_t *data() { return Data.data(); }
+  const uint8_t *data() const { return Data.data(); }
+
+  /// Grows by \p Delta pages; returns the old page count or -1 on failure.
+  int64_t grow(uint32_t Delta) {
+    uint64_t Old = pages();
+    uint64_t New = Old + Delta;
+    uint64_t Cap = Lim.HasMax ? Lim.Max : 65536;
+    if (New > Cap || New > 65536)
+      return -1;
+    Data.resize(size_t(New) * WasmPageSize, 0);
+    return int64_t(Old);
+  }
+
+  /// Bounds check for an access of \p Size bytes at \p Addr + \p Offset.
+  bool inBounds(uint32_t Addr, uint32_t Offset, uint32_t Size) const {
+    uint64_t End = uint64_t(Addr) + Offset + Size;
+    return End <= Data.size();
+  }
+
+private:
+  std::vector<uint8_t> Data;
+  Limits Lim;
+};
+
+/// A funcref table; entries are function ids (index + 1, 0 = null).
+struct Table {
+  Limits Lim;
+  std::vector<uint64_t> Elems;
+};
+
+/// A global variable instance.
+struct Global {
+  uint64_t Bits = 0;
+  ValType Type = ValType::I32;
+  bool Mutable = false;
+};
+
+/// Per-function runtime state: which tier executes it, compiled code,
+/// tiering counters and the probe bitmap.
+struct FuncInstance {
+  const FuncDecl *Decl = nullptr;
+  const FuncType *Type = nullptr;
+  Instance *Inst = nullptr;
+  const HostFunc *Host = nullptr; ///< Non-null for imported functions.
+
+  MCode *Code = nullptr; ///< Compiled machine code, if any (not owned).
+  bool UseJit = false;   ///< Calls enter the JIT tier when true.
+  bool DeoptRequested = false; ///< JIT frames tier down at checkpoints.
+  uint32_t HotCount = 0;       ///< Tiering heuristic counter.
+
+  /// One bit per body byte offset; set when a probe is attached there.
+  /// Empty means unprobed.
+  std::vector<uint64_t> ProbeBits;
+
+  bool probedAt(uint32_t Ip) const {
+    if (ProbeBits.empty())
+      return false;
+    uint32_t Rel = Ip - Decl->BodyStart;
+    return (ProbeBits[Rel >> 6] >> (Rel & 63)) & 1;
+  }
+  void setProbeBit(uint32_t Ip) {
+    uint32_t Len = Decl->BodyEnd - Decl->BodyStart;
+    if (ProbeBits.empty())
+      ProbeBits.assign((Len + 63) / 64, 0);
+    uint32_t Rel = Ip - Decl->BodyStart;
+    ProbeBits[Rel >> 6] |= uint64_t(1) << (Rel & 63);
+  }
+  void clearProbeBit(uint32_t Ip) {
+    if (ProbeBits.empty())
+      return;
+    uint32_t Rel = Ip - Decl->BodyStart;
+    ProbeBits[Rel >> 6] &= ~(uint64_t(1) << (Rel & 63));
+  }
+};
+
+/// An instantiated module.
+class Instance {
+public:
+  const Module *M = nullptr;
+  std::vector<FuncInstance> Funcs;
+  std::vector<Global> Globals;
+  std::vector<Table> Tables;
+  LinearMemory Memory;
+  bool HasMemory = false;
+  GcHeap *Heap = nullptr; ///< Engine-owned; may be null for non-GC configs.
+
+  FuncInstance *func(uint32_t Idx) {
+    assert(Idx < Funcs.size() && "function index out of range");
+    return &Funcs[Idx];
+  }
+
+  /// Finds an exported function instance by name.
+  FuncInstance *findExportedFunc(const std::string &Name) {
+    const Export *E = M->findExport(Name, ExternKind::Func);
+    return E ? &Funcs[E->Index] : nullptr;
+  }
+};
+
+/// Instantiates \p M: binds imports from \p Hosts, allocates memory and
+/// tables, evaluates global initializers and applies data/element segments.
+/// Does NOT run the start function (the engine does, so setup cost is
+/// attributed correctly). Returns nullptr and fills \p Err on link errors.
+std::unique_ptr<Instance> instantiate(const Module &M,
+                                      const HostRegistry &Hosts,
+                                      GcHeap *Heap, WasmError *Err);
+
+} // namespace wisp
+
+#endif // WISP_RUNTIME_INSTANCE_H

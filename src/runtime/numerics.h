@@ -1,0 +1,218 @@
+//===- runtime/numerics.h - Wasm numeric semantics --------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for WebAssembly numeric operator semantics:
+/// trapping integer division, shifts with modular counts, bit counting,
+/// IEEE min/max/nearest with Wasm NaN rules, and the four families of
+/// float->int truncation (trapping and saturating). Shared by the
+/// interpreter, the machine-code executor and the compilers' constant
+/// folders so all tiers agree bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_RUNTIME_NUMERICS_H
+#define WISP_RUNTIME_NUMERICS_H
+
+#include "runtime/trap.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace wisp {
+
+// --- Bit casting helpers ---
+inline float bitsToF32(uint32_t B) {
+  float V;
+  memcpy(&V, &B, 4);
+  return V;
+}
+inline uint32_t f32ToBits(float V) {
+  uint32_t B;
+  memcpy(&B, &V, 4);
+  return B;
+}
+inline double bitsToF64(uint64_t B) {
+  double V;
+  memcpy(&V, &B, 8);
+  return V;
+}
+inline uint64_t f64ToBits(double V) {
+  uint64_t B;
+  memcpy(&B, &V, 8);
+  return B;
+}
+
+// --- Integer division (trapping) ---
+inline TrapReason divS32(int32_t A, int32_t B, int32_t *Out) {
+  if (B == 0)
+    return TrapReason::DivByZero;
+  if (A == std::numeric_limits<int32_t>::min() && B == -1)
+    return TrapReason::IntOverflow;
+  *Out = A / B;
+  return TrapReason::None;
+}
+inline TrapReason divU32(uint32_t A, uint32_t B, uint32_t *Out) {
+  if (B == 0)
+    return TrapReason::DivByZero;
+  *Out = A / B;
+  return TrapReason::None;
+}
+inline TrapReason remS32(int32_t A, int32_t B, int32_t *Out) {
+  if (B == 0)
+    return TrapReason::DivByZero;
+  if (A == std::numeric_limits<int32_t>::min() && B == -1) {
+    *Out = 0;
+    return TrapReason::None;
+  }
+  *Out = A % B;
+  return TrapReason::None;
+}
+inline TrapReason remU32(uint32_t A, uint32_t B, uint32_t *Out) {
+  if (B == 0)
+    return TrapReason::DivByZero;
+  *Out = A % B;
+  return TrapReason::None;
+}
+inline TrapReason divS64(int64_t A, int64_t B, int64_t *Out) {
+  if (B == 0)
+    return TrapReason::DivByZero;
+  if (A == std::numeric_limits<int64_t>::min() && B == -1)
+    return TrapReason::IntOverflow;
+  *Out = A / B;
+  return TrapReason::None;
+}
+inline TrapReason divU64(uint64_t A, uint64_t B, uint64_t *Out) {
+  if (B == 0)
+    return TrapReason::DivByZero;
+  *Out = A / B;
+  return TrapReason::None;
+}
+inline TrapReason remS64(int64_t A, int64_t B, int64_t *Out) {
+  if (B == 0)
+    return TrapReason::DivByZero;
+  if (A == std::numeric_limits<int64_t>::min() && B == -1) {
+    *Out = 0;
+    return TrapReason::None;
+  }
+  *Out = A % B;
+  return TrapReason::None;
+}
+inline TrapReason remU64(uint64_t A, uint64_t B, uint64_t *Out) {
+  if (B == 0)
+    return TrapReason::DivByZero;
+  *Out = A % B;
+  return TrapReason::None;
+}
+
+// --- Shifts and rotates (counts are modular) ---
+inline uint32_t shl32(uint32_t A, uint32_t N) { return A << (N & 31); }
+inline uint32_t shrU32(uint32_t A, uint32_t N) { return A >> (N & 31); }
+inline int32_t shrS32(int32_t A, uint32_t N) { return A >> (N & 31); }
+inline uint32_t rotl32(uint32_t A, uint32_t N) { return std::rotl(A, int(N & 31)); }
+inline uint32_t rotr32(uint32_t A, uint32_t N) { return std::rotr(A, int(N & 31)); }
+inline uint64_t shl64(uint64_t A, uint64_t N) { return A << (N & 63); }
+inline uint64_t shrU64(uint64_t A, uint64_t N) { return A >> (N & 63); }
+inline int64_t shrS64(int64_t A, uint64_t N) { return A >> (N & 63); }
+inline uint64_t rotl64(uint64_t A, uint64_t N) { return std::rotl(A, int(N & 63)); }
+inline uint64_t rotr64(uint64_t A, uint64_t N) { return std::rotr(A, int(N & 63)); }
+
+// --- Bit counting ---
+inline uint32_t clz32(uint32_t A) { return uint32_t(std::countl_zero(A)); }
+inline uint32_t ctz32(uint32_t A) { return uint32_t(std::countr_zero(A)); }
+inline uint32_t popcnt32(uint32_t A) { return uint32_t(std::popcount(A)); }
+inline uint64_t clz64(uint64_t A) { return uint64_t(std::countl_zero(A)); }
+inline uint64_t ctz64(uint64_t A) { return uint64_t(std::countr_zero(A)); }
+inline uint64_t popcnt64(uint64_t A) { return uint64_t(std::popcount(A)); }
+
+// --- Float min/max/nearest with Wasm NaN semantics ---
+template <typename T> inline T wasmMin(T A, T B) {
+  if (std::isnan(A) || std::isnan(B))
+    return std::numeric_limits<T>::quiet_NaN();
+  if (A == 0 && B == 0) // Distinguish -0 from +0.
+    return std::signbit(A) ? A : B;
+  return A < B ? A : B;
+}
+template <typename T> inline T wasmMax(T A, T B) {
+  if (std::isnan(A) || std::isnan(B))
+    return std::numeric_limits<T>::quiet_NaN();
+  if (A == 0 && B == 0)
+    return std::signbit(A) ? B : A;
+  return A > B ? A : B;
+}
+/// Round-to-nearest, ties to even.
+template <typename T> inline T wasmNearest(T A) {
+  if (std::isnan(A) || std::isinf(A) || A == 0)
+    return A;
+  T R = std::nearbyint(A); // Default FP env rounds to nearest-even.
+  if (R == 0 && std::signbit(A))
+    return -R == 0 ? T(-0.0) : R;
+  return R;
+}
+
+// --- Trapping float -> int truncation ---
+// The bound checks follow the spec: the truncated value must be
+// representable in the target type.
+template <typename From, typename To>
+inline TrapReason truncChecked(From A, To *Out) {
+  if (std::isnan(A))
+    return TrapReason::InvalidConversion;
+  From T = std::trunc(A);
+  // Compare against exclusive bounds expressed exactly in From.
+  constexpr bool Signed = std::numeric_limits<To>::is_signed;
+  constexpr int Bits = sizeof(To) * 8;
+  From Lo, Hi;
+  if (Signed) {
+    Lo = From(-std::ldexp(1.0, Bits - 1)) - From(1);
+    Hi = From(std::ldexp(1.0, Bits - 1));
+  } else {
+    Lo = From(-1);
+    Hi = From(std::ldexp(1.0, Bits));
+  }
+  if (!(T > Lo && T < Hi)) {
+    // Signed lower bound -2^(Bits-1) is exactly representable; T > Lo uses
+    // Lo-1 semantics via the subtraction above for floats without exact
+    // representation; re-check the exact edge.
+    if (Signed && T == From(-std::ldexp(1.0, Bits - 1))) {
+      *Out = std::numeric_limits<To>::min();
+      return TrapReason::None;
+    }
+    return TrapReason::IntOverflow;
+  }
+  *Out = To(T);
+  return TrapReason::None;
+}
+
+// --- Saturating float -> int truncation ---
+template <typename From, typename To> inline To truncSat(From A) {
+  if (std::isnan(A))
+    return To(0);
+  From T = std::trunc(A);
+  constexpr bool Signed = std::numeric_limits<To>::is_signed;
+  constexpr int Bits = sizeof(To) * 8;
+  if (Signed) {
+    From Lo = From(-std::ldexp(1.0, Bits - 1));
+    From Hi = From(std::ldexp(1.0, Bits - 1));
+    if (T <= Lo)
+      return std::numeric_limits<To>::min();
+    if (T >= Hi)
+      return std::numeric_limits<To>::max();
+  } else {
+    if (T <= From(-1))
+      return To(0);
+    From Hi = From(std::ldexp(1.0, Bits));
+    if (T >= Hi)
+      return std::numeric_limits<To>::max();
+  }
+  return To(T);
+}
+
+} // namespace wisp
+
+#endif // WISP_RUNTIME_NUMERICS_H

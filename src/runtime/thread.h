@@ -1,0 +1,109 @@
+//===- runtime/thread.h - execution frames and thread state -----*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution frames and per-thread execution state. Interpreter frames and
+/// JIT frames use the *same* frame record (the paper's "same number of
+/// machine words", Fig. 2), so tier-up (OSR) and tier-down (deopt) rewrite
+/// a frame in place and jump into the other tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_RUNTIME_THREAD_H
+#define WISP_RUNTIME_THREAD_H
+
+#include "runtime/trap.h"
+#include "runtime/valuestack.h"
+
+#include <vector>
+
+namespace wisp {
+
+class Instance;
+struct FuncInstance;
+class MCode;
+
+/// Which tier owns a frame right now.
+enum class FrameKind : uint8_t { Interp, Jit };
+
+/// One activation. Interp frames use Ip/Stp; Jit frames use Pc/Code. Both
+/// share Func/Vfp/Sp, which is what makes in-place tier transitions cheap.
+struct Frame {
+  FuncInstance *Func = nullptr;
+  const MCode *Code = nullptr; ///< Jit only.
+  uint32_t Vfp = 0; ///< Value-stack slot of local 0.
+  uint32_t Sp = 0;  ///< Absolute slot one past the live top, as visible to
+                    ///< stack walkers; JIT code refreshes it at
+                    ///< observation points only.
+  uint32_t Ip = 0;  ///< Bytecode offset (interp; also deopt target).
+  uint32_t Stp = 0; ///< Side-table position (interp).
+  uint32_t Pc = 0;  ///< Machine code index (jit).
+  FrameKind Kind = FrameKind::Interp;
+};
+
+/// Why an execution tier returned control to the engine dispatcher.
+enum class RunSignal : uint8_t {
+  Done,      ///< All frames at or above the entry depth returned.
+  SwitchTier,///< Top frame belongs to the other tier; redispatch.
+  Trapped,   ///< Thread.Trap holds the reason; frames are intact for
+             ///< inspection and are unwound by the engine.
+};
+
+/// Per-thread execution state: the value stack and the frame stack.
+class Thread {
+public:
+  explicit Thread(uint32_t StackSlots = 1u << 16, bool WithTags = true)
+      : VS(StackSlots, WithTags) {}
+
+  ValueStack VS;
+  std::vector<Frame> Frames;
+  Instance *Inst = nullptr;
+  TrapReason Trap = TrapReason::None;
+  uint32_t TrapIp = 0;
+  uint32_t MaxFrames = 4096;
+
+  /// Engine callbacks for probes and tiering; may be null.
+  class EngineHooks *Hooks = nullptr;
+  /// Hotness threshold for tier-up; 0 disables tiering.
+  uint32_t TierUpThreshold = 0;
+
+  /// Cumulative dynamic cost counters (for deterministic comparisons).
+  uint64_t InterpSteps = 0;
+  uint64_t JitCycles = 0;
+
+  /// Modeled cost of one interpreter dispatch in simulated cycles. An
+  /// in-place interpreter pays opcode fetch, LEB immediate decode, the
+  /// dispatch indirection and operand-stack memory traffic per bytecode —
+  /// roughly 15-30 native cycles in production interpreters (Titzer,
+  /// OOPSLA 2022). Execution-time experiments compare modeled cycles, not
+  /// wall time, because the simulated target's executor is itself an
+  /// interpreter (see DESIGN.md's substitution table).
+  static constexpr uint64_t InterpCyclesPerStep = 22;
+
+  /// Total modeled cycles across both tiers.
+  uint64_t modeledCycles() const {
+    return InterpSteps * InterpCyclesPerStep + JitCycles;
+  }
+
+  bool trapped() const { return Trap != TrapReason::None; }
+  void setTrap(TrapReason R, uint32_t Ip) {
+    Trap = R;
+    TrapIp = Ip;
+  }
+  void clearTrap() {
+    Trap = TrapReason::None;
+    TrapIp = 0;
+  }
+
+  Frame &top() {
+    assert(!Frames.empty() && "no frames");
+    return Frames.back();
+  }
+};
+
+} // namespace wisp
+
+#endif // WISP_RUNTIME_THREAD_H

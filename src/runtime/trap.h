@@ -1,0 +1,65 @@
+//===- runtime/trap.h - trap reasons ----------------------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trap reasons shared by the interpreter, compiled code and host calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_RUNTIME_TRAP_H
+#define WISP_RUNTIME_TRAP_H
+
+#include <cstdint>
+
+namespace wisp {
+
+/// Why execution trapped. None means "did not trap".
+enum class TrapReason : uint8_t {
+  None = 0,
+  Unreachable,
+  MemOutOfBounds,
+  DivByZero,
+  IntOverflow,
+  InvalidConversion,
+  StackOverflow,
+  NullFuncRef,
+  IndirectCallTypeMismatch,
+  TableOutOfBounds,
+  HostError,
+};
+
+/// Printable name of a trap reason.
+inline const char *trapReasonName(TrapReason R) {
+  switch (R) {
+  case TrapReason::None:
+    return "none";
+  case TrapReason::Unreachable:
+    return "unreachable";
+  case TrapReason::MemOutOfBounds:
+    return "memory access out of bounds";
+  case TrapReason::DivByZero:
+    return "integer divide by zero";
+  case TrapReason::IntOverflow:
+    return "integer overflow";
+  case TrapReason::InvalidConversion:
+    return "invalid conversion to integer";
+  case TrapReason::StackOverflow:
+    return "call stack exhausted";
+  case TrapReason::NullFuncRef:
+    return "uninitialized table element";
+  case TrapReason::IndirectCallTypeMismatch:
+    return "indirect call type mismatch";
+  case TrapReason::TableOutOfBounds:
+    return "undefined table element";
+  case TrapReason::HostError:
+    return "host error";
+  }
+  return "<bad trap>";
+}
+
+} // namespace wisp
+
+#endif // WISP_RUNTIME_TRAP_H

@@ -1,0 +1,31 @@
+//===- runtime/value.cpp - runtime value helpers ---------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/value.h"
+
+#include "support/format.h"
+
+using namespace wisp;
+
+std::string Value::toString() const {
+  switch (Type) {
+  case ValType::I32:
+    return strFormat("i32:%d", asI32());
+  case ValType::I64:
+    return strFormat("i64:%lld", (long long)asI64());
+  case ValType::F32:
+    return strFormat("f32:%g (0x%08x)", double(asF32()), uint32_t(Bits));
+  case ValType::F64:
+    return strFormat("f64:%g (0x%016llx)", asF64(), (unsigned long long)Bits);
+  case ValType::FuncRef:
+    return strFormat("funcref:%llu", (unsigned long long)Bits);
+  case ValType::ExternRef:
+    return strFormat("externref:%llu", (unsigned long long)Bits);
+  case ValType::Bottom:
+    break;
+  }
+  return "<bad value>";
+}

@@ -1,0 +1,84 @@
+//===- runtime/value.h - runtime value representation -----------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boxed runtime values used at the host API boundary (invoking exports,
+/// host functions, probes). Inside the value stack, values are raw 64-bit
+/// slots with a separate tag lane; see runtime/valuestack.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_RUNTIME_VALUE_H
+#define WISP_RUNTIME_VALUE_H
+
+#include "wasm/types.h"
+
+#include <cstring>
+#include <string>
+
+namespace wisp {
+
+/// A typed runtime value. Reference values store an object id in Bits
+/// (0 = null; externref ids index the GC heap; funcref ids are
+/// function index + 1).
+struct Value {
+  uint64_t Bits = 0;
+  ValType Type = ValType::I32;
+
+  static Value makeI32(int32_t V) {
+    return {uint64_t(uint32_t(V)), ValType::I32};
+  }
+  static Value makeI64(int64_t V) { return {uint64_t(V), ValType::I64}; }
+  static Value makeF32(float V) {
+    uint32_t B;
+    memcpy(&B, &V, 4);
+    return {B, ValType::F32};
+  }
+  static Value makeF64(double V) {
+    uint64_t B;
+    memcpy(&B, &V, 8);
+    return {B, ValType::F64};
+  }
+  static Value makeExternRef(uint64_t Id) { return {Id, ValType::ExternRef}; }
+  static Value makeFuncRef(uint64_t Id) { return {Id, ValType::FuncRef}; }
+
+  int32_t asI32() const {
+    assert(Type == ValType::I32 && "not an i32");
+    return int32_t(uint32_t(Bits));
+  }
+  int64_t asI64() const {
+    assert(Type == ValType::I64 && "not an i64");
+    return int64_t(Bits);
+  }
+  float asF32() const {
+    assert(Type == ValType::F32 && "not an f32");
+    float V;
+    uint32_t B = uint32_t(Bits);
+    memcpy(&V, &B, 4);
+    return V;
+  }
+  double asF64() const {
+    assert(Type == ValType::F64 && "not an f64");
+    double V;
+    memcpy(&V, &Bits, 8);
+    return V;
+  }
+  bool isNullRef() const { return isRefType(Type) && Bits == 0; }
+
+  bool operator==(const Value &O) const {
+    return Type == O.Type && Bits == O.Bits;
+  }
+
+  /// Renders e.g. "i32:42" for test failure messages.
+  std::string toString() const;
+};
+
+/// Default (zero) value of a given type.
+inline Value defaultValue(ValType T) { return {0, T}; }
+
+} // namespace wisp
+
+#endif // WISP_RUNTIME_VALUE_H

@@ -1,0 +1,63 @@
+//===- runtime/valuestack.h - explicit value stack with tag lane -*- C++ -*-==//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicit value stack shared by the interpreter and JIT code (paper
+/// Fig. 2). Values are raw 64-bit slots; an optional parallel *tag lane*
+/// holds one ValType byte per slot so stack walkers (GC, instrumentation,
+/// debugging) can interpret any slot without metadata. Engines configured
+/// without tags (the paper's `notags` baseline and the non-GC engines)
+/// simply do not allocate the lane, saving its space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_RUNTIME_VALUESTACK_H
+#define WISP_RUNTIME_VALUESTACK_H
+
+#include "wasm/types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace wisp {
+
+/// A fixed-capacity value stack. Frames address it by absolute slot index.
+class ValueStack {
+public:
+  explicit ValueStack(uint32_t NumSlots = 1u << 16, bool WithTags = true)
+      : SlotStore(NumSlots, 0),
+        TagStore(WithTags ? NumSlots : 0, uint8_t(ValType::I32)),
+        HasTags(WithTags) {}
+
+  uint32_t capacity() const { return uint32_t(SlotStore.size()); }
+  bool hasTags() const { return HasTags; }
+
+  uint64_t *slots() { return SlotStore.data(); }
+  const uint64_t *slots() const { return SlotStore.data(); }
+  /// Null when the engine runs without value tags.
+  uint8_t *tags() { return HasTags ? TagStore.data() : nullptr; }
+  const uint8_t *tags() const { return HasTags ? TagStore.data() : nullptr; }
+
+  uint64_t slot(uint32_t I) const { return SlotStore[I]; }
+  void setSlot(uint32_t I, uint64_t Bits) { SlotStore[I] = Bits; }
+  ValType tag(uint32_t I) const {
+    assert(HasTags && "tag lane disabled");
+    return ValType(TagStore[I]);
+  }
+  void setTag(uint32_t I, ValType T) {
+    if (HasTags)
+      TagStore[I] = uint8_t(T);
+  }
+
+private:
+  std::vector<uint64_t> SlotStore;
+  std::vector<uint8_t> TagStore;
+  bool HasTags;
+};
+
+} // namespace wisp
+
+#endif // WISP_RUNTIME_VALUESTACK_H

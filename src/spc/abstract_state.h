@@ -1,0 +1,111 @@
+//===- spc/abstract_state.h - abstract interpretation state -----*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract state at the heart of single-pass compilation (paper §III):
+/// one abstract value per slot (locals + operand stack) tracking where the
+/// value lives (register / constant / memory), plus the register allocation
+/// state and the tag byte currently in the tag lane's memory. Snapshots are
+/// flat copies of the value vector; register bindings are reconstructed on
+/// restore, which keeps snapshot/merge costs linear and cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SPC_ABSTRACT_STATE_H
+#define WISP_SPC_ABSTRACT_STATE_H
+
+#include "machine/isa.h"
+#include "spc/options.h"
+#include "wasm/types.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace wisp {
+
+/// One abstract value: where the slot's value currently lives.
+struct AVal {
+  enum Flag : uint8_t {
+    InReg = 1,  ///< Live in register R.
+    IsConst = 2,///< Known constant (Konst).
+    InMem = 4,  ///< Memory copy in its value-stack slot is up to date.
+  };
+  uint8_t Flags = 0;
+  ValType Type = ValType::I32;
+  Reg R = NoReg;
+  /// The ValType byte currently stored in the tag lane for this slot;
+  /// 0 when unknown/stale.
+  uint8_t MemTag = 0;
+  uint64_t Konst = 0;
+
+  bool inReg() const { return Flags & InReg; }
+  bool isConst() const { return Flags & IsConst; }
+  bool inMem() const { return Flags & InMem; }
+  bool tagStored() const { return MemTag == uint8_t(Type); }
+};
+
+/// Register-class bookkeeping: which slots each register caches.
+struct RegFile {
+  /// Slots bound to each register (multi-register allocation allows more
+  /// than one).
+  std::vector<uint32_t> Bound[16];
+  uint16_t UsedMask = 0;
+  uint8_t NumAllocatable = 11;
+  uint8_t NextVictim = 0;
+
+  void reset() {
+    for (auto &B : Bound)
+      B.clear();
+    UsedMask = 0;
+    NextVictim = 0;
+  }
+  bool isFree(Reg R) const { return !(UsedMask & (1u << R)); }
+  void bind(Reg R, uint32_t Slot) {
+    Bound[R].push_back(Slot);
+    UsedMask |= uint16_t(1u << R);
+  }
+  void unbind(Reg R, uint32_t Slot) {
+    auto &B = Bound[R];
+    for (size_t I = 0; I < B.size(); ++I) {
+      if (B[I] == Slot) {
+        B[I] = B.back();
+        B.pop_back();
+        break;
+      }
+    }
+    if (B.empty())
+      UsedMask &= uint16_t(~(1u << R));
+  }
+  /// Finds a free allocatable register not in \p PinMask; NoReg if none.
+  Reg findFree(uint16_t PinMask) const {
+    for (Reg R = 0; R < NumAllocatable; ++R)
+      if (isFree(R) && !(PinMask & (1u << R)))
+        return R;
+    return NoReg;
+  }
+  /// Picks an eviction victim (round-robin) not in \p PinMask.
+  Reg pickVictim(uint16_t PinMask) {
+    for (unsigned Tries = 0; Tries < NumAllocatable; ++Tries) {
+      Reg R = NextVictim;
+      NextVictim = Reg((NextVictim + 1) % NumAllocatable);
+      if (!(PinMask & (1u << R)))
+        return R;
+    }
+    assert(false && "all registers pinned");
+    return 0;
+  }
+};
+
+/// A snapshot of the abstract value vector (control-flow split points).
+struct StateSnapshot {
+  std::vector<AVal> Vals; ///< Locals followed by operand stack.
+  size_t byteSize() const { return Vals.size() * sizeof(AVal); }
+};
+
+} // namespace wisp
+
+#endif // WISP_SPC_ABSTRACT_STATE_H

@@ -1,0 +1,44 @@
+//===- spc/compiler.h - single-pass baseline compiler -----------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-pass compiler (the paper's Wizard-SPC): one forward pass of
+/// abstract interpretation over the bytecode, emitting machine code as it
+/// goes. The abstract state tracks, per slot: register residency, constant
+/// values, memory (spill) residency, and the tag byte currently in the tag
+/// lane. All of the paper's optimizations are implemented behind
+/// CompilerOptions flags:
+///
+///   - forward-pass register allocation with multi-register slots (MR),
+///   - constant tracking (K), constant/branch folding (KF),
+///   - instruction selection of immediate forms (ISEL),
+///   - compare+branch peephole fusion,
+///   - value-tag strategies: eager / on-demand / lazy / none / stackmaps,
+///   - probe intrinsification (counter increments, direct TOS calls),
+///   - OSR entries at loop headers and deopt checks at observation points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SPC_COMPILER_H
+#define WISP_SPC_COMPILER_H
+
+#include "machine/isa.h"
+#include "spc/options.h"
+#include "wasm/module.h"
+
+#include <memory>
+
+namespace wisp {
+
+/// Compiles one function. \p Probes may be null (no instrumentation).
+/// Returns the machine code with compile statistics filled in.
+std::unique_ptr<MCode> compileFunction(const Module &M, const FuncDecl &F,
+                                       const CompilerOptions &Opts,
+                                       const ProbeSiteOracle *Probes = nullptr);
+
+} // namespace wisp
+
+#endif // WISP_SPC_COMPILER_H

@@ -1,0 +1,103 @@
+//===- spc/options.h - single-pass compiler configuration -------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration axes of the single-pass compiler. These correspond one to
+/// one with the paper's Figure 3 feature matrix (MR, K, KF, ISEL, TAG/MAP)
+/// and the optimization settings of the Figure 4/5/6 experiments (allopt,
+/// nok, nokfold, noisel, nomr; eager/on-demand/lazy/no tags; optimized
+/// probes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SPC_OPTIONS_H
+#define WISP_SPC_OPTIONS_H
+
+#include <cstdint>
+
+namespace wisp {
+
+/// Value-tag emission strategy (paper §IV.C).
+enum class TagMode : uint8_t {
+  None,          ///< No tag lane at all ("notags" baseline).
+  Eager,         ///< Store the tag at every slot write ("eagertags").
+  EagerLocals,   ///< Eager for locals only ("eagertags-l").
+  EagerOperands, ///< Eager for operand slots only ("eagertags-o").
+  OnDemand,      ///< Track tag state abstractly, flush at observations
+                 ///< (the Wizard-SPC default).
+  Lazy,          ///< Like OnDemand, but local tags are never stored: the
+                 ///< stack walker reconstructs them from declared types.
+  StackMap,      ///< No tags; emit stackmaps at call sites (web engines).
+};
+
+/// How a probe site should be compiled (paper §IV.D).
+enum class ProbeSiteKind : uint8_t {
+  None,      ///< No probe attached.
+  Counter,   ///< A pure counter: intrinsify to an inline increment.
+  TosReader, ///< Reads only the top of stack: direct call with the value.
+  Generic,   ///< Full runtime dispatch with an accessor object.
+};
+
+/// Compile-time oracle describing attached probes. Implemented by the
+/// instrumentation layer; compilers only see this narrow interface.
+class ProbeSiteOracle {
+public:
+  virtual ~ProbeSiteOracle() = default;
+  /// Classifies the probe(s) at a bytecode offset of a function.
+  virtual ProbeSiteKind classify(uint32_t FuncIdx, uint32_t Ip) const = 0;
+  /// Address of the counter cell for a Counter site (patched into code).
+  virtual uint64_t *counterAddr(uint32_t FuncIdx, uint32_t Ip) const = 0;
+};
+
+/// Single-pass compiler options.
+struct CompilerOptions {
+  bool TrackConstants = true;    ///< K: abstract values model constants.
+  bool ConstantFolding = true;   ///< KF: fold const ops & branches.
+  bool InstructionSelect = true; ///< ISEL: immediate-mode instructions.
+  bool MultiRegister = true;     ///< MR: a register may cache many slots.
+  bool Peephole = true;          ///< Fuse compare+branch.
+  TagMode Tags = TagMode::OnDemand;
+  bool OptimizeProbes = true;    ///< Intrinsify counter/TOS probes.
+  bool EmitDeoptChecks = false;  ///< Support tier-down at checkpoints.
+  bool EmitOsrEntries = false;   ///< Record OSR entries at loop headers.
+  uint8_t NumGp = 11;            ///< Allocatable general registers (<= 13).
+  uint8_t NumFp = 12;            ///< Allocatable float registers (<= 15).
+
+  /// The paper's Figure 4 configurations.
+  static CompilerOptions allopt() { return CompilerOptions(); }
+  static CompilerOptions nok() {
+    CompilerOptions O;
+    O.TrackConstants = false;
+    O.ConstantFolding = false;
+    O.InstructionSelect = false;
+    return O;
+  }
+  static CompilerOptions nokfold() {
+    CompilerOptions O;
+    O.ConstantFolding = false;
+    return O;
+  }
+  static CompilerOptions noisel() {
+    CompilerOptions O;
+    O.InstructionSelect = false;
+    return O;
+  }
+  static CompilerOptions nomr() {
+    CompilerOptions O;
+    O.MultiRegister = false;
+    return O;
+  }
+  /// The paper's Figure 5 tagging configurations.
+  static CompilerOptions withTags(TagMode Mode) {
+    CompilerOptions O;
+    O.Tags = Mode;
+    return O;
+  }
+};
+
+} // namespace wisp
+
+#endif // WISP_SPC_OPTIONS_H

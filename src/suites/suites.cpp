@@ -1,0 +1,1397 @@
+//===- suites/suites.cpp - benchmark workload generators --------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites/suites.h"
+
+#include "wasm/builder.h"
+
+#include <functional>
+
+using namespace wisp;
+
+namespace {
+
+/// Emission helper wrapping a module with one exported kernel function.
+class Kern {
+public:
+  Kern(ValType ResultTy, bool EarlyReturn, uint32_t MemPages = 4)
+      : ResultTy(ResultTy) {
+    MB.addMemory(MemPages, MemPages);
+    uint32_t T = MB.addType({}, {ResultTy});
+    F = &MB.addFunc(T);
+    MB.exportFunc("run", MB.funcIndex(*F));
+    if (EarlyReturn) {
+      // The paper's m0 methodology: same module, near-zero execution.
+      switch (ResultTy) {
+      case ValType::I64:
+        F->i64Const(0);
+        break;
+      case ValType::F64:
+        F->f64Const(0);
+        break;
+      default:
+        F->i32Const(0);
+        break;
+      }
+      F->ret();
+    }
+  }
+
+  FuncBuilder &fn() { return *F; }
+  uint32_t i32() { return F->addLocal(ValType::I32); }
+  uint32_t i64() { return F->addLocal(ValType::I64); }
+  uint32_t f64() { return F->addLocal(ValType::F64); }
+
+  /// for (i = lo; i < hi; ++i) body()
+  void forLoop(uint32_t I, int32_t Lo, int32_t Hi,
+               const std::function<void()> &Body) {
+    F->i32Const(Lo);
+    F->localSet(I);
+    F->block();
+    F->loop();
+    F->localGet(I);
+    F->i32Const(Hi);
+    F->op(Opcode::I32GeS);
+    F->brIf(1);
+    Body();
+    F->localGet(I);
+    F->i32Const(1);
+    F->op(Opcode::I32Add);
+    F->localSet(I);
+    F->br(0);
+    F->end();
+    F->end();
+  }
+
+  /// for (i = lo; i < hiLocal; ++i) body() — bound from a local.
+  void forLoopVar(uint32_t I, int32_t Lo, uint32_t HiLocal,
+                  const std::function<void()> &Body) {
+    F->i32Const(Lo);
+    F->localSet(I);
+    F->block();
+    F->loop();
+    F->localGet(I);
+    F->localGet(HiLocal);
+    F->op(Opcode::I32GeS);
+    F->brIf(1);
+    Body();
+    F->localGet(I);
+    F->i32Const(1);
+    F->op(Opcode::I32Add);
+    F->localSet(I);
+    F->br(0);
+    F->end();
+    F->end();
+  }
+
+  /// Pushes the byte offset (i*N + j) * 8.
+  void idx2(uint32_t I, uint32_t J, int32_t N) {
+    F->localGet(I);
+    F->i32Const(N);
+    F->op(Opcode::I32Mul);
+    F->localGet(J);
+    F->op(Opcode::I32Add);
+    F->i32Const(8);
+    F->op(Opcode::I32Mul);
+  }
+  /// Pushes the byte offset i * 8.
+  void idx1(uint32_t I) {
+    F->localGet(I);
+    F->i32Const(8);
+    F->op(Opcode::I32Mul);
+  }
+  void loadF64(uint32_t Base) { F->load(Opcode::F64Load, Base, 3); }
+  void storeF64(uint32_t Base) { F->store(Opcode::F64Store, Base, 3); }
+  void loadI32(uint32_t Base) { F->load(Opcode::I32Load, Base, 2); }
+  void storeI32(uint32_t Base) { F->store(Opcode::I32Store, Base, 2); }
+  void loadI64(uint32_t Base) { F->load(Opcode::I64Load, Base, 3); }
+  void storeI64(uint32_t Base) { F->store(Opcode::I64Store, Base, 3); }
+
+  /// Fills array [Base, Base+n*8) with f64 values f(i) = (i % m) * s.
+  void initF64(uint32_t Base, int32_t N, int32_t Mod, double Sc) {
+    uint32_t I = i32();
+    forLoop(I, 0, N, [&] {
+      idx1(I);
+      F->localGet(I);
+      F->i32Const(Mod);
+      F->op(Opcode::I32RemS);
+      F->op(Opcode::F64ConvertI32S);
+      F->f64Const(Sc);
+      F->op(Opcode::F64Mul);
+      storeF64(Base);
+    });
+  }
+
+  /// Sums array [Base, Base+n*8) of f64 into the given accumulator local.
+  void sumF64(uint32_t Base, int32_t N, uint32_t Acc) {
+    uint32_t I = i32();
+    forLoop(I, 0, N, [&] {
+      F->localGet(Acc);
+      idx1(I);
+      loadF64(Base);
+      F->op(Opcode::F64Add);
+      F->localSet(Acc);
+    });
+  }
+
+  std::vector<uint8_t> build() { return MB.build(); }
+
+  ModuleBuilder MB;
+  FuncBuilder *F;
+  ValType ResultTy;
+};
+
+using Emitter = std::function<void(Kern &, int)>;
+
+LineItem makeItem(const char *Suite, const std::string &Name, ValType Ty,
+                  int Scale, const Emitter &Emit) {
+  LineItem Item;
+  Item.Suite = Suite;
+  Item.Name = Name;
+  Item.ResultType = Ty;
+  {
+    Kern K(Ty, /*EarlyReturn=*/false);
+    Emit(K, Scale);
+    Item.Bytes = K.build();
+  }
+  {
+    Kern K(Ty, /*EarlyReturn=*/true);
+    Emit(K, Scale);
+    Item.M0Bytes = K.build();
+  }
+  return Item;
+}
+
+// ---------------------------------------------------------------------------
+// PolyBenchC-shaped kernels: f64 loop nests over linear memory.
+// Arrays live at fixed byte offsets; matrices are N x N row-major.
+// ---------------------------------------------------------------------------
+
+/// C[i][j] (+)= alpha * A[i][k] * B[k][j], with optional beta pre-scale —
+/// the gemm/2mm/3mm/syrk family shape.
+void emitMatmul(Kern &K, int N, double Alpha, double Beta, bool Triangular) {
+  FuncBuilder &F = K.fn();
+  const uint32_t A = 0, B = uint32_t(N * N * 8), C = uint32_t(2 * N * N * 8);
+  K.initF64(A, N * N, 31, 0.25);
+  K.initF64(B, N * N, 17, 0.5);
+  K.initF64(C, N * N, 13, 1.0);
+  uint32_t I = K.i32(), J = K.i32(), L = K.i32(), Acc = K.f64();
+  K.forLoop(I, 0, N, [&] {
+    K.forLoop(J, 0, N, [&] {
+      F.f64Const(0);
+      F.localSet(Acc);
+      if (Triangular) {
+        K.forLoopVar(L, 0, I, [&] {
+          F.localGet(Acc);
+          K.idx2(I, L, N);
+          K.loadF64(A);
+          K.idx2(L, J, N);
+          K.loadF64(B);
+          F.op(Opcode::F64Mul);
+          F.op(Opcode::F64Add);
+          F.localSet(Acc);
+        });
+      } else {
+        K.forLoop(L, 0, N, [&] {
+          F.localGet(Acc);
+          K.idx2(I, L, N);
+          K.loadF64(A);
+          K.idx2(L, J, N);
+          K.loadF64(B);
+          F.op(Opcode::F64Mul);
+          F.op(Opcode::F64Add);
+          F.localSet(Acc);
+        });
+      }
+      K.idx2(I, J, N);
+      K.idx2(I, J, N);
+      K.loadF64(C);
+      F.f64Const(Beta);
+      F.op(Opcode::F64Mul);
+      F.localGet(Acc);
+      F.f64Const(Alpha);
+      F.op(Opcode::F64Mul);
+      F.op(Opcode::F64Add);
+      K.storeF64(C);
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(C, N * N, Sum);
+  F.localGet(Sum);
+}
+
+/// y = A^T (A x) — the atax/bicg/mvt/gemver matvec family shape.
+void emitMatvec(Kern &K, int N, int Reps, bool Transposed) {
+  FuncBuilder &F = K.fn();
+  const uint32_t A = 0, X = uint32_t(N * N * 8), Y = X + uint32_t(N * 8),
+                 Tmp = Y + uint32_t(N * 8);
+  K.initF64(A, N * N, 23, 0.125);
+  K.initF64(X, N, 7, 1.5);
+  uint32_t R = K.i32(), I = K.i32(), J = K.i32(), Acc = K.f64();
+  K.forLoop(R, 0, Reps, [&] {
+    K.forLoop(I, 0, N, [&] {
+      F.f64Const(0);
+      F.localSet(Acc);
+      K.forLoop(J, 0, N, [&] {
+        F.localGet(Acc);
+        if (Transposed)
+          K.idx2(J, I, N);
+        else
+          K.idx2(I, J, N);
+        K.loadF64(A);
+        K.idx1(J);
+        K.loadF64(X);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Add);
+        F.localSet(Acc);
+      });
+      K.idx1(I);
+      F.localGet(Acc);
+      K.storeF64(Tmp);
+    });
+    K.forLoop(I, 0, N, [&] {
+      F.f64Const(0);
+      F.localSet(Acc);
+      K.forLoop(J, 0, N, [&] {
+        F.localGet(Acc);
+        K.idx2(J, I, N);
+        K.loadF64(A);
+        K.idx1(J);
+        K.loadF64(Tmp);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Add);
+        F.localSet(Acc);
+      });
+      K.idx1(I);
+      K.idx1(I);
+      K.loadF64(Y);
+      F.localGet(Acc);
+      F.op(Opcode::F64Add);
+      K.storeF64(Y);
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(Y, N, Sum);
+  F.localGet(Sum);
+}
+
+/// 1-D three-point stencil sweeps (jacobi-1d / durbin shape).
+void emitStencil1d(Kern &K, int N, int Steps, double C0, double C1) {
+  FuncBuilder &F = K.fn();
+  const uint32_t A = 0, B = uint32_t(N * 8);
+  K.initF64(A, N, 11, 0.5);
+  uint32_t T = K.i32(), I = K.i32();
+  K.forLoop(T, 0, Steps, [&] {
+    K.forLoop(I, 1, N - 1, [&] {
+      K.idx1(I);
+      K.idx1(I);
+      K.loadF64(A); // A[i]
+      F.f64Const(C0);
+      F.op(Opcode::F64Mul);
+      K.idx1(I);
+      K.loadF64(A + 8); // A[i+1] via a +8 byte offset.
+      F.localGet(I);
+      F.i32Const(1);
+      F.op(Opcode::I32Sub);
+      F.i32Const(8);
+      F.op(Opcode::I32Mul);
+      K.loadF64(A); // A[i-1]
+      F.op(Opcode::F64Add);
+      F.f64Const(C1);
+      F.op(Opcode::F64Mul);
+      F.op(Opcode::F64Add);
+      K.storeF64(B);
+    });
+    // Copy back.
+    K.forLoop(I, 1, N - 1, [&] {
+      K.idx1(I);
+      K.idx1(I);
+      K.loadF64(B);
+      K.storeF64(A);
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(A, N, Sum);
+  F.localGet(Sum);
+}
+
+/// 2-D five-point stencil sweeps (jacobi-2d/seidel/heat/fdtd shape).
+void emitStencil2d(Kern &K, int N, int Steps, double CC, double CN) {
+  FuncBuilder &F = K.fn();
+  const uint32_t A = 0, B = uint32_t(N * N * 8);
+  K.initF64(A, N * N, 19, 0.2);
+  uint32_t T = K.i32(), I = K.i32(), J = K.i32();
+  K.forLoop(T, 0, Steps, [&] {
+    K.forLoop(I, 1, N - 1, [&] {
+      K.forLoop(J, 1, N - 1, [&] {
+        K.idx2(I, J, N);
+        K.idx2(I, J, N);
+        K.loadF64(A);
+        F.f64Const(CC);
+        F.op(Opcode::F64Mul);
+        K.idx2(I, J, N);
+        F.load(Opcode::F64Load, A + 8, 3); // A[i][j+1]
+        K.idx2(I, J, N);
+        F.i32Const(8);
+        F.op(Opcode::I32Sub);
+        K.loadF64(A); // A[i][j-1]
+        F.op(Opcode::F64Add);
+        K.idx2(I, J, N);
+        F.load(Opcode::F64Load, A + uint32_t(N * 8), 3); // A[i+1][j]
+        F.op(Opcode::F64Add);
+        K.idx2(I, J, N);
+        F.i32Const(N * 8);
+        F.op(Opcode::I32Sub);
+        K.loadF64(A); // A[i-1][j]
+        F.op(Opcode::F64Add);
+        F.f64Const(CN);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Add);
+        K.storeF64(B);
+      });
+    });
+    K.forLoop(I, 1, N - 1, [&] {
+      K.forLoop(J, 1, N - 1, [&] {
+        K.idx2(I, J, N);
+        K.idx2(I, J, N);
+        K.loadF64(B);
+        K.storeF64(A);
+      });
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(A, N * N, Sum);
+  F.localGet(Sum);
+}
+
+/// Forward triangular solve / elimination sweep (trisolv/lu/cholesky shape).
+void emitTrisolve(Kern &K, int N, int Reps) {
+  FuncBuilder &F = K.fn();
+  const uint32_t L = 0, X = uint32_t(N * N * 8), B = X + uint32_t(N * 8);
+  K.initF64(L, N * N, 29, 0.0625);
+  uint32_t R = K.i32(), I = K.i32(), J = K.i32(), Acc = K.f64();
+  K.forLoop(R, 0, Reps, [&] {
+    K.initF64(B, N, 5, 2.0);
+    K.forLoop(I, 0, N, [&] {
+      K.idx1(I);
+      K.loadF64(B);
+      F.localSet(Acc);
+      K.forLoopVar(J, 0, I, [&] {
+        F.localGet(Acc);
+        K.idx2(I, J, N);
+        K.loadF64(L);
+        K.idx1(J);
+        K.loadF64(X);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Sub);
+        F.localSet(Acc);
+      });
+      K.idx1(I);
+      F.localGet(Acc);
+      // Divide by (1 + diagonal^2) to stay bounded.
+      K.idx2(I, I, N);
+      K.loadF64(L);
+      K.idx2(I, I, N);
+      K.loadF64(L);
+      F.op(Opcode::F64Mul);
+      F.f64Const(1.0);
+      F.op(Opcode::F64Add);
+      F.op(Opcode::F64Div);
+      K.storeF64(X);
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(X, N, Sum);
+  F.localGet(Sum);
+}
+
+/// Integer all-pairs min-plus closure (floyd-warshall/nussinov shape).
+void emitFloyd(Kern &K, int N) {
+  FuncBuilder &F = K.fn();
+  const uint32_t D = 0;
+  // Init D[i][j] = ((i*7+j*13) % 97) + 1.
+  uint32_t I = K.i32(), J = K.i32(), L = K.i32();
+  K.forLoop(I, 0, N, [&] {
+    K.forLoop(J, 0, N, [&] {
+      F.localGet(I);
+      F.i32Const(N);
+      F.op(Opcode::I32Mul);
+      F.localGet(J);
+      F.op(Opcode::I32Add);
+      F.i32Const(4);
+      F.op(Opcode::I32Mul);
+      F.localGet(I);
+      F.i32Const(7);
+      F.op(Opcode::I32Mul);
+      F.localGet(J);
+      F.i32Const(13);
+      F.op(Opcode::I32Mul);
+      F.op(Opcode::I32Add);
+      F.i32Const(97);
+      F.op(Opcode::I32RemU);
+      F.i32Const(1);
+      F.op(Opcode::I32Add);
+      K.storeI32(D);
+    });
+  });
+  auto Idx32 = [&](uint32_t Ii, uint32_t Jj) {
+    F.localGet(Ii);
+    F.i32Const(N);
+    F.op(Opcode::I32Mul);
+    F.localGet(Jj);
+    F.op(Opcode::I32Add);
+    F.i32Const(4);
+    F.op(Opcode::I32Mul);
+  };
+  uint32_t Ta = K.i32(), Tb = K.i32();
+  K.forLoop(L, 0, N, [&] {
+    K.forLoop(I, 0, N, [&] {
+      K.forLoop(J, 0, N, [&] {
+        // D[i][j] = min(D[i][j], D[i][k] + D[k][j])
+        Idx32(I, L);
+        K.loadI32(D);
+        Idx32(L, J);
+        K.loadI32(D);
+        F.op(Opcode::I32Add);
+        F.localSet(Tb);
+        Idx32(I, J);
+        K.loadI32(D);
+        F.localSet(Ta);
+        Idx32(I, J);
+        F.localGet(Ta);
+        F.localGet(Tb);
+        F.localGet(Ta);
+        F.localGet(Tb);
+        F.op(Opcode::I32LtS);
+        F.select();
+        K.storeI32(D);
+      });
+    });
+  });
+  uint32_t Sum = K.i64(), I2 = K.i32();
+  K.forLoop(I2, 0, N * N, [&] {
+    F.localGet(Sum);
+    F.localGet(I2);
+    F.i32Const(4);
+    F.op(Opcode::I32Mul);
+    K.loadI32(D);
+    F.op(Opcode::I64ExtendI32U);
+    F.op(Opcode::I64Add);
+    F.localSet(Sum);
+  });
+  F.localGet(Sum);
+}
+
+/// Mean-centered cross-products (covariance/correlation shape).
+void emitCovariance(Kern &K, int N, int M) {
+  FuncBuilder &F = K.fn();
+  const uint32_t Data = 0, Mean = uint32_t(N * M * 8),
+                 Cov = Mean + uint32_t(M * 8);
+  K.initF64(Data, N * M, 41, 0.3);
+  uint32_t I = K.i32(), J = K.i32(), L = K.i32(), Acc = K.f64();
+  // Column means.
+  K.forLoop(J, 0, M, [&] {
+    F.f64Const(0);
+    F.localSet(Acc);
+    K.forLoop(I, 0, N, [&] {
+      F.localGet(Acc);
+      K.idx2(I, J, M);
+      K.loadF64(Data);
+      F.op(Opcode::F64Add);
+      F.localSet(Acc);
+    });
+    K.idx1(J);
+    F.localGet(Acc);
+    F.f64Const(double(N));
+    F.op(Opcode::F64Div);
+    K.storeF64(Mean);
+  });
+  // Covariance matrix.
+  K.forLoop(I, 0, M, [&] {
+    K.forLoop(J, 0, M, [&] {
+      F.f64Const(0);
+      F.localSet(Acc);
+      K.forLoop(L, 0, N, [&] {
+        F.localGet(Acc);
+        K.idx2(L, I, M);
+        K.loadF64(Data);
+        K.idx1(I);
+        K.loadF64(Mean);
+        F.op(Opcode::F64Sub);
+        K.idx2(L, J, M);
+        K.loadF64(Data);
+        K.idx1(J);
+        K.loadF64(Mean);
+        F.op(Opcode::F64Sub);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Add);
+        F.localSet(Acc);
+      });
+      K.idx2(I, J, M);
+      F.localGet(Acc);
+      F.f64Const(double(N - 1));
+      F.op(Opcode::F64Div);
+      K.storeF64(Cov);
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(Cov, M * M, Sum);
+  F.localGet(Sum);
+}
+
+std::vector<LineItem> wisp_polybench(int Scale) {
+  int S = Scale;
+  std::vector<LineItem> Items;
+  auto Mk = [&](const std::string &Name, const Emitter &E) {
+    Items.push_back(makeItem("polybench", Name, ValType::F64, S, E));
+  };
+  auto MkI = [&](const std::string &Name, const Emitter &E) {
+    Items.push_back(makeItem("polybench", Name, ValType::I64, S, E));
+  };
+  Mk("2mm", [](Kern &K, int S) { emitMatmul(K, 18 + 2 * S, 1.2, 0.8, false); });
+  Mk("3mm", [](Kern &K, int S) { emitMatmul(K, 20 + 2 * S, 1.0, 1.0, false); });
+  Mk("adi", [](Kern &K, int S) { emitStencil2d(K, 28, 6 * S, 0.5, 0.11); });
+  Mk("atax", [](Kern &K, int S) { emitMatvec(K, 40, 8 * S, false); });
+  Mk("bicg", [](Kern &K, int S) { emitMatvec(K, 40, 8 * S, true); });
+  Mk("cholesky", [](Kern &K, int S) { emitTrisolve(K, 36, 10 * S); });
+  Mk("correlation", [](Kern &K, int S) { emitCovariance(K, 40 + S, 22); });
+  Mk("covariance", [](Kern &K, int S) { emitCovariance(K, 36 + S, 26); });
+  Mk("doitgen", [](Kern &K, int S) { emitMatmul(K, 16 + S, 1.0, 0.0, false); });
+  Mk("durbin", [](Kern &K, int S) { emitStencil1d(K, 400, 60 * S, 0.6, 0.2); });
+  Mk("fdtd-2d", [](Kern &K, int S) { emitStencil2d(K, 30, 8 * S, 0.7, 0.075); });
+  MkI("floyd-warshall", [](Kern &K, int S) { emitFloyd(K, 18 + 2 * S); });
+  Mk("gemm", [](Kern &K, int S) { emitMatmul(K, 22 + 2 * S, 1.5, 1.2, false); });
+  Mk("gemver", [](Kern &K, int S) { emitMatvec(K, 44, 8 * S, false); });
+  Mk("gesummv", [](Kern &K, int S) { emitMatvec(K, 36, 10 * S, true); });
+  Mk("gramschmidt", [](Kern &K, int S) { emitTrisolve(K, 32, 12 * S); });
+  Mk("heat-3d", [](Kern &K, int S) { emitStencil2d(K, 26, 10 * S, 0.4, 0.15); });
+  Mk("jacobi-1d", [](Kern &K, int S) { emitStencil1d(K, 600, 40 * S, 0.34, 0.33); });
+  Mk("jacobi-2d", [](Kern &K, int S) { emitStencil2d(K, 32, 8 * S, 0.2, 0.2); });
+  Mk("lu", [](Kern &K, int S) { emitTrisolve(K, 40, 8 * S); });
+  Mk("ludcmp", [](Kern &K, int S) { emitTrisolve(K, 38, 9 * S); });
+  Mk("mvt", [](Kern &K, int S) { emitMatvec(K, 48, 6 * S, false); });
+  MkI("nussinov", [](Kern &K, int S) { emitFloyd(K, 16 + 2 * S); });
+  Mk("seidel-2d", [](Kern &K, int S) { emitStencil2d(K, 30, 7 * S, 0.25, 0.19); });
+  Mk("symm", [](Kern &K, int S) { emitMatmul(K, 20 + 2 * S, 0.9, 1.1, true); });
+  Mk("syr2k", [](Kern &K, int S) { emitMatmul(K, 19 + 2 * S, 1.3, 0.7, true); });
+  Mk("syrk", [](Kern &K, int S) { emitMatmul(K, 21 + 2 * S, 1.1, 0.9, true); });
+  Mk("trmm", [](Kern &K, int S) { emitMatmul(K, 20 + 2 * S, 1.0, 0.5, true); });
+  return Items;
+}
+
+// ---------------------------------------------------------------------------
+// Libsodium-shaped kernels: integer crypto primitive shapes.
+// ---------------------------------------------------------------------------
+
+/// ChaCha/Salsa-style quarter-round mixing over a 16-word i32 state.
+void emitChaCha(Kern &K, int Rounds, int Blocks, uint32_t SeedMix) {
+  FuncBuilder &F = K.fn();
+  uint32_t X[16];
+  for (int I = 0; I < 16; ++I)
+    X[I] = K.i32();
+  uint32_t Blk = K.i32(), Rd = K.i32(), Acc = K.i64();
+  auto QR = [&](uint32_t A, uint32_t B, uint32_t C, uint32_t D) {
+    auto Step = [&](uint32_t P, uint32_t Q, uint32_t R, int Rot) {
+      // p += q; r ^= p; r = rotl(r, rot)
+      F.localGet(P);
+      F.localGet(Q);
+      F.op(Opcode::I32Add);
+      F.localSet(P);
+      F.localGet(R);
+      F.localGet(P);
+      F.op(Opcode::I32Xor);
+      F.i32Const(Rot);
+      F.op(Opcode::I32Rotl);
+      F.localSet(R);
+    };
+    Step(A, B, D, 16);
+    Step(C, D, B, 12);
+    Step(A, B, D, 8);
+    Step(C, D, B, 7);
+  };
+  K.forLoop(Blk, 0, Blocks, [&] {
+    // Key/counter setup.
+    for (int I = 0; I < 16; ++I) {
+      F.localGet(Blk);
+      F.i32Const(int32_t(SeedMix + uint32_t(I) * 0x9e3779b9u));
+      F.op(Opcode::I32Xor);
+      F.localSet(X[I]);
+    }
+    K.forLoop(Rd, 0, Rounds / 2, [&] {
+      QR(X[0], X[4], X[8], X[12]);
+      QR(X[1], X[5], X[9], X[13]);
+      QR(X[2], X[6], X[10], X[14]);
+      QR(X[3], X[7], X[11], X[15]);
+      QR(X[0], X[5], X[10], X[15]);
+      QR(X[1], X[6], X[11], X[12]);
+      QR(X[2], X[7], X[8], X[13]);
+      QR(X[3], X[4], X[9], X[14]);
+    });
+    for (int I = 0; I < 16; ++I) {
+      F.localGet(Acc);
+      F.localGet(X[I]);
+      F.op(Opcode::I64ExtendI32U);
+      F.op(Opcode::I64Add);
+      F.localSet(Acc);
+    }
+  });
+  F.localGet(Acc);
+}
+
+/// Blake2b/SipHash-style 64-bit ARX mixing.
+void emitArx64(Kern &K, int Rounds, int Blocks, int R1, int R2, int R3,
+               int R4) {
+  FuncBuilder &F = K.fn();
+  uint32_t V0 = K.i64(), V1 = K.i64(), V2 = K.i64(), V3 = K.i64();
+  uint32_t Blk = K.i32(), Rd = K.i32(), Acc = K.i64();
+  auto Round = [&] {
+    auto Mix = [&](uint32_t A, uint32_t B, int Rot) {
+      F.localGet(A);
+      F.localGet(B);
+      F.op(Opcode::I64Add);
+      F.localSet(A);
+      F.localGet(B);
+      F.localGet(A);
+      F.op(Opcode::I64Xor);
+      F.i64Const(Rot);
+      F.op(Opcode::I64Rotl);
+      F.localSet(B);
+    };
+    Mix(V0, V1, R1);
+    Mix(V2, V3, R2);
+    Mix(V0, V3, R3);
+    Mix(V2, V1, R4);
+  };
+  K.forLoop(Blk, 0, Blocks, [&] {
+    F.localGet(Blk);
+    F.op(Opcode::I64ExtendI32U);
+    F.i64Const(0x736f6d6570736575ll);
+    F.op(Opcode::I64Xor);
+    F.localSet(V0);
+    F.i64Const(0x646f72616e646f6dll);
+    F.localSet(V1);
+    F.i64Const(0x6c7967656e657261ll);
+    F.localSet(V2);
+    F.i64Const(0x7465646279746573ll);
+    F.localSet(V3);
+    K.forLoop(Rd, 0, Rounds, [&] { Round(); });
+    F.localGet(Acc);
+    F.localGet(V0);
+    F.localGet(V1);
+    F.op(Opcode::I64Xor);
+    F.localGet(V2);
+    F.localGet(V3);
+    F.op(Opcode::I64Xor);
+    F.op(Opcode::I64Add);
+    F.op(Opcode::I64Add);
+    F.localSet(Acc);
+  });
+  F.localGet(Acc);
+}
+
+/// Poly1305-style multiply-accumulate MAC over memory.
+void emitPolyMac(Kern &K, int Bytes, int Reps) {
+  FuncBuilder &F = K.fn();
+  // Fill the buffer with a byte pattern.
+  uint32_t I = K.i32();
+  K.forLoop(I, 0, Bytes / 8, [&] {
+    K.idx1(I);
+    F.localGet(I);
+    F.op(Opcode::I64ExtendI32U);
+    F.i64Const(0x0101010101010101ll);
+    F.op(Opcode::I64Mul);
+    K.storeI64(0);
+  });
+  uint32_t R = K.i32(), H = K.i64();
+  K.forLoop(R, 0, Reps, [&] {
+    K.forLoop(I, 0, Bytes / 8, [&] {
+      // h = (h + m[i]) * r mod 2^64 (the reduction shape simplified).
+      F.localGet(H);
+      K.idx1(I);
+      K.loadI64(0);
+      F.op(Opcode::I64Add);
+      F.i64Const(0x3fffffffffffll);
+      F.op(Opcode::I64And);
+      F.i64Const(0x0ffffffc0fffffffll);
+      F.op(Opcode::I64Mul);
+      F.localSet(H);
+    });
+  });
+  F.localGet(H);
+}
+
+/// SHA-256-style round logic (i32 sigma functions).
+void emitSha256ish(Kern &K, int Blocks) {
+  FuncBuilder &F = K.fn();
+  uint32_t A = K.i32(), B = K.i32(), C = K.i32(), D = K.i32(), T = K.i32();
+  uint32_t Blk = K.i32(), Rd = K.i32(), Acc = K.i64();
+  K.forLoop(Blk, 0, Blocks, [&] {
+    F.i32Const(0x6a09e667);
+    F.localSet(A);
+    F.i32Const(int32_t(0xbb67ae85));
+    F.localSet(B);
+    F.i32Const(0x3c6ef372);
+    F.localSet(C);
+    F.localGet(Blk);
+    F.localSet(D);
+    K.forLoop(Rd, 0, 64, [&] {
+      // t = (rotr(a,2) ^ rotr(a,13) ^ rotr(a,22)) + ((a&b)^(a&c)^(b&c)) + d
+      F.localGet(A);
+      F.i32Const(2);
+      F.op(Opcode::I32Rotr);
+      F.localGet(A);
+      F.i32Const(13);
+      F.op(Opcode::I32Rotr);
+      F.op(Opcode::I32Xor);
+      F.localGet(A);
+      F.i32Const(22);
+      F.op(Opcode::I32Rotr);
+      F.op(Opcode::I32Xor);
+      F.localGet(A);
+      F.localGet(B);
+      F.op(Opcode::I32And);
+      F.localGet(A);
+      F.localGet(C);
+      F.op(Opcode::I32And);
+      F.op(Opcode::I32Xor);
+      F.localGet(B);
+      F.localGet(C);
+      F.op(Opcode::I32And);
+      F.op(Opcode::I32Xor);
+      F.op(Opcode::I32Add);
+      F.localGet(D);
+      F.op(Opcode::I32Add);
+      F.localSet(T);
+      // Rotate the registers.
+      F.localGet(C);
+      F.localSet(D);
+      F.localGet(B);
+      F.localSet(C);
+      F.localGet(A);
+      F.localSet(B);
+      F.localGet(T);
+      F.localGet(Rd);
+      F.op(Opcode::I32Add);
+      F.localSet(A);
+    });
+    F.localGet(Acc);
+    F.localGet(A);
+    F.op(Opcode::I64ExtendI32U);
+    F.op(Opcode::I64Add);
+    F.localSet(Acc);
+  });
+  F.localGet(Acc);
+}
+
+/// Stream-cipher XOR application over a memory buffer.
+void emitXorStream(Kern &K, int Bytes, int Reps) {
+  FuncBuilder &F = K.fn();
+  uint32_t I = K.i32(), R = K.i32(), Acc = K.i64();
+  K.forLoop(I, 0, Bytes / 8, [&] {
+    K.idx1(I);
+    F.localGet(I);
+    F.op(Opcode::I64ExtendI32U);
+    K.storeI64(0);
+  });
+  K.forLoop(R, 0, Reps, [&] {
+    K.forLoop(I, 0, Bytes / 8, [&] {
+      K.idx1(I);
+      K.idx1(I);
+      K.loadI64(0);
+      F.localGet(R);
+      F.op(Opcode::I64ExtendI32U);
+      F.i64Const(0x9e3779b97f4a7c15ll);
+      F.op(Opcode::I64Mul);
+      F.op(Opcode::I64Xor);
+      K.storeI64(0);
+    });
+  });
+  K.forLoop(I, 0, Bytes / 8, [&] {
+    F.localGet(Acc);
+    K.idx1(I);
+    K.loadI64(0);
+    F.op(Opcode::I64Add);
+    F.localSet(Acc);
+  });
+  F.localGet(Acc);
+}
+
+std::vector<LineItem> wisp_libsodium(int Scale) {
+  int S = Scale;
+  std::vector<LineItem> Items;
+  auto Mk = [&](const std::string &Name, const Emitter &E) {
+    Items.push_back(makeItem("libsodium", Name, ValType::I64, S, E));
+  };
+  // ChaCha/Salsa family (stream ciphers and AEAD cores).
+  Mk("stream_chacha20", [](Kern &K, int S) { emitChaCha(K, 20, 160 * S, 1); });
+  Mk("stream_chacha20_ietf", [](Kern &K, int S) { emitChaCha(K, 20, 150 * S, 2); });
+  Mk("stream_chacha12", [](Kern &K, int S) { emitChaCha(K, 12, 240 * S, 3); });
+  Mk("stream_chacha8", [](Kern &K, int S) { emitChaCha(K, 8, 320 * S, 4); });
+  Mk("stream_salsa20", [](Kern &K, int S) { emitChaCha(K, 20, 150 * S, 5); });
+  Mk("stream_salsa2012", [](Kern &K, int S) { emitChaCha(K, 12, 230 * S, 6); });
+  Mk("stream_salsa208", [](Kern &K, int S) { emitChaCha(K, 8, 300 * S, 7); });
+  Mk("stream_xchacha20", [](Kern &K, int S) { emitChaCha(K, 20, 140 * S, 8); });
+  Mk("aead_chacha20poly1305", [](Kern &K, int S) { emitChaCha(K, 20, 130 * S, 9); });
+  Mk("aead_xchacha20poly1305", [](Kern &K, int S) { emitChaCha(K, 20, 120 * S, 10); });
+  // Blake2b / SipHash family.
+  Mk("generichash_blake2b", [](Kern &K, int S) { emitArx64(K, 12, 300 * S, 32, 24, 16, 63); });
+  Mk("generichash_blake2b_salt", [](Kern &K, int S) { emitArx64(K, 12, 280 * S, 32, 24, 16, 63); });
+  Mk("generichash_blake2b_4k", [](Kern &K, int S) { emitArx64(K, 12, 500 * S, 32, 24, 16, 63); });
+  Mk("shorthash_siphash24", [](Kern &K, int S) { emitArx64(K, 6, 600 * S, 13, 16, 17, 21); });
+  Mk("shorthash_siphashx24", [](Kern &K, int S) { emitArx64(K, 6, 550 * S, 13, 16, 17, 21); });
+  Mk("hash_sha512_core", [](Kern &K, int S) { emitArx64(K, 16, 260 * S, 28, 34, 39, 14); });
+  Mk("auth_hmacsha512", [](Kern &K, int S) { emitArx64(K, 16, 240 * S, 28, 34, 39, 14); });
+  Mk("sign_ed25519_core", [](Kern &K, int S) { emitArx64(K, 10, 300 * S, 25, 30, 11, 41); });
+  Mk("kdf_blake2b", [](Kern &K, int S) { emitArx64(K, 12, 220 * S, 32, 24, 16, 63); });
+  // Poly1305 family.
+  Mk("onetimeauth_poly1305", [](Kern &K, int S) { emitPolyMac(K, 4096, 12 * S); });
+  Mk("onetimeauth_poly1305_2k", [](Kern &K, int S) { emitPolyMac(K, 2048, 22 * S); });
+  Mk("auth_poly1305_8k", [](Kern &K, int S) { emitPolyMac(K, 8192, 6 * S); });
+  // SHA-256 family.
+  Mk("hash_sha256", [](Kern &K, int S) { emitSha256ish(K, 220 * S); });
+  Mk("auth_hmacsha256", [](Kern &K, int S) { emitSha256ish(K, 200 * S); });
+  Mk("auth_hmacsha256_4k", [](Kern &K, int S) { emitSha256ish(K, 320 * S); });
+  Mk("hash_sha256_8k", [](Kern &K, int S) { emitSha256ish(K, 420 * S); });
+  // Secretbox / box compositions (stream + MAC shapes).
+  Mk("secretbox_easy", [](Kern &K, int S) { emitXorStream(K, 4096, 24 * S); });
+  Mk("secretbox_open", [](Kern &K, int S) { emitXorStream(K, 4096, 22 * S); });
+  Mk("box_easy", [](Kern &K, int S) { emitXorStream(K, 2048, 40 * S); });
+  Mk("box_seal", [](Kern &K, int S) { emitXorStream(K, 2048, 36 * S); });
+  Mk("secretstream_push", [](Kern &K, int S) { emitXorStream(K, 8192, 12 * S); });
+  Mk("secretstream_pull", [](Kern &K, int S) { emitXorStream(K, 8192, 11 * S); });
+  Mk("stream_xor_16k", [](Kern &K, int S) { emitXorStream(K, 16384, 6 * S); });
+  Mk("stream_xor_1k", [](Kern &K, int S) { emitXorStream(K, 1024, 90 * S); });
+  // Scalar arithmetic shapes (curve operations are big-int mul chains).
+  Mk("scalarmult_curve25519", [](Kern &K, int S) { emitPolyMac(K, 2048, 30 * S); });
+  Mk("core_ristretto255", [](Kern &K, int S) { emitPolyMac(K, 1024, 55 * S); });
+  Mk("sign_detached", [](Kern &K, int S) { emitArx64(K, 10, 280 * S, 25, 30, 11, 41); });
+  Mk("sign_verify", [](Kern &K, int S) { emitArx64(K, 10, 260 * S, 25, 30, 11, 41); });
+  Mk("kx_client_session", [](Kern &K, int S) { emitChaCha(K, 20, 110 * S, 11); });
+  return Items;
+}
+
+// ---------------------------------------------------------------------------
+// Ostrich-shaped "dwarf" kernels.
+// ---------------------------------------------------------------------------
+
+/// N-body force accumulation (lavamd/nbody shape).
+void emitNbody(Kern &K, int N, int Steps) {
+  FuncBuilder &F = K.fn();
+  const uint32_t Px = 0, Py = uint32_t(N * 8), Fx = uint32_t(2 * N * 8),
+                 Fy = uint32_t(3 * N * 8);
+  K.initF64(Px, N, 37, 0.7);
+  K.initF64(Py, N, 51, 0.9);
+  uint32_t T = K.i32(), I = K.i32(), J = K.i32(), Dx = K.f64(), Dy = K.f64(),
+           R2 = K.f64();
+  K.forLoop(T, 0, Steps, [&] {
+    K.forLoop(I, 0, N, [&] {
+      K.idx1(I);
+      F.f64Const(0);
+      K.storeF64(Fx);
+      K.idx1(I);
+      F.f64Const(0);
+      K.storeF64(Fy);
+      K.forLoop(J, 0, N, [&] {
+        K.idx1(J);
+        K.loadF64(Px);
+        K.idx1(I);
+        K.loadF64(Px);
+        F.op(Opcode::F64Sub);
+        F.localSet(Dx);
+        K.idx1(J);
+        K.loadF64(Py);
+        K.idx1(I);
+        K.loadF64(Py);
+        F.op(Opcode::F64Sub);
+        F.localSet(Dy);
+        F.localGet(Dx);
+        F.localGet(Dx);
+        F.op(Opcode::F64Mul);
+        F.localGet(Dy);
+        F.localGet(Dy);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Add);
+        F.f64Const(0.5);
+        F.op(Opcode::F64Add);
+        F.localSet(R2);
+        K.idx1(I);
+        K.idx1(I);
+        K.loadF64(Fx);
+        F.localGet(Dx);
+        F.localGet(R2);
+        F.op(Opcode::F64Div);
+        F.op(Opcode::F64Add);
+        K.storeF64(Fx);
+        K.idx1(I);
+        K.idx1(I);
+        K.loadF64(Fy);
+        F.localGet(Dy);
+        F.localGet(R2);
+        F.op(Opcode::F64Div);
+        F.op(Opcode::F64Add);
+        K.storeF64(Fy);
+      });
+    });
+    // Integrate.
+    K.forLoop(I, 0, N, [&] {
+      K.idx1(I);
+      K.idx1(I);
+      K.loadF64(Px);
+      K.idx1(I);
+      K.loadF64(Fx);
+      F.f64Const(0.001);
+      F.op(Opcode::F64Mul);
+      F.op(Opcode::F64Add);
+      K.storeF64(Px);
+      K.idx1(I);
+      K.idx1(I);
+      K.loadF64(Py);
+      K.idx1(I);
+      K.loadF64(Fy);
+      F.f64Const(0.001);
+      F.op(Opcode::F64Mul);
+      F.op(Opcode::F64Add);
+      K.storeF64(Py);
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(Px, N, Sum);
+  K.sumF64(Py, N, Sum);
+  F.localGet(Sum);
+}
+
+/// CRC-32 bitwise over a buffer (crc dwarf).
+void emitCrc(Kern &K, int Bytes, int Reps) {
+  FuncBuilder &F = K.fn();
+  uint32_t I = K.i32(), R = K.i32(), Crc = K.i32(), Byte = K.i32(),
+           Bit = K.i32();
+  K.forLoop(I, 0, Bytes, [&] {
+    F.localGet(I);
+    F.localGet(I);
+    F.i32Const(0x5bd1e995);
+    F.op(Opcode::I32Mul);
+    F.i32Const(24);
+    F.op(Opcode::I32ShrU);
+    F.store(Opcode::I32Store8, 0, 0);
+  });
+  uint32_t Acc = K.i64();
+  K.forLoop(R, 0, Reps, [&] {
+    F.i32Const(-1);
+    F.localSet(Crc);
+    K.forLoop(I, 0, Bytes, [&] {
+      F.localGet(I);
+      F.load(Opcode::I32Load8U, 0, 0);
+      F.localSet(Byte);
+      F.localGet(Crc);
+      F.localGet(Byte);
+      F.op(Opcode::I32Xor);
+      F.localSet(Crc);
+      K.forLoop(Bit, 0, 8, [&] {
+        F.localGet(Crc);
+        F.i32Const(1);
+        F.op(Opcode::I32ShrU);
+        F.localGet(Crc);
+        F.i32Const(1);
+        F.op(Opcode::I32And);
+        F.ifOp(BlockType::oneResult(ValType::I32));
+        F.i32Const(int32_t(0xEDB88320));
+        F.elseOp();
+        F.i32Const(0);
+        F.end();
+        F.op(Opcode::I32Xor);
+        F.localSet(Crc);
+      });
+    });
+    F.localGet(Acc);
+    F.localGet(Crc);
+    F.op(Opcode::I64ExtendI32U);
+    F.op(Opcode::I64Add);
+    F.localSet(Acc);
+  });
+  F.localGet(Acc);
+}
+
+/// Sparse matrix-vector product in CSR form (spmv dwarf).
+void emitSpmv(Kern &K, int N, int NnzPerRow, int Reps) {
+  FuncBuilder &F = K.fn();
+  int Nnz = N * NnzPerRow;
+  const uint32_t Cols = 0, Vals = uint32_t(Nnz * 4), X = Vals + uint32_t(Nnz * 8),
+                 Y = X + uint32_t(N * 8);
+  uint32_t I = K.i32(), J = K.i32(), Acc = K.f64();
+  // Build the pattern: row i touches columns (i*7 + j*13) % N.
+  K.forLoop(I, 0, Nnz, [&] {
+    F.localGet(I);
+    F.i32Const(4);
+    F.op(Opcode::I32Mul);
+    F.localGet(I);
+    F.i32Const(13);
+    F.op(Opcode::I32Mul);
+    F.i32Const(N);
+    F.op(Opcode::I32RemU);
+    K.storeI32(Cols);
+    K.idx1(I);
+    F.localGet(I);
+    F.i32Const(31);
+    F.op(Opcode::I32RemS);
+    F.op(Opcode::F64ConvertI32S);
+    F.f64Const(0.25);
+    F.op(Opcode::F64Mul);
+    K.storeF64(Vals);
+  });
+  K.initF64(X, N, 9, 1.0);
+  uint32_t R = K.i32();
+  K.forLoop(R, 0, Reps, [&] {
+    K.forLoop(I, 0, N, [&] {
+      F.f64Const(0);
+      F.localSet(Acc);
+      K.forLoop(J, 0, NnzPerRow, [&] {
+        // idx = i*NnzPerRow + j
+        F.localGet(Acc);
+        F.localGet(I);
+        F.i32Const(NnzPerRow);
+        F.op(Opcode::I32Mul);
+        F.localGet(J);
+        F.op(Opcode::I32Add);
+        F.i32Const(8);
+        F.op(Opcode::I32Mul);
+        K.loadF64(Vals);
+        F.localGet(I);
+        F.i32Const(NnzPerRow);
+        F.op(Opcode::I32Mul);
+        F.localGet(J);
+        F.op(Opcode::I32Add);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        K.loadI32(Cols);
+        F.i32Const(8);
+        F.op(Opcode::I32Mul);
+        K.loadF64(X);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Add);
+        F.localSet(Acc);
+      });
+      K.idx1(I);
+      F.localGet(Acc);
+      K.storeF64(Y);
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(Y, N, Sum);
+  F.localGet(Sum);
+}
+
+/// Iterative FFT-like butterfly sweeps (fft dwarf).
+void emitFftLike(Kern &K, int LogN, int Reps) {
+  FuncBuilder &F = K.fn();
+  int N = 1 << LogN;
+  const uint32_t Re = 0, Im = uint32_t(N * 8);
+  K.initF64(Re, N, 21, 0.4);
+  K.initF64(Im, N, 27, 0.3);
+  uint32_t R = K.i32(), S = K.i32(), I = K.i32(), Half = K.i32(),
+           Tr = K.f64(), Ti = K.f64();
+  K.forLoop(R, 0, Reps, [&] {
+    K.forLoop(S, 0, LogN, [&] {
+      // half = 1 << s
+      F.i32Const(1);
+      F.localGet(S);
+      F.op(Opcode::I32Shl);
+      F.localSet(Half);
+      K.forLoop(I, 0, N / 2, [&] {
+        // Butterfly between i and i+half (indices wrapped).
+        // tr = re[i] - re[(i+half)%N]; ti = im[i] - im[(i+half)%N]
+        auto WrapIdx = [&](uint32_t Base) {
+          F.localGet(I);
+          F.localGet(Half);
+          F.op(Opcode::I32Add);
+          F.i32Const(N - 1);
+          F.op(Opcode::I32And);
+          F.i32Const(8);
+          F.op(Opcode::I32Mul);
+          K.loadF64(Base);
+        };
+        K.idx1(I);
+        K.loadF64(Re);
+        WrapIdx(Re);
+        F.op(Opcode::F64Sub);
+        F.localSet(Tr);
+        K.idx1(I);
+        K.loadF64(Im);
+        WrapIdx(Im);
+        F.op(Opcode::F64Sub);
+        F.localSet(Ti);
+        K.idx1(I);
+        K.idx1(I);
+        K.loadF64(Re);
+        F.localGet(Ti);
+        F.f64Const(0.5);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Add);
+        K.storeF64(Re);
+        K.idx1(I);
+        K.idx1(I);
+        K.loadF64(Im);
+        F.localGet(Tr);
+        F.f64Const(0.5);
+        F.op(Opcode::F64Mul);
+        F.op(Opcode::F64Sub);
+        K.storeF64(Im);
+      });
+    });
+  });
+  uint32_t Sum = K.f64();
+  K.sumF64(Re, N, Sum);
+  K.sumF64(Im, N, Sum);
+  F.localGet(Sum);
+}
+
+/// K-means point assignment + centroid update (kmeans dwarf).
+void emitKmeans(Kern &K, int N, int Kc, int Iters) {
+  FuncBuilder &F = K.fn();
+  const uint32_t Pt = 0, Cx = uint32_t(N * 8), Cnt = Cx + uint32_t(Kc * 8),
+                 Asn = Cnt + uint32_t(Kc * 4);
+  K.initF64(Pt, N, 83, 0.11);
+  K.initF64(Cx, Kc, 3, 4.0);
+  uint32_t It = K.i32(), I = K.i32(), C = K.i32(), Best = K.i32(),
+           BestD = K.f64(), Dd = K.f64();
+  K.forLoop(It, 0, Iters, [&] {
+    K.forLoop(I, 0, N, [&] {
+      F.i32Const(0);
+      F.localSet(Best);
+      F.f64Const(1e30);
+      F.localSet(BestD);
+      K.forLoop(C, 0, Kc, [&] {
+        K.idx1(I);
+        K.loadF64(Pt);
+        K.idx1(C);
+        K.loadF64(Cx);
+        F.op(Opcode::F64Sub);
+        F.localSet(Dd);
+        F.localGet(Dd);
+        F.localGet(Dd);
+        F.op(Opcode::F64Mul);
+        F.localSet(Dd);
+        F.localGet(Dd);
+        F.localGet(BestD);
+        F.op(Opcode::F64Lt);
+        F.ifOp();
+        F.localGet(Dd);
+        F.localSet(BestD);
+        F.localGet(C);
+        F.localSet(Best);
+        F.end();
+      });
+      F.localGet(I);
+      F.i32Const(4);
+      F.op(Opcode::I32Mul);
+      F.localGet(Best);
+      K.storeI32(Asn);
+    });
+    // Update centroids (single pass accumulate).
+    K.forLoop(C, 0, Kc, [&] {
+      F.localGet(C);
+      F.i32Const(4);
+      F.op(Opcode::I32Mul);
+      F.i32Const(0);
+      K.storeI32(Cnt);
+    });
+    K.forLoop(I, 0, N, [&] {
+      F.localGet(I);
+      F.i32Const(4);
+      F.op(Opcode::I32Mul);
+      K.loadI32(Asn);
+      F.localSet(Best);
+      F.localGet(Best);
+      F.i32Const(4);
+      F.op(Opcode::I32Mul);
+      F.localGet(Best);
+      F.i32Const(4);
+      F.op(Opcode::I32Mul);
+      K.loadI32(Cnt);
+      F.i32Const(1);
+      F.op(Opcode::I32Add);
+      K.storeI32(Cnt);
+    });
+  });
+  uint32_t Sum = K.i64(), I2 = K.i32();
+  K.forLoop(I2, 0, Kc, [&] {
+    F.localGet(Sum);
+    F.localGet(I2);
+    F.i32Const(4);
+    F.op(Opcode::I32Mul);
+    K.loadI32(Cnt);
+    F.op(Opcode::I64ExtendI32S);
+    F.op(Opcode::I64Add);
+    F.localSet(Sum);
+  });
+  F.localGet(Sum);
+}
+
+/// Grid BFS via frontier sweeps (bfs dwarf; integer, branchy).
+void emitBfs(Kern &K, int Side, int Reps) {
+  FuncBuilder &F = K.fn();
+  int N = Side * Side;
+  const uint32_t Dist = 0;
+  uint32_t R = K.i32(), I = K.i32(), It = K.i32(), Changed = K.i32(),
+           Acc = K.i64();
+  K.forLoop(R, 0, Reps, [&] {
+    // dist[i] = big except source.
+    K.forLoop(I, 0, N, [&] {
+      F.localGet(I);
+      F.i32Const(4);
+      F.op(Opcode::I32Mul);
+      F.localGet(I);
+      F.i32Const(0);
+      F.op(Opcode::I32Eq);
+      F.ifOp(BlockType::oneResult(ValType::I32));
+      F.i32Const(0);
+      F.elseOp();
+      F.i32Const(1 << 20);
+      F.end();
+      K.storeI32(Dist);
+    });
+    // Bellman-Ford-ish sweeps over the grid edges.
+    K.forLoop(It, 0, Side, [&] {
+      F.i32Const(0);
+      F.localSet(Changed);
+      K.forLoop(I, 0, N, [&] {
+        // relax from left neighbor when not on the left edge.
+        F.localGet(I);
+        F.i32Const(Side);
+        F.op(Opcode::I32RemU);
+        F.ifOp();
+        F.localGet(I);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        K.loadI32(Dist);
+        F.localGet(I);
+        F.i32Const(1);
+        F.op(Opcode::I32Sub);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        K.loadI32(Dist);
+        F.i32Const(1);
+        F.op(Opcode::I32Add);
+        F.op(Opcode::I32GtS);
+        F.ifOp();
+        F.localGet(I);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        F.localGet(I);
+        F.i32Const(1);
+        F.op(Opcode::I32Sub);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        K.loadI32(Dist);
+        F.i32Const(1);
+        F.op(Opcode::I32Add);
+        K.storeI32(Dist);
+        F.i32Const(1);
+        F.localSet(Changed);
+        F.end();
+        F.end();
+        // relax from the upper neighbor.
+        F.localGet(I);
+        F.i32Const(Side);
+        F.op(Opcode::I32GeS);
+        F.ifOp();
+        F.localGet(I);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        K.loadI32(Dist);
+        F.localGet(I);
+        F.i32Const(Side);
+        F.op(Opcode::I32Sub);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        K.loadI32(Dist);
+        F.i32Const(1);
+        F.op(Opcode::I32Add);
+        F.op(Opcode::I32GtS);
+        F.ifOp();
+        F.localGet(I);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        F.localGet(I);
+        F.i32Const(Side);
+        F.op(Opcode::I32Sub);
+        F.i32Const(4);
+        F.op(Opcode::I32Mul);
+        K.loadI32(Dist);
+        F.i32Const(1);
+        F.op(Opcode::I32Add);
+        K.storeI32(Dist);
+        F.end();
+        F.end();
+      });
+      F.localGet(Changed);
+      F.drop();
+    });
+    K.forLoop(I, 0, N, [&] {
+      F.localGet(Acc);
+      F.localGet(I);
+      F.i32Const(4);
+      F.op(Opcode::I32Mul);
+      K.loadI32(Dist);
+      F.op(Opcode::I64ExtendI32S);
+      F.op(Opcode::I64Add);
+      F.localSet(Acc);
+    });
+  });
+  F.localGet(Acc);
+}
+
+std::vector<LineItem> wisp_ostrich(int Scale) {
+  int S = Scale;
+  std::vector<LineItem> Items;
+  auto MkF = [&](const std::string &Name, const Emitter &E) {
+    Items.push_back(makeItem("ostrich", Name, ValType::F64, S, E));
+  };
+  auto MkI = [&](const std::string &Name, const Emitter &E) {
+    Items.push_back(makeItem("ostrich", Name, ValType::I64, S, E));
+  };
+  MkF("backprop", [](Kern &K, int S) { emitMatvec(K, 56, 6 * S, false); });
+  MkI("bfs", [](Kern &K, int S) { emitBfs(K, 24, 4 * S); });
+  MkI("crc", [](Kern &K, int S) { emitCrc(K, 1024, 6 * S); });
+  MkF("fft", [](Kern &K, int S) { emitFftLike(K, 9, 12 * S); });
+  MkF("hmm", [](Kern &K, int S) { emitCovariance(K, 48, 24); });
+  MkI("kmeans", [](Kern &K, int S) { emitKmeans(K, 1500, 12, 8 * S); });
+  MkF("lavamd", [](Kern &K, int S) { emitNbody(K, 110, 2 * S); });
+  MkF("lud", [](Kern &K, int S) { emitTrisolve(K, 44, 8 * S); });
+  MkI("nqueens", [](Kern &K, int S) { emitBfs(K, 20, 6 * S); });
+  MkF("spmv", [](Kern &K, int S) { emitSpmv(K, 600, 10, 10 * S); });
+  MkF("srad", [](Kern &K, int S) { emitStencil2d(K, 34, 8 * S, 0.35, 0.16); });
+  return Items;
+}
+
+} // namespace
+
+std::vector<LineItem> wisp::polybenchSuite(int Scale) {
+  return wisp_polybench(Scale);
+}
+std::vector<LineItem> wisp::libsodiumSuite(int Scale) {
+  return wisp_libsodium(Scale);
+}
+std::vector<LineItem> wisp::ostrichSuite(int Scale) {
+  return wisp_ostrich(Scale);
+}
+
+std::vector<LineItem> wisp::allSuites(int Scale) {
+  std::vector<LineItem> All = polybenchSuite(Scale);
+  std::vector<LineItem> L = libsodiumSuite(Scale);
+  std::vector<LineItem> O = ostrichSuite(Scale);
+  All.insert(All.end(), L.begin(), L.end());
+  All.insert(All.end(), O.begin(), O.end());
+  return All;
+}
+
+std::vector<uint8_t> wisp::nopModule() {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.op(Opcode::Nop);
+  MB.exportFunc("run", MB.funcIndex(F));
+  return MB.build();
+}

@@ -1,0 +1,52 @@
+//===- suites/suites.h - benchmark workload generators ----------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic generators for the three benchmark suites of the paper's
+/// evaluation (§VI): a PolyBenchC-shaped suite of 28 f64 loop-nest kernels,
+/// a Libsodium-shaped suite of 39 integer crypto-style kernels, and an
+/// Ostrich-shaped suite of 11 "dwarf" kernels. Each line item is a complete
+/// Wasm binary module exporting `run: [] -> [i64|f64]` plus the same module
+/// with an early `return` at the top of `run` (the paper's m0 methodology
+/// for bounding setup time), and the 104-byte no-op module Mnop.
+///
+/// These are synthetic equivalents, not the original C translations: each
+/// item exercises the same opcode mixes and loop shapes (see DESIGN.md's
+/// substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SUITES_SUITES_H
+#define WISP_SUITES_SUITES_H
+
+#include "runtime/value.h"
+
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+/// One benchmark line item.
+struct LineItem {
+  std::string Suite;
+  std::string Name;
+  std::vector<uint8_t> Bytes;   ///< The module.
+  std::vector<uint8_t> M0Bytes; ///< Early-return variant (setup bound).
+  ValType ResultType = ValType::I64;
+};
+
+/// Scale factor: 1 = quick (CI-friendly), larger = longer main loops.
+std::vector<LineItem> polybenchSuite(int Scale = 1);
+std::vector<LineItem> libsodiumSuite(int Scale = 1);
+std::vector<LineItem> ostrichSuite(int Scale = 1);
+std::vector<LineItem> allSuites(int Scale = 1);
+
+/// The smallest possible module: one empty function, exported as "run".
+std::vector<uint8_t> nopModule();
+
+} // namespace wisp
+
+#endif // WISP_SUITES_SUITES_H

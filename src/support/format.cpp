@@ -1,0 +1,31 @@
+//===- support/format.cpp - printf-style std::string formatting ----------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/format.h"
+
+#include <cstdio>
+
+using namespace wisp;
+
+std::string wisp::strFormatV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Result(size_t(Needed), '\0');
+  vsnprintf(Result.data(), size_t(Needed) + 1, Fmt, Args);
+  return Result;
+}
+
+std::string wisp::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = strFormatV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}

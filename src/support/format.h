@@ -1,0 +1,30 @@
+//===- support/format.h - printf-style std::string formatting --*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helper returning std::string. Used for
+/// error messages, listings and benchmark tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SUPPORT_FORMAT_H
+#define WISP_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace wisp {
+
+/// Formats like printf into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of strFormat.
+std::string strFormatV(const char *Fmt, va_list Args);
+
+} // namespace wisp
+
+#endif // WISP_SUPPORT_FORMAT_H

@@ -1,0 +1,125 @@
+//===- support/leb128.h - LEB128 encoding and decoding ---------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LEB128 variable-length integer encoding/decoding used throughout the
+/// WebAssembly binary format. Decoders are bounds-checked and report
+/// malformed encodings (overlong, out-of-range, truncated).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SUPPORT_LEB128_H
+#define WISP_SUPPORT_LEB128_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wisp {
+
+/// Appends an unsigned LEB128 encoding of \p Value to \p Out.
+inline void writeULEB128(std::vector<uint8_t> &Out, uint64_t Value) {
+  do {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    if (Value != 0)
+      Byte |= 0x80;
+    Out.push_back(Byte);
+  } while (Value != 0);
+}
+
+/// Appends a signed LEB128 encoding of \p Value to \p Out.
+inline void writeSLEB128(std::vector<uint8_t> &Out, int64_t Value) {
+  bool More = true;
+  while (More) {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    if ((Value == 0 && !(Byte & 0x40)) || (Value == -1 && (Byte & 0x40)))
+      More = false;
+    else
+      Byte |= 0x80;
+    Out.push_back(Byte);
+  }
+}
+
+/// Result of a bounds-checked LEB128 decode.
+struct LebResult {
+  uint64_t Value = 0; ///< Decoded value (bit pattern for signed variants).
+  size_t Length = 0;  ///< Number of bytes consumed; 0 on malformed input.
+  bool Ok = false;
+};
+
+/// Decodes an unsigned LEB128 value of at most \p MaxBits bits starting at
+/// \p P, not reading past \p End. Rejects overlong encodings and values that
+/// do not fit in \p MaxBits.
+inline LebResult readULEB128(const uint8_t *P, const uint8_t *End,
+                             unsigned MaxBits) {
+  LebResult R;
+  uint64_t Value = 0;
+  unsigned Shift = 0;
+  const uint8_t *Start = P;
+  while (P < End) {
+    uint8_t Byte = *P++;
+    if (Shift >= MaxBits)
+      return R; // Too many bytes for the requested width.
+    unsigned BitsLeft = MaxBits - Shift;
+    if (BitsLeft < 7) {
+      if (Byte & 0x80)
+        return R; // Continuation past the last allowed byte.
+      if ((Byte >> BitsLeft) != 0)
+        return R; // High bits set beyond the allowed width.
+    }
+    Value |= uint64_t(Byte & 0x7f) << Shift;
+    if ((Byte & 0x80) == 0) {
+      R.Value = Value;
+      R.Length = size_t(P - Start);
+      R.Ok = true;
+      return R;
+    }
+    Shift += 7;
+  }
+  return R; // Truncated.
+}
+
+/// Decodes a signed LEB128 value of at most \p MaxBits bits. The decoded
+/// value is sign-extended to 64 bits and returned as a bit pattern.
+inline LebResult readSLEB128(const uint8_t *P, const uint8_t *End,
+                             unsigned MaxBits) {
+  LebResult R;
+  uint64_t Value = 0;
+  unsigned Shift = 0;
+  const uint8_t *Start = P;
+  while (P < End) {
+    uint8_t Byte = *P++;
+    if (Shift >= MaxBits)
+      return R;
+    unsigned BitsLeft = MaxBits - Shift;
+    if (BitsLeft < 7) {
+      if (Byte & 0x80)
+        return R;
+      // The unused high bits must all equal the sign bit.
+      uint8_t SignBits = Byte >> (BitsLeft - 1);
+      uint8_t Mask = uint8_t(0x7f >> (BitsLeft - 1));
+      if (SignBits != 0 && SignBits != Mask)
+        return R;
+    }
+    Value |= uint64_t(Byte & 0x7f) << Shift;
+    Shift += 7;
+    if ((Byte & 0x80) == 0) {
+      if (Shift < 64 && (Byte & 0x40))
+        Value |= ~uint64_t(0) << Shift; // Sign extend.
+      R.Value = Value;
+      R.Length = size_t(P - Start);
+      R.Ok = true;
+      return R;
+    }
+  }
+  return R; // Truncated.
+}
+
+} // namespace wisp
+
+#endif // WISP_SUPPORT_LEB128_H

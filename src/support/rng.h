@@ -1,0 +1,56 @@
+//===- support/rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG used by workload generators and
+/// property tests. Deterministic across platforms so generated Wasm modules
+/// and random programs are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SUPPORT_RNG_H
+#define WISP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace wisp {
+
+/// Deterministic 64-bit RNG (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns a value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + int64_t(below(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace wisp
+
+#endif // WISP_SUPPORT_RNG_H

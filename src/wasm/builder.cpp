@@ -1,0 +1,311 @@
+//===- wasm/builder.cpp - programmatic Wasm module construction -----------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wasm/builder.h"
+
+#include <cassert>
+
+using namespace wisp;
+
+uint32_t ModuleBuilder::addType(std::vector<ValType> Params,
+                                std::vector<ValType> Results) {
+  FuncType FT;
+  FT.Params = std::move(Params);
+  FT.Results = std::move(Results);
+  for (size_t I = 0; I < Types.size(); ++I)
+    if (Types[I] == FT)
+      return uint32_t(I);
+  Types.push_back(std::move(FT));
+  return uint32_t(Types.size() - 1);
+}
+
+uint32_t ModuleBuilder::importFunc(const std::string &Mod,
+                                   const std::string &Name,
+                                   uint32_t TypeIdx) {
+  assert(Funcs.empty() && "imports must precede function definitions");
+  assert(TypeIdx < Types.size() && "type index out of range");
+  Imports.push_back({Mod, Name, TypeIdx});
+  return uint32_t(Imports.size() - 1);
+}
+
+FuncBuilder &ModuleBuilder::addFunc(uint32_t TypeIdx) {
+  assert(TypeIdx < Types.size() && "type index out of range");
+  auto FB = std::make_unique<FuncBuilder>();
+  FB->TypeIndex = TypeIdx;
+  FB->NumParams = uint32_t(Types[TypeIdx].Params.size());
+  Funcs.push_back(std::move(FB));
+  return *Funcs.back();
+}
+
+uint32_t ModuleBuilder::funcIndex(const FuncBuilder &FB) const {
+  for (size_t I = 0; I < Funcs.size(); ++I)
+    if (Funcs[I].get() == &FB)
+      return uint32_t(Imports.size() + I);
+  assert(false && "builder does not belong to this module");
+  return 0;
+}
+
+uint32_t ModuleBuilder::addMemory(uint32_t MinPages,
+                                  std::optional<uint32_t> MaxPages) {
+  Limits L;
+  L.Min = MinPages;
+  if (MaxPages) {
+    L.HasMax = true;
+    L.Max = *MaxPages;
+  }
+  Memories.push_back(L);
+  return uint32_t(Memories.size() - 1);
+}
+
+uint32_t ModuleBuilder::addTable(uint32_t Min, std::optional<uint32_t> Max,
+                                 ValType Elem) {
+  TableDef T;
+  T.Elem = Elem;
+  T.Lim.Min = Min;
+  if (Max) {
+    T.Lim.HasMax = true;
+    T.Lim.Max = *Max;
+  }
+  Tables.push_back(T);
+  return uint32_t(Tables.size() - 1);
+}
+
+uint32_t ModuleBuilder::addGlobal(ValType T, bool Mutable, InitExpr Init) {
+  Globals.push_back({T, Mutable, Init});
+  return uint32_t(Globals.size() - 1);
+}
+
+void ModuleBuilder::addExport(const std::string &Name, ExternKind Kind,
+                              uint32_t Index) {
+  Exports.push_back({Name, Kind, Index});
+}
+
+void ModuleBuilder::addElem(uint32_t Offset,
+                            std::vector<uint32_t> FuncIndices) {
+  Elems.push_back({Offset, std::move(FuncIndices)});
+}
+
+void ModuleBuilder::addData(uint32_t Offset, std::vector<uint8_t> Bytes) {
+  Datas.push_back({Offset, std::move(Bytes)});
+}
+
+static void writeName(std::vector<uint8_t> &Out, const std::string &S) {
+  writeULEB128(Out, S.size());
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+static void writeLimits(std::vector<uint8_t> &Out, const Limits &L) {
+  Out.push_back(L.HasMax ? 0x01 : 0x00);
+  writeULEB128(Out, L.Min);
+  if (L.HasMax)
+    writeULEB128(Out, L.Max);
+}
+
+static void writeInitExpr(std::vector<uint8_t> &Out, const InitExpr &E) {
+  switch (E.K) {
+  case InitExpr::Const:
+    switch (E.Type) {
+    case ValType::I32:
+      Out.push_back(uint8_t(Opcode::I32Const));
+      writeSLEB128(Out, int32_t(E.Bits));
+      break;
+    case ValType::I64:
+      Out.push_back(uint8_t(Opcode::I64Const));
+      writeSLEB128(Out, int64_t(E.Bits));
+      break;
+    case ValType::F32:
+      Out.push_back(uint8_t(Opcode::F32Const));
+      for (int I = 0; I < 4; ++I)
+        Out.push_back(uint8_t(E.Bits >> (8 * I)));
+      break;
+    case ValType::F64:
+      Out.push_back(uint8_t(Opcode::F64Const));
+      for (int I = 0; I < 8; ++I)
+        Out.push_back(uint8_t(E.Bits >> (8 * I)));
+      break;
+    default:
+      assert(false && "bad const init type");
+    }
+    break;
+  case InitExpr::GlobalGet:
+    Out.push_back(uint8_t(Opcode::GlobalGet));
+    writeULEB128(Out, E.Index);
+    break;
+  case InitExpr::RefNull:
+    Out.push_back(uint8_t(Opcode::RefNull));
+    Out.push_back(valTypeToByte(E.Type));
+    break;
+  case InitExpr::RefFuncIdx:
+    Out.push_back(uint8_t(Opcode::RefFunc));
+    writeULEB128(Out, E.Index);
+    break;
+  }
+  Out.push_back(uint8_t(Opcode::End));
+}
+
+/// Appends a section: id byte, payload size, payload.
+static void writeSection(std::vector<uint8_t> &Out, uint8_t Id,
+                         const std::vector<uint8_t> &Payload) {
+  if (Payload.empty())
+    return;
+  Out.push_back(Id);
+  writeULEB128(Out, Payload.size());
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+}
+
+std::vector<uint8_t> ModuleBuilder::build() const {
+  std::vector<uint8_t> Out = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+  std::vector<uint8_t> Sec;
+
+  // Type section.
+  if (!Types.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Types.size());
+    for (const FuncType &T : Types) {
+      Sec.push_back(0x60);
+      writeULEB128(Sec, T.Params.size());
+      for (ValType P : T.Params)
+        Sec.push_back(valTypeToByte(P));
+      writeULEB128(Sec, T.Results.size());
+      for (ValType R : T.Results)
+        Sec.push_back(valTypeToByte(R));
+    }
+    writeSection(Out, 1, Sec);
+  }
+
+  // Import section.
+  if (!Imports.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Imports.size());
+    for (const ImportedFunc &I : Imports) {
+      writeName(Sec, I.Mod);
+      writeName(Sec, I.Name);
+      Sec.push_back(0x00);
+      writeULEB128(Sec, I.TypeIdx);
+    }
+    writeSection(Out, 2, Sec);
+  }
+
+  // Function section.
+  if (!Funcs.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Funcs.size());
+    for (const auto &F : Funcs)
+      writeULEB128(Sec, F->TypeIndex);
+    writeSection(Out, 3, Sec);
+  }
+
+  // Table section.
+  if (!Tables.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Tables.size());
+    for (const TableDef &T : Tables) {
+      Sec.push_back(valTypeToByte(T.Elem));
+      writeLimits(Sec, T.Lim);
+    }
+    writeSection(Out, 4, Sec);
+  }
+
+  // Memory section.
+  if (!Memories.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Memories.size());
+    for (const Limits &L : Memories)
+      writeLimits(Sec, L);
+    writeSection(Out, 5, Sec);
+  }
+
+  // Global section.
+  if (!Globals.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Globals.size());
+    for (const GlobalDef &G : Globals) {
+      Sec.push_back(valTypeToByte(G.T));
+      Sec.push_back(G.Mutable ? 1 : 0);
+      writeInitExpr(Sec, G.Init);
+    }
+    writeSection(Out, 6, Sec);
+  }
+
+  // Export section.
+  if (!Exports.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Exports.size());
+    for (const ExportDef &E : Exports) {
+      writeName(Sec, E.Name);
+      Sec.push_back(uint8_t(E.Kind));
+      writeULEB128(Sec, E.Index);
+    }
+    writeSection(Out, 7, Sec);
+  }
+
+  // Start section.
+  if (Start) {
+    Sec.clear();
+    writeULEB128(Sec, *Start);
+    writeSection(Out, 8, Sec);
+  }
+
+  // Element section.
+  if (!Elems.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Elems.size());
+    for (const ElemSeg &E : Elems) {
+      writeULEB128(Sec, 0); // Flags: active, table 0.
+      Sec.push_back(uint8_t(Opcode::I32Const));
+      writeSLEB128(Sec, int32_t(E.Offset));
+      Sec.push_back(uint8_t(Opcode::End));
+      writeULEB128(Sec, E.Funcs.size());
+      for (uint32_t F : E.Funcs)
+        writeULEB128(Sec, F);
+    }
+    writeSection(Out, 9, Sec);
+  }
+
+  // Code section.
+  if (!Funcs.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Funcs.size());
+    for (const auto &F : Funcs) {
+      // Compress locals into runs of equal types.
+      std::vector<std::pair<uint32_t, ValType>> Groups;
+      for (ValType T : F->Locals) {
+        if (!Groups.empty() && Groups.back().second == T)
+          ++Groups.back().first;
+        else
+          Groups.push_back({1, T});
+      }
+      std::vector<uint8_t> Body;
+      writeULEB128(Body, Groups.size());
+      for (auto &[N, T] : Groups) {
+        writeULEB128(Body, N);
+        Body.push_back(valTypeToByte(T));
+      }
+      Body.insert(Body.end(), F->Body.begin(), F->Body.end());
+      Body.push_back(uint8_t(Opcode::End));
+      writeULEB128(Sec, Body.size());
+      Sec.insert(Sec.end(), Body.begin(), Body.end());
+    }
+    writeSection(Out, 10, Sec);
+  }
+
+  // Data section.
+  if (!Datas.empty()) {
+    Sec.clear();
+    writeULEB128(Sec, Datas.size());
+    for (const DataSeg &D : Datas) {
+      writeULEB128(Sec, 0); // Flags: active, memory 0.
+      Sec.push_back(uint8_t(Opcode::I32Const));
+      writeSLEB128(Sec, int32_t(D.Offset));
+      Sec.push_back(uint8_t(Opcode::End));
+      writeULEB128(Sec, D.Bytes.size());
+      Sec.insert(Sec.end(), D.Bytes.begin(), D.Bytes.end());
+    }
+    writeSection(Out, 11, Sec);
+  }
+
+  return Out;
+}

@@ -1,0 +1,299 @@
+//===- wasm/builder.h - programmatic Wasm module construction ---*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds WebAssembly *binary* modules programmatically. Tests, examples
+/// and the benchmark workload generators use this to produce real .wasm
+/// bytes that then go through the full decode/validate/execute pipeline,
+/// so measured setup costs are honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_WASM_BUILDER_H
+#define WISP_WASM_BUILDER_H
+
+#include "support/leb128.h"
+#include "wasm/module.h"
+#include "wasm/opcodes.h"
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+class ModuleBuilder;
+
+/// Builds one function body. Obtained from ModuleBuilder::addFunc.
+class FuncBuilder {
+public:
+  /// Declares a non-parameter local and returns its local index.
+  uint32_t addLocal(ValType T) {
+    Locals.push_back(T);
+    return NumParams + uint32_t(Locals.size()) - 1;
+  }
+
+  // --- Raw emission ---
+  void op(Opcode O) {
+    uint16_t V = uint16_t(O);
+    if (V >= 0xFC00) {
+      Body.push_back(0xFC);
+      writeULEB128(Body, V & 0xff);
+    } else {
+      Body.push_back(uint8_t(V));
+    }
+  }
+  void byte(uint8_t B) { Body.push_back(B); }
+  void u32(uint32_t V) { writeULEB128(Body, V); }
+
+  // --- Constants ---
+  void i32Const(int32_t V) {
+    op(Opcode::I32Const);
+    writeSLEB128(Body, V);
+  }
+  void i64Const(int64_t V) {
+    op(Opcode::I64Const);
+    writeSLEB128(Body, V);
+  }
+  void f32Const(float V) {
+    op(Opcode::F32Const);
+    uint32_t Bits;
+    memcpy(&Bits, &V, 4);
+    for (int I = 0; I < 4; ++I)
+      Body.push_back(uint8_t(Bits >> (8 * I)));
+  }
+  void f64Const(double V) {
+    op(Opcode::F64Const);
+    uint64_t Bits;
+    memcpy(&Bits, &V, 8);
+    for (int I = 0; I < 8; ++I)
+      Body.push_back(uint8_t(Bits >> (8 * I)));
+  }
+
+  // --- Locals and globals ---
+  void localGet(uint32_t I) {
+    op(Opcode::LocalGet);
+    u32(I);
+  }
+  void localSet(uint32_t I) {
+    op(Opcode::LocalSet);
+    u32(I);
+  }
+  void localTee(uint32_t I) {
+    op(Opcode::LocalTee);
+    u32(I);
+  }
+  void globalGet(uint32_t I) {
+    op(Opcode::GlobalGet);
+    u32(I);
+  }
+  void globalSet(uint32_t I) {
+    op(Opcode::GlobalSet);
+    u32(I);
+  }
+
+  // --- Control flow ---
+  void blockType(BlockType BT) {
+    switch (BT.K) {
+    case BlockType::Empty:
+      Body.push_back(0x40);
+      break;
+    case BlockType::OneResult:
+      Body.push_back(valTypeToByte(BT.Result));
+      break;
+    case BlockType::FuncTypeIdx:
+      writeSLEB128(Body, int64_t(BT.TypeIdx));
+      break;
+    }
+  }
+  void block(BlockType BT = BlockType::empty()) {
+    op(Opcode::Block);
+    blockType(BT);
+  }
+  void loop(BlockType BT = BlockType::empty()) {
+    op(Opcode::Loop);
+    blockType(BT);
+  }
+  void ifOp(BlockType BT = BlockType::empty()) {
+    op(Opcode::If);
+    blockType(BT);
+  }
+  void elseOp() { op(Opcode::Else); }
+  void end() { op(Opcode::End); }
+  void br(uint32_t Depth) {
+    op(Opcode::Br);
+    u32(Depth);
+  }
+  void brIf(uint32_t Depth) {
+    op(Opcode::BrIf);
+    u32(Depth);
+  }
+  void brTable(const std::vector<uint32_t> &Targets, uint32_t Default) {
+    op(Opcode::BrTable);
+    u32(uint32_t(Targets.size()));
+    for (uint32_t T : Targets)
+      u32(T);
+    u32(Default);
+  }
+  void ret() { op(Opcode::Return); }
+  void unreachable() { op(Opcode::Unreachable); }
+
+  // --- Calls ---
+  void call(uint32_t FuncIdx) {
+    op(Opcode::Call);
+    u32(FuncIdx);
+  }
+  void callIndirect(uint32_t TypeIdx, uint32_t TableIdx = 0) {
+    op(Opcode::CallIndirect);
+    u32(TypeIdx);
+    u32(TableIdx);
+  }
+
+  // --- Memory ---
+  void load(Opcode O, uint32_t Offset, uint32_t AlignLog2 = 0) {
+    op(O);
+    u32(AlignLog2);
+    u32(Offset);
+  }
+  void store(Opcode O, uint32_t Offset, uint32_t AlignLog2 = 0) {
+    op(O);
+    u32(AlignLog2);
+    u32(Offset);
+  }
+  void memorySize() {
+    op(Opcode::MemorySize);
+    byte(0);
+  }
+  void memoryGrow() {
+    op(Opcode::MemoryGrow);
+    byte(0);
+  }
+  void memoryCopy() {
+    op(Opcode::MemoryCopy);
+    byte(0);
+    byte(0);
+  }
+  void memoryFill() {
+    op(Opcode::MemoryFill);
+    byte(0);
+  }
+
+  // --- Parametric and references ---
+  void drop() { op(Opcode::Drop); }
+  void select() { op(Opcode::Select); }
+  void selectT(ValType T) {
+    op(Opcode::SelectT);
+    u32(1);
+    byte(valTypeToByte(T));
+  }
+  void refNull(ValType T) {
+    op(Opcode::RefNull);
+    byte(valTypeToByte(T));
+  }
+  void refFunc(uint32_t FuncIdx) {
+    op(Opcode::RefFunc);
+    u32(FuncIdx);
+  }
+  void refIsNull() { op(Opcode::RefIsNull); }
+
+  uint32_t typeIdx() const { return TypeIndex; }
+
+private:
+  friend class ModuleBuilder;
+  uint32_t TypeIndex = 0;
+  uint32_t NumParams = 0;
+  std::vector<ValType> Locals;
+  std::vector<uint8_t> Body;
+};
+
+/// Builds a complete binary module.
+class ModuleBuilder {
+public:
+  /// Adds (or reuses) a function type; returns its type index.
+  uint32_t addType(std::vector<ValType> Params, std::vector<ValType> Results);
+
+  /// Imports a function. Must precede all addFunc calls. Returns the
+  /// function index.
+  uint32_t importFunc(const std::string &Mod, const std::string &Name,
+                      uint32_t TypeIdx);
+
+  /// Declares a module-defined function; returns a builder for its body.
+  /// Callers close their own blocks; build() appends the single
+  /// function-terminating `end` opcode.
+  FuncBuilder &addFunc(uint32_t TypeIdx);
+
+  /// Function index of a FuncBuilder previously returned by addFunc.
+  uint32_t funcIndex(const FuncBuilder &FB) const;
+
+  uint32_t addMemory(uint32_t MinPages,
+                     std::optional<uint32_t> MaxPages = std::nullopt);
+  uint32_t addTable(uint32_t Min, std::optional<uint32_t> Max = std::nullopt,
+                    ValType Elem = ValType::FuncRef);
+  uint32_t addGlobal(ValType T, bool Mutable, InitExpr Init);
+  void addExport(const std::string &Name, ExternKind Kind, uint32_t Index);
+  void exportFunc(const std::string &Name, uint32_t FuncIdx) {
+    addExport(Name, ExternKind::Func, FuncIdx);
+  }
+  void addElem(uint32_t Offset, std::vector<uint32_t> FuncIndices);
+  void addData(uint32_t Offset, std::vector<uint8_t> Bytes);
+  void setStart(uint32_t FuncIdx) { Start = FuncIdx; }
+
+  /// Convenience: a global with an i32/i64/f32/f64 constant initializer.
+  static InitExpr constInit(ValType T, uint64_t Bits) {
+    InitExpr E;
+    E.K = InitExpr::Const;
+    E.Type = T;
+    E.Bits = Bits;
+    return E;
+  }
+
+  /// Serializes the module to binary.
+  std::vector<uint8_t> build() const;
+
+private:
+  struct ImportedFunc {
+    std::string Mod, Name;
+    uint32_t TypeIdx;
+  };
+  struct ElemSeg {
+    uint32_t Offset;
+    std::vector<uint32_t> Funcs;
+  };
+  struct DataSeg {
+    uint32_t Offset;
+    std::vector<uint8_t> Bytes;
+  };
+  struct GlobalDef {
+    ValType T;
+    bool Mutable;
+    InitExpr Init;
+  };
+  struct ExportDef {
+    std::string Name;
+    ExternKind Kind;
+    uint32_t Index;
+  };
+  struct TableDef {
+    ValType Elem;
+    Limits Lim;
+  };
+
+  std::vector<FuncType> Types;
+  std::vector<ImportedFunc> Imports;
+  std::vector<std::unique_ptr<FuncBuilder>> Funcs;
+  std::vector<Limits> Memories;
+  std::vector<TableDef> Tables;
+  std::vector<GlobalDef> Globals;
+  std::vector<ExportDef> Exports;
+  std::vector<ElemSeg> Elems;
+  std::vector<DataSeg> Datas;
+  std::optional<uint32_t> Start;
+};
+
+} // namespace wisp
+
+#endif // WISP_WASM_BUILDER_H

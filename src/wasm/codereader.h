@@ -1,0 +1,229 @@
+//===- wasm/codereader.h - bytecode cursor ----------------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounds-checked cursor over Wasm bytecode, shared by the validator, the
+/// in-place interpreter and all compilers. Positions are absolute offsets
+/// into the module's byte buffer so that side-table entries, probes and OSR
+/// records all speak the same coordinate system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_WASM_CODEREADER_H
+#define WISP_WASM_CODEREADER_H
+
+#include "support/leb128.h"
+#include "wasm/opcodes.h"
+#include "wasm/types.h"
+
+#include <cstring>
+
+namespace wisp {
+
+/// Memory access immediate: alignment exponent and byte offset.
+struct MemArg {
+  uint32_t Align = 0;
+  uint32_t Offset = 0;
+};
+
+/// Bounds-checked bytecode cursor. On malformed input the cursor sets a
+/// failure flag and returns zero values; callers check ok() at convenient
+/// boundaries rather than after every read.
+class CodeReader {
+public:
+  CodeReader(const uint8_t *Bytes, size_t Start, size_t End)
+      : Bytes(Bytes), Pos(Start), End(End) {}
+
+  size_t pc() const { return Pos; }
+  void setPc(size_t P) { Pos = P; }
+  bool atEnd() const { return Pos >= End; }
+  bool ok() const { return !Failed; }
+  void fail() { Failed = true; }
+
+  /// Reads one opcode, consuming the 0xFC prefix byte if present.
+  Opcode readOpcode() {
+    uint8_t B = readByte();
+    if (B != 0xFC)
+      return Opcode(B);
+    uint64_t Sub = readU32();
+    if (Sub > 0xff) {
+      Failed = true;
+      return Opcode(0xFF); // Unassigned.
+    }
+    return Opcode(0xFC00 | uint16_t(Sub));
+  }
+
+  uint8_t readByte() {
+    if (Pos >= End) {
+      Failed = true;
+      return 0;
+    }
+    return Bytes[Pos++];
+  }
+
+  /// Reads a u32 LEB.
+  uint32_t readU32() {
+    LebResult R = readULEB128(Bytes + Pos, Bytes + End, 32);
+    if (!R.Ok) {
+      Failed = true;
+      return 0;
+    }
+    Pos += R.Length;
+    return uint32_t(R.Value);
+  }
+
+  /// Reads an s32 LEB (i32.const immediate).
+  int32_t readS32() {
+    LebResult R = readSLEB128(Bytes + Pos, Bytes + End, 32);
+    if (!R.Ok) {
+      Failed = true;
+      return 0;
+    }
+    Pos += R.Length;
+    return int32_t(R.Value);
+  }
+
+  /// Reads an s64 LEB (i64.const immediate).
+  int64_t readS64() {
+    LebResult R = readSLEB128(Bytes + Pos, Bytes + End, 64);
+    if (!R.Ok) {
+      Failed = true;
+      return 0;
+    }
+    Pos += R.Length;
+    return int64_t(R.Value);
+  }
+
+  /// Reads 4 little-endian bytes (f32.const immediate) as a bit pattern.
+  uint32_t readF32Bits() {
+    if (Pos + 4 > End) {
+      Failed = true;
+      return 0;
+    }
+    uint32_t V;
+    memcpy(&V, Bytes + Pos, 4);
+    Pos += 4;
+    return V;
+  }
+
+  /// Reads 8 little-endian bytes (f64.const immediate) as a bit pattern.
+  uint64_t readF64Bits() {
+    if (Pos + 8 > End) {
+      Failed = true;
+      return 0;
+    }
+    uint64_t V;
+    memcpy(&V, Bytes + Pos, 8);
+    Pos += 8;
+    return V;
+  }
+
+  /// Reads a block type (s33: negative = value type or empty, else index).
+  BlockType readBlockType() {
+    LebResult R = readSLEB128(Bytes + Pos, Bytes + End, 33);
+    if (!R.Ok) {
+      Failed = true;
+      return BlockType::empty();
+    }
+    Pos += R.Length;
+    int64_t V = int64_t(R.Value);
+    if (V >= 0)
+      return BlockType::funcType(uint32_t(V));
+    uint8_t Byte = uint8_t(V & 0x7f);
+    if (Byte == 0x40)
+      return BlockType::empty();
+    ValType T;
+    if (!valTypeFromByte(Byte, &T)) {
+      Failed = true;
+      return BlockType::empty();
+    }
+    return BlockType::oneResult(T);
+  }
+
+  MemArg readMemArg() {
+    MemArg A;
+    A.Align = readU32();
+    A.Offset = readU32();
+    return A;
+  }
+
+  /// Reads a value type byte.
+  ValType readValType() {
+    ValType T = ValType::I32;
+    if (!valTypeFromByte(readByte(), &T))
+      Failed = true;
+    return T;
+  }
+
+  /// Skips the immediates of \p Op (already consumed). Used by scanners
+  /// that walk code without interpreting it, e.g. probe insertion.
+  void skipImms(Opcode Op) {
+    switch (opInfo(Op).Imm) {
+    case ImmKind::None:
+      return;
+    case ImmKind::BlockType:
+      (void)readBlockType();
+      return;
+    case ImmKind::LabelIdx:
+    case ImmKind::FuncIdx:
+    case ImmKind::LocalIdx:
+    case ImmKind::GlobalIdx:
+      (void)readU32();
+      return;
+    case ImmKind::BrTable: {
+      uint32_t N = readU32();
+      for (uint32_t I = 0; I <= N && ok(); ++I)
+        (void)readU32();
+      return;
+    }
+    case ImmKind::CallIndirect:
+      (void)readU32();
+      (void)readU32();
+      return;
+    case ImmKind::MemArg:
+      (void)readMemArg();
+      return;
+    case ImmKind::MemIdx:
+      (void)readByte();
+      return;
+    case ImmKind::MemMemIdx:
+      (void)readByte();
+      (void)readByte();
+      return;
+    case ImmKind::I32Imm:
+      (void)readS32();
+      return;
+    case ImmKind::I64Imm:
+      (void)readS64();
+      return;
+    case ImmKind::F32Imm:
+      (void)readF32Bits();
+      return;
+    case ImmKind::F64Imm:
+      (void)readF64Bits();
+      return;
+    case ImmKind::RefType:
+      (void)readByte();
+      return;
+    case ImmKind::TypeVec: {
+      uint32_t N = readU32();
+      for (uint32_t I = 0; I < N && ok(); ++I)
+        (void)readByte();
+      return;
+    }
+    }
+  }
+
+private:
+  const uint8_t *Bytes;
+  size_t Pos;
+  size_t End;
+  bool Failed = false;
+};
+
+} // namespace wisp
+
+#endif // WISP_WASM_CODEREADER_H

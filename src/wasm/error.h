@@ -1,0 +1,29 @@
+//===- wasm/error.h - decode/validation error reporting ---------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error value reported by the binary reader and validator: a byte offset
+/// into the module and a human-readable message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_WASM_ERROR_H
+#define WISP_WASM_ERROR_H
+
+#include <cstddef>
+#include <string>
+
+namespace wisp {
+
+/// A malformed-module or validation error.
+struct WasmError {
+  size_t Offset = 0;
+  std::string Message;
+};
+
+} // namespace wisp
+
+#endif // WISP_WASM_ERROR_H

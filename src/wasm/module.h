@@ -1,0 +1,157 @@
+//===- wasm/module.h - WebAssembly module model -----------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory representation of a decoded WebAssembly module. Function
+/// bodies are *not* rewritten: they are byte ranges into the original
+/// module bytes, which is what enables in-place interpretation. Validation
+/// attaches a side table per function with pre-computed control transfer
+/// targets (see wasm/sidetable.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_WASM_MODULE_H
+#define WISP_WASM_MODULE_H
+
+#include "wasm/sidetable.h"
+#include "wasm/types.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+/// Kind of an import or export.
+enum class ExternKind : uint8_t { Func = 0, Table = 1, Memory = 2, Global = 3 };
+
+/// A constant initializer expression (globals, segment offsets).
+struct InitExpr {
+  enum Kind : uint8_t { Const, GlobalGet, RefNull, RefFuncIdx } K = Const;
+  ValType Type = ValType::I32;
+  uint64_t Bits = 0;  ///< Constant bit pattern when K == Const.
+  uint32_t Index = 0; ///< Global or function index.
+};
+
+/// A function: signature, locals and body byte range. Imports have no body.
+struct FuncDecl {
+  uint32_t TypeIdx = 0;
+  uint32_t Index = 0;
+  bool Imported = false;
+  std::string ImportModule;
+  std::string ImportName;
+
+  /// Declared (non-parameter) locals, expanded.
+  std::vector<ValType> Locals;
+  /// Body byte range [BodyStart, BodyEnd) in Module::Bytes, including the
+  /// terminating `end` opcode.
+  uint32_t BodyStart = 0;
+  uint32_t BodyEnd = 0;
+
+  // --- Filled in by validation ---
+  /// Parameters followed by declared locals.
+  std::vector<ValType> LocalTypes;
+  /// Maximum operand stack height (not counting locals).
+  uint32_t MaxStack = 0;
+  /// Control-transfer side table for in-place interpretation.
+  SideTable Table;
+
+  uint32_t numLocalSlots() const { return uint32_t(LocalTypes.size()); }
+  /// Total value-stack slots this function's frame needs.
+  uint32_t frameSlots() const { return numLocalSlots() + MaxStack; }
+};
+
+/// A global variable declaration.
+struct GlobalDecl {
+  ValType Type = ValType::I32;
+  bool Mutable = false;
+  bool Imported = false;
+  std::string ImportModule;
+  std::string ImportName;
+  InitExpr Init;
+};
+
+/// A table declaration (funcref or externref).
+struct TableDecl {
+  ValType Elem = ValType::FuncRef;
+  Limits Lim;
+};
+
+/// A linear memory declaration.
+struct MemoryDecl {
+  Limits Lim;
+};
+
+/// An export entry.
+struct Export {
+  std::string Name;
+  ExternKind Kind = ExternKind::Func;
+  uint32_t Index = 0;
+};
+
+/// An active element segment.
+struct ElemSegment {
+  uint32_t TableIdx = 0;
+  InitExpr Offset;
+  std::vector<uint32_t> FuncIndices;
+};
+
+/// An active data segment.
+struct DataSegment {
+  uint32_t MemIdx = 0;
+  InitExpr Offset;
+  std::vector<uint8_t> Bytes;
+};
+
+/// A decoded WebAssembly module.
+class Module {
+public:
+  /// The original binary; function bodies point into this.
+  std::vector<uint8_t> Bytes;
+
+  std::vector<FuncType> Types;
+  std::vector<FuncDecl> Funcs; ///< Imported functions first.
+  std::vector<GlobalDecl> Globals;
+  std::vector<TableDecl> Tables;
+  std::vector<MemoryDecl> Memories;
+  std::vector<Export> Exports;
+  std::vector<ElemSegment> Elems;
+  std::vector<DataSegment> Datas;
+  std::optional<uint32_t> Start;
+
+  uint32_t NumImportedFuncs = 0;
+  uint32_t NumImportedGlobals = 0;
+  bool Validated = false;
+
+  /// Returns the signature of function \p FuncIdx.
+  const FuncType &funcType(uint32_t FuncIdx) const {
+    assert(FuncIdx < Funcs.size() && "function index out of range");
+    return Types[Funcs[FuncIdx].TypeIdx];
+  }
+
+  /// Finds an exported entity by name; returns nullptr if absent.
+  const Export *findExport(const std::string &Name, ExternKind Kind) const {
+    for (const Export &E : Exports)
+      if (E.Kind == Kind && E.Name == Name)
+        return &E;
+    return nullptr;
+  }
+
+  /// Sum of all function body sizes in bytes (the paper's per-module "code
+  /// bytes" denominator for compile-speed measurements).
+  size_t codeBytes() const {
+    size_t Sum = 0;
+    for (const FuncDecl &F : Funcs)
+      if (!F.Imported)
+        Sum += F.BodyEnd - F.BodyStart;
+    return Sum;
+  }
+};
+
+} // namespace wisp
+
+#endif // WISP_WASM_MODULE_H

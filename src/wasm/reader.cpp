@@ -1,0 +1,546 @@
+//===- wasm/reader.cpp - WebAssembly binary decoder -----------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wasm/reader.h"
+
+#include "support/format.h"
+#include "wasm/codereader.h"
+
+using namespace wisp;
+
+namespace {
+
+/// Section ids in the binary format.
+enum SectionId : uint8_t {
+  SecCustom = 0,
+  SecType = 1,
+  SecImport = 2,
+  SecFunction = 3,
+  SecTable = 4,
+  SecMemory = 5,
+  SecGlobal = 6,
+  SecExport = 7,
+  SecStart = 8,
+  SecElem = 9,
+  SecCode = 10,
+  SecData = 11,
+  SecDataCount = 12,
+};
+
+/// Stateful decoder over the module bytes.
+class ModuleReader {
+public:
+  ModuleReader(Module &M, WasmError *Err)
+      : M(M), Err(Err), R(M.Bytes.data(), 0, M.Bytes.size()) {}
+
+  bool run();
+
+private:
+  bool error(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+  bool checkOk() {
+    if (R.ok())
+      return true;
+    return error("malformed LEB128 or truncated section");
+  }
+
+  bool readHeader();
+  bool readSection();
+  bool readTypeSection(size_t End);
+  bool readImportSection(size_t End);
+  bool readFunctionSection(size_t End);
+  bool readTableSection(size_t End);
+  bool readMemorySection(size_t End);
+  bool readGlobalSection(size_t End);
+  bool readExportSection(size_t End);
+  bool readStartSection(size_t End);
+  bool readElemSection(size_t End);
+  bool readCodeSection(size_t End);
+  bool readDataSection(size_t End);
+
+  bool readLimits(Limits *L);
+  bool readInitExpr(InitExpr *E, ValType Expect);
+  bool readName(std::string *S);
+
+  Module &M;
+  WasmError *Err;
+  CodeReader R;
+  uint32_t NumDeclaredFuncs = 0;
+  int LastSection = -1;
+};
+
+} // namespace
+
+bool ModuleReader::error(const char *Fmt, ...) {
+  if (Err) {
+    va_list Args;
+    va_start(Args, Fmt);
+    Err->Message = strFormatV(Fmt, Args);
+    va_end(Args);
+    Err->Offset = R.pc();
+  }
+  return false;
+}
+
+bool ModuleReader::readHeader() {
+  static const uint8_t Magic[8] = {0x00, 0x61, 0x73, 0x6d,
+                                   0x01, 0x00, 0x00, 0x00};
+  if (M.Bytes.size() < 8)
+    return error("module shorter than header");
+  for (int I = 0; I < 8; ++I)
+    if (M.Bytes[size_t(I)] != Magic[I])
+      return error("bad magic number or version");
+  R.setPc(8);
+  return true;
+}
+
+bool ModuleReader::readName(std::string *S) {
+  uint32_t Len = R.readU32();
+  if (!checkOk())
+    return false;
+  if (R.pc() + Len > M.Bytes.size())
+    return error("name extends past end of module");
+  S->assign(reinterpret_cast<const char *>(M.Bytes.data() + R.pc()), Len);
+  R.setPc(R.pc() + Len);
+  return true;
+}
+
+bool ModuleReader::readLimits(Limits *L) {
+  uint8_t Flags = R.readByte();
+  L->Min = R.readU32();
+  if (Flags == 0x01) {
+    L->HasMax = true;
+    L->Max = R.readU32();
+    if (R.ok() && L->Max < L->Min)
+      return error("limits maximum smaller than minimum");
+  } else if (Flags != 0x00) {
+    return error("bad limits flags 0x%02x", Flags);
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readInitExpr(InitExpr *E, ValType Expect) {
+  Opcode Op = R.readOpcode();
+  if (!checkOk())
+    return false;
+  switch (Op) {
+  case Opcode::I32Const:
+    E->K = InitExpr::Const;
+    E->Type = ValType::I32;
+    E->Bits = uint64_t(uint32_t(R.readS32()));
+    break;
+  case Opcode::I64Const:
+    E->K = InitExpr::Const;
+    E->Type = ValType::I64;
+    E->Bits = uint64_t(R.readS64());
+    break;
+  case Opcode::F32Const:
+    E->K = InitExpr::Const;
+    E->Type = ValType::F32;
+    E->Bits = R.readF32Bits();
+    break;
+  case Opcode::F64Const:
+    E->K = InitExpr::Const;
+    E->Type = ValType::F64;
+    E->Bits = R.readF64Bits();
+    break;
+  case Opcode::GlobalGet:
+    E->K = InitExpr::GlobalGet;
+    E->Index = R.readU32();
+    if (R.ok()) {
+      if (E->Index >= M.NumImportedGlobals)
+        return error("init expr global.get %u must name an import", E->Index);
+      E->Type = M.Globals[E->Index].Type;
+    }
+    break;
+  case Opcode::RefNull: {
+    E->K = InitExpr::RefNull;
+    ValType T = R.readValType();
+    if (R.ok() && !isRefType(T))
+      return error("ref.null of non-reference type");
+    E->Type = T;
+    break;
+  }
+  case Opcode::RefFunc:
+    E->K = InitExpr::RefFuncIdx;
+    E->Type = ValType::FuncRef;
+    E->Index = R.readU32();
+    if (R.ok() && E->Index >= M.Funcs.size())
+      return error("init expr ref.func index out of range");
+    break;
+  default:
+    return error("unsupported init expression opcode");
+  }
+  if (!checkOk())
+    return false;
+  if (E->Type != Expect)
+    return error("init expression type mismatch: got %s, expected %s",
+                 valTypeName(E->Type), valTypeName(Expect));
+  if (R.readOpcode() != Opcode::End)
+    return error("init expression not terminated by end");
+  return checkOk();
+}
+
+bool ModuleReader::readTypeSection(size_t End) {
+  uint32_t Count = R.readU32();
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    if (R.readByte() != 0x60)
+      return error("type %u is not a function type", I);
+    FuncType FT;
+    uint32_t NParams = R.readU32();
+    for (uint32_t J = 0; J < NParams && R.ok(); ++J)
+      FT.Params.push_back(R.readValType());
+    uint32_t NResults = R.readU32();
+    for (uint32_t J = 0; J < NResults && R.ok(); ++J)
+      FT.Results.push_back(R.readValType());
+    if (!checkOk())
+      return false;
+    M.Types.push_back(std::move(FT));
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readImportSection(size_t End) {
+  uint32_t Count = R.readU32();
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    std::string Mod, Name;
+    if (!readName(&Mod) || !readName(&Name))
+      return false;
+    uint8_t Kind = R.readByte();
+    switch (ExternKind(Kind)) {
+    case ExternKind::Func: {
+      FuncDecl F;
+      F.TypeIdx = R.readU32();
+      if (R.ok() && F.TypeIdx >= M.Types.size())
+        return error("import func type index %u out of range", F.TypeIdx);
+      F.Imported = true;
+      F.ImportModule = std::move(Mod);
+      F.ImportName = std::move(Name);
+      F.Index = uint32_t(M.Funcs.size());
+      M.Funcs.push_back(std::move(F));
+      ++M.NumImportedFuncs;
+      break;
+    }
+    case ExternKind::Table: {
+      TableDecl T;
+      T.Elem = R.readValType();
+      if (R.ok() && !isRefType(T.Elem))
+        return error("table element type must be a reference type");
+      if (!readLimits(&T.Lim))
+        return false;
+      M.Tables.push_back(T);
+      break;
+    }
+    case ExternKind::Memory: {
+      MemoryDecl D;
+      if (!readLimits(&D.Lim))
+        return false;
+      M.Memories.push_back(D);
+      break;
+    }
+    case ExternKind::Global: {
+      GlobalDecl G;
+      G.Type = R.readValType();
+      uint8_t Mut = R.readByte();
+      if (Mut > 1)
+        return error("bad global mutability flag");
+      G.Mutable = Mut == 1;
+      G.Imported = true;
+      G.ImportModule = std::move(Mod);
+      G.ImportName = std::move(Name);
+      M.Globals.push_back(std::move(G));
+      ++M.NumImportedGlobals;
+      break;
+    }
+    default:
+      return error("bad import kind %u", Kind);
+    }
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readFunctionSection(size_t End) {
+  uint32_t Count = R.readU32();
+  NumDeclaredFuncs = Count;
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    FuncDecl F;
+    F.TypeIdx = R.readU32();
+    if (R.ok() && F.TypeIdx >= M.Types.size())
+      return error("function type index out of range");
+    F.Index = uint32_t(M.Funcs.size());
+    M.Funcs.push_back(std::move(F));
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readTableSection(size_t End) {
+  uint32_t Count = R.readU32();
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    TableDecl T;
+    T.Elem = R.readValType();
+    if (R.ok() && !isRefType(T.Elem))
+      return error("table element type must be a reference type");
+    if (!readLimits(&T.Lim))
+      return false;
+    M.Tables.push_back(T);
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readMemorySection(size_t End) {
+  uint32_t Count = R.readU32();
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    MemoryDecl D;
+    if (!readLimits(&D.Lim))
+      return false;
+    if (M.Memories.size() >= 1)
+      return error("at most one memory is supported");
+    M.Memories.push_back(D);
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readGlobalSection(size_t End) {
+  uint32_t Count = R.readU32();
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    GlobalDecl G;
+    G.Type = R.readValType();
+    uint8_t Mut = R.readByte();
+    if (Mut > 1)
+      return error("bad global mutability flag");
+    G.Mutable = Mut == 1;
+    if (!readInitExpr(&G.Init, G.Type))
+      return false;
+    M.Globals.push_back(std::move(G));
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readExportSection(size_t End) {
+  uint32_t Count = R.readU32();
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    Export E;
+    if (!readName(&E.Name))
+      return false;
+    uint8_t Kind = R.readByte();
+    if (Kind > 3)
+      return error("bad export kind %u", Kind);
+    E.Kind = ExternKind(Kind);
+    E.Index = R.readU32();
+    if (!checkOk())
+      return false;
+    size_t Bound = 0;
+    switch (E.Kind) {
+    case ExternKind::Func:
+      Bound = M.Funcs.size();
+      break;
+    case ExternKind::Table:
+      Bound = M.Tables.size();
+      break;
+    case ExternKind::Memory:
+      Bound = M.Memories.size();
+      break;
+    case ExternKind::Global:
+      Bound = M.Globals.size();
+      break;
+    }
+    if (E.Index >= Bound)
+      return error("export '%s' index %u out of range", E.Name.c_str(),
+                   E.Index);
+    M.Exports.push_back(std::move(E));
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readStartSection(size_t End) {
+  uint32_t Idx = R.readU32();
+  if (!checkOk())
+    return false;
+  if (Idx >= M.Funcs.size())
+    return error("start function index out of range");
+  M.Start = Idx;
+  return true;
+}
+
+bool ModuleReader::readElemSection(size_t End) {
+  uint32_t Count = R.readU32();
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    uint32_t Flags = R.readU32();
+    if (Flags != 0)
+      return error("only active funcref element segments are supported");
+    ElemSegment E;
+    E.TableIdx = 0;
+    if (M.Tables.empty())
+      return error("element segment without a table");
+    if (!readInitExpr(&E.Offset, ValType::I32))
+      return false;
+    uint32_t N = R.readU32();
+    for (uint32_t J = 0; J < N && R.ok(); ++J) {
+      uint32_t FuncIdx = R.readU32();
+      if (R.ok() && FuncIdx >= M.Funcs.size())
+        return error("element segment function index out of range");
+      E.FuncIndices.push_back(FuncIdx);
+    }
+    if (!checkOk())
+      return false;
+    M.Elems.push_back(std::move(E));
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readCodeSection(size_t End) {
+  uint32_t Count = R.readU32();
+  if (!checkOk())
+    return false;
+  if (Count != NumDeclaredFuncs)
+    return error("code section count %u does not match %u declared functions",
+                 Count, NumDeclaredFuncs);
+  for (uint32_t I = 0; I < Count; ++I) {
+    FuncDecl &F = M.Funcs[M.NumImportedFuncs + I];
+    uint32_t BodySize = R.readU32();
+    if (!checkOk())
+      return false;
+    size_t BodyEnd = R.pc() + BodySize;
+    if (BodyEnd > M.Bytes.size())
+      return error("function body extends past end of module");
+    // Locals.
+    uint32_t NumGroups = R.readU32();
+    uint64_t TotalLocals = 0;
+    for (uint32_t G = 0; G < NumGroups && R.ok(); ++G) {
+      uint32_t N = R.readU32();
+      ValType T = R.readValType();
+      TotalLocals += N;
+      if (TotalLocals > 50000)
+        return error("too many locals");
+      for (uint32_t J = 0; J < N; ++J)
+        F.Locals.push_back(T);
+    }
+    if (!checkOk())
+      return false;
+    F.BodyStart = uint32_t(R.pc());
+    F.BodyEnd = uint32_t(BodyEnd);
+    if (F.BodyStart > F.BodyEnd)
+      return error("locals extend past declared body size");
+    // Expand full local types: params then declared locals.
+    const FuncType &FT = M.Types[F.TypeIdx];
+    F.LocalTypes = FT.Params;
+    F.LocalTypes.insert(F.LocalTypes.end(), F.Locals.begin(), F.Locals.end());
+    R.setPc(BodyEnd);
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readDataSection(size_t End) {
+  uint32_t Count = R.readU32();
+  for (uint32_t I = 0; I < Count && checkOk(); ++I) {
+    uint32_t Flags = R.readU32();
+    if (Flags != 0)
+      return error("only active data segments are supported");
+    DataSegment D;
+    D.MemIdx = 0;
+    if (M.Memories.empty())
+      return error("data segment without a memory");
+    if (!readInitExpr(&D.Offset, ValType::I32))
+      return false;
+    uint32_t Len = R.readU32();
+    if (!checkOk())
+      return false;
+    if (R.pc() + Len > M.Bytes.size())
+      return error("data segment extends past end of module");
+    D.Bytes.assign(M.Bytes.begin() + R.pc(), M.Bytes.begin() + R.pc() + Len);
+    R.setPc(R.pc() + Len);
+    M.Datas.push_back(std::move(D));
+  }
+  return checkOk();
+}
+
+bool ModuleReader::readSection() {
+  uint8_t Id = R.readByte();
+  uint32_t Size = R.readU32();
+  if (!checkOk())
+    return false;
+  size_t End = R.pc() + Size;
+  if (End > M.Bytes.size())
+    return error("section %u extends past end of module", Id);
+  if (Id != SecCustom) {
+    if (int(Id) <= LastSection && !(Id == SecDataCount))
+      return error("section %u out of order", Id);
+    LastSection = Id;
+  }
+  bool Ok = true;
+  switch (Id) {
+  case SecCustom:
+    break; // Skipped entirely.
+  case SecType:
+    Ok = readTypeSection(End);
+    break;
+  case SecImport:
+    Ok = readImportSection(End);
+    break;
+  case SecFunction:
+    Ok = readFunctionSection(End);
+    break;
+  case SecTable:
+    Ok = readTableSection(End);
+    break;
+  case SecMemory:
+    Ok = readMemorySection(End);
+    break;
+  case SecGlobal:
+    Ok = readGlobalSection(End);
+    break;
+  case SecExport:
+    Ok = readExportSection(End);
+    break;
+  case SecStart:
+    Ok = readStartSection(End);
+    break;
+  case SecElem:
+    Ok = readElemSection(End);
+    break;
+  case SecCode:
+    Ok = readCodeSection(End);
+    break;
+  case SecData:
+    Ok = readDataSection(End);
+    break;
+  case SecDataCount:
+    (void)R.readU32();
+    Ok = checkOk();
+    break;
+  default:
+    return error("unknown section id %u", Id);
+  }
+  if (!Ok)
+    return false;
+  if (R.pc() != End && Id != SecCustom)
+    return error("section %u has %zd unconsumed bytes", Id,
+                 ptrdiff_t(End) - ptrdiff_t(R.pc()));
+  R.setPc(End);
+  return true;
+}
+
+bool ModuleReader::run() {
+  if (!readHeader())
+    return false;
+  while (!R.atEnd())
+    if (!readSection())
+      return false;
+  // Every declared function must have received a body.
+  for (const FuncDecl &F : M.Funcs)
+    if (!F.Imported && F.BodyStart == 0 && F.BodyEnd == 0)
+      return error("function %u has no body", F.Index);
+  return true;
+}
+
+std::unique_ptr<Module> wisp::decodeModule(std::vector<uint8_t> Bytes,
+                                           WasmError *Err) {
+  auto M = std::make_unique<Module>();
+  M->Bytes = std::move(Bytes);
+  ModuleReader Reader(*M, Err);
+  if (!Reader.run())
+    return nullptr;
+  return M;
+}

@@ -1,0 +1,32 @@
+//===- wasm/reader.h - WebAssembly binary decoder ---------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes a .wasm binary into a Module. Function bodies are kept as byte
+/// ranges into the module buffer (no rewriting). Structural well-formedness
+/// is checked here; type checking is the validator's job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_WASM_READER_H
+#define WISP_WASM_READER_H
+
+#include "wasm/error.h"
+#include "wasm/module.h"
+
+#include <memory>
+#include <vector>
+
+namespace wisp {
+
+/// Decodes \p Bytes into a fresh Module. Returns nullptr and fills \p Err
+/// on malformed input. The module takes ownership of the bytes.
+std::unique_ptr<Module> decodeModule(std::vector<uint8_t> Bytes,
+                                     WasmError *Err);
+
+} // namespace wisp
+
+#endif // WISP_WASM_READER_H

@@ -1,0 +1,49 @@
+//===- wasm/sidetable.h - Control side table for in-place interp -*- C++ -*-==//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The side table enables in-place interpretation of Wasm bytecode without
+/// rewriting (Titzer, OOPSLA 2022). The validator records one entry per
+/// control transfer point (if false-edge, else skip-edge, br, br_if,
+/// br_table entries). The interpreter maintains a side-table pointer (STP)
+/// alongside the instruction pointer (IP); taking a transfer sets both from
+/// the entry, and not taking a br_if simply advances the STP past its entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_WASM_SIDETABLE_H
+#define WISP_WASM_SIDETABLE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace wisp {
+
+/// One control transfer record.
+struct SideTableEntry {
+  /// Absolute target bytecode offset (within the module bytes).
+  uint32_t TargetIp = 0;
+  /// Absolute side-table position at the target.
+  uint32_t TargetStp = 0;
+  /// Number of merge values copied to the target height.
+  uint32_t ValCount = 0;
+  /// Operand-stack height (relative to frame, excluding locals) the target
+  /// label expects *below* the merge values.
+  uint32_t TargetHeight = 0;
+};
+
+/// Per-function side table.
+struct SideTable {
+  std::vector<SideTableEntry> Entries;
+
+  size_t byteSize() const {
+    return Entries.size() * sizeof(SideTableEntry);
+  }
+};
+
+} // namespace wisp
+
+#endif // WISP_WASM_SIDETABLE_H

@@ -1,0 +1,92 @@
+//===- wasm/types.cpp - WebAssembly type system helpers -------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wasm/types.h"
+
+using namespace wisp;
+
+const char *wisp::valTypeName(ValType T) {
+  switch (T) {
+  case ValType::I32:
+    return "i32";
+  case ValType::I64:
+    return "i64";
+  case ValType::F32:
+    return "f32";
+  case ValType::F64:
+    return "f64";
+  case ValType::FuncRef:
+    return "funcref";
+  case ValType::ExternRef:
+    return "externref";
+  case ValType::Bottom:
+    return "bot";
+  }
+  return "<bad>";
+}
+
+bool wisp::valTypeFromByte(uint8_t Byte, ValType *Out) {
+  switch (Byte) {
+  case 0x7f:
+    *Out = ValType::I32;
+    return true;
+  case 0x7e:
+    *Out = ValType::I64;
+    return true;
+  case 0x7d:
+    *Out = ValType::F32;
+    return true;
+  case 0x7c:
+    *Out = ValType::F64;
+    return true;
+  case 0x70:
+    *Out = ValType::FuncRef;
+    return true;
+  case 0x6f:
+    *Out = ValType::ExternRef;
+    return true;
+  default:
+    return false;
+  }
+}
+
+uint8_t wisp::valTypeToByte(ValType T) {
+  switch (T) {
+  case ValType::I32:
+    return 0x7f;
+  case ValType::I64:
+    return 0x7e;
+  case ValType::F32:
+    return 0x7d;
+  case ValType::F64:
+    return 0x7c;
+  case ValType::FuncRef:
+    return 0x70;
+  case ValType::ExternRef:
+    return 0x6f;
+  case ValType::Bottom:
+    break;
+  }
+  assert(false && "unencodable value type");
+  return 0;
+}
+
+std::string FuncType::toString() const {
+  std::string S = "[";
+  for (size_t I = 0; I < Params.size(); ++I) {
+    if (I)
+      S += ' ';
+    S += valTypeName(Params[I]);
+  }
+  S += "] -> [";
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (I)
+      S += ' ';
+    S += valTypeName(Results[I]);
+  }
+  S += ']';
+  return S;
+}

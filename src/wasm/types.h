@@ -1,0 +1,101 @@
+//===- wasm/types.h - WebAssembly type system -------------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value types, function types and block types for the supported subset of
+/// WebAssembly (MVP + multi-value + sign extension + saturating truncation +
+/// bulk memory + reference types externref/funcref).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_WASM_TYPES_H
+#define WISP_WASM_TYPES_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+/// A WebAssembly value type. The enumerator values double as the runtime
+/// value-tag bytes stored in the value stack's tag lane.
+enum class ValType : uint8_t {
+  I32 = 1,
+  I64 = 2,
+  F32 = 3,
+  F64 = 4,
+  FuncRef = 5,
+  ExternRef = 6,
+  /// Used by the validator for polymorphic (unreachable) stack slots. Never
+  /// stored into a tag lane.
+  Bottom = 0x7f,
+};
+
+/// Returns true for reference types (potential GC roots).
+inline bool isRefType(ValType T) {
+  return T == ValType::FuncRef || T == ValType::ExternRef;
+}
+
+/// Returns true for types held in floating-point registers.
+inline bool isFloatType(ValType T) {
+  return T == ValType::F32 || T == ValType::F64;
+}
+
+/// Returns the printable name of a value type.
+const char *valTypeName(ValType T);
+
+/// Decodes a binary value-type byte; returns false for unknown encodings.
+bool valTypeFromByte(uint8_t Byte, ValType *Out);
+
+/// Encodes a value type as its binary format byte.
+uint8_t valTypeToByte(ValType T);
+
+/// A function signature: parameter and result types.
+struct FuncType {
+  std::vector<ValType> Params;
+  std::vector<ValType> Results;
+
+  bool operator==(const FuncType &O) const {
+    return Params == O.Params && Results == O.Results;
+  }
+
+  /// Renders e.g. "[i32 i32] -> [i64]".
+  std::string toString() const;
+};
+
+/// A structured-control block type: either empty, a single result type, or
+/// an index into the module's type section (multi-value).
+struct BlockType {
+  enum Kind : uint8_t { Empty, OneResult, FuncTypeIdx } K = Empty;
+  ValType Result = ValType::I32; ///< Valid when K == OneResult.
+  uint32_t TypeIdx = 0;          ///< Valid when K == FuncTypeIdx.
+
+  static BlockType empty() { return BlockType(); }
+  static BlockType oneResult(ValType T) {
+    BlockType B;
+    B.K = OneResult;
+    B.Result = T;
+    return B;
+  }
+  static BlockType funcType(uint32_t Idx) {
+    BlockType B;
+    B.K = FuncTypeIdx;
+    B.TypeIdx = Idx;
+    return B;
+  }
+};
+
+/// Memory or table size limits.
+struct Limits {
+  uint32_t Min = 0;
+  uint32_t Max = 0;
+  bool HasMax = false;
+};
+
+} // namespace wisp
+
+#endif // WISP_WASM_TYPES_H

@@ -1,0 +1,35 @@
+//===- wasm/validator.h - WebAssembly validation ----------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-forward-pass validation by abstract interpretation of the type
+/// stack (the same algorithmic skeleton the paper's single-pass compilers
+/// share). As a side effect, validation builds each function's control
+/// side table for in-place interpretation and computes its maximum operand
+/// stack height.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_WASM_VALIDATOR_H
+#define WISP_WASM_VALIDATOR_H
+
+#include "wasm/error.h"
+#include "wasm/module.h"
+
+namespace wisp {
+
+/// Validates all functions and module-level declarations of \p M, filling
+/// per-function side tables and max stack heights. Returns false and fills
+/// \p Err on invalid modules.
+bool validateModule(Module &M, WasmError *Err);
+
+/// Validates a single function body (exposed for unit tests and for lazy
+/// tiers). Fills F.Table and F.MaxStack.
+bool validateFunction(Module &M, FuncDecl &F, WasmError *Err);
+
+} // namespace wisp
+
+#endif // WISP_WASM_VALIDATOR_H

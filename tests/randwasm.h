@@ -1,0 +1,563 @@
+//===- tests/randwasm.h - random type-correct Wasm generator ----*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, type-correct, *terminating* Wasm modules for
+/// differential testing between the interpreter and every compiler
+/// configuration. Loops are bounded by fresh counter locals; memory
+/// addresses are masked into bounds most of the time (occasionally left
+/// wild to exercise trap paths).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_TESTS_RANDWASM_H
+#define WISP_TESTS_RANDWASM_H
+
+#include "support/rng.h"
+#include "wasm/builder.h"
+
+namespace wisp {
+
+class RandWasm {
+public:
+  explicit RandWasm(uint64_t Seed) : R(Seed) {}
+
+  /// Builds a module with one exported function "f" taking two i32 and two
+  /// f64 parameters and returning one random-typed result, plus a helper
+  /// callee function.
+  ModuleBuilder build() {
+    ModuleBuilder MB;
+    MB.addMemory(1);
+    // A small helper function the main function can call.
+    ValType HelperRet = scalarType();
+    uint32_t HelperTy = MB.addType({ValType::I32}, {HelperRet});
+    FuncBuilder &H = MB.addFunc(HelperTy);
+    {
+      GenCtx C{&H, {ValType::I32}, 0};
+      genExpr(C, HelperRet, 3);
+    }
+    HelperIdx = MB.funcIndex(H);
+    HelperResult = HelperRet;
+
+    ResultType = scalarType();
+    uint32_t MainTy = MB.addType(
+        {ValType::I32, ValType::I32, ValType::F64, ValType::F64},
+        {ResultType});
+    FuncBuilder &F = MB.addFunc(MainTy);
+    GenCtx C{&F, {ValType::I32, ValType::I32, ValType::F64, ValType::F64}, 0};
+    // Extra mutable locals of each type.
+    for (int I = 0; I < 2; ++I) {
+      C.Locals.push_back(ValType::I32);
+      F.addLocal(ValType::I32);
+      C.Locals.push_back(ValType::I64);
+      F.addLocal(ValType::I64);
+      C.Locals.push_back(ValType::F64);
+      F.addLocal(ValType::F64);
+    }
+    unsigned NStmts = 2 + unsigned(R.below(6));
+    for (unsigned I = 0; I < NStmts; ++I)
+      genStmt(C, 2);
+    genExpr(C, ResultType, 3);
+    MB.exportFunc("f", MB.funcIndex(F));
+    return MB;
+  }
+
+  ValType ResultType = ValType::I32;
+
+private:
+  struct GenCtx {
+    FuncBuilder *F;
+    std::vector<ValType> Locals;
+    unsigned LoopDepth;
+    unsigned BlockDepth = 0;
+  };
+
+  ValType scalarType() {
+    switch (R.below(4)) {
+    case 0:
+      return ValType::I32;
+    case 1:
+      return ValType::I64;
+    case 2:
+      return ValType::F32;
+    default:
+      return ValType::F64;
+    }
+  }
+
+  int pickLocal(GenCtx &C, ValType T) {
+    // Reservoir-pick a local of the right type.
+    int Found = -1;
+    int Seen = 0;
+    for (size_t I = 0; I < C.Locals.size(); ++I) {
+      if (C.Locals[I] != T)
+        continue;
+      ++Seen;
+      if (R.below(uint64_t(Seen)) == 0)
+        Found = int(I);
+    }
+    return Found;
+  }
+
+  void genConst(GenCtx &C, ValType T) {
+    switch (T) {
+    case ValType::I32: {
+      static const int32_t Interesting[] = {0, 1, -1, 2, 7, 100, INT32_MIN,
+                                            INT32_MAX, 0x7f, 0x80};
+      if (R.chance(1, 3))
+        C.F->i32Const(Interesting[R.below(10)]);
+      else
+        C.F->i32Const(int32_t(R.next()));
+      break;
+    }
+    case ValType::I64:
+      if (R.chance(1, 3))
+        C.F->i64Const(int64_t(R.below(3)) - 1);
+      else
+        C.F->i64Const(int64_t(R.next()));
+      break;
+    case ValType::F32:
+      C.F->f32Const(float(int64_t(R.below(2000)) - 1000) / 8.0f);
+      break;
+    case ValType::F64:
+      C.F->f64Const(double(int64_t(R.below(200000)) - 100000) / 64.0);
+      break;
+    default:
+      C.F->i32Const(0);
+    }
+  }
+
+  void genBinop(GenCtx &C, ValType T, unsigned Depth) {
+    genExpr(C, T, Depth - 1);
+    genExpr(C, T, Depth - 1);
+    switch (T) {
+    case ValType::I32: {
+      static const Opcode Ops[] = {
+          Opcode::I32Add,  Opcode::I32Sub,  Opcode::I32Mul, Opcode::I32And,
+          Opcode::I32Or,   Opcode::I32Xor,  Opcode::I32Shl, Opcode::I32ShrS,
+          Opcode::I32ShrU, Opcode::I32Rotl, Opcode::I32Rotr};
+      C.F->op(Ops[R.below(11)]);
+      break;
+    }
+    case ValType::I64: {
+      static const Opcode Ops[] = {
+          Opcode::I64Add,  Opcode::I64Sub,  Opcode::I64Mul, Opcode::I64And,
+          Opcode::I64Or,   Opcode::I64Xor,  Opcode::I64Shl, Opcode::I64ShrS,
+          Opcode::I64ShrU, Opcode::I64Rotl, Opcode::I64Rotr};
+      C.F->op(Ops[R.below(11)]);
+      break;
+    }
+    case ValType::F32: {
+      static const Opcode Ops[] = {Opcode::F32Add, Opcode::F32Sub,
+                                   Opcode::F32Mul, Opcode::F32Min,
+                                   Opcode::F32Max, Opcode::F32Copysign};
+      C.F->op(Ops[R.below(6)]);
+      break;
+    }
+    case ValType::F64: {
+      static const Opcode Ops[] = {Opcode::F64Add, Opcode::F64Sub,
+                                   Opcode::F64Mul, Opcode::F64Min,
+                                   Opcode::F64Max, Opcode::F64Copysign};
+      C.F->op(Ops[R.below(6)]);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  /// Guarded division: denominator is or'd with 1 (2/3 of the time).
+  void genDiv(GenCtx &C, ValType T, unsigned Depth) {
+    genExpr(C, T, Depth - 1);
+    genExpr(C, T, Depth - 1);
+    bool Guard = R.chance(2, 3);
+    if (T == ValType::I32) {
+      if (Guard) {
+        C.F->i32Const(1);
+        C.F->op(Opcode::I32Or);
+      }
+      static const Opcode Ops[] = {Opcode::I32DivS, Opcode::I32DivU,
+                                   Opcode::I32RemS, Opcode::I32RemU};
+      C.F->op(Ops[R.below(4)]);
+    } else {
+      if (Guard) {
+        C.F->i64Const(1);
+        C.F->op(Opcode::I64Or);
+      }
+      static const Opcode Ops[] = {Opcode::I64DivS, Opcode::I64DivU,
+                                   Opcode::I64RemS, Opcode::I64RemU};
+      C.F->op(Ops[R.below(4)]);
+    }
+  }
+
+  void genCompare(GenCtx &C, unsigned Depth) {
+    ValType T = scalarType();
+    genExpr(C, T, Depth - 1);
+    genExpr(C, T, Depth - 1);
+    switch (T) {
+    case ValType::I32: {
+      static const Opcode Ops[] = {Opcode::I32Eq,  Opcode::I32Ne,
+                                   Opcode::I32LtS, Opcode::I32LtU,
+                                   Opcode::I32GeS, Opcode::I32GtU};
+      C.F->op(Ops[R.below(6)]);
+      break;
+    }
+    case ValType::I64: {
+      static const Opcode Ops[] = {Opcode::I64Eq,  Opcode::I64Ne,
+                                   Opcode::I64LtS, Opcode::I64GeU};
+      C.F->op(Ops[R.below(4)]);
+      break;
+    }
+    case ValType::F32: {
+      static const Opcode Ops[] = {Opcode::F32Eq, Opcode::F32Lt,
+                                   Opcode::F32Ge};
+      C.F->op(Ops[R.below(3)]);
+      break;
+    }
+    default: {
+      static const Opcode Ops[] = {Opcode::F64Eq, Opcode::F64Lt,
+                                   Opcode::F64Ge};
+      C.F->op(Ops[R.below(3)]);
+      break;
+    }
+    }
+  }
+
+  void genUnop(GenCtx &C, ValType T, unsigned Depth) {
+    genExpr(C, T, Depth - 1);
+    switch (T) {
+    case ValType::I32: {
+      static const Opcode Ops[] = {Opcode::I32Clz, Opcode::I32Ctz,
+                                   Opcode::I32Popcnt, Opcode::I32Extend8S,
+                                   Opcode::I32Extend16S};
+      C.F->op(Ops[R.below(5)]);
+      break;
+    }
+    case ValType::I64: {
+      static const Opcode Ops[] = {Opcode::I64Clz, Opcode::I64Ctz,
+                                   Opcode::I64Popcnt, Opcode::I64Extend32S};
+      C.F->op(Ops[R.below(4)]);
+      break;
+    }
+    case ValType::F32: {
+      static const Opcode Ops[] = {Opcode::F32Abs, Opcode::F32Neg,
+                                   Opcode::F32Ceil, Opcode::F32Floor,
+                                   Opcode::F32Trunc, Opcode::F32Sqrt};
+      C.F->op(Ops[R.below(6)]);
+      break;
+    }
+    default: {
+      static const Opcode Ops[] = {Opcode::F64Abs, Opcode::F64Neg,
+                                   Opcode::F64Ceil, Opcode::F64Floor,
+                                   Opcode::F64Trunc, Opcode::F64Sqrt};
+      C.F->op(Ops[R.below(6)]);
+      break;
+    }
+    }
+  }
+
+  void genConvert(GenCtx &C, ValType T, unsigned Depth) {
+    switch (T) {
+    case ValType::I32:
+      switch (R.below(4)) {
+      case 0:
+        genExpr(C, ValType::I64, Depth - 1);
+        C.F->op(Opcode::I32WrapI64);
+        break;
+      case 1:
+        genExpr(C, ValType::F64, Depth - 1);
+        C.F->op(Opcode::I32TruncSatF64S);
+        break;
+      case 2:
+        genExpr(C, ValType::F32, Depth - 1);
+        C.F->op(Opcode::I32TruncSatF32U);
+        break;
+      default:
+        genExpr(C, ValType::F32, Depth - 1);
+        C.F->op(Opcode::I32ReinterpretF32);
+        break;
+      }
+      return;
+    case ValType::I64:
+      switch (R.below(3)) {
+      case 0:
+        genExpr(C, ValType::I32, Depth - 1);
+        C.F->op(Opcode::I64ExtendI32S);
+        break;
+      case 1:
+        genExpr(C, ValType::I32, Depth - 1);
+        C.F->op(Opcode::I64ExtendI32U);
+        break;
+      default:
+        genExpr(C, ValType::F64, Depth - 1);
+        C.F->op(Opcode::I64TruncSatF64S);
+        break;
+      }
+      return;
+    case ValType::F32:
+      switch (R.below(3)) {
+      case 0:
+        genExpr(C, ValType::I32, Depth - 1);
+        C.F->op(Opcode::F32ConvertI32S);
+        break;
+      case 1:
+        genExpr(C, ValType::F64, Depth - 1);
+        C.F->op(Opcode::F32DemoteF64);
+        break;
+      default:
+        genExpr(C, ValType::I32, Depth - 1);
+        C.F->op(Opcode::F32ReinterpretI32);
+        break;
+      }
+      return;
+    default:
+      switch (R.below(3)) {
+      case 0:
+        genExpr(C, ValType::I64, Depth - 1);
+        C.F->op(Opcode::F64ConvertI64S);
+        break;
+      case 1:
+        genExpr(C, ValType::F32, Depth - 1);
+        C.F->op(Opcode::F64PromoteF32);
+        break;
+      default:
+        genExpr(C, ValType::I32, Depth - 1);
+        C.F->op(Opcode::F64ConvertI32U);
+        break;
+      }
+      return;
+    }
+  }
+
+  void genLoad(GenCtx &C, ValType T, unsigned Depth) {
+    // Address masked into the first page (rarely left wild).
+    genExpr(C, ValType::I32, Depth - 1);
+    if (R.chance(15, 16)) {
+      C.F->i32Const(0xFFF8);
+      C.F->op(Opcode::I32And);
+    }
+    switch (T) {
+    case ValType::I32: {
+      static const Opcode Ops[] = {Opcode::I32Load, Opcode::I32Load8S,
+                                   Opcode::I32Load8U, Opcode::I32Load16S,
+                                   Opcode::I32Load16U};
+      C.F->load(Ops[R.below(5)], uint32_t(R.below(4)), 0);
+      break;
+    }
+    case ValType::I64: {
+      static const Opcode Ops[] = {Opcode::I64Load, Opcode::I64Load8U,
+                                   Opcode::I64Load16S, Opcode::I64Load32S,
+                                   Opcode::I64Load32U};
+      C.F->load(Ops[R.below(5)], uint32_t(R.below(4)), 0);
+      break;
+    }
+    case ValType::F32:
+      C.F->load(Opcode::F32Load, uint32_t(R.below(4)), 0);
+      break;
+    default:
+      C.F->load(Opcode::F64Load, uint32_t(R.below(4)), 0);
+      break;
+    }
+  }
+
+  void genIfExpr(GenCtx &C, ValType T, unsigned Depth) {
+    genExpr(C, ValType::I32, Depth - 1);
+    C.F->ifOp(BlockType::oneResult(T));
+    genExpr(C, T, Depth - 1);
+    C.F->elseOp();
+    genExpr(C, T, Depth - 1);
+    C.F->end();
+  }
+
+  void genSelect(GenCtx &C, ValType T, unsigned Depth) {
+    genExpr(C, T, Depth - 1);
+    genExpr(C, T, Depth - 1);
+    genExpr(C, ValType::I32, Depth - 1);
+    C.F->select();
+  }
+
+  void genExpr(GenCtx &C, ValType T, unsigned Depth) {
+    if (Depth == 0) {
+      int L = pickLocal(C, T);
+      if (L >= 0 && R.chance(2, 3)) {
+        C.F->localGet(uint32_t(L));
+        return;
+      }
+      genConst(C, T);
+      return;
+    }
+    bool IsInt = T == ValType::I32 || T == ValType::I64;
+    switch (R.below(14)) {
+    case 0:
+    case 1:
+      genConst(C, T);
+      return;
+    case 2:
+    case 3: {
+      int L = pickLocal(C, T);
+      if (L >= 0) {
+        C.F->localGet(uint32_t(L));
+        return;
+      }
+      genConst(C, T);
+      return;
+    }
+    case 4:
+    case 5:
+    case 6:
+      genBinop(C, T, Depth);
+      return;
+    case 7:
+      genUnop(C, T, Depth);
+      return;
+    case 8:
+      if (T == ValType::I32) {
+        genCompare(C, Depth);
+        return;
+      }
+      genBinop(C, T, Depth);
+      return;
+    case 9:
+      if (IsInt) {
+        genDiv(C, T, Depth);
+        return;
+      }
+      genBinop(C, T, Depth);
+      return;
+    case 10:
+      genConvert(C, T, Depth);
+      return;
+    case 11:
+      genLoad(C, T, Depth);
+      return;
+    case 12:
+      genIfExpr(C, T, Depth);
+      return;
+    default:
+      genSelect(C, T, Depth);
+      return;
+    }
+  }
+
+  void genStore(GenCtx &C, unsigned Depth) {
+    ValType T = scalarType();
+    genExpr(C, ValType::I32, Depth - 1);
+    C.F->i32Const(0xFFF8);
+    C.F->op(Opcode::I32And);
+    genExpr(C, T, Depth - 1);
+    switch (T) {
+    case ValType::I32:
+      C.F->store(R.chance(1, 2) ? Opcode::I32Store : Opcode::I32Store8, 0, 0);
+      break;
+    case ValType::I64:
+      C.F->store(Opcode::I64Store, 0, 0);
+      break;
+    case ValType::F32:
+      C.F->store(Opcode::F32Store, 0, 0);
+      break;
+    default:
+      C.F->store(Opcode::F64Store, 0, 0);
+      break;
+    }
+  }
+
+  void genStmt(GenCtx &C, unsigned Depth) {
+    switch (R.below(8)) {
+    case 0:
+    case 1: { // local.set
+      ValType T = scalarType();
+      int L = pickLocal(C, T);
+      if (L < 0)
+        return;
+      genExpr(C, T, Depth);
+      if (R.chance(1, 4)) {
+        C.F->localTee(uint32_t(L));
+        C.F->drop();
+      } else {
+        C.F->localSet(uint32_t(L));
+      }
+      return;
+    }
+    case 2:
+      genStore(C, Depth);
+      return;
+    case 3: { // if/else statement
+      genExpr(C, ValType::I32, Depth);
+      C.F->ifOp();
+      genStmt(C, Depth > 1 ? Depth - 1 : 1);
+      if (R.chance(1, 2)) {
+        C.F->elseOp();
+        genStmt(C, Depth > 1 ? Depth - 1 : 1);
+      }
+      C.F->end();
+      return;
+    }
+    case 4: { // bounded loop
+      if (C.LoopDepth >= 2)
+        return;
+      uint32_t Counter = C.F->addLocal(ValType::I32);
+      // Keep the counter invisible to pickLocal (FuncRef is never picked)
+      // so no generated statement can overwrite it and break termination.
+      C.Locals.push_back(ValType::FuncRef);
+      uint32_t N = 1 + uint32_t(R.below(6));
+      C.F->i32Const(int32_t(N));
+      C.F->localSet(Counter);
+      C.F->loop();
+      ++C.LoopDepth;
+      genStmt(C, Depth > 1 ? Depth - 1 : 1);
+      --C.LoopDepth;
+      C.F->localGet(Counter);
+      C.F->i32Const(1);
+      C.F->op(Opcode::I32Sub);
+      C.F->localTee(Counter);
+      C.F->brIf(0);
+      C.F->end();
+      return;
+    }
+    case 5: { // block with conditional early exit
+      C.F->block();
+      genExpr(C, ValType::I32, Depth);
+      C.F->brIf(0);
+      genStmt(C, Depth > 1 ? Depth - 1 : 1);
+      C.F->end();
+      return;
+    }
+    case 6: { // call the helper and store its result
+      genExpr(C, ValType::I32, Depth);
+      C.F->call(HelperIdx);
+      int L = pickLocal(C, HelperResult);
+      if (L >= 0)
+        C.F->localSet(uint32_t(L));
+      else
+        C.F->drop();
+      return;
+    }
+    default: { // br_table over small blocks
+      C.F->block();
+      C.F->block();
+      C.F->block();
+      genExpr(C, ValType::I32, Depth);
+      C.F->i32Const(4);
+      C.F->op(Opcode::I32RemU);
+      C.F->brTable({0, 1}, 2);
+      C.F->end();
+      genStmt(C, 1);
+      C.F->end();
+      genStmt(C, 1);
+      C.F->end();
+      return;
+    }
+    }
+  }
+
+  Rng R;
+  uint32_t HelperIdx = 0;
+  ValType HelperResult = ValType::I32;
+};
+
+} // namespace wisp
+
+#endif // WISP_TESTS_RANDWASM_H

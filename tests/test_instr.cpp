@@ -1,0 +1,228 @@
+//===- tests/test_instr.cpp - instrumentation tests ------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil.h"
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "instr/monitors.h"
+
+#include <gtest/gtest.h>
+
+using namespace wisp;
+
+namespace {
+
+std::vector<uint8_t> branchyModule() {
+  // Counts odd numbers in [1, n] with a conditional per iteration.
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  uint32_t Odd = F.addLocal(ValType::I32);
+  F.block();
+  F.localGet(0);
+  F.op(Opcode::I32Eqz);
+  F.brIf(0);
+  F.loop();
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32And);
+  F.ifOp();
+  F.localGet(Odd);
+  F.i32Const(1);
+  F.op(Opcode::I32Add);
+  F.localSet(Odd);
+  F.end();
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Sub);
+  F.localTee(0);
+  F.brIf(0);
+  F.end();
+  F.end();
+  F.localGet(Odd);
+  MB.exportFunc("run", MB.funcIndex(F));
+  return MB.build();
+}
+
+struct MonitorRun {
+  int32_t Result = 0;
+  uint64_t Taken = 0, NotTaken = 0;
+  size_t Sites = 0;
+};
+
+MonitorRun runWithBranchMonitor(const char *Tier, int32_t N) {
+  EngineConfig Cfg = configByName(Tier);
+  if (Cfg.Mode == ExecMode::Jit)
+    Cfg.Mode = ExecMode::JitLazy; // Compile after the monitor attaches.
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(branchyModule(), &Err);
+  EXPECT_NE(LM, nullptr) << Err.Message;
+  BranchMonitor BM;
+  BM.attach(*LM->Inst, E.probes());
+  std::vector<Value> Out;
+  EXPECT_EQ(E.invoke(*LM, "run", {Value::makeI32(N)}, &Out),
+            TrapReason::None);
+  MonitorRun R;
+  R.Result = Out[0].asI32();
+  R.Taken = BM.totalTaken();
+  R.NotTaken = BM.totalNotTaken();
+  R.Sites = BM.sites().size();
+  return R;
+}
+
+TEST(Instr, BranchMonitorCountsMatchAcrossTiers) {
+  MonitorRun Int = runWithBranchMonitor("wizard-int", 100);
+  MonitorRun Jit = runWithBranchMonitor("wizard-spc", 100);
+  EXPECT_EQ(Int.Result, 50);
+  EXPECT_EQ(Jit.Result, 50);
+  // Identical dynamic branch profile regardless of tier.
+  EXPECT_EQ(Int.Taken, Jit.Taken);
+  EXPECT_EQ(Int.NotTaken, Jit.NotTaken);
+  EXPECT_EQ(Int.Sites, Jit.Sites);
+  // 3 sites: entry-eqz br_if, the parity if, the backedge br_if.
+  EXPECT_EQ(Int.Sites, 3u);
+  // Parity if: 50 taken, 50 not. Backedge: 99 taken, 1 not. Entry: 1 not.
+  EXPECT_EQ(Int.Taken, 50u + 99u);
+  EXPECT_EQ(Int.NotTaken, 50u + 1u + 1u);
+}
+
+TEST(Instr, UnoptimizedJitProbesAgree) {
+  EngineConfig Cfg = configByName("wizard-spc");
+  Cfg.Mode = ExecMode::JitLazy;
+  Cfg.Opts.OptimizeProbes = false; // Generic runtime-call probes.
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(branchyModule(), &Err);
+  ASSERT_NE(LM, nullptr);
+  BranchMonitor BM;
+  BM.attach(*LM->Inst, E.probes());
+  std::vector<Value> Out;
+  ASSERT_EQ(E.invoke(*LM, "run", {Value::makeI32(40)}, &Out),
+            TrapReason::None);
+  EXPECT_EQ(Out[0], Value::makeI32(20));
+  EXPECT_EQ(BM.totalTaken() + BM.totalNotTaken(), 20u + 20u + 40u + 1u);
+}
+
+TEST(Instr, OpcodeCounterIntrinsified) {
+  EngineConfig Cfg = configByName("wizard-spc");
+  Cfg.Mode = ExecMode::JitLazy;
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(branchyModule(), &Err);
+  ASSERT_NE(LM, nullptr);
+  OpcodeCountMonitor Subs;
+  Subs.attach(*LM->Inst, E.probes(), Opcode::I32Sub);
+  std::vector<Value> Out;
+  ASSERT_EQ(E.invoke(*LM, "run", {Value::makeI32(25)}, &Out),
+            TrapReason::None);
+  EXPECT_EQ(Subs.total(), 25u); // One decrement per iteration.
+  // The compiled code contains an inline counter increment, not a generic
+  // probe call.
+  bool SawCnt = false, SawFire = false;
+  for (const auto &Code : LM->Codes)
+    for (const MInst &I : Code->Insts) {
+      SawCnt |= I.Op == MOp::CntInc;
+      SawFire |= I.Op == MOp::ProbeFire;
+    }
+  EXPECT_TRUE(SawCnt);
+  EXPECT_FALSE(SawFire);
+}
+
+TEST(Instr, TosProbeIntrinsified) {
+  EngineConfig Cfg = configByName("wizard-spc");
+  Cfg.Mode = ExecMode::JitLazy;
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(branchyModule(), &Err);
+  ASSERT_NE(LM, nullptr);
+  BranchMonitor BM;
+  BM.attach(*LM->Inst, E.probes());
+  std::vector<Value> Out;
+  ASSERT_EQ(E.invoke(*LM, "run", {Value::makeI32(10)}, &Out),
+            TrapReason::None);
+  bool SawTos = false;
+  for (const auto &Code : LM->Codes)
+    for (const MInst &I : Code->Insts)
+      SawTos |= I.Op == MOp::ProbeTosG;
+  EXPECT_TRUE(SawTos);
+}
+
+TEST(Instr, CoverageMonitorSeesEntries) {
+  EngineConfig Cfg = configByName("wizard-int");
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(branchyModule(), &Err);
+  ASSERT_NE(LM, nullptr);
+  CoverageMonitor Cov;
+  Cov.attach(*LM->Inst, E.probes());
+  std::vector<Value> Out;
+  for (int I = 0; I < 3; ++I)
+    E.invoke(*LM, "run", {Value::makeI32(4)}, &Out);
+  EXPECT_EQ(Cov.functionsExecuted(), 1u);
+  EXPECT_EQ(Cov.entries(0), 3u);
+}
+
+TEST(Instr, FrameAccessorReadsLocalsAndStack) {
+  // A generic probe that snapshots the frame at a known instruction.
+  class Inspector : public Probe {
+  public:
+    void fire(FrameAccessor &A) override {
+      ++Fired;
+      Locals = A.numLocals();
+      if (A.stackHeight() > 0)
+        LastTos = A.tos();
+    }
+    int Fired = 0;
+    uint32_t Locals = 0;
+    Value LastTos;
+  };
+  EngineConfig Cfg = configByName("wizard-int");
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(branchyModule(), &Err);
+  ASSERT_NE(LM, nullptr);
+  // Probe the backedge br_if: the condition (the decremented counter) is
+  // on top of the stack when it fires.
+  const FuncDecl &F = LM->M->Funcs[0];
+  uint32_t BrIfIp = 0;
+  forEachInstruction(*LM->M, F, [&](Opcode Op, uint32_t Ip) {
+    if (Op == Opcode::BrIf)
+      BrIfIp = Ip; // Keep the last one: the backedge.
+  });
+  Inspector P;
+  E.addProbe(*LM, 0, BrIfIp, &P);
+  std::vector<Value> Out;
+  ASSERT_EQ(E.invoke(*LM, "run", {Value::makeI32(5)}, &Out),
+            TrapReason::None);
+  EXPECT_EQ(P.Fired, 5);
+  EXPECT_EQ(P.Locals, 2u);
+  EXPECT_EQ(P.LastTos, Value::makeI32(0)); // Final iteration's condition.
+}
+
+TEST(Instr, ProbeRemoveStopsFiring) {
+  EngineConfig Cfg = configByName("wizard-int");
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(branchyModule(), &Err);
+  ASSERT_NE(LM, nullptr);
+  OpcodeCountMonitor Subs;
+  Subs.attach(*LM->Inst, E.probes(), Opcode::I32Sub);
+  std::vector<Value> Out;
+  E.invoke(*LM, "run", {Value::makeI32(10)}, &Out);
+  EXPECT_EQ(Subs.total(), 10u);
+  // Remove all probes at every sub site and rerun: count unchanged.
+  const FuncDecl &F = LM->M->Funcs[0];
+  forEachInstruction(*LM->M, F, [&](Opcode Op, uint32_t Ip) {
+    if (Op == Opcode::I32Sub)
+      E.probes().removeAll(*LM->Inst, 0, Ip);
+  });
+  E.invoke(*LM, "run", {Value::makeI32(10)}, &Out);
+  EXPECT_EQ(Subs.total(), 10u);
+}
+
+} // namespace

@@ -1,0 +1,624 @@
+//===- tests/test_interp.cpp - in-place interpreter semantics tests --------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil.h"
+
+#include "runtime/numerics.h"
+
+#include <gtest/gtest.h>
+
+using namespace wisp;
+
+namespace {
+
+// Builds a module with one exported function "f" of the given signature and
+// a body provided by a callback.
+template <typename BodyFn>
+InterpFixture makeFunc(std::vector<ValType> Params, std::vector<ValType> Rets,
+                       BodyFn Body, bool WithMemory = false) {
+  ModuleBuilder MB;
+  if (WithMemory)
+    MB.addMemory(1);
+  uint32_t T = MB.addType(std::move(Params), std::move(Rets));
+  FuncBuilder &F = MB.addFunc(T);
+  Body(F, MB);
+  MB.exportFunc("f", MB.funcIndex(F));
+  return InterpFixture(MB);
+}
+
+TEST(Interp, ConstAndAdd) {
+  auto Fx = makeFunc({}, {ValType::I32}, [](FuncBuilder &F, ModuleBuilder &) {
+    F.i32Const(40);
+    F.i32Const(2);
+    F.op(Opcode::I32Add);
+  });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {}).one(), Value::makeI32(42));
+}
+
+TEST(Interp, ParamsAndLocals) {
+  auto Fx = makeFunc({ValType::I32, ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       uint32_t L = F.addLocal(ValType::I32);
+                       F.localGet(0);
+                       F.localGet(1);
+                       F.op(Opcode::I32Mul);
+                       F.localSet(L);
+                       F.localGet(L);
+                       F.i32Const(1);
+                       F.op(Opcode::I32Add);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(6), Value::makeI32(7)}).one(),
+            Value::makeI32(43));
+}
+
+TEST(Interp, I32Arithmetic) {
+  struct Case {
+    Opcode Op;
+    int32_t A, B, Want;
+  };
+  const Case Cases[] = {
+      {Opcode::I32Add, 2000000000, 2000000000, int32_t(4000000000u)},
+      {Opcode::I32Sub, 5, 9, -4},
+      {Opcode::I32Mul, -3, 7, -21},
+      {Opcode::I32DivS, -7, 2, -3},
+      {Opcode::I32DivU, -1, 2, int32_t(0x7fffffff)},
+      {Opcode::I32RemS, -7, 2, -1},
+      {Opcode::I32RemU, 7, 3, 1},
+      {Opcode::I32And, 0b1100, 0b1010, 0b1000},
+      {Opcode::I32Or, 0b1100, 0b1010, 0b1110},
+      {Opcode::I32Xor, 0b1100, 0b1010, 0b0110},
+      {Opcode::I32Shl, 1, 33, 2}, // Shift counts are mod 32.
+      {Opcode::I32ShrS, -8, 1, -4},
+      {Opcode::I32ShrU, -8, 1, 0x7ffffffc},
+      {Opcode::I32Rotl, int32_t(0x80000001), 1, 3},
+      {Opcode::I32Rotr, 3, 1, int32_t(0x80000001)},
+  };
+  for (const Case &C : Cases) {
+    auto Fx = makeFunc({ValType::I32, ValType::I32}, {ValType::I32},
+                       [&](FuncBuilder &F, ModuleBuilder &) {
+                         F.localGet(0);
+                         F.localGet(1);
+                         F.op(C.Op);
+                       });
+    ASSERT_TRUE(Fx.ok());
+    EXPECT_EQ(Fx.call("f", {Value::makeI32(C.A), Value::makeI32(C.B)}).one(),
+              Value::makeI32(C.Want))
+        << opName(C.Op);
+  }
+}
+
+TEST(Interp, DivTraps) {
+  auto Fx = makeFunc({ValType::I32, ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.localGet(1);
+                       F.op(Opcode::I32DivS);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(1), Value::makeI32(0)}).Trap,
+            TrapReason::DivByZero);
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(INT32_MIN), Value::makeI32(-1)}).Trap,
+            TrapReason::IntOverflow);
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(INT32_MIN), Value::makeI32(1)}).one(),
+            Value::makeI32(INT32_MIN));
+}
+
+TEST(Interp, I64Bitcounts) {
+  auto Fx = makeFunc({ValType::I64}, {ValType::I64},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.op(Opcode::I64Clz);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI64(1)}).one(), Value::makeI64(63));
+  EXPECT_EQ(Fx.call("f", {Value::makeI64(0)}).one(), Value::makeI64(64));
+}
+
+TEST(Interp, FloatArithAndCompare) {
+  auto Fx = makeFunc({ValType::F64, ValType::F64}, {ValType::F64},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.localGet(1);
+                       F.op(Opcode::F64Div);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeF64(1.0), Value::makeF64(4.0)}).one(),
+            Value::makeF64(0.25));
+
+  auto Fx2 = makeFunc({ValType::F32, ValType::F32}, {ValType::I32},
+                      [](FuncBuilder &F, ModuleBuilder &) {
+                        F.localGet(0);
+                        F.localGet(1);
+                        F.op(Opcode::F32Lt);
+                      });
+  EXPECT_EQ(Fx2.call("f", {Value::makeF32(1.5f), Value::makeF32(2.5f)}).one(),
+            Value::makeI32(1));
+}
+
+TEST(Interp, FloatMinNaNAndSignedZero) {
+  auto Fx = makeFunc({ValType::F64, ValType::F64}, {ValType::F64},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.localGet(1);
+                       F.op(Opcode::F64Min);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(
+      Fx.call("f", {Value::makeF64(NaN), Value::makeF64(1.0)}).one().asF64()));
+  Value R = Fx.call("f", {Value::makeF64(0.0), Value::makeF64(-0.0)}).one();
+  EXPECT_TRUE(std::signbit(R.asF64()));
+}
+
+TEST(Interp, Conversions) {
+  auto Wrap = makeFunc({ValType::I64}, {ValType::I32},
+                       [](FuncBuilder &F, ModuleBuilder &) {
+                         F.localGet(0);
+                         F.op(Opcode::I32WrapI64);
+                       });
+  EXPECT_EQ(Wrap.call("f", {Value::makeI64(0x1234567890ll)}).one(),
+            Value::makeI32(0x34567890));
+
+  auto Trunc = makeFunc({ValType::F64}, {ValType::I32},
+                        [](FuncBuilder &F, ModuleBuilder &) {
+                          F.localGet(0);
+                          F.op(Opcode::I32TruncF64S);
+                        });
+  EXPECT_EQ(Trunc.call("f", {Value::makeF64(-3.99)}).one(),
+            Value::makeI32(-3));
+  EXPECT_EQ(Trunc.call("f", {Value::makeF64(3e10)}).Trap,
+            TrapReason::IntOverflow);
+  EXPECT_EQ(Trunc.call("f", {Value::makeF64(NAN)}).Trap,
+            TrapReason::InvalidConversion);
+
+  auto Sat = makeFunc({ValType::F64}, {ValType::I32},
+                      [](FuncBuilder &F, ModuleBuilder &) {
+                        F.localGet(0);
+                        F.op(Opcode::I32TruncSatF64S);
+                      });
+  EXPECT_EQ(Sat.call("f", {Value::makeF64(3e10)}).one(),
+            Value::makeI32(INT32_MAX));
+  EXPECT_EQ(Sat.call("f", {Value::makeF64(-3e10)}).one(),
+            Value::makeI32(INT32_MIN));
+  EXPECT_EQ(Sat.call("f", {Value::makeF64(NAN)}).one(), Value::makeI32(0));
+
+  auto Ext = makeFunc({ValType::I32}, {ValType::I32},
+                      [](FuncBuilder &F, ModuleBuilder &) {
+                        F.localGet(0);
+                        F.op(Opcode::I32Extend8S);
+                      });
+  EXPECT_EQ(Ext.call("f", {Value::makeI32(0x80)}).one(),
+            Value::makeI32(-128));
+
+  auto Reint = makeFunc({ValType::F64}, {ValType::I64},
+                        [](FuncBuilder &F, ModuleBuilder &) {
+                          F.localGet(0);
+                          F.op(Opcode::I64ReinterpretF64);
+                        });
+  EXPECT_EQ(Reint.call("f", {Value::makeF64(1.0)}).one(),
+            Value::makeI64(0x3ff0000000000000ll));
+}
+
+TEST(Interp, IfElse) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.ifOp(BlockType::oneResult(ValType::I32));
+                       F.i32Const(100);
+                       F.elseOp();
+                       F.i32Const(200);
+                       F.end();
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(1)}).one(), Value::makeI32(100));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(0)}).one(), Value::makeI32(200));
+}
+
+TEST(Interp, IfWithoutElse) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       uint32_t L = F.addLocal(ValType::I32);
+                       F.i32Const(5);
+                       F.localSet(L);
+                       F.localGet(0);
+                       F.ifOp();
+                       F.i32Const(50);
+                       F.localSet(L);
+                       F.end();
+                       F.localGet(L);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(1)}).one(), Value::makeI32(50));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(0)}).one(), Value::makeI32(5));
+}
+
+TEST(Interp, LoopSum) {
+  // sum = 0; for (i = n; i != 0; i--) sum += i; return sum.
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       uint32_t Sum = F.addLocal(ValType::I32);
+                       F.block();
+                       F.localGet(0);
+                       F.op(Opcode::I32Eqz);
+                       F.brIf(0);
+                       F.loop();
+                       F.localGet(Sum);
+                       F.localGet(0);
+                       F.op(Opcode::I32Add);
+                       F.localSet(Sum);
+                       F.localGet(0);
+                       F.i32Const(1);
+                       F.op(Opcode::I32Sub);
+                       F.localTee(0);
+                       F.brIf(0);
+                       F.end();
+                       F.end();
+                       F.localGet(Sum);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(0)}).one(), Value::makeI32(0));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(100)}).one(), Value::makeI32(5050));
+}
+
+TEST(Interp, BlockWithBranchValues) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.block(BlockType::oneResult(ValType::I32));
+                       F.i32Const(11);
+                       F.localGet(0);
+                       F.brIf(0);
+                       F.drop();
+                       F.i32Const(22);
+                       F.end();
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(1)}).one(), Value::makeI32(11));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(0)}).one(), Value::makeI32(22));
+}
+
+TEST(Interp, BrTable) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.block(); // 2 (default)
+                       F.block(); // 1
+                       F.block(); // 0
+                       F.localGet(0);
+                       F.brTable({0, 1}, 2);
+                       F.end();
+                       F.i32Const(100);
+                       F.ret();
+                       F.end();
+                       F.i32Const(101);
+                       F.ret();
+                       F.end();
+                       F.i32Const(102);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(0)}).one(), Value::makeI32(100));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(1)}).one(), Value::makeI32(101));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(2)}).one(), Value::makeI32(102));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(77)}).one(), Value::makeI32(102));
+}
+
+TEST(Interp, MultiValueBlocks) {
+  ModuleBuilder MB;
+  uint32_t Pair = MB.addType({}, {ValType::I32, ValType::I32});
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block(BlockType::funcType(Pair));
+  F.i32Const(30);
+  F.i32Const(12);
+  F.end();
+  F.op(Opcode::I32Add);
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {}).one(), Value::makeI32(42));
+}
+
+TEST(Interp, CallsAndRecursion) {
+  // fib(n) via recursion.
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.i32Const(2);
+  F.op(Opcode::I32LtS);
+  F.ifOp(BlockType::oneResult(ValType::I32));
+  F.localGet(0);
+  F.elseOp();
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Sub);
+  F.call(0);
+  F.localGet(0);
+  F.i32Const(2);
+  F.op(Opcode::I32Sub);
+  F.call(0);
+  F.op(Opcode::I32Add);
+  F.end();
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(10)}).one(), Value::makeI32(55));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(20)}).one(), Value::makeI32(6765));
+}
+
+TEST(Interp, CallIndirect) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F1 = MB.addFunc(T); // +1
+  F1.localGet(0);
+  F1.i32Const(1);
+  F1.op(Opcode::I32Add);
+  FuncBuilder &F2 = MB.addFunc(T); // *2
+  F2.localGet(0);
+  F2.i32Const(2);
+  F2.op(Opcode::I32Mul);
+  uint32_t Caller = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(Caller);
+  F.localGet(1);
+  F.localGet(0);
+  F.callIndirect(T);
+  MB.addTable(4, 4);
+  MB.addElem(0, {MB.funcIndex(F1), MB.funcIndex(F2)});
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(0), Value::makeI32(10)}).one(),
+            Value::makeI32(11));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(1), Value::makeI32(10)}).one(),
+            Value::makeI32(20));
+  // Out-of-bounds and null entries trap.
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(9), Value::makeI32(1)}).Trap,
+            TrapReason::TableOutOfBounds);
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(3), Value::makeI32(1)}).Trap,
+            TrapReason::NullFuncRef);
+}
+
+TEST(Interp, MemoryLoadsStores) {
+  auto Fx = makeFunc(
+      {ValType::I32, ValType::I32}, {ValType::I32},
+      [](FuncBuilder &F, ModuleBuilder &) {
+        F.localGet(0);
+        F.localGet(1);
+        F.store(Opcode::I32Store, 0, 2);
+        F.localGet(0);
+        F.load(Opcode::I32Load, 0, 2);
+      },
+      /*WithMemory=*/true);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(64), Value::makeI32(-5)}).one(),
+            Value::makeI32(-5));
+  // Out of bounds: page is 65536 bytes.
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(65533), Value::makeI32(1)}).Trap,
+            TrapReason::MemOutOfBounds);
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(-4), Value::makeI32(1)}).Trap,
+            TrapReason::MemOutOfBounds);
+}
+
+TEST(Interp, SubWidthMemoryAccess) {
+  auto Fx = makeFunc(
+      {}, {ValType::I32},
+      [](FuncBuilder &F, ModuleBuilder &) {
+        F.i32Const(0);
+        F.i32Const(0xABCD);
+        F.store(Opcode::I32Store16, 0, 1);
+        F.i32Const(0);
+        F.load(Opcode::I32Load8S, 1, 0); // Byte 1 = 0xAB, sign-extended.
+      },
+      /*WithMemory=*/true);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {}).one(), Value::makeI32(int32_t(int8_t(0xAB))));
+}
+
+TEST(Interp, MemoryGrowAndSize) {
+  auto Fx = makeFunc(
+      {}, {ValType::I32},
+      [](FuncBuilder &F, ModuleBuilder &) {
+        F.memorySize(); // 1
+        F.i32Const(2);
+        F.memoryGrow(); // Returns old size 1.
+        F.op(Opcode::I32Add);
+        F.memorySize(); // Now 3.
+        F.op(Opcode::I32Add);
+      },
+      /*WithMemory=*/true);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {}).one(), Value::makeI32(1 + 1 + 3));
+}
+
+TEST(Interp, MemoryCopyFill) {
+  auto Fx = makeFunc(
+      {}, {ValType::I32},
+      [](FuncBuilder &F, ModuleBuilder &) {
+        // fill [0,8) with 0x5A; copy [0,8) to [8,16); read i32 at 10.
+        F.i32Const(0);
+        F.i32Const(0x5A);
+        F.i32Const(8);
+        F.memoryFill();
+        F.i32Const(8);
+        F.i32Const(0);
+        F.i32Const(8);
+        F.memoryCopy();
+        F.i32Const(10);
+        F.load(Opcode::I32Load, 0, 2);
+      },
+      /*WithMemory=*/true);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {}).one(), Value::makeI32(int32_t(0x5A5A5A5A)));
+}
+
+TEST(Interp, GlobalsReadWrite) {
+  ModuleBuilder MB;
+  uint32_t G = MB.addGlobal(ValType::I64, true,
+                            ModuleBuilder::constInit(ValType::I64, 100));
+  uint32_t T = MB.addType({ValType::I64}, {ValType::I64});
+  FuncBuilder &F = MB.addFunc(T);
+  F.globalGet(G);
+  F.localGet(0);
+  F.op(Opcode::I64Add);
+  F.globalSet(G);
+  F.globalGet(G);
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI64(5)}).one(), Value::makeI64(105));
+  EXPECT_EQ(Fx.call("f", {Value::makeI64(5)}).one(), Value::makeI64(110));
+}
+
+TEST(Interp, HostFunctionCall) {
+  ModuleBuilder MB;
+  uint32_t HT = MB.addType({ValType::I32}, {ValType::I32});
+  uint32_t Imp = MB.importFunc("env", "triple", HT);
+  FuncBuilder &F = MB.addFunc(HT);
+  F.localGet(0);
+  F.call(Imp);
+  F.i32Const(1);
+  F.op(Opcode::I32Add);
+  MB.exportFunc("f", MB.funcIndex(F));
+
+  HostRegistry Hosts;
+  Hosts.add("env", "triple", FuncType{{ValType::I32}, {ValType::I32}},
+            [](Instance &, const Value *Args, Value *Rets) {
+              Rets[0] = Value::makeI32(Args[0].asI32() * 3);
+              return TrapReason::None;
+            });
+  InterpFixture Fx(MB, &Hosts);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(5)}).one(), Value::makeI32(16));
+}
+
+TEST(Interp, UnreachableTraps) {
+  auto Fx = makeFunc({}, {}, [](FuncBuilder &F, ModuleBuilder &) {
+    F.unreachable();
+  });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {}).Trap, TrapReason::Unreachable);
+}
+
+TEST(Interp, StackOverflowOnInfiniteRecursion) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.call(0);
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {}).Trap, TrapReason::StackOverflow);
+}
+
+TEST(Interp, SelectBothKinds) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I64},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.i64Const(111);
+                       F.i64Const(222);
+                       F.localGet(0);
+                       F.select();
+                     });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(1)}).one(), Value::makeI64(111));
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(0)}).one(), Value::makeI64(222));
+
+  auto Fx2 = makeFunc({ValType::I32}, {ValType::F64},
+                      [](FuncBuilder &F, ModuleBuilder &) {
+                        F.f64Const(1.5);
+                        F.f64Const(2.5);
+                        F.localGet(0);
+                        F.selectT(ValType::F64);
+                      });
+  EXPECT_EQ(Fx2.call("f", {Value::makeI32(0)}).one(), Value::makeF64(2.5));
+}
+
+TEST(Interp, RefOps) {
+  auto Fx = makeFunc({}, {ValType::I32}, [](FuncBuilder &F, ModuleBuilder &) {
+    F.refNull(ValType::ExternRef);
+    F.refIsNull();
+  });
+  ASSERT_TRUE(Fx.ok());
+  EXPECT_EQ(Fx.call("f", {}).one(), Value::makeI32(1));
+}
+
+TEST(Interp, MultipleResults) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32, ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Add);
+  F.localGet(0);
+  F.i32Const(2);
+  F.op(Opcode::I32Mul);
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  InvokeResult R = Fx.call("f", {Value::makeI32(10)});
+  ASSERT_EQ(R.Results.size(), 2u);
+  EXPECT_EQ(R.Results[0], Value::makeI32(11));
+  EXPECT_EQ(R.Results[1], Value::makeI32(20));
+}
+
+TEST(Interp, TagsTrackTypes) {
+  // After execution, result tags in the value stack reflect value types.
+  auto Fx = makeFunc({}, {ValType::F64}, [](FuncBuilder &F, ModuleBuilder &) {
+    F.f64Const(3.25);
+  });
+  ASSERT_TRUE(Fx.ok());
+  Fx.call("f", {});
+  EXPECT_EQ(Fx.T.VS.tag(0), ValType::F64);
+}
+
+TEST(Interp, DeepLoopNestSideTableStress) {
+  // Nested loops with breaks across several levels.
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       uint32_t Acc = F.addLocal(ValType::I32);
+                       uint32_t I = F.addLocal(ValType::I32);
+                       uint32_t J = F.addLocal(ValType::I32);
+                       // for (i = 0; i < n; i++) for (j = 0; j < i; j++)
+                       //   acc += j;
+                       F.block();
+                       F.loop();
+                       F.localGet(I);
+                       F.localGet(0);
+                       F.op(Opcode::I32GeU);
+                       F.brIf(1);
+                       F.i32Const(0);
+                       F.localSet(J);
+                       F.block();
+                       F.loop();
+                       F.localGet(J);
+                       F.localGet(I);
+                       F.op(Opcode::I32GeU);
+                       F.brIf(1);
+                       F.localGet(Acc);
+                       F.localGet(J);
+                       F.op(Opcode::I32Add);
+                       F.localSet(Acc);
+                       F.localGet(J);
+                       F.i32Const(1);
+                       F.op(Opcode::I32Add);
+                       F.localSet(J);
+                       F.br(0);
+                       F.end();
+                       F.end();
+                       F.localGet(I);
+                       F.i32Const(1);
+                       F.op(Opcode::I32Add);
+                       F.localSet(I);
+                       F.br(0);
+                       F.end();
+                       F.end();
+                       F.localGet(Acc);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  // sum_{i<8} sum_{j<i} j = sum_{i<8} i(i-1)/2 = 0+0+1+3+6+10+15+21 = 56.
+  EXPECT_EQ(Fx.call("f", {Value::makeI32(8)}).one(), Value::makeI32(56));
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/test_leb128.cpp - LEB128 codec tests --------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/leb128.h"
+
+#include <gtest/gtest.h>
+
+using namespace wisp;
+
+namespace {
+
+std::vector<uint8_t> encU(uint64_t V) {
+  std::vector<uint8_t> Out;
+  writeULEB128(Out, V);
+  return Out;
+}
+
+std::vector<uint8_t> encS(int64_t V) {
+  std::vector<uint8_t> Out;
+  writeSLEB128(Out, V);
+  return Out;
+}
+
+TEST(Leb128, UnsignedRoundTrip) {
+  for (uint64_t V : {0ull, 1ull, 127ull, 128ull, 624485ull, 0xffffffffull}) {
+    auto Bytes = encU(V);
+    LebResult R = readULEB128(Bytes.data(), Bytes.data() + Bytes.size(), 64);
+    ASSERT_TRUE(R.Ok) << V;
+    EXPECT_EQ(R.Value, V);
+    EXPECT_EQ(R.Length, Bytes.size());
+  }
+}
+
+TEST(Leb128, SignedRoundTrip) {
+  for (int64_t V : std::initializer_list<int64_t>{
+           0, 1, -1, 63, 64, -64, -65, 624485, -624485, INT32_MIN, INT32_MAX,
+           INT64_MIN, INT64_MAX}) {
+    auto Bytes = encS(V);
+    LebResult R = readSLEB128(Bytes.data(), Bytes.data() + Bytes.size(), 64);
+    ASSERT_TRUE(R.Ok) << V;
+    EXPECT_EQ(int64_t(R.Value), V);
+    EXPECT_EQ(R.Length, Bytes.size());
+  }
+}
+
+TEST(Leb128, KnownEncodings) {
+  EXPECT_EQ(encU(624485), (std::vector<uint8_t>{0xE5, 0x8E, 0x26}));
+  EXPECT_EQ(encS(-123456), (std::vector<uint8_t>{0xC0, 0xBB, 0x78}));
+}
+
+TEST(Leb128, U32RejectsOverwide) {
+  // 2^32 encoded as u64 must not decode as u32.
+  auto Bytes = encU(1ull << 32);
+  LebResult R = readULEB128(Bytes.data(), Bytes.data() + Bytes.size(), 32);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Leb128, U32RejectsOverlongHighBits) {
+  // 5-byte encoding with high bits set in the final byte.
+  std::vector<uint8_t> Bytes = {0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  LebResult R = readULEB128(Bytes.data(), Bytes.data() + Bytes.size(), 32);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Leb128, U32AllowsRedundantZeroPadding) {
+  // 5-byte encoding of 0 is legal for u32 (non-minimal but in range).
+  std::vector<uint8_t> Bytes = {0x80, 0x80, 0x80, 0x80, 0x00};
+  LebResult R = readULEB128(Bytes.data(), Bytes.data() + Bytes.size(), 32);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value, 0u);
+}
+
+TEST(Leb128, S32SignExtensionPadding) {
+  // -1 as a 5-byte s32: 0xFF 0xFF 0xFF 0xFF 0x7F.
+  std::vector<uint8_t> Bytes = {0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  LebResult R = readSLEB128(Bytes.data(), Bytes.data() + Bytes.size(), 32);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(int32_t(R.Value), -1);
+}
+
+TEST(Leb128, S32RejectsBadPadding) {
+  // Final-byte unused bits must all equal the sign bit.
+  std::vector<uint8_t> Bytes = {0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+  LebResult R = readSLEB128(Bytes.data(), Bytes.data() + Bytes.size(), 32);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Leb128, Truncated) {
+  std::vector<uint8_t> Bytes = {0x80, 0x80};
+  EXPECT_FALSE(readULEB128(Bytes.data(), Bytes.data() + Bytes.size(), 32).Ok);
+  EXPECT_FALSE(readSLEB128(Bytes.data(), Bytes.data() + Bytes.size(), 32).Ok);
+}
+
+TEST(Leb128, EmptyInput) {
+  uint8_t Dummy = 0;
+  EXPECT_FALSE(readULEB128(&Dummy, &Dummy, 32).Ok);
+  EXPECT_FALSE(readSLEB128(&Dummy, &Dummy, 32).Ok);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/test_reader.cpp - binary reader round-trip tests --------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace wisp;
+
+namespace {
+
+TEST(Reader, EmptyModule) {
+  ModuleBuilder MB;
+  WasmError Err;
+  auto M = decodeModule(MB.build(), &Err);
+  ASSERT_NE(M, nullptr) << Err.Message;
+  EXPECT_TRUE(M->Types.empty());
+  EXPECT_TRUE(M->Funcs.empty());
+}
+
+TEST(Reader, RejectsBadMagic) {
+  expectDecodeError({0x00, 0x61, 0x73, 0x6d, 0x02, 0x00, 0x00, 0x00});
+  expectDecodeError({0x01, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00});
+  expectDecodeError({0x00, 0x61, 0x73});
+}
+
+TEST(Reader, SimpleFunction) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.localGet(1);
+  F.op(Opcode::I32Add);
+  MB.exportFunc("add", MB.funcIndex(F));
+
+  WasmError Err;
+  auto M = decodeModule(MB.build(), &Err);
+  ASSERT_NE(M, nullptr) << Err.Message;
+  ASSERT_EQ(M->Funcs.size(), 1u);
+  ASSERT_EQ(M->Types.size(), 1u);
+  EXPECT_EQ(M->Types[0].Params.size(), 2u);
+  EXPECT_EQ(M->Types[0].Results.size(), 1u);
+  EXPECT_EQ(M->funcType(0).toString(), "[i32 i32] -> [i32]");
+  const Export *E = M->findExport("add", ExternKind::Func);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Index, 0u);
+  // Body: local.get 0 (2), local.get 1 (2), i32.add (1), end (1) = 6 bytes.
+  const FuncDecl &FD = M->Funcs[0];
+  EXPECT_EQ(FD.BodyEnd - FD.BodyStart, 6u);
+  EXPECT_EQ(M->Bytes[FD.BodyEnd - 1], uint8_t(Opcode::End));
+}
+
+TEST(Reader, LocalsExpansion) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.addLocal(ValType::I64);
+  F.addLocal(ValType::I64);
+  F.addLocal(ValType::F64);
+  WasmError Err;
+  auto M = decodeModule(MB.build(), &Err);
+  ASSERT_NE(M, nullptr) << Err.Message;
+  const FuncDecl &FD = M->Funcs[0];
+  ASSERT_EQ(FD.LocalTypes.size(), 4u);
+  EXPECT_EQ(FD.LocalTypes[0], ValType::I32);
+  EXPECT_EQ(FD.LocalTypes[1], ValType::I64);
+  EXPECT_EQ(FD.LocalTypes[2], ValType::I64);
+  EXPECT_EQ(FD.LocalTypes[3], ValType::F64);
+}
+
+TEST(Reader, ImportsComeFirst) {
+  ModuleBuilder MB;
+  uint32_t T0 = MB.addType({}, {ValType::I32});
+  uint32_t Imp = MB.importFunc("env", "answer", T0);
+  FuncBuilder &F = MB.addFunc(T0);
+  F.call(Imp);
+  WasmError Err;
+  auto M = decodeModule(MB.build(), &Err);
+  ASSERT_NE(M, nullptr) << Err.Message;
+  ASSERT_EQ(M->Funcs.size(), 2u);
+  EXPECT_EQ(M->NumImportedFuncs, 1u);
+  EXPECT_TRUE(M->Funcs[0].Imported);
+  EXPECT_EQ(M->Funcs[0].ImportModule, "env");
+  EXPECT_EQ(M->Funcs[0].ImportName, "answer");
+  EXPECT_FALSE(M->Funcs[1].Imported);
+}
+
+TEST(Reader, MemoryGlobalsTablesData) {
+  ModuleBuilder MB;
+  MB.addMemory(1, 4);
+  MB.addTable(8, 8);
+  uint32_t G = MB.addGlobal(ValType::I64, true,
+                            ModuleBuilder::constInit(ValType::I64, 42));
+  MB.addExport("g", ExternKind::Global, G);
+  MB.addData(16, {1, 2, 3, 4});
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.op(Opcode::Nop);
+  MB.addElem(2, {MB.funcIndex(F)});
+
+  WasmError Err;
+  auto M = decodeModule(MB.build(), &Err);
+  ASSERT_NE(M, nullptr) << Err.Message;
+  ASSERT_EQ(M->Memories.size(), 1u);
+  EXPECT_EQ(M->Memories[0].Lim.Min, 1u);
+  EXPECT_TRUE(M->Memories[0].Lim.HasMax);
+  EXPECT_EQ(M->Memories[0].Lim.Max, 4u);
+  ASSERT_EQ(M->Tables.size(), 1u);
+  ASSERT_EQ(M->Globals.size(), 1u);
+  EXPECT_EQ(M->Globals[0].Init.Bits, 42u);
+  EXPECT_TRUE(M->Globals[0].Mutable);
+  ASSERT_EQ(M->Datas.size(), 1u);
+  EXPECT_EQ(M->Datas[0].Bytes.size(), 4u);
+  ASSERT_EQ(M->Elems.size(), 1u);
+  EXPECT_EQ(M->Elems[0].FuncIndices[0], 0u);
+}
+
+TEST(Reader, RejectsTruncatedSection) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.op(Opcode::Nop);
+  auto Bytes = MB.build();
+  Bytes.pop_back(); // Chop the last byte.
+  expectDecodeError(std::move(Bytes));
+}
+
+TEST(Reader, RejectsExportIndexOutOfRange) {
+  ModuleBuilder MB;
+  MB.addExport("f", ExternKind::Func, 3);
+  expectDecodeError(MB.build());
+}
+
+TEST(Reader, CodeBytesAccounting) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F1 = MB.addFunc(T);
+  F1.op(Opcode::Nop);
+  FuncBuilder &F2 = MB.addFunc(T);
+  F2.op(Opcode::Nop);
+  F2.op(Opcode::Nop);
+  WasmError Err;
+  auto M = decodeModule(MB.build(), &Err);
+  ASSERT_NE(M, nullptr) << Err.Message;
+  // nop+end = 2 bytes, nop+nop+end = 3 bytes.
+  EXPECT_EQ(M->codeBytes(), 5u);
+}
+
+} // namespace

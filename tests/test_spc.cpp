@@ -1,0 +1,458 @@
+//===- tests/test_spc.cpp - single-pass compiler tests ---------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil.h"
+
+#include "randwasm.h"
+
+#include <gtest/gtest.h>
+
+using namespace wisp;
+
+namespace {
+
+template <typename BodyFn>
+InterpFixture makeFunc(std::vector<ValType> Params, std::vector<ValType> Rets,
+                       BodyFn Body, bool WithMemory = false) {
+  ModuleBuilder MB;
+  if (WithMemory)
+    MB.addMemory(1);
+  uint32_t T = MB.addType(std::move(Params), std::move(Rets));
+  FuncBuilder &F = MB.addFunc(T);
+  Body(F, MB);
+  MB.exportFunc("f", MB.funcIndex(F));
+  return InterpFixture(MB);
+}
+
+TEST(Spc, CompilesSimpleAdd) {
+  auto Fx = makeFunc({ValType::I32, ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.localGet(1);
+                       F.op(Opcode::I32Add);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(2), Value::makeI32(40)}).one(),
+            Value::makeI32(42));
+}
+
+TEST(Spc, ConstantFoldingEmitsNoArithmetic) {
+  auto Fx = makeFunc({}, {ValType::I32}, [](FuncBuilder &F, ModuleBuilder &) {
+    F.i32Const(6);
+    F.i32Const(7);
+    F.op(Opcode::I32Mul);
+  });
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  EXPECT_EQ(Fx.callJit("f", {}).one(), Value::makeI32(42));
+  // The whole body folds to a constant store: no Mul32 instruction.
+  for (const MInst &I : Fx.Codes[0]->Insts)
+    EXPECT_NE(I.Op, MOp::Mul32);
+}
+
+TEST(Spc, ImmediateSelection) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.i32Const(5);
+                       F.op(Opcode::I32Add);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  bool SawAddI = false, SawAdd = false;
+  for (const MInst &I : Fx.Codes[0]->Insts) {
+    SawAddI |= I.Op == MOp::AddI32;
+    SawAdd |= I.Op == MOp::Add32;
+  }
+  EXPECT_TRUE(SawAddI);
+  EXPECT_FALSE(SawAdd);
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(37)}).one(), Value::makeI32(42));
+}
+
+TEST(Spc, NoIselUsesRegisterForm) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.i32Const(5);
+                       F.op(Opcode::I32Add);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::noisel());
+  bool SawAddI = false;
+  for (const MInst &I : Fx.Codes[0]->Insts)
+    SawAddI |= I.Op == MOp::AddI32;
+  EXPECT_FALSE(SawAddI);
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(37)}).one(), Value::makeI32(42));
+}
+
+TEST(Spc, MulByPowerOfTwoBecomesShift) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.localGet(0);
+                       F.i32Const(8);
+                       F.op(Opcode::I32Mul);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  bool SawShl = false, SawMul = false;
+  for (const MInst &I : Fx.Codes[0]->Insts) {
+    SawShl |= I.Op == MOp::ShlI32;
+    SawMul |= I.Op == MOp::Mul32 || I.Op == MOp::MulI32;
+  }
+  EXPECT_TRUE(SawShl);
+  EXPECT_FALSE(SawMul);
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(5)}).one(), Value::makeI32(40));
+}
+
+TEST(Spc, BranchFoldingRemovesDeadArm) {
+  auto Fx = makeFunc({}, {ValType::I32}, [](FuncBuilder &F, ModuleBuilder &) {
+    F.i32Const(1);
+    F.ifOp(BlockType::oneResult(ValType::I32));
+    F.i32Const(10);
+    F.elseOp();
+    F.i32Const(20);
+    F.f64Const(3.0); // Dead arm contains extra code.
+    F.drop();
+    F.end();
+  });
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  EXPECT_EQ(Fx.callJit("f", {}).one(), Value::makeI32(10));
+  // No conditional branch should remain.
+  for (const MInst &I : Fx.Codes[0]->Insts) {
+    EXPECT_NE(I.Op, MOp::JmpIfZ);
+    EXPECT_NE(I.Op, MOp::BrCmp32);
+  }
+}
+
+TEST(Spc, CmpBranchFusion) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.block();
+                       F.localGet(0);
+                       F.i32Const(10);
+                       F.op(Opcode::I32LtS);
+                       F.brIf(0);
+                       F.i32Const(1);
+                       F.ret();
+                       F.end();
+                       F.i32Const(2);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  bool SawFused = false, SawCmpSet = false;
+  for (const MInst &I : Fx.Codes[0]->Insts) {
+    SawFused |= I.Op == MOp::BrCmpI32 || I.Op == MOp::BrCmp32;
+    SawCmpSet |= I.Op == MOp::CmpSet32 || I.Op == MOp::CmpSetI32;
+  }
+  EXPECT_TRUE(SawFused);
+  EXPECT_FALSE(SawCmpSet);
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(5)}).one(), Value::makeI32(2));
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(50)}).one(), Value::makeI32(1));
+}
+
+TEST(Spc, LoopSumMatchesInterp) {
+  auto Body = [](FuncBuilder &F, ModuleBuilder &) {
+    uint32_t Sum = F.addLocal(ValType::I32);
+    F.block();
+    F.localGet(0);
+    F.op(Opcode::I32Eqz);
+    F.brIf(0);
+    F.loop();
+    F.localGet(Sum);
+    F.localGet(0);
+    F.op(Opcode::I32Add);
+    F.localSet(Sum);
+    F.localGet(0);
+    F.i32Const(1);
+    F.op(Opcode::I32Sub);
+    F.localTee(0);
+    F.brIf(0);
+    F.end();
+    F.end();
+    F.localGet(Sum);
+  };
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32}, Body);
+  ASSERT_TRUE(Fx.ok());
+  InvokeResult Ref = Fx.call("f", {Value::makeI32(1000)});
+  Fx.jitAll(CompilerOptions::allopt());
+  InvokeResult Jit = Fx.callJit("f", {Value::makeI32(1000)});
+  EXPECT_EQ(Ref.one(), Jit.one());
+  EXPECT_EQ(Jit.one(), Value::makeI32(500500));
+}
+
+TEST(Spc, CallsAcrossJitFunctions) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T); // fib
+  F.localGet(0);
+  F.i32Const(2);
+  F.op(Opcode::I32LtS);
+  F.ifOp(BlockType::oneResult(ValType::I32));
+  F.localGet(0);
+  F.elseOp();
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Sub);
+  F.call(0);
+  F.localGet(0);
+  F.i32Const(2);
+  F.op(Opcode::I32Sub);
+  F.call(0);
+  F.op(Opcode::I32Add);
+  F.end();
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(15)}).one(), Value::makeI32(610));
+}
+
+TEST(Spc, MixedTierCalls) {
+  // Caller JIT, callee interpreter, and vice versa.
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &Callee = MB.addFunc(T);
+  Callee.localGet(0);
+  Callee.i32Const(3);
+  Callee.op(Opcode::I32Mul);
+  FuncBuilder &Caller = MB.addFunc(T);
+  Caller.localGet(0);
+  Caller.call(MB.funcIndex(Callee));
+  Caller.i32Const(1);
+  Caller.op(Opcode::I32Add);
+  MB.exportFunc("callee", MB.funcIndex(Callee));
+  MB.exportFunc("caller", MB.funcIndex(Caller));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  // Compile only the caller.
+  FuncInstance *CallerFi = Fx.Inst->findExportedFunc("caller");
+  Fx.Codes.push_back(
+      compileFunction(*Fx.M, *CallerFi->Decl, CompilerOptions::allopt()));
+  CallerFi->Code = Fx.Codes.back().get();
+  CallerFi->UseJit = true;
+  EXPECT_EQ(Fx.callJit("caller", {Value::makeI32(5)}).one(),
+            Value::makeI32(16));
+  // Now compile only the callee instead.
+  CallerFi->UseJit = false;
+  FuncInstance *CalleeFi = Fx.Inst->findExportedFunc("callee");
+  Fx.Codes.push_back(
+      compileFunction(*Fx.M, *CalleeFi->Decl, CompilerOptions::allopt()));
+  CalleeFi->Code = Fx.Codes.back().get();
+  CalleeFi->UseJit = true;
+  EXPECT_EQ(Fx.callJit("caller", {Value::makeI32(5)}).one(),
+            Value::makeI32(16));
+}
+
+TEST(Spc, TrapsMatchInterp) {
+  auto Body = [](FuncBuilder &F, ModuleBuilder &) {
+    F.localGet(0);
+    F.localGet(1);
+    F.op(Opcode::I32DivS);
+  };
+  auto Fx = makeFunc({ValType::I32, ValType::I32}, {ValType::I32}, Body);
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(1), Value::makeI32(0)}).Trap,
+            TrapReason::DivByZero);
+  EXPECT_EQ(
+      Fx.callJit("f", {Value::makeI32(INT32_MIN), Value::makeI32(-1)}).Trap,
+      TrapReason::IntOverflow);
+}
+
+TEST(Spc, StackMapsRecordedAtCalls) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &Callee = MB.addFunc(T);
+  Callee.op(Opcode::Nop);
+  uint32_t RefT = MB.addType({ValType::ExternRef}, {ValType::ExternRef});
+  FuncBuilder &F = MB.addFunc(RefT);
+  F.localGet(0);
+  F.call(MB.funcIndex(Callee));
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::withTags(TagMode::StackMap));
+  const MCode *Code = Fx.Inst->findExportedFunc("f")->Code;
+  ASSERT_EQ(Code->StackMaps.size(), 1u);
+  // The externref parameter (slot 0) must be in the map.
+  ASSERT_EQ(Code->StackMaps[0].RefSlots.size(), 2u); // param + operand copy
+  EXPECT_EQ(Code->StackMaps[0].RefSlots[0], 0u);
+  EXPECT_GT(Code->Stats.StackMapBytes, 0u);
+}
+
+TEST(Spc, TagModesAffectTagStoreCounts) {
+  auto Body = [](FuncBuilder &F, ModuleBuilder &) {
+    uint32_t L = F.addLocal(ValType::I32);
+    F.localGet(0);
+    F.i32Const(1);
+    F.op(Opcode::I32Add);
+    F.localSet(L);
+    F.localGet(L);
+  };
+  uint64_t Stores[4];
+  TagMode Modes[] = {TagMode::None, TagMode::OnDemand, TagMode::Lazy,
+                     TagMode::Eager};
+  for (int I = 0; I < 4; ++I) {
+    auto Fx = makeFunc({ValType::I32}, {ValType::I32}, Body);
+    Fx.jitAll(CompilerOptions::withTags(Modes[I]));
+    Stores[I] = Fx.Codes[0]->Stats.TagStores;
+    EXPECT_EQ(Fx.callJit("f", {Value::makeI32(4)}).one(), Value::makeI32(5));
+  }
+  EXPECT_EQ(Stores[0], 0u);            // notags
+  EXPECT_LE(Stores[1], Stores[3]);     // on-demand <= eager
+  EXPECT_LE(Stores[2], Stores[1] + 1); // lazy <= on-demand (no local tags)
+  EXPECT_GT(Stores[3], 0u);            // eager stores on every def
+}
+
+TEST(Spc, BrTableCompiles) {
+  auto Fx = makeFunc({ValType::I32}, {ValType::I32},
+                     [](FuncBuilder &F, ModuleBuilder &) {
+                       F.block();
+                       F.block();
+                       F.block();
+                       F.localGet(0);
+                       F.brTable({0, 1}, 2);
+                       F.end();
+                       F.i32Const(100);
+                       F.ret();
+                       F.end();
+                       F.i32Const(101);
+                       F.ret();
+                       F.end();
+                       F.i32Const(102);
+                     });
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(0)}).one(), Value::makeI32(100));
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(1)}).one(), Value::makeI32(101));
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(9)}).one(), Value::makeI32(102));
+}
+
+TEST(Spc, CallIndirectCompiles) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F1 = MB.addFunc(T);
+  F1.localGet(0);
+  F1.i32Const(1);
+  F1.op(Opcode::I32Add);
+  uint32_t Caller = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(Caller);
+  F.localGet(1);
+  F.localGet(0);
+  F.callIndirect(T);
+  MB.addTable(2, 2);
+  MB.addElem(0, {MB.funcIndex(F1)});
+  MB.exportFunc("f", MB.funcIndex(F));
+  InterpFixture Fx(MB);
+  ASSERT_TRUE(Fx.ok());
+  Fx.jitAll(CompilerOptions::allopt());
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(0), Value::makeI32(7)}).one(),
+            Value::makeI32(8));
+  EXPECT_EQ(Fx.callJit("f", {Value::makeI32(1), Value::makeI32(7)}).Trap,
+            TrapReason::NullFuncRef);
+}
+
+// ---------------------------------------------------------------------------
+// Differential property tests: every compiler configuration must agree with
+// the interpreter on randomly generated programs (result, trap reason, and
+// final memory contents).
+// ---------------------------------------------------------------------------
+
+struct NamedConfig {
+  const char *Name;
+  CompilerOptions Opts;
+};
+
+std::vector<NamedConfig> allConfigs() {
+  return {
+      {"allopt", CompilerOptions::allopt()},
+      {"nok", CompilerOptions::nok()},
+      {"nokfold", CompilerOptions::nokfold()},
+      {"noisel", CompilerOptions::noisel()},
+      {"nomr", CompilerOptions::nomr()},
+      {"nopeep",
+       [] {
+         CompilerOptions O;
+         O.Peephole = false;
+         return O;
+       }()},
+      {"notags", CompilerOptions::withTags(TagMode::None)},
+      {"eager", CompilerOptions::withTags(TagMode::Eager)},
+      {"eager-l", CompilerOptions::withTags(TagMode::EagerLocals)},
+      {"eager-o", CompilerOptions::withTags(TagMode::EagerOperands)},
+      {"lazy", CompilerOptions::withTags(TagMode::Lazy)},
+      {"stackmap", CompilerOptions::withTags(TagMode::StackMap)},
+      {"fewregs",
+       [] {
+         CompilerOptions O;
+         O.NumGp = 4;
+         O.NumFp = 4;
+         return O;
+       }()},
+      {"deopt+osr",
+       [] {
+         CompilerOptions O;
+         O.EmitDeoptChecks = true;
+         O.EmitOsrEntries = true;
+         return O;
+       }()},
+  };
+}
+
+uint64_t hashMemory(const Instance &Inst) {
+  uint64_t H = 1469598103934665603ull;
+  const uint8_t *D = Inst.Memory.data();
+  for (size_t I = 0; I < Inst.Memory.byteSize(); ++I) {
+    H ^= D[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+class SpcDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpcDifferential, MatchesInterpreter) {
+  uint64_t Seed = GetParam();
+  RandWasm Gen(Seed);
+  ModuleBuilder MB = Gen.build();
+
+  std::vector<Value> Args = {Value::makeI32(int32_t(Seed * 7)),
+                             Value::makeI32(int32_t(Seed % 97)),
+                             Value::makeF64(double(Seed % 1000) / 3.0),
+                             Value::makeF64(-1.5)};
+
+  // Reference run on the interpreter.
+  InterpFixture Ref(MB);
+  ASSERT_TRUE(Ref.ok()) << "seed " << Seed;
+  InvokeResult RefOut = Ref.call("f", Args);
+  uint64_t RefMem = hashMemory(*Ref.Inst);
+
+  for (const NamedConfig &NC : allConfigs()) {
+    InterpFixture Jit(MB);
+    ASSERT_TRUE(Jit.ok());
+    Jit.jitAll(NC.Opts);
+    InvokeResult JitOut = Jit.callJit("f", Args);
+    ASSERT_EQ(RefOut.Trap, JitOut.Trap)
+        << "config " << NC.Name << " seed " << Seed;
+    if (RefOut.Trap == TrapReason::None) {
+      ASSERT_EQ(RefOut.Results.size(), JitOut.Results.size());
+      for (size_t I = 0; I < RefOut.Results.size(); ++I)
+        ASSERT_EQ(RefOut.Results[I], JitOut.Results[I])
+            << "config " << NC.Name << " seed " << Seed << " result " << I
+            << " interp=" << RefOut.Results[I].toString()
+            << " jit=" << JitOut.Results[I].toString();
+      ASSERT_EQ(RefMem, hashMemory(*Jit.Inst))
+          << "config " << NC.Name << " seed " << Seed << " memory differs";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpcDifferential,
+                         ::testing::Range(uint64_t(1), uint64_t(120)));
+
+} // namespace

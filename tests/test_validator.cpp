@@ -1,0 +1,339 @@
+//===- tests/test_validator.cpp - validation and side-table tests ----------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace wisp;
+
+namespace {
+
+TEST(Validator, AcceptsSimpleAdd) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.localGet(1);
+  F.op(Opcode::I32Add);
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Funcs[0].MaxStack, 2u);
+  EXPECT_TRUE(M->Funcs[0].Table.Entries.empty());
+}
+
+TEST(Validator, RejectsTypeMismatch) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.op(Opcode::F64Sqrt); // f64 op on i32 value.
+  expectInvalid(MB);
+}
+
+TEST(Validator, RejectsStackUnderflow) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.op(Opcode::I32Add); // Nothing to pop.
+  expectInvalid(MB);
+}
+
+TEST(Validator, RejectsMissingResult) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.op(Opcode::Nop);
+  expectInvalid(MB);
+}
+
+TEST(Validator, RejectsSuperfluousResult) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(1);
+  expectInvalid(MB);
+}
+
+TEST(Validator, AcceptsBlockWithResult) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block(BlockType::oneResult(ValType::I32));
+  F.i32Const(7);
+  F.end();
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+}
+
+TEST(Validator, BrIfSideTableEntry) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block(BlockType::oneResult(ValType::I32));
+  F.i32Const(1);
+  F.localGet(0);
+  F.brIf(0);
+  F.drop();
+  F.i32Const(2);
+  F.end();
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+  const SideTable &ST = M->Funcs[0].Table;
+  ASSERT_EQ(ST.Entries.size(), 1u);
+  const SideTableEntry &E = ST.Entries[0];
+  EXPECT_EQ(E.ValCount, 1u);
+  EXPECT_EQ(E.TargetHeight, 0u);
+  // Target is just past the function's inner `end`, i.e. one byte before
+  // the function-terminating end.
+  EXPECT_EQ(E.TargetIp, M->Funcs[0].BodyEnd - 1);
+  EXPECT_EQ(E.TargetStp, 1u);
+}
+
+TEST(Validator, LoopBranchTargetsHeader) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.loop();
+  F.localGet(0);
+  F.brIf(0);
+  F.end();
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+  const SideTable &ST = M->Funcs[0].Table;
+  ASSERT_EQ(ST.Entries.size(), 1u);
+  // Loop target: first body instruction = BodyStart + 2 (loop opcode +
+  // blocktype byte), with STP 0 (no entries precede the body).
+  EXPECT_EQ(ST.Entries[0].TargetIp, M->Funcs[0].BodyStart + 2);
+  EXPECT_EQ(ST.Entries[0].TargetStp, 0u);
+  EXPECT_EQ(ST.Entries[0].ValCount, 0u);
+}
+
+TEST(Validator, IfElseSideTable) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.ifOp(BlockType::oneResult(ValType::I32));
+  F.i32Const(1);
+  F.elseOp();
+  F.i32Const(2);
+  F.end();
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+  const SideTable &ST = M->Funcs[0].Table;
+  // Entry 0: if false edge -> after `else`. Entry 1: else skip -> after end.
+  ASSERT_EQ(ST.Entries.size(), 2u);
+  EXPECT_LT(ST.Entries[0].TargetIp, ST.Entries[1].TargetIp);
+  EXPECT_EQ(ST.Entries[0].TargetStp, 2u);
+  EXPECT_EQ(ST.Entries[1].TargetStp, 2u);
+  EXPECT_EQ(ST.Entries[1].ValCount, 1u);
+}
+
+TEST(Validator, IfWithoutElseRequiresBalancedTypes) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.ifOp(BlockType::oneResult(ValType::I32)); // [] -> [i32] but no else.
+  F.i32Const(1);
+  F.end();
+  expectInvalid(MB);
+}
+
+TEST(Validator, BrTableEntries) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block();
+  F.block();
+  F.localGet(0);
+  F.brTable({0, 1}, 1);
+  F.end();
+  F.end();
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+  // Three entries: target 0, target 1, default(1).
+  ASSERT_EQ(M->Funcs[0].Table.Entries.size(), 3u);
+  const auto &E = M->Funcs[0].Table.Entries;
+  EXPECT_LT(E[0].TargetIp, E[1].TargetIp);
+  EXPECT_EQ(E[1].TargetIp, E[2].TargetIp);
+}
+
+TEST(Validator, BrTableInconsistentArity) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block(BlockType::oneResult(ValType::I32));
+  F.block();
+  F.localGet(0);
+  F.brTable({1}, 0); // Outer expects i32, inner expects nothing.
+  F.end();
+  F.i32Const(0);
+  F.end();
+  expectInvalid(MB);
+}
+
+TEST(Validator, UnreachableMakesStackPolymorphic) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.unreachable();
+  F.op(Opcode::I32Add); // Pops two polymorphic values.
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+}
+
+TEST(Validator, BranchDepthOutOfRange) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block();
+  F.br(5);
+  F.end();
+  expectInvalid(MB);
+}
+
+TEST(Validator, LocalIndexOutOfRange) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(3);
+  F.drop();
+  expectInvalid(MB);
+}
+
+TEST(Validator, GlobalSetImmutable) {
+  ModuleBuilder MB;
+  uint32_t G = MB.addGlobal(ValType::I32, false,
+                            ModuleBuilder::constInit(ValType::I32, 1));
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(2);
+  F.globalSet(G);
+  expectInvalid(MB);
+}
+
+TEST(Validator, MemoryOpsRequireMemory) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(0);
+  F.load(Opcode::I32Load, 0, 2);
+  expectInvalid(MB);
+}
+
+TEST(Validator, AlignmentTooLarge) {
+  ModuleBuilder MB;
+  MB.addMemory(1);
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(0);
+  F.load(Opcode::I32Load, 0, 3); // 2**3 = 8 > 4.
+  expectInvalid(MB);
+}
+
+TEST(Validator, MultiValueBlock) {
+  ModuleBuilder MB;
+  uint32_t Pair = MB.addType({}, {ValType::I32, ValType::I32});
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block(BlockType::funcType(Pair));
+  F.i32Const(3);
+  F.i32Const(4);
+  F.end();
+  F.op(Opcode::I32Add);
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Funcs[0].MaxStack, 2u);
+}
+
+TEST(Validator, MultiValueBlockParams) {
+  ModuleBuilder MB;
+  uint32_t BT = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  uint32_t T = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(10);
+  F.i32Const(20);
+  F.block(BlockType::funcType(BT));
+  F.op(Opcode::I32Add);
+  F.end();
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+}
+
+TEST(Validator, SelectRequiresMatchingTypes) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(1);
+  F.f64Const(2.0);
+  F.localGet(0);
+  F.select();
+  F.drop();
+  expectInvalid(MB);
+}
+
+TEST(Validator, CallTypeChecking) {
+  ModuleBuilder MB;
+  uint32_t Callee = MB.addType({ValType::I64}, {ValType::I64});
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &C = MB.addFunc(Callee);
+  C.localGet(0);
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(1); // Wrong: callee wants i64.
+  F.call(MB.funcIndex(C));
+  F.drop();
+  expectInvalid(MB);
+}
+
+TEST(Validator, CallIndirectRequiresTable) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(0);
+  F.callIndirect(T);
+  expectInvalid(MB);
+}
+
+TEST(Validator, ElseWithoutIf) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block();
+  F.elseOp();
+  F.end();
+  expectInvalid(MB);
+}
+
+TEST(Validator, NestedControlDeep) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  const int Depth = 64;
+  for (int I = 0; I < Depth; ++I)
+    F.block();
+  F.localGet(0);
+  F.brIf(Depth - 1);
+  for (int I = 0; I < Depth; ++I)
+    F.end();
+  auto M = buildAndValidate(MB);
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->Funcs[0].Table.Entries.size(), 1u);
+  // Branch to the outermost block lands just inside the last `end` run.
+  EXPECT_EQ(M->Funcs[0].Table.Entries[0].TargetIp, M->Funcs[0].BodyEnd - 1);
+}
+
+TEST(Validator, StartFunctionSignature) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.op(Opcode::Nop);
+  MB.setStart(MB.funcIndex(F));
+  expectInvalid(MB);
+}
+
+} // namespace
