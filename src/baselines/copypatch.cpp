@@ -164,7 +164,7 @@ void TemplateCache::buildSimple(Opcode Op) {
     Reg OperandRegs[3];
     for (unsigned I = 0; I < Info.NPop; ++I) {
       ValType T = Info.Pop[I];
-      bool IsLast = I + 1 == Info.NPop;
+      bool IsLast = I + 1u == Info.NPop;
       bool Fp = isFloatType(T);
       if (IsLast && TosReg) {
         OperandRegs[I] = Fp ? TosF : TosG;
@@ -173,9 +173,7 @@ void TemplateCache::buildSimple(Opcode Op) {
       Reg R = Fp ? (IsLast ? TosF : TmpF) : (IsLast ? TosG : TmpG);
       OperandRegs[I] = R;
       S.Insts.push_back(MInst{Fp ? MOp::LdSlotF : MOp::LdSlot, R, 0, 0, 0,
-                              I == Info.NPop - 1 ? HoleOperand2
-                                                 : HoleOperandBase,
-                              0});
+                              IsLast ? HoleOperand2 : HoleOperandBase, 0});
     }
     // For two-operand ops the first operand loads from HoleOperandBase and
     // the second from HoleOperand2; fix single-operand ops.
@@ -863,8 +861,9 @@ void wisp::warmCopyPatchTemplates() { cache().build(); }
 
 std::unique_ptr<MCode> wisp::compileCopyPatch(const Module &M,
                                               const FuncDecl &F,
-                                              const CompilerOptions &Opts,
-                                              const ProbeSiteOracle *Probes) {
+                                              const CompilerOptions & /*Opts*/,
+                                              const ProbeSiteOracle *
+                                              /*Probes*/) {
   cache().build(); // Idempotent; engines normally warm it at startup.
   auto Code = std::make_unique<MCode>();
   auto Start = std::chrono::steady_clock::now();

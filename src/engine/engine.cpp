@@ -160,7 +160,7 @@ void Engine::fireProbeTos(Thread &Th, FuncInstance *Func, uint32_t Ip,
   Probes.fireTos(Th, Func, Ip, Tos);
 }
 
-void Engine::onFuncHot(Thread &Th, FuncInstance *Func) {
+void Engine::onFuncHot(Thread &, FuncInstance *Func) {
   if (!Current || Func->Decl->Imported || Func->Code)
     return;
   compileAndInstall(Func);

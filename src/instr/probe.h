@@ -76,7 +76,8 @@ public:
 
   /// TOS-reader probes: optimized firing path receiving the value
   /// directly, skipping the runtime lookup and accessor allocation.
-  virtual void fireTos(uint32_t FuncIdx, uint32_t Ip, Value Tos) {}
+  virtual void fireTos(uint32_t /*FuncIdx*/, uint32_t /*Ip*/,
+                       Value /*Tos*/) {}
 };
 
 } // namespace wisp

@@ -56,7 +56,7 @@ public:
   }
 
   /// Optimized TOS path (single TosReader probe at the site).
-  void fireTos(Thread &T, FuncInstance *Func, uint32_t Ip, Value Tos) const {
+  void fireTos(Thread &, FuncInstance *Func, uint32_t Ip, Value Tos) const {
     const std::vector<Probe *> *Ps = probesAt(Func->Decl->Index, Ip);
     if (!Ps)
       return;

@@ -147,6 +147,44 @@ private:
     return V;
   }
 
+  /// Copies \p V into a fresh temporary and rewrites every operand-stack
+  /// entry equal to it. No-op if V is not on the stack.
+  void rescueStackAlias(int V) {
+    size_t First = 0;
+    while (First < Stack.size() && Stack[First] != V)
+      ++First;
+    if (First == Stack.size())
+      return;
+    ValType Ty = Vregs[uint32_t(V)].Ty;
+    int Copy = newVreg(Ty);
+    IRInst Cp;
+    Cp.Op = isFloatType(Ty) ? MOp::MovFF : MOp::MovRR;
+    Cp.Dst = Copy;
+    Cp.A = V;
+    // No SideEffect: if nothing ends up reading the rescued entry, dead
+    // code elimination is free to drop the copy.
+    defBump(Copy);
+    Insts.push_back(Cp);
+    for (size_t J = First; J < Stack.size(); ++J)
+      if (Stack[J] == V)
+        Stack[J] = Copy;
+  }
+
+  /// Rescues stack entries aliasing any local that is assigned somewhere
+  /// in the function. Called on entry to a control construct: a local.set
+  /// inside the construct would clobber entries pushed outside it, and a
+  /// rescue emitted at the set site would neither dominate the entry's
+  /// later uses nor execute exactly once inside a loop.
+  void materializeLocalAliases() {
+    // Local vregs are allocated first in run(), so ids 0..NumLocals-1 are
+    // exactly the locals: one stack pass suffices.
+    for (size_t I = 0; I < Stack.size(); ++I) {
+      int V = Stack[I];
+      if (V >= 0 && V < int(NumLocals) && LocalEverSet[V])
+        rescueStackAlias(V); // Rewrites every occurrence of V.
+    }
+  }
+
   struct Ctl {
     Opcode Kind = Opcode::Block;
     bool DeadEntry = false;
@@ -190,6 +228,7 @@ private:
   std::vector<uint32_t> Versions; ///< Def counters for value numbering.
   std::vector<int> Stack; ///< Operand stack of vregs.
   std::vector<int> LocalVreg;
+  std::vector<uint8_t> LocalEverSet; ///< Local is assigned in the body.
   std::vector<Ctl> Ctrl;
   int LabelCount = 0;
   bool Live = true;
@@ -351,7 +390,7 @@ void OptCompiler::buildCall(const FuncType &FT, bool Indirect,
   ConstCSE.clear(); // Conservative: constant vregs may be spilled anyway.
 }
 
-void OptCompiler::emitBranchMoves(Ctl &C, bool IsLoop) {
+void OptCompiler::emitBranchMoves(Ctl &C, bool /*IsLoop*/) {
   uint32_t Arity = uint32_t(C.MergeVregs.size());
   uint32_t SrcBase = uint32_t(Stack.size()) - Arity;
   for (uint32_t J = 0; J < Arity; ++J) {
@@ -435,6 +474,7 @@ void OptCompiler::buildOp(Opcode Op) {
   case Opcode::Block:
   case Opcode::Loop: {
     BlockType BT = R.readBlockType();
+    materializeLocalAliases();
     Ctl C;
     C.Kind = Op;
     std::vector<ValType> Params;
@@ -478,6 +518,7 @@ void OptCompiler::buildOp(Opcode Op) {
   case Opcode::If: {
     BlockType BT = R.readBlockType();
     int CondV = pop();
+    materializeLocalAliases();
     Ctl C;
     C.Kind = Opcode::If;
     std::vector<ValType> Params;
@@ -803,6 +844,10 @@ void OptCompiler::buildOp(Opcode Op) {
     if (Op == Opcode::LocalSet)
       (void)pop();
     int LV = LocalVreg[Idx];
+    // Stack entries pushed by an earlier local.get alias the local's vreg;
+    // rescue them into a fresh copy before the assignment clobbers LV.
+    if (V != LV)
+      rescueStackAlias(LV);
     IRInst Mv;
     Mv.Op = isFloatType(F.LocalTypes[Idx]) ? MOp::MovFF : MOp::MovRR;
     Mv.Dst = LV;
@@ -1430,6 +1475,24 @@ void OptCompiler::emitMachine() {
 void OptCompiler::run() {
   const FuncType &FT = M.Types[F.TypeIdx];
   uint32_t NParams = uint32_t(FT.Params.size());
+  // Pre-scan for assigned locals: local.get entries for never-assigned
+  // locals can stay aliased to the local's vreg with no materialization.
+  LocalEverSet.assign(NumLocals, 0);
+  {
+    CodeReader Scan(M.Bytes.data(), F.BodyStart, F.BodyEnd);
+    while (!Scan.atEnd()) {
+      Opcode Op = Scan.readOpcode();
+      if (!Scan.ok())
+        break;
+      if (Op == Opcode::LocalSet || Op == Opcode::LocalTee) {
+        uint32_t Idx = Scan.readU32();
+        if (Scan.ok() && Idx < NumLocals)
+          LocalEverSet[Idx] = 1;
+      } else {
+        Scan.skipImms(Op);
+      }
+    }
+  }
   LocalVreg.resize(NumLocals);
   for (uint32_t I = 0; I < NumLocals; ++I) {
     LocalVreg[I] = newVreg(F.LocalTypes[I]);
@@ -1480,7 +1543,7 @@ void OptCompiler::run() {
 
 std::unique_ptr<MCode> wisp::compileOptimizing(const Module &M,
                                                const FuncDecl &F,
-                                               const CompilerOptions &Opts,
+                                               const CompilerOptions & /*Opts*/,
                                                const ProbeSiteOracle *) {
   auto Code = std::make_unique<MCode>();
   auto Start = std::chrono::steady_clock::now();

@@ -33,23 +33,23 @@ public:
 
   /// A probed instruction was reached; frame state has been written back,
   /// so the probe may inspect the full stack through accessors.
-  virtual void fireProbes(Thread &T, FuncInstance *Func, uint32_t Ip) {}
+  virtual void fireProbes(Thread &, FuncInstance *, uint32_t /*Ip*/) {}
 
   /// Optimized JIT probe: the top-of-stack value is passed directly,
   /// skipping the runtime lookup and accessor allocation (paper §IV.D).
-  virtual void fireProbeTos(Thread &T, FuncInstance *Func, uint32_t Ip,
-                            Value Tos) {}
+  virtual void fireProbeTos(Thread &, FuncInstance *, uint32_t /*Ip*/,
+                            Value /*Tos*/) {}
 
   /// A function's hotness counter crossed the threshold at entry. The hook
   /// may compile it and flip FuncInstance::UseJit for future calls.
-  virtual void onFuncHot(Thread &T, FuncInstance *Func) {}
+  virtual void onFuncHot(Thread &, FuncInstance *) {}
 
   /// A hot loop backedge in the interpreter. The hook may compile the
   /// function with an OSR entry at \p TargetIp and rewrite the *top* frame
   /// in place to a JIT frame. Returns true if the frame was tiered up
   /// (the interpreter then yields to the dispatcher).
-  virtual bool onLoopBackedge(Thread &T, FuncInstance *Func,
-                              uint32_t TargetIp) {
+  virtual bool onLoopBackedge(Thread &, FuncInstance *,
+                              uint32_t /*TargetIp*/) {
     return false;
   }
 };

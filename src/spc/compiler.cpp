@@ -1120,7 +1120,7 @@ void SPC::skipDeadOp(Opcode Op) {
   }
 }
 
-void SPC::compileOp(Opcode Op, uint32_t OpIp) {
+void SPC::compileOp(Opcode Op, uint32_t) {
   switch (Op) {
   case Opcode::Nop:
     return;

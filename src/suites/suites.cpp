@@ -1356,7 +1356,7 @@ std::vector<LineItem> wisp_ostrich(int Scale) {
   MkI("bfs", [](Kern &K, int S) { emitBfs(K, 24, 4 * S); });
   MkI("crc", [](Kern &K, int S) { emitCrc(K, 1024, 6 * S); });
   MkF("fft", [](Kern &K, int S) { emitFftLike(K, 9, 12 * S); });
-  MkF("hmm", [](Kern &K, int S) { emitCovariance(K, 48, 24); });
+  MkF("hmm", [](Kern &K, int) { emitCovariance(K, 48, 24); });
   MkI("kmeans", [](Kern &K, int S) { emitKmeans(K, 1500, 12, 8 * S); });
   MkF("lavamd", [](Kern &K, int S) { emitNbody(K, 110, 2 * S); });
   MkF("lud", [](Kern &K, int S) { emitTrisolve(K, 44, 8 * S); });

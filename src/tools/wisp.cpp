@@ -1,0 +1,463 @@
+//===- tools/wisp.cpp - the wisp command-line driver -----------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Standalone entry point for the engine: loads a .wasm file or a named
+// embedded suite item, selects an execution tier, optionally attaches
+// monitors, invokes an export with arguments, and prints results, timing
+// and engine statistics.
+//
+//   wisp --tier=spc ostrich/crc
+//   wisp --tier=int --invoke=gcd module.wasm 3528 3780
+//   wisp --monitor=branches --stats polybench/2mm
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "instr/monitors.h"
+#include "suites/suites.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace wisp;
+
+namespace {
+
+const char *UsageText =
+    "usage: wisp [options] <module> [args...]\n"
+    "\n"
+    "  <module>  path to a .wasm file, or an embedded suite item\n"
+    "            (\"polybench/2mm\", \"libsodium/chacha20\", \"ostrich/crc\",\n"
+    "            ... see --list), or \"nop\" for the 104-byte no-op module\n"
+    "  [args]    arguments for the invoked export, parsed against its\n"
+    "            signature: i32/i64 as decimal or 0x-hex, f32/f64 as decimal\n"
+    "\n"
+    "options:\n"
+    "  --tier=TIER      execution tier: int (in-place interpreter),\n"
+    "                   spc (single-pass compiler, default), copypatch,\n"
+    "                   twopass, opt (optimizing)\n"
+    "  --config=NAME    named engine configuration from the Fig. 3/10\n"
+    "                   registries (overrides --tier; see --list-configs)\n"
+    "  --invoke=NAME    export to call (default \"run\")\n"
+    "  --scale=N        suite workload scale factor (default 1)\n"
+    "  --m0             use the early-return (setup-bound) suite variant\n"
+    "  --monitor=M      attach a monitor; repeatable:\n"
+    "                   branches | coverage | count:<opcode mnemonic>\n"
+    "  --stats          print load and execution statistics\n"
+    "  --time           print setup and main-phase wall times\n"
+    "  --list           list embedded suite items and exit\n"
+    "  --list-configs   list named engine configurations and exit\n"
+    "  --help           show this help\n";
+
+int usageError(const char *Fmt, const char *Arg) {
+  fprintf(stderr, Fmt, Arg);
+  fprintf(stderr, "\n%s", UsageText);
+  return 2;
+}
+
+/// Maps a --tier name to a registry configuration name.
+const char *tierConfigName(const std::string &Tier) {
+  if (Tier == "int")
+    return "wizard-int"; // In-place interpreter.
+  if (Tier == "spc")
+    return "wizard-spc"; // The paper's single-pass compiler.
+  if (Tier == "copypatch")
+    return "wasm-now"; // Copy-and-patch templates.
+  if (Tier == "twopass")
+    return "wazero"; // Listing-IR two-pass baseline.
+  if (Tier == "opt")
+    return "wasmtime"; // IR-based optimizing compiler.
+  return nullptr;
+}
+
+bool readFile(const std::string &Path, std::vector<uint8_t> *Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out->assign(std::istreambuf_iterator<char>(In),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Resolves <module>: a file on disk wins, then "nop", then "suite/item"
+/// (or a bare item name, if unambiguous across suites).
+bool resolveModule(const std::string &Spec, int Scale, bool UseM0,
+                   std::vector<uint8_t> *Out) {
+  if (readFile(Spec, Out))
+    return true;
+  if (Spec == "nop") {
+    *Out = nopModule();
+    return true;
+  }
+  std::vector<LineItem> Items = allSuites(Scale);
+  LineItem *ByName = nullptr;
+  for (LineItem &I : Items) {
+    if (I.Suite + "/" + I.Name == Spec) {
+      *Out = UseM0 ? std::move(I.M0Bytes) : std::move(I.Bytes);
+      return true;
+    }
+    if (I.Name == Spec) {
+      if (ByName) {
+        fprintf(stderr,
+                "wisp: item name '%s' is ambiguous (%s/%s and %s/%s); "
+                "use the suite/name form\n",
+                Spec.c_str(), ByName->Suite.c_str(), ByName->Name.c_str(),
+                I.Suite.c_str(), I.Name.c_str());
+        return false;
+      }
+      ByName = &I;
+    }
+  }
+  if (ByName) {
+    *Out = UseM0 ? std::move(ByName->M0Bytes) : std::move(ByName->Bytes);
+    return true;
+  }
+  return false;
+}
+
+/// Looks an opcode up by mnemonic (e.g. "i32.add", "call").
+bool opcodeByName(const std::string &Name, Opcode *Out) {
+  auto Scan = [&](uint16_t Lo, uint16_t Hi) {
+    for (uint32_t V = Lo; V <= Hi; ++V) {
+      Opcode Op = Opcode(V);
+      if (opInfo(Op).Name && Name == opInfo(Op).Name) {
+        *Out = Op;
+        return true;
+      }
+    }
+    return false;
+  };
+  return Scan(0x00, 0xFF) || Scan(0xFC00, 0xFCFF);
+}
+
+bool parseValue(const std::string &Text, ValType Ty, Value *Out) {
+  errno = 0;
+  const char *S = Text.c_str();
+  char *End = nullptr;
+  switch (Ty) {
+  case ValType::I32:
+  case ValType::I64: {
+    // Accept the full signed and unsigned range of the target width;
+    // reject anything that would silently truncate.
+    long long V;
+    if (Text[0] == '-') {
+      V = strtoll(S, &End, 0);
+    } else {
+      unsigned long long U = strtoull(S, &End, 0);
+      V = (long long)U;
+    }
+    if (End == S || *End || errno == ERANGE)
+      return false;
+    if (Ty == ValType::I32) {
+      if (Text[0] == '-' ? V < INT32_MIN
+                         : (unsigned long long)V > UINT32_MAX)
+        return false;
+      *Out = Value::makeI32(int32_t(uint32_t(V)));
+    } else {
+      *Out = Value::makeI64(V);
+    }
+    return true;
+  }
+  case ValType::F32:
+  case ValType::F64: {
+    double V = strtod(S, &End);
+    if (End == S || *End)
+      return false;
+    *Out = Ty == ValType::F32 ? Value::makeF32(float(V)) : Value::makeF64(V);
+    return true;
+  }
+  default:
+    return false; // Reference arguments cannot be spelled on a command line.
+  }
+}
+
+void printValue(Value V) {
+  switch (V.Type) {
+  case ValType::I32:
+    printf("%d:i32", V.asI32());
+    break;
+  case ValType::I64:
+    printf("%lld:i64", (long long)V.asI64());
+    break;
+  case ValType::F32:
+    printf("%g:f32", double(V.asF32()));
+    break;
+  case ValType::F64:
+    printf("%g:f64", V.asF64());
+    break;
+  default:
+    printf("0x%llx:%s", (unsigned long long)V.Bits, valTypeName(V.Type));
+    break;
+  }
+}
+
+double nowMs() {
+  return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) /
+         1e6;
+}
+
+int listSuites(int Scale) {
+  for (const LineItem &I : allSuites(Scale))
+    printf("%s/%-24s %s  %7zu bytes\n", I.Suite.c_str(), I.Name.c_str(),
+           I.ResultType == ValType::F64 ? "f64" : "i64", I.Bytes.size());
+  printf("%-34s i64  %7zu bytes\n", "nop", nopModule().size());
+  return 0;
+}
+
+int listConfigs() {
+  printf("--tier shorthands: int spc copypatch twopass opt\n\n");
+  for (const EngineConfig &C : figure10Registry()) {
+    const char *Mode = C.Mode == ExecMode::Interp    ? "interp"
+                       : C.Mode == ExecMode::Jit     ? "jit"
+                       : C.Mode == ExecMode::JitLazy ? "jit-lazy"
+                                                     : "tiered";
+    const char *Kind = C.Compiler == CompilerKind::SinglePass ? "single-pass"
+                       : C.Compiler == CompilerKind::TwoPass  ? "two-pass"
+                       : C.Compiler == CompilerKind::CopyPatch
+                           ? "copy-patch"
+                           : "optimizing";
+    printf("%-18s %-8s %s\n", C.Name.c_str(), Mode, Kind);
+  }
+  return 0;
+}
+
+struct CliOptions {
+  std::string Tier = "spc";
+  std::string Config;
+  std::string Invoke = "run";
+  std::string Module;
+  std::vector<std::string> Monitors;
+  std::vector<std::string> RawArgs;
+  int Scale = 1;
+  bool UseM0 = false;
+  bool Stats = false;
+  bool Time = false;
+  bool List = false;
+  bool ListConfigs = false;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Opt;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Val = [&](const char *Prefix) -> const char * {
+      size_t N = strlen(Prefix);
+      return A.compare(0, N, Prefix) == 0 ? A.c_str() + N : nullptr;
+    };
+    if (const char *V = Val("--tier=")) {
+      Opt.Tier = V;
+    } else if (const char *V = Val("--config=")) {
+      Opt.Config = V;
+    } else if (const char *V = Val("--invoke=")) {
+      Opt.Invoke = V;
+    } else if (const char *V = Val("--scale=")) {
+      Opt.Scale = atoi(V);
+      if (Opt.Scale < 1)
+        return usageError("bad --scale value: %s\n", V);
+    } else if (const char *V = Val("--monitor=")) {
+      Opt.Monitors.push_back(V);
+    } else if (A == "--m0") {
+      Opt.UseM0 = true;
+    } else if (A == "--stats") {
+      Opt.Stats = true;
+    } else if (A == "--time") {
+      Opt.Time = true;
+    } else if (A == "--list") {
+      Opt.List = true; // Handled after parsing so --scale is order-free.
+    } else if (A == "--list-configs") {
+      Opt.ListConfigs = true;
+    } else if (A == "--help" || A == "-h") {
+      printf("%s", UsageText);
+      return 0;
+    } else if (A.size() > 1 && A[0] == '-' && !isdigit(A[1]) &&
+               Opt.Module.empty()) {
+      return usageError("unknown option: %s\n", A.c_str());
+    } else if (Opt.Module.empty()) {
+      Opt.Module = A;
+    } else {
+      Opt.RawArgs.push_back(A);
+    }
+  }
+  if (Opt.List)
+    return listSuites(Opt.Scale);
+  if (Opt.ListConfigs)
+    return listConfigs();
+  if (Opt.Module.empty())
+    return usageError("%s", "no module given\n");
+
+  // Resolve the engine configuration.
+  EngineConfig Cfg;
+  if (!Opt.Config.empty()) {
+    // configByName falls back to a default config on a miss; validate the
+    // name so a typo'd --config errors instead of silently running it.
+    bool Known = false;
+    for (const EngineConfig &C : figure10Registry())
+      Known = Known || C.Name == Opt.Config;
+    if (!Known)
+      return usageError("unknown config: %s (see --list-configs)\n",
+                        Opt.Config.c_str());
+    Cfg = configByName(Opt.Config);
+  } else {
+    const char *Name = tierConfigName(Opt.Tier);
+    if (!Name)
+      return usageError("unknown tier: %s (want int|spc|copypatch|twopass|"
+                        "opt)\n",
+                        Opt.Tier.c_str());
+    Cfg = configByName(Name);
+  }
+
+  // Resolve the module bytes.
+  std::vector<uint8_t> Bytes;
+  if (!resolveModule(Opt.Module, Opt.Scale, Opt.UseM0, &Bytes)) {
+    fprintf(stderr, "wisp: cannot resolve module '%s' (not a file, not a "
+                    "suite item; see --list)\n",
+            Opt.Module.c_str());
+    return 1;
+  }
+
+  // Load: decode, validate, instantiate, compile per mode.
+  Engine E(Cfg);
+  installGcHostFuncs(E);
+  WasmError Err;
+  double T0 = nowMs();
+  std::unique_ptr<LoadedModule> LM = E.load(std::move(Bytes), &Err);
+  double T1 = nowMs();
+  if (!LM) {
+    fprintf(stderr, "wisp: load failed: %s (offset %zu)\n",
+            Err.Message.c_str(), Err.Offset);
+    return 1;
+  }
+
+  // Attach monitors, then recompile so JIT tiers observe the probe sites.
+  BranchMonitor Branches;
+  CoverageMonitor Coverage;
+  std::vector<std::unique_ptr<OpcodeCountMonitor>> Counters;
+  std::vector<std::string> CounterNames;
+  for (const std::string &M : Opt.Monitors) {
+    if (M == "branches") {
+      Branches.attach(*LM->Inst, E.probes());
+    } else if (M == "coverage") {
+      Coverage.attach(*LM->Inst, E.probes());
+    } else if (M.compare(0, 6, "count:") == 0) {
+      std::string OpText = M.substr(6);
+      Opcode Op;
+      if (!opcodeByName(OpText, &Op)) {
+        fprintf(stderr, "wisp: unknown opcode mnemonic '%s'\n",
+                OpText.c_str());
+        return 1;
+      }
+      Counters.push_back(std::make_unique<OpcodeCountMonitor>());
+      Counters.back()->attach(*LM->Inst, E.probes(), Op);
+      CounterNames.push_back(OpText);
+    } else {
+      return usageError("unknown monitor: %s (want branches|coverage|"
+                        "count:<opcode>)\n",
+                        M.c_str());
+    }
+  }
+  if (!Opt.Monitors.empty())
+    E.reinstrument(*LM);
+
+  // Parse call arguments against the export's signature.
+  FuncInstance *F = LM->Inst->findExportedFunc(Opt.Invoke);
+  if (!F) {
+    fprintf(stderr, "wisp: no exported function '%s'\n", Opt.Invoke.c_str());
+    return 1;
+  }
+  const std::vector<ValType> &Params = F->Type->Params;
+  if (Opt.RawArgs.size() != Params.size()) {
+    fprintf(stderr, "wisp: '%s' takes %zu argument(s), got %zu\n",
+            Opt.Invoke.c_str(), Params.size(), Opt.RawArgs.size());
+    return 1;
+  }
+  std::vector<Value> Args;
+  for (size_t I = 0; I < Params.size(); ++I) {
+    Value V;
+    if (!parseValue(Opt.RawArgs[I], Params[I], &V)) {
+      fprintf(stderr, "wisp: cannot parse argument %zu '%s' as %s\n", I + 1,
+              Opt.RawArgs[I].c_str(), valTypeName(Params[I]));
+      return 1;
+    }
+    Args.push_back(V);
+  }
+
+  // Invoke.
+  std::vector<Value> Results;
+  double T2 = nowMs();
+  TrapReason Trap = E.invoke(*LM, Opt.Invoke, Args, &Results);
+  double T3 = nowMs();
+  if (Trap != TrapReason::None) {
+    fprintf(stderr, "wisp: trap: %s\n", trapReasonName(Trap));
+    return 3;
+  }
+
+  printf("%s(", Opt.Invoke.c_str());
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      printf(", ");
+    printValue(Args[I]);
+  }
+  printf(") = ");
+  if (Results.empty())
+    printf("<void>");
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (I)
+      printf(", ");
+    printValue(Results[I]);
+  }
+  printf("\n");
+
+  if (Opt.Time) {
+    printf("time: setup %.3f ms (load %.3f), main %.3f ms\n",
+           T1 - T0, double(LM->Stats.TotalSetupNs) / 1e6, T3 - T2);
+  }
+  if (Opt.Stats) {
+    const LoadStats &S = LM->Stats;
+    printf("stats: config=%s module=%zu bytes, code=%zu bytes\n",
+           Cfg.Name.c_str(), S.ModuleBytes, S.CodeBytes);
+    printf("  decode %.1f us, validate %.1f us, compile %.1f us, "
+           "instantiate %.1f us\n",
+           double(S.DecodeNs) / 1e3, double(S.ValidateNs) / 1e3,
+           double(S.CompileNs) / 1e3, double(S.InstantiateNs) / 1e3);
+    printf("  emitted %llu machine insts, %llu tag stores, %llu stackmap "
+           "bytes\n",
+           (unsigned long long)S.CodeInsts, (unsigned long long)S.TagStores,
+           (unsigned long long)S.StackMapBytes);
+    Thread &T = E.thread();
+    printf("  executed %llu interp steps, %llu jit cycles, %llu modeled "
+           "cycles\n",
+           (unsigned long long)T.InterpSteps,
+           (unsigned long long)T.JitCycles,
+           (unsigned long long)T.modeledCycles());
+  }
+
+  // Monitor reports.
+  for (const std::string &M : Opt.Monitors) {
+    if (M == "branches")
+      printf("branches: %llu taken, %llu not taken over %zu sites\n",
+             (unsigned long long)Branches.totalTaken(),
+             (unsigned long long)Branches.totalNotTaken(),
+             Branches.sites().size());
+    else if (M == "coverage")
+      printf("coverage: %u of %zu functions executed\n",
+             Coverage.functionsExecuted(), LM->Inst->Funcs.size());
+  }
+  for (size_t I = 0; I < Counters.size(); ++I)
+    printf("count %s: %llu\n", CounterNames[I].c_str(),
+           (unsigned long long)Counters[I]->total());
+  return 0;
+}

@@ -183,7 +183,7 @@ bool ModuleReader::readInitExpr(InitExpr *E, ValType Expect) {
   return checkOk();
 }
 
-bool ModuleReader::readTypeSection(size_t End) {
+bool ModuleReader::readTypeSection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     if (R.readByte() != 0x60)
@@ -202,7 +202,7 @@ bool ModuleReader::readTypeSection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readImportSection(size_t End) {
+bool ModuleReader::readImportSection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     std::string Mod, Name;
@@ -261,7 +261,7 @@ bool ModuleReader::readImportSection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readFunctionSection(size_t End) {
+bool ModuleReader::readFunctionSection(size_t) {
   uint32_t Count = R.readU32();
   NumDeclaredFuncs = Count;
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
@@ -275,7 +275,7 @@ bool ModuleReader::readFunctionSection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readTableSection(size_t End) {
+bool ModuleReader::readTableSection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     TableDecl T;
@@ -289,7 +289,7 @@ bool ModuleReader::readTableSection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readMemorySection(size_t End) {
+bool ModuleReader::readMemorySection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     MemoryDecl D;
@@ -302,7 +302,7 @@ bool ModuleReader::readMemorySection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readGlobalSection(size_t End) {
+bool ModuleReader::readGlobalSection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     GlobalDecl G;
@@ -318,7 +318,7 @@ bool ModuleReader::readGlobalSection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readExportSection(size_t End) {
+bool ModuleReader::readExportSection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     Export E;
@@ -354,7 +354,7 @@ bool ModuleReader::readExportSection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readStartSection(size_t End) {
+bool ModuleReader::readStartSection(size_t) {
   uint32_t Idx = R.readU32();
   if (!checkOk())
     return false;
@@ -364,7 +364,7 @@ bool ModuleReader::readStartSection(size_t End) {
   return true;
 }
 
-bool ModuleReader::readElemSection(size_t End) {
+bool ModuleReader::readElemSection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     uint32_t Flags = R.readU32();
@@ -390,7 +390,7 @@ bool ModuleReader::readElemSection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readCodeSection(size_t End) {
+bool ModuleReader::readCodeSection(size_t) {
   uint32_t Count = R.readU32();
   if (!checkOk())
     return false;
@@ -432,7 +432,7 @@ bool ModuleReader::readCodeSection(size_t End) {
   return checkOk();
 }
 
-bool ModuleReader::readDataSection(size_t End) {
+bool ModuleReader::readDataSection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     uint32_t Flags = R.readU32();

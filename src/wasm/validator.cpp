@@ -229,7 +229,7 @@ bool FuncValidator::checkAlign(Opcode Op, uint32_t Align) {
   return true;
 }
 
-bool FuncValidator::validateOp(Opcode Op, size_t OpPos) {
+bool FuncValidator::validateOp(Opcode Op, size_t) {
   const OpInfo &Info = opInfo(Op);
   if (!Info.Name)
     return error("unknown opcode 0x%x", unsigned(Op));

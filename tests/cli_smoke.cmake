@@ -1,0 +1,68 @@
+# tests/cli_smoke.cmake - ctest smoke test for the wisp CLI driver.
+#
+# Runs the same small embedded suite item on all five execution tiers and
+# asserts (a) every run exits 0 and (b) every tier prints the identical
+# result line. Invoked by ctest as:
+#   cmake -DWISP_BIN=<path-to-wisp> -P cli_smoke.cmake
+
+if(NOT WISP_BIN)
+  message(FATAL_ERROR "pass -DWISP_BIN=<path to the wisp binary>")
+endif()
+
+set(ITEM "ostrich/crc")
+set(REFERENCE "")
+
+foreach(tier int spc copypatch twopass opt)
+  execute_process(
+    COMMAND ${WISP_BIN} --tier=${tier} ${ITEM}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+      "wisp --tier=${tier} ${ITEM} exited ${RC}\nstderr: ${ERR}")
+  endif()
+  if(NOT OUT MATCHES "run\\(\\) = ")
+    message(FATAL_ERROR
+      "wisp --tier=${tier} ${ITEM} printed no result line:\n${OUT}")
+  endif()
+  if(REFERENCE STREQUAL "")
+    set(REFERENCE "${OUT}")
+    set(REFERENCE_TIER "${tier}")
+  elseif(NOT OUT STREQUAL REFERENCE)
+    message(FATAL_ERROR
+      "tier ${tier} disagrees with tier ${REFERENCE_TIER} on ${ITEM}:\n"
+      "${REFERENCE_TIER}: ${REFERENCE}\n${tier}: ${OUT}")
+  endif()
+endforeach()
+
+# The stats/timing surface must work on the minimal module.
+execute_process(
+  COMMAND ${WISP_BIN} --tier=spc --invoke=run --stats --time nop
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "wisp nop run exited ${RC}")
+endif()
+
+# Argument machinery: a surplus argument must be rejected against the
+# export's zero-parameter signature, and an unknown export must fail.
+execute_process(
+  COMMAND ${WISP_BIN} --tier=spc nop 42
+  ERROR_VARIABLE ERR
+  OUTPUT_QUIET
+  RESULT_VARIABLE RC)
+if(RC EQUAL 0 OR NOT ERR MATCHES "takes 0 argument")
+  message(FATAL_ERROR
+    "surplus argument not rejected (rc=${RC}): ${ERR}")
+endif()
+execute_process(
+  COMMAND ${WISP_BIN} --tier=spc --invoke=nope nop
+  ERROR_VARIABLE ERR
+  OUTPUT_QUIET
+  RESULT_VARIABLE RC)
+if(RC EQUAL 0 OR NOT ERR MATCHES "no exported function")
+  message(FATAL_ERROR "unknown export not rejected (rc=${RC}): ${ERR}")
+endif()
+
+message(STATUS "cli_smoke: all five tiers agree on ${ITEM}")

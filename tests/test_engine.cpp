@@ -360,4 +360,100 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 3),
                        ::testing::Range(uint64_t(1), uint64_t(60))));
 
+// Runs \p Export on every JIT pipeline and checks the single i32 result.
+static void expectAllPipelines(const std::vector<uint8_t> &Bytes,
+                               const char *Export,
+                               const std::vector<Value> &Args,
+                               int32_t Expected) {
+  for (CompilerKind Kind :
+       {CompilerKind::SinglePass, CompilerKind::TwoPass,
+        CompilerKind::CopyPatch, CompilerKind::Optimizing}) {
+    EngineConfig Cfg;
+    Cfg.Mode = ExecMode::Jit;
+    Cfg.Compiler = Kind;
+    Cfg.Opts.Tags = TagMode::None;
+    Engine E(Cfg);
+    WasmError Err;
+    auto LM = E.load(Bytes, &Err);
+    ASSERT_NE(LM, nullptr) << Err.Message;
+    std::vector<Value> Out;
+    ASSERT_EQ(E.invoke(*LM, Export, Args, &Out), TrapReason::None)
+        << "kind " << int(Kind);
+    ASSERT_EQ(Out.size(), 1u);
+    EXPECT_EQ(Out[0], Value::makeI32(Expected)) << "kind " << int(Kind);
+  }
+}
+
+// Regression: a local.set must not clobber stack entries pushed by an
+// earlier local.get of the same local. gcd's loop body reads b, computes
+// a % b, then overwrites both locals while the old b is still on the
+// stack; the optimizing pipeline used to alias the stack entry to the
+// local's vreg and return a % b instead of b.
+TEST(PipelineLocals, SetDoesNotClobberAliasedStackEntries) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.block();
+  F.loop();
+  F.localGet(1);
+  F.op(Opcode::I32Eqz);
+  F.brIf(1);
+  F.localGet(1); // Old b stays on the stack across both local.sets.
+  F.localGet(0);
+  F.localGet(1);
+  F.op(Opcode::I32RemU);
+  F.localSet(1); // b = a % b
+  F.localSet(0); // a = old b
+  F.br(0);
+  F.end();
+  F.end();
+  F.localGet(0);
+  MB.exportFunc("gcd", MB.funcIndex(F));
+  expectAllPipelines(MB.build(), "gcd",
+                     {Value::makeI32(3528), Value::makeI32(3780)}, 252);
+}
+
+// Regression: an aliased entry pushed *before* a loop must keep its
+// pre-loop value even though the local is reassigned on every iteration
+// (a rescue emitted at the set site would re-execute per iteration).
+TEST(PipelineLocals, AliasPushedBeforeLoopSurvivesIteration) {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0); // Pre-loop value; stays on the stack across the loop.
+  F.loop();
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Add);
+  F.localSet(0);
+  F.localGet(0);
+  F.i32Const(10);
+  F.op(Opcode::I32LtU);
+  F.brIf(0);
+  F.end();
+  MB.exportFunc("f", MB.funcIndex(F));
+  expectAllPipelines(MB.build(), "f", {Value::makeI32(3)}, 3);
+}
+
+// Regression: an aliased entry pushed before an if must keep its value on
+// both arms; the rescue must dominate the join (set only happens in the
+// then-arm).
+TEST(PipelineLocals, AliasPushedBeforeIfSurvivesBothArms) {
+  for (int32_t Cond : {0, 1}) {
+    ModuleBuilder MB;
+    uint32_t T = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+    FuncBuilder &F = MB.addFunc(T);
+    F.localGet(0); // Old value; read again after the if.
+    F.localGet(1);
+    F.ifOp();
+    F.i32Const(99);
+    F.localSet(0);
+    F.elseOp();
+    F.end();
+    MB.exportFunc("f", MB.funcIndex(F));
+    expectAllPipelines(MB.build(), "f",
+                       {Value::makeI32(7), Value::makeI32(Cond)}, 7);
+  }
+}
+
 } // namespace
