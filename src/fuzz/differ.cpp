@@ -1,0 +1,219 @@
+//===- fuzz/differ.cpp - five-tier differential runner ---------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/differ.h"
+
+#include "engine/engine.h"
+#include "support/format.h"
+#include "support/rng.h"
+
+#include <cstring>
+
+namespace wisp {
+
+const std::vector<std::string> &differTierNames() {
+  static const std::vector<std::string> Names = {"int", "spc", "copypatch",
+                                                 "twopass", "opt"};
+  return Names;
+}
+
+namespace {
+
+EngineConfig tierConfig(const std::string &Tier) {
+  EngineConfig Cfg;
+  Cfg.Name = "fuzz-" + Tier;
+  if (Tier == "int") {
+    Cfg.Mode = ExecMode::Interp;
+    return Cfg;
+  }
+  Cfg.Mode = ExecMode::Jit;
+  Cfg.Opts.Tags = TagMode::None;
+  if (Tier == "spc")
+    Cfg.Compiler = CompilerKind::SinglePass;
+  else if (Tier == "copypatch")
+    Cfg.Compiler = CompilerKind::CopyPatch;
+  else if (Tier == "twopass")
+    Cfg.Compiler = CompilerKind::TwoPass;
+  else
+    Cfg.Compiler = CompilerKind::Optimizing;
+  return Cfg;
+}
+
+TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
+                   const std::string &ExportName,
+                   const std::vector<Value> &Args) {
+  TierRun Run;
+  Run.Tier = Tier;
+  Engine E(tierConfig(Tier));
+  WasmError Err;
+  std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
+  if (!LM) {
+    Run.LoadError = strFormat("%s (offset %zu)", Err.Message.c_str(), Err.Offset);
+    return Run;
+  }
+  Run.LoadOk = true;
+  Run.Trap = E.invoke(*LM, ExportName, Args, &Run.Results);
+  if (Run.Trap != TrapReason::None)
+    Run.Results.clear();
+  const LinearMemory &Mem = LM->Inst->Memory;
+  Run.Memory.assign(Mem.data(), Mem.data() + Mem.byteSize());
+  for (const Global &G : LM->Inst->Globals)
+    Run.GlobalBits.push_back(G.Bits);
+  return Run;
+}
+
+} // namespace
+
+std::string compareTierRuns(const TierRun &Ref, const TierRun &Run) {
+  if (Ref.LoadOk != Run.LoadOk)
+    return strFormat("%s: load %s but %s: load %s (%s)", Ref.Tier.c_str(),
+                  Ref.LoadOk ? "ok" : "failed", Run.Tier.c_str(),
+                  Run.LoadOk ? "ok" : "failed",
+                  (Run.LoadOk ? Ref.LoadError : Run.LoadError).c_str());
+  if (!Ref.LoadOk)
+    return ""; // Both failed to load identically observable: not a tier bug.
+  if (Ref.Trap != Run.Trap)
+    return strFormat("trap mismatch: %s=%s %s=%s", Ref.Tier.c_str(),
+                  trapReasonName(Ref.Trap), Run.Tier.c_str(),
+                  trapReasonName(Run.Trap));
+  if (Ref.Results.size() != Run.Results.size())
+    return strFormat("result arity mismatch: %s=%zu %s=%zu", Ref.Tier.c_str(),
+                  Ref.Results.size(), Run.Tier.c_str(), Run.Results.size());
+  for (size_t I = 0; I < Ref.Results.size(); ++I)
+    if (!(Ref.Results[I] == Run.Results[I]))
+      return strFormat("result %zu mismatch: %s=%s %s=%s", I, Ref.Tier.c_str(),
+                    Ref.Results[I].toString().c_str(), Run.Tier.c_str(),
+                    Run.Results[I].toString().c_str());
+  if (Ref.Memory.size() != Run.Memory.size())
+    return strFormat("memory size mismatch: %s=%zu %s=%zu", Ref.Tier.c_str(),
+                  Ref.Memory.size(), Run.Tier.c_str(), Run.Memory.size());
+  if (!Ref.Memory.empty() &&
+      memcmp(Ref.Memory.data(), Run.Memory.data(), Ref.Memory.size()) != 0) {
+    size_t At = 0;
+    while (Ref.Memory[At] == Run.Memory[At])
+      ++At;
+    return strFormat("memory mismatch at 0x%zx: %s=0x%02x %s=0x%02x", At,
+                  Ref.Tier.c_str(), Ref.Memory[At], Run.Tier.c_str(),
+                  Run.Memory[At]);
+  }
+  if (Ref.GlobalBits.size() != Run.GlobalBits.size())
+    return strFormat("global count mismatch: %s=%zu %s=%zu", Ref.Tier.c_str(),
+                  Ref.GlobalBits.size(), Run.Tier.c_str(),
+                  Run.GlobalBits.size());
+  for (size_t I = 0; I < Ref.GlobalBits.size(); ++I)
+    if (Ref.GlobalBits[I] != Run.GlobalBits[I])
+      return strFormat("global %zu mismatch: %s=0x%llx %s=0x%llx", I,
+                    Ref.Tier.c_str(),
+                    (unsigned long long)Ref.GlobalBits[I], Run.Tier.c_str(),
+                    (unsigned long long)Run.GlobalBits[I]);
+  return "";
+}
+
+DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
+                       const std::string &ExportName,
+                       const std::vector<Value> &Args) {
+  DiffReport Report;
+  for (const std::string &Tier : differTierNames())
+    Report.Runs.push_back(runOneTier(Tier, Bytes, ExportName, Args));
+  const TierRun &Ref = Report.Runs[0];
+  if (!Ref.LoadOk) {
+    // The reference interpreter must accept every generated module; a
+    // reject here is a generator (or decoder/validator) bug, surfaced as
+    // a divergence so campaigns cannot silently skip it.
+    Report.Diverged = true;
+    Report.Detail = strFormat("reference load failed: %s", Ref.LoadError.c_str());
+    return Report;
+  }
+  for (size_t I = 1; I < Report.Runs.size(); ++I) {
+    std::string Mismatch = compareTierRuns(Ref, Report.Runs[I]);
+    if (!Mismatch.empty()) {
+      Report.Diverged = true;
+      Report.Detail = Mismatch;
+      return Report;
+    }
+  }
+  return Report;
+}
+
+std::vector<Value> argsForSeed(uint64_t Seed,
+                               const std::vector<ValType> &Params) {
+  Rng R(Seed * 0x9E3779B97F4A7C15ULL + 0xC0FFEE);
+  std::vector<Value> Args;
+  for (ValType T : Params) {
+    switch (T) {
+    case ValType::I32: {
+      static const int32_t Pool[] = {0, 1, -1, 7, 100, 3528, 3780,
+                                     INT32_MIN, INT32_MAX};
+      Args.push_back(R.chance(1, 2)
+                         ? Value::makeI32(Pool[R.below(9)])
+                         : Value::makeI32(int32_t(R.next())));
+      break;
+    }
+    case ValType::I64:
+      Args.push_back(R.chance(1, 2)
+                         ? Value::makeI64(int64_t(R.below(1000)) - 500)
+                         : Value::makeI64(int64_t(R.next())));
+      break;
+    case ValType::F32:
+      Args.push_back(
+          Value::makeF32(float(int64_t(R.below(4000)) - 2000) / 16.0f));
+      break;
+    case ValType::F64:
+      Args.push_back(
+          Value::makeF64(double(int64_t(R.below(200000)) - 100000) / 64.0));
+      break;
+    default:
+      Args.push_back(defaultValue(T)); // Null reference.
+      break;
+    }
+  }
+  return Args;
+}
+
+std::vector<std::vector<Value>>
+replayArgTuples(const std::vector<ValType> &Params) {
+  // Fixed per-type pools; tuple K assigns pool[(J + 3K) % N] to parameter J.
+  // The i32 pool deliberately contains the gcd pair (3528, 3780) so the
+  // PR-1 aliasing reproducers exercise their original failing inputs.
+  static const int32_t I32Pool[] = {0,    1,    -1,        3528,
+                                    3780, 7,    INT32_MIN, INT32_MAX};
+  static const int64_t I64Pool[] = {0,  1,    -1,         1234567890123LL,
+                                    -7, 1000, INT64_MIN, INT64_MAX};
+  static const double FloatPool[] = {0.0,  1.5,     -2.25,   1e9,
+                                     0.5, -1024.0, 3.140625, 1e-9};
+  // Nullary exports (e.g. baked-args "repro" wrappers) have exactly one
+  // distinct invocation; don't replay it four times.
+  if (Params.empty())
+    return {{}};
+  std::vector<std::vector<Value>> Tuples;
+  for (uint32_t K = 0; K < 4; ++K) {
+    std::vector<Value> Args;
+    for (size_t J = 0; J < Params.size(); ++J) {
+      size_t Pick = (J + 3 * K) % 8;
+      switch (Params[J]) {
+      case ValType::I32:
+        Args.push_back(Value::makeI32(I32Pool[Pick]));
+        break;
+      case ValType::I64:
+        Args.push_back(Value::makeI64(I64Pool[Pick]));
+        break;
+      case ValType::F32:
+        Args.push_back(Value::makeF32(float(FloatPool[Pick])));
+        break;
+      case ValType::F64:
+        Args.push_back(Value::makeF64(FloatPool[Pick]));
+        break;
+      default:
+        Args.push_back(defaultValue(Params[J]));
+        break;
+      }
+    }
+    Tuples.push_back(std::move(Args));
+  }
+  return Tuples;
+}
+
+} // namespace wisp

@@ -1,0 +1,73 @@
+//===- fuzz/differ.h - five-tier differential runner ------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a module export through every execution tier (interpreter,
+/// single-pass, copy-and-patch, two-pass, optimizing) and compares traps,
+/// results, final linear memory and final mutable-global state. Any
+/// disagreement is a divergence: the paper's central claim is that all
+/// five tiers compute identical semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_FUZZ_DIFFER_H
+#define WISP_FUZZ_DIFFER_H
+
+#include "runtime/trap.h"
+#include "runtime/value.h"
+#include "wasm/types.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+/// One tier's observation of a run.
+struct TierRun {
+  std::string Tier;
+  bool LoadOk = false;
+  std::string LoadError;
+  TrapReason Trap = TrapReason::None;
+  std::vector<Value> Results;
+  std::vector<uint8_t> Memory;      ///< Final linear memory contents.
+  std::vector<uint64_t> GlobalBits; ///< Final global values, in order.
+};
+
+/// Verdict of a differential run across all tiers.
+struct DiffReport {
+  bool Diverged = false;
+  std::string Detail; ///< Human-readable description of the first mismatch.
+  std::vector<TierRun> Runs;
+};
+
+/// The five tier names, in comparison order (index 0 is the reference).
+const std::vector<std::string> &differTierNames();
+
+/// Loads \p Bytes on every tier, invokes \p ExportName with \p Args, and
+/// compares everything observable. A load failure on any tier (including
+/// the reference) is reported as a divergence.
+DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
+                       const std::string &ExportName,
+                       const std::vector<Value> &Args);
+
+/// Compares two tier runs; returns an empty string on agreement, else a
+/// description of the first mismatch.
+std::string compareTierRuns(const TierRun &Ref, const TierRun &Run);
+
+/// Deterministic per-seed arguments for a signature (fuzzing campaigns).
+std::vector<Value> argsForSeed(uint64_t Seed,
+                               const std::vector<ValType> &Params);
+
+/// Fixed argument tuples for corpus replay: every tuple is deterministic
+/// and drawn from per-type interesting-value tables, so corpus reruns
+/// reproduce exactly.
+std::vector<std::vector<Value>>
+replayArgTuples(const std::vector<ValType> &Params);
+
+} // namespace wisp
+
+#endif // WISP_FUZZ_DIFFER_H

@@ -1,0 +1,639 @@
+//===- fuzz/fuzzmod.cpp - random-module IR emission and listing ------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/fuzzmod.h"
+
+#include "support/format.h"
+#include "wasm/opcodes.h"
+
+#include <cinttypes>
+#include <cstring>
+
+namespace wisp {
+
+FuzzExpr FuzzExpr::constant(ValType T, uint64_t Bits) {
+  FuzzExpr E;
+  E.K = Const;
+  E.Type = T;
+  switch (T) {
+  case ValType::I32:
+  case ValType::F32:
+    E.Bits = uint32_t(Bits);
+    break;
+  default:
+    E.Bits = Bits;
+    break;
+  }
+  return E;
+}
+
+namespace {
+
+/// Emits one FuzzFunc body into a FuncBuilder.
+class Emitter {
+public:
+  Emitter(const FuzzModule &M, ModuleBuilder &MB, FuncBuilder &F)
+      : M(M), MB(MB), F(F) {}
+
+  void emitConst(ValType T, uint64_t Bits) {
+    switch (T) {
+    case ValType::I32:
+      F.i32Const(int32_t(uint32_t(Bits)));
+      break;
+    case ValType::I64:
+      F.i64Const(int64_t(Bits));
+      break;
+    case ValType::F32: {
+      float V;
+      uint32_t B = uint32_t(Bits);
+      memcpy(&V, &B, 4);
+      F.f32Const(V);
+      break;
+    }
+    default: {
+      double V;
+      memcpy(&V, &Bits, 8);
+      F.f64Const(V);
+      break;
+    }
+    }
+  }
+
+  void emit(const FuzzExpr &E) {
+    switch (E.K) {
+    case FuzzExpr::Const:
+      emitConst(E.Type, E.Bits);
+      return;
+    case FuzzExpr::LocalGet:
+      F.localGet(E.Index);
+      return;
+    case FuzzExpr::GlobalGet:
+      F.globalGet(E.Index);
+      return;
+    case FuzzExpr::Unary:
+    case FuzzExpr::Convert:
+      emit(E.Kids[0]);
+      F.op(E.Op);
+      return;
+    case FuzzExpr::Binary:
+    case FuzzExpr::Compare:
+      emit(E.Kids[0]);
+      emit(E.Kids[1]);
+      F.op(E.Op);
+      return;
+    case FuzzExpr::DivRem:
+      emit(E.Kids[0]);
+      emit(E.Kids[1]);
+      if (E.Guarded) {
+        // Or the denominator with 1 so most divisions do not trap.
+        if (E.Type == ValType::I32) {
+          F.i32Const(1);
+          F.op(Opcode::I32Or);
+        } else {
+          F.i64Const(1);
+          F.op(Opcode::I64Or);
+        }
+      }
+      F.op(E.Op);
+      return;
+    case FuzzExpr::Load:
+      emit(E.Kids[0]);
+      if (E.Guarded) {
+        F.i32Const(int32_t(uint32_t(E.Bits)));
+        F.op(Opcode::I32And);
+      }
+      F.load(E.Op, E.Offset);
+      return;
+    case FuzzExpr::IfElse:
+      emit(E.Kids[0]);
+      F.ifOp(BlockType::oneResult(E.Type));
+      emit(E.Kids[1]);
+      F.elseOp();
+      emit(E.Kids[2]);
+      F.end();
+      return;
+    case FuzzExpr::Select:
+      emit(E.Kids[0]);
+      emit(E.Kids[1]);
+      emit(E.Kids[2]);
+      F.select();
+      return;
+    case FuzzExpr::CallDirect:
+      emit(E.Kids[0]);
+      F.call(E.Index);
+      return;
+    case FuzzExpr::CallIndirect:
+      emit(E.Kids[0]);
+      emit(E.Kids[1]);
+      if (E.Guarded) {
+        // Wrap the runtime index into the initialized part of the table.
+        F.i32Const(int32_t(uint32_t(M.Funcs.size())));
+        F.op(Opcode::I32RemU);
+      }
+      F.callIndirect(typeIdxOf(E.Index));
+      return;
+    case FuzzExpr::MemSize:
+      F.memorySize();
+      return;
+    case FuzzExpr::MemGrow:
+      emit(E.Kids[0]);
+      if (E.Guarded) {
+        F.i32Const(3);
+        F.op(Opcode::I32And);
+      }
+      F.memoryGrow();
+      return;
+    }
+  }
+
+  void emit(const FuzzStmt &S) {
+    switch (S.K) {
+    case FuzzStmt::LocalSet:
+      emit(S.E[0]);
+      if (S.Guarded) {
+        F.localTee(S.Index);
+        F.drop();
+      } else {
+        F.localSet(S.Index);
+      }
+      return;
+    case FuzzStmt::GlobalSet:
+      emit(S.E[0]);
+      F.globalSet(S.Index);
+      return;
+    case FuzzStmt::Store:
+      emit(S.E[0]);
+      if (S.Guarded) {
+        F.i32Const(int32_t(uint32_t(S.Bits)));
+        F.op(Opcode::I32And);
+      }
+      emit(S.E[1]);
+      F.store(S.Op, S.Offset);
+      return;
+    case FuzzStmt::If:
+      emit(S.E[0]);
+      F.ifOp();
+      emitBody(S.Bodies[0]);
+      if (S.Bodies.size() > 1) {
+        F.elseOp();
+        emitBody(S.Bodies[1]);
+      }
+      F.end();
+      return;
+    case FuzzStmt::Loop:
+      // Trip-counted loop over a reserved counter local; the generator
+      // never hands the counter to any other statement, so the bound holds.
+      F.i32Const(int32_t(S.N));
+      F.localSet(S.Index);
+      F.loop();
+      emitBody(S.Bodies[0]);
+      F.localGet(S.Index);
+      F.i32Const(1);
+      F.op(Opcode::I32Sub);
+      F.localTee(S.Index);
+      F.brIf(0);
+      F.end();
+      return;
+    case FuzzStmt::Block:
+      F.block();
+      emit(S.E[0]);
+      F.brIf(0);
+      emitBody(S.Bodies[0]);
+      F.end();
+      return;
+    case FuzzStmt::BrTable:
+      F.block();
+      F.block();
+      F.block();
+      emit(S.E[0]);
+      F.i32Const(4);
+      F.op(Opcode::I32RemU);
+      F.brTable({0, 1}, 2);
+      F.end();
+      emitBody(S.Bodies[0]);
+      F.end();
+      emitBody(S.Bodies[1]);
+      F.end();
+      return;
+    case FuzzStmt::ResultBlock: {
+      // (local.set I (block (result T) body.. early cond br_if drop fall))
+      ValType T = S.E[1].Type;
+      F.block(BlockType::oneResult(T));
+      emitBody(S.Bodies[0]);
+      emit(S.E[1]); // Early value, carried by the br_if when taken.
+      emit(S.E[0]); // Condition.
+      F.brIf(0);
+      F.drop();
+      emit(S.E[2]); // Fall-through value.
+      F.end();
+      F.localSet(S.Index);
+      return;
+    }
+    case FuzzStmt::ResultBrTable: {
+      // Value-carrying br_table: each arm transforms the value in a
+      // distinguishable way before it lands in local I.
+      ValType T = S.E[0].Type;
+      F.block(BlockType::oneResult(T)); // C: default / join
+      F.block(BlockType::oneResult(T)); // B
+      F.block(BlockType::oneResult(T)); // A
+      emit(S.E[0]);
+      emit(S.E[1]);
+      F.i32Const(3);
+      F.op(Opcode::I32And);
+      F.brTable({0, 1}, 2);
+      F.end(); // A arm:
+      emitArmTransform(T, S.Bits, /*SecondArm=*/false);
+      F.br(1);
+      F.end(); // B arm:
+      emitArmTransform(T, S.Bits, /*SecondArm=*/true);
+      F.end(); // C
+      F.localSet(S.Index);
+      return;
+    }
+    case FuzzStmt::Call:
+      emit(S.E[0]);
+      F.call(S.N);
+      if (S.Index == ~0u)
+        F.drop();
+      else
+        F.localSet(S.Index);
+      return;
+    case FuzzStmt::MemGrowStmt:
+      emit(S.E[0]);
+      F.i32Const(3);
+      F.op(Opcode::I32And);
+      F.memoryGrow();
+      F.drop();
+      return;
+    }
+  }
+
+  void emitBody(const std::vector<FuzzStmt> &Body) {
+    for (const FuzzStmt &S : Body)
+      emit(S);
+  }
+
+private:
+  void emitArmTransform(ValType T, uint64_t Bits, bool SecondArm) {
+    switch (T) {
+    case ValType::I32:
+      F.i32Const(int32_t(uint32_t(SecondArm ? ~Bits : Bits)));
+      F.op(SecondArm ? Opcode::I32Xor : Opcode::I32Add);
+      return;
+    case ValType::I64:
+      F.i64Const(int64_t(SecondArm ? ~Bits : Bits));
+      F.op(SecondArm ? Opcode::I64Xor : Opcode::I64Add);
+      return;
+    case ValType::F32:
+      F.op(SecondArm ? Opcode::F32Abs : Opcode::F32Neg);
+      return;
+    default:
+      F.op(SecondArm ? Opcode::F64Abs : Opcode::F64Neg);
+      return;
+    }
+  }
+
+  uint32_t typeIdxOf(uint32_t Ordinal) {
+    const FuzzFunc &Callee = M.Funcs[Ordinal];
+    // addType de-duplicates, so this returns the index registered when the
+    // function section was built.
+    return MB.addType(Callee.Params, {Callee.Result});
+  }
+
+  const FuzzModule &M;
+  ModuleBuilder &MB;
+  FuncBuilder &F;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+FuzzModule::toBytes(const std::vector<Value> *BakedArgs) const {
+  ModuleBuilder MB;
+  MB.addMemory(1, 4);
+  MB.addTable(tableSize(), tableSize());
+  for (const auto &[T, Bits] : Globals)
+    MB.addGlobal(T, /*Mutable=*/true, ModuleBuilder::constInit(T, Bits));
+
+  std::vector<FuncBuilder *> FBs;
+  for (const FuzzFunc &FF : Funcs) {
+    uint32_t TI = MB.addType(FF.Params, {FF.Result});
+    FBs.push_back(&MB.addFunc(TI));
+  }
+  std::vector<uint32_t> Indices;
+  for (uint32_t I = 0; I < uint32_t(Funcs.size()); ++I)
+    Indices.push_back(I);
+  MB.addElem(0, Indices);
+  uint32_t MainIdx = uint32_t(Funcs.size()) - 1;
+  MB.exportFunc("f", MainIdx);
+
+  for (size_t I = 0; I < Funcs.size(); ++I) {
+    const FuzzFunc &FF = Funcs[I];
+    FuncBuilder &FB = *FBs[I];
+    for (ValType L : FF.ExtraLocals)
+      FB.addLocal(L);
+    Emitter Em(*this, MB, FB);
+    Em.emitBody(FF.Body);
+    Em.emit(FF.Ret);
+  }
+
+  if (BakedArgs) {
+    // A self-contained entry point replaying main's original arguments.
+    uint32_t WrapTy = MB.addType({}, {main().Result});
+    FuncBuilder &W = MB.addFunc(WrapTy);
+    Emitter Em(*this, MB, W);
+    for (const Value &V : *BakedArgs)
+      Em.emitConst(V.Type, V.Bits);
+    W.call(MainIdx);
+    MB.exportFunc("repro", MainIdx + 1);
+  }
+  return MB.build();
+}
+
+// --- Listing -------------------------------------------------------------
+
+namespace {
+
+class ListingPrinter {
+public:
+  explicit ListingPrinter(const FuzzModule &M) : M(M) {}
+
+  std::string run() {
+    Out = "(module\n";
+    for (size_t I = 0; I < M.Globals.size(); ++I)
+      Out += strFormat("  (global $g%zu (mut %s) %s)\n", I,
+                    valTypeName(M.Globals[I].first),
+                    constText(M.Globals[I].first, M.Globals[I].second).c_str());
+    Out += strFormat("  (table %u funcref)\n", M.tableSize());
+    for (size_t I = 0; I < M.Funcs.size(); ++I)
+      printFunc(I);
+    Out += ")\n";
+    return std::move(Out);
+  }
+
+private:
+  void printFunc(size_t Ordinal) {
+    const FuzzFunc &F = M.Funcs[Ordinal];
+    bool IsMain = Ordinal + 1 == M.Funcs.size();
+    Out += strFormat("  (func $%s%zu", IsMain ? "f" : "h", Ordinal);
+    if (IsMain)
+      Out += " (export \"f\")";
+    if (!F.Params.empty()) {
+      Out += " (param";
+      for (ValType T : F.Params)
+        Out += strFormat(" %s", valTypeName(T));
+      Out += ")";
+    }
+    Out += strFormat(" (result %s)", valTypeName(F.Result));
+    if (!F.ExtraLocals.empty()) {
+      Out += " (local";
+      for (ValType T : F.ExtraLocals)
+        Out += strFormat(" %s", valTypeName(T));
+      Out += ")";
+    }
+    Out += "\n";
+    for (const FuzzStmt &S : F.Body)
+      printStmt(S, 4);
+    indent(4);
+    printExpr(F.Ret);
+    Out += ")\n";
+  }
+
+  void indent(int N) { Out.append(size_t(N), ' '); }
+
+  std::string constText(ValType T, uint64_t Bits) {
+    switch (T) {
+    case ValType::I32:
+      return strFormat("(i32.const %d)", int32_t(uint32_t(Bits)));
+    case ValType::I64:
+      return strFormat("(i64.const %" PRId64 ")", int64_t(Bits));
+    case ValType::F32: {
+      float V;
+      uint32_t B = uint32_t(Bits);
+      memcpy(&V, &B, 4);
+      return strFormat("(f32.const %g)", double(V));
+    }
+    default: {
+      double V;
+      memcpy(&V, &Bits, 8);
+      return strFormat("(f64.const %g)", V);
+    }
+    }
+  }
+
+  void printExpr(const FuzzExpr &E) {
+    switch (E.K) {
+    case FuzzExpr::Const:
+      Out += constText(E.Type, E.Bits);
+      return;
+    case FuzzExpr::LocalGet:
+      Out += strFormat("(local.get %u)", E.Index);
+      return;
+    case FuzzExpr::GlobalGet:
+      Out += strFormat("(global.get $g%u)", E.Index);
+      return;
+    case FuzzExpr::Unary:
+    case FuzzExpr::Convert:
+    case FuzzExpr::Binary:
+    case FuzzExpr::Compare:
+    case FuzzExpr::DivRem:
+      Out += strFormat("(%s", opInfo(E.Op).Name);
+      if (E.K == FuzzExpr::DivRem && E.Guarded)
+        Out += " guarded";
+      for (const FuzzExpr &K : E.Kids) {
+        Out += " ";
+        printExpr(K);
+      }
+      Out += ")";
+      return;
+    case FuzzExpr::Load:
+      Out += strFormat("(%s offset=%u%s ", opInfo(E.Op).Name, E.Offset,
+                    E.Guarded ? strFormat(" mask=0x%x", uint32_t(E.Bits)).c_str()
+                              : " wild");
+      printExpr(E.Kids[0]);
+      Out += ")";
+      return;
+    case FuzzExpr::IfElse:
+      Out += strFormat("(if-expr %s ", valTypeName(E.Type));
+      printExpr(E.Kids[0]);
+      Out += " ";
+      printExpr(E.Kids[1]);
+      Out += " ";
+      printExpr(E.Kids[2]);
+      Out += ")";
+      return;
+    case FuzzExpr::Select:
+      Out += "(select ";
+      printExpr(E.Kids[0]);
+      Out += " ";
+      printExpr(E.Kids[1]);
+      Out += " ";
+      printExpr(E.Kids[2]);
+      Out += ")";
+      return;
+    case FuzzExpr::CallDirect:
+      Out += strFormat("(call $h%u ", E.Index);
+      printExpr(E.Kids[0]);
+      Out += ")";
+      return;
+    case FuzzExpr::CallIndirect:
+      Out += strFormat("(call_indirect (sig $h%u)%s ", E.Index,
+                    E.Guarded ? "" : " wild");
+      printExpr(E.Kids[0]);
+      Out += " ";
+      printExpr(E.Kids[1]);
+      Out += ")";
+      return;
+    case FuzzExpr::MemSize:
+      Out += "(memory.size)";
+      return;
+    case FuzzExpr::MemGrow:
+      Out += "(memory.grow ";
+      printExpr(E.Kids[0]);
+      Out += ")";
+      return;
+    }
+  }
+
+  void printStmt(const FuzzStmt &S, int Ind) {
+    indent(Ind);
+    switch (S.K) {
+    case FuzzStmt::LocalSet:
+      Out += strFormat("(%s %u ", S.Guarded ? "local.tee-drop" : "local.set",
+                    S.Index);
+      printExpr(S.E[0]);
+      Out += ")\n";
+      return;
+    case FuzzStmt::GlobalSet:
+      Out += strFormat("(global.set $g%u ", S.Index);
+      printExpr(S.E[0]);
+      Out += ")\n";
+      return;
+    case FuzzStmt::Store:
+      Out += strFormat("(%s offset=%u%s ", opInfo(S.Op).Name, S.Offset,
+                    S.Guarded ? strFormat(" mask=0x%x", uint32_t(S.Bits)).c_str()
+                              : " wild");
+      printExpr(S.E[0]);
+      Out += " ";
+      printExpr(S.E[1]);
+      Out += ")\n";
+      return;
+    case FuzzStmt::If:
+      Out += "(if ";
+      printExpr(S.E[0]);
+      Out += "\n";
+      printBody(S.Bodies[0], Ind + 2);
+      if (S.Bodies.size() > 1) {
+        indent(Ind);
+        Out += " else\n";
+        printBody(S.Bodies[1], Ind + 2);
+      }
+      indent(Ind);
+      Out += ")\n";
+      return;
+    case FuzzStmt::Loop:
+      Out += strFormat("(loop times=%u counter=%u\n", S.N, S.Index);
+      printBody(S.Bodies[0], Ind + 2);
+      indent(Ind);
+      Out += ")\n";
+      return;
+    case FuzzStmt::Block:
+      Out += "(block early-exit-if ";
+      printExpr(S.E[0]);
+      Out += "\n";
+      printBody(S.Bodies[0], Ind + 2);
+      indent(Ind);
+      Out += ")\n";
+      return;
+    case FuzzStmt::BrTable:
+      Out += "(br_table ";
+      printExpr(S.E[0]);
+      Out += "\n";
+      printBody(S.Bodies[0], Ind + 2);
+      indent(Ind);
+      Out += " arm2\n";
+      printBody(S.Bodies[1], Ind + 2);
+      indent(Ind);
+      Out += ")\n";
+      return;
+    case FuzzStmt::ResultBlock:
+      Out += strFormat("(result-block -> local %u\n", S.Index);
+      printBody(S.Bodies[0], Ind + 2);
+      indent(Ind + 2);
+      Out += "(br_if-value cond=";
+      printExpr(S.E[0]);
+      Out += " early=";
+      printExpr(S.E[1]);
+      Out += " fall=";
+      printExpr(S.E[2]);
+      Out += ")\n";
+      indent(Ind);
+      Out += ")\n";
+      return;
+    case FuzzStmt::ResultBrTable:
+      Out += strFormat("(result-br_table -> local %u value=", S.Index);
+      printExpr(S.E[0]);
+      Out += " index=";
+      printExpr(S.E[1]);
+      Out += strFormat(" arm-bits=0x%llx)\n", (unsigned long long)S.Bits);
+      return;
+    case FuzzStmt::Call:
+      if (S.Index == ~0u)
+        Out += strFormat("(call-drop $h%u ", S.N);
+      else
+        Out += strFormat("(call-set $h%u -> local %u ", S.N, S.Index);
+      printExpr(S.E[0]);
+      Out += ")\n";
+      return;
+    case FuzzStmt::MemGrowStmt:
+      Out += "(memory.grow-drop ";
+      printExpr(S.E[0]);
+      Out += ")\n";
+      return;
+    }
+  }
+
+  void printBody(const std::vector<FuzzStmt> &Body, int Ind) {
+    for (const FuzzStmt &S : Body)
+      printStmt(S, Ind);
+  }
+
+  const FuzzModule &M;
+  std::string Out;
+};
+
+size_t exprNodes(const FuzzExpr &E) {
+  size_t N = 1;
+  for (const FuzzExpr &K : E.Kids)
+    N += exprNodes(K);
+  return N;
+}
+
+size_t stmtNodes(const FuzzStmt &S) {
+  size_t N = 1;
+  for (const FuzzExpr &E : S.E)
+    N += exprNodes(E);
+  for (const auto &Body : S.Bodies)
+    for (const FuzzStmt &K : Body)
+      N += stmtNodes(K);
+  return N;
+}
+
+} // namespace
+
+std::string FuzzModule::listing() const { return ListingPrinter(*this).run(); }
+
+size_t FuzzModule::nodeCount() const {
+  size_t N = 0;
+  for (const FuzzFunc &F : Funcs) {
+    N += 1 + exprNodes(F.Ret);
+    for (const FuzzStmt &S : F.Body)
+      N += stmtNodes(S);
+  }
+  return N;
+}
+
+} // namespace wisp

@@ -1,0 +1,141 @@
+//===- fuzz/fuzzmod.h - shrinkable random-module IR -------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tree IR for randomly generated Wasm modules. The generator builds a
+/// FuzzModule instead of emitting bytes directly so the shrinker can drop
+/// functions, remove statements and replace expression subtrees, then
+/// re-serialize and re-check the divergence. The IR also prints a readable
+/// s-expression listing for reproducer reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_FUZZ_FUZZMOD_H
+#define WISP_FUZZ_FUZZMOD_H
+
+#include "runtime/value.h"
+#include "wasm/builder.h"
+
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+/// An expression node producing one value of type `Type`.
+struct FuzzExpr {
+  enum Kind : uint8_t {
+    Const,        ///< Bits holds the constant bit pattern.
+    LocalGet,     ///< Index = local index.
+    GlobalGet,    ///< Index = global index.
+    Unary,        ///< Op applied to Kids[0].
+    Binary,       ///< Op applied to Kids[0], Kids[1].
+    DivRem,       ///< Like Binary; Guarded or's the denominator with 1.
+    Compare,      ///< Op compares Kids (of Kids[0].Type); result i32.
+    Convert,      ///< Op converts Kids[0] to Type.
+    Load,         ///< Kids[0] = address; Guarded masks it with Bits.
+    IfElse,       ///< Kids = {cond, then, else}; typed if/else.
+    Select,       ///< Kids = {a, b, cond}.
+    CallDirect,   ///< Index = callee function ordinal; Kids[0] = i32 arg.
+    CallIndirect, ///< Kids = {i32 arg, table index expr}; Index = callee
+                  ///< ordinal whose signature is used. Guarded wraps the
+                  ///< index into the table via rem_u.
+    MemSize,      ///< memory.size (i32).
+    MemGrow,      ///< Kids[0] = delta; Guarded masks it to 0..3 pages.
+  };
+
+  Kind K = Const;
+  ValType Type = ValType::I32;
+  Opcode Op = Opcode::Nop; ///< Operator for Unary/Binary/Compare/... kinds.
+  uint64_t Bits = 0;       ///< Const payload, or the Load address mask.
+  uint32_t Index = 0;      ///< Local/global/function-ordinal payload.
+  uint32_t Offset = 0;     ///< Load offset immediate.
+  bool Guarded = true;     ///< See per-kind comments above.
+  std::vector<FuzzExpr> Kids;
+
+  static FuzzExpr constant(ValType T, uint64_t Bits);
+};
+
+/// A statement node (leaves the value stack unchanged).
+struct FuzzStmt {
+  enum Kind : uint8_t {
+    LocalSet,      ///< E[0] -> local Index (Guarded = use tee+drop).
+    GlobalSet,     ///< E[0] -> global Index.
+    Store,         ///< E = {addr, value}; Op is the store opcode; Guarded
+                   ///< masks the address with Bits; Offset is the immediate.
+    If,            ///< E[0] = cond; Bodies[0] = then, Bodies[1] = else
+                   ///< (else arm present only when Bodies.size() == 2).
+    Loop,          ///< Bounded loop: Index = counter local, N = trip count,
+                   ///< Bodies[0] = body.
+    Block,         ///< Block with early exit: E[0] = br_if condition
+                   ///< evaluated first, Bodies[0] = rest of the block.
+    BrTable,       ///< Three-deep block nest switched by E[0] & 3;
+                   ///< Bodies[0], Bodies[1] = the two non-empty arms.
+    ResultBlock,   ///< Value-carrying block assigned to local Index:
+                   ///< Bodies[0] runs, then E[1] (early value) and E[0]
+                   ///< (condition) feed a br_if with a result; the fall
+                   ///< path drops the early value and yields E[2].
+    ResultBrTable, ///< Value-carrying br_table: E[0] = value, E[1] = index;
+                   ///< arms transform the value with Op/Bits; the result
+                   ///< lands in local Index.
+    Call,          ///< E[0] = i32 arg; call function ordinal N; result is
+                   ///< stored to local Index, or dropped if Index == ~0u.
+    MemGrowStmt,   ///< E[0] = delta (masked to 0..3); result dropped.
+  };
+
+  Kind K = Kind::LocalSet;
+  Opcode Op = Opcode::Nop; ///< Store opcode / ResultBrTable arm operator.
+  uint32_t Index = 0;      ///< Local/global index (see per-kind comments).
+  uint32_t Offset = 0;     ///< Store offset immediate.
+  uint32_t N = 0;          ///< Loop trip count / Call callee ordinal.
+  uint64_t Bits = 0;       ///< Store address mask / arm transform operand.
+  bool Guarded = true;
+  std::vector<FuzzExpr> E;
+  std::vector<std::vector<FuzzStmt>> Bodies;
+};
+
+/// One function: fixed signature plus a statement body and a result
+/// expression. Helpers are call-free so every generated module terminates.
+struct FuzzFunc {
+  std::vector<ValType> Params;
+  ValType Result = ValType::I32;
+  /// Non-parameter locals; local index = Params.size() + ordinal.
+  std::vector<ValType> ExtraLocals;
+  std::vector<FuzzStmt> Body;
+  FuzzExpr Ret;
+};
+
+/// A whole module: helper functions first, the exported main ("f") last.
+/// One memory (1 page min, 4 max), one funcref table holding every
+/// function plus NullSlots uninitialized entries, and mutable globals.
+struct FuzzModule {
+  std::vector<FuzzFunc> Funcs;
+  /// Mutable globals: type + constant initializer bits.
+  std::vector<std::pair<ValType, uint64_t>> Globals;
+  uint32_t NullSlots = 2;
+
+  const FuzzFunc &main() const { return Funcs.back(); }
+  uint32_t tableSize() const {
+    return uint32_t(Funcs.size()) + NullSlots;
+  }
+
+  /// Serializes through ModuleBuilder to real .wasm bytes. When
+  /// \p BakedArgs is given, an extra zero-argument "repro" export is
+  /// appended that calls main with those exact constants — dumped
+  /// reproducers stay self-contained, so corpus replay re-runs the
+  /// divergence with its original arguments instead of only the generic
+  /// replay tuples. The wrapper is kept out of the funcref table so
+  /// call_indirect behavior is unchanged.
+  std::vector<uint8_t> toBytes(const std::vector<Value> *BakedArgs
+                               = nullptr) const;
+  /// Readable s-expression listing for reproducer reports.
+  std::string listing() const;
+  /// Total number of IR nodes (shrinker progress metric).
+  size_t nodeCount() const;
+};
+
+} // namespace wisp
+
+#endif // WISP_FUZZ_FUZZMOD_H

@@ -1,0 +1,792 @@
+//===- fuzz/randwasm.cpp - random type-correct Wasm generator --------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/randwasm.h"
+
+#include <cstring>
+
+namespace wisp {
+
+bool fuzzProfileByName(const std::string &Name, FuzzProfile *Out) {
+  if (Name == "default") {
+    *Out = FuzzProfile();
+    return true;
+  }
+  if (Name == "control") {
+    FuzzProfile C;
+    C.Name = "control";
+    C.WIf = 12;
+    C.WLoop = 10;
+    C.WBlock = 8;
+    C.WBrTable = 7;
+    C.WCall = 8;
+    C.WResultBlock = 9;
+    C.WResultBrTable = 7;
+    C.WStore = 3;
+    C.WLoad = 3;
+    C.WIfExpr = 8;
+    C.WCallDirect = 6;
+    C.WCallIndirect = 6;
+    C.StmtDepth = 3;
+    C.MinStmts = 3;
+    C.MaxStmts = 10;
+    C.NumHelpers = 3;
+    *Out = C;
+    return true;
+  }
+  if (Name == "memory") {
+    FuzzProfile Mp;
+    Mp.Name = "memory";
+    Mp.WStore = 14;
+    Mp.WLoad = 14;
+    Mp.WMemGrow = 4;
+    Mp.WMemSize = 4;
+    Mp.WMemGrowExpr = 3;
+    Mp.WIf = 4;
+    Mp.WLoop = 7; // Loops over stores touch many addresses.
+    Mp.WResultBlock = 2;
+    Mp.WResultBrTable = 1;
+    Mp.WildAddrOneIn = 8;
+    Mp.BoundaryOneIn = 3;
+    Mp.MinStmts = 4;
+    Mp.MaxStmts = 12;
+    *Out = Mp;
+    return true;
+  }
+  return false;
+}
+
+ValType RandWasm::scalarType() {
+  switch (R.below(4)) {
+  case 0:
+    return ValType::I32;
+  case 1:
+    return ValType::I64;
+  case 2:
+    return ValType::F32;
+  default:
+    return ValType::F64;
+  }
+}
+
+uint64_t RandWasm::constBits(ValType T) {
+  switch (T) {
+  case ValType::I32: {
+    static const int32_t Interesting[] = {0,         1,          -1,  2,
+                                          7,         100,        INT32_MIN,
+                                          INT32_MAX, 0x7f,       0x80};
+    if (R.chance(1, 3))
+      return uint32_t(Interesting[R.below(10)]);
+    return uint32_t(R.next());
+  }
+  case ValType::I64:
+    if (R.chance(1, 3))
+      return uint64_t(int64_t(R.below(3)) - 1);
+    return R.next();
+  case ValType::F32: {
+    float V = float(int64_t(R.below(2000)) - 1000) / 8.0f;
+    uint32_t B;
+    memcpy(&B, &V, 4);
+    return B;
+  }
+  default: {
+    double V = double(int64_t(R.below(200000)) - 100000) / 64.0;
+    uint64_t B;
+    memcpy(&B, &V, 8);
+    return B;
+  }
+  }
+}
+
+int RandWasm::pickLocal(GenCtx &C, ValType T) {
+  int Found = -1;
+  int Seen = 0;
+  for (const auto &[Idx, LT] : C.Pickable) {
+    if (LT != T)
+      continue;
+    ++Seen;
+    if (R.below(uint64_t(Seen)) == 0)
+      Found = int(Idx);
+  }
+  return Found;
+}
+
+uint32_t RandWasm::pickOrAddLocal(GenCtx &C, ValType T) {
+  int L = pickLocal(C, T);
+  if (L >= 0)
+    return uint32_t(L);
+  uint32_t Idx = uint32_t(C.F->Params.size() + C.F->ExtraLocals.size());
+  C.F->ExtraLocals.push_back(T);
+  C.Pickable.push_back({Idx, T});
+  return Idx;
+}
+
+int RandWasm::pickGlobal(ValType T) {
+  int Found = -1;
+  int Seen = 0;
+  for (size_t I = 0; I < M.Globals.size(); ++I) {
+    if (M.Globals[I].first != T)
+      continue;
+    ++Seen;
+    if (R.below(uint64_t(Seen)) == 0)
+      Found = int(I);
+  }
+  return Found;
+}
+
+int RandWasm::pickHelper(ValType Ret) {
+  int Found = -1;
+  int Seen = 0;
+  for (size_t I = 0; I < HelperResults.size(); ++I) {
+    if (HelperResults[I] != Ret)
+      continue;
+    ++Seen;
+    if (R.below(uint64_t(Seen)) == 0)
+      Found = int(I);
+  }
+  return Found;
+}
+
+FuzzExpr RandWasm::genBinop(GenCtx &C, ValType T, unsigned Depth) {
+  FuzzExpr E;
+  E.K = FuzzExpr::Binary;
+  E.Type = T;
+  E.Kids.push_back(genExpr(C, T, Depth - 1));
+  E.Kids.push_back(genExpr(C, T, Depth - 1));
+  switch (T) {
+  case ValType::I32: {
+    static const Opcode Ops[] = {
+        Opcode::I32Add,  Opcode::I32Sub,  Opcode::I32Mul, Opcode::I32And,
+        Opcode::I32Or,   Opcode::I32Xor,  Opcode::I32Shl, Opcode::I32ShrS,
+        Opcode::I32ShrU, Opcode::I32Rotl, Opcode::I32Rotr};
+    E.Op = Ops[R.below(11)];
+    break;
+  }
+  case ValType::I64: {
+    static const Opcode Ops[] = {
+        Opcode::I64Add,  Opcode::I64Sub,  Opcode::I64Mul, Opcode::I64And,
+        Opcode::I64Or,   Opcode::I64Xor,  Opcode::I64Shl, Opcode::I64ShrS,
+        Opcode::I64ShrU, Opcode::I64Rotl, Opcode::I64Rotr};
+    E.Op = Ops[R.below(11)];
+    break;
+  }
+  case ValType::F32: {
+    static const Opcode Ops[] = {Opcode::F32Add, Opcode::F32Sub,
+                                 Opcode::F32Mul, Opcode::F32Min,
+                                 Opcode::F32Max, Opcode::F32Copysign};
+    E.Op = Ops[R.below(6)];
+    break;
+  }
+  default: {
+    static const Opcode Ops[] = {Opcode::F64Add, Opcode::F64Sub,
+                                 Opcode::F64Mul, Opcode::F64Min,
+                                 Opcode::F64Max, Opcode::F64Copysign};
+    E.Op = Ops[R.below(6)];
+    break;
+  }
+  }
+  return E;
+}
+
+FuzzExpr RandWasm::genUnop(GenCtx &C, ValType T, unsigned Depth) {
+  FuzzExpr E;
+  E.K = FuzzExpr::Unary;
+  E.Type = T;
+  E.Kids.push_back(genExpr(C, T, Depth - 1));
+  switch (T) {
+  case ValType::I32: {
+    static const Opcode Ops[] = {Opcode::I32Clz, Opcode::I32Ctz,
+                                 Opcode::I32Popcnt, Opcode::I32Extend8S,
+                                 Opcode::I32Extend16S};
+    E.Op = Ops[R.below(5)];
+    break;
+  }
+  case ValType::I64: {
+    static const Opcode Ops[] = {Opcode::I64Clz, Opcode::I64Ctz,
+                                 Opcode::I64Popcnt, Opcode::I64Extend32S};
+    E.Op = Ops[R.below(4)];
+    break;
+  }
+  case ValType::F32: {
+    static const Opcode Ops[] = {Opcode::F32Abs,   Opcode::F32Neg,
+                                 Opcode::F32Ceil,  Opcode::F32Floor,
+                                 Opcode::F32Trunc, Opcode::F32Sqrt};
+    E.Op = Ops[R.below(6)];
+    break;
+  }
+  default: {
+    static const Opcode Ops[] = {Opcode::F64Abs,   Opcode::F64Neg,
+                                 Opcode::F64Ceil,  Opcode::F64Floor,
+                                 Opcode::F64Trunc, Opcode::F64Sqrt};
+    E.Op = Ops[R.below(6)];
+    break;
+  }
+  }
+  return E;
+}
+
+FuzzExpr RandWasm::genCompare(GenCtx &C, unsigned Depth) {
+  ValType T = scalarType();
+  FuzzExpr E;
+  E.K = FuzzExpr::Compare;
+  E.Type = ValType::I32;
+  E.Kids.push_back(genExpr(C, T, Depth - 1));
+  E.Kids.push_back(genExpr(C, T, Depth - 1));
+  switch (T) {
+  case ValType::I32: {
+    static const Opcode Ops[] = {Opcode::I32Eq,  Opcode::I32Ne,
+                                 Opcode::I32LtS, Opcode::I32LtU,
+                                 Opcode::I32GeS, Opcode::I32GtU};
+    E.Op = Ops[R.below(6)];
+    break;
+  }
+  case ValType::I64: {
+    static const Opcode Ops[] = {Opcode::I64Eq, Opcode::I64Ne,
+                                 Opcode::I64LtS, Opcode::I64GeU};
+    E.Op = Ops[R.below(4)];
+    break;
+  }
+  case ValType::F32: {
+    static const Opcode Ops[] = {Opcode::F32Eq, Opcode::F32Lt,
+                                 Opcode::F32Ge};
+    E.Op = Ops[R.below(3)];
+    break;
+  }
+  default: {
+    static const Opcode Ops[] = {Opcode::F64Eq, Opcode::F64Lt,
+                                 Opcode::F64Ge};
+    E.Op = Ops[R.below(3)];
+    break;
+  }
+  }
+  return E;
+}
+
+FuzzExpr RandWasm::genDiv(GenCtx &C, ValType T, unsigned Depth) {
+  FuzzExpr E;
+  E.K = FuzzExpr::DivRem;
+  E.Type = T;
+  E.Kids.push_back(genExpr(C, T, Depth - 1));
+  E.Kids.push_back(genExpr(C, T, Depth - 1));
+  E.Guarded = R.chance(2, 3);
+  if (T == ValType::I32) {
+    static const Opcode Ops[] = {Opcode::I32DivS, Opcode::I32DivU,
+                                 Opcode::I32RemS, Opcode::I32RemU};
+    E.Op = Ops[R.below(4)];
+  } else {
+    static const Opcode Ops[] = {Opcode::I64DivS, Opcode::I64DivU,
+                                 Opcode::I64RemS, Opcode::I64RemU};
+    E.Op = Ops[R.below(4)];
+  }
+  return E;
+}
+
+FuzzExpr RandWasm::genConvert(GenCtx &C, ValType T, unsigned Depth) {
+  FuzzExpr E;
+  E.K = FuzzExpr::Convert;
+  E.Type = T;
+  ValType From;
+  switch (T) {
+  case ValType::I32:
+    switch (R.below(4)) {
+    case 0:
+      E.Op = Opcode::I32WrapI64;
+      From = ValType::I64;
+      break;
+    case 1:
+      E.Op = Opcode::I32TruncSatF64S;
+      From = ValType::F64;
+      break;
+    case 2:
+      E.Op = Opcode::I32TruncSatF32U;
+      From = ValType::F32;
+      break;
+    default:
+      E.Op = Opcode::I32ReinterpretF32;
+      From = ValType::F32;
+      break;
+    }
+    break;
+  case ValType::I64:
+    switch (R.below(3)) {
+    case 0:
+      E.Op = Opcode::I64ExtendI32S;
+      From = ValType::I32;
+      break;
+    case 1:
+      E.Op = Opcode::I64ExtendI32U;
+      From = ValType::I32;
+      break;
+    default:
+      E.Op = Opcode::I64TruncSatF64S;
+      From = ValType::F64;
+      break;
+    }
+    break;
+  case ValType::F32:
+    switch (R.below(3)) {
+    case 0:
+      E.Op = Opcode::F32ConvertI32S;
+      From = ValType::I32;
+      break;
+    case 1:
+      E.Op = Opcode::F32DemoteF64;
+      From = ValType::F64;
+      break;
+    default:
+      E.Op = Opcode::F32ReinterpretI32;
+      From = ValType::I32;
+      break;
+    }
+    break;
+  default:
+    switch (R.below(3)) {
+    case 0:
+      E.Op = Opcode::F64ConvertI64S;
+      From = ValType::I64;
+      break;
+    case 1:
+      E.Op = Opcode::F64PromoteF32;
+      From = ValType::F32;
+      break;
+    default:
+      E.Op = Opcode::F64ConvertI32U;
+      From = ValType::I32;
+      break;
+    }
+    break;
+  }
+  E.Kids.push_back(genExpr(C, From, Depth - 1));
+  return E;
+}
+
+FuzzExpr RandWasm::genLoad(GenCtx &C, ValType T, unsigned Depth) {
+  FuzzExpr E;
+  E.K = FuzzExpr::Load;
+  E.Type = T;
+  switch (T) {
+  case ValType::I32: {
+    static const Opcode Ops[] = {Opcode::I32Load, Opcode::I32Load8S,
+                                 Opcode::I32Load8U, Opcode::I32Load16S,
+                                 Opcode::I32Load16U};
+    E.Op = Ops[R.below(5)];
+    break;
+  }
+  case ValType::I64: {
+    static const Opcode Ops[] = {Opcode::I64Load, Opcode::I64Load8U,
+                                 Opcode::I64Load16S, Opcode::I64Load32S,
+                                 Opcode::I64Load32U};
+    E.Op = Ops[R.below(5)];
+    break;
+  }
+  case ValType::F32:
+    E.Op = Opcode::F32Load;
+    break;
+  default:
+    E.Op = Opcode::F64Load;
+    break;
+  }
+  if (R.chance(1, P.BoundaryOneIn)) {
+    // Boundary pattern: a constant address straddling the first page end,
+    // or a masked address with an offset immediate near the page size.
+    if (R.chance(1, 2)) {
+      E.Kids.push_back(FuzzExpr::constant(
+          ValType::I32, uint64_t(65536 - 8 + R.below(24))));
+      E.Guarded = false;
+      E.Offset = uint32_t(R.below(16));
+    } else {
+      E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+      E.Guarded = true;
+      E.Bits = addrMask();
+      E.Offset = uint32_t(65536 - 8 + R.below(24));
+    }
+  } else {
+    E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+    E.Guarded = !R.chance(1, P.WildAddrOneIn);
+    E.Bits = addrMask();
+    E.Offset = uint32_t(R.below(4));
+  }
+  return E;
+}
+
+FuzzExpr RandWasm::genExpr(GenCtx &C, ValType T, unsigned Depth) {
+  if (Depth == 0) {
+    int L = pickLocal(C, T);
+    if (L >= 0 && R.chance(2, 3)) {
+      FuzzExpr E;
+      E.K = FuzzExpr::LocalGet;
+      E.Type = T;
+      E.Index = uint32_t(L);
+      return E;
+    }
+    return FuzzExpr::constant(T, constBits(T));
+  }
+
+  bool IsInt = T == ValType::I32 || T == ValType::I64;
+  bool IsI32 = T == ValType::I32;
+  bool Main = !C.InHelper;
+
+  struct Choice {
+    unsigned W;
+    FuzzExpr::Kind K;
+  };
+  Choice Choices[] = {
+      {P.WConst, FuzzExpr::Const},
+      {P.WLocalGet, FuzzExpr::LocalGet},
+      {P.WGlobalGet, FuzzExpr::GlobalGet},
+      {P.WBinop, FuzzExpr::Binary},
+      {P.WUnop, FuzzExpr::Unary},
+      {IsI32 ? P.WCompare : 0, FuzzExpr::Compare},
+      {IsInt ? P.WDiv : 0, FuzzExpr::DivRem},
+      {P.WConvert, FuzzExpr::Convert},
+      {P.WLoad, FuzzExpr::Load},
+      {P.WIfExpr, FuzzExpr::IfElse},
+      {P.WSelect, FuzzExpr::Select},
+      {Main ? P.WCallDirect : 0, FuzzExpr::CallDirect},
+      {Main ? P.WCallIndirect : 0, FuzzExpr::CallIndirect},
+      {IsI32 ? P.WMemSize : 0, FuzzExpr::MemSize},
+      {IsI32 ? P.WMemGrowExpr : 0, FuzzExpr::MemGrow},
+  };
+  unsigned Total = 0;
+  for (const Choice &Ch : Choices)
+    Total += Ch.W;
+  uint64_t Roll = R.below(Total);
+  FuzzExpr::Kind K = FuzzExpr::Const;
+  for (const Choice &Ch : Choices) {
+    if (Roll < Ch.W) {
+      K = Ch.K;
+      break;
+    }
+    Roll -= Ch.W;
+  }
+
+  switch (K) {
+  case FuzzExpr::Const:
+    return FuzzExpr::constant(T, constBits(T));
+  case FuzzExpr::LocalGet: {
+    int L = pickLocal(C, T);
+    if (L < 0)
+      return FuzzExpr::constant(T, constBits(T));
+    FuzzExpr E;
+    E.K = FuzzExpr::LocalGet;
+    E.Type = T;
+    E.Index = uint32_t(L);
+    return E;
+  }
+  case FuzzExpr::GlobalGet: {
+    int G = pickGlobal(T);
+    if (G < 0)
+      return FuzzExpr::constant(T, constBits(T));
+    FuzzExpr E;
+    E.K = FuzzExpr::GlobalGet;
+    E.Type = T;
+    E.Index = uint32_t(G);
+    return E;
+  }
+  case FuzzExpr::Binary:
+    return genBinop(C, T, Depth);
+  case FuzzExpr::Unary:
+    return genUnop(C, T, Depth);
+  case FuzzExpr::Compare:
+    return genCompare(C, Depth);
+  case FuzzExpr::DivRem:
+    return genDiv(C, T, Depth);
+  case FuzzExpr::Convert:
+    return genConvert(C, T, Depth);
+  case FuzzExpr::Load:
+    return genLoad(C, T, Depth);
+  case FuzzExpr::IfElse: {
+    FuzzExpr E;
+    E.K = FuzzExpr::IfElse;
+    E.Type = T;
+    E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+    E.Kids.push_back(genExpr(C, T, Depth - 1));
+    E.Kids.push_back(genExpr(C, T, Depth - 1));
+    return E;
+  }
+  case FuzzExpr::Select: {
+    FuzzExpr E;
+    E.K = FuzzExpr::Select;
+    E.Type = T;
+    E.Kids.push_back(genExpr(C, T, Depth - 1));
+    E.Kids.push_back(genExpr(C, T, Depth - 1));
+    E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+    return E;
+  }
+  case FuzzExpr::CallDirect: {
+    int H = pickHelper(T);
+    if (H < 0)
+      return genBinop(C, T, Depth);
+    FuzzExpr E;
+    E.K = FuzzExpr::CallDirect;
+    E.Type = T;
+    E.Index = uint32_t(H);
+    E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+    return E;
+  }
+  case FuzzExpr::CallIndirect: {
+    int H = pickHelper(T);
+    if (H < 0)
+      return genBinop(C, T, Depth);
+    FuzzExpr E;
+    E.K = FuzzExpr::CallIndirect;
+    E.Type = T;
+    E.Index = uint32_t(H);
+    E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+    E.Guarded = !R.chance(1, 8);
+    if (E.Guarded) {
+      E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+    } else if (R.chance(1, 2)) {
+      // Aim at the uninitialized/null tail of the table, or just past it.
+      E.Kids.push_back(FuzzExpr::constant(
+          ValType::I32, uint64_t(M.Funcs.size() + R.below(P.NumHelpers + 3))));
+    } else {
+      E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+    }
+    return E;
+  }
+  case FuzzExpr::MemSize: {
+    FuzzExpr E;
+    E.K = FuzzExpr::MemSize;
+    E.Type = ValType::I32;
+    return E;
+  }
+  case FuzzExpr::MemGrow: {
+    FuzzExpr E;
+    E.K = FuzzExpr::MemGrow;
+    E.Type = ValType::I32;
+    E.Kids.push_back(genExpr(C, ValType::I32, Depth - 1));
+    // Unguarded grow requests are huge and fail deterministically (-1).
+    E.Guarded = !R.chance(1, 6);
+    return E;
+  }
+  default:
+    return FuzzExpr::constant(T, constBits(T));
+  }
+}
+
+FuzzStmt RandWasm::genStmt(GenCtx &C, unsigned Depth) {
+  bool Main = !C.InHelper;
+  struct Choice {
+    unsigned W;
+    FuzzStmt::Kind K;
+  };
+  Choice Choices[] = {
+      {P.WLocalSet, FuzzStmt::LocalSet},
+      {P.WGlobalSet, FuzzStmt::GlobalSet},
+      {P.WStore, FuzzStmt::Store},
+      {P.WIf, FuzzStmt::If},
+      {C.LoopDepth < 2 ? P.WLoop : 0, FuzzStmt::Loop},
+      {P.WBlock, FuzzStmt::Block},
+      {P.WBrTable, FuzzStmt::BrTable},
+      {P.WResultBlock, FuzzStmt::ResultBlock},
+      {P.WResultBrTable, FuzzStmt::ResultBrTable},
+      {Main && !HelperResults.empty() ? P.WCall : 0, FuzzStmt::Call},
+      {P.WMemGrow, FuzzStmt::MemGrowStmt},
+  };
+  unsigned Total = 0;
+  for (const Choice &Ch : Choices)
+    Total += Ch.W;
+  uint64_t Roll = R.below(Total);
+  FuzzStmt::Kind K = FuzzStmt::LocalSet;
+  for (const Choice &Ch : Choices) {
+    if (Roll < Ch.W) {
+      K = Ch.K;
+      break;
+    }
+    Roll -= Ch.W;
+  }
+
+  unsigned Sub = Depth > 1 ? Depth - 1 : 1;
+  FuzzStmt S;
+  S.K = K;
+  switch (K) {
+  case FuzzStmt::LocalSet: {
+    ValType T = scalarType();
+    S.Index = pickOrAddLocal(C, T);
+    S.Guarded = R.chance(1, 4); // tee + drop variant
+    S.E.push_back(genExpr(C, T, P.ExprDepth));
+    return S;
+  }
+  case FuzzStmt::GlobalSet: {
+    ValType T = scalarType();
+    int G = pickGlobal(T);
+    if (G < 0) {
+      // No global of this type; degrade to a local.set.
+      S.K = FuzzStmt::LocalSet;
+      S.Index = pickOrAddLocal(C, T);
+      S.Guarded = false;
+      S.E.push_back(genExpr(C, T, P.ExprDepth));
+      return S;
+    }
+    S.Index = uint32_t(G);
+    S.E.push_back(genExpr(C, T, P.ExprDepth));
+    return S;
+  }
+  case FuzzStmt::Store: {
+    ValType T = scalarType();
+    switch (T) {
+    case ValType::I32: {
+      static const Opcode Ops[] = {Opcode::I32Store, Opcode::I32Store8,
+                                   Opcode::I32Store16};
+      S.Op = Ops[R.below(3)];
+      break;
+    }
+    case ValType::I64: {
+      static const Opcode Ops[] = {Opcode::I64Store, Opcode::I64Store8,
+                                   Opcode::I64Store32};
+      S.Op = Ops[R.below(3)];
+      break;
+    }
+    case ValType::F32:
+      S.Op = Opcode::F32Store;
+      break;
+    default:
+      S.Op = Opcode::F64Store;
+      break;
+    }
+    if (R.chance(1, P.BoundaryOneIn)) {
+      if (R.chance(1, 2)) {
+        S.E.push_back(FuzzExpr::constant(
+            ValType::I32, uint64_t(65536 - 8 + R.below(24))));
+        S.Guarded = false;
+        S.Offset = uint32_t(R.below(16));
+      } else {
+        S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth - 1));
+        S.Guarded = true;
+        S.Bits = addrMask();
+        S.Offset = uint32_t(65536 - 8 + R.below(24));
+      }
+    } else {
+      S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth - 1));
+      S.Guarded = !R.chance(1, P.WildAddrOneIn);
+      S.Bits = addrMask();
+      S.Offset = uint32_t(R.below(4));
+    }
+    S.E.push_back(genExpr(C, T, P.ExprDepth - 1));
+    return S;
+  }
+  case FuzzStmt::If: {
+    S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth));
+    S.Bodies.push_back(genBody(C, 1 + unsigned(R.below(2)), Sub));
+    if (R.chance(1, 2))
+      S.Bodies.push_back(genBody(C, 1, Sub));
+    return S;
+  }
+  case FuzzStmt::Loop: {
+    // Reserve a counter local invisible to pickable selection so no
+    // generated statement can overwrite it and break termination.
+    S.Index = uint32_t(C.F->Params.size() + C.F->ExtraLocals.size());
+    C.F->ExtraLocals.push_back(ValType::I32);
+    S.N = 1 + uint32_t(R.below(6));
+    ++C.LoopDepth;
+    S.Bodies.push_back(genBody(C, 1 + unsigned(R.below(2)), Sub));
+    --C.LoopDepth;
+    return S;
+  }
+  case FuzzStmt::Block: {
+    S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth));
+    S.Bodies.push_back(genBody(C, 1 + unsigned(R.below(2)), Sub));
+    return S;
+  }
+  case FuzzStmt::BrTable: {
+    S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth));
+    S.Bodies.push_back(genBody(C, 1, 1));
+    S.Bodies.push_back(genBody(C, 1, 1));
+    return S;
+  }
+  case FuzzStmt::ResultBlock: {
+    ValType T = scalarType();
+    S.Index = pickOrAddLocal(C, T);
+    S.Bodies.push_back(genBody(C, unsigned(R.below(3)), Sub));
+    S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth - 1)); // Condition.
+    S.E.push_back(genExpr(C, T, P.ExprDepth - 1));            // Early value.
+    S.E.push_back(genExpr(C, T, P.ExprDepth - 1));            // Fall value.
+    return S;
+  }
+  case FuzzStmt::ResultBrTable: {
+    ValType T = scalarType();
+    S.Index = pickOrAddLocal(C, T);
+    S.E.push_back(genExpr(C, T, P.ExprDepth - 1));            // Value.
+    S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth - 1)); // Index.
+    S.Bits = R.next() & 0xFF;
+    return S;
+  }
+  case FuzzStmt::Call: {
+    uint32_t H = uint32_t(R.below(HelperResults.size()));
+    S.N = H;
+    S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth));
+    int L = pickLocal(C, HelperResults[H]);
+    S.Index = L >= 0 ? uint32_t(L) : ~0u;
+    return S;
+  }
+  default: { // MemGrowStmt
+    S.K = FuzzStmt::MemGrowStmt;
+    S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth - 1));
+    return S;
+  }
+  }
+}
+
+std::vector<FuzzStmt> RandWasm::genBody(GenCtx &C, unsigned Count,
+                                        unsigned Depth) {
+  std::vector<FuzzStmt> Body;
+  for (unsigned I = 0; I < Count; ++I)
+    Body.push_back(genStmt(C, Depth));
+  return Body;
+}
+
+FuzzModule RandWasm::build() {
+  M = FuzzModule();
+  HelperResults.clear();
+
+  for (unsigned I = 0; I < P.NumGlobals; ++I) {
+    ValType T = scalarType();
+    M.Globals.push_back({T, constBits(T)});
+  }
+
+  // Call-free helpers: (i32) -> random scalar.
+  for (unsigned I = 0; I < P.NumHelpers; ++I) {
+    FuzzFunc H;
+    H.Params = {ValType::I32};
+    H.Result = scalarType();
+    HelperResults.push_back(H.Result);
+    M.Funcs.push_back(std::move(H));
+    FuzzFunc &HF = M.Funcs.back();
+    GenCtx C;
+    C.F = &HF;
+    C.InHelper = true;
+    C.Pickable.push_back({0, ValType::I32});
+    HF.Body = genBody(C, 1 + unsigned(R.below(2)), 1);
+    HF.Ret = genExpr(C, HF.Result, P.ExprDepth);
+  }
+
+  // The exported main.
+  FuzzFunc Main;
+  Main.Params = {ValType::I32, ValType::I32, ValType::F64, ValType::F64};
+  Main.Result = scalarType();
+  M.Funcs.push_back(std::move(Main));
+  FuzzFunc &MF = M.Funcs.back();
+  GenCtx C;
+  C.F = &MF;
+  for (uint32_t I = 0; I < 4; ++I)
+    C.Pickable.push_back({I, MF.Params[I]});
+  // A spread of scratch locals of every scalar type.
+  static const ValType Scratch[] = {ValType::I32, ValType::I64, ValType::F32,
+                                    ValType::F64, ValType::I32, ValType::I64,
+                                    ValType::F64};
+  for (ValType T : Scratch) {
+    uint32_t Idx = uint32_t(MF.Params.size() + MF.ExtraLocals.size());
+    MF.ExtraLocals.push_back(T);
+    C.Pickable.push_back({Idx, T});
+  }
+  unsigned NStmts = P.MinStmts + unsigned(R.below(P.MaxStmts - P.MinStmts + 1));
+  MF.Body = genBody(C, NStmts, P.StmtDepth);
+  MF.Ret = genExpr(C, MF.Result, P.ExprDepth);
+  return M;
+}
+
+} // namespace wisp

@@ -1,0 +1,124 @@
+//===- fuzz/randwasm.h - random type-correct Wasm generator -----*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, type-correct, *terminating* Wasm modules as FuzzModule
+/// trees for differential testing across all execution tiers. Loops are
+/// bounded by reserved counter locals; helper functions are call-free, so
+/// the call graph is acyclic and every module terminates. Memory addresses
+/// are masked into bounds most of the time (occasionally left wild, or
+/// aimed at page boundaries, to exercise trap paths). A weighted profile
+/// biases generation toward control-flow-heavy or memory-heavy shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_FUZZ_RANDWASM_H
+#define WISP_FUZZ_RANDWASM_H
+
+#include "fuzz/fuzzmod.h"
+#include "support/rng.h"
+
+namespace wisp {
+
+/// Generation weights and shape limits. The three stock profiles are
+/// "default", "control" (nested blocks, branches, calls) and "memory"
+/// (loads/stores, grow/size, boundary offsets).
+struct FuzzProfile {
+  const char *Name = "default";
+
+  // Statement weights.
+  unsigned WLocalSet = 12;
+  unsigned WStore = 6;
+  unsigned WIf = 6;
+  unsigned WLoop = 5;
+  unsigned WBlock = 4;
+  unsigned WBrTable = 3;
+  unsigned WCall = 4;
+  unsigned WGlobalSet = 5;
+  unsigned WResultBlock = 4;
+  unsigned WResultBrTable = 3;
+  unsigned WMemGrow = 1;
+
+  // Expression weights.
+  unsigned WConst = 10;
+  unsigned WLocalGet = 10;
+  unsigned WGlobalGet = 5;
+  unsigned WBinop = 12;
+  unsigned WUnop = 5;
+  unsigned WCompare = 5;
+  unsigned WDiv = 4;
+  unsigned WConvert = 5;
+  unsigned WLoad = 6;
+  unsigned WIfExpr = 4;
+  unsigned WSelect = 3;
+  unsigned WCallDirect = 3;
+  unsigned WCallIndirect = 3;
+  unsigned WMemSize = 1;
+  unsigned WMemGrowExpr = 1;
+
+  // Module shape.
+  unsigned NumHelpers = 2;
+  unsigned NumGlobals = 3;
+  unsigned MinStmts = 2;
+  unsigned MaxStmts = 8;
+  unsigned ExprDepth = 3;
+  unsigned StmtDepth = 2;
+
+  // Trap-path dials: 1-in-N chances.
+  unsigned WildAddrOneIn = 16; ///< Address left unmasked.
+  unsigned BoundaryOneIn = 8;  ///< Page-boundary address/offset pattern.
+};
+
+/// The stock profiles. Unknown names return false and leave \p Out alone.
+bool fuzzProfileByName(const std::string &Name, FuzzProfile *Out);
+
+/// The generator. One instance produces one module per seed.
+class RandWasm {
+public:
+  explicit RandWasm(uint64_t Seed, FuzzProfile P = FuzzProfile())
+      : R(Seed), P(P) {}
+
+  /// Builds a module: NumHelpers call-free helpers plus one exported main
+  /// "f" taking (i32, i32, f64, f64) and returning one random scalar.
+  FuzzModule build();
+
+private:
+  struct GenCtx {
+    FuzzFunc *F = nullptr;
+    /// Locals statements may read/write: (index, type). Loop counters are
+    /// deliberately absent so no statement can break loop termination.
+    std::vector<std::pair<uint32_t, ValType>> Pickable;
+    unsigned LoopDepth = 0;
+    bool InHelper = false;
+  };
+
+  ValType scalarType();
+  uint64_t constBits(ValType T);
+  int pickLocal(GenCtx &C, ValType T);
+  uint32_t pickOrAddLocal(GenCtx &C, ValType T);
+  int pickGlobal(ValType T);
+  int pickHelper(ValType Ret);
+  uint32_t addrMask() { return 0xFFF8; }
+
+  FuzzExpr genExpr(GenCtx &C, ValType T, unsigned Depth);
+  FuzzExpr genBinop(GenCtx &C, ValType T, unsigned Depth);
+  FuzzExpr genUnop(GenCtx &C, ValType T, unsigned Depth);
+  FuzzExpr genCompare(GenCtx &C, unsigned Depth);
+  FuzzExpr genDiv(GenCtx &C, ValType T, unsigned Depth);
+  FuzzExpr genConvert(GenCtx &C, ValType T, unsigned Depth);
+  FuzzExpr genLoad(GenCtx &C, ValType T, unsigned Depth);
+  FuzzStmt genStmt(GenCtx &C, unsigned Depth);
+  std::vector<FuzzStmt> genBody(GenCtx &C, unsigned Count, unsigned Depth);
+
+  Rng R;
+  FuzzProfile P;
+  FuzzModule M;
+  std::vector<ValType> HelperResults;
+};
+
+} // namespace wisp
+
+#endif // WISP_FUZZ_RANDWASM_H

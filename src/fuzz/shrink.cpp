@@ -1,0 +1,171 @@
+//===- fuzz/shrink.cpp - greedy divergence shrinker ------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/shrink.h"
+
+namespace wisp {
+
+namespace {
+
+/// Rewrites call references after helper \p H is removed: direct calls to
+/// H become constants / disappear, ordinals above H shift down by one.
+void dropHelperFromExpr(FuzzExpr &E, uint32_t H) {
+  if ((E.K == FuzzExpr::CallDirect || E.K == FuzzExpr::CallIndirect)) {
+    if (E.Index == H) {
+      E = FuzzExpr::constant(E.Type, 1);
+      return;
+    }
+    if (E.Index > H)
+      --E.Index;
+  }
+  for (FuzzExpr &K : E.Kids)
+    dropHelperFromExpr(K, H);
+}
+
+void dropHelperFromBody(std::vector<FuzzStmt> &Body, uint32_t H) {
+  for (auto It = Body.begin(); It != Body.end();) {
+    FuzzStmt &S = *It;
+    if (S.K == FuzzStmt::Call && S.N == H) {
+      It = Body.erase(It);
+      continue;
+    }
+    if (S.K == FuzzStmt::Call && S.N > H)
+      --S.N;
+    for (FuzzExpr &E : S.E)
+      dropHelperFromExpr(E, H);
+    for (auto &Sub : S.Bodies)
+      dropHelperFromBody(Sub, H);
+    ++It;
+  }
+}
+
+class Shrinker {
+public:
+  Shrinker(FuzzModule M, const FuzzOracle &Oracle, size_t Budget)
+      : M(std::move(M)), Oracle(Oracle), Budget(Budget) {}
+
+  FuzzModule run(ShrinkStats *Stats) {
+    size_t NodesBefore = M.nodeCount();
+    size_t BytesBefore = M.toBytes().size();
+    bool Progress = true;
+    while (Progress && Attempts < Budget) {
+      Progress = false;
+      Progress |= dropHelpers();
+      for (FuzzFunc &F : M.Funcs) {
+        Progress |= shrinkBody(F.Body);
+        Progress |= shrinkExpr(F.Ret);
+      }
+    }
+    if (Stats) {
+      Stats->Attempts = Attempts;
+      Stats->Accepted = Accepted;
+      Stats->NodesBefore = NodesBefore;
+      Stats->NodesAfter = M.nodeCount();
+      Stats->BytesBefore = BytesBefore;
+      Stats->BytesAfter = M.toBytes().size();
+    }
+    return std::move(M);
+  }
+
+private:
+  bool test() {
+    if (Attempts >= Budget)
+      return false;
+    ++Attempts;
+    bool Ok = Oracle(M);
+    if (Ok)
+      ++Accepted;
+    return Ok;
+  }
+
+  /// Tries to remove each helper function (everything but the exported
+  /// main, which is always last).
+  bool dropHelpers() {
+    bool Changed = false;
+    // Candidate ordinals run from the last helper down to 0; the exported
+    // main is always last and never dropped.
+    for (uint32_t Ordinal = uint32_t(M.Funcs.size()) - 1; Ordinal-- > 0;) {
+      if (Ordinal + 1 >= M.Funcs.size())
+        continue;
+      FuzzModule Saved = M;
+      M.Funcs.erase(M.Funcs.begin() + Ordinal);
+      for (FuzzFunc &F : M.Funcs) {
+        dropHelperFromBody(F.Body, Ordinal);
+        dropHelperFromExpr(F.Ret, Ordinal);
+      }
+      if (test()) {
+        Changed = true;
+      } else {
+        M = std::move(Saved);
+      }
+    }
+    return Changed;
+  }
+
+  bool shrinkBody(std::vector<FuzzStmt> &Body) {
+    bool Changed = false;
+    for (size_t I = 0; I < Body.size();) {
+      FuzzStmt Saved = Body[I];
+      Body.erase(Body.begin() + I);
+      if (test()) {
+        Changed = true;
+        continue; // Same index now names the next statement.
+      }
+      Body.insert(Body.begin() + I, std::move(Saved));
+      // The statement is load-bearing; reduce inside it instead.
+      for (auto &Sub : Body[I].Bodies)
+        Changed |= shrinkBody(Sub);
+      for (FuzzExpr &E : Body[I].E)
+        Changed |= shrinkExpr(E);
+      ++I;
+    }
+    return Changed;
+  }
+
+  bool shrinkExpr(FuzzExpr &E) {
+    if (E.K == FuzzExpr::Const)
+      return false;
+    // Strongest reduction first: the whole subtree becomes a constant.
+    {
+      FuzzExpr Saved = E;
+      E = FuzzExpr::constant(E.Type, 1);
+      if (test())
+        return true;
+      E = std::move(Saved);
+    }
+    // Next: hoist a same-typed child over this node.
+    for (size_t I = 0; I < E.Kids.size(); ++I) {
+      if (E.Kids[I].Type != E.Type)
+        continue;
+      FuzzExpr Saved = E;
+      FuzzExpr Kid = E.Kids[I];
+      E = std::move(Kid);
+      if (test())
+        return true;
+      E = std::move(Saved);
+    }
+    // The node itself is load-bearing; recurse into children.
+    bool Changed = false;
+    for (FuzzExpr &K : E.Kids)
+      Changed |= shrinkExpr(K);
+    return Changed;
+  }
+
+  FuzzModule M;
+  const FuzzOracle &Oracle;
+  size_t Budget;
+  size_t Attempts = 0;
+  size_t Accepted = 0;
+};
+
+} // namespace
+
+FuzzModule shrinkModule(const FuzzModule &In, const FuzzOracle &Oracle,
+                        ShrinkStats *Stats, size_t MaxAttempts) {
+  return Shrinker(In, Oracle, MaxAttempts).run(Stats);
+}
+
+} // namespace wisp

@@ -1,0 +1,48 @@
+//===- fuzz/shrink.h - greedy divergence shrinker ---------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy fault isolation for FuzzModule reproducers: repeatedly try to
+/// drop helper functions, remove statements and replace expression
+/// subtrees with constants, keeping each edit only if the caller's oracle
+/// still observes the divergence. Runs to a fixpoint (or an attempt
+/// budget), so minimized reproducers are 1-minimal with respect to the
+/// edit set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_FUZZ_SHRINK_H
+#define WISP_FUZZ_SHRINK_H
+
+#include "fuzz/fuzzmod.h"
+
+#include <functional>
+
+namespace wisp {
+
+/// Returns true while the candidate module still exhibits the divergence
+/// (or whatever property is being isolated).
+using FuzzOracle = std::function<bool(const FuzzModule &)>;
+
+struct ShrinkStats {
+  size_t Attempts = 0; ///< Oracle invocations.
+  size_t Accepted = 0; ///< Edits that kept the divergence.
+  size_t NodesBefore = 0;
+  size_t NodesAfter = 0;
+  size_t BytesBefore = 0;
+  size_t BytesAfter = 0;
+};
+
+/// Minimizes \p In under \p Oracle. \p Oracle must return true for \p In
+/// itself; the result is the smallest module found that still satisfies
+/// it. \p MaxAttempts bounds total oracle invocations.
+FuzzModule shrinkModule(const FuzzModule &In, const FuzzOracle &Oracle,
+                        ShrinkStats *Stats = nullptr,
+                        size_t MaxAttempts = 20000);
+
+} // namespace wisp
+
+#endif // WISP_FUZZ_SHRINK_H

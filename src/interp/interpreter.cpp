@@ -921,19 +921,19 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
       F32_UN(wasmNearest(AF32));
       break;
     case uint8_t(Opcode::F32Sqrt):
-      F32_UN(std::sqrt(AF32));
+      F32_UN(canonNaN(std::sqrt(AF32)));
       break;
     case uint8_t(Opcode::F32Add):
-      F32_BIN(AF32 + BF32);
+      F32_BIN(canonNaN(AF32 + BF32));
       break;
     case uint8_t(Opcode::F32Sub):
-      F32_BIN(AF32 - BF32);
+      F32_BIN(canonNaN(AF32 - BF32));
       break;
     case uint8_t(Opcode::F32Mul):
-      F32_BIN(AF32 * BF32);
+      F32_BIN(canonNaN(AF32 * BF32));
       break;
     case uint8_t(Opcode::F32Div):
-      F32_BIN(AF32 / BF32);
+      F32_BIN(canonNaN(AF32 / BF32));
       break;
     case uint8_t(Opcode::F32Min):
       F32_BIN(wasmMin(AF32, BF32));
@@ -967,19 +967,19 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
       F64_UN(wasmNearest(AF64));
       break;
     case uint8_t(Opcode::F64Sqrt):
-      F64_UN(std::sqrt(AF64));
+      F64_UN(canonNaN(std::sqrt(AF64)));
       break;
     case uint8_t(Opcode::F64Add):
-      F64_BIN(AF64 + BF64);
+      F64_BIN(canonNaN(AF64 + BF64));
       break;
     case uint8_t(Opcode::F64Sub):
-      F64_BIN(AF64 - BF64);
+      F64_BIN(canonNaN(AF64 - BF64));
       break;
     case uint8_t(Opcode::F64Mul):
-      F64_BIN(AF64 * BF64);
+      F64_BIN(canonNaN(AF64 * BF64));
       break;
     case uint8_t(Opcode::F64Div):
-      F64_BIN(AF64 / BF64);
+      F64_BIN(canonNaN(AF64 / BF64));
       break;
     case uint8_t(Opcode::F64Min):
       F64_BIN(wasmMin(AF64, BF64));

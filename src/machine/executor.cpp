@@ -389,19 +389,19 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
 #define BF FLOAT32(FR[I.C])
     case MOp::AddF32:
       Cyc += 2;
-      SETF32(FR[I.A], AF + BF);
+      SETF32(FR[I.A], canonNaN(AF + BF));
       break;
     case MOp::SubF32:
       Cyc += 2;
-      SETF32(FR[I.A], AF - BF);
+      SETF32(FR[I.A], canonNaN(AF - BF));
       break;
     case MOp::MulF32:
       Cyc += 3;
-      SETF32(FR[I.A], AF * BF);
+      SETF32(FR[I.A], canonNaN(AF * BF));
       break;
     case MOp::DivF32:
       Cyc += 8;
-      SETF32(FR[I.A], AF / BF);
+      SETF32(FR[I.A], canonNaN(AF / BF));
       break;
     case MOp::MinF32:
       Cyc += 2;
@@ -438,7 +438,7 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
       break;
     case MOp::SqrtF32:
       Cyc += 8;
-      SETF32(FR[I.A], std::sqrt(AF));
+      SETF32(FR[I.A], canonNaN(std::sqrt(AF)));
       break;
 
     // --- f64 ALU ---
@@ -446,19 +446,19 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
 #define BD FLOAT64(FR[I.C])
     case MOp::AddF64:
       Cyc += 2;
-      SETF64(FR[I.A], AD + BD);
+      SETF64(FR[I.A], canonNaN(AD + BD));
       break;
     case MOp::SubF64:
       Cyc += 2;
-      SETF64(FR[I.A], AD - BD);
+      SETF64(FR[I.A], canonNaN(AD - BD));
       break;
     case MOp::MulF64:
       Cyc += 3;
-      SETF64(FR[I.A], AD * BD);
+      SETF64(FR[I.A], canonNaN(AD * BD));
       break;
     case MOp::DivF64:
       Cyc += 10;
-      SETF64(FR[I.A], AD / BD);
+      SETF64(FR[I.A], canonNaN(AD / BD));
       break;
     case MOp::MinF64:
       Cyc += 2;
@@ -495,7 +495,7 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
       break;
     case MOp::SqrtF64:
       Cyc += 10;
-      SETF64(FR[I.A], std::sqrt(AD));
+      SETF64(FR[I.A], canonNaN(std::sqrt(AD)));
       break;
     case MOp::CmpSetF32:
       G[I.A] = evalCondF(FCond(I.D), AF, BF);

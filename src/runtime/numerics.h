@@ -132,6 +132,18 @@ inline uint64_t ctz64(uint64_t A) { return uint64_t(std::countr_zero(A)); }
 inline uint64_t popcnt64(uint64_t A) { return uint64_t(std::popcount(A)); }
 
 // --- Float min/max/nearest with Wasm NaN semantics ---
+
+/// Canonicalizes NaN results of float arithmetic to the positive quiet
+/// NaN. The spec leaves arithmetic NaN bits nondeterministic, but this
+/// engine's differential claim is stronger: every tier computes
+/// bit-identical results. Without this, `a + b` with a NaN operand
+/// propagates whichever operand the host compiler placed first, and the
+/// interpreter and JIT executor are separate translation units that can
+/// (and do) pick different orders — even the NaN *sign* then diverges.
+template <typename T> inline T canonNaN(T X) {
+  return std::isnan(X) ? std::numeric_limits<T>::quiet_NaN() : X;
+}
+
 template <typename T> inline T wasmMin(T A, T B) {
   if (std::isnan(A) || std::isnan(B))
     return std::numeric_limits<T>::quiet_NaN();

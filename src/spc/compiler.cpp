@@ -185,6 +185,7 @@ private:
 
   // --- Stack ops ---
   void pushOperand(AVal V) {
+    ++StackGen;
     Vals.push_back(V);
     if (V.inReg())
       fileFor(V.Type).bind(V.R, topSlot());
@@ -212,6 +213,7 @@ private:
   }
   /// Pops the top operand, releasing its register binding.
   AVal popOperand() {
+    ++StackGen;
     AVal V = Vals[topSlot()];
     clearReg(topSlot());
     Vals.pop_back();
@@ -414,15 +416,23 @@ private:
     int64_t Imm = 0;
     uint32_t InstPc = 0;
     uint32_t DstSlot = 0;
+    uint64_t Gen = 0; ///< StackGen right after the result push.
   };
   PendingCmp LastCmp;
+  /// Bumped on every operand push/pop. Fusion is only sound while the
+  /// compare's result is still the live top of stack; checking slot
+  /// *indices* alone false-positives when codeless ops (constant pushes,
+  /// register rebinds on local.set, MR-cached local.gets) repopulate the
+  /// same slot without advancing the instruction stream.
+  uint64_t StackGen = 0;
 
   /// If the branch condition is the result of the immediately preceding
   /// integer compare, pops it and returns the fused condition.
   bool tryFuseCompare(PendingCmp *Out) {
     if (!Opts.Peephole || !LastCmp.Valid)
       return false;
-    if (LastCmp.InstPc + 1 != A.pc() || LastCmp.DstSlot != topSlot())
+    if (LastCmp.InstPc + 1 != A.pc() || LastCmp.DstSlot != topSlot() ||
+        LastCmp.Gen != StackGen)
       return false;
     *Out = LastCmp;
     // Nop out the CmpSet; the operand registers still hold their values.
@@ -833,6 +843,7 @@ void SPC::compileCmp(bool Is64, Cond C) {
   pushReg(ValType::I32, Rd);
   P.Valid = Opts.Peephole;
   P.DstSlot = topSlot();
+  P.Gen = StackGen;
   LastCmp = P;
 }
 
@@ -905,11 +916,19 @@ void SPC::compileSelect(Opcode Op) {
   AVal Cv = Vals[topSlot()];
   if (Opts.ConstantFolding && Cv.isConst()) {
     popOperand(); // cond
-    AVal Bv = popOperand();
     if (uint32_t(Cv.Konst) != 0) {
-      // Keep a (already in place).
+      popOperand(); // b; a is the result, already in place.
       return;
     }
+    // The result is b, which moves down one slot. A memory-only b carries
+    // no value in its AVal — its bits live in its *old* stack slot, and
+    // the destination slot still holds a's stale spill — so materialize
+    // it in a register first. The InMem claim is wrong at the new slot
+    // either way.
+    if (!Vals[topSlot()].inReg() && !Vals[topSlot()].isConst())
+      ensureInReg(topSlot());
+    AVal Bv = popOperand();
+    Bv.Flags &= ~AVal::InMem;
     popOperand(); // a
     pushOperand(Bv);
     return;
@@ -1581,6 +1600,7 @@ void SPC::compileOp(Opcode Op, uint32_t) {
     pushReg(V::I32, Rd);
     P.Valid = Opts.Peephole;
     P.DstSlot = topSlot();
+    P.Gen = StackGen;
     LastCmp = P;
     return;
   }
@@ -1634,6 +1654,7 @@ void SPC::compileOp(Opcode Op, uint32_t) {
     pushReg(V::I32, Rd);
     P.Valid = Opts.Peephole;
     P.DstSlot = topSlot();
+    P.Gen = StackGen;
     LastCmp = P;
     return;
   }

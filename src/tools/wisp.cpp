@@ -47,7 +47,8 @@ const char *UsageText =
     "                   spc (single-pass compiler, default), copypatch,\n"
     "                   twopass, opt (optimizing)\n"
     "  --config=NAME    named engine configuration from the Fig. 3/10\n"
-    "                   registries (overrides --tier; see --list-configs)\n"
+    "                   registries (mutually exclusive with --tier;\n"
+    "                   see --list-configs)\n"
     "  --invoke=NAME    export to call (default \"run\")\n"
     "  --scale=N        suite workload scale factor (default 1)\n"
     "  --m0             use the early-return (setup-bound) suite variant\n"
@@ -235,6 +236,7 @@ int listConfigs() {
 
 struct CliOptions {
   std::string Tier = "spc";
+  bool TierSet = false; ///< --tier was given explicitly.
   std::string Config;
   std::string Invoke = "run";
   std::string Module;
@@ -260,6 +262,7 @@ int main(int argc, char **argv) {
     };
     if (const char *V = Val("--tier=")) {
       Opt.Tier = V;
+      Opt.TierSet = true;
     } else if (const char *V = Val("--config=")) {
       Opt.Config = V;
     } else if (const char *V = Val("--invoke=")) {
@@ -300,6 +303,10 @@ int main(int argc, char **argv) {
     return usageError("%s", "no module given\n");
 
   // Resolve the engine configuration.
+  if (Opt.TierSet && !Opt.Config.empty())
+    return usageError("--tier and --config are mutually exclusive "
+                      "(both given: --tier=%s)\n",
+                      Opt.Tier.c_str());
   EngineConfig Cfg;
   if (!Opt.Config.empty()) {
     // configByName falls back to a default config on a miss; validate the

@@ -1,0 +1,83 @@
+# tests/cli_errors.cmake - ctest for wisp CLI error paths.
+#
+# Exercises the failure modes cli_smoke skips: malformed flag values,
+# --tier/--config conflicts, unknown tiers/configs/monitors, nonexistent
+# modules and exports, and out-of-range argument parsing. Invoked as:
+#   cmake -DWISP_BIN=<path-to-wisp> -P cli_errors.cmake
+
+if(NOT WISP_BIN)
+  message(FATAL_ERROR "pass -DWISP_BIN=<path to the wisp binary>")
+endif()
+
+# expect_fail(<name> <stderr-regex> <arg...>): the command must exit
+# nonzero and print a diagnostic matching the regex on stderr.
+function(expect_fail name pattern)
+  execute_process(
+    COMMAND ${WISP_BIN} ${ARGN}
+    OUTPUT_QUIET
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE RC)
+  if(RC EQUAL 0)
+    message(FATAL_ERROR "${name}: expected failure but exited 0")
+  endif()
+  if(NOT ERR MATCHES "${pattern}")
+    message(FATAL_ERROR
+      "${name}: diagnostic does not match '${pattern}':\n${ERR}")
+  endif()
+endfunction()
+
+# --- Malformed flag values ---
+expect_fail(bad-scale-zero "bad --scale value" --scale=0 nop)
+expect_fail(bad-scale-text "bad --scale value" --scale=abc nop)
+expect_fail(unknown-option "unknown option" --frobnicate nop)
+expect_fail(unknown-tier "unknown tier" --tier=warp nop)
+expect_fail(unknown-config "unknown config" --config=nonesuch nop)
+expect_fail(unknown-monitor "unknown monitor" --monitor=heat nop)
+expect_fail(unknown-opcode "unknown opcode mnemonic"
+            --monitor=count:i99.frob nop)
+
+# --- --tier / --config conflict ---
+expect_fail(tier-config-conflict "mutually exclusive"
+            --tier=int --config=wizard-spc nop)
+# --config alone must still work.
+execute_process(
+  COMMAND ${WISP_BIN} --config=wizard-spc nop
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
+  message(FATAL_ERROR "--config alone failed (rc=${RC}): ${OUT}")
+endif()
+
+# --- Module and export resolution ---
+expect_fail(no-module "no module given" --tier=spc)
+expect_fail(missing-module "cannot resolve module" /no/such/file.wasm)
+expect_fail(unknown-export "no exported function" --invoke=nonesuch nop)
+
+# --- Out-of-range argument parsing, against the corpus gcd reproducer's
+# --- (i32, i32) signature so parsing (not arity) is what fails.
+if(NOT WISP_CORPUS)
+  message(FATAL_ERROR "pass -DWISP_CORPUS=<path to tests/corpus>")
+endif()
+set(GCD ${WISP_CORPUS}/alias-gcd.wasm)
+# i32 overflow: one past UINT32_MAX must be rejected, not truncated.
+expect_fail(i32-overflow "cannot parse argument"
+            --tier=spc --invoke=gcd ${GCD} 4294967296 1)
+# Signed underflow below INT32_MIN.
+expect_fail(i32-underflow "cannot parse argument"
+            --tier=spc --invoke=gcd ${GCD} -2147483649 1)
+# Trailing junk after a number.
+expect_fail(arg-junk "cannot parse argument"
+            --tier=spc --invoke=gcd ${GCD} 12x 1)
+# Arity mismatch in both directions.
+expect_fail(too-many-args "takes" --tier=spc nop 1 2)
+expect_fail(too-few-args "takes" --tier=spc --invoke=gcd ${GCD} 3528)
+# The full-range boundary values themselves must parse and run.
+execute_process(
+  COMMAND ${WISP_BIN} --tier=spc --invoke=gcd ${GCD} 3528 3780
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0 OR NOT OUT MATCHES "= 252:i32")
+  message(FATAL_ERROR "gcd(3528, 3780) run failed (rc=${RC}): ${OUT}")
+endif()
+
+message(STATUS "cli_errors: all error paths diagnosed correctly")

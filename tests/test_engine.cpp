@@ -7,7 +7,7 @@
 #include "testutil.h"
 
 #include "engine/engine.h"
-#include "randwasm.h"
+#include "fuzz/randwasm.h"
 
 #include <gtest/gtest.h>
 
@@ -314,8 +314,8 @@ TEST_P(PipelineDifferential, MatchesInterpreter) {
   const PipelineCase &PC = Cases[std::get<0>(GetParam())];
   uint64_t Seed = std::get<1>(GetParam());
   RandWasm Gen(Seed);
-  ModuleBuilder MB = Gen.build();
-  std::vector<uint8_t> Bytes = MB.build();
+  FuzzModule FM = Gen.build();
+  std::vector<uint8_t> Bytes = FM.toBytes();
   std::vector<Value> Args = {Value::makeI32(int32_t(Seed * 13)),
                              Value::makeI32(int32_t(Seed % 31)),
                              Value::makeF64(double(Seed % 771) / 7.0),

@@ -1,0 +1,389 @@
+//===- tests/test_fuzz.cpp - fuzz subsystem tests --------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the differential-fuzzing subsystem: generator validity and
+// determinism, the five-tier differ, replay argument derivation, and the
+// greedy shrinker (a planted divergence must survive minimization and the
+// result must be at most 25% of the original module size).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/differ.h"
+#include "fuzz/randwasm.h"
+#include "fuzz/shrink.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace wisp;
+
+namespace {
+
+TEST(FuzzGen, ModulesDecodeAndValidate) {
+  for (const char *Name : {"default", "control", "memory"}) {
+    FuzzProfile P;
+    ASSERT_TRUE(fuzzProfileByName(Name, &P));
+    for (uint64_t Seed = 0; Seed < 25; ++Seed) {
+      RandWasm Gen(Seed, P);
+      FuzzModule M = Gen.build();
+      std::vector<uint8_t> Bytes = M.toBytes();
+      WasmError Err;
+      std::unique_ptr<Module> Mod = decodeModule(Bytes, &Err);
+      ASSERT_NE(Mod, nullptr)
+          << Name << " seed " << Seed << ": " << Err.Message;
+      ASSERT_TRUE(validateModule(*Mod, &Err))
+          << Name << " seed " << Seed << ": " << Err.Message << " @"
+          << Err.Offset;
+      // The exported main must exist with the fixed fuzzing signature.
+      const Export *E = Mod->findExport("f", ExternKind::Func);
+      ASSERT_NE(E, nullptr);
+      EXPECT_EQ(Mod->funcType(E->Index).Params.size(), 4u);
+    }
+  }
+}
+
+TEST(FuzzGen, DeterministicPerSeed) {
+  for (uint64_t Seed : {0ull, 7ull, 123456789ull}) {
+    FuzzModule A = RandWasm(Seed).build();
+    FuzzModule B = RandWasm(Seed).build();
+    EXPECT_EQ(A.toBytes(), B.toBytes()) << "seed " << Seed;
+    EXPECT_EQ(A.listing(), B.listing()) << "seed " << Seed;
+  }
+  // Different seeds almost surely differ.
+  EXPECT_NE(RandWasm(1).build().toBytes(), RandWasm(2).build().toBytes());
+}
+
+TEST(FuzzGen, UnknownProfileRejected) {
+  FuzzProfile P;
+  EXPECT_FALSE(fuzzProfileByName("bogus", &P));
+  EXPECT_TRUE(fuzzProfileByName("memory", &P));
+  EXPECT_STREQ(P.Name, "memory");
+}
+
+TEST(FuzzGen, ListingMentionsStructure) {
+  FuzzModule M = RandWasm(3).build();
+  std::string L = M.listing();
+  EXPECT_NE(L.find("(module"), std::string::npos);
+  EXPECT_NE(L.find("(export \"f\")"), std::string::npos);
+  EXPECT_NE(L.find("(table"), std::string::npos);
+  EXPECT_GT(M.nodeCount(), 0u);
+}
+
+TEST(FuzzGen, BakedArgsAddReproExport) {
+  FuzzModule M = RandWasm(9).build();
+  std::vector<Value> Args = argsForSeed(9, M.main().Params);
+  std::vector<uint8_t> Bytes = M.toBytes(&Args);
+  WasmError Err;
+  std::unique_ptr<Module> Mod = decodeModule(Bytes, &Err);
+  ASSERT_NE(Mod, nullptr) << Err.Message;
+  ASSERT_TRUE(validateModule(*Mod, &Err)) << Err.Message;
+  const Export *Repro = Mod->findExport("repro", ExternKind::Func);
+  ASSERT_NE(Repro, nullptr);
+  EXPECT_TRUE(Mod->funcType(Repro->Index).Params.empty());
+  // The zero-arg wrapper must agree with calling main directly, on every
+  // tier.
+  DiffReport Direct = runAllTiers(Bytes, "f", Args);
+  DiffReport Wrapped = runAllTiers(Bytes, "repro", {});
+  ASSERT_FALSE(Direct.Diverged) << Direct.Detail;
+  ASSERT_FALSE(Wrapped.Diverged) << Wrapped.Detail;
+  ASSERT_EQ(Direct.Runs[0].Results.size(), Wrapped.Runs[0].Results.size());
+  for (size_t I = 0; I < Direct.Runs[0].Results.size(); ++I)
+    EXPECT_EQ(Direct.Runs[0].Results[I], Wrapped.Runs[0].Results[I]);
+}
+
+// --- Differ ---------------------------------------------------------------
+
+TEST(FuzzDiffer, TiersAgreeOnSeededSweep) {
+  // A compact in-process differential sweep; the 200-seed fuzz_smoke ctest
+  // runs the same check through the wisp-fuzz binary.
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    FuzzProfile P;
+    static const char *Rotation[] = {"default", "control", "memory"};
+    ASSERT_TRUE(fuzzProfileByName(Rotation[Seed % 3], &P));
+    FuzzModule M = RandWasm(Seed, P).build();
+    DiffReport Report =
+        runAllTiers(M.toBytes(), "f", argsForSeed(Seed, M.main().Params));
+    EXPECT_FALSE(Report.Diverged)
+        << "seed " << Seed << ": " << Report.Detail;
+  }
+}
+
+TEST(FuzzDiffer, ReportsFiveTiers) {
+  FuzzModule M = RandWasm(11).build();
+  DiffReport Report =
+      runAllTiers(M.toBytes(), "f", argsForSeed(11, M.main().Params));
+  ASSERT_EQ(Report.Runs.size(), differTierNames().size());
+  EXPECT_EQ(Report.Runs[0].Tier, "int");
+  for (const TierRun &Run : Report.Runs)
+    EXPECT_TRUE(Run.LoadOk) << Run.Tier << ": " << Run.LoadError;
+}
+
+TEST(FuzzDiffer, CompareDetectsEachMismatchKind) {
+  TierRun Ref;
+  Ref.Tier = "int";
+  Ref.LoadOk = true;
+  Ref.Results = {Value::makeI32(1)};
+  Ref.Memory = {0, 0, 0, 0};
+  Ref.GlobalBits = {7};
+
+  TierRun Same = Ref;
+  Same.Tier = "spc";
+  EXPECT_EQ(compareTierRuns(Ref, Same), "");
+
+  TierRun BadTrap = Same;
+  BadTrap.Trap = TrapReason::DivByZero;
+  EXPECT_NE(compareTierRuns(Ref, BadTrap).find("trap mismatch"),
+            std::string::npos);
+
+  TierRun BadResult = Same;
+  BadResult.Results = {Value::makeI32(2)};
+  EXPECT_NE(compareTierRuns(Ref, BadResult).find("result 0 mismatch"),
+            std::string::npos);
+
+  TierRun BadMemory = Same;
+  BadMemory.Memory[2] = 9;
+  EXPECT_NE(compareTierRuns(Ref, BadMemory).find("memory mismatch at 0x2"),
+            std::string::npos);
+
+  TierRun BadSize = Same;
+  BadSize.Memory.resize(8, 0);
+  EXPECT_NE(compareTierRuns(Ref, BadSize).find("memory size mismatch"),
+            std::string::npos);
+
+  TierRun BadGlobal = Same;
+  BadGlobal.GlobalBits = {8};
+  EXPECT_NE(compareTierRuns(Ref, BadGlobal).find("global 0 mismatch"),
+            std::string::npos);
+
+  TierRun BadLoad = Same;
+  BadLoad.LoadOk = false;
+  BadLoad.LoadError = "boom";
+  EXPECT_NE(compareTierRuns(Ref, BadLoad).find("load"), std::string::npos);
+}
+
+TEST(FuzzDiffer, ReplayTuplesIncludeGcdPair) {
+  // The corpus gcd reproducer needs its original failing inputs.
+  auto Tuples = replayArgTuples({ValType::I32, ValType::I32});
+  ASSERT_EQ(Tuples.size(), 4u);
+  bool Found = false;
+  for (const auto &Args : Tuples)
+    Found = Found || (Args[0] == Value::makeI32(3528) &&
+                      Args[1] == Value::makeI32(3780));
+  EXPECT_TRUE(Found);
+  // Deterministic across calls.
+  auto Again = replayArgTuples({ValType::I32, ValType::I32});
+  for (size_t I = 0; I < Tuples.size(); ++I)
+    for (size_t J = 0; J < Tuples[I].size(); ++J)
+      EXPECT_EQ(Tuples[I][J], Again[I][J]);
+}
+
+TEST(FuzzDiffer, ArgsForSeedDeterministicAndTyped) {
+  std::vector<ValType> Params = {ValType::I32, ValType::I64, ValType::F32,
+                                 ValType::F64};
+  std::vector<Value> A = argsForSeed(42, Params);
+  std::vector<Value> B = argsForSeed(42, Params);
+  ASSERT_EQ(A.size(), Params.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Type, Params[I]);
+    EXPECT_EQ(A[I], B[I]);
+  }
+}
+
+// --- Shrinker -------------------------------------------------------------
+
+/// True if the module still contains the planted marker statement
+/// (global.set of MarkerBits into global MarkerIdx).
+bool hasMarker(const std::vector<FuzzStmt> &Body, uint32_t MarkerIdx,
+               uint64_t MarkerBits) {
+  for (const FuzzStmt &S : Body) {
+    if (S.K == FuzzStmt::GlobalSet && S.Index == MarkerIdx &&
+        !S.E.empty() && S.E[0].K == FuzzExpr::Const &&
+        S.E[0].Bits == MarkerBits)
+      return true;
+    for (const auto &Sub : S.Bodies)
+      if (hasMarker(Sub, MarkerIdx, MarkerBits))
+        return true;
+  }
+  return false;
+}
+
+TEST(FuzzShrink, PlantedDivergenceMinimizesToQuarterSize) {
+  // A big module so there is plenty to strip.
+  FuzzProfile P;
+  ASSERT_TRUE(fuzzProfileByName("control", &P));
+  P.MinStmts = 10;
+  P.MaxStmts = 14;
+  P.ExprDepth = 4;
+  FuzzModule M = RandWasm(2024, P).build();
+
+  // Plant the "divergence": a recognizable global.set the oracle tracks,
+  // standing in for the construct that triggers a real miscompile.
+  const uint64_t MarkerBits = 0x5EED;
+  M.Globals.push_back({ValType::I32, 0});
+  uint32_t MarkerIdx = uint32_t(M.Globals.size()) - 1;
+  FuzzStmt Marker;
+  Marker.K = FuzzStmt::GlobalSet;
+  Marker.Index = MarkerIdx;
+  Marker.E.push_back(FuzzExpr::constant(ValType::I32, MarkerBits));
+  FuzzFunc &Main = M.Funcs.back();
+  Main.Body.insert(Main.Body.begin() + Main.Body.size() / 2, Marker);
+
+  FuzzOracle Oracle = [&](const FuzzModule &Cand) {
+    return hasMarker(Cand.main().Body, MarkerIdx, MarkerBits);
+  };
+  ASSERT_TRUE(Oracle(M));
+  size_t OrigBytes = M.toBytes().size();
+
+  ShrinkStats Stats;
+  FuzzModule Min = shrinkModule(M, Oracle, &Stats);
+
+  // The minimized module still "diverges" ...
+  EXPECT_TRUE(Oracle(Min));
+  // ... still serializes to a valid module ...
+  WasmError Err;
+  std::unique_ptr<Module> Mod = decodeModule(Min.toBytes(), &Err);
+  ASSERT_NE(Mod, nullptr) << Err.Message;
+  EXPECT_TRUE(validateModule(*Mod, &Err)) << Err.Message;
+  // ... and is at most 25% of the original size.
+  size_t MinBytes = Min.toBytes().size();
+  EXPECT_LE(MinBytes * 4, OrigBytes)
+      << OrigBytes << " -> " << MinBytes << " bytes";
+  EXPECT_LT(Stats.NodesAfter, Stats.NodesBefore);
+  EXPECT_EQ(Stats.BytesAfter, MinBytes);
+  EXPECT_GT(Stats.Accepted, 0u);
+}
+
+TEST(FuzzShrink, DropsUnusedHelpers) {
+  FuzzModule M = RandWasm(5).build();
+  size_t FuncsBefore = M.Funcs.size();
+  ASSERT_GT(FuncsBefore, 1u);
+  // Oracle only cares that the module still has an exported main.
+  FuzzOracle Oracle = [](const FuzzModule &Cand) {
+    return !Cand.Funcs.empty();
+  };
+  FuzzModule Min = shrinkModule(M, Oracle);
+  // Everything except main should be strippable under this oracle.
+  EXPECT_EQ(Min.Funcs.size(), 1u);
+  WasmError Err;
+  std::unique_ptr<Module> Mod = decodeModule(Min.toBytes(), &Err);
+  ASSERT_NE(Mod, nullptr) << Err.Message;
+  EXPECT_TRUE(validateModule(*Mod, &Err)) << Err.Message;
+}
+
+TEST(FuzzShrink, RespectsAttemptBudget) {
+  FuzzModule M = RandWasm(6).build();
+  FuzzOracle Oracle = [](const FuzzModule &) { return true; };
+  ShrinkStats Stats;
+  shrinkModule(M, Oracle, &Stats, /*MaxAttempts=*/5);
+  EXPECT_LE(Stats.Attempts, 5u);
+}
+
+// --- Regressions: miscompiles found by this fuzzer ------------------------
+
+/// Runs the exported "f" through all five tiers and expects agreement.
+void expectTierAgreement(const std::vector<uint8_t> &Bytes,
+                         const std::vector<Value> &Args) {
+  DiffReport Report = runAllTiers(Bytes, "f", Args);
+  EXPECT_FALSE(Report.Diverged) << Report.Detail;
+}
+
+// spc stale compare fusion: a compare consumed by a codeless local.set
+// rebind must not fuse into a later branch at the same stack height.
+TEST(FuzzRegression, StaleCompareFusionDoesNotHijackBranch) {
+  ModuleBuilder MB;
+  MB.addMemory(1, 4);
+  uint32_t HT = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &H = MB.addFunc(HT);
+  H.i32Const(1);
+  H.memoryGrow();
+  H.drop();
+  H.i32Const(1);
+  uint32_t MT = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(MT);
+  uint32_t Scratch = F.addLocal(ValType::I32);
+  F.i32Const(74171716);
+  F.ifOp(BlockType::oneResult(ValType::I32));
+  F.i32Const(1);
+  F.elseOp();
+  F.i32Const(1);
+  F.end();
+  F.localGet(Scratch);
+  F.op(Opcode::I32GeS);
+  F.localSet(1);
+  F.localGet(Scratch);
+  F.ifOp(BlockType::oneResult(ValType::I32));
+  F.i32Const(5);
+  F.elseOp();
+  F.i32Const(1);
+  F.call(0);
+  F.end();
+  F.memorySize();
+  F.op(Opcode::I32Add);
+  MB.exportFunc("f", MB.funcIndex(F));
+  std::vector<uint8_t> Bytes = MB.build();
+  expectTierAgreement(Bytes, {Value::makeI32(0), Value::makeI32(1)});
+  // And pin the actual semantics: else arm runs the helper (1), which
+  // grows memory to 2 pages -> 1 + 2 = 3.
+  DiffReport Report =
+      runAllTiers(Bytes, "f", {Value::makeI32(0), Value::makeI32(1)});
+  ASSERT_FALSE(Report.Runs.empty());
+  ASSERT_EQ(Report.Runs[0].Results.size(), 1u);
+  EXPECT_EQ(Report.Runs[0].Results[0], Value::makeI32(3));
+}
+
+// NaN-bit determinism: arithmetic NaNs must canonicalize to the positive
+// quiet NaN in every tier. Without canonicalization, `f64.add` with a NaN
+// operand propagates whichever operand the host compiler evaluated first,
+// and the interpreter and JIT executor disagreed on even the NaN sign.
+TEST(FuzzRegression, ArithmeticNaNsAreCanonicalAcrossTiers) {
+  ModuleBuilder MB;
+  uint32_t MT = MB.addType({ValType::I32}, {ValType::F64});
+  FuncBuilder &F = MB.addFunc(MT);
+  // a = sqrt(-886)            (libm returns a *negative* NaN on x86)
+  // b = max(sqrt(-886), 0)    (wasmMax yields the positive quiet NaN)
+  // a + b                     (propagation order is compiler-dependent)
+  F.f64Const(-886.0);
+  F.op(Opcode::F64Sqrt);
+  F.f64Const(-886.0);
+  F.op(Opcode::F64Sqrt);
+  F.f64Const(0.0);
+  F.op(Opcode::F64Max);
+  F.op(Opcode::F64Add);
+  MB.exportFunc("f", MB.funcIndex(F));
+  std::vector<uint8_t> Bytes = MB.build();
+  expectTierAgreement(Bytes, {Value::makeI32(0)});
+  DiffReport Report = runAllTiers(Bytes, "f", {Value::makeI32(0)});
+  ASSERT_FALSE(Report.Runs.empty());
+  ASSERT_EQ(Report.Runs[0].Results.size(), 1u);
+  // Every tier must produce the canonical positive quiet NaN.
+  EXPECT_EQ(Report.Runs[0].Results[0].Bits, 0x7ff8000000000000ull);
+}
+
+// spc select with constant-folded false condition and a memory-only b
+// operand: the repushed result slot used to alias a's stale spill.
+TEST(FuzzRegression, SelectFoldedCondKeepsMemoryOperand) {
+  ModuleBuilder MB;
+  uint32_t HT = MB.addType({ValType::I32}, {ValType::F64});
+  FuncBuilder &H = MB.addFunc(HT);
+  H.f64Const(-330.0625);
+  uint32_t MT = MB.addType({ValType::I32}, {ValType::F64});
+  FuncBuilder &F = MB.addFunc(MT);
+  uint32_t Zero = F.addLocal(ValType::I32);
+  F.f64Const(4.9406564584124654e-324);
+  F.i32Const(1);
+  F.call(0);
+  F.localGet(Zero);
+  F.select();
+  MB.exportFunc("f", MB.funcIndex(F));
+  std::vector<uint8_t> Bytes = MB.build();
+  expectTierAgreement(Bytes, {Value::makeI32(0)});
+  DiffReport Report = runAllTiers(Bytes, "f", {Value::makeI32(0)});
+  ASSERT_FALSE(Report.Runs.empty());
+  ASSERT_EQ(Report.Runs[0].Results.size(), 1u);
+  EXPECT_EQ(Report.Runs[0].Results[0], Value::makeF64(-330.0625));
+}
+
+} // namespace

@@ -6,7 +6,7 @@
 
 #include "testutil.h"
 
-#include "randwasm.h"
+#include "fuzz/randwasm.h"
 
 #include <gtest/gtest.h>
 
@@ -419,7 +419,7 @@ class SpcDifferential : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(SpcDifferential, MatchesInterpreter) {
   uint64_t Seed = GetParam();
   RandWasm Gen(Seed);
-  ModuleBuilder MB = Gen.build();
+  std::vector<uint8_t> Bytes = Gen.build().toBytes();
 
   std::vector<Value> Args = {Value::makeI32(int32_t(Seed * 7)),
                              Value::makeI32(int32_t(Seed % 97)),
@@ -427,13 +427,13 @@ TEST_P(SpcDifferential, MatchesInterpreter) {
                              Value::makeF64(-1.5)};
 
   // Reference run on the interpreter.
-  InterpFixture Ref(MB);
+  InterpFixture Ref(Bytes);
   ASSERT_TRUE(Ref.ok()) << "seed " << Seed;
   InvokeResult RefOut = Ref.call("f", Args);
   uint64_t RefMem = hashMemory(*Ref.Inst);
 
   for (const NamedConfig &NC : allConfigs()) {
-    InterpFixture Jit(MB);
+    InterpFixture Jit(Bytes);
     ASSERT_TRUE(Jit.ok());
     Jit.jitAll(NC.Opts);
     InvokeResult JitOut = Jit.callJit("f", Args);

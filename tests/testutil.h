@@ -19,10 +19,10 @@
 
 namespace wisp {
 
-/// Builds, decodes and validates a module; fails the test on any error.
-inline std::unique_ptr<Module> buildAndValidate(const ModuleBuilder &MB) {
+/// Decodes and validates module bytes; fails the test on any error.
+inline std::unique_ptr<Module> buildAndValidate(std::vector<uint8_t> Bytes) {
   WasmError Err;
-  std::unique_ptr<Module> M = decodeModule(MB.build(), &Err);
+  std::unique_ptr<Module> M = decodeModule(std::move(Bytes), &Err);
   EXPECT_TRUE(M != nullptr) << "decode: " << Err.Message;
   if (!M)
     return nullptr;
@@ -31,6 +31,11 @@ inline std::unique_ptr<Module> buildAndValidate(const ModuleBuilder &MB) {
   if (!Ok)
     return nullptr;
   return M;
+}
+
+/// Builds, decodes and validates a module; fails the test on any error.
+inline std::unique_ptr<Module> buildAndValidate(const ModuleBuilder &MB) {
+  return buildAndValidate(MB.build());
 }
 
 /// Decodes and expects a decode failure.
@@ -93,8 +98,12 @@ inline InvokeResult interpInvoke(Thread &T, FuncInstance *Func,
 class InterpFixture {
 public:
   explicit InterpFixture(const ModuleBuilder &MB,
+                         const HostRegistry *Hosts = nullptr)
+      : InterpFixture(MB.build(), Hosts) {}
+
+  explicit InterpFixture(std::vector<uint8_t> Bytes,
                          const HostRegistry *Hosts = nullptr) {
-    M = buildAndValidate(MB);
+    M = buildAndValidate(std::move(Bytes));
     if (!M)
       return;
     WasmError Err;
