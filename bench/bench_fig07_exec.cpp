@@ -22,6 +22,7 @@ using namespace wisp;
 using namespace wisp::bench;
 
 int main() {
+  jsonBench("fig07_exec");
   printHeader("Figure 7: execution time relative to Wizard-SPC",
               "total time incl. startup and compile; 1.0 = same, lower "
               "is better");
@@ -48,6 +49,7 @@ int main() {
       Stat St = stats(Rel);
       printf("  %-12s geomean %5.2f   min %5.2f   max %5.2f\n",
              Cfg.Name.c_str(), St.Geomean, St.Min, St.Max);
+      jsonRecord(Cfg.Name, SuiteNames[S], "geomean_rel_total", St.Geomean);
     }
   }
   printf("\nExpected shape (paper): wazero slowest code (no constants);\n"

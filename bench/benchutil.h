@@ -11,6 +11,11 @@
 /// printing. Run counts and workload scale come from WISP_BENCH_RUNS and
 /// WISP_BENCH_SCALE (defaults keep every binary under a minute).
 ///
+/// Machine-readable output: when WISP_BENCH_JSON=<path> is set, every
+/// metric recorded through jsonBench()/jsonRecord() is written to <path>
+/// as a JSON document at process exit, so CI can archive a perf
+/// trajectory (BENCH_*.json) next to the human-readable tables.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WISP_BENCH_BENCHUTIL_H
@@ -26,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wisp {
@@ -52,9 +58,15 @@ struct ItemRun {
   double MainMs = 0;    ///< invoke("run") wall time.
   double TotalMs = 0;   ///< Setup + main (wall).
   double CompileMs = 0; ///< Compile portion of setup.
+  /// Threaded-IR pre-decode portion of setup (threaded configs only).
+  double PredecodeMs = 0;
   /// Modeled execution cycles (deterministic; the primary metric for
   /// execution-time comparisons — see Thread::InterpCyclesPerStep).
   double MainCycles = 0;
+  /// Interpreter dispatch counts behind MainCycles.
+  double InterpSteps = 0;
+  double ThreadedSteps = 0;
+  size_t IrBytes = 0; ///< Pre-decoded threaded-IR size.
   bool Ok = false;
 };
 
@@ -83,7 +95,11 @@ inline ItemRun runOnce(const EngineConfig &Cfg,
   R.MainMs = T2 - T1;
   R.TotalMs = T2 - T0;
   R.CompileMs = double(LM->Stats.CompileNs) / 1e6;
+  R.PredecodeMs = double(LM->Stats.PredecodeNs) / 1e6;
   R.MainCycles = double(E.thread().modeledCycles());
+  R.InterpSteps = double(E.thread().InterpSteps);
+  R.ThreadedSteps = double(E.thread().ThreadedSteps);
+  R.IrBytes = LM->Stats.IrBytes;
   R.Ok = true;
   return R;
 }
@@ -130,6 +146,74 @@ inline void printHeader(const char *Title, const char *Detail) {
   printf("runs=%d scale=%d (override: WISP_BENCH_RUNS / WISP_BENCH_SCALE)\n",
          runs(), scale());
   printf("==============================================================\n");
+}
+
+/// Collects metric rows and writes them to $WISP_BENCH_JSON at process
+/// exit. One flat row per (config, item, metric) keeps the schema trivial
+/// for jq/pandas consumers:
+///   {"bench": "...", "runs": N, "scale": N,
+///    "results": [{"config": "...", "item": "...", "metric": "...",
+///                 "value": 1.0}, ...]}
+class JsonSink {
+public:
+  static JsonSink &instance() {
+    static JsonSink Sink;
+    return Sink;
+  }
+
+  void setBench(const std::string &Name) { Bench = Name; }
+
+  void record(const std::string &Config, const std::string &Item,
+              const std::string &Metric, double Value) {
+    Rows.push_back({Config, Item, Metric, Value});
+  }
+
+  ~JsonSink() { flush(); }
+
+  void flush() {
+    const char *Path = getenv("WISP_BENCH_JSON");
+    if (!Path || Flushed || Rows.empty())
+      return;
+    FILE *Out = fopen(Path, "w");
+    if (!Out) {
+      fprintf(stderr, "benchutil: cannot write WISP_BENCH_JSON=%s\n", Path);
+      return;
+    }
+    fprintf(Out, "{\n  \"bench\": \"%s\",\n  \"runs\": %d,\n  \"scale\": %d,\n"
+                 "  \"results\": [\n",
+            Bench.c_str(), runs(), scale());
+    for (size_t I = 0; I < Rows.size(); ++I)
+      fprintf(Out,
+              "    {\"config\": \"%s\", \"item\": \"%s\", \"metric\": \"%s\", "
+              "\"value\": %.17g}%s\n",
+              Rows[I].Config.c_str(), Rows[I].Item.c_str(),
+              Rows[I].Metric.c_str(), Rows[I].Value,
+              I + 1 < Rows.size() ? "," : "");
+    fprintf(Out, "  ]\n}\n");
+    fclose(Out);
+    Flushed = true;
+  }
+
+private:
+  struct Row {
+    std::string Config, Item, Metric;
+    double Value;
+  };
+  std::string Bench = "unnamed";
+  std::vector<Row> Rows;
+  bool Flushed = false;
+};
+
+/// Names the JSON document (call once at the top of main).
+inline void jsonBench(const std::string &Name) {
+  JsonSink::instance().setBench(Name);
+}
+
+/// Records one metric row (no-op cost when WISP_BENCH_JSON is unset aside
+/// from the in-memory row).
+inline void jsonRecord(const std::string &Config, const std::string &Item,
+                       const std::string &Metric, double Value) {
+  JsonSink::instance().record(Config, Item, Metric, Value);
 }
 
 /// Prints a bar-chart row like the paper's figures.

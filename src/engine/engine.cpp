@@ -26,6 +26,8 @@ static uint64_t nowNs() {
 Engine::Engine(EngineConfig CfgIn) : Cfg(std::move(CfgIn)) {
   T = std::make_unique<Thread>(Cfg.StackSlots, Cfg.wantsTagLane());
   T->Hooks = this;
+  T->UseThreaded = Cfg.ThreadedDispatch &&
+                   (Cfg.Mode == ExecMode::Interp || Cfg.Mode == ExecMode::Tiered);
   if (Cfg.Mode == ExecMode::Tiered)
     T->TierUpThreshold = Cfg.TierUpThreshold;
   else if (Cfg.Mode == ExecMode::JitLazy)
@@ -97,8 +99,33 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
   }
   uint64_t T4 = nowNs();
   LM->Stats.CompileNs = T4 - T3;
-  LM->Stats.TotalSetupNs = T4 - T0;
+
+  // Threaded-dispatch tiers pre-decode every body into threaded IR up
+  // front (the translation is the one-pass cost this tier trades for
+  // cheaper dispatch; it lands in PredecodeNs so fig. 7/8-style total-cost
+  // comparisons account for it).
+  if (T->UseThreaded) {
+    for (FuncInstance &FI : LM->Inst->Funcs) {
+      if (FI.Decl->Imported)
+        continue;
+      predecodeAndInstall(*LM, &FI);
+    }
+    uint64_t T5 = nowNs();
+    LM->Stats.PredecodeNs = T5 - T4;
+    LM->Stats.TotalSetupNs = T5 - T0;
+  } else {
+    LM->Stats.TotalSetupNs = T4 - T0;
+  }
   return LM;
+}
+
+void Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
+  // Fusion is illegal when deopt checkpoints exist: a tier-down may resume
+  // at any opcode boundary, including mid-pair.
+  bool Fuse = !Cfg.Opts.EmitDeoptChecks;
+  LM.TCodes.push_back(predecodeFunction(*LM.M, *Func->Decl, Func, Fuse));
+  LM.Stats.IrBytes += LM.TCodes.back()->byteSize();
+  Func->TCode = LM.TCodes.back().get();
 }
 
 TrapReason Engine::invoke(LoadedModule &LM, const std::string &ExportName,
@@ -135,13 +162,22 @@ void Engine::addProbe(LoadedModule &LM, uint32_t FuncIdx, uint32_t Ip,
     compileAndInstall(F);
     Current = nullptr;
   }
+  if (F->TCode) {
+    // Re-predecode so fusion is suppressed at the probed offset (a probe
+    // planted mid-pair must fire exactly as on the switch interpreter).
+    // Running frames pick the new IR up at their next observation point.
+    predecodeAndInstall(LM, F);
+  }
 }
 
 void Engine::reinstrument(LoadedModule &LM) {
   Current = &LM;
-  for (FuncInstance &F : LM.Inst->Funcs)
+  for (FuncInstance &F : LM.Inst->Funcs) {
     if (F.Code)
       compileAndInstall(&F);
+    if (F.TCode)
+      predecodeAndInstall(LM, &F);
+  }
   Current = nullptr;
 }
 

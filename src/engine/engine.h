@@ -19,6 +19,7 @@
 
 #include "engine/run.h"
 #include "instr/registry.h"
+#include "interp/predecode.h"
 #include "machine/isa.h"
 #include "runtime/gcheap.h"
 #include "runtime/hooks.h"
@@ -54,6 +55,13 @@ struct EngineConfig {
   CompilerKind Compiler = CompilerKind::SinglePass;
   CompilerOptions Opts;
   bool Validate = true; ///< wasm3 famously does not validate.
+  /// Interpreter frames run on the threaded-dispatch tier: function bodies
+  /// are pre-decoded at load time into threaded IR (computed-goto dispatch,
+  /// pre-resolved branches, superinstructions). Applies to Interp and
+  /// Tiered modes; ignored by pure JIT modes. Fusion is automatically
+  /// disabled when deopt checkpoints are emitted, because a deopt may
+  /// resume at any opcode boundary.
+  bool ThreadedDispatch = false;
   uint32_t TierUpThreshold = 256; ///< Tiered mode hotness threshold.
   uint32_t StackSlots = 1u << 16;
 
@@ -71,12 +79,17 @@ struct LoadStats {
   uint64_t ValidateNs = 0;
   uint64_t CompileNs = 0;
   uint64_t InstantiateNs = 0;
+  /// Threaded-IR pre-decode time (threaded-dispatch configurations only).
+  /// Counted into TotalSetupNs so total-cost comparisons stay honest.
+  uint64_t PredecodeNs = 0;
   uint64_t TotalSetupNs = 0;
   size_t ModuleBytes = 0;
   size_t CodeBytes = 0; ///< Function body bytes (compile-speed denominator).
   uint64_t CodeInsts = 0;
   uint64_t TagStores = 0;
   uint64_t StackMapBytes = 0;
+  /// Bytes of pre-decoded threaded IR (SQ-space cost of the threaded tier).
+  size_t IrBytes = 0;
 };
 
 /// A loaded, instantiated module plus its compiled code.
@@ -85,6 +98,11 @@ public:
   std::unique_ptr<Module> M;
   std::unique_ptr<Instance> Inst;
   std::vector<std::unique_ptr<MCode>> Codes;
+  /// Pre-decoded threaded IR bodies. Append-only: probe attachment
+  /// re-predecodes (fusion must be suppressed at probed offsets) and
+  /// running frames may still reference the superseded IR until their next
+  /// observation point.
+  std::vector<std::unique_ptr<ThreadedCode>> TCodes;
   LoadStats Stats;
 };
 
@@ -141,6 +159,9 @@ public:
 
 private:
   void compileAndInstall(FuncInstance *Func);
+  /// (Re-)pre-decodes \p Func's body into threaded IR, honoring the
+  /// current probe bitmap (fusion is suppressed at probed offsets).
+  void predecodeAndInstall(LoadedModule &LM, FuncInstance *Func);
 
   EngineConfig Cfg;
   HostRegistry Hosts;

@@ -105,6 +105,14 @@ std::vector<EngineConfig> wisp::figure10Registry() {
     C.Validate = false; // wasm3 does not verify the bytecode!
     R.push_back(C);
   }
+  // Threaded-dispatch interpreter: pre-decoded IR, computed-goto dispatch,
+  // superinstruction fusion (vs. wizard-int's in-place switch dispatch).
+  {
+    EngineConfig C = base("interp-threaded", ExecMode::Interp,
+                          CompilerKind::SinglePass);
+    C.ThreadedDispatch = true;
+    R.push_back(C);
+  }
   // Fast JIT without constant tracking (WAMR fast-jit shape).
   {
     EngineConfig C = base("iwasm-fjit", ExecMode::Jit,
@@ -139,6 +147,17 @@ std::vector<EngineConfig> wisp::figure10Registry() {
   {
     EngineConfig C = base("wizard-tiered", ExecMode::Tiered,
                           CompilerKind::SinglePass);
+    C.TierUpThreshold = 256;
+    C.Opts.EmitDeoptChecks = true;
+    C.Opts.EmitOsrEntries = true;
+    R.push_back(C);
+  }
+  // Tiered with the threaded interpreter below the JIT (fusion is off —
+  // deopt may resume mid-pair — but pre-decode and threading still apply).
+  {
+    EngineConfig C = base("wizard-tiered-threaded", ExecMode::Tiered,
+                          CompilerKind::SinglePass);
+    C.ThreadedDispatch = true;
     C.TierUpThreshold = 256;
     C.Opts.EmitDeoptChecks = true;
     C.Opts.EmitOsrEntries = true;

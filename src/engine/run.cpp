@@ -7,6 +7,7 @@
 #include "engine/run.h"
 
 #include "interp/interpreter.h"
+#include "interp/threaded.h"
 #include "machine/executor.h"
 
 using namespace wisp;
@@ -15,9 +16,12 @@ RunSignal wisp::runThread(Thread &T, size_t EntryDepth) {
   for (;;) {
     if (T.Frames.size() < EntryDepth)
       return RunSignal::Done;
-    RunSignal Sig = T.top().Kind == FrameKind::Interp
-                        ? runInterpreter(T, EntryDepth)
-                        : runExecutor(T, EntryDepth);
+    RunSignal Sig;
+    if (T.top().Kind == FrameKind::Interp)
+      Sig = T.UseThreaded ? runThreadedInterpreter(T, EntryDepth)
+                          : runInterpreter(T, EntryDepth);
+    else
+      Sig = runExecutor(T, EntryDepth);
     if (Sig != RunSignal::SwitchTier)
       return Sig;
   }

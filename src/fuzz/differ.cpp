@@ -1,4 +1,4 @@
-//===- fuzz/differ.cpp - five-tier differential runner ---------------------===//
+//===- fuzz/differ.cpp - six-tier differential runner ---------------------===//
 //
 // Part of the wisp project, under the Apache License v2.0.
 //
@@ -7,6 +7,7 @@
 #include "fuzz/differ.h"
 
 #include "engine/engine.h"
+#include "instr/monitors.h"
 #include "support/format.h"
 #include "support/rng.h"
 
@@ -15,8 +16,8 @@
 namespace wisp {
 
 const std::vector<std::string> &differTierNames() {
-  static const std::vector<std::string> Names = {"int", "spc", "copypatch",
-                                                 "twopass", "opt"};
+  static const std::vector<std::string> Names = {
+      "int", "threaded", "spc", "copypatch", "twopass", "opt"};
   return Names;
 }
 
@@ -27,6 +28,13 @@ EngineConfig tierConfig(const std::string &Tier) {
   Cfg.Name = "fuzz-" + Tier;
   if (Tier == "int") {
     Cfg.Mode = ExecMode::Interp;
+    return Cfg;
+  }
+  if (Tier == "threaded") {
+    // Threaded-dispatch interpreter: pre-decoded IR + superinstruction
+    // fusion must be bit-identical to the in-place switch interpreter.
+    Cfg.Mode = ExecMode::Interp;
+    Cfg.ThreadedDispatch = true;
     return Cfg;
   }
   Cfg.Mode = ExecMode::Jit;
@@ -47,7 +55,14 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
                    const std::vector<Value> &Args) {
   TierRun Run;
   Run.Tier = Tier;
-  Engine E(tierConfig(Tier));
+  // "<tier>+mon" runs the tier with branch + coverage monitors attached.
+  std::string Base = Tier;
+  bool Monitors = false;
+  if (Base.size() > 4 && Base.compare(Base.size() - 4, 4, "+mon") == 0) {
+    Base = Base.substr(0, Base.size() - 4);
+    Monitors = true;
+  }
+  Engine E(tierConfig(Base));
   WasmError Err;
   std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
   if (!LM) {
@@ -55,6 +70,13 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
     return Run;
   }
   Run.LoadOk = true;
+  BranchMonitor Branches;
+  CoverageMonitor Coverage;
+  if (Monitors) {
+    Branches.attach(*LM->Inst, E.probes());
+    Coverage.attach(*LM->Inst, E.probes());
+    E.reinstrument(*LM);
+  }
   Run.Trap = E.invoke(*LM, ExportName, Args, &Run.Results);
   if (Run.Trap != TrapReason::None)
     Run.Results.clear();
@@ -62,6 +84,15 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
   Run.Memory.assign(Mem.data(), Mem.data() + Mem.byteSize());
   for (const Global &G : LM->Inst->Globals)
     Run.GlobalBits.push_back(G.Bits);
+  if (Monitors) {
+    Run.Instrumented = true;
+    for (const auto &Site : Branches.sites()) {
+      Run.BranchCounts.push_back(Site->Taken);
+      Run.BranchCounts.push_back(Site->NotTaken);
+    }
+    for (uint32_t I = 0; I < LM->Inst->Funcs.size(); ++I)
+      Run.EntryCounts.push_back(Coverage.entries(I));
+  }
   return Run;
 }
 
@@ -109,6 +140,28 @@ std::string compareTierRuns(const TierRun &Ref, const TierRun &Run) {
                     Ref.Tier.c_str(),
                     (unsigned long long)Ref.GlobalBits[I], Run.Tier.c_str(),
                     (unsigned long long)Run.GlobalBits[I]);
+  if (Ref.Instrumented && Run.Instrumented) {
+    // Instrumentation state must be bit-identical: the same probes fired
+    // the same number of times with the same observed conditions.
+    if (Ref.BranchCounts.size() != Run.BranchCounts.size())
+      return strFormat("branch site count mismatch: %s=%zu %s=%zu",
+                    Ref.Tier.c_str(), Ref.BranchCounts.size(),
+                    Run.Tier.c_str(), Run.BranchCounts.size());
+    for (size_t I = 0; I < Ref.BranchCounts.size(); ++I)
+      if (Ref.BranchCounts[I] != Run.BranchCounts[I])
+        return strFormat("branch site %zu %s mismatch: %s=%llu %s=%llu", I / 2,
+                      I % 2 ? "not-taken" : "taken", Ref.Tier.c_str(),
+                      (unsigned long long)Ref.BranchCounts[I],
+                      Run.Tier.c_str(),
+                      (unsigned long long)Run.BranchCounts[I]);
+    for (size_t I = 0; I < Ref.EntryCounts.size(); ++I)
+      if (Ref.EntryCounts[I] != Run.EntryCounts[I])
+        return strFormat("coverage of func %zu mismatch: %s=%llu %s=%llu", I,
+                      Ref.Tier.c_str(),
+                      (unsigned long long)Ref.EntryCounts[I],
+                      Run.Tier.c_str(),
+                      (unsigned long long)Run.EntryCounts[I]);
+  }
   return "";
 }
 
@@ -118,6 +171,12 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
   DiffReport Report;
   for (const std::string &Tier : differTierNames())
     Report.Runs.push_back(runOneTier(Tier, Bytes, ExportName, Args));
+  // Probe/monitor configurations: both interpreter dispatch strategies run
+  // fully instrumented. Their semantics are checked against the reference
+  // below, and their instrumentation state against each other (last loop
+  // iteration: threaded+mon is compared to int+mon).
+  Report.Runs.push_back(runOneTier("int+mon", Bytes, ExportName, Args));
+  Report.Runs.push_back(runOneTier("threaded+mon", Bytes, ExportName, Args));
   const TierRun &Ref = Report.Runs[0];
   if (!Ref.LoadOk) {
     // The reference interpreter must accept every generated module; a
@@ -134,6 +193,14 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
       Report.Detail = Mismatch;
       return Report;
     }
+  }
+  // Cross-check the two instrumented runs: identical probe firings and
+  // branch outcomes regardless of dispatch strategy.
+  std::string Mismatch = compareTierRuns(Report.Runs[Report.Runs.size() - 2],
+                                         Report.Runs.back());
+  if (!Mismatch.empty()) {
+    Report.Diverged = true;
+    Report.Detail = Mismatch;
   }
   return Report;
 }

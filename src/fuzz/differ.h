@@ -1,4 +1,4 @@
-//===- fuzz/differ.h - five-tier differential runner ------------*- C++ -*-===//
+//===- fuzz/differ.h - six-tier differential runner ------------*- C++ -*-===//
 //
 // Part of the wisp project, under the Apache License v2.0.
 //
@@ -9,7 +9,7 @@
 /// single-pass, copy-and-patch, two-pass, optimizing) and compares traps,
 /// results, final linear memory and final mutable-global state. Any
 /// disagreement is a divergence: the paper's central claim is that all
-/// five tiers compute identical semantics.
+/// six tiers compute identical semantics.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +35,15 @@ struct TierRun {
   std::vector<Value> Results;
   std::vector<uint8_t> Memory;      ///< Final linear memory contents.
   std::vector<uint64_t> GlobalBits; ///< Final global values, in order.
+  /// Monitor configurations ("+mon" tiers): branch and coverage monitors
+  /// were attached before the run; instrumentation state is compared
+  /// across tiers like any other observable.
+  bool Instrumented = false;
+  /// Per-site branch outcomes, flattened [taken0, nottaken0, taken1, ...]
+  /// in deterministic attach order.
+  std::vector<uint64_t> BranchCounts;
+  /// Per-function entry counts (coverage monitor).
+  std::vector<uint64_t> EntryCounts;
 };
 
 /// Verdict of a differential run across all tiers.
@@ -44,12 +53,17 @@ struct DiffReport {
   std::vector<TierRun> Runs;
 };
 
-/// The five tier names, in comparison order (index 0 is the reference).
+/// The six tier names, in comparison order (index 0 is the reference).
 const std::vector<std::string> &differTierNames();
 
 /// Loads \p Bytes on every tier, invokes \p ExportName with \p Args, and
 /// compares everything observable. A load failure on any tier (including
-/// the reference) is reported as a divergence.
+/// the reference) is reported as a divergence. Beyond the six execution
+/// tiers, two probe/monitor configurations run both interpreter dispatch
+/// strategies with branch + coverage monitors attached ("int+mon",
+/// "threaded+mon"): monitors must not perturb semantics, and the two
+/// dispatch strategies must observe bit-identical instrumentation state
+/// (same probe firings, same branch outcomes).
 DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
                        const std::string &ExportName,
                        const std::vector<Value> &Args);

@@ -284,8 +284,9 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
       if (T.Hooks)
         T.Hooks->fireProbes(T, Func, uint32_t(OpP - Bytes));
       // Modeled cost of the runtime probe lookup, accessor allocation and
-      // callback (roughly ten bytecode-dispatch equivalents).
-      T.InterpSteps += 10;
+      // callback; shared with the threaded interpreter so both tiers charge
+      // the same dispatch-strategy-independent price.
+      T.InterpSteps += Thread::ProbeDispatchSteps;
       restore();
       OpP = P;
     }
@@ -498,7 +499,11 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
       break;
     }
 
-      // --- Memory loads ---
+      // --- Shared simple ops (loads, stores, compares, arithmetic,
+      // conversions) — bodies live in handlers.inc, the single source of
+      // truth shared with the threaded-dispatch interpreter. This tier
+      // decodes memory immediates in place (the in-place-interpreter tax
+      // the pre-decoder eliminates).
 #define LOAD_OP(CType, Read, Ty)                                               \
   do {                                                                         \
     fastU32(P); /* align */                                                    \
@@ -511,50 +516,6 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
     UN_RETAG(Read, Ty);                                                        \
   } while (0)
 
-    case uint8_t(Opcode::I32Load):
-      LOAD_OP(uint32_t, V, I32);
-      break;
-    case uint8_t(Opcode::I64Load):
-      LOAD_OP(uint64_t, V, I64);
-      break;
-    case uint8_t(Opcode::F32Load):
-      LOAD_OP(uint32_t, V, F32);
-      break;
-    case uint8_t(Opcode::F64Load):
-      LOAD_OP(uint64_t, V, F64);
-      break;
-    case uint8_t(Opcode::I32Load8S):
-      LOAD_OP(int8_t, uint32_t(int32_t(V)), I32);
-      break;
-    case uint8_t(Opcode::I32Load8U):
-      LOAD_OP(uint8_t, V, I32);
-      break;
-    case uint8_t(Opcode::I32Load16S):
-      LOAD_OP(int16_t, uint32_t(int32_t(V)), I32);
-      break;
-    case uint8_t(Opcode::I32Load16U):
-      LOAD_OP(uint16_t, V, I32);
-      break;
-    case uint8_t(Opcode::I64Load8S):
-      LOAD_OP(int8_t, uint64_t(int64_t(V)), I64);
-      break;
-    case uint8_t(Opcode::I64Load8U):
-      LOAD_OP(uint8_t, V, I64);
-      break;
-    case uint8_t(Opcode::I64Load16S):
-      LOAD_OP(int16_t, uint64_t(int64_t(V)), I64);
-      break;
-    case uint8_t(Opcode::I64Load16U):
-      LOAD_OP(uint16_t, V, I64);
-      break;
-    case uint8_t(Opcode::I64Load32S):
-      LOAD_OP(int32_t, uint64_t(int64_t(V)), I64);
-      break;
-    case uint8_t(Opcode::I64Load32U):
-      LOAD_OP(uint32_t, V, I64);
-      break;
-
-      // --- Memory stores ---
 #define STORE_OP(CType, ValExpr)                                               \
   do {                                                                         \
     fastU32(P); /* align */                                                    \
@@ -568,33 +529,11 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
     memcpy(MemData + EA, &V, sizeof(CType));                                   \
   } while (0)
 
-    case uint8_t(Opcode::I32Store):
-      STORE_OP(uint32_t, uint32_t(Raw));
-      break;
-    case uint8_t(Opcode::I64Store):
-      STORE_OP(uint64_t, Raw);
-      break;
-    case uint8_t(Opcode::F32Store):
-      STORE_OP(uint32_t, uint32_t(Raw));
-      break;
-    case uint8_t(Opcode::F64Store):
-      STORE_OP(uint64_t, Raw);
-      break;
-    case uint8_t(Opcode::I32Store8):
-      STORE_OP(uint8_t, uint8_t(Raw));
-      break;
-    case uint8_t(Opcode::I32Store16):
-      STORE_OP(uint16_t, uint16_t(Raw));
-      break;
-    case uint8_t(Opcode::I64Store8):
-      STORE_OP(uint8_t, uint8_t(Raw));
-      break;
-    case uint8_t(Opcode::I64Store16):
-      STORE_OP(uint16_t, uint16_t(Raw));
-      break;
-    case uint8_t(Opcode::I64Store32):
-      STORE_OP(uint32_t, uint32_t(Raw));
-      break;
+#define WISP_OP(Name, ...)                                                     \
+  case uint8_t(Opcode::Name):                                                  \
+    __VA_ARGS__;                                                               \
+    break;
+#include "interp/handlers.inc"
 
     case uint8_t(Opcode::MemorySize):
       ++P; // memidx
@@ -635,465 +574,6 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
       break;
     }
 
-      // --- i32 compare / arith ---
-    case uint8_t(Opcode::I32Eqz):
-      UN_INPLACE(uint32_t(A) == 0);
-      break;
-    case uint8_t(Opcode::I32Eq):
-      BIN_INPLACE(AU32 == BU32);
-      break;
-    case uint8_t(Opcode::I32Ne):
-      BIN_INPLACE(AU32 != BU32);
-      break;
-    case uint8_t(Opcode::I32LtS):
-      BIN_INPLACE(AI32 < BI32);
-      break;
-    case uint8_t(Opcode::I32LtU):
-      BIN_INPLACE(AU32 < BU32);
-      break;
-    case uint8_t(Opcode::I32GtS):
-      BIN_INPLACE(AI32 > BI32);
-      break;
-    case uint8_t(Opcode::I32GtU):
-      BIN_INPLACE(AU32 > BU32);
-      break;
-    case uint8_t(Opcode::I32LeS):
-      BIN_INPLACE(AI32 <= BI32);
-      break;
-    case uint8_t(Opcode::I32LeU):
-      BIN_INPLACE(AU32 <= BU32);
-      break;
-    case uint8_t(Opcode::I32GeS):
-      BIN_INPLACE(AI32 >= BI32);
-      break;
-    case uint8_t(Opcode::I32GeU):
-      BIN_INPLACE(AU32 >= BU32);
-      break;
-
-    case uint8_t(Opcode::I64Eqz):
-      UN_RETAG(A == 0, I32);
-      break;
-    case uint8_t(Opcode::I64Eq):
-      BIN_RETAG(A == B, I32);
-      break;
-    case uint8_t(Opcode::I64Ne):
-      BIN_RETAG(A != B, I32);
-      break;
-    case uint8_t(Opcode::I64LtS):
-      BIN_RETAG(AI64 < BI64, I32);
-      break;
-    case uint8_t(Opcode::I64LtU):
-      BIN_RETAG(A < B, I32);
-      break;
-    case uint8_t(Opcode::I64GtS):
-      BIN_RETAG(AI64 > BI64, I32);
-      break;
-    case uint8_t(Opcode::I64GtU):
-      BIN_RETAG(A > B, I32);
-      break;
-    case uint8_t(Opcode::I64LeS):
-      BIN_RETAG(AI64 <= BI64, I32);
-      break;
-    case uint8_t(Opcode::I64LeU):
-      BIN_RETAG(A <= B, I32);
-      break;
-    case uint8_t(Opcode::I64GeS):
-      BIN_RETAG(AI64 >= BI64, I32);
-      break;
-    case uint8_t(Opcode::I64GeU):
-      BIN_RETAG(A >= B, I32);
-      break;
-
-    case uint8_t(Opcode::F32Eq):
-      BIN_RETAG(AF32 == BF32, I32);
-      break;
-    case uint8_t(Opcode::F32Ne):
-      BIN_RETAG(AF32 != BF32, I32);
-      break;
-    case uint8_t(Opcode::F32Lt):
-      BIN_RETAG(AF32 < BF32, I32);
-      break;
-    case uint8_t(Opcode::F32Gt):
-      BIN_RETAG(AF32 > BF32, I32);
-      break;
-    case uint8_t(Opcode::F32Le):
-      BIN_RETAG(AF32 <= BF32, I32);
-      break;
-    case uint8_t(Opcode::F32Ge):
-      BIN_RETAG(AF32 >= BF32, I32);
-      break;
-    case uint8_t(Opcode::F64Eq):
-      BIN_RETAG(AF64 == BF64, I32);
-      break;
-    case uint8_t(Opcode::F64Ne):
-      BIN_RETAG(AF64 != BF64, I32);
-      break;
-    case uint8_t(Opcode::F64Lt):
-      BIN_RETAG(AF64 < BF64, I32);
-      break;
-    case uint8_t(Opcode::F64Gt):
-      BIN_RETAG(AF64 > BF64, I32);
-      break;
-    case uint8_t(Opcode::F64Le):
-      BIN_RETAG(AF64 <= BF64, I32);
-      break;
-    case uint8_t(Opcode::F64Ge):
-      BIN_RETAG(AF64 >= BF64, I32);
-      break;
-
-    case uint8_t(Opcode::I32Clz):
-      UN_INPLACE(clz32(AU32));
-      break;
-    case uint8_t(Opcode::I32Ctz):
-      UN_INPLACE(ctz32(AU32));
-      break;
-    case uint8_t(Opcode::I32Popcnt):
-      UN_INPLACE(popcnt32(AU32));
-      break;
-    case uint8_t(Opcode::I32Add):
-      BIN_INPLACE(uint32_t(AU32 + BU32));
-      break;
-    case uint8_t(Opcode::I32Sub):
-      BIN_INPLACE(uint32_t(AU32 - BU32));
-      break;
-    case uint8_t(Opcode::I32Mul):
-      BIN_INPLACE(uint32_t(AU32 * BU32));
-      break;
-    case uint8_t(Opcode::I32DivS): {
-      uint64_t B = POP(), A = POP();
-      int32_t R;
-      TrapReason Tr = divS32(int32_t(uint32_t(A)), int32_t(uint32_t(B)), &R);
-      if (Tr != TrapReason::None)
-        TRAP(Tr);
-      PUSH(uint32_t(R), I32);
-      break;
-    }
-    case uint8_t(Opcode::I32DivU): {
-      uint64_t B = POP(), A = POP();
-      uint32_t R;
-      TrapReason Tr = divU32(uint32_t(A), uint32_t(B), &R);
-      if (Tr != TrapReason::None)
-        TRAP(Tr);
-      PUSH(R, I32);
-      break;
-    }
-    case uint8_t(Opcode::I32RemS): {
-      uint64_t B = POP(), A = POP();
-      int32_t R;
-      TrapReason Tr = remS32(int32_t(uint32_t(A)), int32_t(uint32_t(B)), &R);
-      if (Tr != TrapReason::None)
-        TRAP(Tr);
-      PUSH(uint32_t(R), I32);
-      break;
-    }
-    case uint8_t(Opcode::I32RemU): {
-      uint64_t B = POP(), A = POP();
-      uint32_t R;
-      TrapReason Tr = remU32(uint32_t(A), uint32_t(B), &R);
-      if (Tr != TrapReason::None)
-        TRAP(Tr);
-      PUSH(R, I32);
-      break;
-    }
-    case uint8_t(Opcode::I32And):
-      BIN_INPLACE(AU32 & BU32);
-      break;
-    case uint8_t(Opcode::I32Or):
-      BIN_INPLACE(AU32 | BU32);
-      break;
-    case uint8_t(Opcode::I32Xor):
-      BIN_INPLACE(AU32 ^ BU32);
-      break;
-    case uint8_t(Opcode::I32Shl):
-      BIN_INPLACE(shl32(AU32, BU32));
-      break;
-    case uint8_t(Opcode::I32ShrS):
-      BIN_INPLACE(uint32_t(shrS32(AI32, BU32)));
-      break;
-    case uint8_t(Opcode::I32ShrU):
-      BIN_INPLACE(shrU32(AU32, BU32));
-      break;
-    case uint8_t(Opcode::I32Rotl):
-      BIN_INPLACE(rotl32(AU32, BU32));
-      break;
-    case uint8_t(Opcode::I32Rotr):
-      BIN_INPLACE(rotr32(AU32, BU32));
-      break;
-
-    case uint8_t(Opcode::I64Clz):
-      UN_INPLACE(clz64(A));
-      break;
-    case uint8_t(Opcode::I64Ctz):
-      UN_INPLACE(ctz64(A));
-      break;
-    case uint8_t(Opcode::I64Popcnt):
-      UN_INPLACE(popcnt64(A));
-      break;
-    case uint8_t(Opcode::I64Add):
-      BIN_INPLACE(A + B);
-      break;
-    case uint8_t(Opcode::I64Sub):
-      BIN_INPLACE(A - B);
-      break;
-    case uint8_t(Opcode::I64Mul):
-      BIN_INPLACE(A * B);
-      break;
-    case uint8_t(Opcode::I64DivS): {
-      uint64_t B = POP(), A = POP();
-      int64_t R;
-      TrapReason Tr = divS64(int64_t(A), int64_t(B), &R);
-      if (Tr != TrapReason::None)
-        TRAP(Tr);
-      PUSH(uint64_t(R), I64);
-      break;
-    }
-    case uint8_t(Opcode::I64DivU): {
-      uint64_t B = POP(), A = POP();
-      uint64_t R;
-      TrapReason Tr = divU64(A, B, &R);
-      if (Tr != TrapReason::None)
-        TRAP(Tr);
-      PUSH(R, I64);
-      break;
-    }
-    case uint8_t(Opcode::I64RemS): {
-      uint64_t B = POP(), A = POP();
-      int64_t R;
-      TrapReason Tr = remS64(int64_t(A), int64_t(B), &R);
-      if (Tr != TrapReason::None)
-        TRAP(Tr);
-      PUSH(uint64_t(R), I64);
-      break;
-    }
-    case uint8_t(Opcode::I64RemU): {
-      uint64_t B = POP(), A = POP();
-      uint64_t R;
-      TrapReason Tr = remU64(A, B, &R);
-      if (Tr != TrapReason::None)
-        TRAP(Tr);
-      PUSH(R, I64);
-      break;
-    }
-    case uint8_t(Opcode::I64And):
-      BIN_INPLACE(A & B);
-      break;
-    case uint8_t(Opcode::I64Or):
-      BIN_INPLACE(A | B);
-      break;
-    case uint8_t(Opcode::I64Xor):
-      BIN_INPLACE(A ^ B);
-      break;
-    case uint8_t(Opcode::I64Shl):
-      BIN_INPLACE(shl64(A, B));
-      break;
-    case uint8_t(Opcode::I64ShrS):
-      BIN_INPLACE(uint64_t(shrS64(AI64, B)));
-      break;
-    case uint8_t(Opcode::I64ShrU):
-      BIN_INPLACE(shrU64(A, B));
-      break;
-    case uint8_t(Opcode::I64Rotl):
-      BIN_INPLACE(rotl64(A, B));
-      break;
-    case uint8_t(Opcode::I64Rotr):
-      BIN_INPLACE(rotr64(A, B));
-      break;
-
-      // --- f32 arith ---
-#define F32_UN(Expr) UN_INPLACE(f32ToBits(Expr))
-#define F32_BIN(Expr) BIN_INPLACE(f32ToBits(Expr))
-    case uint8_t(Opcode::F32Abs):
-      F32_UN(std::fabs(AF32));
-      break;
-    case uint8_t(Opcode::F32Neg):
-      UN_INPLACE(A ^ 0x80000000u);
-      break;
-    case uint8_t(Opcode::F32Ceil):
-      F32_UN(std::ceil(AF32));
-      break;
-    case uint8_t(Opcode::F32Floor):
-      F32_UN(std::floor(AF32));
-      break;
-    case uint8_t(Opcode::F32Trunc):
-      F32_UN(std::trunc(AF32));
-      break;
-    case uint8_t(Opcode::F32Nearest):
-      F32_UN(wasmNearest(AF32));
-      break;
-    case uint8_t(Opcode::F32Sqrt):
-      F32_UN(canonNaN(std::sqrt(AF32)));
-      break;
-    case uint8_t(Opcode::F32Add):
-      F32_BIN(canonNaN(AF32 + BF32));
-      break;
-    case uint8_t(Opcode::F32Sub):
-      F32_BIN(canonNaN(AF32 - BF32));
-      break;
-    case uint8_t(Opcode::F32Mul):
-      F32_BIN(canonNaN(AF32 * BF32));
-      break;
-    case uint8_t(Opcode::F32Div):
-      F32_BIN(canonNaN(AF32 / BF32));
-      break;
-    case uint8_t(Opcode::F32Min):
-      F32_BIN(wasmMin(AF32, BF32));
-      break;
-    case uint8_t(Opcode::F32Max):
-      F32_BIN(wasmMax(AF32, BF32));
-      break;
-    case uint8_t(Opcode::F32Copysign):
-      F32_BIN(std::copysign(AF32, BF32));
-      break;
-
-      // --- f64 arith ---
-#define F64_UN(Expr) UN_INPLACE(f64ToBits(Expr))
-#define F64_BIN(Expr) BIN_INPLACE(f64ToBits(Expr))
-    case uint8_t(Opcode::F64Abs):
-      F64_UN(std::fabs(AF64));
-      break;
-    case uint8_t(Opcode::F64Neg):
-      UN_INPLACE(A ^ 0x8000000000000000ull);
-      break;
-    case uint8_t(Opcode::F64Ceil):
-      F64_UN(std::ceil(AF64));
-      break;
-    case uint8_t(Opcode::F64Floor):
-      F64_UN(std::floor(AF64));
-      break;
-    case uint8_t(Opcode::F64Trunc):
-      F64_UN(std::trunc(AF64));
-      break;
-    case uint8_t(Opcode::F64Nearest):
-      F64_UN(wasmNearest(AF64));
-      break;
-    case uint8_t(Opcode::F64Sqrt):
-      F64_UN(canonNaN(std::sqrt(AF64)));
-      break;
-    case uint8_t(Opcode::F64Add):
-      F64_BIN(canonNaN(AF64 + BF64));
-      break;
-    case uint8_t(Opcode::F64Sub):
-      F64_BIN(canonNaN(AF64 - BF64));
-      break;
-    case uint8_t(Opcode::F64Mul):
-      F64_BIN(canonNaN(AF64 * BF64));
-      break;
-    case uint8_t(Opcode::F64Div):
-      F64_BIN(canonNaN(AF64 / BF64));
-      break;
-    case uint8_t(Opcode::F64Min):
-      F64_BIN(wasmMin(AF64, BF64));
-      break;
-    case uint8_t(Opcode::F64Max):
-      F64_BIN(wasmMax(AF64, BF64));
-      break;
-    case uint8_t(Opcode::F64Copysign):
-      F64_BIN(std::copysign(AF64, BF64));
-      break;
-
-      // --- Conversions ---
-    case uint8_t(Opcode::I32WrapI64):
-      UN_RETAG(uint32_t(A), I32);
-      break;
-#define TRUNC_OP(FromView, ToType, Ty)                                         \
-  do {                                                                         \
-    uint64_t A = S[SpAbs - 1];                                                 \
-    ToType R;                                                                  \
-    TrapReason Tr = truncChecked(FromView, &R);                                \
-    if (Tr != TrapReason::None)                                                \
-      TRAP(Tr);                                                                \
-    S[SpAbs - 1] = uint64_t(std::make_unsigned_t<ToType>(R));                  \
-    if (Tg)                                                                    \
-      Tg[SpAbs - 1] = uint8_t(ValType::Ty);                                    \
-  } while (0)
-    case uint8_t(Opcode::I32TruncF32S):
-      TRUNC_OP(AF32, int32_t, I32);
-      break;
-    case uint8_t(Opcode::I32TruncF32U):
-      TRUNC_OP(AF32, uint32_t, I32);
-      break;
-    case uint8_t(Opcode::I32TruncF64S):
-      TRUNC_OP(AF64, int32_t, I32);
-      break;
-    case uint8_t(Opcode::I32TruncF64U):
-      TRUNC_OP(AF64, uint32_t, I32);
-      break;
-    case uint8_t(Opcode::I64ExtendI32S):
-      UN_RETAG(uint64_t(int64_t(int32_t(uint32_t(A)))), I64);
-      break;
-    case uint8_t(Opcode::I64ExtendI32U):
-      UN_RETAG(uint64_t(uint32_t(A)), I64);
-      break;
-    case uint8_t(Opcode::I64TruncF32S):
-      TRUNC_OP(AF32, int64_t, I64);
-      break;
-    case uint8_t(Opcode::I64TruncF32U):
-      TRUNC_OP(AF32, uint64_t, I64);
-      break;
-    case uint8_t(Opcode::I64TruncF64S):
-      TRUNC_OP(AF64, int64_t, I64);
-      break;
-    case uint8_t(Opcode::I64TruncF64U):
-      TRUNC_OP(AF64, uint64_t, I64);
-      break;
-    case uint8_t(Opcode::F32ConvertI32S):
-      UN_RETAG(f32ToBits(float(int32_t(uint32_t(A)))), F32);
-      break;
-    case uint8_t(Opcode::F32ConvertI32U):
-      UN_RETAG(f32ToBits(float(uint32_t(A))), F32);
-      break;
-    case uint8_t(Opcode::F32ConvertI64S):
-      UN_RETAG(f32ToBits(float(int64_t(A))), F32);
-      break;
-    case uint8_t(Opcode::F32ConvertI64U):
-      UN_RETAG(f32ToBits(float(A)), F32);
-      break;
-    case uint8_t(Opcode::F32DemoteF64):
-      UN_RETAG(f32ToBits(float(AF64)), F32);
-      break;
-    case uint8_t(Opcode::F64ConvertI32S):
-      UN_RETAG(f64ToBits(double(int32_t(uint32_t(A)))), F64);
-      break;
-    case uint8_t(Opcode::F64ConvertI32U):
-      UN_RETAG(f64ToBits(double(uint32_t(A))), F64);
-      break;
-    case uint8_t(Opcode::F64ConvertI64S):
-      UN_RETAG(f64ToBits(double(int64_t(A))), F64);
-      break;
-    case uint8_t(Opcode::F64ConvertI64U):
-      UN_RETAG(f64ToBits(double(A)), F64);
-      break;
-    case uint8_t(Opcode::F64PromoteF32):
-      UN_RETAG(f64ToBits(double(AF32)), F64);
-      break;
-    case uint8_t(Opcode::I32ReinterpretF32):
-      UN_RETAG(uint32_t(A), I32);
-      break;
-    case uint8_t(Opcode::I64ReinterpretF64):
-      UN_RETAG(A, I64);
-      break;
-    case uint8_t(Opcode::F32ReinterpretI32):
-      UN_RETAG(uint32_t(A), F32);
-      break;
-    case uint8_t(Opcode::F64ReinterpretI64):
-      UN_RETAG(A, F64);
-      break;
-    case uint8_t(Opcode::I32Extend8S):
-      UN_INPLACE(uint32_t(int32_t(int8_t(uint8_t(A)))));
-      break;
-    case uint8_t(Opcode::I32Extend16S):
-      UN_INPLACE(uint32_t(int32_t(int16_t(uint16_t(A)))));
-      break;
-    case uint8_t(Opcode::I64Extend8S):
-      UN_INPLACE(uint64_t(int64_t(int8_t(uint8_t(A)))));
-      break;
-    case uint8_t(Opcode::I64Extend16S):
-      UN_INPLACE(uint64_t(int64_t(int16_t(uint16_t(A)))));
-      break;
-    case uint8_t(Opcode::I64Extend32S):
-      UN_INPLACE(uint64_t(int64_t(int32_t(uint32_t(A)))));
-      break;
-
     case uint8_t(Opcode::RefNull): {
       uint8_t HeapTy = *P++;
       S[SpAbs] = 0;
@@ -1103,9 +583,6 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
       ++SpAbs;
       break;
     }
-    case uint8_t(Opcode::RefIsNull):
-      UN_RETAG(A == 0, I32);
-      break;
     case uint8_t(Opcode::RefFunc): {
       uint32_t Idx = fastU32(P);
       PUSH(uint64_t(Idx) + 1, FuncRef);
@@ -1115,38 +592,11 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
     case 0xFC: { // Prefixed opcodes.
       uint32_t Sub = fastU32(P);
       switch (Opcode(0xFC00 | Sub)) {
-#define TRUNC_SAT(FromView, ToType, Ty)                                        \
-  do {                                                                         \
-    uint64_t A = S[SpAbs - 1];                                                 \
-    ToType R = truncSat<decltype(FromView), ToType>(FromView);                 \
-    S[SpAbs - 1] = uint64_t(std::make_unsigned_t<ToType>(R));                  \
-    if (Tg)                                                                    \
-      Tg[SpAbs - 1] = uint8_t(ValType::Ty);                                    \
-  } while (0)
-      case Opcode::I32TruncSatF32S:
-        TRUNC_SAT(AF32, int32_t, I32);
+#define WISP_OP_FC(Name, ...)                                                  \
+      case Opcode::Name:                                                       \
+        __VA_ARGS__;                                                           \
         break;
-      case Opcode::I32TruncSatF32U:
-        TRUNC_SAT(AF32, uint32_t, I32);
-        break;
-      case Opcode::I32TruncSatF64S:
-        TRUNC_SAT(AF64, int32_t, I32);
-        break;
-      case Opcode::I32TruncSatF64U:
-        TRUNC_SAT(AF64, uint32_t, I32);
-        break;
-      case Opcode::I64TruncSatF32S:
-        TRUNC_SAT(AF32, int64_t, I64);
-        break;
-      case Opcode::I64TruncSatF32U:
-        TRUNC_SAT(AF32, uint64_t, I64);
-        break;
-      case Opcode::I64TruncSatF64S:
-        TRUNC_SAT(AF64, int64_t, I64);
-        break;
-      case Opcode::I64TruncSatF64U:
-        TRUNC_SAT(AF64, uint64_t, I64);
-        break;
+#include "interp/handlers.inc"
       case Opcode::MemoryCopy: {
         P += 2; // Two memidx bytes.
         uint64_t Len = uint32_t(POP());

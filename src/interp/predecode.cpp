@@ -1,0 +1,447 @@
+//===- interp/predecode.cpp - threaded-IR pre-decoder -----------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Three passes over a validated body:
+//
+//   1. Linear decode: one proto-unit per opcode with immediates LEB-decoded
+//      and widened, the side-table position tracked per opcode, branch
+//      sites annotated with their side-table entry index, and branch-target
+//      /probe flags attached.
+//   2. Emission with superinstruction selection: structural no-ops are
+//      elided (kept only when probed), and the hot patterns
+//      local.get+local.get+<cmp>+br_if, local.get+local.get+<binop>,
+//      local.get+<const>+<binop>, <cmp>+br_if and local.set+local.get are
+//      greedily fused when no interior opcode is a branch target or probed.
+//   3. Branch resolution: side-table entries are rewritten as IR-unit
+//      targets with precomputed destination slot bases, so taking a branch
+//      at run time touches no STP bookkeeping at all.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/predecode.h"
+
+#include "wasm/codereader.h"
+
+#include <algorithm>
+
+using namespace wisp;
+
+namespace {
+
+/// Maps a shared simple opcode to its threaded handler token.
+bool simpleTop(Opcode Op, TOp *Out) {
+  switch (Op) {
+#define WISP_OP(Name, ...)                                                     \
+  case Opcode::Name:                                                           \
+    *Out = TOp::Name;                                                          \
+    return true;
+#define WISP_OP_FC(Name, ...)                                                  \
+  case Opcode::Name:                                                           \
+    *Out = TOp::Name;                                                          \
+    return true;
+#include "interp/handlers.inc"
+  default:
+    return false;
+  }
+}
+
+/// Binary operators (including comparisons) eligible for local/const
+/// operand fusion.
+bool fusibleBinop(Opcode Op, TOp *GetGet, TOp *GetConst) {
+  switch (Op) {
+#define WISP_FUSE_BINOP(Name, Expr, Ty)                                        \
+  case Opcode::Name:                                                           \
+    *GetGet = TOp::GetGet##Name;                                               \
+    *GetConst = TOp::GetConst##Name;                                           \
+    return true;
+#define WISP_FUSE_CMPOP(Name, Cond) WISP_FUSE_BINOP(Name, , )
+#include "interp/handlers.inc"
+  default:
+    return false;
+  }
+}
+
+/// Comparisons eligible for cmp+br_if fusion.
+bool fusibleCmp(Opcode Op, TOp *ThenBr, TOp *GetGetThenBr) {
+  switch (Op) {
+#define WISP_FUSE_CMPOP(Name, Cond)                                            \
+  case Opcode::Name:                                                           \
+    *ThenBr = TOp::Name##ThenBr;                                               \
+    *GetGetThenBr = TOp::GetGet##Name##ThenBr;                                 \
+    return true;
+#include "interp/handlers.inc"
+  default:
+    return false;
+  }
+}
+
+/// One decoded source opcode (pass-1 output).
+struct Proto {
+  uint32_t BcIp = 0;
+  uint32_t Stp = 0;
+  Opcode Op = Opcode::Nop;
+  TOp T = TOp::Nop;
+  uint32_t A = 0;
+  uint32_t Aux = 0;
+  uint64_t B = 0;
+  uint32_t EntryIdx = 0; ///< Side-table entry index (branch sites).
+  uint32_t NumCases = 0; ///< br_table: non-default case count.
+  bool IsBranch = false;
+  bool Omit = false; ///< Structural no-op; elided unless probed.
+  bool IsTarget = false;
+  bool Probed = false;
+  bool ConstNumeric = false; ///< Numeric const, eligible as fused operand.
+};
+
+/// A branch site awaiting target resolution (pass-3 input).
+struct PendingBr {
+  uint32_t UnitIdx = 0;
+  uint32_t EntryIdx = 0;
+  uint32_t BrOpIp = 0; ///< Ip of the branching opcode (backward test).
+  uint32_t NumCases = 0;
+  bool IsTable = false;
+};
+
+} // namespace
+
+uint32_t ThreadedCode::unitIndexAt(uint32_t BcIp) const {
+  auto It = std::lower_bound(
+      Units.begin(), Units.end(), BcIp,
+      [](const IrUnit &U, uint32_t Ip) { return U.BcIp < Ip; });
+  if (It == Units.end())
+    return NoUnit;
+  if (It->BcIp == BcIp)
+    return uint32_t(It - Units.begin());
+  // Non-exact resume: fine if the gap holds only elided no-ops, illegal
+  // inside a fused superinstruction (the caller falls back to the switch
+  // interpreter, which can resume at any opcode).
+  auto Sp = std::upper_bound(FusedSpans.begin(), FusedSpans.end(),
+                             std::make_pair(BcIp, ~uint32_t(0)));
+  if (Sp != FusedSpans.begin()) {
+    --Sp;
+    if (BcIp >= Sp->first && BcIp < Sp->second)
+      return NoUnit;
+  }
+  return uint32_t(It - Units.begin());
+}
+
+std::unique_ptr<ThreadedCode> wisp::predecodeFunction(const Module &M,
+                                                      const FuncDecl &D,
+                                                      const FuncInstance *FI,
+                                                      bool EnableFusion) {
+  auto TC = std::make_unique<ThreadedCode>();
+  const uint32_t Body0 = D.BodyStart;
+
+  // Branch-target map: fused interiors and elision must respect labels.
+  std::vector<bool> Target(D.BodyEnd - D.BodyStart, false);
+  for (const SideTableEntry &E : D.Table.Entries)
+    if (E.TargetIp >= Body0 && E.TargetIp < D.BodyEnd)
+      Target[E.TargetIp - Body0] = true;
+
+  // --- Pass 1: linear decode ---
+  std::vector<Proto> Ps;
+  CodeReader R(M.Bytes.data(), D.BodyStart, D.BodyEnd);
+  uint32_t CurStp = 0;
+  while (!R.atEnd()) {
+    Proto P;
+    P.BcIp = uint32_t(R.pc());
+    P.Stp = CurStp;
+    Opcode Op = R.readOpcode();
+    P.Op = Op;
+    P.IsTarget = Target[P.BcIp - Body0];
+    P.Probed = FI && FI->probedAt(P.BcIp);
+    switch (Op) {
+    case Opcode::Unreachable:
+      P.T = TOp::Unreachable;
+      break;
+    case Opcode::Nop:
+      P.Omit = true;
+      break;
+    case Opcode::Block:
+    case Opcode::Loop:
+      R.readBlockType();
+      P.Omit = true;
+      break;
+    case Opcode::End:
+      if (R.pc() >= D.BodyEnd)
+        P.T = TOp::Return; // Function-terminating end.
+      else
+        P.Omit = true;
+      break;
+    case Opcode::If:
+      R.readBlockType();
+      P.T = TOp::IfFalse;
+      P.IsBranch = true;
+      P.EntryIdx = CurStp++;
+      break;
+    case Opcode::Else: // Fallthrough from the then-branch: jump to end.
+      P.T = TOp::Br;
+      P.IsBranch = true;
+      P.EntryIdx = CurStp++;
+      break;
+    case Opcode::Br:
+      R.readU32();
+      P.T = TOp::Br;
+      P.IsBranch = true;
+      P.EntryIdx = CurStp++;
+      break;
+    case Opcode::BrIf:
+      R.readU32();
+      P.T = TOp::BrIf;
+      P.IsBranch = true;
+      P.EntryIdx = CurStp++;
+      break;
+    case Opcode::BrTable: {
+      uint32_t N = R.readU32();
+      for (uint32_t I = 0; I <= N; ++I)
+        R.readU32();
+      P.T = TOp::BrTable;
+      P.IsBranch = true;
+      P.EntryIdx = CurStp;
+      P.NumCases = N;
+      CurStp += N + 1;
+      break;
+    }
+    case Opcode::Return:
+      P.T = TOp::Return;
+      break;
+    case Opcode::Call:
+      P.A = R.readU32();
+      P.T = TOp::Call;
+      break;
+    case Opcode::CallIndirect:
+      P.A = R.readU32();
+      P.Aux = R.readU32();
+      P.T = TOp::CallIndirect;
+      break;
+    case Opcode::Drop:
+      P.T = TOp::Drop;
+      break;
+    case Opcode::Select:
+      P.T = TOp::Select;
+      break;
+    case Opcode::SelectT: {
+      uint32_t N = R.readU32();
+      for (uint32_t I = 0; I < N; ++I)
+        R.readByte();
+      P.T = TOp::Select;
+      break;
+    }
+    case Opcode::LocalGet:
+      P.A = R.readU32();
+      P.T = TOp::LocalGet;
+      break;
+    case Opcode::LocalSet:
+      P.A = R.readU32();
+      P.T = TOp::LocalSet;
+      break;
+    case Opcode::LocalTee:
+      P.A = R.readU32();
+      P.T = TOp::LocalTee;
+      break;
+    case Opcode::GlobalGet:
+      P.A = R.readU32();
+      P.T = TOp::GlobalGet;
+      break;
+    case Opcode::GlobalSet:
+      P.A = R.readU32();
+      P.T = TOp::GlobalSet;
+      break;
+    case Opcode::MemorySize:
+      R.readByte();
+      P.T = TOp::MemorySize;
+      break;
+    case Opcode::MemoryGrow:
+      R.readByte();
+      P.T = TOp::MemoryGrow;
+      break;
+    case Opcode::I32Const:
+      P.B = uint64_t(uint32_t(R.readS32()));
+      P.Aux = uint32_t(ValType::I32);
+      P.T = TOp::Const;
+      P.ConstNumeric = true;
+      break;
+    case Opcode::I64Const:
+      P.B = uint64_t(R.readS64());
+      P.Aux = uint32_t(ValType::I64);
+      P.T = TOp::Const;
+      P.ConstNumeric = true;
+      break;
+    case Opcode::F32Const:
+      P.B = R.readF32Bits();
+      P.Aux = uint32_t(ValType::F32);
+      P.T = TOp::Const;
+      P.ConstNumeric = true;
+      break;
+    case Opcode::F64Const:
+      P.B = R.readF64Bits();
+      P.Aux = uint32_t(ValType::F64);
+      P.T = TOp::Const;
+      P.ConstNumeric = true;
+      break;
+    case Opcode::RefNull: {
+      uint8_t HeapTy = R.readByte();
+      P.B = 0;
+      P.Aux =
+          uint32_t(HeapTy == 0x70 ? ValType::FuncRef : ValType::ExternRef);
+      P.T = TOp::Const;
+      break;
+    }
+    case Opcode::RefFunc:
+      P.B = uint64_t(R.readU32()) + 1;
+      P.Aux = uint32_t(ValType::FuncRef);
+      P.T = TOp::Const;
+      break;
+    case Opcode::MemoryCopy:
+      R.readByte();
+      R.readByte();
+      P.T = TOp::MemoryCopy;
+      break;
+    case Opcode::MemoryFill:
+      R.readByte();
+      P.T = TOp::MemoryFill;
+      break;
+    default: {
+      bool Known = simpleTop(Op, &P.T);
+      assert(Known && "unhandled opcode in predecode");
+      (void)Known;
+      if (opInfo(Op).Imm == ImmKind::MemArg)
+        P.A = R.readMemArg().Offset; // Alignment hint is discarded.
+      break;
+    }
+    }
+    Ps.push_back(P);
+  }
+  assert(R.ok() && "predecode ran off validated code");
+
+  // --- Pass 2: emission with superinstruction selection ---
+  std::vector<PendingBr> Pend;
+  // End ip of proto J's encoding (fused spans cover whole constituents).
+  auto endIp = [&](size_t J) {
+    return J + 1 < Ps.size() ? Ps[J + 1].BcIp : D.BodyEnd;
+  };
+  // Interior constituents must exist, be adjacent (no elided op between),
+  // and carry neither a label nor a probe.
+  auto fusable = [&](size_t J) {
+    return J < Ps.size() && !Ps[J].Omit && !Ps[J].IsTarget && !Ps[J].Probed;
+  };
+  auto pendBranch = [&](const Proto &Site) {
+    Pend.push_back({uint32_t(TC->Units.size()), Site.EntryIdx, Site.BcIp,
+                    Site.NumCases, Site.T == TOp::BrTable});
+  };
+  size_t I = 0;
+  while (I < Ps.size()) {
+    const Proto &P = Ps[I];
+    if (P.Omit && !P.Probed) {
+      ++I; // Elide the structural no-op entirely.
+      continue;
+    }
+    IrUnit U;
+    U.BcIp = P.BcIp;
+    U.Stp = P.Stp;
+    if (EnableFusion && !P.Omit) {
+      TOp GetGet, GetConst, ThenBr, GetGetThenBr;
+      size_t Len = 0;
+      if (P.T == TOp::LocalGet && fusable(I + 1) &&
+          Ps[I + 1].T == TOp::LocalGet && fusable(I + 2)) {
+        if (P.A < 0x10000 && Ps[I + 1].A < 0x10000 && fusable(I + 3) &&
+            Ps[I + 3].T == TOp::BrIf &&
+            fusibleCmp(Ps[I + 2].Op, &ThenBr, &GetGetThenBr)) {
+          // local.get x; local.get y; <cmp>; br_if — the loop-control
+          // quad — becomes a single conditional-branch unit.
+          U.Op = uint16_t(GetGetThenBr);
+          U.X = P.A | (Ps[I + 1].A << 16);
+          pendBranch(Ps[I + 3]);
+          Len = 4;
+        } else if (fusibleBinop(Ps[I + 2].Op, &GetGet, &GetConst)) {
+          U.Op = uint16_t(GetGet);
+          U.A = P.A;
+          U.Aux = Ps[I + 1].A;
+          Len = 3;
+        }
+      }
+      if (!Len && P.T == TOp::LocalGet && fusable(I + 1) &&
+          Ps[I + 1].T == TOp::Const && Ps[I + 1].ConstNumeric &&
+          fusable(I + 2) && fusibleBinop(Ps[I + 2].Op, &GetGet, &GetConst)) {
+        U.Op = uint16_t(GetConst);
+        U.A = P.A;
+        U.B = Ps[I + 1].B;
+        Len = 3;
+      }
+      if (!Len && fusable(I + 1) && Ps[I + 1].T == TOp::BrIf &&
+          fusibleCmp(P.Op, &ThenBr, &GetGetThenBr)) {
+        U.Op = uint16_t(ThenBr);
+        pendBranch(Ps[I + 1]);
+        Len = 2;
+      }
+      if (!Len && P.T == TOp::LocalSet && fusable(I + 1) &&
+          Ps[I + 1].T == TOp::LocalGet) {
+        // local.set feeding an immediate local.get (tee-shaped when the
+        // indices coincide).
+        U.Op = uint16_t(TOp::SetGet);
+        U.A = P.A;
+        U.Aux = Ps[I + 1].A;
+        Len = 2;
+      }
+      if (Len) {
+        TC->FusedSpans.push_back({P.BcIp, endIp(I + Len - 1)});
+        ++TC->NumFused;
+        TC->NumSources += uint32_t(Len);
+        TC->Units.push_back(U);
+        I += Len;
+        continue;
+      }
+    }
+    U.Op = uint16_t(P.T);
+    U.A = P.A;
+    U.Aux = P.Aux;
+    U.B = P.B;
+    if (P.IsBranch)
+      pendBranch(P);
+    ++TC->NumSources;
+    TC->Units.push_back(U);
+    ++I;
+  }
+
+  // --- Pass 3: branch resolution ---
+  const SideTableEntry *ST = D.Table.Entries.data();
+  const uint32_t NumLocals = D.numLocalSlots();
+  auto unitFor = [&](uint32_t TargetIp) {
+    uint32_t Idx = TC->unitIndexAt(TargetIp);
+    assert(Idx != ThreadedCode::NoUnit && "branch target inside fused unit");
+    return Idx;
+  };
+  auto ipFlag = [&](const SideTableEntry &E, uint32_t BrOpIp) {
+    uint64_t Flag = E.TargetIp;
+    if (E.TargetIp <= BrOpIp)
+      Flag |= uint64_t(1) << 32; // Backward: tier-up candidate.
+    return Flag;
+  };
+  for (const PendingBr &PB : Pend) {
+    IrUnit &U = TC->Units[PB.UnitIdx];
+    if (PB.IsTable) {
+      U.A = uint32_t(TC->Cases.size());
+      U.X = PB.NumCases;
+      for (uint32_t K = 0; K <= PB.NumCases; ++K) {
+        const SideTableEntry &E = ST[PB.EntryIdx + K];
+        BrCase C;
+        C.TargetUnit = unitFor(E.TargetIp);
+        C.DstBase = NumLocals + E.TargetHeight;
+        C.ValCount = E.ValCount;
+        C.IpFlag = ipFlag(E, PB.BrOpIp);
+        TC->Cases.push_back(C);
+      }
+    } else {
+      const SideTableEntry &E = ST[PB.EntryIdx];
+      U.A = unitFor(E.TargetIp);
+      U.Aux = NumLocals + E.TargetHeight;
+      assert(E.ValCount <= 0xffff && "merge arity exceeds IR field");
+      U.ValCount = uint16_t(E.ValCount);
+      U.B = ipFlag(E, PB.BrOpIp);
+    }
+  }
+  return TC;
+}

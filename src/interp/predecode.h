@@ -1,0 +1,153 @@
+//===- interp/predecode.h - threaded-IR pre-decoder -------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-pass pre-decoder translating a validated function body into a
+/// compact internal threaded IR: one fixed-size unit per executed opcode
+/// holding a handler token, immediates already LEB-decoded and widened, and
+/// branch targets/side-table entries pre-resolved to IR offsets so taking a
+/// branch no longer walks STP bookkeeping. Structural no-ops (nop, block,
+/// loop, inner end) are elided, and hot op pairs/triples are fused into
+/// superinstructions unless a probe or branch target forbids it.
+///
+/// The IR keeps the original bytecode offset (and side-table position) of
+/// every unit so frames written back by the threaded interpreter stay in
+/// the same Ip/Stp coordinate system as the switch interpreter, the JIT
+/// (OSR/deopt) and the probe registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_INTERP_PREDECODE_H
+#define WISP_INTERP_PREDECODE_H
+
+#include "runtime/instance.h"
+#include "wasm/module.h"
+
+#include <memory>
+#include <vector>
+
+namespace wisp {
+
+/// Threaded-interpreter ops that need bespoke handlers (control flow,
+/// locals, calls, parametrics). The shared simple ops and the
+/// superinstructions are appended from handlers.inc so the enum, the
+/// computed-goto handler table and the dispatch switch can never drift.
+#define WISP_SPECIAL_TOPS(X)                                                   \
+  X(Unreachable)                                                               \
+  X(Nop)                                                                       \
+  X(Return)                                                                    \
+  X(Br)                                                                        \
+  X(BrIf)                                                                      \
+  X(BrTable)                                                                   \
+  X(IfFalse)                                                                   \
+  X(Call)                                                                      \
+  X(CallIndirect)                                                              \
+  X(Drop)                                                                      \
+  X(Select)                                                                    \
+  X(LocalGet)                                                                  \
+  X(LocalSet)                                                                  \
+  X(LocalTee)                                                                  \
+  X(GlobalGet)                                                                 \
+  X(GlobalSet)                                                                 \
+  X(MemorySize)                                                                \
+  X(MemoryGrow)                                                                \
+  X(Const)                                                                     \
+  X(MemoryCopy)                                                                \
+  X(MemoryFill)                                                                \
+  X(SetGet)
+
+enum class TOp : uint16_t {
+#define WISP_TOP_ENUM(Name) Name,
+  WISP_SPECIAL_TOPS(WISP_TOP_ENUM)
+#undef WISP_TOP_ENUM
+#define WISP_OP(Name, ...) Name,
+#define WISP_OP_FC(Name, ...) Name,
+#define WISP_FUSE_BINOP(Name, Expr, Ty) Name, GetGet##Name, GetConst##Name,
+#define WISP_FUSE_CMPOP(Name, Cond)                                            \
+  Name, GetGet##Name, GetConst##Name, Name##ThenBr, GetGet##Name##ThenBr,
+#include "interp/handlers.inc"
+  Count,
+};
+
+/// One threaded-IR unit (32 bytes). Field use by op family:
+///
+///   all units        BcIp = bytecode offset of the (first) source opcode,
+///                    Stp  = side-table position at that opcode
+///   Const            B = value bits, Aux = ValType tag
+///   LocalGet/Set/Tee A = local index
+///   SetGet           A = set index, Aux = get index
+///   GlobalGet/Set    A = global index
+///   loads/stores     A = memarg offset
+///   Call             A = function index
+///   CallIndirect     A = type index, Aux = table index
+///   Br/BrIf/IfFalse  A = target unit, Aux = frame-relative destination
+///   (+ fused forms)  slot base (numLocalSlots + TargetHeight), ValCount =
+///                    merge value count, B = original target bytecode ip |
+///                    backward-flag << 32; GetGet<cmp>ThenBr additionally
+///                    packs its two local indices into X (lo16/hi16)
+///   BrTable          A = first BrCase index, X = N (number of non-default
+///                    cases)
+///   GetGet<op>       A = left local, Aux = right local
+///   GetConst<op>     A = left local, B = right constant bits
+struct IrUnit {
+  uint16_t Op = 0;       ///< TOp handler token.
+  uint16_t ValCount = 0; ///< Branch merge value count.
+  uint32_t A = 0;
+  uint32_t Aux = 0;
+  uint32_t BcIp = 0;
+  uint32_t Stp = 0;
+  uint32_t X = 0;
+  uint64_t B = 0;
+};
+static_assert(sizeof(IrUnit) == 32, "IrUnit layout drifted");
+
+/// One pre-resolved br_table case (including the default, stored last).
+struct BrCase {
+  uint32_t TargetUnit = 0;
+  uint32_t DstBase = 0; ///< Frame-relative destination slot base.
+  uint32_t ValCount = 0;
+  uint64_t IpFlag = 0; ///< Target bytecode ip | backward-flag << 32.
+};
+
+/// Pre-decoded threaded IR for one function body.
+class ThreadedCode {
+public:
+  static constexpr uint32_t NoUnit = ~0u;
+
+  std::vector<IrUnit> Units;
+  std::vector<BrCase> Cases;
+  /// Bytecode ranges [begin, end) covered by fused superinstructions, in
+  /// ascending order. A frame may not resume inside one (see unitIndexAt).
+  std::vector<std::pair<uint32_t, uint32_t>> FusedSpans;
+  uint32_t NumFused = 0;   ///< Fused units emitted.
+  uint32_t NumSources = 0; ///< Source opcodes covered by Units.
+
+  size_t byteSize() const {
+    return Units.size() * sizeof(IrUnit) + Cases.size() * sizeof(BrCase);
+  }
+
+  /// Maps a bytecode offset to the unit executing it. Offsets of elided
+  /// structural no-ops resolve to the next executed unit (semantically
+  /// identical). Returns NoUnit when \p BcIp lies inside a fused
+  /// superinstruction or past the last unit — the caller must then fall
+  /// back to the switch interpreter, which can resume anywhere.
+  uint32_t unitIndexAt(uint32_t BcIp) const;
+};
+
+/// Pre-decodes a validated function body into threaded IR. \p FI (optional)
+/// supplies the probe bitmap: probed offsets keep their unit (even for
+/// otherwise-elided no-ops) and suppress fusion, so a probe planted
+/// mid-pair still fires exactly as on the switch interpreter. Fusion is
+/// disabled entirely with \p EnableFusion false (tiered configurations:
+/// deopt may resume at any checkpoint, which must never land mid-fusion).
+std::unique_ptr<ThreadedCode> predecodeFunction(const Module &M,
+                                                const FuncDecl &D,
+                                                const FuncInstance *FI,
+                                                bool EnableFusion);
+
+} // namespace wisp
+
+#endif // WISP_INTERP_PREDECODE_H

@@ -30,6 +30,7 @@ namespace wisp {
 
 class Instance;
 class MCode;
+class ThreadedCode;
 
 constexpr uint32_t WasmPageSize = 65536;
 
@@ -114,6 +115,9 @@ struct FuncInstance {
   const HostFunc *Host = nullptr; ///< Non-null for imported functions.
 
   MCode *Code = nullptr; ///< Compiled machine code, if any (not owned).
+  /// Pre-decoded threaded IR for the threaded-dispatch interpreter tier
+  /// (not owned; engines replace it when probes invalidate fusion).
+  const ThreadedCode *TCode = nullptr;
   bool UseJit = false;   ///< Calls enter the JIT tier when true.
   bool DeoptRequested = false; ///< JIT frames tier down at checkpoints.
   uint32_t HotCount = 0;       ///< Tiering heuristic counter.

@@ -44,8 +44,9 @@ const char *UsageText =
     "\n"
     "options:\n"
     "  --tier=TIER      execution tier: int (in-place interpreter),\n"
-    "                   spc (single-pass compiler, default), copypatch,\n"
-    "                   twopass, opt (optimizing)\n"
+    "                   threaded (pre-decoded threaded-dispatch\n"
+    "                   interpreter), spc (single-pass compiler, default),\n"
+    "                   copypatch, twopass, opt (optimizing)\n"
     "  --config=NAME    named engine configuration from the Fig. 3/10\n"
     "                   registries (mutually exclusive with --tier;\n"
     "                   see --list-configs)\n"
@@ -70,6 +71,8 @@ int usageError(const char *Fmt, const char *Arg) {
 const char *tierConfigName(const std::string &Tier) {
   if (Tier == "int")
     return "wizard-int"; // In-place interpreter.
+  if (Tier == "threaded")
+    return "interp-threaded"; // Pre-decoded threaded-dispatch interpreter.
   if (Tier == "spc")
     return "wizard-spc"; // The paper's single-pass compiler.
   if (Tier == "copypatch")
@@ -218,19 +221,24 @@ int listSuites(int Scale) {
 }
 
 int listConfigs() {
-  printf("--tier shorthands: int spc copypatch twopass opt\n\n");
+  printf("--tier shorthands: int threaded spc copypatch twopass opt\n\n");
   for (const EngineConfig &C : figure10Registry()) {
-    const char *Mode = C.Mode == ExecMode::Interp    ? "interp"
-                       : C.Mode == ExecMode::Jit     ? "jit"
-                       : C.Mode == ExecMode::JitLazy ? "jit-lazy"
-                                                     : "tiered";
+    const char *Mode =
+        C.Mode == ExecMode::Interp
+            ? (C.ThreadedDispatch ? "interp*" : "interp")
+            : C.Mode == ExecMode::Jit     ? "jit"
+            : C.Mode == ExecMode::JitLazy ? "jit-lazy"
+            : C.ThreadedDispatch          ? "tiered*"
+                                          : "tiered";
     const char *Kind = C.Compiler == CompilerKind::SinglePass ? "single-pass"
                        : C.Compiler == CompilerKind::TwoPass  ? "two-pass"
                        : C.Compiler == CompilerKind::CopyPatch
                            ? "copy-patch"
                            : "optimizing";
-    printf("%-18s %-8s %s\n", C.Name.c_str(), Mode, Kind);
+    printf("%-22s %-9s %s\n", C.Name.c_str(), Mode, Kind);
   }
+  printf("\n(* = threaded-dispatch interpreter: pre-decoded IR, "
+         "computed-goto, superinstructions)\n");
   return 0;
 }
 
@@ -444,10 +452,14 @@ int main(int argc, char **argv) {
            "bytes\n",
            (unsigned long long)S.CodeInsts, (unsigned long long)S.TagStores,
            (unsigned long long)S.StackMapBytes);
+    if (S.PredecodeNs || S.IrBytes)
+      printf("  predecode %.1f us, %zu threaded-IR bytes\n",
+             double(S.PredecodeNs) / 1e3, S.IrBytes);
     Thread &T = E.thread();
-    printf("  executed %llu interp steps, %llu jit cycles, %llu modeled "
-           "cycles\n",
+    printf("  executed %llu interp steps, %llu threaded steps, %llu jit "
+           "cycles, %llu modeled cycles\n",
            (unsigned long long)T.InterpSteps,
+           (unsigned long long)T.ThreadedSteps,
            (unsigned long long)T.JitCycles,
            (unsigned long long)T.modeledCycles());
   }

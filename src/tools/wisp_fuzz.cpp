@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 //
 // Standalone differential fuzzer: generates random modules, runs every
-// export through all five execution tiers, and reports any divergence in
+// export through all six execution tiers, and reports any divergence in
 // results, traps, linear memory or global state. Divergent modules are
 // minimized with the greedy shrinker and dumped as both .wasm bytes and a
 // readable listing.
@@ -38,10 +38,13 @@ namespace {
 const char *UsageText =
     "usage: wisp-fuzz [options]\n"
     "\n"
-    "Differential fuzzing: every generated module runs on all five\n"
-    "execution tiers (int, spc, copypatch, twopass, opt); any mismatch in\n"
-    "results, traps, memory or globals is a divergence. Divergent modules\n"
-    "are minimized and dumped as .wasm plus a readable listing.\n"
+    "Differential fuzzing: every generated module runs on all six\n"
+    "execution tiers (int, threaded, spc, copypatch, twopass, opt) plus\n"
+    "two instrumented interpreter configurations (int+mon, threaded+mon:\n"
+    "branch/coverage monitors attached, state compared across dispatch\n"
+    "strategies); any mismatch in results, traps, memory, globals or\n"
+    "monitor state is a divergence. Divergent modules are minimized and\n"
+    "dumped as .wasm plus a readable listing.\n"
     "\n"
     "options:\n"
     "  --seed-start=N    first seed (default 0)\n"
@@ -53,7 +56,7 @@ const char *UsageText =
     "  --no-shrink       report divergences without minimizing\n"
     "  --shrink-budget=N max oracle runs per shrink (default 20000)\n"
     "  --replay=PATH     replay mode: run every .wasm under PATH (or PATH\n"
-    "                    itself) through all five tiers with fixed argument\n"
+    "                    itself) through all six tiers with fixed argument\n"
     "                    tuples and assert agreement\n"
     "  --help            show this help\n"
     "\n"

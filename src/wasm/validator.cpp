@@ -229,7 +229,7 @@ bool FuncValidator::checkAlign(Opcode Op, uint32_t Align) {
   return true;
 }
 
-bool FuncValidator::validateOp(Opcode Op, size_t) {
+bool FuncValidator::validateOp(Opcode Op, size_t OpPos) {
   const OpInfo &Info = opInfo(Op);
   if (!Info.Name)
     return error("unknown opcode 0x%x", unsigned(Op));
@@ -341,7 +341,11 @@ bool FuncValidator::validateOp(Opcode Op, size_t) {
         return error("if without else requires matching params and results");
       Frame.PatchList.push_back(Frame.IfEntry);
     }
-    uint32_t EndIp = uint32_t(R.pc());
+    // Inner branches land just past their construct's `end`; branches to
+    // the function label land ON the terminating `end` opcode, whose
+    // handler is the return path (landing past it would walk the
+    // interpreter off the body into adjacent module bytes).
+    uint32_t EndIp = Ctrl.empty() ? uint32_t(OpPos) : uint32_t(R.pc());
     uint32_t EndStp = uint32_t(ST.size());
     for (uint32_t Idx : Frame.PatchList) {
       ST[Idx].TargetIp = EndIp;

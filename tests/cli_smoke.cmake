@@ -1,6 +1,6 @@
 # tests/cli_smoke.cmake - ctest smoke test for the wisp CLI driver.
 #
-# Runs the same small embedded suite item on all five execution tiers and
+# Runs the same small embedded suite item on all six execution tiers and
 # asserts (a) every run exits 0 and (b) every tier prints the identical
 # result line. Invoked by ctest as:
 #   cmake -DWISP_BIN=<path-to-wisp> -P cli_smoke.cmake
@@ -12,7 +12,7 @@ endif()
 set(ITEM "ostrich/crc")
 set(REFERENCE "")
 
-foreach(tier int spc copypatch twopass opt)
+foreach(tier int threaded spc copypatch twopass opt)
   execute_process(
     COMMAND ${WISP_BIN} --tier=${tier} ${ITEM}
     OUTPUT_VARIABLE OUT
@@ -65,4 +65,4 @@ if(RC EQUAL 0 OR NOT ERR MATCHES "no exported function")
   message(FATAL_ERROR "unknown export not rejected (rc=${RC}): ${ERR}")
 endif()
 
-message(STATUS "cli_smoke: all five tiers agree on ${ITEM}")
+message(STATUS "cli_smoke: all six tiers agree on ${ITEM}")

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 //
 // Covers the differential-fuzzing subsystem: generator validity and
-// determinism, the five-tier differ, replay argument derivation, and the
+// determinism, the six-tier differ, replay argument derivation, and the
 // greedy shrinker (a planted divergence must survive minimization and the
 // result must be at most 25% of the original module size).
 //
@@ -111,12 +111,17 @@ TEST(FuzzDiffer, TiersAgreeOnSeededSweep) {
   }
 }
 
-TEST(FuzzDiffer, ReportsFiveTiers) {
+TEST(FuzzDiffer, ReportsAllTiersAndMonitorConfigs) {
   FuzzModule M = RandWasm(11).build();
   DiffReport Report =
       runAllTiers(M.toBytes(), "f", argsForSeed(11, M.main().Params));
-  ASSERT_EQ(Report.Runs.size(), differTierNames().size());
+  // Six execution tiers plus the two instrumented interpreter
+  // configurations (int+mon, threaded+mon).
+  ASSERT_EQ(Report.Runs.size(), differTierNames().size() + 2);
   EXPECT_EQ(Report.Runs[0].Tier, "int");
+  EXPECT_EQ(Report.Runs[Report.Runs.size() - 2].Tier, "int+mon");
+  EXPECT_EQ(Report.Runs.back().Tier, "threaded+mon");
+  EXPECT_TRUE(Report.Runs.back().Instrumented);
   for (const TierRun &Run : Report.Runs)
     EXPECT_TRUE(Run.LoadOk) << Run.Tier << ": " << Run.LoadError;
 }
@@ -283,7 +288,7 @@ TEST(FuzzShrink, RespectsAttemptBudget) {
 
 // --- Regressions: miscompiles found by this fuzzer ------------------------
 
-/// Runs the exported "f" through all five tiers and expects agreement.
+/// Runs the exported "f" through all six tiers and expects agreement.
 void expectTierAgreement(const std::vector<uint8_t> &Bytes,
                          const std::vector<Value> &Args) {
   DiffReport Report = runAllTiers(Bytes, "f", Args);

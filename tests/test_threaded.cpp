@@ -1,0 +1,364 @@
+//===- tests/test_threaded.cpp - threaded-dispatch interpreter tests --------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pre-decoder and threaded-tier coverage: switch/threaded agreement and the
+// modeled-cycle win, superinstruction fusion and its boundaries, probes
+// planted mid-fused-pair (fusion must be suppressed at probed offsets), the
+// shared flat probe-cost constant, and tier-up from a threaded-interpreter
+// backedge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "interp/predecode.h"
+#include "suites/suites.h"
+#include "wasm/builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace wisp;
+
+namespace {
+
+std::unique_ptr<LoadedModule> loadOn(Engine &E, const ModuleBuilder &MB) {
+  WasmError Err;
+  std::unique_ptr<LoadedModule> LM = E.load(MB.build(), &Err);
+  EXPECT_NE(LM, nullptr) << Err.Message << " @" << Err.Offset;
+  return LM;
+}
+
+Value invokeOne(Engine &E, LoadedModule &LM, const std::vector<Value> &Args) {
+  std::vector<Value> Out;
+  TrapReason Tr = E.invoke(LM, "run", Args, &Out);
+  EXPECT_EQ(Tr, TrapReason::None) << trapReasonName(Tr);
+  EXPECT_EQ(Out.size(), 1u);
+  return Out.empty() ? Value{} : Out[0];
+}
+
+/// run(n) = 1 + 2 + ... + n, shaped to exercise every fusion pattern:
+/// the loop-control quad (local.get/local.get/i32.gt_s/br_if), the
+/// get+get+add triple, the set+get pair and the get+const+add triple.
+ModuleBuilder sumLoopModule() {
+  ModuleBuilder MB;
+  uint32_t Ty = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(Ty);
+  uint32_t I = F.addLocal(ValType::I32);
+  uint32_t Sum = F.addLocal(ValType::I32);
+  F.i32Const(1);
+  F.localSet(I);
+  F.block();
+  F.loop();
+  F.localGet(I);   // ┐ loop-header quad: i > n -> exit. The loop backedge
+  F.localGet(0);   // │ targets the quad's first constituent, which is a
+  F.op(Opcode::I32GtS); // │ legal (and common) fused-unit entry.
+  F.brIf(1);       // ┘
+  F.localGet(Sum); // ┐
+  F.localGet(I);   // │ get+get+add
+  F.op(Opcode::I32Add); // ┘
+  F.localSet(Sum); // ┐ set+get pair
+  F.localGet(I);   // ┘
+  F.i32Const(1);   // ┐ (the get above would also head a get+const+add, but
+  F.op(Opcode::I32Add); // │ the set+get pair greedily claims it first)
+  F.localSet(I);   // ┘
+  F.localGet(0);   // ┐
+  F.i32Const(3);   // │ get+const+binop
+  F.op(Opcode::I32And); // ┘
+  F.drop();
+  F.br(0);
+  F.end();
+  F.end();
+  F.localGet(Sum);
+  MB.exportFunc("run", MB.funcIndex(F));
+  return MB;
+}
+
+/// Counts probe firings and remembers the last ip observed.
+class CountingProbe : public Probe {
+public:
+  uint64_t Count = 0;
+  uint32_t LastIp = 0;
+  void fire(FrameAccessor &A) override {
+    ++Count;
+    LastIp = A.ip();
+  }
+};
+
+} // namespace
+
+// The flat probe charge is a named constant shared by both interpreters
+// (previously a magic `+= 10` in interpreter.cpp).
+static_assert(Thread::ProbeDispatchSteps == 10,
+              "probe dispatch charge drifted from the documented model");
+
+TEST(Threaded, SumLoopAgreesWithSwitchAndFuses) {
+  const int32_t N = 1000;
+  Engine SwitchE(configByName("wizard-int"));
+  Engine ThreadedE(configByName("interp-threaded"));
+  ModuleBuilder MB = sumLoopModule();
+  auto SwitchLM = loadOn(SwitchE, MB);
+  auto ThreadedLM = loadOn(ThreadedE, MB);
+  ASSERT_TRUE(SwitchLM && ThreadedLM);
+
+  Value A = invokeOne(SwitchE, *SwitchLM, {Value::makeI32(N)});
+  Value B = invokeOne(ThreadedE, *ThreadedLM, {Value::makeI32(N)});
+  EXPECT_EQ(A.asI32(), N * (N + 1) / 2);
+  EXPECT_EQ(A.asI32(), B.asI32());
+
+  // All four fusion patterns must have been selected.
+  const ThreadedCode *TC = ThreadedLM->Inst->func(0)->TCode;
+  ASSERT_NE(TC, nullptr);
+  EXPECT_GE(TC->NumFused, 4u);
+  EXPECT_GT(ThreadedLM->Stats.IrBytes, 0u);
+
+  // The switch tier never runs under the threaded config and vice versa.
+  EXPECT_EQ(ThreadedE.thread().InterpSteps, 0u);
+  EXPECT_EQ(SwitchE.thread().ThreadedSteps, 0u);
+  EXPECT_GT(ThreadedE.thread().ThreadedSteps, 0u);
+
+  // Modeled main-loop cost: fusion plus the cheaper per-step price must
+  // clear the 25% bar by a wide margin on this loop-dominated shape.
+  double SwitchCycles = double(SwitchE.thread().modeledCycles());
+  double ThreadedCycles = double(ThreadedE.thread().modeledCycles());
+  EXPECT_LT(ThreadedCycles, 0.75 * SwitchCycles);
+}
+
+TEST(Threaded, SuiteItemAgreesAcrossDispatchStrategies) {
+  std::vector<LineItem> Items = ostrichSuite(1);
+  ASSERT_FALSE(Items.empty());
+  const LineItem &Item = Items[0];
+  Engine SwitchE(configByName("wizard-int"));
+  Engine ThreadedE(configByName("interp-threaded"));
+  WasmError Err;
+  auto SwitchLM = SwitchE.load(Item.Bytes, &Err);
+  ASSERT_NE(SwitchLM, nullptr) << Err.Message;
+  auto ThreadedLM = ThreadedE.load(Item.Bytes, &Err);
+  ASSERT_NE(ThreadedLM, nullptr) << Err.Message;
+
+  std::vector<Value> A, B;
+  EXPECT_EQ(SwitchE.invoke(*SwitchLM, "run", {}, &A), TrapReason::None);
+  EXPECT_EQ(ThreadedE.invoke(*ThreadedLM, "run", {}, &B), TrapReason::None);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Bits, B[I].Bits);
+  EXPECT_LT(double(ThreadedE.thread().modeledCycles()),
+            0.75 * double(SwitchE.thread().modeledCycles()));
+  // Pre-decode cost is accounted for the total-cost methodology.
+  EXPECT_GT(ThreadedLM->Stats.IrBytes, 0u);
+  EXPECT_GE(ThreadedLM->Stats.TotalSetupNs, ThreadedLM->Stats.PredecodeNs);
+}
+
+TEST(Threaded, AdjacencyBreaksFusion) {
+  // get/nop/get/add: the structural no-op between the gets is elided from
+  // the IR but still breaks fusion adjacency (mirroring the rule that an
+  // interior constituent may not be a branch target or probed).
+  ModuleBuilder MB;
+  uint32_t Ty = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(Ty);
+  F.localGet(0);
+  F.op(Opcode::Nop);
+  F.localGet(1);
+  F.op(Opcode::I32Add);
+  MB.exportFunc("run", MB.funcIndex(F));
+
+  Engine E(configByName("interp-threaded"));
+  auto LM = loadOn(E, MB);
+  ASSERT_TRUE(LM);
+  const ThreadedCode *TC = LM->Inst->func(0)->TCode;
+  ASSERT_NE(TC, nullptr);
+  EXPECT_EQ(TC->NumFused, 0u);
+  // The nop produced no unit: get, get, add, return.
+  EXPECT_EQ(TC->Units.size(), 4u);
+  EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(33), Value::makeI32(9)}).asI32(),
+            42);
+}
+
+TEST(Threaded, EmptyBodyRuns) {
+  ModuleBuilder MB;
+  uint32_t Ty = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(Ty);
+  MB.exportFunc("run", MB.funcIndex(F));
+  Engine E(configByName("interp-threaded"));
+  auto LM = loadOn(E, MB);
+  ASSERT_TRUE(LM);
+  const ThreadedCode *TC = LM->Inst->func(0)->TCode;
+  ASSERT_NE(TC, nullptr);
+  ASSERT_EQ(TC->Units.size(), 1u); // Just the function-terminating return.
+  std::vector<Value> Out;
+  EXPECT_EQ(E.invoke(*LM, "run", {}, &Out), TrapReason::None);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(Threaded, ProbeMidPairSuppressesFusion) {
+  // add(a, b) fuses into one get+get+add unit; planting a probe on the
+  // *interior* local.get must re-predecode without the fusion so the probe
+  // fires exactly as on the switch interpreter.
+  ModuleBuilder MB;
+  uint32_t Ty = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(Ty);
+  F.localGet(0);
+  F.localGet(1);
+  F.op(Opcode::I32Add);
+  MB.exportFunc("run", MB.funcIndex(F));
+
+  Engine E(configByName("interp-threaded"));
+  auto LM = loadOn(E, MB);
+  ASSERT_TRUE(LM);
+  FuncInstance *Func = LM->Inst->func(0);
+  ASSERT_NE(Func->TCode, nullptr);
+  EXPECT_EQ(Func->TCode->NumFused, 1u);
+  EXPECT_EQ(Func->TCode->Units.size(), 2u); // Fused triple + return.
+
+  // local.get 0 is 2 bytes; the interior local.get 1 sits at BodyStart+2.
+  uint32_t InteriorIp = Func->Decl->BodyStart + 2;
+  CountingProbe P;
+  E.addProbe(*LM, 0, InteriorIp, &P);
+  ASSERT_NE(Func->TCode, nullptr);
+  EXPECT_EQ(Func->TCode->NumFused, 0u);
+  EXPECT_EQ(Func->TCode->Units.size(), 4u);
+
+  EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(40), Value::makeI32(2)}).asI32(),
+            42);
+  EXPECT_EQ(P.Count, 1u);
+  EXPECT_EQ(P.LastIp, InteriorIp);
+
+  // The switch interpreter observes the identical firing.
+  Engine SwitchE(configByName("wizard-int"));
+  auto SwitchLM = loadOn(SwitchE, MB);
+  ASSERT_TRUE(SwitchLM);
+  CountingProbe SP;
+  SwitchE.addProbe(*SwitchLM, 0, InteriorIp, &SP);
+  EXPECT_EQ(
+      invokeOne(SwitchE, *SwitchLM, {Value::makeI32(40), Value::makeI32(2)})
+          .asI32(),
+      42);
+  EXPECT_EQ(SP.Count, P.Count);
+  EXPECT_EQ(SP.LastIp, P.LastIp);
+}
+
+TEST(Threaded, ProbeCostConstantSharedByBothInterpreters) {
+  ModuleBuilder MB = sumLoopModule();
+  const int32_t N = 50;
+  // The probed ip: the loop-header local.get (fires once per iteration
+  // plus the final exit check). Body prefix: i32.const 1 (2 bytes),
+  // local.set 1 (2), block (2), loop (2) -> header at BodyStart + 8.
+  auto headerIp = [](LoadedModule &LM) {
+    return LM.Inst->func(0)->Decl->BodyStart + 8;
+  };
+
+  for (const char *Cfg : {"wizard-int", "interp-threaded"}) {
+    Engine Plain(configByName(Cfg));
+    auto PlainLM = loadOn(Plain, MB);
+    ASSERT_TRUE(PlainLM);
+    invokeOne(Plain, *PlainLM, {Value::makeI32(N)});
+    uint64_t PlainInterpSteps = Plain.thread().InterpSteps;
+
+    Engine Probed(configByName(Cfg));
+    auto ProbedLM = loadOn(Probed, MB);
+    ASSERT_TRUE(ProbedLM);
+    CountingProbe P;
+    Probed.addProbe(*ProbedLM, 0, headerIp(*ProbedLM), &P);
+    invokeOne(Probed, *ProbedLM, {Value::makeI32(N)});
+    EXPECT_EQ(P.Count, uint64_t(N) + 1) << Cfg;
+
+    // Both interpreters charge exactly the shared flat constant per firing
+    // to InterpSteps (the threaded tier's own dispatches land in
+    // ThreadedSteps, so the delta is pure probe cost on either tier).
+    EXPECT_EQ(Probed.thread().InterpSteps,
+              PlainInterpSteps + P.Count * Thread::ProbeDispatchSteps)
+        << Cfg;
+  }
+}
+
+TEST(Threaded, TierUpFromThreadedBackedge) {
+  EngineConfig Cfg = configByName("wizard-tiered-threaded");
+  Cfg.TierUpThreshold = 8; // Tier up early in the loop.
+  Engine E(Cfg);
+  EXPECT_TRUE(E.thread().UseThreaded);
+  ModuleBuilder MB = sumLoopModule();
+  auto LM = loadOn(E, MB);
+  ASSERT_TRUE(LM);
+  // Deopt checkpoints exist in tiered mode, so fusion must be off (a deopt
+  // may resume at any opcode boundary, including mid-pair).
+  ASSERT_NE(LM->Inst->func(0)->TCode, nullptr);
+  EXPECT_EQ(LM->Inst->func(0)->TCode->NumFused, 0u);
+
+  const int32_t N = 1000;
+  EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(N)}).asI32(), N * (N + 1) / 2);
+  // The loop started threaded and finished in the JIT via OSR.
+  EXPECT_GT(E.thread().ThreadedSteps, 0u);
+  EXPECT_GT(E.thread().JitCycles, 0u);
+  EXPECT_NE(LM->Inst->func(0)->Code, nullptr);
+
+  // Tier back down: future calls must run on the threaded interpreter
+  // again and still agree.
+  E.requestTierDown(*LM, 0);
+  uint64_t StepsBefore = E.thread().ThreadedSteps;
+  EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(N)}).asI32(), N * (N + 1) / 2);
+  EXPECT_GT(E.thread().ThreadedSteps, StepsBefore);
+}
+
+TEST(Threaded, BranchToFunctionLabelReturns) {
+  // A branch to the function-level label must land ON the terminating
+  // `end` (the return path) in both dispatch strategies — landing past it
+  // walked the interpreter into adjacent module bytes (caught in review;
+  // the fuzz generator only branches to inner blocks).
+  ModuleBuilder MB;
+  uint32_t Ty = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(Ty);
+  F.localGet(0);
+  F.localGet(0);
+  F.brIf(0); // Function label: return local 0 when it is nonzero.
+  F.drop();
+  F.i32Const(-7);
+  MB.exportFunc("run", MB.funcIndex(F));
+
+  for (const char *Cfg : {"wizard-int", "interp-threaded"}) {
+    Engine E(configByName(Cfg));
+    auto LM = loadOn(E, MB);
+    ASSERT_TRUE(LM);
+    EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(42)}).asI32(), 42) << Cfg;
+    EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(0)}).asI32(), -7) << Cfg;
+  }
+
+  // Unconditional function-level br with merge values.
+  ModuleBuilder MB2;
+  uint32_t Ty2 = MB2.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F2 = MB2.addFunc(Ty2);
+  F2.localGet(0);
+  F2.i32Const(1);
+  F2.op(Opcode::I32Add);
+  F2.br(0);
+  MB2.exportFunc("run", MB2.funcIndex(F2));
+  for (const char *Cfg : {"wizard-int", "interp-threaded"}) {
+    Engine E(configByName(Cfg));
+    auto LM = loadOn(E, MB2);
+    ASSERT_TRUE(LM);
+    EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(41)}).asI32(), 42) << Cfg;
+  }
+}
+
+TEST(Threaded, BranchTargetOnElidedOpResolvesForward) {
+  // br_if exiting a block targets the block's `end`, which the pre-decoder
+  // elides; the branch must resolve to the next executed unit.
+  ModuleBuilder MB;
+  uint32_t Ty = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(Ty);
+  F.block();
+  F.localGet(0);
+  F.brIf(0);
+  F.i32Const(7);
+  F.localSet(0);
+  F.end();
+  F.localGet(0);
+  MB.exportFunc("run", MB.funcIndex(F));
+
+  Engine E(configByName("interp-threaded"));
+  auto LM = loadOn(E, MB);
+  ASSERT_TRUE(LM);
+  EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(42)}).asI32(), 42);
+  EXPECT_EQ(invokeOne(E, *LM, {Value::makeI32(0)}).asI32(), 7);
+}
