@@ -1,0 +1,114 @@
+//===- bench/bench_batch.cpp - batch-runner scaling ------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the parallel batch runner (src/service/): the fig. 7 suites as
+// one manifest, executed end to end (fresh engine per job: decode,
+// validate, compile, run) at 1, 2, 4 and 8 workers. Reports throughput
+// (jobs/s) and speedup vs. one worker, and asserts the per-job results are
+// identical at every worker count. Wall-clock scaling tracks the host's
+// core count: on a single-core machine the curve is flat by construction,
+// so the table also prints the hardware concurrency it measured under.
+//
+// WISP_BENCH_JSON rows: (config="batch", item="jobs=K",
+// metric=throughput_jobs_per_s | speedup_vs_1 | wall_ms).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+#include "service/batch.h"
+
+#include <thread>
+
+using namespace wisp;
+using namespace wisp::bench;
+
+namespace {
+
+/// The manifest: every fig. 7 suite item once per exercised configuration
+/// (>= 20 jobs even at the smallest suite subset).
+std::vector<BatchJob> buildJobs() {
+  static const char *Configs[] = {"wizard-spc", "interp-threaded",
+                                  "wizard-tiered"};
+  std::vector<BatchJob> Jobs;
+  for (const LineItem &I : allSuites(scale())) {
+    BatchJob Job;
+    Job.Index = uint32_t(Jobs.size());
+    Job.Module = I.Suite + "/" + I.Name;
+    Job.Config = Configs[Jobs.size() % 3];
+    Job.Bytes = I.Bytes;
+    Jobs.push_back(std::move(Job));
+  }
+  return Jobs;
+}
+
+/// Deterministic fingerprint of a report's per-job observations.
+uint64_t fingerprint(const BatchReport &R) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 0x100000001b3ull;
+  };
+  for (const BatchJobResult &Job : R.Results) {
+    Mix(Job.Index);
+    Mix(uint64_t(Job.Trap));
+    Mix(Job.ModeledCycles);
+    for (const Value &V : Job.Results)
+      Mix(V.Bits);
+  }
+  return H;
+}
+
+} // namespace
+
+int main() {
+  jsonBench("bench_batch");
+  printHeader("bench_batch: batch-runner scaling (1 -> K workers)",
+              "manifest = all fig. 7 suite items x {spc, threaded, tiered}; "
+              "fresh engine per job");
+
+  std::vector<BatchJob> Jobs = buildJobs();
+  printf("jobs=%zu hardware_concurrency=%u\n\n", Jobs.size(),
+         std::thread::hardware_concurrency());
+
+  double Base = 0;
+  uint64_t BaseFp = 0;
+  printf("  %-10s %10s %12s %9s\n", "workers", "wall ms", "jobs/s",
+         "speedup");
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    // Median-of-N batch executions.
+    std::vector<double> Walls;
+    uint64_t Fp = 0;
+    for (int R = 0; R < runs(); ++R) {
+      BatchReport Report = runBatch(Jobs, Workers);
+      Walls.push_back(Report.WallMs);
+      Fp = fingerprint(Report);
+      if (BaseFp == 0)
+        BaseFp = Fp;
+      if (Fp != BaseFp) {
+        fprintf(stderr,
+                "bench_batch: NONDETERMINISM at %u workers "
+                "(fingerprint %llx != %llx)\n",
+                Workers, (unsigned long long)Fp, (unsigned long long)BaseFp);
+        return 1;
+      }
+    }
+    std::sort(Walls.begin(), Walls.end());
+    double Wall = Walls[Walls.size() / 2];
+    double Thru = Wall > 0 ? double(Jobs.size()) / (Wall / 1e3) : 0;
+    if (Workers == 1)
+      Base = Wall;
+    double Speedup = Wall > 0 ? Base / Wall : 0;
+    printf("  %-10u %10.1f %12.1f %8.2fx\n", Workers, Wall, Thru, Speedup);
+    std::string Item = "jobs=" + std::to_string(Workers);
+    jsonRecord("batch", Item, "wall_ms", Wall);
+    jsonRecord("batch", Item, "throughput_jobs_per_s", Thru);
+    jsonRecord("batch", Item, "speedup_vs_1", Speedup);
+  }
+  printf("\nper-job results identical at every worker count "
+         "(fingerprint %llx)\n",
+         (unsigned long long)BaseFp);
+  return 0;
+}

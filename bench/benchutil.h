@@ -24,9 +24,9 @@
 #include "engine/engine.h"
 #include "engine/registry.h"
 #include "suites/suites.h"
+#include "support/clock.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -44,12 +44,8 @@ inline int envInt(const char *Name, int Default) {
 inline int runs() { return std::max(1, envInt("WISP_BENCH_RUNS", 3)); }
 inline int scale() { return std::max(1, envInt("WISP_BENCH_SCALE", 1)); }
 
-inline double nowMs() {
-  return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now().time_since_epoch())
-                    .count()) /
-         1e6;
-}
+// Wall-clock readings come from wisp::nowMs() (support/clock.h), shared
+// with the engine's LoadStats timers and the batch service.
 
 /// One measured execution of a module in a fresh engine (the paper runs
 /// each line item in a separate VM instance).

@@ -259,7 +259,16 @@ void TemplateCache::build() {
 }
 
 TemplateCache &cache() {
-  static TemplateCache C;
+  // Built inside the magic-static initializer: C++ guarantees exactly one
+  // thread constructs it while concurrent engine constructors wait, so
+  // parallel workers (service/batch.h) can warm the process-wide cache
+  // without a data race. A separate build() call after construction would
+  // reintroduce one (unsynchronized Built/Map writes).
+  static TemplateCache C = [] {
+    TemplateCache T;
+    T.build();
+    return T;
+  }();
   return C;
 }
 
@@ -844,11 +853,13 @@ void CopyPatch::run() {
     A.emit(MOp::ZeroSlots, 0, 0, 0, 0, int64_t(NParams),
            int64_t(NumLocals - NParams));
   while (R.pc() < F.BodyEnd) {
+    uint32_t OpIp = uint32_t(R.pc());
     Opcode Op = R.readOpcode();
     if (!Live) {
       skipDeadOp(Op);
       continue;
     }
+    Code.noteLine(OpIp);
     compileOp(Op);
   }
   Code.Stats.CodeInsts = Code.Insts.size();
@@ -857,14 +868,17 @@ void CopyPatch::run() {
 
 } // namespace
 
-void wisp::warmCopyPatchTemplates() { cache().build(); }
+void wisp::warmCopyPatchTemplates() {
+  // Force the magic-static construction (which builds the templates); the
+  // cache is immutable afterwards, so concurrent engines only ever read.
+  (void)cache();
+}
 
 std::unique_ptr<MCode> wisp::compileCopyPatch(const Module &M,
                                               const FuncDecl &F,
                                               const CompilerOptions & /*Opts*/,
                                               const ProbeSiteOracle *
                                               /*Probes*/) {
-  cache().build(); // Idempotent; engines normally warm it at startup.
   auto Code = std::make_unique<MCode>();
   auto Start = std::chrono::steady_clock::now();
   CopyPatch C(M, F, *Code);

@@ -10,18 +10,11 @@
 #include "baselines/twopass.h"
 #include "interp/interpreter.h"
 #include "opt/optcompiler.h"
+#include "support/clock.h"
 #include "wasm/reader.h"
 #include "wasm/validator.h"
 
-#include <chrono>
-
 using namespace wisp;
-
-static uint64_t nowNs() {
-  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now().time_since_epoch())
-                      .count());
-}
 
 Engine::Engine(EngineConfig CfgIn) : Cfg(std::move(CfgIn)) {
   T = std::make_unique<Thread>(Cfg.StackSlots, Cfg.wantsTagLane());

@@ -107,6 +107,29 @@ public:
 };
 
 /// The engine. Implements EngineHooks for probes and tiering.
+///
+/// Thread-safety contract (the batch service in src/service/ is built on
+/// it; audited for the parallel batch runner):
+///
+///  - An Engine is single-threaded. It owns all of its mutable state —
+///    host registry, probe registry, GC heap, the execution Thread, and
+///    every LoadedModule it returns (modules hold FuncInstance hotness
+///    counters and code pointers the engine mutates while running). One
+///    engine, its thread, and its modules must only ever be touched from
+///    one OS thread at a time.
+///  - *Distinct* Engine instances are fully independent: any number may
+///    load, compile, instrument and run concurrently on different
+///    threads. The only process-wide state they share is immutable after
+///    initialization and safe to race on first use: the opcode tables
+///    (const magic static) and the copy-and-patch template cache (built
+///    inside its magic-static initializer — see baselines/copypatch.cpp;
+///    construction is serialized by the C++ runtime, reads are const).
+///  - Module bytes passed to load() are copied; suite generators
+///    (suites/suites.h) build fresh buffers per call and share nothing.
+///
+/// In short: share nothing mutable, one engine per worker, and any fan-out
+/// (the wisp --batch worker pool, concurrent tests, future sharding) is
+/// data-race-free by construction.
 class Engine : public EngineHooks {
 public:
   explicit Engine(EngineConfig Cfg);

@@ -17,7 +17,8 @@ namespace wisp {
 
 const std::vector<std::string> &differTierNames() {
   static const std::vector<std::string> Names = {
-      "int", "threaded", "spc", "copypatch", "twopass", "opt"};
+      "int",     "threaded", "spc",    "copypatch",
+      "twopass", "opt",      "tiered", "tiered-threaded"};
   return Names;
 }
 
@@ -35,6 +36,20 @@ EngineConfig tierConfig(const std::string &Tier) {
     // fusion must be bit-identical to the in-place switch interpreter.
     Cfg.Mode = ExecMode::Interp;
     Cfg.ThreadedDispatch = true;
+    return Cfg;
+  }
+  if (Tier == "tiered" || Tier == "tiered-threaded") {
+    // The wizard-tiered / wizard-tiered-threaded shapes: start in the
+    // interpreter, tier up hot functions (incl. OSR at loop backedges),
+    // tier down at deopt checkpoints. The hotness threshold is far below
+    // the production 256 so fuzz-sized programs (trip counts 1..6, a
+    // handful of calls) genuinely cross tier boundaries mid-run.
+    Cfg.Mode = ExecMode::Tiered;
+    Cfg.Compiler = CompilerKind::SinglePass;
+    Cfg.ThreadedDispatch = Tier == "tiered-threaded";
+    Cfg.TierUpThreshold = 4;
+    Cfg.Opts.EmitDeoptChecks = true;
+    Cfg.Opts.EmitOsrEntries = true;
     return Cfg;
   }
   Cfg.Mode = ExecMode::Jit;
@@ -78,8 +93,13 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
     E.reinstrument(*LM);
   }
   Run.Trap = E.invoke(*LM, ExportName, Args, &Run.Results);
-  if (Run.Trap != TrapReason::None)
+  if (Run.Trap != TrapReason::None) {
     Run.Results.clear();
+    Run.TrapIp = E.thread().TrapIp;
+    // The optimizing pipeline records no line table; its trap bytecode
+    // offsets are meaningless and excluded from trap-site comparison.
+    Run.TrapPcKnown = Base != "opt";
+  }
   const LinearMemory &Mem = LM->Inst->Memory;
   Run.Memory.assign(Mem.data(), Mem.data() + Mem.byteSize());
   for (const Global &G : LM->Inst->Globals)
@@ -110,6 +130,14 @@ std::string compareTierRuns(const TierRun &Ref, const TierRun &Run) {
     return strFormat("trap mismatch: %s=%s %s=%s", Ref.Tier.c_str(),
                   trapReasonName(Ref.Trap), Run.Tier.c_str(),
                   trapReasonName(Run.Trap));
+  // Trap-site agreement: the faulting bytecode offset must match, not just
+  // the trap kind — a tier trapping for the right reason at the wrong
+  // instruction is still a miscompile.
+  if (Ref.Trap != TrapReason::None && Ref.TrapPcKnown && Run.TrapPcKnown &&
+      Ref.TrapIp != Run.TrapIp)
+    return strFormat("trap-site mismatch (%s): %s=+0x%x %s=+0x%x",
+                  trapReasonName(Ref.Trap), Ref.Tier.c_str(), Ref.TrapIp,
+                  Run.Tier.c_str(), Run.TrapIp);
   if (Ref.Results.size() != Run.Results.size())
     return strFormat("result arity mismatch: %s=%zu %s=%zu", Ref.Tier.c_str(),
                   Ref.Results.size(), Run.Tier.c_str(), Run.Results.size());

@@ -1,15 +1,16 @@
-//===- fuzz/differ.h - six-tier differential runner ------------*- C++ -*-===//
+//===- fuzz/differ.h - multi-tier differential runner ----------*- C++ -*-===//
 //
 // Part of the wisp project, under the Apache License v2.0.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runs a module export through every execution tier (interpreter,
-/// single-pass, copy-and-patch, two-pass, optimizing) and compares traps,
+/// Runs a module export through every execution tier (both interpreter
+/// dispatch strategies, single-pass, copy-and-patch, two-pass, optimizing,
+/// and the tiered/OSR configurations) and compares traps, trap sites,
 /// results, final linear memory and final mutable-global state. Any
 /// disagreement is a divergence: the paper's central claim is that all
-/// six tiers compute identical semantics.
+/// tiers compute identical semantics.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +33,14 @@ struct TierRun {
   bool LoadOk = false;
   std::string LoadError;
   TrapReason Trap = TrapReason::None;
+  /// Bytecode offset of the faulting instruction when Trap != None. All
+  /// tiers report the same module-byte coordinate: the interpreters
+  /// directly, the single-pass JIT pipelines through the MCode line table.
+  uint32_t TrapIp = 0;
+  /// False on the optimizing tier, which reorders and folds across
+  /// opcodes and cannot attribute a trap to one bytecode; trap-site
+  /// agreement is only checked between runs where this is true.
+  bool TrapPcKnown = false;
   std::vector<Value> Results;
   std::vector<uint8_t> Memory;      ///< Final linear memory contents.
   std::vector<uint64_t> GlobalBits; ///< Final global values, in order.
@@ -53,7 +62,12 @@ struct DiffReport {
   std::vector<TierRun> Runs;
 };
 
-/// The six tier names, in comparison order (index 0 is the reference).
+/// The differ tier names, in comparison order (index 0 is the reference).
+/// Beyond the six execution tiers, "tiered" and "tiered-threaded" run the
+/// wizard-tiered / wizard-tiered-threaded shapes (interpreter + SPC with
+/// OSR tier-up and deopt checkpoints) with a fuzz-friendly low hotness
+/// threshold so tier transitions actually happen on generator-sized
+/// programs.
 const std::vector<std::string> &differTierNames();
 
 /// Loads \p Bytes on every tier, invokes \p ExportName with \p Args, and

@@ -176,10 +176,10 @@ public:
     case FuzzStmt::If:
       emit(S.E[0]);
       F.ifOp();
-      emitBody(S.Bodies[0]);
+      emitBody(S.Bodies[0], 1);
       if (S.Bodies.size() > 1) {
         F.elseOp();
-        emitBody(S.Bodies[1]);
+        emitBody(S.Bodies[1], 1);
       }
       F.end();
       return;
@@ -189,7 +189,7 @@ public:
       F.i32Const(int32_t(S.N));
       F.localSet(S.Index);
       F.loop();
-      emitBody(S.Bodies[0]);
+      emitBody(S.Bodies[0], 1);
       F.localGet(S.Index);
       F.i32Const(1);
       F.op(Opcode::I32Sub);
@@ -201,7 +201,7 @@ public:
       F.block();
       emit(S.E[0]);
       F.brIf(0);
-      emitBody(S.Bodies[0]);
+      emitBody(S.Bodies[0], 1);
       F.end();
       return;
     case FuzzStmt::BrTable:
@@ -213,16 +213,16 @@ public:
       F.op(Opcode::I32RemU);
       F.brTable({0, 1}, 2);
       F.end();
-      emitBody(S.Bodies[0]);
+      emitBody(S.Bodies[0], 2); // Inside the two remaining blocks.
       F.end();
-      emitBody(S.Bodies[1]);
+      emitBody(S.Bodies[1], 1);
       F.end();
       return;
     case FuzzStmt::ResultBlock: {
       // (local.set I (block (result T) body.. early cond br_if drop fall))
       ValType T = S.E[1].Type;
       F.block(BlockType::oneResult(T));
-      emitBody(S.Bodies[0]);
+      emitBody(S.Bodies[0], 1);
       emit(S.E[1]); // Early value, carried by the br_if when taken.
       emit(S.E[0]); // Condition.
       F.brIf(0);
@@ -268,12 +268,44 @@ public:
       F.memoryGrow();
       F.drop();
       return;
+    case FuzzStmt::Return:
+      // Value-carrying function return. The guarded form is structurally
+      // conditional; the unguarded form leaves everything after it dead,
+      // exercising the unreachable-code paths of validator and compilers.
+      if (S.Guarded) {
+        emit(S.E[1]);
+        F.ifOp();
+        emit(S.E[0]);
+        F.ret();
+        F.end();
+      } else {
+        emit(S.E[0]);
+        F.ret();
+      }
+      return;
+    case FuzzStmt::FuncBr:
+      // Branch to the function-level label: the label index is exactly the
+      // number of enclosing blocks here, so from the body's top level this
+      // is (br 0) targeting the implicit function block — the branch shape
+      // whose side-table fix PR 3 landed and no generated module covered.
+      if (S.Guarded) {
+        emit(S.E[0]); // Value, carried by the branch when taken.
+        emit(S.E[1]); // Condition.
+        F.brIf(Depth);
+        F.drop(); // Not taken: the value stays behind.
+      } else {
+        emit(S.E[0]);
+        F.br(Depth);
+      }
+      return;
     }
   }
 
-  void emitBody(const std::vector<FuzzStmt> &Body) {
+  void emitBody(const std::vector<FuzzStmt> &Body, unsigned DepthDelta = 0) {
+    Depth += DepthDelta;
     for (const FuzzStmt &S : Body)
       emit(S);
+    Depth -= DepthDelta;
   }
 
 private:
@@ -306,6 +338,9 @@ private:
   const FuzzModule &M;
   ModuleBuilder &MB;
   FuncBuilder &F;
+  /// Current block-nesting depth; a branch with this label index targets
+  /// the function-level label.
+  unsigned Depth = 0;
 };
 
 } // namespace
@@ -590,6 +625,28 @@ private:
       return;
     case FuzzStmt::MemGrowStmt:
       Out += "(memory.grow-drop ";
+      printExpr(S.E[0]);
+      Out += ")\n";
+      return;
+    case FuzzStmt::Return:
+      if (S.Guarded) {
+        Out += "(return-if cond=";
+        printExpr(S.E[1]);
+        Out += " value=";
+      } else {
+        Out += "(return value=";
+      }
+      printExpr(S.E[0]);
+      Out += ")\n";
+      return;
+    case FuzzStmt::FuncBr:
+      if (S.Guarded) {
+        Out += "(br_if-func cond=";
+        printExpr(S.E[1]);
+        Out += " value=";
+      } else {
+        Out += "(br-func value=";
+      }
       printExpr(S.E[0]);
       Out += ")\n";
       return;

@@ -83,6 +83,17 @@ struct FuzzStmt {
     Call,          ///< E[0] = i32 arg; call function ordinal N; result is
                    ///< stored to local Index, or dropped if Index == ~0u.
     MemGrowStmt,   ///< E[0] = delta (masked to 0..3); result dropped.
+    Return,        ///< Value-carrying function return: E[0] = value (the
+                   ///< function's result type). Guarded wraps it in
+                   ///< (if E[1] (then value return)); unguarded emits the
+                   ///< bare return, leaving any following statements as
+                   ///< dead code the validator must type-check.
+    FuncBr,        ///< Branch to the *function-level* label (the shape the
+                   ///< PR-3 validator bug hid from the fuzzer): E[0] =
+                   ///< value. Guarded: value E[1] br_if <function label>
+                   ///< drop. Unguarded: value br <function label>, dead
+                   ///< code follows. The emitter computes the label index
+                   ///< from its block-nesting depth at the statement.
   };
 
   Kind K = Kind::LocalSet;

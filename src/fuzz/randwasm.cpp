@@ -37,6 +37,26 @@ bool fuzzProfileByName(const std::string &Name, FuzzProfile *Out) {
     *Out = C;
     return true;
   }
+  if (Name == "exits") {
+    // Function-level exit shapes: returns and function-label branches from
+    // deep nesting, with enough structured statements around them that
+    // exits fire from inside blocks/loops/ifs, plus dead code after the
+    // unconditional forms.
+    FuzzProfile E;
+    E.Name = "exits";
+    E.WReturn = 10;
+    E.WFuncBr = 12;
+    E.WIf = 10;
+    E.WLoop = 8;
+    E.WBlock = 7;
+    E.WResultBlock = 6;
+    E.WBrTable = 5;
+    E.StmtDepth = 3;
+    E.MinStmts = 3;
+    E.MaxStmts = 10;
+    *Out = E;
+    return true;
+  }
   if (Name == "memory") {
     FuzzProfile Mp;
     Mp.Name = "memory";
@@ -586,6 +606,8 @@ FuzzStmt RandWasm::genStmt(GenCtx &C, unsigned Depth) {
       {P.WResultBrTable, FuzzStmt::ResultBrTable},
       {Main && !HelperResults.empty() ? P.WCall : 0, FuzzStmt::Call},
       {P.WMemGrow, FuzzStmt::MemGrowStmt},
+      {P.WReturn, FuzzStmt::Return},
+      {P.WFuncBr, FuzzStmt::FuncBr},
   };
   unsigned Total = 0;
   for (const Choice &Ch : Choices)
@@ -721,6 +743,17 @@ FuzzStmt RandWasm::genStmt(GenCtx &C, unsigned Depth) {
     S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth));
     int L = pickLocal(C, HelperResults[H]);
     S.Index = L >= 0 ? uint32_t(L) : ~0u;
+    return S;
+  }
+  case FuzzStmt::Return:
+  case FuzzStmt::FuncBr: {
+    // Value-carrying function exits. Mostly conditional; 1-in-4 are
+    // unconditional, leaving the rest of the body as dead code the
+    // validator and every tier must agree on.
+    S.Guarded = !R.chance(1, 4);
+    S.E.push_back(genExpr(C, C.F->Result, P.ExprDepth - 1)); // Value.
+    if (S.Guarded)
+      S.E.push_back(genExpr(C, ValType::I32, P.ExprDepth - 1)); // Condition.
     return S;
   }
   default: { // MemGrowStmt

@@ -23,9 +23,11 @@
 
 namespace wisp {
 
-/// Generation weights and shape limits. The three stock profiles are
-/// "default", "control" (nested blocks, branches, calls) and "memory"
-/// (loads/stores, grow/size, boundary offsets).
+/// Generation weights and shape limits. The four stock profiles are
+/// "default", "control" (nested blocks, branches, calls), "memory"
+/// (loads/stores, grow/size, boundary offsets) and "exits"
+/// (function-level br/br_if/return, including from nested blocks, with
+/// dead code after unconditional exits).
 struct FuzzProfile {
   const char *Name = "default";
 
@@ -41,6 +43,13 @@ struct FuzzProfile {
   unsigned WResultBlock = 4;
   unsigned WResultBrTable = 3;
   unsigned WMemGrow = 1;
+  /// Function-level exits (value-carrying return / br to the function
+  /// label) — the coverage gap PR 3's validator bug exposed: the generator
+  /// only ever branched to inner blocks, so function-label handling was
+  /// differentially untested. Nonzero by default; the "exits" profile
+  /// turns them up.
+  unsigned WReturn = 2;
+  unsigned WFuncBr = 2;
 
   // Expression weights.
   unsigned WConst = 10;

@@ -50,11 +50,18 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
 
   restore();
 
+  // The faulting bytecode offset: machine pc of the current instruction
+  // (Pc was already advanced) mapped back through the compiler's line
+  // table, so JIT tiers report the same trap coordinate as the
+  // interpreters. Falls back to the frame's last observed Ip when the
+  // pipeline recorded no table (optimizing tier).
+  auto trapIp = [&]() { return Code->ipForPc(Pc - 1, F->Ip); };
+
 #define TRAP(Reason)                                                           \
   do {                                                                         \
     writeback();                                                               \
     T.JitCycles += Cyc;                                                        \
-    T.setTrap(Reason, F->Ip);                                                  \
+    T.setTrap(Reason, trapIp());                                               \
     return RunSignal::Trapped;                                                 \
   } while (0)
 
@@ -721,8 +728,13 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
       if (Callee->Host) {
         T.JitCycles += Cyc + 20;
         Cyc = 0;
-        if (!callHostFunc(T, Callee, ArgBase, F->Ip))
+        if (WISP_UNLIKELY(!callHostFunc(T, Callee, ArgBase, 0))) {
+          // Attribute the host error to the call's bytecode only on the
+          // trap path; the line-table search is not worth paying on every
+          // successful host call.
+          T.TrapIp = trapIp();
           return RunSignal::Trapped;
+        }
         MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
         MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
         break;
@@ -764,8 +776,13 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
       if (Callee->Host) {
         T.JitCycles += Cyc + 20;
         Cyc = 0;
-        if (!callHostFunc(T, Callee, ArgBase, F->Ip))
+        if (WISP_UNLIKELY(!callHostFunc(T, Callee, ArgBase, 0))) {
+          // Attribute the host error to the call's bytecode only on the
+          // trap path; the line-table search is not worth paying on every
+          // successful host call.
+          T.TrapIp = trapIp();
           return RunSignal::Trapped;
+        }
         MemData = Inst->HasMemory ? Inst->Memory.data() : nullptr;
         MemSize = Inst->HasMemory ? Inst->Memory.byteSize() : 0;
         break;
@@ -785,12 +802,22 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
 
     case MOp::Ret: {
       Cyc += 2;
+      uint32_t RetBase = Vfp; // Results were written at the callee's Vfp.
+      uint32_t NRes = uint32_t(Func->Type->Results.size());
       T.Frames.pop_back();
       if (T.Frames.size() < EntryDepth) {
         T.JitCycles += Cyc;
         return RunSignal::Done;
       }
       if (T.Frames.back().Kind != FrameKind::Jit) {
+        // Returning into an interpreter frame: the interpreter resumes
+        // from its frame's Sp, so set it to the post-call height exactly
+        // as the interpreter's own End/Return paths do for their callers.
+        // (A JIT caller keeps height in its abstract state and ignores
+        // Sp here.) Without this, an interpreter caller resumed at its
+        // written-back Sp — which excludes the results — silently
+        // dropping the callee's return value on mixed-tier calls.
+        T.Frames.back().Sp = RetBase + NRes;
         T.JitCycles += Cyc;
         return RunSignal::SwitchTier;
       }

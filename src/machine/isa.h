@@ -256,12 +256,26 @@ struct CompileStats {
   uint64_t SnapshotBytes = 0; ///< Abstract-state snapshot traffic.
 };
 
+/// One line-table entry: machine instructions at or after \p Pc (up to the
+/// next entry) were emitted for the bytecode instruction at \p Ip.
+struct LineEntry {
+  uint32_t Pc = 0;
+  uint32_t Ip = 0;
+};
+
 /// Compiled machine code for one function.
 class MCode {
 public:
   std::vector<MInst> Insts;
   std::vector<std::vector<uint32_t>> BrTables;
   std::vector<StackMapEntry> StackMaps;
+  /// Machine-pc -> bytecode-offset line table, sorted by Pc. Single-pass
+  /// pipelines (SPC, copy-and-patch, two-pass) record one entry per
+  /// translated opcode, so the executor can attribute a trap to the exact
+  /// faulting bytecode — the same coordinate the interpreters report. The
+  /// optimizing pipeline reorders and folds across opcodes and leaves this
+  /// empty (trap bytecode offsets are unavailable on that tier).
+  std::vector<LineEntry> LineTable;
   /// OSR entry points: bytecode loop-header offset -> machine pc (state is
   /// fully spilled there).
   struct OsrEntry {
@@ -280,6 +294,34 @@ public:
       if (E.Ip == Ip)
         return &E;
     return nullptr;
+  }
+
+  /// Appends a line-table entry for the bytecode at \p Ip whose code
+  /// starts at the current end of Insts (coalescing empty emissions).
+  void noteLine(uint32_t Ip) {
+    uint32_t Pc = uint32_t(Insts.size());
+    // Keep the table sorted: an opcode that emitted nothing is shadowed by
+    // its successor, and peephole fusion may have popped an instruction.
+    while (!LineTable.empty() && LineTable.back().Pc >= Pc)
+      LineTable.pop_back();
+    LineTable.push_back({Pc, Ip});
+  }
+
+  /// Maps a machine pc back to the bytecode offset of the instruction it
+  /// was emitted for; \p Fallback when no line table was recorded.
+  uint32_t ipForPc(uint32_t Pc, uint32_t Fallback) const {
+    if (LineTable.empty())
+      return Fallback;
+    // Last entry with Entry.Pc <= Pc (the table is sorted by Pc).
+    size_t Lo = 0, Hi = LineTable.size();
+    while (Lo + 1 < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (LineTable[Mid].Pc <= Pc)
+        Lo = Mid;
+      else
+        Hi = Mid;
+    }
+    return LineTable[Lo].Pc <= Pc ? LineTable[Lo].Ip : Fallback;
   }
 
   /// Finds the stackmap covering \p Pc, or nullptr.

@@ -1,0 +1,494 @@
+//===- service/batch.cpp - parallel batch runner ----------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/batch.h"
+
+#include "engine/registry.h"
+#include "suites/suites.h"
+#include "support/clock.h"
+#include "support/format.h"
+
+#include <cctype>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace wisp {
+
+namespace {
+
+bool knownConfig(const std::string &Name) {
+  for (const EngineConfig &C : figure10Registry())
+    if (C.Name == Name)
+      return true;
+  return false;
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Toks;
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && isspace(uint8_t(Line[I])))
+      ++I;
+    size_t Start = I;
+    while (I < Line.size() && !isspace(uint8_t(Line[I])))
+      ++I;
+    if (I > Start)
+      Toks.push_back(Line.substr(Start, I - Start));
+  }
+  return Toks;
+}
+
+/// A bounded MPMC queue of job indexes: the submission side blocks when
+/// the queue is full (backpressure — the seam future async submission
+/// plugs into), workers block when it is empty until close().
+class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Cap) : Cap(Cap ? Cap : 1) {}
+
+  void push(uint32_t V) {
+    std::unique_lock<std::mutex> L(Mu);
+    NotFull.wait(L, [&] { return Q.size() < Cap; });
+    Q.push_back(V);
+    NotEmpty.notify_one();
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> L(Mu);
+    Closed = true;
+    NotEmpty.notify_all();
+  }
+
+  bool pop(uint32_t *Out) {
+    std::unique_lock<std::mutex> L(Mu);
+    NotEmpty.wait(L, [&] { return !Q.empty() || Closed; });
+    if (Q.empty())
+      return false;
+    *Out = Q.front();
+    Q.pop_front();
+    NotFull.notify_one();
+    return true;
+  }
+
+private:
+  std::mutex Mu;
+  std::condition_variable NotEmpty, NotFull;
+  std::deque<uint32_t> Q;
+  size_t Cap;
+  bool Closed = false;
+};
+
+/// Executes one job in a private, freshly constructed Engine (the same
+/// fresh-VM-per-item methodology the paper's measurements use; nothing
+/// outlives the job, so workers share no mutable state).
+BatchJobResult runOneJob(const BatchJob &Job) {
+  BatchJobResult R;
+  R.Index = Job.Index;
+  Engine E(configByName(Job.Config));
+  installGcHostFuncs(E);
+  WasmError Err;
+  std::unique_ptr<LoadedModule> LM = E.load(Job.Bytes, &Err);
+  if (!LM) {
+    R.Error = strFormat("load failed: %s (offset %zu)", Err.Message.c_str(),
+                        Err.Offset);
+    return R;
+  }
+  R.Stats = LM->Stats;
+  FuncInstance *F = LM->Inst->findExportedFunc(Job.Invoke);
+  if (!F) {
+    R.Error = strFormat("no exported function '%s'", Job.Invoke.c_str());
+    return R;
+  }
+  const std::vector<ValType> &Params = F->Type->Params;
+  if (Job.RawArgs.size() != Params.size()) {
+    R.Error = strFormat("'%s' takes %zu argument(s), got %zu",
+                        Job.Invoke.c_str(), Params.size(), Job.RawArgs.size());
+    return R;
+  }
+  std::vector<Value> Args;
+  for (size_t I = 0; I < Params.size(); ++I) {
+    Value V;
+    if (!parseValueText(Job.RawArgs[I], Params[I], &V)) {
+      R.Error = strFormat("cannot parse argument %zu '%s' as %s", I + 1,
+                          Job.RawArgs[I].c_str(), valTypeName(Params[I]));
+      return R;
+    }
+    Args.push_back(V);
+  }
+  R.Trap = E.invoke(*LM, Job.Invoke, Args, &R.Results);
+  if (R.Trap != TrapReason::None)
+    R.Results.clear();
+  R.ModeledCycles = E.thread().modeledCycles();
+  R.Ok = true;
+  return R;
+}
+
+} // namespace
+
+const char *tierToConfigName(const std::string &Tier) {
+  if (Tier == "int")
+    return "wizard-int"; // In-place interpreter.
+  if (Tier == "threaded")
+    return "interp-threaded"; // Pre-decoded threaded-dispatch interpreter.
+  if (Tier == "spc")
+    return "wizard-spc"; // The paper's single-pass compiler.
+  if (Tier == "copypatch")
+    return "wasm-now"; // Copy-and-patch templates.
+  if (Tier == "twopass")
+    return "wazero"; // Listing-IR two-pass baseline.
+  if (Tier == "opt")
+    return "wasmtime"; // IR-based optimizing compiler.
+  return nullptr;
+}
+
+bool parseValueText(const std::string &Text, ValType Ty, Value *Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  const char *S = Text.c_str();
+  char *End = nullptr;
+  switch (Ty) {
+  case ValType::I32:
+  case ValType::I64: {
+    // Accept the full signed and unsigned range of the target width;
+    // reject anything that would silently truncate.
+    long long V;
+    if (Text[0] == '-') {
+      V = strtoll(S, &End, 0);
+    } else {
+      unsigned long long U = strtoull(S, &End, 0);
+      V = (long long)U;
+    }
+    if (End == S || *End || errno == ERANGE)
+      return false;
+    if (Ty == ValType::I32) {
+      if (Text[0] == '-' ? V < INT32_MIN : (unsigned long long)V > UINT32_MAX)
+        return false;
+      *Out = Value::makeI32(int32_t(uint32_t(V)));
+    } else {
+      *Out = Value::makeI64(V);
+    }
+    return true;
+  }
+  case ValType::F32:
+  case ValType::F64: {
+    double V = strtod(S, &End);
+    if (End == S || *End)
+      return false;
+    *Out = Ty == ValType::F32 ? Value::makeF32(float(V)) : Value::makeF64(V);
+    return true;
+  }
+  default:
+    return false; // Reference arguments cannot be spelled in text.
+  }
+}
+
+std::string valueText(Value V) {
+  switch (V.Type) {
+  case ValType::I32:
+    return strFormat("%d:i32", V.asI32());
+  case ValType::I64:
+    return strFormat("%lld:i64", (long long)V.asI64());
+  case ValType::F32:
+    return strFormat("%g:f32", double(V.asF32()));
+  case ValType::F64:
+    return strFormat("%g:f64", V.asF64());
+  default:
+    return strFormat("0x%llx:%s", (unsigned long long)V.Bits,
+                     valTypeName(V.Type));
+  }
+}
+
+namespace {
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> *Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out->assign(std::istreambuf_iterator<char>(In),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Suite-item lookup over pre-generated items ("suite/name", or a bare
+/// item name if unambiguous). Copies the bytes so callers can cache and
+/// reuse the generated item list across jobs.
+bool resolveFromSuites(const std::string &Spec, std::vector<LineItem> &Items,
+                       bool UseM0, std::vector<uint8_t> *Out,
+                       std::string *Err) {
+  LineItem *ByName = nullptr;
+  for (LineItem &I : Items) {
+    if (I.Suite + "/" + I.Name == Spec) {
+      *Out = UseM0 ? I.M0Bytes : I.Bytes;
+      return true;
+    }
+    if (I.Name == Spec) {
+      if (ByName) {
+        if (Err)
+          *Err = strFormat("item name '%s' is ambiguous (%s/%s and %s/%s); "
+                           "use the suite/name form",
+                           Spec.c_str(), ByName->Suite.c_str(),
+                           ByName->Name.c_str(), I.Suite.c_str(),
+                           I.Name.c_str());
+        return false;
+      }
+      ByName = &I;
+    }
+  }
+  if (ByName) {
+    *Out = UseM0 ? ByName->M0Bytes : ByName->Bytes;
+    return true;
+  }
+  if (Err)
+    *Err = strFormat("cannot resolve module '%s' (not a file, not a suite "
+                     "item)",
+                     Spec.c_str());
+  return false;
+}
+
+} // namespace
+
+bool resolveModuleSpec(const std::string &Spec, int Scale, bool UseM0,
+                       std::vector<uint8_t> *Out, std::string *Err) {
+  if (readFileBytes(Spec, Out))
+    return true;
+  if (Spec == "nop") {
+    *Out = nopModule();
+    return true;
+  }
+  std::vector<LineItem> Items = allSuites(Scale);
+  return resolveFromSuites(Spec, Items, UseM0, Out, Err);
+}
+
+bool parseBatchManifest(const std::string &Text,
+                        std::vector<BatchJob> *Out, std::string *Err) {
+  Out->clear();
+  uint32_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    std::string Line = Text.substr(
+        Pos, Nl == std::string::npos ? std::string::npos : Nl - Pos);
+    Pos = Nl == std::string::npos ? Text.size() + 1 : Nl + 1;
+    ++LineNo;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::vector<std::string> Toks = tokenize(Line);
+    if (Toks.empty())
+      continue;
+
+    BatchJob Job;
+    Job.Index = uint32_t(Out->size());
+    Job.Line = LineNo;
+    Job.Module = Toks[0];
+    std::string Tier, Config;
+    for (size_t I = 1; I < Toks.size(); ++I) {
+      const std::string &T = Toks[I];
+      auto Val = [&](const char *Key) -> const char * {
+        size_t N = strlen(Key);
+        return T.compare(0, N, Key) == 0 ? T.c_str() + N : nullptr;
+      };
+      if (const char *V = Val("tier=")) {
+        Tier = V;
+      } else if (const char *V = Val("config=")) {
+        Config = V;
+      } else if (const char *V = Val("invoke=")) {
+        Job.Invoke = V;
+      } else if (const char *V = Val("scale=")) {
+        char *End = nullptr;
+        long S = strtol(V, &End, 10);
+        if (End == V || *End || S < 1) {
+          *Err = strFormat("manifest line %u: bad scale '%s'", LineNo, V);
+          return false;
+        }
+        Job.Scale = int(S);
+      } else if (T == "m0") {
+        Job.UseM0 = true;
+      } else if (const char *V = Val("args=")) {
+        // Comma-separated values, parsed against the export signature at
+        // run time (the signature is unknown until the module loads).
+        // "args=" alone means zero arguments; an empty segment ("3,,7" or
+        // a trailing comma) is a typo, not a value, and is rejected like
+        // every other malformed key.
+        if (*V) {
+          std::string Arg;
+          for (const char *P = V;; ++P) {
+            if (*P == ',' || *P == '\0') {
+              if (Arg.empty()) {
+                *Err = strFormat("manifest line %u: empty args= segment",
+                                 LineNo);
+                return false;
+              }
+              Job.RawArgs.push_back(Arg);
+              Arg.clear();
+              if (*P == '\0')
+                break;
+            } else {
+              Arg += *P;
+            }
+          }
+        }
+      } else {
+        *Err = strFormat("manifest line %u: unknown key '%s' (want tier= "
+                         "config= invoke= scale= m0 args=)",
+                         LineNo, T.c_str());
+        return false;
+      }
+    }
+    if (!Tier.empty() && !Config.empty()) {
+      *Err = strFormat("manifest line %u: tier= and config= are mutually "
+                       "exclusive",
+                       LineNo);
+      return false;
+    }
+    if (!Tier.empty()) {
+      const char *Name = tierToConfigName(Tier);
+      if (!Name) {
+        *Err = strFormat("manifest line %u: unknown tier '%s'", LineNo,
+                         Tier.c_str());
+        return false;
+      }
+      Job.Config = Name;
+    } else if (!Config.empty()) {
+      if (!knownConfig(Config)) {
+        *Err = strFormat("manifest line %u: unknown config '%s'", LineNo,
+                         Config.c_str());
+        return false;
+      }
+      Job.Config = Config;
+    } else {
+      Job.Config = "wizard-spc";
+    }
+    Out->push_back(std::move(Job));
+  }
+  if (Out->empty()) {
+    *Err = "manifest contains no jobs";
+    return false;
+  }
+  return true;
+}
+
+bool resolveBatchModules(std::vector<BatchJob> *Jobs, std::string *Err) {
+  // Suite generation materializes every embedded module, so do it at most
+  // once per distinct scale= rather than once per manifest line.
+  std::map<int, std::vector<LineItem>> SuiteCache;
+  for (BatchJob &Job : *Jobs) {
+    if (readFileBytes(Job.Module, &Job.Bytes))
+      continue;
+    if (Job.Module == "nop") {
+      Job.Bytes = nopModule();
+      continue;
+    }
+    auto It = SuiteCache.find(Job.Scale);
+    if (It == SuiteCache.end())
+      It = SuiteCache.emplace(Job.Scale, allSuites(Job.Scale)).first;
+    std::string Detail;
+    if (!resolveFromSuites(Job.Module, It->second, Job.UseM0, &Job.Bytes,
+                           &Detail)) {
+      *Err = strFormat("manifest line %u: %s", Job.Line, Detail.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+BatchReport runBatch(const std::vector<BatchJob> &Jobs, unsigned Workers) {
+  BatchReport Report;
+  Report.Workers = Workers ? Workers : 1;
+  Report.Results.resize(Jobs.size());
+  double T0 = nowMs();
+
+  // Bounded to 2x the worker count: enough to keep every worker fed,
+  // small enough that submission exerts backpressure.
+  BoundedQueue Queue(size_t(Report.Workers) * 2);
+  std::vector<std::thread> Pool;
+  Pool.reserve(Report.Workers);
+  for (unsigned W = 0; W < Report.Workers; ++W) {
+    Pool.emplace_back([&Jobs, &Report, &Queue] {
+      uint32_t Idx = 0;
+      // Each result lands in its own pre-sized slot, so workers never
+      // contend on the result vector.
+      while (Queue.pop(&Idx))
+        Report.Results[Idx] = runOneJob(Jobs[Idx]);
+    });
+  }
+  for (uint32_t I = 0; I < uint32_t(Jobs.size()); ++I)
+    Queue.push(I);
+  Queue.close();
+  for (std::thread &Th : Pool)
+    Th.join();
+  Report.WallMs = nowMs() - T0;
+  return Report;
+}
+
+void printBatchReport(FILE *Out, const std::vector<BatchJob> &Jobs,
+                      const BatchReport &Report, bool Stats) {
+  // Per-job lines are fully deterministic (no wall times, no rates): the
+  // same manifest must print byte-identical job lines for any --jobs=K.
+  uint64_t TotalCycles = 0;
+  size_t TotalCode = 0, TotalIr = 0;
+  uint64_t TotalInsts = 0;
+  unsigned Failed = 0, Trapped = 0;
+  for (size_t I = 0; I < Report.Results.size(); ++I) {
+    const BatchJobResult &R = Report.Results[I];
+    const BatchJob &Job = Jobs[I];
+    fprintf(Out, "[%u] %s %s", R.Index, Job.Module.c_str(),
+            Job.Config.c_str());
+    if (!R.Ok) {
+      fprintf(Out, " error: %s\n", R.Error.c_str());
+      ++Failed;
+      continue;
+    }
+    fprintf(Out, " %s(", Job.Invoke.c_str());
+    for (size_t A = 0; A < Job.RawArgs.size(); ++A)
+      fprintf(Out, "%s%s", A ? ", " : "", Job.RawArgs[A].c_str());
+    fprintf(Out, ")");
+    if (R.Trap != TrapReason::None) {
+      fprintf(Out, " trap: %s", trapReasonName(R.Trap));
+      ++Trapped; // A trap is a result, not an infrastructure failure.
+    } else {
+      fprintf(Out, " = ");
+      if (R.Results.empty())
+        fprintf(Out, "<void>");
+      for (size_t V = 0; V < R.Results.size(); ++V)
+        fprintf(Out, "%s%s", V ? ", " : "", valueText(R.Results[V]).c_str());
+    }
+    fprintf(Out, " cycles=%llu", (unsigned long long)R.ModeledCycles);
+    if (Stats)
+      fprintf(Out, " module=%zu code=%zu insts=%llu ir=%zu",
+              R.Stats.ModuleBytes, R.Stats.CodeBytes,
+              (unsigned long long)R.Stats.CodeInsts, R.Stats.IrBytes);
+    fprintf(Out, "\n");
+    TotalCycles += R.ModeledCycles;
+    TotalCode += R.Stats.CodeBytes;
+    TotalIr += R.Stats.IrBytes;
+    TotalInsts += R.Stats.CodeInsts;
+  }
+  // Summary lines carry timing and are '#'-prefixed so determinism checks
+  // (and scripts) can strip them.
+  // "failed" mirrors the CLI exit-code contract (infrastructure failures
+  // only); trapped jobs ran to a result and are tallied separately.
+  double Secs = Report.WallMs / 1e3;
+  fprintf(Out, "# batch: %zu job(s), %u failed, %u trapped, %u worker(s), "
+               "%.1f ms, %.1f jobs/s\n",
+          Report.Results.size(), Failed, Trapped, Report.Workers,
+          Report.WallMs,
+          Secs > 0 ? double(Report.Results.size()) / Secs : 0.0);
+  fprintf(Out, "# aggregate: %llu modeled cycles, %zu code bytes, %llu "
+               "machine insts, %zu threaded-IR bytes\n",
+          (unsigned long long)TotalCycles, TotalCode,
+          (unsigned long long)TotalInsts, TotalIr);
+}
+
+} // namespace wisp

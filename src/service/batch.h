@@ -1,0 +1,118 @@
+//===- service/batch.h - parallel batch runner ------------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first scale-out layer of wisp: a thread-pool service that loads and
+/// runs many modules concurrently, one private Engine per worker job. The
+/// paper's methodology measures one module at a time in a fresh VM; a
+/// serving system does the same work N jobs at a time across K workers,
+/// which is exactly the runtime-compilation regime where baseline-compiler
+/// speed dominates. Jobs come from a manifest (one job per line: a module
+/// spec plus per-job tier/config/invoke/scale overrides), flow through a
+/// bounded work queue, and produce a deterministic report: per-job results
+/// in manifest order, independent of worker count and scheduling.
+///
+/// Every future serving feature (compile-cache sharing, sharding, async
+/// I/O) plugs into this worker-pool seam; see DESIGN.md "The batch
+/// service" and the engine thread-safety contract in engine/engine.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SERVICE_BATCH_H
+#define WISP_SERVICE_BATCH_H
+
+#include "engine/engine.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+/// One job of a batch manifest.
+struct BatchJob {
+  uint32_t Index = 0;    ///< Manifest position; fixes the report order.
+  uint32_t Line = 0;     ///< Manifest line number (diagnostics).
+  std::string Module;    ///< "suite/item", bare item, "nop", or .wasm path.
+  std::string Config;    ///< Registry configuration name (resolved).
+  std::string Invoke = "run";
+  int Scale = 1;
+  bool UseM0 = false;
+  std::vector<std::string> RawArgs; ///< Parsed against the export signature.
+  std::vector<uint8_t> Bytes;       ///< Resolved module bytes.
+};
+
+/// Deterministic observation of one executed job. Deliberately carries no
+/// per-job wall time: everything here is scheduling-independent, which is
+/// what makes the per-job report lines byte-identical across worker
+/// counts (batch-level wall time lives on BatchReport).
+struct BatchJobResult {
+  uint32_t Index = 0;
+  bool Ok = false;          ///< Loaded, export found, args parsed, ran.
+  std::string Error;        ///< Load/lookup/parse failure description.
+  TrapReason Trap = TrapReason::None;
+  std::vector<Value> Results;
+  uint64_t ModeledCycles = 0;
+  LoadStats Stats;
+};
+
+/// An executed batch: per-job results in manifest order plus aggregates.
+struct BatchReport {
+  std::vector<BatchJobResult> Results;
+  unsigned Workers = 0;
+  double WallMs = 0; ///< End-to-end batch wall time.
+};
+
+/// Parses manifest text: one job per non-empty, non-comment line,
+///   <module> [tier=T|config=NAME] [invoke=NAME] [scale=N] [m0]
+///            [args=v1,v2,...]
+/// Returns false and a line-numbered diagnostic in \p Err on malformed
+/// input (unknown key, tier+config conflict, bad scale, unknown
+/// tier/config). Module bytes are *not* resolved here.
+bool parseBatchManifest(const std::string &Text,
+                        std::vector<BatchJob> *Out, std::string *Err);
+
+/// Resolves every job's module spec to bytes (file, "nop", or embedded
+/// suite item at the job's scale/m0). Returns false and a diagnostic on
+/// the first unresolvable spec.
+bool resolveBatchModules(std::vector<BatchJob> *Jobs, std::string *Err);
+
+/// Runs \p Jobs across \p Workers threads. Each worker pulls job indexes
+/// from a bounded queue and executes every job in a private Engine (no
+/// engine, thread, or loaded module is ever shared between workers — see
+/// the thread-safety contract in engine/engine.h). The result vector is
+/// indexed by manifest position, so the report is byte-identical for any
+/// worker count.
+BatchReport runBatch(const std::vector<BatchJob> &Jobs, unsigned Workers);
+
+/// Prints the report to \p Out: one deterministic line per job (manifest
+/// order), then '#'-prefixed summary lines (wall time, throughput,
+/// aggregate LoadStats) that a determinism check should filter out.
+/// \p Stats adds per-job deterministic size statistics.
+void printBatchReport(FILE *Out, const std::vector<BatchJob> &Jobs,
+                      const BatchReport &Report, bool Stats);
+
+/// Parses \p Text as a \p Ty value (i32/i64 decimal or 0x-hex with full
+/// unsigned/signed range, f32/f64 decimal). Shared by the CLI and the
+/// manifest args= key.
+bool parseValueText(const std::string &Text, ValType Ty, Value *Out);
+
+/// Renders \p V the way the CLI prints results ("252:i32").
+std::string valueText(Value V);
+
+/// Resolves a module spec the way the wisp CLI does: an on-disk file wins,
+/// then "nop", then "suite/item" (or a bare item name if unambiguous).
+/// On ambiguity prints nothing; returns false with \p Err describing why.
+bool resolveModuleSpec(const std::string &Spec, int Scale, bool UseM0,
+                       std::vector<uint8_t> *Out, std::string *Err);
+
+/// Maps a tier shorthand (CLI --tier / manifest tier=) to its registry
+/// configuration name, or nullptr for an unknown tier.
+const char *tierToConfigName(const std::string &Tier);
+
+} // namespace wisp
+
+#endif // WISP_SERVICE_BATCH_H

@@ -2138,6 +2138,7 @@ void SPC::run() {
     // Probe sites are observation points compiled before the instruction.
     if (Probes)
       handleProbe(OpIp);
+    Code.noteLine(OpIp);
     compileOp(Op, OpIp);
   }
   assert(Ctrl.empty() && "unbalanced control stack");

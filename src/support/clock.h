@@ -1,0 +1,34 @@
+//===- support/clock.h - monotonic wall-clock helpers -----------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one steady-clock reading used for every wall-time measurement
+/// (engine load stats, CLI --time, batch summaries, benchmarks), so a
+/// future clock-source change happens in exactly one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SUPPORT_CLOCK_H
+#define WISP_SUPPORT_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace wisp {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline uint64_t nowNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+/// Monotonic milliseconds (fractional) since an arbitrary epoch.
+inline double nowMs() { return double(nowNs()) / 1e6; }
+
+} // namespace wisp
+
+#endif // WISP_SUPPORT_CLOCK_H

@@ -12,15 +12,17 @@
 //   wisp --tier=spc ostrich/crc
 //   wisp --tier=int --invoke=gcd module.wasm 3528 3780
 //   wisp --monitor=branches --stats polybench/2mm
+//   wisp --batch=manifest.txt --jobs=8
 //
 //===----------------------------------------------------------------------===//
 
 #include "engine/engine.h"
 #include "engine/registry.h"
 #include "instr/monitors.h"
+#include "service/batch.h"
 #include "suites/suites.h"
+#include "support/clock.h"
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -37,8 +39,9 @@ const char *UsageText =
     "usage: wisp [options] <module> [args...]\n"
     "\n"
     "  <module>  path to a .wasm file, or an embedded suite item\n"
-    "            (\"polybench/2mm\", \"libsodium/chacha20\", \"ostrich/crc\",\n"
-    "            ... see --list), or \"nop\" for the 104-byte no-op module\n"
+    "            (\"polybench/2mm\", \"libsodium/stream_chacha20\",\n"
+    "            \"ostrich/crc\", ... see --list), or \"nop\" for the\n"
+    "            104-byte no-op module\n"
     "  [args]    arguments for the invoked export, parsed against its\n"
     "            signature: i32/i64 as decimal or 0x-hex, f32/f64 as decimal\n"
     "\n"
@@ -57,6 +60,15 @@ const char *UsageText =
     "                   branches | coverage | count:<opcode mnemonic>\n"
     "  --stats          print load and execution statistics\n"
     "  --time           print setup and main-phase wall times\n"
+    "  --batch=FILE     batch mode: run every job of a manifest across a\n"
+    "                   worker pool (one private engine per job) and print\n"
+    "                   a deterministic per-job report. Manifest lines:\n"
+    "                     <module> [tier=T|config=NAME] [invoke=NAME]\n"
+    "                              [scale=N] [m0] [args=v1,v2,...]\n"
+    "                   ('#' comments). Mutually exclusive with the\n"
+    "                   single-module flags above; traps are reported as\n"
+    "                   results, infrastructure failures exit nonzero\n"
+    "  --jobs=K         batch worker threads (default 1; requires --batch)\n"
     "  --list           list embedded suite items and exit\n"
     "  --list-configs   list named engine configurations and exit\n"
     "  --help           show this help\n";
@@ -67,67 +79,6 @@ int usageError(const char *Fmt, const char *Arg) {
   return 2;
 }
 
-/// Maps a --tier name to a registry configuration name.
-const char *tierConfigName(const std::string &Tier) {
-  if (Tier == "int")
-    return "wizard-int"; // In-place interpreter.
-  if (Tier == "threaded")
-    return "interp-threaded"; // Pre-decoded threaded-dispatch interpreter.
-  if (Tier == "spc")
-    return "wizard-spc"; // The paper's single-pass compiler.
-  if (Tier == "copypatch")
-    return "wasm-now"; // Copy-and-patch templates.
-  if (Tier == "twopass")
-    return "wazero"; // Listing-IR two-pass baseline.
-  if (Tier == "opt")
-    return "wasmtime"; // IR-based optimizing compiler.
-  return nullptr;
-}
-
-bool readFile(const std::string &Path, std::vector<uint8_t> *Out) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return false;
-  Out->assign(std::istreambuf_iterator<char>(In),
-              std::istreambuf_iterator<char>());
-  return true;
-}
-
-/// Resolves <module>: a file on disk wins, then "nop", then "suite/item"
-/// (or a bare item name, if unambiguous across suites).
-bool resolveModule(const std::string &Spec, int Scale, bool UseM0,
-                   std::vector<uint8_t> *Out) {
-  if (readFile(Spec, Out))
-    return true;
-  if (Spec == "nop") {
-    *Out = nopModule();
-    return true;
-  }
-  std::vector<LineItem> Items = allSuites(Scale);
-  LineItem *ByName = nullptr;
-  for (LineItem &I : Items) {
-    if (I.Suite + "/" + I.Name == Spec) {
-      *Out = UseM0 ? std::move(I.M0Bytes) : std::move(I.Bytes);
-      return true;
-    }
-    if (I.Name == Spec) {
-      if (ByName) {
-        fprintf(stderr,
-                "wisp: item name '%s' is ambiguous (%s/%s and %s/%s); "
-                "use the suite/name form\n",
-                Spec.c_str(), ByName->Suite.c_str(), ByName->Name.c_str(),
-                I.Suite.c_str(), I.Name.c_str());
-        return false;
-      }
-      ByName = &I;
-    }
-  }
-  if (ByName) {
-    *Out = UseM0 ? std::move(ByName->M0Bytes) : std::move(ByName->Bytes);
-    return true;
-  }
-  return false;
-}
 
 /// Looks an opcode up by mnemonic (e.g. "i32.add", "call").
 bool opcodeByName(const std::string &Name, Opcode *Out) {
@@ -144,73 +95,8 @@ bool opcodeByName(const std::string &Name, Opcode *Out) {
   return Scan(0x00, 0xFF) || Scan(0xFC00, 0xFCFF);
 }
 
-bool parseValue(const std::string &Text, ValType Ty, Value *Out) {
-  errno = 0;
-  const char *S = Text.c_str();
-  char *End = nullptr;
-  switch (Ty) {
-  case ValType::I32:
-  case ValType::I64: {
-    // Accept the full signed and unsigned range of the target width;
-    // reject anything that would silently truncate.
-    long long V;
-    if (Text[0] == '-') {
-      V = strtoll(S, &End, 0);
-    } else {
-      unsigned long long U = strtoull(S, &End, 0);
-      V = (long long)U;
-    }
-    if (End == S || *End || errno == ERANGE)
-      return false;
-    if (Ty == ValType::I32) {
-      if (Text[0] == '-' ? V < INT32_MIN
-                         : (unsigned long long)V > UINT32_MAX)
-        return false;
-      *Out = Value::makeI32(int32_t(uint32_t(V)));
-    } else {
-      *Out = Value::makeI64(V);
-    }
-    return true;
-  }
-  case ValType::F32:
-  case ValType::F64: {
-    double V = strtod(S, &End);
-    if (End == S || *End)
-      return false;
-    *Out = Ty == ValType::F32 ? Value::makeF32(float(V)) : Value::makeF64(V);
-    return true;
-  }
-  default:
-    return false; // Reference arguments cannot be spelled on a command line.
-  }
-}
+void printValue(Value V) { fputs(valueText(V).c_str(), stdout); }
 
-void printValue(Value V) {
-  switch (V.Type) {
-  case ValType::I32:
-    printf("%d:i32", V.asI32());
-    break;
-  case ValType::I64:
-    printf("%lld:i64", (long long)V.asI64());
-    break;
-  case ValType::F32:
-    printf("%g:f32", double(V.asF32()));
-    break;
-  case ValType::F64:
-    printf("%g:f64", V.asF64());
-    break;
-  default:
-    printf("0x%llx:%s", (unsigned long long)V.Bits, valTypeName(V.Type));
-    break;
-  }
-}
-
-double nowMs() {
-  return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now().time_since_epoch())
-                    .count()) /
-         1e6;
-}
 
 int listSuites(int Scale) {
   for (const LineItem &I : allSuites(Scale))
@@ -247,16 +133,48 @@ struct CliOptions {
   bool TierSet = false; ///< --tier was given explicitly.
   std::string Config;
   std::string Invoke = "run";
+  bool InvokeSet = false;
   std::string Module;
   std::vector<std::string> Monitors;
   std::vector<std::string> RawArgs;
   int Scale = 1;
+  bool ScaleSet = false;
   bool UseM0 = false;
   bool Stats = false;
   bool Time = false;
   bool List = false;
   bool ListConfigs = false;
+  std::string Batch; ///< --batch manifest path.
+  int Jobs = 1;
+  bool JobsSet = false;
 };
+
+/// Batch mode: parse + resolve the manifest, run it across the worker
+/// pool, print the deterministic report.
+int runBatchMode(const CliOptions &Opt) {
+  std::ifstream In(Opt.Batch, std::ios::binary);
+  if (!In) {
+    fprintf(stderr, "wisp: cannot read manifest '%s'\n", Opt.Batch.c_str());
+    return 2;
+  }
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  std::vector<BatchJob> Jobs;
+  std::string Err;
+  if (!parseBatchManifest(Text, &Jobs, &Err) ||
+      !resolveBatchModules(&Jobs, &Err)) {
+    fprintf(stderr, "wisp: %s: %s\n", Opt.Batch.c_str(), Err.c_str());
+    return 2;
+  }
+  BatchReport Report = runBatch(Jobs, unsigned(Opt.Jobs));
+  printBatchReport(stdout, Jobs, Report, Opt.Stats);
+  // Traps are results (reported per job); only infrastructure failures
+  // (load/export/argument errors) fail the batch.
+  for (const BatchJobResult &R : Report.Results)
+    if (!R.Ok)
+      return 1;
+  return 0;
+}
 
 } // namespace
 
@@ -275,10 +193,21 @@ int main(int argc, char **argv) {
       Opt.Config = V;
     } else if (const char *V = Val("--invoke=")) {
       Opt.Invoke = V;
+      Opt.InvokeSet = true;
     } else if (const char *V = Val("--scale=")) {
       Opt.Scale = atoi(V);
+      Opt.ScaleSet = true;
       if (Opt.Scale < 1)
         return usageError("bad --scale value: %s\n", V);
+    } else if (const char *V = Val("--batch=")) {
+      Opt.Batch = V;
+    } else if (const char *V = Val("--jobs=")) {
+      char *End = nullptr;
+      long Jobs = strtol(V, &End, 10);
+      Opt.JobsSet = true;
+      if (End == V || *End || Jobs < 1 || Jobs > 1024)
+        return usageError("bad --jobs value: %s (want 1..1024)\n", V);
+      Opt.Jobs = int(Jobs);
     } else if (const char *V = Val("--monitor=")) {
       Opt.Monitors.push_back(V);
     } else if (A == "--m0") {
@@ -307,6 +236,28 @@ int main(int argc, char **argv) {
     return listSuites(Opt.Scale);
   if (Opt.ListConfigs)
     return listConfigs();
+
+  // Batch mode: per-job tier/config/invoke/scale live in the manifest, so
+  // every single-module flag conflicts with --batch.
+  if (!Opt.Batch.empty()) {
+    const char *Conflict = Opt.TierSet         ? "--tier"
+                           : !Opt.Config.empty() ? "--config"
+                           : Opt.InvokeSet       ? "--invoke"
+                           : Opt.ScaleSet        ? "--scale"
+                           : Opt.UseM0           ? "--m0"
+                           : !Opt.Monitors.empty() ? "--monitor"
+                           : Opt.Time              ? "--time"
+                           : !Opt.Module.empty()   ? "<module>"
+                                                   : nullptr;
+    if (Conflict)
+      return usageError("--batch is mutually exclusive with single-module "
+                        "flags (got %s; put per-job settings in the "
+                        "manifest)\n",
+                        Conflict);
+    return runBatchMode(Opt);
+  }
+  if (Opt.JobsSet)
+    return usageError("%s", "--jobs requires --batch\n");
   if (Opt.Module.empty())
     return usageError("%s", "no module given\n");
 
@@ -327,20 +278,20 @@ int main(int argc, char **argv) {
                         Opt.Config.c_str());
     Cfg = configByName(Opt.Config);
   } else {
-    const char *Name = tierConfigName(Opt.Tier);
+    const char *Name = tierToConfigName(Opt.Tier);
     if (!Name)
-      return usageError("unknown tier: %s (want int|spc|copypatch|twopass|"
-                        "opt)\n",
+      return usageError("unknown tier: %s (want int|threaded|spc|copypatch|"
+                        "twopass|opt)\n",
                         Opt.Tier.c_str());
     Cfg = configByName(Name);
   }
 
   // Resolve the module bytes.
   std::vector<uint8_t> Bytes;
-  if (!resolveModule(Opt.Module, Opt.Scale, Opt.UseM0, &Bytes)) {
-    fprintf(stderr, "wisp: cannot resolve module '%s' (not a file, not a "
-                    "suite item; see --list)\n",
-            Opt.Module.c_str());
+  std::string ResolveErr;
+  if (!resolveModuleSpec(Opt.Module, Opt.Scale, Opt.UseM0, &Bytes,
+                         &ResolveErr)) {
+    fprintf(stderr, "wisp: %s (see --list)\n", ResolveErr.c_str());
     return 1;
   }
 
@@ -402,7 +353,7 @@ int main(int argc, char **argv) {
   std::vector<Value> Args;
   for (size_t I = 0; I < Params.size(); ++I) {
     Value V;
-    if (!parseValue(Opt.RawArgs[I], Params[I], &V)) {
+    if (!parseValueText(Opt.RawArgs[I], Params[I], &V)) {
       fprintf(stderr, "wisp: cannot parse argument %zu '%s' as %s\n", I + 1,
               Opt.RawArgs[I].c_str(), valTypeName(Params[I]));
       return 1;

@@ -38,18 +38,21 @@ namespace {
 const char *UsageText =
     "usage: wisp-fuzz [options]\n"
     "\n"
-    "Differential fuzzing: every generated module runs on all six\n"
-    "execution tiers (int, threaded, spc, copypatch, twopass, opt) plus\n"
-    "two instrumented interpreter configurations (int+mon, threaded+mon:\n"
+    "Differential fuzzing: every generated module runs on all eight\n"
+    "execution tiers (int, threaded, spc, copypatch, twopass, opt, plus\n"
+    "the tiered/OSR configs tiered and tiered-threaded) and two\n"
+    "instrumented interpreter configurations (int+mon, threaded+mon:\n"
     "branch/coverage monitors attached, state compared across dispatch\n"
-    "strategies); any mismatch in results, traps, memory, globals or\n"
-    "monitor state is a divergence. Divergent modules are minimized and\n"
-    "dumped as .wasm plus a readable listing.\n"
+    "strategies); any mismatch in results, traps, trap sites (the faulting\n"
+    "bytecode offset), memory, globals or monitor state is a divergence.\n"
+    "Divergent modules are minimized and dumped as .wasm plus a readable\n"
+    "listing.\n"
     "\n"
     "options:\n"
     "  --seed-start=N    first seed (default 0)\n"
     "  --seed-count=N    number of seeds to run (default 100)\n"
-    "  --profile=NAME    generation profile: default|control|memory|mixed\n"
+    "  --profile=NAME    generation profile:\n"
+    "                    default|control|memory|exits|mixed\n"
     "                    (mixed rotates per seed; default \"mixed\")\n"
     "  --max-seconds=N   stop the campaign after N seconds (0 = no limit)\n"
     "  --out-dir=DIR     where minimized reproducers are written (default .)\n"
@@ -110,8 +113,8 @@ struct FuzzOptions {
 FuzzProfile profileForSeed(const FuzzOptions &Opt, uint64_t Seed) {
   FuzzProfile P;
   if (Opt.Profile == "mixed") {
-    static const char *Rotation[] = {"default", "control", "memory"};
-    fuzzProfileByName(Rotation[Seed % 3], &P);
+    static const char *Rotation[] = {"default", "control", "memory", "exits"};
+    fuzzProfileByName(Rotation[Seed % 4], &P);
     return P;
   }
   fuzzProfileByName(Opt.Profile, &P);
@@ -279,7 +282,7 @@ int main(int argc, char **argv) {
       FuzzProfile P;
       if (std::string(V) != "mixed" && !fuzzProfileByName(V, &P))
         return usageError("unknown profile: %s (want default|control|memory|"
-                          "mixed)\n",
+                          "exits|mixed)\n",
                           V);
       Opt.Profile = V;
     } else if (const char *V = Val("--max-seconds=")) {

@@ -39,6 +39,28 @@ expect_fail(unknown-opcode "unknown opcode mnemonic"
 # --- --tier / --config conflict ---
 expect_fail(tier-config-conflict "mutually exclusive"
             --tier=int --config=wizard-spc nop)
+
+# --- --batch vs. single-module flags (per-job settings belong in the
+# --- manifest) and --jobs validation ---
+expect_fail(batch-tier-conflict "mutually exclusive.*--tier"
+            --batch=m.txt --tier=int)
+expect_fail(batch-config-conflict "mutually exclusive.*--config"
+            --batch=m.txt --config=wizard-spc)
+expect_fail(batch-invoke-conflict "mutually exclusive.*--invoke"
+            --batch=m.txt --invoke=gcd)
+expect_fail(batch-scale-conflict "mutually exclusive.*--scale"
+            --batch=m.txt --scale=2)
+expect_fail(batch-m0-conflict "mutually exclusive.*--m0"
+            --batch=m.txt --m0)
+expect_fail(batch-monitor-conflict "mutually exclusive.*--monitor"
+            --batch=m.txt --monitor=branches)
+expect_fail(batch-module-conflict "mutually exclusive.*<module>"
+            --batch=m.txt nop)
+expect_fail(batch-time-conflict "mutually exclusive.*--time"
+            --batch=m.txt --time)
+expect_fail(jobs-without-batch "--jobs requires --batch" --jobs=4 nop)
+expect_fail(bad-jobs-zero "bad --jobs value" --batch=m.txt --jobs=0)
+expect_fail(bad-jobs-text "bad --jobs value" --batch=m.txt --jobs=abc)
 # --config alone must still work.
 execute_process(
   COMMAND ${WISP_BIN} --config=wizard-spc nop

@@ -101,8 +101,8 @@ TEST(FuzzDiffer, TiersAgreeOnSeededSweep) {
   // runs the same check through the wisp-fuzz binary.
   for (uint64_t Seed = 0; Seed < 40; ++Seed) {
     FuzzProfile P;
-    static const char *Rotation[] = {"default", "control", "memory"};
-    ASSERT_TRUE(fuzzProfileByName(Rotation[Seed % 3], &P));
+    static const char *Rotation[] = {"default", "control", "memory", "exits"};
+    ASSERT_TRUE(fuzzProfileByName(Rotation[Seed % 4], &P));
     FuzzModule M = RandWasm(Seed, P).build();
     DiffReport Report =
         runAllTiers(M.toBytes(), "f", argsForSeed(Seed, M.main().Params));
@@ -115,15 +115,49 @@ TEST(FuzzDiffer, ReportsAllTiersAndMonitorConfigs) {
   FuzzModule M = RandWasm(11).build();
   DiffReport Report =
       runAllTiers(M.toBytes(), "f", argsForSeed(11, M.main().Params));
-  // Six execution tiers plus the two instrumented interpreter
-  // configurations (int+mon, threaded+mon).
+  // Eight execution tiers (incl. the tiered/OSR configurations) plus the
+  // two instrumented interpreter configurations (int+mon, threaded+mon).
+  ASSERT_EQ(differTierNames().size(), 8u);
   ASSERT_EQ(Report.Runs.size(), differTierNames().size() + 2);
   EXPECT_EQ(Report.Runs[0].Tier, "int");
+  EXPECT_EQ(Report.Runs[6].Tier, "tiered");
+  EXPECT_EQ(Report.Runs[7].Tier, "tiered-threaded");
   EXPECT_EQ(Report.Runs[Report.Runs.size() - 2].Tier, "int+mon");
   EXPECT_EQ(Report.Runs.back().Tier, "threaded+mon");
   EXPECT_TRUE(Report.Runs.back().Instrumented);
   for (const TierRun &Run : Report.Runs)
     EXPECT_TRUE(Run.LoadOk) << Run.Tier << ": " << Run.LoadError;
+}
+
+TEST(FuzzDiffer, TrapSitesAgreeAcrossTiers) {
+  // A module whose only trap is a div-by-zero at a known instruction: all
+  // tiers must report the same trap at the same bytecode offset (the
+  // single-pass JIT pipelines map machine pcs back through the MCode line
+  // table; the optimizing tier is exempt and reports TrapPcKnown=false).
+  ModuleBuilder MB;
+  uint32_t TI = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(TI);
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Add); // Some work before the trap site.
+  F.localGet(0);
+  F.op(Opcode::I32DivU); // Traps when p0 == 0.
+  MB.exportFunc("f", 0);
+  DiffReport Report = runAllTiers(MB.build(), "f", {Value::makeI32(0)});
+  EXPECT_FALSE(Report.Diverged) << Report.Detail;
+  ASSERT_EQ(Report.Runs[0].Trap, TrapReason::DivByZero);
+  ASSERT_TRUE(Report.Runs[0].TrapPcKnown);
+  uint32_t RefIp = Report.Runs[0].TrapIp;
+  EXPECT_GT(RefIp, 0u);
+  for (const TierRun &Run : Report.Runs) {
+    ASSERT_EQ(Run.Trap, TrapReason::DivByZero) << Run.Tier;
+    if (Run.Tier == "opt") {
+      EXPECT_FALSE(Run.TrapPcKnown);
+      continue;
+    }
+    EXPECT_TRUE(Run.TrapPcKnown) << Run.Tier;
+    EXPECT_EQ(Run.TrapIp, RefIp) << Run.Tier;
+  }
 }
 
 TEST(FuzzDiffer, CompareDetectsEachMismatchKind) {
@@ -167,6 +201,23 @@ TEST(FuzzDiffer, CompareDetectsEachMismatchKind) {
   BadLoad.LoadOk = false;
   BadLoad.LoadError = "boom";
   EXPECT_NE(compareTierRuns(Ref, BadLoad).find("load"), std::string::npos);
+
+  // Trap-site agreement: same trap kind at different bytecode offsets is a
+  // divergence when both tiers know their trap pc...
+  TierRun RefTrap = Ref;
+  RefTrap.Trap = TrapReason::MemOutOfBounds;
+  RefTrap.Results.clear();
+  RefTrap.TrapIp = 0x40;
+  RefTrap.TrapPcKnown = true;
+  TierRun SiteTrap = RefTrap;
+  SiteTrap.Tier = "spc";
+  EXPECT_EQ(compareTierRuns(RefTrap, SiteTrap), "");
+  SiteTrap.TrapIp = 0x48;
+  EXPECT_NE(compareTierRuns(RefTrap, SiteTrap).find("trap-site mismatch"),
+            std::string::npos);
+  // ...but not when one side (the optimizing tier) cannot attribute it.
+  SiteTrap.TrapPcKnown = false;
+  EXPECT_EQ(compareTierRuns(RefTrap, SiteTrap), "");
 }
 
 TEST(FuzzDiffer, ReplayTuplesIncludeGcdPair) {

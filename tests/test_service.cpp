@@ -1,0 +1,295 @@
+//===- tests/test_service.cpp - batch runner tests --------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel batch runner: manifest parsing (including every malformed
+// shape the CLI must diagnose), module resolution, deterministic execution
+// across worker counts, and the engine thread-safety contract (concurrent
+// private engines agree with a sequential run; meaningful under TSan).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/batch.h"
+
+#include "engine/registry.h"
+#include "suites/suites.h"
+#include "testutil.h"
+
+#include <thread>
+
+using namespace wisp;
+
+namespace {
+
+// --- Manifest parsing ----------------------------------------------------
+
+TEST(Manifest, ParsesJobsKeysAndComments) {
+  std::vector<BatchJob> Jobs;
+  std::string Err;
+  ASSERT_TRUE(parseBatchManifest("# a comment\n"
+                                 "\n"
+                                 "polybench/2mm tier=threaded scale=2\n"
+                                 "nop config=wizard-tiered invoke=run\n"
+                                 "ostrich/crc m0 # trailing comment\n"
+                                 "file.wasm invoke=gcd args=3528,3780\n",
+                                 &Jobs, &Err))
+      << Err;
+  ASSERT_EQ(Jobs.size(), 4u);
+  EXPECT_EQ(Jobs[0].Module, "polybench/2mm");
+  EXPECT_EQ(Jobs[0].Config, "interp-threaded"); // tier= resolves.
+  EXPECT_EQ(Jobs[0].Scale, 2);
+  EXPECT_EQ(Jobs[1].Config, "wizard-tiered");
+  EXPECT_TRUE(Jobs[2].UseM0);
+  EXPECT_EQ(Jobs[2].Config, "wizard-spc"); // Default.
+  EXPECT_EQ(Jobs[3].Invoke, "gcd");
+  ASSERT_EQ(Jobs[3].RawArgs.size(), 2u);
+  EXPECT_EQ(Jobs[3].RawArgs[0], "3528");
+  EXPECT_EQ(Jobs[3].RawArgs[1], "3780");
+  EXPECT_EQ(Jobs[3].Line, 6u);
+}
+
+TEST(Manifest, RejectsMalformedLines) {
+  std::vector<BatchJob> Jobs;
+  std::string Err;
+  EXPECT_FALSE(parseBatchManifest("nop frobnicate=1\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("unknown key"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("line 1"), std::string::npos) << Err;
+
+  EXPECT_FALSE(
+      parseBatchManifest("nop\nnop tier=int config=wizard-spc\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("mutually exclusive"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+
+  EXPECT_FALSE(parseBatchManifest("nop scale=0\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("bad scale"), std::string::npos) << Err;
+  EXPECT_FALSE(parseBatchManifest("nop scale=abc\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("bad scale"), std::string::npos) << Err;
+
+  EXPECT_FALSE(parseBatchManifest("nop tier=warp\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("unknown tier"), std::string::npos) << Err;
+  EXPECT_FALSE(parseBatchManifest("nop config=nonesuch\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("unknown config"), std::string::npos) << Err;
+
+  EXPECT_FALSE(parseBatchManifest("m.wasm args=3,,7\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("empty args= segment"), std::string::npos) << Err;
+  EXPECT_FALSE(parseBatchManifest("m.wasm args=3,\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("empty args= segment"), std::string::npos) << Err;
+  // "args=" alone is zero arguments, not an error.
+  EXPECT_TRUE(parseBatchManifest("nop args=\n", &Jobs, &Err)) << Err;
+  EXPECT_TRUE(Jobs[0].RawArgs.empty());
+
+  EXPECT_FALSE(parseBatchManifest("# only comments\n\n", &Jobs, &Err));
+  EXPECT_NE(Err.find("no jobs"), std::string::npos) << Err;
+}
+
+TEST(Manifest, ResolvesSuiteItemsAndRejectsUnknownModules) {
+  std::vector<BatchJob> Jobs;
+  std::string Err;
+  ASSERT_TRUE(parseBatchManifest("nop\npolybench/2mm\n", &Jobs, &Err));
+  ASSERT_TRUE(resolveBatchModules(&Jobs, &Err)) << Err;
+  EXPECT_EQ(Jobs[0].Bytes, nopModule());
+  EXPECT_FALSE(Jobs[1].Bytes.empty());
+
+  ASSERT_TRUE(parseBatchManifest("no/such-item\n", &Jobs, &Err));
+  EXPECT_FALSE(resolveBatchModules(&Jobs, &Err));
+  EXPECT_NE(Err.find("cannot resolve module"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("line 1"), std::string::npos) << Err;
+}
+
+// --- Value parsing (shared with the CLI) ---------------------------------
+
+TEST(ValueText, FullRangeAndRejection) {
+  Value V;
+  EXPECT_TRUE(parseValueText("4294967295", ValType::I32, &V));
+  EXPECT_EQ(V.asI32(), -1);
+  EXPECT_FALSE(parseValueText("4294967296", ValType::I32, &V));
+  EXPECT_FALSE(parseValueText("-2147483649", ValType::I32, &V));
+  EXPECT_TRUE(parseValueText("-2147483648", ValType::I32, &V));
+  EXPECT_FALSE(parseValueText("12x", ValType::I32, &V));
+  EXPECT_FALSE(parseValueText("", ValType::I64, &V));
+  EXPECT_TRUE(parseValueText("0x10", ValType::I64, &V));
+  EXPECT_EQ(V.asI64(), 16);
+  EXPECT_TRUE(parseValueText("-1.5", ValType::F64, &V));
+  EXPECT_EQ(V.asF64(), -1.5);
+  EXPECT_EQ(valueText(Value::makeI32(252)), "252:i32");
+}
+
+// --- Batch execution -----------------------------------------------------
+
+/// (i32, i32) -> i32 adder, for args= jobs.
+std::vector<uint8_t> addModule() {
+  ModuleBuilder MB;
+  uint32_t TI = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(TI);
+  F.localGet(0);
+  F.localGet(1);
+  F.op(Opcode::I32Add);
+  MB.exportFunc("add", 0);
+  return MB.build();
+}
+
+/// () -> i32 that divides by zero.
+std::vector<uint8_t> trapModule() {
+  ModuleBuilder MB;
+  uint32_t TI = MB.addType({}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(TI);
+  F.i32Const(1);
+  F.i32Const(0);
+  F.op(Opcode::I32DivU);
+  MB.exportFunc("run", 0);
+  return MB.build();
+}
+
+std::vector<BatchJob> mixedJobs() {
+  std::vector<BatchJob> Jobs;
+  std::string Err;
+  EXPECT_TRUE(parseBatchManifest("nop\n"
+                                 "ostrich/crc tier=spc\n"
+                                 "ostrich/crc tier=threaded\n"
+                                 "libsodium/stream_chacha20 config=wizard-tiered\n"
+                                 "polybench/2mm tier=int\n",
+                                 &Jobs, &Err))
+      << Err;
+  EXPECT_TRUE(resolveBatchModules(&Jobs, &Err)) << Err;
+  // Two in-memory jobs the manifest cannot spell: args + a trap.
+  BatchJob Add;
+  Add.Index = uint32_t(Jobs.size());
+  Add.Module = "<add>";
+  Add.Config = "wizard-spc";
+  Add.Invoke = "add";
+  Add.RawArgs = {"7", "35"};
+  Add.Bytes = addModule();
+  Jobs.push_back(std::move(Add));
+  BatchJob Trap;
+  Trap.Index = uint32_t(Jobs.size());
+  Trap.Module = "<trap>";
+  Trap.Config = "wasm-now";
+  Trap.Bytes = trapModule();
+  Jobs.push_back(std::move(Trap));
+  return Jobs;
+}
+
+void expectSameResults(const BatchReport &A, const BatchReport &B) {
+  ASSERT_EQ(A.Results.size(), B.Results.size());
+  for (size_t I = 0; I < A.Results.size(); ++I) {
+    const BatchJobResult &X = A.Results[I];
+    const BatchJobResult &Y = B.Results[I];
+    EXPECT_EQ(X.Index, Y.Index);
+    EXPECT_EQ(X.Ok, Y.Ok);
+    EXPECT_EQ(X.Error, Y.Error);
+    EXPECT_EQ(X.Trap, Y.Trap) << "job " << I;
+    ASSERT_EQ(X.Results.size(), Y.Results.size()) << "job " << I;
+    for (size_t V = 0; V < X.Results.size(); ++V)
+      EXPECT_EQ(X.Results[V].Bits, Y.Results[V].Bits) << "job " << I;
+    EXPECT_EQ(X.ModeledCycles, Y.ModeledCycles) << "job " << I;
+    EXPECT_EQ(X.Stats.CodeBytes, Y.Stats.CodeBytes);
+    EXPECT_EQ(X.Stats.CodeInsts, Y.Stats.CodeInsts);
+    EXPECT_EQ(X.Stats.IrBytes, Y.Stats.IrBytes);
+  }
+}
+
+TEST(Batch, RunsJobsAndCollectsPerJobState) {
+  std::vector<BatchJob> Jobs = mixedJobs();
+  BatchReport R = runBatch(Jobs, 2);
+  ASSERT_EQ(R.Results.size(), Jobs.size());
+  EXPECT_EQ(R.Workers, 2u);
+  // nop returns void.
+  EXPECT_TRUE(R.Results[0].Ok);
+  EXPECT_EQ(R.Results[0].Trap, TrapReason::None);
+  EXPECT_TRUE(R.Results[0].Results.empty());
+  // The same item on two tiers computes the same value.
+  ASSERT_EQ(R.Results[1].Results.size(), 1u);
+  ASSERT_EQ(R.Results[2].Results.size(), 1u);
+  EXPECT_EQ(R.Results[1].Results[0].Bits, R.Results[2].Results[0].Bits);
+  // ...but different modeled cost (JIT vs. threaded interpreter).
+  EXPECT_NE(R.Results[1].ModeledCycles, R.Results[2].ModeledCycles);
+  // args= job.
+  ASSERT_EQ(R.Results[5].Results.size(), 1u);
+  EXPECT_EQ(R.Results[5].Results[0].asI32(), 42);
+  // The trap job fails without affecting its neighbors.
+  EXPECT_TRUE(R.Results[6].Ok);
+  EXPECT_EQ(R.Results[6].Trap, TrapReason::DivByZero);
+  EXPECT_TRUE(R.Results[6].Results.empty());
+  // JIT jobs report compiled-code statistics.
+  EXPECT_GT(R.Results[1].Stats.CodeInsts, 0u);
+  EXPECT_GT(R.Results[2].Stats.IrBytes, 0u);
+}
+
+TEST(Batch, DeterministicAcrossWorkerCounts) {
+  std::vector<BatchJob> Jobs = mixedJobs();
+  BatchReport Seq = runBatch(Jobs, 1);
+  expectSameResults(Seq, runBatch(Jobs, 4));
+  expectSameResults(Seq, runBatch(Jobs, 8));
+  // More workers than jobs is fine too.
+  expectSameResults(Seq, runBatch(Jobs, 16));
+}
+
+TEST(Batch, ReportJobLinesAreDeterministic) {
+  std::vector<BatchJob> Jobs = mixedJobs();
+  auto Render = [&](unsigned Workers) {
+    BatchReport R = runBatch(Jobs, Workers);
+    char *Buf = nullptr;
+    size_t Len = 0;
+    FILE *Mem = open_memstream(&Buf, &Len);
+    printBatchReport(Mem, Jobs, R, /*Stats=*/true);
+    fclose(Mem);
+    // Strip the '#'-prefixed summary (wall time, throughput).
+    std::string Out;
+    std::string All(Buf, Len);
+    free(Buf);
+    size_t Pos = 0;
+    while (Pos < All.size()) {
+      size_t Nl = All.find('\n', Pos);
+      if (Nl == std::string::npos)
+        Nl = All.size();
+      if (All[Pos] != '#')
+        Out += All.substr(Pos, Nl - Pos) + "\n";
+      Pos = Nl + 1;
+    }
+    return Out;
+  };
+  std::string One = Render(1);
+  EXPECT_FALSE(One.empty());
+  EXPECT_EQ(One, Render(8));
+}
+
+// --- Engine thread-safety contract ---------------------------------------
+
+// Concurrent private engines (one per thread, the contract documented in
+// engine/engine.h) must agree with a sequential reference run. Exercises
+// the copy-and-patch template cache build race under TSan: every thread
+// warms it through its engine constructor simultaneously.
+TEST(Batch, ConcurrentPrivateEnginesAgree) {
+  std::vector<LineItem> Items = ostrichSuite(1);
+  ASSERT_GE(Items.size(), 4u);
+  static const char *Configs[] = {"wizard-spc", "wasm-now", "interp-threaded",
+                                  "wizard-tiered"};
+
+  auto RunOne = [&](size_t I) {
+    Engine E(configByName(Configs[I % 4]));
+    WasmError Err;
+    std::unique_ptr<LoadedModule> LM = E.load(Items[I % 4].Bytes, &Err);
+    EXPECT_NE(LM, nullptr) << Err.Message;
+    if (!LM)
+      return uint64_t(0);
+    std::vector<Value> Out;
+    EXPECT_EQ(E.invoke(*LM, "run", {}, &Out), TrapReason::None);
+    return Out.empty() ? uint64_t(0) : Out[0].Bits;
+  };
+
+  std::vector<uint64_t> Expected;
+  for (size_t I = 0; I < 8; ++I)
+    Expected.push_back(RunOne(I));
+
+  std::vector<uint64_t> Got(8);
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < 8; ++I)
+    Threads.emplace_back([&, I] { Got[I] = RunOne(I); });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Got, Expected);
+}
+
+} // namespace
