@@ -6,14 +6,20 @@
 //
 // Measures the parallel batch runner (src/service/): the fig. 7 suites as
 // one manifest, executed end to end (fresh engine per job: decode,
-// validate, compile, run) at 1, 2, 4 and 8 workers. Reports throughput
-// (jobs/s) and speedup vs. one worker, and asserts the per-job results are
-// identical at every worker count. Wall-clock scaling tracks the host's
-// core count: on a single-core machine the curve is flat by construction,
-// so the table also prints the hardware concurrency it measured under.
+// validate, compile, run) at 1, 2, 4 and 8 workers — cache-cold (per-job
+// engines recompile every body, the pre-compile-cache regime) and
+// cache-warm (one shared compile cache across the pool; identical bodies
+// compile once per batch) side by side, so the cache's batch win is
+// measured rather than asserted. Reports throughput (jobs/s), speedup
+// vs. one cold worker and the warm-over-cold ratio, and asserts the
+// per-job results are identical at every worker count *and* across cache
+// modes. Wall-clock scaling tracks the host's core count: on a
+// single-core machine the curve is flat by construction, so the table
+// also prints the hardware concurrency it measured under.
 //
-// WISP_BENCH_JSON rows: (config="batch", item="jobs=K",
-// metric=throughput_jobs_per_s | speedup_vs_1 | wall_ms).
+// WISP_BENCH_JSON rows: (config="batch-cold"|"batch-warm", item="jobs=K",
+// metric=throughput_jobs_per_s | speedup_vs_1 | wall_ms), plus
+// (config="batch", item="jobs=K", metric=warm_over_cold).
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,20 +33,25 @@ using namespace wisp::bench;
 
 namespace {
 
-/// The manifest: every fig. 7 suite item once per exercised configuration
-/// (>= 20 jobs even at the smallest suite subset).
+/// The manifest: two rounds of every fig. 7 suite item on every exercised
+/// configuration — the repeated-jobs regime a serving system actually
+/// sees, and exactly what the shared compile cache exploits (the module
+/// artifact is shared across configurations, compiled bodies across
+/// rounds; cold mode recompiles all of it per job).
 std::vector<BatchJob> buildJobs() {
   static const char *Configs[] = {"wizard-spc", "interp-threaded",
                                   "wizard-tiered"};
   std::vector<BatchJob> Jobs;
-  for (const LineItem &I : allSuites(scale())) {
-    BatchJob Job;
-    Job.Index = uint32_t(Jobs.size());
-    Job.Module = I.Suite + "/" + I.Name;
-    Job.Config = Configs[Jobs.size() % 3];
-    Job.Bytes = I.Bytes;
-    Jobs.push_back(std::move(Job));
-  }
+  for (int Round = 0; Round < 2; ++Round)
+    for (const LineItem &I : allSuites(scale()))
+      for (const char *Config : Configs) {
+        BatchJob Job;
+        Job.Index = uint32_t(Jobs.size());
+        Job.Module = I.Suite + "/" + I.Name;
+        Job.Config = Config;
+        Job.Bytes = I.Bytes;
+        Jobs.push_back(std::move(Job));
+      }
   return Jobs;
 }
 
@@ -65,50 +76,72 @@ uint64_t fingerprint(const BatchReport &R) {
 
 int main() {
   jsonBench("bench_batch");
-  printHeader("bench_batch: batch-runner scaling (1 -> K workers)",
+  printHeader("bench_batch: batch-runner scaling (1 -> K workers), "
+              "cache-cold vs cache-warm",
               "manifest = all fig. 7 suite items x {spc, threaded, tiered}; "
-              "fresh engine per job");
+              "fresh engine per job; warm = one shared compile cache per "
+              "batch");
 
   std::vector<BatchJob> Jobs = buildJobs();
   printf("jobs=%zu hardware_concurrency=%u\n\n", Jobs.size(),
          std::thread::hardware_concurrency());
 
-  double Base = 0;
+  // Median batch wall time at a worker count, cold or warm. The
+  // fingerprint of every execution must match: per-job observations are
+  // independent of worker count, scheduling, and the compile cache.
   uint64_t BaseFp = 0;
-  printf("  %-10s %10s %12s %9s\n", "workers", "wall ms", "jobs/s",
-         "speedup");
-  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
-    // Median-of-N batch executions.
+  uint64_t CacheHits = 0;
+  auto MeasureWall = [&](unsigned Workers, bool Warm) {
     std::vector<double> Walls;
-    uint64_t Fp = 0;
     for (int R = 0; R < runs(); ++R) {
-      BatchReport Report = runBatch(Jobs, Workers);
+      BatchOptions Opts;
+      Opts.Workers = Workers;
+      Opts.CompileCache = Warm;
+      BatchReport Report = runBatch(Jobs, Opts);
       Walls.push_back(Report.WallMs);
-      Fp = fingerprint(Report);
+      if (Warm)
+        CacheHits = Report.CacheHits;
+      uint64_t Fp = fingerprint(Report);
       if (BaseFp == 0)
         BaseFp = Fp;
       if (Fp != BaseFp) {
         fprintf(stderr,
-                "bench_batch: NONDETERMINISM at %u workers "
-                "(fingerprint %llx != %llx)\n",
-                Workers, (unsigned long long)Fp, (unsigned long long)BaseFp);
-        return 1;
+                "bench_batch: NONDETERMINISM at %u workers (%s, "
+                "fingerprint %llx != %llx)\n",
+                Workers, Warm ? "warm" : "cold", (unsigned long long)Fp,
+                (unsigned long long)BaseFp);
+        exit(1);
       }
     }
     std::sort(Walls.begin(), Walls.end());
-    double Wall = Walls[Walls.size() / 2];
-    double Thru = Wall > 0 ? double(Jobs.size()) / (Wall / 1e3) : 0;
+    return Walls[Walls.size() / 2];
+  };
+
+  double ColdBase = 0;
+  printf("  %-10s %12s %12s %9s %12s %9s\n", "workers", "cold ms",
+         "cold jobs/s", "speedup", "warm ms", "warm/cold");
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    double Cold = MeasureWall(Workers, /*Warm=*/false);
+    double Warm = MeasureWall(Workers, /*Warm=*/true);
+    double ColdThru = Cold > 0 ? double(Jobs.size()) / (Cold / 1e3) : 0;
+    double WarmThru = Warm > 0 ? double(Jobs.size()) / (Warm / 1e3) : 0;
     if (Workers == 1)
-      Base = Wall;
-    double Speedup = Wall > 0 ? Base / Wall : 0;
-    printf("  %-10u %10.1f %12.1f %8.2fx\n", Workers, Wall, Thru, Speedup);
+      ColdBase = Cold;
+    double Speedup = Cold > 0 ? ColdBase / Cold : 0;
+    double Ratio = Warm > 0 ? Cold / Warm : 0;
+    printf("  %-10u %12.1f %12.1f %8.2fx %12.1f %8.2fx\n", Workers, Cold,
+           ColdThru, Speedup, Warm, Ratio);
     std::string Item = "jobs=" + std::to_string(Workers);
-    jsonRecord("batch", Item, "wall_ms", Wall);
-    jsonRecord("batch", Item, "throughput_jobs_per_s", Thru);
-    jsonRecord("batch", Item, "speedup_vs_1", Speedup);
+    jsonRecord("batch-cold", Item, "wall_ms", Cold);
+    jsonRecord("batch-cold", Item, "throughput_jobs_per_s", ColdThru);
+    jsonRecord("batch-cold", Item, "speedup_vs_1", Speedup);
+    jsonRecord("batch-warm", Item, "wall_ms", Warm);
+    jsonRecord("batch-warm", Item, "throughput_jobs_per_s", WarmThru);
+    jsonRecord("batch", Item, "warm_over_cold", Ratio);
   }
-  printf("\nper-job results identical at every worker count "
-         "(fingerprint %llx)\n",
-         (unsigned long long)BaseFp);
+  printf("\nper-job results identical at every worker count and across "
+         "cache modes (fingerprint %llx); warm batches served %llu cache "
+         "hits\n",
+         (unsigned long long)BaseFp, (unsigned long long)CacheHits);
   return 0;
 }

@@ -1,0 +1,189 @@
+//===- bench/bench_cache.cpp - compile-cache warm-vs-cold ------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the content-addressed compile cache (src/cache/) on the
+// paper's own repeated-load methodology: every fig. 7 suite item is
+// loaded in a fresh engine N times cache-cold (the paper's regime: full
+// decode + validate + compile per load) and N times cache-warm (one
+// shared cache; decode/compile served as immutable artifacts), per
+// configuration. Reports median TotalSetupNs for both, the warm-over-cold
+// ratio, and the compile-pipeline ratio (setup minus instantiation —
+// instantiation builds fresh mutable state per load by design and is the
+// irreducible floor of a warm load).
+//
+// The acceptance bar (>= 5x warm-over-cold TotalSetupNs on a fig. 7
+// suite module) is checked on the optimizing tier, where compilation
+// dominates setup the way production-compiler setup costs do; the
+// headline line prints PASS/FAIL and the process exits nonzero on FAIL.
+//
+// A second table measures the setup-bound batch regime: the m0 (early
+// return) variants of every item as a manifest across 1 -> 8 workers,
+// cold vs warm — the per-job cost is almost pure setup, so this is the
+// paper's fig. 4/5 methodology at batch scale.
+//
+// WISP_BENCH_JSON rows:
+//   (config, item, cold_setup_ns | warm_setup_ns | warm_over_cold |
+//    pipeline_ratio)
+//   (config="batch-m0-cold"|"batch-m0-warm", item="jobs=K", wall_ms |
+//    throughput_jobs_per_s), (config="batch-m0", item="jobs=K",
+//    warm_over_cold)
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+#include "cache/compilecache.h"
+#include "service/batch.h"
+
+#include <thread>
+
+using namespace wisp;
+using namespace wisp::bench;
+
+namespace {
+
+struct SetupStats {
+  uint64_t TotalNs = 0;
+  uint64_t InstNs = 0;
+};
+
+/// Median setup cost of loading \p Bytes in a fresh engine N times.
+/// \p Cache null = cold (cache disabled), else every load shares it.
+SetupStats measureSetup(const EngineConfig &CfgIn,
+                        const std::vector<uint8_t> &Bytes, int N,
+                        CompileCache *Cache) {
+  EngineConfig Cfg = CfgIn;
+  Cfg.UseCompileCache = Cache != nullptr;
+  std::vector<uint64_t> Total, Inst;
+  for (int I = 0; I < N; ++I) {
+    Engine E(Cfg, Cache);
+    WasmError Err;
+    std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
+    if (!LM) {
+      fprintf(stderr, "bench_cache: load failed (%s): %s\n",
+              Cfg.Name.c_str(), Err.Message.c_str());
+      exit(1);
+    }
+    Total.push_back(LM->Stats.TotalSetupNs);
+    Inst.push_back(LM->Stats.InstantiateNs);
+  }
+  std::sort(Total.begin(), Total.end());
+  std::sort(Inst.begin(), Inst.end());
+  return {Total[Total.size() / 2], Inst[Inst.size() / 2]};
+}
+
+double safeRatio(double Num, double Den) { return Den > 0 ? Num / Den : 0; }
+
+} // namespace
+
+int main() {
+  jsonBench("bench_cache");
+  printHeader("bench_cache: warm-vs-cold setup on repeated loads "
+              "(fig. 7 suites)",
+              "cold = fresh engine, no cache (the paper's methodology); "
+              "warm = fresh engine, shared compile cache. pipeline = setup "
+              "minus instantiate");
+
+  // More repetitions than the execution benches: setup is microseconds.
+  int N = runs() * 5 + 4;
+  std::vector<LineItem> Items = allSuites(scale());
+
+  static const char *Configs[] = {"wizard-spc", "interp-threaded", "wazero",
+                                  "wasm-now", "wasmtime"};
+  double OptBestRatio = 0;
+  std::string OptBestItem;
+  printf("  %-16s %14s %14s %11s %15s\n", "config", "cold ns", "warm ns",
+         "warm/cold", "pipeline ratio");
+  for (const char *Name : Configs) {
+    EngineConfig Cfg = configByName(Name);
+    std::vector<double> Ratios, PipeRatios, ColdNs, WarmNs;
+    for (const LineItem &Item : Items) {
+      SetupStats Cold = measureSetup(Cfg, Item.Bytes, N, nullptr);
+      CompileCache Cache;
+      // Prime once, then measure served loads only.
+      measureSetup(Cfg, Item.Bytes, 1, &Cache);
+      SetupStats Warm = measureSetup(Cfg, Item.Bytes, N, &Cache);
+
+      double Ratio = safeRatio(double(Cold.TotalNs), double(Warm.TotalNs));
+      double Pipe = safeRatio(double(Cold.TotalNs - Cold.InstNs),
+                              double(Warm.TotalNs - Warm.InstNs));
+      Ratios.push_back(Ratio);
+      PipeRatios.push_back(Pipe);
+      ColdNs.push_back(double(Cold.TotalNs));
+      WarmNs.push_back(double(Warm.TotalNs));
+      std::string ItemName = Item.Suite + "/" + Item.Name;
+      jsonRecord(Name, ItemName, "cold_setup_ns", double(Cold.TotalNs));
+      jsonRecord(Name, ItemName, "warm_setup_ns", double(Warm.TotalNs));
+      jsonRecord(Name, ItemName, "warm_over_cold", Ratio);
+      jsonRecord(Name, ItemName, "pipeline_ratio", Pipe);
+      if (std::string(Name) == "wasmtime" && Ratio > OptBestRatio) {
+        OptBestRatio = Ratio;
+        OptBestItem = ItemName;
+      }
+    }
+    Stat R = stats(Ratios);
+    Stat P = stats(PipeRatios);
+    printf("  %-16s %14.0f %14.0f %9.2fx %13.2fx\n", Name,
+           stats(ColdNs).Geomean, stats(WarmNs).Geomean, R.Geomean,
+           P.Geomean);
+    jsonRecord(Name, "geomean", "warm_over_cold", R.Geomean);
+    jsonRecord(Name, "geomean", "pipeline_ratio", P.Geomean);
+  }
+
+  // The acceptance bar: a fig. 7 suite module on the optimizing tier
+  // must load >= 5x faster warm than cold, end to end (TotalSetupNs).
+  bool Pass = OptBestRatio >= 5.0;
+  printf("\nheadline: %s repeated-load warm-over-cold %.1fx on wasmtime "
+         "(bar: >=5x) %s\n",
+         OptBestItem.c_str(), OptBestRatio, Pass ? "PASS" : "FAIL");
+  jsonRecord("wasmtime", "headline", "best_warm_over_cold", OptBestRatio);
+
+  // --- Setup-bound batch regime: the m0 manifest, 1 -> 8 workers -------
+  printf("\nbatch (m0 early-return variants: per-job cost ~= setup):\n");
+  static const char *BatchConfigs[] = {"wizard-spc", "interp-threaded",
+                                       "wasmtime"};
+  std::vector<BatchJob> Jobs;
+  for (int Round = 0; Round < 2; ++Round)
+    for (const LineItem &I : Items)
+      for (const char *Config : BatchConfigs) {
+        BatchJob Job;
+        Job.Index = uint32_t(Jobs.size());
+        Job.Module = I.Suite + "/" + I.Name;
+        Job.Config = Config;
+        Job.Bytes = I.M0Bytes;
+        Jobs.push_back(std::move(Job));
+      }
+  printf("  jobs=%zu hardware_concurrency=%u\n", Jobs.size(),
+         std::thread::hardware_concurrency());
+  printf("  %-10s %12s %12s %11s\n", "workers", "cold ms", "warm ms",
+         "warm/cold");
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    auto Wall = [&](bool Warm) {
+      std::vector<double> Walls;
+      for (int R = 0; R < runs(); ++R) {
+        BatchOptions Opts;
+        Opts.Workers = Workers;
+        Opts.CompileCache = Warm;
+        Walls.push_back(runBatch(Jobs, Opts).WallMs);
+      }
+      std::sort(Walls.begin(), Walls.end());
+      return Walls[Walls.size() / 2];
+    };
+    double Cold = Wall(false);
+    double Warm = Wall(true);
+    double Ratio = safeRatio(Cold, Warm);
+    printf("  %-10u %12.2f %12.2f %10.2fx\n", Workers, Cold, Warm, Ratio);
+    std::string Item = "jobs=" + std::to_string(Workers);
+    jsonRecord("batch-m0-cold", Item, "wall_ms", Cold);
+    jsonRecord("batch-m0-cold", Item, "throughput_jobs_per_s",
+               Cold > 0 ? double(Jobs.size()) / (Cold / 1e3) : 0);
+    jsonRecord("batch-m0-warm", Item, "wall_ms", Warm);
+    jsonRecord("batch-m0-warm", Item, "throughput_jobs_per_s",
+               Warm > 0 ? double(Jobs.size()) / (Warm / 1e3) : 0);
+    jsonRecord("batch-m0", Item, "warm_over_cold", Ratio);
+  }
+
+  return Pass ? 0 : 1;
+}

@@ -67,7 +67,7 @@ int main() {
     Cfg.Opts.Tags = Mode;
     uint64_t TagStores = 0, MapBytes = 0, Insts = 0;
     for (const LineItem &Item : polybenchSuite(1)) {
-      Engine E(Cfg);
+      Engine E(coldLoads(Cfg)); // Static counts, but keep loads cold too.
       WasmError Err;
       auto LM = E.load(Item.Bytes, &Err);
       if (!LM)

@@ -30,7 +30,7 @@ double runWithMonitor(const EngineConfig &Cfg,
                       int N) {
   // Deterministic modeled cycles; one run suffices.
   (void)N;
-  Engine E(Cfg);
+  Engine E(coldLoads(Cfg)); // Probe recompiles must start from cold code.
   WasmError Err;
   auto LM = E.load(Bytes, &Err);
   if (!LM)

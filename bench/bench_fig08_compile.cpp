@@ -22,7 +22,7 @@ double compileNsPerByte(const EngineConfig &Cfg,
                         const std::vector<uint8_t> &Bytes, int N) {
   std::vector<double> PerByte;
   for (int I = 0; I < N; ++I) {
-    Engine E(Cfg);
+    Engine E(coldLoads(Cfg)); // Compile speed means cold compiles.
     WasmError Err;
     auto LM = E.load(Bytes, &Err);
     if (!LM || LM->Stats.CodeBytes == 0)

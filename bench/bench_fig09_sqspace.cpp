@@ -33,7 +33,7 @@ int main() {
   for (const EngineConfig &Cfg : Baselines) {
     std::vector<double> Mbps, Speed;
     for (size_t I = 0; I < Items.size(); ++I) {
-      Engine E(Cfg);
+      Engine E(coldLoads(Cfg)); // Compile-speed column needs cold loads.
       WasmError Err;
       auto LM = E.load(Items[I].Bytes, &Err);
       if (!LM || LM->Stats.CompileNs == 0)

@@ -1,0 +1,314 @@
+//===- cache/compilecache.cpp - content-addressed compile cache ------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/compilecache.h"
+
+#include "support/clock.h"
+
+#include <algorithm>
+
+#include <cstdlib>
+
+using namespace wisp;
+
+// --- Key derivation -------------------------------------------------------
+
+CacheKey wisp::moduleCacheKey(const std::vector<uint8_t> &Bytes) {
+  KeyHasher H;
+  H.u8(0x4D); // 'M': artifact-kind tag.
+  H.u64(Bytes.size());
+  H.bytes(Bytes.data(), Bytes.size());
+  return H.key();
+}
+
+uint64_t wisp::moduleContextDigest(const Module &M) {
+  KeyHasher H;
+  H.u8(0x43); // 'C'
+  H.u64(M.Types.size());
+  for (const FuncType &T : M.Types) {
+    H.u64(T.Params.size());
+    for (ValType V : T.Params)
+      H.u8(uint8_t(V));
+    H.u64(T.Results.size());
+    for (ValType V : T.Results)
+      H.u8(uint8_t(V));
+  }
+  H.u64(M.Funcs.size());
+  H.u32(M.NumImportedFuncs);
+  for (const FuncDecl &F : M.Funcs) {
+    H.u32(F.TypeIdx);
+    H.u8(F.Imported);
+  }
+  H.u64(M.Globals.size());
+  H.u32(M.NumImportedGlobals);
+  for (const GlobalDecl &G : M.Globals) {
+    H.u8(uint8_t(G.Type));
+    H.u8(G.Mutable);
+  }
+  H.u64(M.Tables.size());
+  for (const TableDecl &T : M.Tables) {
+    H.u8(uint8_t(T.Elem));
+    H.u64(T.Lim.Min);
+    H.u8(T.Lim.HasMax);
+    H.u64(T.Lim.Max);
+  }
+  H.u64(M.Memories.size());
+  for (const MemoryDecl &Mem : M.Memories) {
+    H.u64(Mem.Lim.Min);
+    H.u8(Mem.Lim.HasMax);
+    H.u64(Mem.Lim.Max);
+  }
+  return H.key().Lo;
+}
+
+namespace {
+
+/// The function-body identity shared by the code and IR keys: bytes,
+/// position (line tables, threaded-IR BcIp and side-table positions are
+/// absolute module-byte coordinates), declared locals (BodyStart points
+/// past the locals vector) and the function index (baked into MCode and
+/// hotness/call plumbing).
+void hashBody(KeyHasher &H, uint64_t CtxDigest, const Module &M,
+              const FuncDecl &D) {
+  H.u64(CtxDigest);
+  H.u32(D.Index);
+  H.u32(D.TypeIdx);
+  H.u32(D.BodyStart);
+  H.u64(D.Locals.size());
+  for (ValType V : D.Locals)
+    H.u8(uint8_t(V));
+  H.u64(uint64_t(D.BodyEnd) - D.BodyStart);
+  H.bytes(M.Bytes.data() + D.BodyStart, D.BodyEnd - D.BodyStart);
+}
+
+} // namespace
+
+CacheKey wisp::codeCacheKey(uint64_t CtxDigest, const Module &M,
+                            const FuncDecl &D, CompilerKind Kind,
+                            const CompilerOptions &Opts) {
+  KeyHasher H;
+  H.u8(0x46); // 'F'
+  hashBody(H, CtxDigest, M, D);
+  H.u8(uint8_t(Kind));
+  // Every option that steers code generation. NumGp/NumFp change register
+  // allocation; probe options are irrelevant here (probed bodies bypass
+  // the cache) but are included so the digest never silently under-keys.
+  H.u8(Opts.TrackConstants);
+  H.u8(Opts.ConstantFolding);
+  H.u8(Opts.InstructionSelect);
+  H.u8(Opts.MultiRegister);
+  H.u8(Opts.Peephole);
+  H.u8(uint8_t(Opts.Tags));
+  H.u8(Opts.OptimizeProbes);
+  H.u8(Opts.EmitDeoptChecks);
+  H.u8(Opts.EmitOsrEntries);
+  H.u8(Opts.NumGp);
+  H.u8(Opts.NumFp);
+  return H.key();
+}
+
+CacheKey wisp::irCacheKey(uint64_t CtxDigest, const Module &M,
+                          const FuncDecl &D, bool EnableFusion) {
+  KeyHasher H;
+  H.u8(0x54); // 'T'
+  hashBody(H, CtxDigest, M, D);
+  H.u8(EnableFusion);
+  return H.key();
+}
+
+// --- The cache ------------------------------------------------------------
+
+CompileCache::CompileCache(size_t CapacityBytes)
+    : Capacity(CapacityBytes ? CapacityBytes : 1) {}
+
+CompileCache::~CompileCache() = default;
+
+std::shared_ptr<const void>
+CompileCache::getOrBuildImpl(const CacheKey &K,
+                             const std::function<Payload()> &Build,
+                             CacheStats *Stats) {
+  std::unique_lock<std::mutex> L(Mu);
+  ++UseTick;
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    It->second.LastUse = UseTick;
+    bool WasReady = It->second.Ready;
+    std::shared_future<Payload> Fut = It->second.Future;
+    L.unlock();
+    // May block on an in-flight build. Accounting happens after the
+    // wait: a failed build serves nothing and must count nothing, or the
+    // hit/miss split would depend on who happened to be in flight.
+    Payload P = Fut.get();
+    if (!P.Value)
+      return nullptr; // Caller falls back to its uncached path.
+    uint64_t SavedNs = WasReady ? P.BuildNs : 0; // A waiter saved no time.
+    L.lock();
+    ++T.Hits;
+    T.SavedNs += SavedNs;
+    if (Stats) {
+      ++Stats->CacheHits;
+      Stats->CacheSavedNs += SavedNs;
+    }
+    return P.Value;
+  }
+
+  std::promise<Payload> Prom;
+  Slot S;
+  S.Future = Prom.get_future().share();
+  S.LastUse = UseTick;
+  Map.emplace(K, std::move(S));
+  L.unlock();
+
+  Payload P;
+  try {
+    P = Build();
+  } catch (...) {
+    // Never leave a slot whose promise will not be fulfilled: waiters
+    // would hit a broken promise and the key would be poisoned forever.
+    // Fulfill with a null payload (waiters fall back uncached) and
+    // remove the slot so a later identical request retries.
+    Prom.set_value(Payload{});
+    L.lock();
+    Map.erase(K);
+    throw;
+  }
+  Prom.set_value(P);
+
+  L.lock();
+  auto Me = Map.find(K);
+  if (!P.Value) {
+    // Build failures are neither cached nor counted (no miss, and the
+    // waiters above counted no hit): the caller falls back to its
+    // uncached path for the diagnostic, a later identical request
+    // retries, and the hit/miss split stays scheduling-independent.
+    if (Me != Map.end())
+      Map.erase(Me);
+    return nullptr;
+  }
+  ++T.Misses;
+  if (Stats)
+    ++Stats->CacheMisses;
+  if (Me != Map.end()) {
+    Me->second.Ready = true;
+    Me->second.BuildNs = P.BuildNs;
+    Me->second.Bytes = P.Bytes;
+    T.Bytes += P.Bytes;
+    ++T.Entries;
+    evictLocked();
+  }
+  return P.Value;
+}
+
+void CompileCache::evictLocked() {
+  // Approximate LRU: one pass collects the ready entries oldest-first,
+  // then evicts until under capacity — O(n log n) per eviction burst
+  // rather than a full map scan per evicted entry, since this runs under
+  // the one mutex every engine shares. In-flight builds are never
+  // evicted; artifacts already handed out stay alive through their
+  // callers' shared_ptrs.
+  if (T.Bytes <= Capacity)
+    return;
+  std::vector<std::pair<uint64_t, CacheKey>> Ready;
+  Ready.reserve(Map.size());
+  for (const auto &E : Map)
+    if (E.second.Ready)
+      Ready.push_back({E.second.LastUse, E.first});
+  std::sort(Ready.begin(), Ready.end(),
+            [](const std::pair<uint64_t, CacheKey> &A,
+               const std::pair<uint64_t, CacheKey> &B) {
+              return A.first < B.first;
+            });
+  for (const std::pair<uint64_t, CacheKey> &Victim : Ready) {
+    if (T.Bytes <= Capacity)
+      return;
+    auto It = Map.find(Victim.second);
+    if (It == Map.end())
+      continue;
+    T.Bytes -= It->second.Bytes;
+    --T.Entries;
+    ++T.Evictions;
+    Map.erase(It);
+  }
+}
+
+namespace {
+
+/// Times a typed builder and packages its result for the untyped store.
+template <typename ArtifactT, typename SizeFn>
+std::function<CompileCache::Payload()>
+timedBuilder(const std::function<std::shared_ptr<const ArtifactT>()> &Build,
+             SizeFn Size) {
+  return [&Build, Size]() {
+    CompileCache::Payload P;
+    uint64_t T0 = nowNs();
+    std::shared_ptr<const ArtifactT> V = Build();
+    P.BuildNs = nowNs() - T0;
+    if (V)
+      P.Bytes = Size(*V);
+    P.Value = std::static_pointer_cast<const void>(V);
+    return P;
+  };
+}
+
+} // namespace
+
+std::shared_ptr<const Module> CompileCache::getOrBuildModule(
+    const CacheKey &K,
+    const std::function<std::shared_ptr<const Module>()> &Build,
+    CacheStats *Stats) {
+  auto SizeOf = [](const Module &M) {
+    // Dominated by the retained module bytes; per-decl and side-table
+    // overhead is approximated as a flat factor.
+    return M.Bytes.size() * 2 + 512;
+  };
+  return std::static_pointer_cast<const Module>(
+      getOrBuildImpl(K, timedBuilder<Module>(Build, SizeOf), Stats));
+}
+
+std::shared_ptr<const MCode> CompileCache::getOrCompile(
+    const CacheKey &K,
+    const std::function<std::shared_ptr<const MCode>()> &Build,
+    CacheStats *Stats) {
+  auto SizeOf = [](const MCode &C) {
+    size_t B = C.codeByteSize() + C.LineTable.size() * sizeof(LineEntry) +
+               C.OsrEntries.size() * sizeof(MCode::OsrEntry) + 256;
+    for (const StackMapEntry &E : C.StackMaps)
+      B += E.byteSize();
+    for (const std::vector<uint32_t> &BT : C.BrTables)
+      B += BT.size() * 4;
+    return B;
+  };
+  return std::static_pointer_cast<const MCode>(
+      getOrBuildImpl(K, timedBuilder<MCode>(Build, SizeOf), Stats));
+}
+
+std::shared_ptr<const ThreadedCode> CompileCache::getOrPredecode(
+    const CacheKey &K,
+    const std::function<std::shared_ptr<const ThreadedCode>()> &Build,
+    CacheStats *Stats) {
+  auto SizeOf = [](const ThreadedCode &TC) { return TC.byteSize() + 256; };
+  return std::static_pointer_cast<const ThreadedCode>(
+      getOrBuildImpl(K, timedBuilder<ThreadedCode>(Build, SizeOf), Stats));
+}
+
+CompileCache::Totals CompileCache::totals() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return T;
+}
+
+size_t CompileCache::configuredCapacityBytes() {
+  if (const char *V = getenv("WISP_CACHE_BYTES")) {
+    long long N = atoll(V);
+    if (N > 0)
+      return size_t(N);
+  }
+  return DefaultCapacityBytes;
+}
+
+CompileCache &CompileCache::process() {
+  static CompileCache C(configuredCapacityBytes());
+  return C;
+}

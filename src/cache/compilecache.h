@@ -1,0 +1,252 @@
+//===- cache/compilecache.h - content-addressed compile cache ---*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, thread-safe, content-addressed cache of compilation
+/// artifacts. The paper's setup-time methodology (and the batch runner's
+/// fresh-engine-per-job regime) charges every load() the full
+/// decode + validate + compile cost; content-identical inputs under an
+/// identical compilation configuration should pay it once per process.
+///
+/// Three artifact kinds are cached, all immutable once built and shared
+/// through `std::shared_ptr<const T>` handles:
+///
+///  - decoded + validated `Module`s, keyed by the module bytes;
+///  - compiled `MCode`, keyed by the function body (bytes, position,
+///    locals, index) plus the effective compiler configuration plus a
+///    module signature-context digest;
+///  - pre-decoded `ThreadedCode`, keyed by the body, the context digest
+///    and the fusion flag.
+///
+/// The signature-context digest covers everything the compilers consult
+/// beyond the body bytes — the type table, every function's signature,
+/// global types/mutability, table element types and memory limits — so
+/// byte-identical bodies in *different* modules can never alias wrong
+/// signatures, while modules differing only in codegen-irrelevant ways
+/// (exports, data segments, element segments, start function) still share
+/// compiled bodies.
+///
+/// Probed bodies bypass the cache entirely: probe sites compile against
+/// engine-local registries (counter cell addresses are patched into the
+/// code), so instrumented artifacts are never inserted and never served.
+///
+/// Thread-safety contract: every method may be called from any number of
+/// threads concurrently. Lookups of an in-flight key block until the
+/// builder finishes, so each key is built exactly once no matter how many
+/// engines race on it (the property the batch tests assert via
+/// CacheHits/CacheMisses). Builders run outside the cache lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_CACHE_COMPILECACHE_H
+#define WISP_CACHE_COMPILECACHE_H
+
+#include "interp/predecode.h"
+#include "machine/isa.h"
+#include "spc/options.h"
+#include "wasm/module.h"
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace wisp {
+
+enum class CompilerKind : uint8_t;
+
+/// Per-load cache accounting. The engine's LoadStats derives from this so
+/// callers read LoadStats::CacheHits/CacheMisses/CacheSavedNs while the
+/// cache itself stays below the engine in the layering.
+struct CacheStats {
+  /// Artifacts (module / MCode / threaded IR) served from the cache.
+  uint64_t CacheHits = 0;
+  /// Artifacts built fresh after a cache lookup missed. Uncached loads
+  /// (toggle off, probed bodies) count neither hits nor misses.
+  uint64_t CacheMisses = 0;
+  /// Recorded build time of every served hit — the compile/decode work
+  /// this load did not repeat.
+  uint64_t CacheSavedNs = 0;
+};
+
+/// A 128-bit content-hash key. Collisions across distinct inputs are
+/// treated as impossible (same stance as every content-addressed store).
+struct CacheKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+  bool operator==(const CacheKey &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey &K) const {
+    return size_t(K.Lo ^ (K.Hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// Incremental 128-bit hasher: two independent 64-bit lanes mixed one
+/// word at a time, so hashing runs at memory speed (a warm load's cost is
+/// dominated by key derivation — a byte-at-a-time loop would spend more
+/// time hashing a large module than the lookup saves). Call-boundary
+/// grouping is part of the hash; all key derivations use fixed call
+/// sequences with explicit lengths ahead of variable-size data.
+class KeyHasher {
+public:
+  void bytes(const void *Data, size_t Len) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    while (Len >= 8) {
+      uint64_t W;
+      __builtin_memcpy(&W, P, 8);
+      word(W);
+      P += 8;
+      Len -= 8;
+    }
+    if (Len) {
+      uint64_t W = 0;
+      __builtin_memcpy(&W, P, Len);
+      word(W ^ (uint64_t(Len) << 56)); // Distinguish short tails from \0s.
+    }
+  }
+  void u64(uint64_t V) { word(V); }
+  void u32(uint32_t V) { word(V); }
+  void u8(uint8_t V) { word(V); }
+  CacheKey key() const {
+    // Final avalanche so trailing-byte differences spread into both lanes.
+    auto Mix = [](uint64_t X) {
+      X ^= X >> 33;
+      X *= 0xFF51AFD7ED558CCDull;
+      X ^= X >> 33;
+      X *= 0xC4CEB9FE1A85EC53ull;
+      X ^= X >> 33;
+      return X;
+    };
+    return CacheKey{Mix(A ^ (B << 1)), Mix(B ^ (A >> 1))};
+  }
+
+private:
+  void word(uint64_t W) {
+    A = (A ^ W) * 0x2127599BF4325C37ull;
+    A ^= A >> 29;
+    B = (B ^ (W + 0x9E3779B97F4A7C15ull)) * 0x165667B19E3779F9ull;
+    B ^= B >> 32;
+  }
+
+  uint64_t A = 0xCBF29CE484222325ull;
+  uint64_t B = 0x84222325CBF29CE4ull;
+};
+
+/// Key of the whole-module artifact (decoded + validated Module).
+CacheKey moduleCacheKey(const std::vector<uint8_t> &Bytes);
+
+/// Digest of the module-level context the compilers consult beyond the
+/// body bytes: types, function signatures, globals, tables, memories.
+/// Codegen-irrelevant sections (exports, data, elements, start) are
+/// deliberately excluded so they do not defeat cross-module body sharing.
+uint64_t moduleContextDigest(const Module &M);
+
+/// Key of one compiled function body under one effective configuration.
+/// \p CtxDigest is moduleContextDigest(M) (computed once per load).
+CacheKey codeCacheKey(uint64_t CtxDigest, const Module &M, const FuncDecl &D,
+                      CompilerKind Kind, const CompilerOptions &Opts);
+
+/// Key of one pre-decoded threaded-IR body.
+CacheKey irCacheKey(uint64_t CtxDigest, const Module &M, const FuncDecl &D,
+                    bool EnableFusion);
+
+/// The content-addressed compile cache. See the file comment for the
+/// key/value model and the thread-safety contract.
+class CompileCache {
+public:
+  /// Aggregate counters. Hits/Misses are deterministic for a fixed input
+  /// set regardless of scheduling: in-flight coordination guarantees each
+  /// distinct key is built exactly once, so Misses == distinct
+  /// successfully-built keys. Failed builds count nothing at all — no
+  /// miss for the builder, no hit for waiters that received nothing —
+  /// so failure-heavy inputs stay scheduling-independent too.
+  struct Totals {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t SavedNs = 0;   ///< Recorded build time of served hits.
+    uint64_t Evictions = 0; ///< Entries dropped to stay under capacity.
+    size_t Entries = 0;     ///< Resident ready entries.
+    size_t Bytes = 0;       ///< Approximate resident artifact bytes.
+  };
+
+  static constexpr size_t DefaultCapacityBytes = size_t(256) << 20;
+
+  /// One built artifact plus its accounting (public for the builder
+  /// plumbing in compilecache.cpp; not part of the caller-facing API).
+  struct Payload {
+    std::shared_ptr<const void> Value;
+    uint64_t BuildNs = 0;
+    size_t Bytes = 0;
+  };
+
+  explicit CompileCache(size_t CapacityBytes = DefaultCapacityBytes);
+  ~CompileCache();
+
+  CompileCache(const CompileCache &) = delete;
+  CompileCache &operator=(const CompileCache &) = delete;
+
+  /// Returns the cached artifact for \p K, building it with \p Build on
+  /// the first request (exactly once per key; concurrent requesters block
+  /// until the build finishes). A null result from \p Build is not cached
+  /// — the caller falls back to its uncached path, which reproduces the
+  /// failure and its diagnostic. \p Stats (optional) receives per-load
+  /// hit/miss/saved-time accounting.
+  std::shared_ptr<const Module>
+  getOrBuildModule(const CacheKey &K,
+                   const std::function<std::shared_ptr<const Module>()> &Build,
+                   CacheStats *Stats);
+  std::shared_ptr<const MCode>
+  getOrCompile(const CacheKey &K,
+               const std::function<std::shared_ptr<const MCode>()> &Build,
+               CacheStats *Stats);
+  std::shared_ptr<const ThreadedCode>
+  getOrPredecode(const CacheKey &K,
+                 const std::function<std::shared_ptr<const ThreadedCode>()> &Build,
+                 CacheStats *Stats);
+
+  Totals totals() const;
+
+  /// The configured capacity: WISP_CACHE_BYTES when set (and positive),
+  /// else DefaultCapacityBytes. Used by process() and by every scoped
+  /// cache that should honor the same operator knob (e.g. the batch
+  /// runner's pool-shared cache).
+  static size_t configuredCapacityBytes();
+
+  /// The process-wide cache every engine uses by default. Capacity comes
+  /// from configuredCapacityBytes() (read once, at first use).
+  static CompileCache &process();
+
+private:
+  struct Slot {
+    std::shared_future<Payload> Future;
+    uint64_t LastUse = 0;
+    bool Ready = false;   ///< Build finished and the entry is resident.
+    uint64_t BuildNs = 0; ///< Valid when Ready.
+    size_t Bytes = 0;     ///< Valid when Ready.
+  };
+
+  std::shared_ptr<const void>
+  getOrBuildImpl(const CacheKey &K,
+                 const std::function<Payload()> &Build, CacheStats *Stats);
+  void evictLocked();
+
+  mutable std::mutex Mu;
+  std::unordered_map<CacheKey, Slot, CacheKeyHash> Map;
+  Totals T;
+  uint64_t UseTick = 0;
+  size_t Capacity;
+};
+
+} // namespace wisp
+
+#endif // WISP_CACHE_COMPILECACHE_H

@@ -16,7 +16,10 @@
 
 using namespace wisp;
 
-Engine::Engine(EngineConfig CfgIn) : Cfg(std::move(CfgIn)) {
+Engine::Engine(EngineConfig CfgIn, CompileCache *CacheIn)
+    : Cfg(std::move(CfgIn)) {
+  Cache = Cfg.UseCompileCache ? (CacheIn ? CacheIn : &CompileCache::process())
+                              : nullptr;
   T = std::make_unique<Thread>(Cfg.StackSlots, Cfg.wantsTagLane());
   T->Hooks = this;
   T->UseThreaded = Cfg.ThreadedDispatch &&
@@ -33,20 +36,46 @@ Engine::Engine(EngineConfig CfgIn) : Cfg(std::move(CfgIn)) {
 
 Engine::~Engine() = default;
 
-std::unique_ptr<MCode> Engine::compileOne(const Module &M,
-                                          const FuncDecl &F) {
+std::unique_ptr<MCode> Engine::compileRaw(const Module &M, const FuncDecl &F,
+                                          const CompilerOptions &Opts,
+                                          CompilerKind Kind) {
   const ProbeSiteOracle *Oracle = Probes.anyProbes() ? &Probes : nullptr;
-  switch (Cfg.Compiler) {
+  switch (Kind) {
   case CompilerKind::SinglePass:
-    return compileFunction(M, F, Cfg.Opts, Oracle);
+    return compileFunction(M, F, Opts, Oracle);
   case CompilerKind::TwoPass:
-    return compileTwoPass(M, F, Cfg.Opts, Oracle);
+    return compileTwoPass(M, F, Opts, Oracle);
   case CompilerKind::CopyPatch:
-    return compileCopyPatch(M, F, Cfg.Opts, Oracle);
+    return compileCopyPatch(M, F, Opts, Oracle);
   case CompilerKind::Optimizing:
-    return compileOptimizing(M, F, Cfg.Opts, Oracle);
+    return compileOptimizing(M, F, Opts, Oracle);
   }
   return nullptr;
+}
+
+std::unique_ptr<MCode> Engine::compileOne(const Module &M,
+                                          const FuncDecl &F) {
+  return compileRaw(M, F, Cfg.Opts, Cfg.Compiler);
+}
+
+const MCode *Engine::compileShared(LoadedModule &LM, const FuncDecl &F,
+                                   const CompilerOptions &Opts,
+                                   CompilerKind Kind) {
+  std::shared_ptr<const MCode> C;
+  if (cacheUsable()) {
+    if (!LM.ContextDigest)
+      LM.ContextDigest = moduleContextDigest(*LM.M);
+    C = Cache->getOrCompile(
+        codeCacheKey(LM.ContextDigest, *LM.M, F, Kind, Opts),
+        [&]() -> std::shared_ptr<const MCode> {
+          return compileRaw(*LM.M, F, Opts, Kind);
+        },
+        &LM.Stats);
+  } else {
+    C = compileRaw(*LM.M, F, Opts, Kind);
+  }
+  LM.Codes.push_back(C);
+  return C.get();
 }
 
 std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
@@ -54,24 +83,53 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
   auto LM = std::make_unique<LoadedModule>();
   LM->Stats.ModuleBytes = Bytes.size();
   uint64_t T0 = nowNs();
-  LM->M = decodeModule(std::move(Bytes), Err);
-  if (!LM->M)
-    return nullptr;
-  uint64_t T1 = nowNs();
-  LM->Stats.DecodeNs = T1 - T0;
-  if (Cfg.Validate) {
-    if (!validateModule(*LM->M, Err))
-      return nullptr;
-  } else {
-    // wasm3-style: trust the module; side tables are still required for
-    // in-place interpretation, so build them without rejecting anything.
-    if (!validateModule(*LM->M, Err))
+
+  // Whole-module artifact: a content-identical module decodes and
+  // validates once per process (validation is configuration-independent —
+  // the wasm3-style Validate=false configs still build side tables through
+  // the same pass). Failures are never cached: when this thread ran the
+  // builder, Err already carries the diagnostic; a waiter served a failed
+  // in-flight build falls back below (its Bytes are untouched — only the
+  // builder lambda consumes them) and reproduces it.
+  bool BuiltHere = false;
+  if (Cache) {
+    LM->M = Cache->getOrBuildModule(
+        moduleCacheKey(Bytes),
+        [&]() -> std::shared_ptr<const Module> {
+          BuiltHere = true;
+          uint64_t D0 = nowNs();
+          std::unique_ptr<Module> M = decodeModule(std::move(Bytes), Err);
+          if (!M)
+            return nullptr;
+          uint64_t D1 = nowNs();
+          LM->Stats.DecodeNs = D1 - D0;
+          if (!validateModule(*M, Err))
+            return nullptr;
+          LM->Stats.ValidateNs = nowNs() - D1;
+          return std::shared_ptr<const Module>(std::move(M));
+        },
+        &LM->Stats);
+    if (!LM->M && BuiltHere)
       return nullptr;
   }
-  uint64_t T2 = nowNs();
-  LM->Stats.ValidateNs = T2 - T1;
+  if (!LM->M) {
+    // Uncached (or cache-declined) decode + validate. wasm3-style
+    // configurations trust the module but still need the side tables, so
+    // both settings run the same validation pass.
+    uint64_t D0 = nowNs();
+    std::unique_ptr<Module> M = decodeModule(std::move(Bytes), Err);
+    if (!M)
+      return nullptr;
+    uint64_t D1 = nowNs();
+    LM->Stats.DecodeNs = D1 - D0;
+    if (!validateModule(*M, Err))
+      return nullptr;
+    LM->Stats.ValidateNs = nowNs() - D1;
+    LM->M = std::shared_ptr<const Module>(std::move(M));
+  }
   LM->Stats.CodeBytes = LM->M->codeBytes();
 
+  uint64_t T2 = nowNs();
   LM->Inst = instantiate(*LM->M, Hosts, &Heap, Err);
   if (!LM->Inst)
     return nullptr;
@@ -82,8 +140,7 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
     for (FuncInstance &FI : LM->Inst->Funcs) {
       if (FI.Decl->Imported)
         continue;
-      LM->Codes.push_back(compileOne(*LM->M, *FI.Decl));
-      FI.Code = LM->Codes.back().get();
+      FI.Code = compileShared(*LM, *FI.Decl, Cfg.Opts, Cfg.Compiler);
       FI.UseJit = true;
       LM->Stats.CodeInsts += FI.Code->Stats.CodeInsts;
       LM->Stats.TagStores += FI.Code->Stats.TagStores;
@@ -116,9 +173,27 @@ void Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
   // Fusion is illegal when deopt checkpoints exist: a tier-down may resume
   // at any opcode boundary, including mid-pair.
   bool Fuse = !Cfg.Opts.EmitDeoptChecks;
-  LM.TCodes.push_back(predecodeFunction(*LM.M, *Func->Decl, Func, Fuse));
-  LM.Stats.IrBytes += LM.TCodes.back()->byteSize();
-  Func->TCode = LM.TCodes.back().get();
+  std::shared_ptr<const ThreadedCode> TC;
+  if (cacheUsable()) {
+    // No probes anywhere in this engine, so the probe bitmap consulted by
+    // predecodeFunction is empty and the IR depends only on the body, the
+    // module context and the fusion flag. Probed re-predecodes (addProbe,
+    // reinstrument) take the uncached branch: fusion-suppressed IR must
+    // never be inserted under — or served from — the unprobed key.
+    if (!LM.ContextDigest)
+      LM.ContextDigest = moduleContextDigest(*LM.M);
+    TC = Cache->getOrPredecode(
+        irCacheKey(LM.ContextDigest, *LM.M, *Func->Decl, Fuse),
+        [&]() -> std::shared_ptr<const ThreadedCode> {
+          return predecodeFunction(*LM.M, *Func->Decl, Func, Fuse);
+        },
+        &LM.Stats);
+  } else {
+    TC = predecodeFunction(*LM.M, *Func->Decl, Func, Fuse);
+  }
+  LM.TCodes.push_back(TC);
+  LM.Stats.IrBytes += TC->byteSize();
+  Func->TCode = TC.get();
 }
 
 TrapReason Engine::invoke(LoadedModule &LM, const std::string &ExportName,
@@ -138,8 +213,7 @@ TrapReason Engine::invoke(LoadedModule &LM, const std::string &ExportName,
 
 void Engine::compileAndInstall(FuncInstance *Func) {
   assert(Current && "no module in scope for compilation");
-  Current->Codes.push_back(compileOne(*Current->M, *Func->Decl));
-  Func->Code = Current->Codes.back().get();
+  Func->Code = compileShared(*Current, *Func->Decl, Cfg.Opts, Cfg.Compiler);
   Func->UseJit = true;
 }
 
@@ -200,14 +274,13 @@ bool Engine::onLoopBackedge(Thread &Th, FuncInstance *Func,
   if (Cfg.Mode != ExecMode::Tiered || !Current || Func->Decl->Imported)
     return false;
   if (!Func->Code) {
-    // Compile with OSR entries and deopt checkpoints.
+    // Compile with OSR entries and deopt checkpoints (always through the
+    // single-pass pipeline — it is the one that records OSR entries).
     CompilerOptions Opts = Cfg.Opts;
     Opts.EmitOsrEntries = true;
     Opts.EmitDeoptChecks = true;
-    const ProbeSiteOracle *Oracle = Probes.anyProbes() ? &Probes : nullptr;
-    Current->Codes.push_back(
-        compileFunction(*Current->M, *Func->Decl, Opts, Oracle));
-    Func->Code = Current->Codes.back().get();
+    Func->Code =
+        compileShared(*Current, *Func->Decl, Opts, CompilerKind::SinglePass);
     Func->UseJit = true;
   }
   const MCode::OsrEntry *E = Func->Code->findOsrEntry(TargetIp);

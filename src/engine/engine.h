@@ -17,6 +17,7 @@
 #ifndef WISP_ENGINE_ENGINE_H
 #define WISP_ENGINE_ENGINE_H
 
+#include "cache/compilecache.h"
 #include "engine/run.h"
 #include "instr/registry.h"
 #include "interp/predecode.h"
@@ -64,6 +65,14 @@ struct EngineConfig {
   bool ThreadedDispatch = false;
   uint32_t TierUpThreshold = 256; ///< Tiered mode hotness threshold.
   uint32_t StackSlots = 1u << 16;
+  /// Use the content-addressed compile cache (src/cache/): repeated loads
+  /// of content-identical modules/bodies under an identical configuration
+  /// reuse decoded modules, compiled MCode and pre-decoded threaded IR
+  /// instead of rebuilding them. Engines default to the process-wide
+  /// cache; the batch runner shares one cache across its worker pool.
+  /// Probed bodies always bypass the cache. Disable with
+  /// `wisp --no-compile-cache` (measurement runs want cold-start costs).
+  bool UseCompileCache = true;
 
   /// Whether the value stack needs a tag lane.
   bool wantsTagLane() const {
@@ -73,8 +82,10 @@ struct EngineConfig {
   }
 };
 
-/// Per-load measurements (the paper's setup-time methodology).
-struct LoadStats {
+/// Per-load measurements (the paper's setup-time methodology). Derives
+/// the compile-cache counters CacheHits / CacheMisses / CacheSavedNs from
+/// CacheStats (cache/compilecache.h).
+struct LoadStats : CacheStats {
   uint64_t DecodeNs = 0;
   uint64_t ValidateNs = 0;
   uint64_t CompileNs = 0;
@@ -93,17 +104,26 @@ struct LoadStats {
 };
 
 /// A loaded, instantiated module plus its compiled code.
+///
+/// Compiled artifacts are held through shared, immutable handles: a body
+/// served from the compile cache is the same MCode/ThreadedCode object in
+/// every module (and every engine) that loaded it, and an artifact stays
+/// alive as long as any loaded module (or the cache) still references it.
 class LoadedModule {
 public:
-  std::unique_ptr<Module> M;
+  /// Decoded + validated module; shared with the compile cache and with
+  /// any other LoadedModule of the same bytes. Immutable after load.
+  std::shared_ptr<const Module> M;
   std::unique_ptr<Instance> Inst;
-  std::vector<std::unique_ptr<MCode>> Codes;
+  std::vector<std::shared_ptr<const MCode>> Codes;
   /// Pre-decoded threaded IR bodies. Append-only: probe attachment
   /// re-predecodes (fusion must be suppressed at probed offsets) and
   /// running frames may still reference the superseded IR until their next
   /// observation point.
-  std::vector<std::unique_ptr<ThreadedCode>> TCodes;
+  std::vector<std::shared_ptr<const ThreadedCode>> TCodes;
   LoadStats Stats;
+  /// moduleContextDigest(*M), memoized on first cached compile.
+  uint64_t ContextDigest = 0;
 };
 
 /// The engine. Implements EngineHooks for probes and tiering.
@@ -119,11 +139,16 @@ public:
 ///    one OS thread at a time.
 ///  - *Distinct* Engine instances are fully independent: any number may
 ///    load, compile, instrument and run concurrently on different
-///    threads. The only process-wide state they share is immutable after
-///    initialization and safe to race on first use: the opcode tables
-///    (const magic static) and the copy-and-patch template cache (built
-///    inside its magic-static initializer — see baselines/copypatch.cpp;
-///    construction is serialized by the C++ runtime, reads are const).
+///    threads. The process-wide state they share is either immutable
+///    after initialization and safe to race on first use — the opcode
+///    tables (const magic static) and the copy-and-patch template cache
+///    (built inside its magic-static initializer — see
+///    baselines/copypatch.cpp; construction is serialized by the C++
+///    runtime, reads are const) — or internally synchronized: the
+///    compile cache (src/cache/compilecache.h) hands out shared
+///    `shared_ptr<const T>` handles to artifacts that are immutable once
+///    built, coordinates concurrent builds of the same key so each is
+///    performed exactly once, and runs builders outside its lock.
 ///  - Module bytes passed to load() are copied; suite generators
 ///    (suites/suites.h) build fresh buffers per call and share nothing.
 ///
@@ -132,10 +157,17 @@ public:
 /// data-race-free by construction.
 class Engine : public EngineHooks {
 public:
-  explicit Engine(EngineConfig Cfg);
+  /// \p Cache selects the compile cache to share: nullptr (the default)
+  /// means the process-wide cache when Cfg.UseCompileCache is set — pass
+  /// a private CompileCache to scope sharing (the batch runner shares one
+  /// per worker pool; tests isolate stats). With Cfg.UseCompileCache
+  /// false the engine never touches any cache.
+  explicit Engine(EngineConfig Cfg, CompileCache *Cache = nullptr);
   ~Engine() override;
 
   const EngineConfig &config() const { return Cfg; }
+  /// The compile cache this engine consults, or nullptr when disabled.
+  CompileCache *cache() const { return Cache; }
   HostRegistry &hosts() { return Hosts; }
   GcHeap &heap() { return Heap; }
   ProbeRegistry &probes() { return Probes; }
@@ -185,8 +217,22 @@ private:
   /// (Re-)pre-decodes \p Func's body into threaded IR, honoring the
   /// current probe bitmap (fusion is suppressed at probed offsets).
   void predecodeAndInstall(LoadedModule &LM, FuncInstance *Func);
+  /// Runs \p Kind's pipeline over \p F with this engine's probe oracle.
+  std::unique_ptr<MCode> compileRaw(const Module &M, const FuncDecl &F,
+                                    const CompilerOptions &Opts,
+                                    CompilerKind Kind);
+  /// Compiles \p F under \p Opts through the compile cache when usable
+  /// (cache present, no probes attached anywhere in this engine), else
+  /// fresh. Appends the handle to \p LM.Codes and updates LM.Stats.
+  const MCode *compileShared(LoadedModule &LM, const FuncDecl &F,
+                             const CompilerOptions &Opts, CompilerKind Kind);
+  /// The cache is only consulted while this engine has no probes at all:
+  /// probe sites compile against engine-local state (counter cells), so
+  /// instrumented artifacts must never be inserted or served.
+  bool cacheUsable() const { return Cache && !Probes.anyProbes(); }
 
   EngineConfig Cfg;
+  CompileCache *Cache = nullptr;
   HostRegistry Hosts;
   GcHeap Heap;
   ProbeRegistry Probes;

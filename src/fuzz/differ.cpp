@@ -66,8 +66,8 @@ EngineConfig tierConfig(const std::string &Tier) {
 }
 
 TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
-                   const std::string &ExportName,
-                   const std::vector<Value> &Args) {
+                   const std::string &ExportName, const std::vector<Value> &Args,
+                   CompileCache *Cache = nullptr) {
   TierRun Run;
   Run.Tier = Tier;
   // "<tier>+mon" runs the tier with branch + coverage monitors attached.
@@ -77,7 +77,13 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
     Base = Base.substr(0, Base.size() - 4);
     Monitors = true;
   }
-  Engine E(tierConfig(Base));
+  // The one place that decides cache usage for differ runs: plain tiers
+  // load a fresh module per seed, so the process-wide cache would only
+  // grow (never hit) — they run cold. The "+cache" tiers pass a private
+  // per-seed cache to diff cache-cold against cache-warm execution.
+  EngineConfig Cfg = tierConfig(Base);
+  Cfg.UseCompileCache = Cache != nullptr;
+  Engine E(Cfg, Cache);
   WasmError Err;
   std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
   if (!LM) {
@@ -92,6 +98,7 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
     Coverage.attach(*LM->Inst, E.probes());
     E.reinstrument(*LM);
   }
+  Run.CacheHits = LM->Stats.CacheHits;
   Run.Trap = E.invoke(*LM, ExportName, Args, &Run.Results);
   if (Run.Trap != TrapReason::None) {
     Run.Results.clear();
@@ -114,6 +121,27 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
       Run.EntryCounts.push_back(Coverage.entries(I));
   }
   return Run;
+}
+
+/// Runs a "<base>+cache" configuration: the same seed twice against one
+/// private compile cache — cache-cold (populating) then cache-warm
+/// (served) — and self-compares the two before the caller diffs the warm
+/// run against the reference tier. Returns the warm run.
+TierRun runCacheTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
+                     const std::string &ExportName,
+                     const std::vector<Value> &Args) {
+  std::string Base = Tier.substr(0, Tier.size() - 6); // Strip "+cache".
+  CompileCache Cache;
+  TierRun Cold = runOneTier(Base, Bytes, ExportName, Args, &Cache);
+  TierRun Warm = runOneTier(Base, Bytes, ExportName, Args, &Cache);
+  Cold.Tier = Tier + "(cold)";
+  Warm.Tier = Tier;
+  Warm.SelfCheck = compareTierRuns(Cold, Warm);
+  if (!Warm.SelfCheck.empty())
+    Warm.SelfCheck = "cache-cold vs cache-warm: " + Warm.SelfCheck;
+  else if (Warm.LoadOk && Warm.CacheHits == 0)
+    Warm.SelfCheck = "cache-warm load recorded no cache hits";
+  return Warm;
 }
 
 } // namespace
@@ -199,6 +227,15 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
   DiffReport Report;
   for (const std::string &Tier : differTierNames())
     Report.Runs.push_back(runOneTier(Tier, Bytes, ExportName, Args));
+  // Compile-cache configurations: the seed runs cache-cold then
+  // cache-warm against a private cache ("spc+cache" covers compiled
+  // MCode + the shared module artifact, "threaded+cache" covers the
+  // pre-decoded threaded IR). The warm run must be indistinguishable from
+  // the cold one — identical results, traps, trap-site PCs, memory,
+  // globals — and from the reference.
+  Report.Runs.push_back(runCacheTier("spc+cache", Bytes, ExportName, Args));
+  Report.Runs.push_back(
+      runCacheTier("threaded+cache", Bytes, ExportName, Args));
   // Probe/monitor configurations: both interpreter dispatch strategies run
   // fully instrumented. Their semantics are checked against the reference
   // below, and their instrumentation state against each other (last loop
@@ -215,6 +252,11 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
     return Report;
   }
   for (size_t I = 1; I < Report.Runs.size(); ++I) {
+    if (!Report.Runs[I].SelfCheck.empty()) {
+      Report.Diverged = true;
+      Report.Detail = Report.Runs[I].Tier + ": " + Report.Runs[I].SelfCheck;
+      return Report;
+    }
     std::string Mismatch = compareTierRuns(Ref, Report.Runs[I]);
     if (!Mismatch.empty()) {
       Report.Diverged = true;

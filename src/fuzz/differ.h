@@ -53,6 +53,13 @@ struct TierRun {
   std::vector<uint64_t> BranchCounts;
   /// Per-function entry counts (coverage monitor).
   std::vector<uint64_t> EntryCounts;
+  /// Compile-cache hits recorded by this run's load ("+cache" tiers).
+  uint64_t CacheHits = 0;
+  /// "+cache" tiers run the seed twice against a private compile cache —
+  /// cache-cold then cache-warm — and self-compare before the cross-tier
+  /// comparison. Non-empty = the two runs disagreed (or the warm load
+  /// unexpectedly recorded no hits); reported as a divergence.
+  std::string SelfCheck;
 };
 
 /// Verdict of a differential run across all tiers.
@@ -77,7 +84,11 @@ const std::vector<std::string> &differTierNames();
 /// strategies with branch + coverage monitors attached ("int+mon",
 /// "threaded+mon"): monitors must not perturb semantics, and the two
 /// dispatch strategies must observe bit-identical instrumentation state
-/// (same probe firings, same branch outcomes).
+/// (same probe firings, same branch outcomes). Two compile-cache
+/// configurations ("spc+cache", "threaded+cache") run the seed cache-cold
+/// and cache-warm against a private compile cache: both runs must agree
+/// with each other (results, traps, trap-site PCs, memory, globals) and
+/// with the reference, and the warm load must actually hit the cache.
 DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
                        const std::string &ExportName,
                        const std::vector<Value> &Args);

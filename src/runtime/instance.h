@@ -114,7 +114,9 @@ struct FuncInstance {
   Instance *Inst = nullptr;
   const HostFunc *Host = nullptr; ///< Non-null for imported functions.
 
-  MCode *Code = nullptr; ///< Compiled machine code, if any (not owned).
+  /// Compiled machine code, if any. Not owned, immutable, and possibly
+  /// shared across instances/engines through the compile cache.
+  const MCode *Code = nullptr;
   /// Pre-decoded threaded IR for the threaded-dispatch interpreter tier
   /// (not owned; engines replace it when probes invalidate fusion).
   const ThreadedCode *TCode = nullptr;

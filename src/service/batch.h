@@ -64,6 +64,27 @@ struct BatchReport {
   std::vector<BatchJobResult> Results;
   unsigned Workers = 0;
   double WallMs = 0; ///< End-to-end batch wall time.
+  /// Aggregate compile-cache counters for the batch-local cache. The
+  /// hit/miss split is deterministic for a fixed manifest regardless of
+  /// worker count or scheduling: the cache builds each distinct key
+  /// exactly once, so Misses == distinct artifacts and Hits is the rest.
+  /// (The per-job split in BatchJobResult::Stats is NOT deterministic —
+  /// which job pays each miss depends on scheduling — which is why the
+  /// per-job report lines never print it.)
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheSavedNs = 0;
+  bool CacheEnabled = false;
+};
+
+/// Execution options for a batch.
+struct BatchOptions {
+  unsigned Workers = 1;
+  /// Share one content-addressed compile cache across the worker pool:
+  /// content-identical modules/bodies under identical configurations
+  /// decode/compile once per batch instead of once per job. The cache is
+  /// batch-local (not the process-wide one) so reports are reproducible.
+  bool CompileCache = true;
 };
 
 /// Parses manifest text: one job per non-empty, non-comment line,
@@ -80,12 +101,18 @@ bool parseBatchManifest(const std::string &Text,
 /// the first unresolvable spec.
 bool resolveBatchModules(std::vector<BatchJob> *Jobs, std::string *Err);
 
-/// Runs \p Jobs across \p Workers threads. Each worker pulls job indexes
-/// from a bounded queue and executes every job in a private Engine (no
-/// engine, thread, or loaded module is ever shared between workers — see
-/// the thread-safety contract in engine/engine.h). The result vector is
-/// indexed by manifest position, so the report is byte-identical for any
-/// worker count.
+/// Runs \p Jobs per \p Opts. Each worker pulls job indexes from a bounded
+/// queue and executes every job in a private Engine (no engine, thread, or
+/// loaded module is ever shared between workers — see the thread-safety
+/// contract in engine/engine.h; with Opts.CompileCache the workers share
+/// exactly one thing: the internally-synchronized batch-local compile
+/// cache, through which identical bodies compile once per batch). The
+/// result vector is indexed by manifest position, so the report is
+/// byte-identical for any worker count and for cache on/off.
+BatchReport runBatch(const std::vector<BatchJob> &Jobs,
+                     const BatchOptions &Opts);
+
+/// Convenience overload: \p Workers threads, compile cache enabled.
 BatchReport runBatch(const std::vector<BatchJob> &Jobs, unsigned Workers);
 
 /// Prints the report to \p Out: one deterministic line per job (manifest

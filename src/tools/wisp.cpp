@@ -60,6 +60,12 @@ const char *UsageText =
     "                   branches | coverage | count:<opcode mnemonic>\n"
     "  --stats          print load and execution statistics\n"
     "  --time           print setup and main-phase wall times\n"
+    "  --no-compile-cache\n"
+    "                   disable the content-addressed compile cache\n"
+    "                   (repeated loads of identical modules/bodies under\n"
+    "                   an identical configuration normally decode and\n"
+    "                   compile once per process — or once per batch);\n"
+    "                   use for cold-start measurements\n"
     "  --batch=FILE     batch mode: run every job of a manifest across a\n"
     "                   worker pool (one private engine per job) and print\n"
     "                   a deterministic per-job report. Manifest lines:\n"
@@ -142,6 +148,7 @@ struct CliOptions {
   bool UseM0 = false;
   bool Stats = false;
   bool Time = false;
+  bool NoCompileCache = false;
   bool List = false;
   bool ListConfigs = false;
   std::string Batch; ///< --batch manifest path.
@@ -166,7 +173,10 @@ int runBatchMode(const CliOptions &Opt) {
     fprintf(stderr, "wisp: %s: %s\n", Opt.Batch.c_str(), Err.c_str());
     return 2;
   }
-  BatchReport Report = runBatch(Jobs, unsigned(Opt.Jobs));
+  BatchOptions BOpts;
+  BOpts.Workers = unsigned(Opt.Jobs);
+  BOpts.CompileCache = !Opt.NoCompileCache;
+  BatchReport Report = runBatch(Jobs, BOpts);
   printBatchReport(stdout, Jobs, Report, Opt.Stats);
   // Traps are results (reported per job); only infrastructure failures
   // (load/export/argument errors) fail the batch.
@@ -216,6 +226,8 @@ int main(int argc, char **argv) {
       Opt.Stats = true;
     } else if (A == "--time") {
       Opt.Time = true;
+    } else if (A == "--no-compile-cache") {
+      Opt.NoCompileCache = true;
     } else if (A == "--list") {
       Opt.List = true; // Handled after parsing so --scale is order-free.
     } else if (A == "--list-configs") {
@@ -285,6 +297,7 @@ int main(int argc, char **argv) {
                         Opt.Tier.c_str());
     Cfg = configByName(Name);
   }
+  Cfg.UseCompileCache = !Opt.NoCompileCache;
 
   // Resolve the module bytes.
   std::vector<uint8_t> Bytes;
@@ -406,6 +419,13 @@ int main(int argc, char **argv) {
     if (S.PredecodeNs || S.IrBytes)
       printf("  predecode %.1f us, %zu threaded-IR bytes\n",
              double(S.PredecodeNs) / 1e3, S.IrBytes);
+    if (Opt.NoCompileCache)
+      printf("  compile cache: disabled\n");
+    else
+      printf("  compile cache: %llu hits, %llu misses, saved %.1f us\n",
+             (unsigned long long)S.CacheHits,
+             (unsigned long long)S.CacheMisses,
+             double(S.CacheSavedNs) / 1e3);
     Thread &T = E.thread();
     printf("  executed %llu interp steps, %llu threaded steps, %llu jit "
            "cycles, %llu modeled cycles\n",

@@ -31,26 +31,44 @@ foreach(item ostrich/crc libsodium/stream_chacha20 polybench/atax)
 endforeach()
 file(APPEND ${MANIFEST} "nop\n")
 
-function(run_batch jobs outvar)
+function(run_batch jobs outvar rawvar)
   execute_process(
-    COMMAND ${WISP_BIN} --batch=${MANIFEST} --jobs=${jobs}
+    COMMAND ${WISP_BIN} --batch=${MANIFEST} --jobs=${jobs} ${ARGN}
     OUTPUT_VARIABLE OUT
     ERROR_VARIABLE ERR
     RESULT_VARIABLE RC)
   if(NOT RC EQUAL 0)
-    message(FATAL_ERROR "--batch --jobs=${jobs} failed (rc=${RC}):\n${OUT}${ERR}")
+    message(FATAL_ERROR "--batch --jobs=${jobs} ${ARGN} failed (rc=${RC}):\n${OUT}${ERR}")
   endif()
-  # Strip the '#'-prefixed summary lines (wall time, throughput).
+  set(${rawvar} "${OUT}" PARENT_SCOPE)
+  # Strip the '#'-prefixed summary lines (wall time, throughput, cache).
   string(REGEX REPLACE "(^|\n)#[^\n]*" "" OUT "${OUT}")
   set(${outvar} "${OUT}" PARENT_SCOPE)
 endfunction()
 
-run_batch(1 REPORT1)
-run_batch(8 REPORT8)
+run_batch(1 REPORT1 RAW1)
+run_batch(8 REPORT8 RAW8)
 if(NOT REPORT1 STREQUAL REPORT8)
   message(FATAL_ERROR
     "batch report differs between --jobs=1 and --jobs=8:\n--- jobs=1\n"
     "${REPORT1}\n--- jobs=8\n${REPORT8}")
+endif()
+
+# --- Compile cache: the default run reports nonzero hits (the manifest
+# --- repeats suite items under identical configs), and disabling the
+# --- cache must not change a single per-job byte.
+if(NOT RAW8 MATCHES "# cache: [1-9][0-9]* hits")
+  message(FATAL_ERROR "default batch summary reports no cache hits:\n${RAW8}")
+endif()
+run_batch(8 REPORT_NOCACHE RAW_NOCACHE --no-compile-cache)
+if(NOT RAW_NOCACHE MATCHES "# cache: disabled")
+  message(FATAL_ERROR
+    "--no-compile-cache summary does not say disabled:\n${RAW_NOCACHE}")
+endif()
+if(NOT REPORT8 STREQUAL REPORT_NOCACHE)
+  message(FATAL_ERROR
+    "batch report differs between default and --no-compile-cache:\n"
+    "--- default\n${REPORT8}\n--- no-compile-cache\n${REPORT_NOCACHE}")
 endif()
 string(REGEX MATCHALL "\\[[0-9]+\\]" JOBLINES "${REPORT1}")
 list(LENGTH JOBLINES NJOBS)

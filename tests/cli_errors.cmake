@@ -40,6 +40,20 @@ expect_fail(unknown-opcode "unknown opcode mnemonic"
 expect_fail(tier-config-conflict "mutually exclusive"
             --tier=int --config=wizard-spc nop)
 
+# --- Malformed compile-cache flags: the toggle takes no value, and there
+# --- is no positive spelling (the cache is the default) ---
+expect_fail(cache-flag-value "unknown option" --no-compile-cache=1 nop)
+expect_fail(cache-flag-value-yes "unknown option" --no-compile-cache=yes nop)
+expect_fail(cache-flag-positive "unknown option" --compile-cache nop)
+# The valid spelling works in both single-module and batch mode (the
+# cache-vs-no-cache report equivalence itself is cli_batch's job).
+execute_process(
+  COMMAND ${WISP_BIN} --no-compile-cache --tier=spc nop
+  OUTPUT_VARIABLE OUT RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
+  message(FATAL_ERROR "--no-compile-cache single-module run failed (rc=${RC}): ${OUT}")
+endif()
+
 # --- --batch vs. single-module flags (per-job settings belong in the
 # --- manifest) and --jobs validation ---
 expect_fail(batch-tier-conflict "mutually exclusive.*--tier"

@@ -1,0 +1,513 @@
+//===- tests/test_cache.cpp - compile-cache test battery --------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The content-addressed compile cache (src/cache/): key correctness (same
+// bytes under a different configuration or a different signature context
+// must miss; codegen-irrelevant module differences must still share
+// bodies), artifact identity (a hit returns the same immutable MCode with
+// the same LineTable), probe isolation (fusion-suppressed or instrumented
+// bodies are never inserted under — or served from — an unprobed key),
+// capacity eviction, the 8-thread concurrent-load stress (one compile per
+// key no matter how many engines race; a TSan gate in the test_service
+// style), and the batch-runner guarantee that a manifest of identical
+// jobs performs each body's compilation exactly once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/compilecache.h"
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "instr/probe.h"
+#include "service/batch.h"
+#include "suites/suites.h"
+#include "testutil.h"
+
+#include <thread>
+
+using namespace wisp;
+
+namespace {
+
+/// f0: calls f1 and drops the result ("call 1; drop; i32.const 7").
+/// \p CalleeTy picks f1's result type — the body bytes of f0 are identical
+/// for every choice (drop accepts any type), the *signature context* is
+/// not. f1's body is sized so f0's BodyStart never moves (f0 is the first
+/// code entry; type encodings are all one byte).
+std::vector<uint8_t> callerModule(ValType CalleeTy) {
+  ModuleBuilder MB;
+  uint32_t T0 = MB.addType({}, {ValType::I32});
+  uint32_t T1 = MB.addType({}, {CalleeTy});
+  FuncBuilder &F0 = MB.addFunc(T0);
+  F0.op(Opcode::Call);
+  F0.u32(1);
+  F0.op(Opcode::Drop);
+  F0.i32Const(7);
+  FuncBuilder &F1 = MB.addFunc(T1);
+  switch (CalleeTy) {
+  case ValType::I32:
+    F1.i32Const(1);
+    break;
+  case ValType::I64:
+    F1.i64Const(1);
+    break;
+  default:
+    F1.f32Const(1.0f);
+    break;
+  }
+  MB.exportFunc("run", 0);
+  return MB.build();
+}
+
+/// add(a, b) with a fusable get/get/add pair and a memory + one data byte
+/// (the data section follows the code section, so flipping the byte
+/// changes the module bytes without moving any body).
+std::vector<uint8_t> addModule(uint8_t DataByte) {
+  ModuleBuilder MB;
+  uint32_t Ty = MB.addType({ValType::I32, ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(Ty);
+  F.localGet(0);
+  F.localGet(1);
+  F.op(Opcode::I32Add);
+  MB.addMemory(1);
+  MB.addData(0, {DataByte});
+  MB.exportFunc("add", 0);
+  return MB.build();
+}
+
+std::unique_ptr<LoadedModule> loadOn(Engine &E,
+                                     const std::vector<uint8_t> &Bytes) {
+  WasmError Err;
+  std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
+  EXPECT_NE(LM, nullptr) << Err.Message;
+  return LM;
+}
+
+Value invokeOne(Engine &E, LoadedModule &LM, const std::string &Name,
+                const std::vector<Value> &Args) {
+  std::vector<Value> Out;
+  EXPECT_EQ(E.invoke(LM, Name, Args, &Out), TrapReason::None);
+  EXPECT_EQ(Out.size(), 1u);
+  return Out.empty() ? Value{} : Out[0];
+}
+
+EngineConfig cachedConfig(const char *Name) {
+  EngineConfig Cfg = configByName(Name);
+  Cfg.UseCompileCache = true;
+  return Cfg;
+}
+
+class CountingProbe : public Probe {
+public:
+  uint64_t Count = 0;
+  void fire(FrameAccessor &) override { ++Count; }
+};
+
+// --- Key correctness ------------------------------------------------------
+
+TEST(CacheKeys, RepeatedLoadHitsEverything) {
+  CompileCache Cache;
+  std::vector<uint8_t> Bytes = callerModule(ValType::I32);
+
+  Engine E1(cachedConfig("wizard-spc"), &Cache);
+  auto LM1 = loadOn(E1, Bytes);
+  ASSERT_TRUE(LM1);
+  // Cold: module + two bodies, all misses.
+  EXPECT_EQ(LM1->Stats.CacheMisses, 3u);
+  EXPECT_EQ(LM1->Stats.CacheHits, 0u);
+
+  Engine E2(cachedConfig("wizard-spc"), &Cache);
+  auto LM2 = loadOn(E2, Bytes);
+  ASSERT_TRUE(LM2);
+  EXPECT_EQ(LM2->Stats.CacheMisses, 0u);
+  EXPECT_EQ(LM2->Stats.CacheHits, 3u);
+  EXPECT_GT(LM2->Stats.CacheSavedNs, 0u);
+  // The shared artifacts are the *same objects*.
+  EXPECT_EQ(LM2->M.get(), LM1->M.get());
+  EXPECT_EQ(LM2->Inst->func(0)->Code, LM1->Inst->func(0)->Code);
+
+  EXPECT_EQ(invokeOne(E1, *LM1, "run", {}).asI32(), 7);
+  EXPECT_EQ(invokeOne(E2, *LM2, "run", {}).asI32(), 7);
+}
+
+TEST(CacheKeys, SameBytesDifferentConfigMisses) {
+  CompileCache Cache;
+  std::vector<uint8_t> Bytes = callerModule(ValType::I32);
+
+  Engine E1(cachedConfig("wizard-spc"), &Cache);
+  auto LM1 = loadOn(E1, Bytes);
+  ASSERT_TRUE(LM1);
+
+  // Same bytes, different compiler options (wasmer-base: no MR/ISEL/KF,
+  // no tags): the module artifact is configuration-independent and hits,
+  // every compiled body must miss.
+  Engine E2(cachedConfig("wasmer-base"), &Cache);
+  auto LM2 = loadOn(E2, Bytes);
+  ASSERT_TRUE(LM2);
+  EXPECT_EQ(LM2->Stats.CacheHits, 1u);   // Module only.
+  EXPECT_EQ(LM2->Stats.CacheMisses, 2u); // Both bodies recompiled.
+  EXPECT_NE(LM2->Inst->func(0)->Code, LM1->Inst->func(0)->Code);
+
+  // Different pipeline altogether (two-pass): misses again.
+  Engine E3(cachedConfig("wazero"), &Cache);
+  auto LM3 = loadOn(E3, Bytes);
+  ASSERT_TRUE(LM3);
+  EXPECT_EQ(LM3->Stats.CacheHits, 1u);
+  EXPECT_EQ(LM3->Stats.CacheMisses, 2u);
+
+  EXPECT_EQ(invokeOne(E2, *LM2, "run", {}).asI32(), 7);
+  EXPECT_EQ(invokeOne(E3, *LM3, "run", {}).asI32(), 7);
+}
+
+TEST(CacheKeys, SameBodyBytesDifferentSignatureContextMisses) {
+  // f0's body bytes (and BodyStart) are identical in both modules; only
+  // the *callee's* signature differs (()->i64 vs ()->f32, both 1-byte
+  // type encodings so nothing shifts). Serving A's compiled f0 to B
+  // would call an f32-returning function through an i64 signature — the
+  // aliasing the context digest exists to prevent.
+  std::vector<uint8_t> A = callerModule(ValType::I64);
+  std::vector<uint8_t> B = callerModule(ValType::F32);
+  {
+    // Preconditions: f0's body is byte-identical and at the same offset.
+    std::unique_ptr<Module> MA = buildAndValidate(A);
+    std::unique_ptr<Module> MB = buildAndValidate(B);
+    ASSERT_TRUE(MA && MB);
+    ASSERT_EQ(MA->Funcs[0].BodyStart, MB->Funcs[0].BodyStart);
+    ASSERT_EQ(MA->Funcs[0].BodyEnd, MB->Funcs[0].BodyEnd);
+    ASSERT_TRUE(std::equal(A.begin() + MA->Funcs[0].BodyStart,
+                           A.begin() + MA->Funcs[0].BodyEnd,
+                           B.begin() + MB->Funcs[0].BodyStart));
+    ASSERT_NE(moduleContextDigest(*MA), moduleContextDigest(*MB));
+  }
+
+  CompileCache Cache;
+  Engine E1(cachedConfig("wizard-spc"), &Cache);
+  auto LM1 = loadOn(E1, A);
+  ASSERT_TRUE(LM1);
+
+  Engine E2(cachedConfig("wizard-spc"), &Cache);
+  auto LM2 = loadOn(E2, B);
+  ASSERT_TRUE(LM2);
+  EXPECT_EQ(LM2->Stats.CacheHits, 0u);   // Nothing may alias.
+  EXPECT_EQ(LM2->Stats.CacheMisses, 3u); // Module + both bodies.
+  EXPECT_NE(LM2->Inst->func(0)->Code, LM1->Inst->func(0)->Code);
+
+  EXPECT_EQ(invokeOne(E1, *LM1, "run", {}).asI32(), 7);
+  EXPECT_EQ(invokeOne(E2, *LM2, "run", {}).asI32(), 7);
+}
+
+TEST(CacheKeys, CodegenIrrelevantModuleDifferenceSharesBodies) {
+  // The two modules differ only in one data-segment byte (the data
+  // section follows the code section): the module artifact misses, every
+  // compiled body hits — cross-module body sharing.
+  CompileCache Cache;
+  Engine E1(cachedConfig("wizard-spc"), &Cache);
+  auto LM1 = loadOn(E1, addModule(0xAA));
+  ASSERT_TRUE(LM1);
+
+  Engine E2(cachedConfig("wizard-spc"), &Cache);
+  auto LM2 = loadOn(E2, addModule(0xBB));
+  ASSERT_TRUE(LM2);
+  EXPECT_EQ(LM2->Stats.CacheMisses, 1u); // Module bytes differ.
+  EXPECT_EQ(LM2->Stats.CacheHits, 1u);   // The body is shared.
+  EXPECT_EQ(LM2->Inst->func(0)->Code, LM1->Inst->func(0)->Code);
+  // ...while the instances keep their own memory (data segments applied
+  // per instance, not cached).
+  EXPECT_EQ(LM1->Inst->Memory.data()[0], 0xAA);
+  EXPECT_EQ(LM2->Inst->Memory.data()[0], 0xBB);
+
+  Value A = invokeOne(E1, *LM1, "add",
+                      {Value::makeI32(40), Value::makeI32(2)});
+  Value B = invokeOne(E2, *LM2, "add",
+                      {Value::makeI32(40), Value::makeI32(2)});
+  EXPECT_EQ(A.asI32(), 42);
+  EXPECT_EQ(B.asI32(), 42);
+}
+
+// --- Artifact identity ----------------------------------------------------
+
+TEST(CacheReuse, HitReturnsByteIdenticalCodeAndLineTable) {
+  CompileCache Cache;
+  std::vector<uint8_t> Bytes = callerModule(ValType::I32);
+
+  // Reference compile with the cache disabled.
+  EngineConfig Cold = configByName("wizard-spc");
+  Cold.UseCompileCache = false;
+  Engine ECold(Cold);
+  auto LMCold = loadOn(ECold, Bytes);
+  ASSERT_TRUE(LMCold);
+
+  Engine E1(cachedConfig("wizard-spc"), &Cache);
+  auto LM1 = loadOn(E1, Bytes);
+  Engine E2(cachedConfig("wizard-spc"), &Cache);
+  auto LM2 = loadOn(E2, Bytes);
+  ASSERT_TRUE(LM1 && LM2);
+
+  const MCode *Hit = LM2->Inst->func(0)->Code;
+  const MCode *Ref = LMCold->Inst->func(0)->Code;
+  ASSERT_NE(Hit, nullptr);
+  ASSERT_NE(Ref, nullptr);
+  // The hit is the first load's object...
+  EXPECT_EQ(Hit, LM1->Inst->func(0)->Code);
+  // ...and byte-identical to an uncached compile: same instructions,
+  EXPECT_NE(Hit, Ref);
+  ASSERT_EQ(Hit->Insts.size(), Ref->Insts.size());
+  for (size_t I = 0; I < Hit->Insts.size(); ++I) {
+    EXPECT_EQ(Hit->Insts[I].Op, Ref->Insts[I].Op) << "inst " << I;
+    EXPECT_EQ(Hit->Insts[I].A, Ref->Insts[I].A) << "inst " << I;
+    EXPECT_EQ(Hit->Insts[I].B, Ref->Insts[I].B) << "inst " << I;
+    EXPECT_EQ(Hit->Insts[I].C, Ref->Insts[I].C) << "inst " << I;
+    EXPECT_EQ(Hit->Insts[I].D, Ref->Insts[I].D) << "inst " << I;
+    EXPECT_EQ(Hit->Insts[I].Imm, Ref->Insts[I].Imm) << "inst " << I;
+    EXPECT_EQ(Hit->Insts[I].Imm2, Ref->Insts[I].Imm2) << "inst " << I;
+  }
+  // ...the same line table (trap-site PCs cannot drift on a hit),
+  ASSERT_EQ(Hit->LineTable.size(), Ref->LineTable.size());
+  for (size_t I = 0; I < Hit->LineTable.size(); ++I) {
+    EXPECT_EQ(Hit->LineTable[I].Pc, Ref->LineTable[I].Pc);
+    EXPECT_EQ(Hit->LineTable[I].Ip, Ref->LineTable[I].Ip);
+  }
+  // ...and the same frame shape.
+  EXPECT_EQ(Hit->FrameSlots, Ref->FrameSlots);
+  EXPECT_EQ(Hit->FuncIndex, Ref->FuncIndex);
+}
+
+// --- Probe isolation ------------------------------------------------------
+
+TEST(CacheReuse, ProbeNeverServedFromOrInsertedUnderUnprobedEntry) {
+  CompileCache Cache;
+  std::vector<uint8_t> Bytes = addModule(0x00);
+
+  // Threaded tier: the add body pre-decodes to one fused get/get/add.
+  Engine E1(cachedConfig("interp-threaded"), &Cache);
+  auto LM1 = loadOn(E1, Bytes);
+  ASSERT_TRUE(LM1);
+  const ThreadedCode *Fused = LM1->Inst->func(0)->TCode;
+  ASSERT_NE(Fused, nullptr);
+  EXPECT_EQ(Fused->NumFused, 1u);
+
+  Engine E2(cachedConfig("interp-threaded"), &Cache);
+  auto LM2 = loadOn(E2, Bytes);
+  ASSERT_TRUE(LM2);
+  EXPECT_EQ(LM2->Inst->func(0)->TCode, Fused); // Warm load shares the IR.
+
+  // Probe the interior local.get (mid-pair): E2 must re-predecode with
+  // fusion suppressed, privately — the cache keeps the fused artifact and
+  // gains no new entries.
+  size_t EntriesBefore = Cache.totals().Entries;
+  uint32_t InteriorIp = LM2->Inst->func(0)->Decl->BodyStart + 2;
+  CountingProbe P;
+  E2.addProbe(*LM2, 0, InteriorIp, &P);
+  const ThreadedCode *Probed = LM2->Inst->func(0)->TCode;
+  ASSERT_NE(Probed, nullptr);
+  EXPECT_NE(Probed, Fused);
+  EXPECT_EQ(Probed->NumFused, 0u); // Fusion suppressed at the probe.
+  EXPECT_EQ(Cache.totals().Entries, EntriesBefore);
+
+  // The probe fires; the unprobed engine is untouched.
+  EXPECT_EQ(
+      invokeOne(E2, *LM2, "add", {Value::makeI32(40), Value::makeI32(2)})
+          .asI32(),
+      42);
+  EXPECT_EQ(P.Count, 1u);
+  EXPECT_EQ(LM1->Inst->func(0)->TCode, Fused);
+
+  // A fresh engine still gets the *fused* artifact, never the probed one.
+  Engine E3(cachedConfig("interp-threaded"), &Cache);
+  auto LM3 = loadOn(E3, Bytes);
+  ASSERT_TRUE(LM3);
+  EXPECT_EQ(LM3->Inst->func(0)->TCode, Fused);
+  EXPECT_EQ(LM3->Stats.CacheMisses, 0u);
+
+  // Same discipline on the JIT tier: an instrumented recompile (counter
+  // cells are engine-local addresses!) must bypass the cache entirely.
+  Engine E4(cachedConfig("wizard-spc"), &Cache);
+  auto LM4 = loadOn(E4, Bytes);
+  ASSERT_TRUE(LM4);
+  const MCode *Unprobed = LM4->Inst->func(0)->Code;
+  size_t JitEntriesBefore = Cache.totals().Entries;
+  CountingProbe JP;
+  E4.addProbe(*LM4, 0, InteriorIp, &JP);
+  EXPECT_NE(LM4->Inst->func(0)->Code, Unprobed);
+  EXPECT_EQ(Cache.totals().Entries, JitEntriesBefore);
+  EXPECT_EQ(
+      invokeOne(E4, *LM4, "add", {Value::makeI32(40), Value::makeI32(2)})
+          .asI32(),
+      42);
+  EXPECT_EQ(JP.Count, 1u);
+
+  Engine E5(cachedConfig("wizard-spc"), &Cache);
+  auto LM5 = loadOn(E5, Bytes);
+  ASSERT_TRUE(LM5);
+  EXPECT_EQ(LM5->Inst->func(0)->Code, Unprobed);
+}
+
+// --- Toggle, saved time, eviction ----------------------------------------
+
+TEST(CacheReuse, ToggleOffNeverTouchesTheCache) {
+  CompileCache Cache;
+  EngineConfig Cfg = configByName("wizard-spc");
+  Cfg.UseCompileCache = false;
+  Engine E(Cfg, &Cache);
+  EXPECT_EQ(E.cache(), nullptr);
+  auto LM = loadOn(E, callerModule(ValType::I32));
+  ASSERT_TRUE(LM);
+  EXPECT_EQ(LM->Stats.CacheHits, 0u);
+  EXPECT_EQ(LM->Stats.CacheMisses, 0u);
+  CompileCache::Totals T = Cache.totals();
+  EXPECT_EQ(T.Hits + T.Misses, 0u);
+  EXPECT_EQ(T.Entries, 0u);
+}
+
+TEST(CacheReuse, FailedBuildsAreNotCachedAndCountNothing) {
+  // A module that fails to decode: the failure is never cached (every
+  // attempt retries and reproduces the diagnostic) and counts neither a
+  // hit nor a miss, keeping the hit/miss split scheduling-independent.
+  std::vector<uint8_t> Garbage = {0x00, 0x61, 0x73, 0x6D, 0xFF, 0xFF};
+  CompileCache Cache;
+  for (int I = 0; I < 2; ++I) {
+    Engine E(cachedConfig("wizard-spc"), &Cache);
+    WasmError Err;
+    EXPECT_EQ(E.load(Garbage, &Err), nullptr);
+    EXPECT_FALSE(Err.Message.empty());
+  }
+  CompileCache::Totals T = Cache.totals();
+  EXPECT_EQ(T.Hits, 0u);
+  EXPECT_EQ(T.Misses, 0u);
+  EXPECT_EQ(T.Entries, 0u);
+}
+
+TEST(CacheReuse, CapacityEvictionKeepsServingCorrectArtifacts) {
+  // A capacity too small for even one artifact: every insert is evicted
+  // right back out; loads keep working (and keep missing).
+  CompileCache Cache(/*CapacityBytes=*/64);
+  std::vector<uint8_t> Bytes = callerModule(ValType::I32);
+  Engine E1(cachedConfig("wizard-spc"), &Cache);
+  auto LM1 = loadOn(E1, Bytes);
+  Engine E2(cachedConfig("wizard-spc"), &Cache);
+  auto LM2 = loadOn(E2, Bytes);
+  ASSERT_TRUE(LM1 && LM2);
+  CompileCache::Totals T = Cache.totals();
+  EXPECT_GT(T.Evictions, 0u);
+  EXPECT_LE(T.Bytes, 64u);
+  EXPECT_EQ(LM2->Stats.CacheHits, 0u); // Everything was evicted.
+  // Evicted-but-handed-out artifacts stay alive through the shared_ptr.
+  EXPECT_EQ(invokeOne(E1, *LM1, "run", {}).asI32(), 7);
+  EXPECT_EQ(invokeOne(E2, *LM2, "run", {}).asI32(), 7);
+}
+
+// --- Concurrency (the TSan gate) ------------------------------------------
+
+// Eight threads load the same module through one shared cache: the
+// in-flight coordination must compile the module and each body exactly
+// once, every thread must observe the same artifacts, and every result
+// must agree. Meaningful under ThreadSanitizer (the CI tsan leg runs it).
+TEST(CacheConcurrency, EightThreadsOneCompile) {
+  std::vector<uint8_t> Bytes;
+  for (const LineItem &I : ostrichSuite(1))
+    if (I.Name == "crc")
+      Bytes = I.Bytes;
+  ASSERT_FALSE(Bytes.empty());
+
+  CompileCache Cache;
+  constexpr int N = 8;
+  std::vector<uint64_t> Results(N);
+  std::vector<const MCode *> Codes(N);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      Engine E(cachedConfig("wizard-spc"), &Cache);
+      WasmError Err;
+      std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
+      ASSERT_NE(LM, nullptr) << Err.Message;
+      Codes[I] = LM->Inst->func(0)->Code;
+      std::vector<Value> Out;
+      ASSERT_EQ(E.invoke(*LM, "run", {}, &Out), TrapReason::None);
+      ASSERT_EQ(Out.size(), 1u);
+      Results[I] = Out[0].Bits;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int I = 1; I < N; ++I) {
+    EXPECT_EQ(Results[I], Results[0]) << "thread " << I;
+    EXPECT_EQ(Codes[I], Codes[0]) << "thread " << I;
+  }
+  // crc is a single-function module: one module artifact + one body, each
+  // built exactly once; the other 7 threads hit (possibly waiting on the
+  // in-flight build).
+  CompileCache::Totals T = Cache.totals();
+  EXPECT_EQ(T.Misses, 2u);
+  EXPECT_EQ(T.Hits, uint64_t(2 * (N - 1)));
+}
+
+// --- The batch-runner guarantee -------------------------------------------
+
+// A manifest of identical-config jobs performs each body's compilation
+// exactly once — the acceptance assertion of the compile-cache issue,
+// checked via the deterministic aggregate CacheHits/CacheMisses.
+TEST(CacheBatch, IdenticalJobsCompileEachBodyExactlyOnce) {
+  std::string Manifest;
+  for (int I = 0; I < 8; ++I)
+    Manifest += "ostrich/crc tier=spc\n";
+  std::vector<BatchJob> Jobs;
+  std::string Err;
+  ASSERT_TRUE(parseBatchManifest(Manifest, &Jobs, &Err)) << Err;
+  ASSERT_TRUE(resolveBatchModules(&Jobs, &Err)) << Err;
+
+  BatchOptions Opts;
+  Opts.Workers = 4;
+  BatchReport R = runBatch(Jobs, Opts);
+  ASSERT_EQ(R.Results.size(), 8u);
+  for (const BatchJobResult &Job : R.Results)
+    EXPECT_TRUE(Job.Ok) << Job.Error;
+  // crc: one module artifact + one body. 8 jobs -> 2 misses, 14 hits,
+  // independent of worker count and scheduling.
+  EXPECT_TRUE(R.CacheEnabled);
+  EXPECT_EQ(R.CacheMisses, 2u);
+  EXPECT_EQ(R.CacheHits, 14u);
+
+  // Cache off: same results, no cache traffic.
+  BatchOptions Off;
+  Off.Workers = 4;
+  Off.CompileCache = false;
+  BatchReport RO = runBatch(Jobs, Off);
+  EXPECT_FALSE(RO.CacheEnabled);
+  EXPECT_EQ(RO.CacheMisses + RO.CacheHits, 0u);
+  ASSERT_EQ(RO.Results.size(), R.Results.size());
+  for (size_t I = 0; I < R.Results.size(); ++I) {
+    ASSERT_EQ(RO.Results[I].Results.size(), R.Results[I].Results.size());
+    for (size_t V = 0; V < R.Results[I].Results.size(); ++V)
+      EXPECT_EQ(RO.Results[I].Results[V].Bits, R.Results[I].Results[V].Bits);
+    EXPECT_EQ(RO.Results[I].ModeledCycles, R.Results[I].ModeledCycles);
+  }
+}
+
+// A mixed manifest: the module artifact is shared across configurations,
+// compiled bodies are not (per-config keys).
+TEST(CacheBatch, MixedConfigsShareTheModuleNotTheCode) {
+  std::string Manifest;
+  for (int I = 0; I < 4; ++I)
+    Manifest += "ostrich/crc tier=spc\nostrich/crc tier=threaded\n";
+  std::vector<BatchJob> Jobs;
+  std::string Err;
+  ASSERT_TRUE(parseBatchManifest(Manifest, &Jobs, &Err)) << Err;
+  ASSERT_TRUE(resolveBatchModules(&Jobs, &Err)) << Err;
+
+  BatchOptions Opts;
+  Opts.Workers = 4;
+  BatchReport R = runBatch(Jobs, Opts);
+  for (const BatchJobResult &Job : R.Results)
+    EXPECT_TRUE(Job.Ok) << Job.Error;
+  // 1 module + 1 spc body + 1 threaded-IR body = 3 misses; the other
+  // 8 module lookups - 1, 4 spc - 1 and 4 threaded - 1 all hit.
+  EXPECT_EQ(R.CacheMisses, 3u);
+  EXPECT_EQ(R.CacheHits, 13u);
+  // Same item, same value on both tiers.
+  EXPECT_EQ(R.Results[0].Results[0].Bits, R.Results[1].Results[0].Bits);
+}
+
+} // namespace

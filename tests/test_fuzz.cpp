@@ -116,12 +116,22 @@ TEST(FuzzDiffer, ReportsAllTiersAndMonitorConfigs) {
   DiffReport Report =
       runAllTiers(M.toBytes(), "f", argsForSeed(11, M.main().Params));
   // Eight execution tiers (incl. the tiered/OSR configurations) plus the
-  // two instrumented interpreter configurations (int+mon, threaded+mon).
+  // two compile-cache cold/warm configurations (spc+cache,
+  // threaded+cache) plus the two instrumented interpreter configurations
+  // (int+mon, threaded+mon).
   ASSERT_EQ(differTierNames().size(), 8u);
-  ASSERT_EQ(Report.Runs.size(), differTierNames().size() + 2);
+  ASSERT_EQ(Report.Runs.size(), differTierNames().size() + 4);
   EXPECT_EQ(Report.Runs[0].Tier, "int");
   EXPECT_EQ(Report.Runs[6].Tier, "tiered");
   EXPECT_EQ(Report.Runs[7].Tier, "tiered-threaded");
+  EXPECT_EQ(Report.Runs[8].Tier, "spc+cache");
+  EXPECT_EQ(Report.Runs[9].Tier, "threaded+cache");
+  // The cache runs are the warm pass of a cold/warm pair: they hit the
+  // private cache (module + every body) and passed the self-comparison.
+  EXPECT_GE(Report.Runs[8].CacheHits, 2u);
+  EXPECT_GE(Report.Runs[9].CacheHits, 2u);
+  EXPECT_TRUE(Report.Runs[8].SelfCheck.empty()) << Report.Runs[8].SelfCheck;
+  EXPECT_TRUE(Report.Runs[9].SelfCheck.empty()) << Report.Runs[9].SelfCheck;
   EXPECT_EQ(Report.Runs[Report.Runs.size() - 2].Tier, "int+mon");
   EXPECT_EQ(Report.Runs.back().Tier, "threaded+mon");
   EXPECT_TRUE(Report.Runs.back().Instrumented);
