@@ -70,9 +70,13 @@ struct ItemRun {
 /// methodology is cold-start by definition — every measured load pays the
 /// full decode+validate+compile cost — so the per-figure benchmarks must
 /// not let repeated loads of the same item hit the process-wide cache
-/// (bench_cache measures the warm regime explicitly).
+/// (bench_cache measures the warm regime explicitly). Static artifact
+/// verification is likewise forced off: it defaults on in Debug builds,
+/// and a Debug-built bench must still measure compile time, not
+/// translation-validation time.
 inline EngineConfig coldLoads(EngineConfig Cfg) {
   Cfg.UseCompileCache = false;
+  Cfg.VerifyArtifacts = false;
   return Cfg;
 }
 

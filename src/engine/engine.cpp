@@ -11,6 +11,7 @@
 #include "interp/interpreter.h"
 #include "opt/optcompiler.h"
 #include "support/clock.h"
+#include "verify/verifier.h"
 #include "wasm/reader.h"
 #include "wasm/validator.h"
 
@@ -58,22 +59,56 @@ std::unique_ptr<MCode> Engine::compileOne(const Module &M,
   return compileRaw(M, F, Cfg.Opts, Cfg.Compiler);
 }
 
+bool Engine::verifyMCodeArtifact(const Module &M, const FuncDecl &F,
+                                 const MCode &Code, CompilerKind Kind) {
+  if (!Cfg.VerifyArtifacts)
+    return true;
+  VerifyScope Scope = Kind == CompilerKind::Optimizing
+                          ? VerifyScope::optimizing()
+                          : VerifyScope::baseline();
+  VerifyReport R = verifyMachineCode(M, F, Code, Scope);
+  if (R.ok())
+    return true;
+  VerifyError = R.text();
+  return false;
+}
+
+bool Engine::verifyThreadedArtifact(const Module &M, const FuncDecl &F,
+                                    const ThreadedCode &TC,
+                                    const FuncInstance *Func) {
+  if (!Cfg.VerifyArtifacts)
+    return true;
+  VerifyReport R = verifyThreadedCode(
+      M, F, TC, [Func](uint32_t Ip) { return Func->probedAt(Ip); });
+  if (R.ok())
+    return true;
+  VerifyError = R.text();
+  return false;
+}
+
 const MCode *Engine::compileShared(LoadedModule &LM, const FuncDecl &F,
                                    const CompilerOptions &Opts,
                                    CompilerKind Kind) {
+  // Verification happens inside the builder, i.e. exactly once per cache
+  // insert: a rejected artifact comes back null and is never cached (the
+  // cache never stores failures), and cache hits pay nothing.
+  auto Build = [&]() -> std::shared_ptr<const MCode> {
+    std::shared_ptr<const MCode> Built = compileRaw(*LM.M, F, Opts, Kind);
+    if (Built && !verifyMCodeArtifact(*LM.M, F, *Built, Kind))
+      return nullptr;
+    return Built;
+  };
   std::shared_ptr<const MCode> C;
   if (cacheUsable()) {
     if (!LM.ContextDigest)
       LM.ContextDigest = moduleContextDigest(*LM.M);
-    C = Cache->getOrCompile(
-        codeCacheKey(LM.ContextDigest, *LM.M, F, Kind, Opts),
-        [&]() -> std::shared_ptr<const MCode> {
-          return compileRaw(*LM.M, F, Opts, Kind);
-        },
-        &LM.Stats);
+    C = Cache->getOrCompile(codeCacheKey(LM.ContextDigest, *LM.M, F, Kind, Opts),
+                            Build, &LM.Stats);
   } else {
-    C = compileRaw(*LM.M, F, Opts, Kind);
+    C = Build();
   }
+  if (!C)
+    return nullptr;
   LM.Codes.push_back(C);
   return C.get();
 }
@@ -141,6 +176,16 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
       if (FI.Decl->Imported)
         continue;
       FI.Code = compileShared(*LM, *FI.Decl, Cfg.Opts, Cfg.Compiler);
+      if (!FI.Code) {
+        // Artifact verification rejected the compile (the compilers
+        // themselves never fail on a validated body). Eager loads surface
+        // the rejection as a load error: nothing unverified ever runs.
+        if (Err)
+          *Err = WasmError{0, "artifact verification failed: " +
+                                  (VerifyError.empty() ? std::string("compile")
+                                                       : VerifyError)};
+        return nullptr;
+      }
       FI.UseJit = true;
       LM->Stats.CodeInsts += FI.Code->Stats.CodeInsts;
       LM->Stats.TagStores += FI.Code->Stats.TagStores;
@@ -158,7 +203,14 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
     for (FuncInstance &FI : LM->Inst->Funcs) {
       if (FI.Decl->Imported)
         continue;
-      predecodeAndInstall(*LM, &FI);
+      if (!predecodeAndInstall(*LM, &FI)) {
+        if (Err)
+          *Err = WasmError{0, "artifact verification failed: " +
+                                  (VerifyError.empty()
+                                       ? std::string("predecode")
+                                       : VerifyError)};
+        return nullptr;
+      }
     }
     uint64_t T5 = nowNs();
     LM->Stats.PredecodeNs = T5 - T4;
@@ -169,10 +221,20 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
   return LM;
 }
 
-void Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
+bool Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
   // Fusion is illegal when deopt checkpoints exist: a tier-down may resume
   // at any opcode boundary, including mid-pair.
   bool Fuse = !Cfg.Opts.EmitDeoptChecks;
+  // As with compileShared, verification runs inside the builder: once per
+  // cache insert, never on a hit, and a rejected IR is never cached (and
+  // never installed).
+  auto Build = [&]() -> std::shared_ptr<const ThreadedCode> {
+    std::shared_ptr<const ThreadedCode> Built =
+        predecodeFunction(*LM.M, *Func->Decl, Func, Fuse);
+    if (Built && !verifyThreadedArtifact(*LM.M, *Func->Decl, *Built, Func))
+      return nullptr;
+    return Built;
+  };
   std::shared_ptr<const ThreadedCode> TC;
   if (cacheUsable()) {
     // No probes anywhere in this engine, so the probe bitmap consulted by
@@ -183,17 +245,17 @@ void Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
     if (!LM.ContextDigest)
       LM.ContextDigest = moduleContextDigest(*LM.M);
     TC = Cache->getOrPredecode(
-        irCacheKey(LM.ContextDigest, *LM.M, *Func->Decl, Fuse),
-        [&]() -> std::shared_ptr<const ThreadedCode> {
-          return predecodeFunction(*LM.M, *Func->Decl, Func, Fuse);
-        },
+        irCacheKey(LM.ContextDigest, *LM.M, *Func->Decl, Fuse), Build,
         &LM.Stats);
   } else {
-    TC = predecodeFunction(*LM.M, *Func->Decl, Func, Fuse);
+    TC = Build();
   }
+  if (!TC)
+    return false; // Rejected: keep whatever IR was installed before.
   LM.TCodes.push_back(TC);
   LM.Stats.IrBytes += TC->byteSize();
   Func->TCode = TC.get();
+  return true;
 }
 
 TrapReason Engine::invoke(LoadedModule &LM, const std::string &ExportName,
@@ -213,7 +275,16 @@ TrapReason Engine::invoke(LoadedModule &LM, const std::string &ExportName,
 
 void Engine::compileAndInstall(FuncInstance *Func) {
   assert(Current && "no module in scope for compilation");
-  Func->Code = compileShared(*Current, *Func->Decl, Cfg.Opts, Cfg.Compiler);
+  const MCode *C =
+      compileShared(*Current, *Func->Decl, Cfg.Opts, Cfg.Compiler);
+  if (!C) {
+    // Verification rejected the artifact. Off the eager-load path there is
+    // always a correct fallback: keep executing on the interpreter.
+    // verifyError() records the findings for the fuzzer/CLI to surface.
+    Func->UseJit = false;
+    return;
+  }
+  Func->Code = C;
   Func->UseJit = true;
 }
 
@@ -279,8 +350,11 @@ bool Engine::onLoopBackedge(Thread &Th, FuncInstance *Func,
     CompilerOptions Opts = Cfg.Opts;
     Opts.EmitOsrEntries = true;
     Opts.EmitDeoptChecks = true;
-    Func->Code =
+    const MCode *C =
         compileShared(*Current, *Func->Decl, Opts, CompilerKind::SinglePass);
+    if (!C)
+      return false; // Verification rejected the OSR body: stay interpreted.
+    Func->Code = C;
     Func->UseJit = true;
   }
   const MCode::OsrEntry *E = Func->Code->findOsrEntry(TargetIp);

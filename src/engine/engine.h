@@ -73,6 +73,20 @@ struct EngineConfig {
   /// Probed bodies always bypass the cache. Disable with
   /// `wisp --no-compile-cache` (measurement runs want cold-start costs).
   bool UseCompileCache = true;
+  /// Statically verify every artifact this engine builds (src/verify/):
+  /// compiled MCode and pre-decoded threaded IR are translation-validated
+  /// against the wasm body before installation. Cached artifacts are
+  /// verified once, inside the insert-time builder, so cache hits stay
+  /// free. A rejected artifact never runs: eager loads fail with
+  /// "artifact verification failed", lazy/tier-up paths stay on the
+  /// interpreter, and verifyError() carries the findings either way.
+  /// Defaults on in Debug builds; the differential fuzzer forces it on;
+  /// opt-in elsewhere via `wisp --verify`.
+#ifdef NDEBUG
+  bool VerifyArtifacts = false;
+#else
+  bool VerifyArtifacts = true;
+#endif
 
   /// Whether the value stack needs a tag lane.
   bool wantsTagLane() const {
@@ -172,6 +186,10 @@ public:
   GcHeap &heap() { return Heap; }
   ProbeRegistry &probes() { return Probes; }
   Thread &thread() { return *T; }
+  /// Last artifact-verification rejection (one finding per line), or empty
+  /// if every artifact this engine built verified clean. Only populated
+  /// when Cfg.VerifyArtifacts is set.
+  const std::string &verifyError() const { return VerifyError; }
 
   /// Loads a module: decode, validate, instantiate, compile per mode.
   /// Fills timing statistics. Returns nullptr and \p Err on failure.
@@ -216,7 +234,18 @@ private:
   void compileAndInstall(FuncInstance *Func);
   /// (Re-)pre-decodes \p Func's body into threaded IR, honoring the
   /// current probe bitmap (fusion is suppressed at probed offsets).
-  void predecodeAndInstall(LoadedModule &LM, FuncInstance *Func);
+  /// Returns false (installing nothing) when artifact verification
+  /// rejects the IR.
+  bool predecodeAndInstall(LoadedModule &LM, FuncInstance *Func);
+  /// Verifies \p Code under \p Kind's scope when Cfg.VerifyArtifacts is
+  /// set. On rejection records the findings in VerifyError and returns
+  /// false.
+  bool verifyMCodeArtifact(const Module &M, const FuncDecl &F,
+                           const MCode &Code, CompilerKind Kind);
+  /// Threaded-IR counterpart: checks \p TC against \p Func's probe bitmap.
+  bool verifyThreadedArtifact(const Module &M, const FuncDecl &F,
+                              const ThreadedCode &TC,
+                              const FuncInstance *Func);
   /// Runs \p Kind's pipeline over \p F with this engine's probe oracle.
   std::unique_ptr<MCode> compileRaw(const Module &M, const FuncDecl &F,
                                     const CompilerOptions &Opts,
@@ -238,6 +267,7 @@ private:
   ProbeRegistry Probes;
   std::unique_ptr<Thread> T;
   LoadedModule *Current = nullptr; ///< Module served by hooks/invoke.
+  std::string VerifyError;         ///< Last verification rejection.
 };
 
 /// Installs the GC demo host functions (wisp.alloc/link/payload/collect)

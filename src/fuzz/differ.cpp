@@ -83,11 +83,17 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
   // per-seed cache to diff cache-cold against cache-warm execution.
   EngineConfig Cfg = tierConfig(Base);
   Cfg.UseCompileCache = Cache != nullptr;
+  // Compile-check-then-execute: every artifact any differ engine builds is
+  // statically verified before it runs. A rejection is a first-class
+  // finding (TierRun::VerifierReject) — the fuzzer no longer needs to
+  // execute a miscompile into visibility for this class of bug.
+  Cfg.VerifyArtifacts = true;
   Engine E(Cfg, Cache);
   WasmError Err;
   std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
   if (!LM) {
     Run.LoadError = strFormat("%s (offset %zu)", Err.Message.c_str(), Err.Offset);
+    Run.VerifierReject = E.verifyError();
     return Run;
   }
   Run.LoadOk = true;
@@ -120,6 +126,10 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
     for (uint32_t I = 0; I < LM->Inst->Funcs.size(); ++I)
       Run.EntryCounts.push_back(Coverage.entries(I));
   }
+  // Lazy/tiered/instrumented compiles degrade to the interpreter on a
+  // verifier rejection instead of failing the load; pick the findings up
+  // here so they still surface as a divergence.
+  Run.VerifierReject = E.verifyError();
   return Run;
 }
 
@@ -141,6 +151,10 @@ TierRun runCacheTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
     Warm.SelfCheck = "cache-cold vs cache-warm: " + Warm.SelfCheck;
   else if (Warm.LoadOk && Warm.CacheHits == 0)
     Warm.SelfCheck = "cache-warm load recorded no cache hits";
+  // Verification happens at insert time, so only the cold run can reject;
+  // carry its findings on the run the caller keeps.
+  if (Warm.VerifierReject.empty())
+    Warm.VerifierReject = Cold.VerifierReject;
   return Warm;
 }
 
@@ -250,6 +264,18 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
     Report.Diverged = true;
     Report.Detail = strFormat("reference load failed: %s", Ref.LoadError.c_str());
     return Report;
+  }
+  // Static verifier rejections outrank behavioral comparison: a tier whose
+  // artifact failed translation validation is a finding even if whatever
+  // it ran instead behaved identically. Distinct signature prefix so the
+  // shrinker and campaign reports bucket these separately.
+  for (const TierRun &Run : Report.Runs) {
+    if (!Run.VerifierReject.empty()) {
+      Report.Diverged = true;
+      Report.Detail = strFormat("verifier rejection (%s): %s",
+                                Run.Tier.c_str(), Run.VerifierReject.c_str());
+      return Report;
+    }
   }
   for (size_t I = 1; I < Report.Runs.size(); ++I) {
     if (!Report.Runs[I].SelfCheck.empty()) {

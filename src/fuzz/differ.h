@@ -60,6 +60,11 @@ struct TierRun {
   /// comparison. Non-empty = the two runs disagreed (or the warm load
   /// unexpectedly recorded no hits); reported as a divergence.
   std::string SelfCheck;
+  /// Every differ engine runs with VerifyArtifacts forced on; a static
+  /// verifier rejection of any artifact this tier built (at load or during
+  /// lazy/tiered compilation) lands here and is reported as a first-class
+  /// divergence with its own signature — no execution needed to expose it.
+  std::string VerifierReject;
 };
 
 /// Verdict of a differential run across all tiers.

@@ -16,12 +16,20 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "baselines/copypatch.h"
+#include "baselines/twopass.h"
 #include "engine/engine.h"
 #include "engine/registry.h"
 #include "instr/monitors.h"
+#include "interp/predecode.h"
+#include "opt/optcompiler.h"
 #include "service/batch.h"
+#include "spc/compiler.h"
 #include "suites/suites.h"
 #include "support/clock.h"
+#include "verify/verifier.h"
+#include "wasm/reader.h"
+#include "wasm/validator.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -60,6 +68,15 @@ const char *UsageText =
     "                   branches | coverage | count:<opcode mnemonic>\n"
     "  --stats          print load and execution statistics\n"
     "  --time           print setup and main-phase wall times\n"
+    "  --verify         statically verify every compiled artifact (machine\n"
+    "                   code and threaded IR) against the wasm body before\n"
+    "                   it runs; a rejected artifact fails the load. On by\n"
+    "                   default in Debug builds and under wisp-fuzz\n"
+    "  --audit          audit mode: instead of running, push the module\n"
+    "                   through all four compiler pipelines and the\n"
+    "                   threaded-IR pre-decoder and print a per-compiler\n"
+    "                   verification report; exits nonzero on any finding.\n"
+    "                   Mutually exclusive with execution flags\n"
     "  --no-compile-cache\n"
     "                   disable the content-addressed compile cache\n"
     "                   (repeated loads of identical modules/bodies under\n"
@@ -148,6 +165,8 @@ struct CliOptions {
   bool UseM0 = false;
   bool Stats = false;
   bool Time = false;
+  bool Verify = false;
+  bool Audit = false;
   bool NoCompileCache = false;
   bool List = false;
   bool ListConfigs = false;
@@ -155,6 +174,133 @@ struct CliOptions {
   int Jobs = 1;
   bool JobsSet = false;
 };
+
+/// Audit mode: instead of executing, push every function of the module
+/// through all four compiler pipelines and the threaded-IR pre-decoder and
+/// statically verify each artifact, printing a per-compiler report.
+int runAuditMode(const CliOptions &Opt) {
+  std::vector<uint8_t> Bytes;
+  std::string ResolveErr;
+  if (!resolveModuleSpec(Opt.Module, Opt.Scale, Opt.UseM0, &Bytes,
+                         &ResolveErr)) {
+    fprintf(stderr, "wisp: %s (see --list)\n", ResolveErr.c_str());
+    return 1;
+  }
+  WasmError Err;
+  std::unique_ptr<Module> M = decodeModule(std::move(Bytes), &Err);
+  if (!M) {
+    fprintf(stderr, "wisp: decode failed: %s (offset %zu)\n",
+            Err.Message.c_str(), Err.Offset);
+    return 1;
+  }
+  if (!validateModule(*M, &Err)) {
+    fprintf(stderr, "wisp: validation failed: %s (offset %zu)\n",
+            Err.Message.c_str(), Err.Offset);
+    return 1;
+  }
+  size_t Bodies = 0;
+  for (const FuncDecl &F : M->Funcs)
+    if (!F.Imported)
+      ++Bodies;
+  printf("audit: %s, %zu function bod%s\n", Opt.Module.c_str(), Bodies,
+         Bodies == 1 ? "y" : "ies");
+
+  // Each pipeline is audited under the options its production tier ships
+  // with (the Fig. 3/10 registry shapes), so the artifacts checked here
+  // are the artifacts `wisp --tier=...` actually runs.
+  struct Pipeline {
+    const char *Label;
+    CompilerKind Kind;
+  };
+  static const Pipeline Pipelines[] = {
+      {"single-pass", CompilerKind::SinglePass},
+      {"two-pass", CompilerKind::TwoPass},
+      {"copy-and-patch", CompilerKind::CopyPatch},
+      {"optimizing", CompilerKind::Optimizing},
+  };
+  size_t TotalFindings = 0;
+  auto report = [&](const char *Label, size_t Artifacts, size_t NFind,
+                    const std::string &Text) {
+    printf("  %-15s %s: %zu artifact(s), %zu finding(s)\n", Label,
+           NFind ? "FAIL" : "ok", Artifacts, NFind);
+    if (!Text.empty())
+      printf("%s", Text.c_str());
+    TotalFindings += NFind;
+  };
+  for (const Pipeline &P : Pipelines) {
+    const char *Tier = P.Kind == CompilerKind::SinglePass   ? "spc"
+                       : P.Kind == CompilerKind::TwoPass    ? "twopass"
+                       : P.Kind == CompilerKind::CopyPatch ? "copypatch"
+                                                           : "opt";
+    CompilerOptions Opts = configByName(tierToConfigName(Tier)).Opts;
+    VerifyScope Scope = P.Kind == CompilerKind::Optimizing
+                            ? VerifyScope::optimizing()
+                            : VerifyScope::baseline();
+    size_t NFind = 0, Artifacts = 0;
+    std::string Text;
+    for (const FuncDecl &F : M->Funcs) {
+      if (F.Imported)
+        continue;
+      std::unique_ptr<MCode> Code;
+      switch (P.Kind) {
+      case CompilerKind::SinglePass:
+        Code = compileFunction(*M, F, Opts);
+        break;
+      case CompilerKind::TwoPass:
+        Code = compileTwoPass(*M, F, Opts);
+        break;
+      case CompilerKind::CopyPatch:
+        Code = compileCopyPatch(*M, F, Opts);
+        break;
+      case CompilerKind::Optimizing:
+        Code = compileOptimizing(*M, F, Opts);
+        break;
+      }
+      if (!Code) {
+        ++NFind;
+        Text += "    func " + std::to_string(F.Index) + ": compile failed\n";
+        continue;
+      }
+      ++Artifacts;
+      VerifyReport R = verifyMachineCode(*M, F, *Code, Scope);
+      if (!R.ok()) {
+        NFind += R.Findings.size();
+        Text += "    " + R.text();
+      }
+    }
+    report(P.Label, Artifacts, NFind, Text);
+  }
+  // Threaded IR, with fusion enabled (the shape the threaded interpreter
+  // tier pre-decodes at load time; no probes are attached in audit mode).
+  {
+    size_t NFind = 0, Artifacts = 0;
+    std::string Text;
+    for (const FuncDecl &F : M->Funcs) {
+      if (F.Imported)
+        continue;
+      std::unique_ptr<ThreadedCode> TC =
+          predecodeFunction(*M, F, nullptr, /*EnableFusion=*/true);
+      if (!TC) {
+        ++NFind;
+        Text += "    func " + std::to_string(F.Index) + ": predecode failed\n";
+        continue;
+      }
+      ++Artifacts;
+      VerifyReport R = verifyThreadedCode(*M, F, *TC);
+      if (!R.ok()) {
+        NFind += R.Findings.size();
+        Text += "    " + R.text();
+      }
+    }
+    report("threaded-ir", Artifacts, NFind, Text);
+  }
+  if (TotalFindings) {
+    printf("audit: FAILED with %zu finding(s)\n", TotalFindings);
+    return 1;
+  }
+  printf("audit: all artifacts verified\n");
+  return 0;
+}
 
 /// Batch mode: parse + resolve the manifest, run it across the worker
 /// pool, print the deterministic report.
@@ -226,6 +372,10 @@ int main(int argc, char **argv) {
       Opt.Stats = true;
     } else if (A == "--time") {
       Opt.Time = true;
+    } else if (A == "--verify") {
+      Opt.Verify = true;
+    } else if (A == "--audit") {
+      Opt.Audit = true;
     } else if (A == "--no-compile-cache") {
       Opt.NoCompileCache = true;
     } else if (A == "--list") {
@@ -259,6 +409,8 @@ int main(int argc, char **argv) {
                            : Opt.UseM0           ? "--m0"
                            : !Opt.Monitors.empty() ? "--monitor"
                            : Opt.Time              ? "--time"
+                           : Opt.Verify            ? "--verify"
+                           : Opt.Audit             ? "--audit"
                            : !Opt.Module.empty()   ? "<module>"
                                                    : nullptr;
     if (Conflict)
@@ -272,6 +424,23 @@ int main(int argc, char **argv) {
     return usageError("%s", "--jobs requires --batch\n");
   if (Opt.Module.empty())
     return usageError("%s", "no module given\n");
+
+  // Audit mode replaces execution: it runs all pipelines itself, so every
+  // tier/execution flag conflicts with it (verification is implied).
+  if (Opt.Audit) {
+    const char *Conflict = Opt.TierSet            ? "--tier"
+                           : !Opt.Config.empty()    ? "--config"
+                           : Opt.InvokeSet          ? "--invoke"
+                           : !Opt.Monitors.empty()  ? "--monitor"
+                           : Opt.Verify             ? "--verify"
+                           : Opt.Time               ? "--time"
+                                                    : nullptr;
+    if (Conflict)
+      return usageError("--audit is mutually exclusive with execution "
+                        "flags (got %s; audit runs every pipeline itself)\n",
+                        Conflict);
+    return runAuditMode(Opt);
+  }
 
   // Resolve the engine configuration.
   if (Opt.TierSet && !Opt.Config.empty())
@@ -298,6 +467,8 @@ int main(int argc, char **argv) {
     Cfg = configByName(Name);
   }
   Cfg.UseCompileCache = !Opt.NoCompileCache;
+  if (Opt.Verify)
+    Cfg.VerifyArtifacts = true;
 
   // Resolve the module bytes.
   std::vector<uint8_t> Bytes;

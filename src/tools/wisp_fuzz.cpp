@@ -45,8 +45,11 @@ const char *UsageText =
     "branch/coverage monitors attached, state compared across dispatch\n"
     "strategies); any mismatch in results, traps, trap sites (the faulting\n"
     "bytecode offset), memory, globals or monitor state is a divergence.\n"
-    "Divergent modules are minimized and dumped as .wasm plus a readable\n"
-    "listing.\n"
+    "Static artifact verification runs on every tier, so a compiled body\n"
+    "that fails translation validation is itself a first-class finding\n"
+    "(signature \"verifier rejection (<tier>): ...\") even when execution\n"
+    "would have agreed. Divergent modules are minimized and dumped as\n"
+    ".wasm plus a readable listing.\n"
     "\n"
     "options:\n"
     "  --seed-start=N    first seed (default 0)\n"

@@ -84,6 +84,37 @@ if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
   message(FATAL_ERROR "--config alone failed (rc=${RC}): ${OUT}")
 endif()
 
+# --- --verify / --audit flag conflicts ---
+# Audit replaces execution, so every execution-shaping flag conflicts;
+# batch jobs configure per-job settings in the manifest, so neither flag
+# is allowed there. Both flags take no value.
+expect_fail(audit-tier-conflict "mutually exclusive.*--tier"
+            --audit --tier=spc nop)
+expect_fail(audit-config-conflict "mutually exclusive.*--config"
+            --audit --config=wizard-spc nop)
+expect_fail(audit-invoke-conflict "mutually exclusive.*--invoke"
+            --audit --invoke=run nop)
+expect_fail(audit-monitor-conflict "mutually exclusive.*--monitor"
+            --audit --monitor=branches nop)
+expect_fail(audit-verify-conflict "mutually exclusive.*--verify"
+            --audit --verify nop)
+expect_fail(audit-time-conflict "mutually exclusive.*--time"
+            --audit --time nop)
+expect_fail(audit-no-module "no module given" --audit)
+expect_fail(batch-verify-conflict "mutually exclusive.*--verify"
+            --batch=m.txt --verify)
+expect_fail(batch-audit-conflict "mutually exclusive.*--audit"
+            --batch=m.txt --audit)
+expect_fail(verify-flag-value "unknown option" --verify=1 nop)
+expect_fail(audit-flag-value "unknown option" --audit=1 nop)
+# --verify itself composes with a normal run.
+execute_process(
+  COMMAND ${WISP_BIN} --verify --tier=spc nop
+  OUTPUT_VARIABLE OUT RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
+  message(FATAL_ERROR "--verify single-module run failed (rc=${RC}): ${OUT}")
+endif()
+
 # --- Module and export resolution ---
 expect_fail(no-module "no module given" --tier=spc)
 expect_fail(missing-module "cannot resolve module" /no/such/file.wasm)

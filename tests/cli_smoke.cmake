@@ -36,6 +36,42 @@ foreach(tier int threaded spc copypatch twopass opt)
   endif()
 endforeach()
 
+# --verify must accept the same item on every tier with identical output
+# (verification is a pure check: it can reject, never perturb).
+foreach(tier int threaded spc opt)
+  execute_process(
+    COMMAND ${WISP_BIN} --verify --tier=${tier} ${ITEM}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0 OR NOT OUT STREQUAL REFERENCE)
+    message(FATAL_ERROR
+      "wisp --verify --tier=${tier} ${ITEM} (rc=${RC}) diverged:\n"
+      "${OUT}\nstderr: ${ERR}")
+  endif()
+endforeach()
+
+# Audit mode: the per-compiler verification report must list all four
+# compiler pipelines plus the threaded IR, each with zero findings, and
+# exit 0 on a known-good module.
+execute_process(
+  COMMAND ${WISP_BIN} --audit ${ITEM}
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "wisp --audit ${ITEM} exited ${RC}\nstderr: ${ERR}")
+endif()
+foreach(pipeline single-pass two-pass copy-and-patch optimizing threaded-ir)
+  if(NOT OUT MATCHES "${pipeline} +ok: [0-9]+ artifact\\(s\\), 0 finding\\(s\\)")
+    message(FATAL_ERROR
+      "wisp --audit ${ITEM} report is missing a clean '${pipeline}' line:\n${OUT}")
+  endif()
+endforeach()
+if(NOT OUT MATCHES "audit: all artifacts verified")
+  message(FATAL_ERROR "wisp --audit ${ITEM} did not report success:\n${OUT}")
+endif()
+
 # The stats/timing surface must work on the minimal module.
 execute_process(
   COMMAND ${WISP_BIN} --tier=spc --invoke=run --stats --time nop
