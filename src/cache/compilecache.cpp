@@ -88,7 +88,7 @@ void hashBody(KeyHasher &H, uint64_t CtxDigest, const Module &M,
 
 CacheKey wisp::codeCacheKey(uint64_t CtxDigest, const Module &M,
                             const FuncDecl &D, CompilerKind Kind,
-                            const CompilerOptions &Opts) {
+                            const CompilerOptions &Opts, bool Verified) {
   KeyHasher H;
   H.u8(0x46); // 'F'
   hashBody(H, CtxDigest, M, D);
@@ -107,15 +107,21 @@ CacheKey wisp::codeCacheKey(uint64_t CtxDigest, const Module &M,
   H.u8(Opts.EmitOsrEntries);
   H.u8(Opts.NumGp);
   H.u8(Opts.NumFp);
+  // VerifyArtifacts is not a codegen option, but it is part of the entry's
+  // provenance: a verify-on engine must never hit an entry inserted
+  // unverified by a verify-off engine sharing the cache.
+  H.u8(Verified);
   return H.key();
 }
 
 CacheKey wisp::irCacheKey(uint64_t CtxDigest, const Module &M,
-                          const FuncDecl &D, bool EnableFusion) {
+                          const FuncDecl &D, bool EnableFusion,
+                          bool Verified) {
   KeyHasher H;
   H.u8(0x54); // 'T'
   hashBody(H, CtxDigest, M, D);
   H.u8(EnableFusion);
+  H.u8(Verified);
   return H.key();
 }
 

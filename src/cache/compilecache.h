@@ -153,12 +153,16 @@ uint64_t moduleContextDigest(const Module &M);
 
 /// Key of one compiled function body under one effective configuration.
 /// \p CtxDigest is moduleContextDigest(M) (computed once per load).
+/// \p Verified is the inserting engine's VerifyArtifacts setting: verified
+/// and unverified artifacts never share an entry, so a verify-on engine
+/// can never be served an artifact a verify-off engine inserted unchecked.
 CacheKey codeCacheKey(uint64_t CtxDigest, const Module &M, const FuncDecl &D,
-                      CompilerKind Kind, const CompilerOptions &Opts);
+                      CompilerKind Kind, const CompilerOptions &Opts,
+                      bool Verified);
 
-/// Key of one pre-decoded threaded-IR body.
+/// Key of one pre-decoded threaded-IR body. \p Verified as codeCacheKey.
 CacheKey irCacheKey(uint64_t CtxDigest, const Module &M, const FuncDecl &D,
-                    bool EnableFusion);
+                    bool EnableFusion, bool Verified);
 
 /// The content-addressed compile cache. See the file comment for the
 /// key/value model and the thread-safety contract.

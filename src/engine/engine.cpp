@@ -91,8 +91,12 @@ const MCode *Engine::compileShared(LoadedModule &LM, const FuncDecl &F,
                                    CompilerKind Kind) {
   // Verification happens inside the builder, i.e. exactly once per cache
   // insert: a rejected artifact comes back null and is never cached (the
-  // cache never stores failures), and cache hits pay nothing.
+  // cache never stores failures), and cache hits pay nothing. That is
+  // sound because VerifyArtifacts is part of the cache key — a verify-on
+  // engine can only hit entries that were verified at insert time.
+  bool BuiltHere = false;
   auto Build = [&]() -> std::shared_ptr<const MCode> {
+    BuiltHere = true;
     std::shared_ptr<const MCode> Built = compileRaw(*LM.M, F, Opts, Kind);
     if (Built && !verifyMCodeArtifact(*LM.M, F, *Built, Kind))
       return nullptr;
@@ -102,8 +106,16 @@ const MCode *Engine::compileShared(LoadedModule &LM, const FuncDecl &F,
   if (cacheUsable()) {
     if (!LM.ContextDigest)
       LM.ContextDigest = moduleContextDigest(*LM.M);
-    C = Cache->getOrCompile(codeCacheKey(LM.ContextDigest, *LM.M, F, Kind, Opts),
+    C = Cache->getOrCompile(codeCacheKey(LM.ContextDigest, *LM.M, F, Kind,
+                                         Opts, Cfg.VerifyArtifacts),
                             Build, &LM.Stats);
+    // A waiter served a failed in-flight build got null without running the
+    // builder, so this engine's VerifyError is still empty. Compilation and
+    // verification are deterministic: rebuild locally to reproduce the
+    // diagnostic (rejections are rare, so this costs nothing in steady
+    // state; the cache never stores failures either way).
+    if (!C && !BuiltHere)
+      C = Build();
   } else {
     C = Build();
   }
@@ -226,9 +238,12 @@ bool Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
   // at any opcode boundary, including mid-pair.
   bool Fuse = !Cfg.Opts.EmitDeoptChecks;
   // As with compileShared, verification runs inside the builder: once per
-  // cache insert, never on a hit, and a rejected IR is never cached (and
-  // never installed).
+  // cache insert, never on a hit, a rejected IR is never cached (and never
+  // installed), and VerifyArtifacts is part of the key so verified and
+  // unverified IR never share an entry.
+  bool BuiltHere = false;
   auto Build = [&]() -> std::shared_ptr<const ThreadedCode> {
+    BuiltHere = true;
     std::shared_ptr<const ThreadedCode> Built =
         predecodeFunction(*LM.M, *Func->Decl, Func, Fuse);
     if (Built && !verifyThreadedArtifact(*LM.M, *Func->Decl, *Built, Func))
@@ -244,9 +259,14 @@ bool Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
     // never be inserted under — or served from — the unprobed key.
     if (!LM.ContextDigest)
       LM.ContextDigest = moduleContextDigest(*LM.M);
-    TC = Cache->getOrPredecode(
-        irCacheKey(LM.ContextDigest, *LM.M, *Func->Decl, Fuse), Build,
-        &LM.Stats);
+    TC = Cache->getOrPredecode(irCacheKey(LM.ContextDigest, *LM.M,
+                                          *Func->Decl, Fuse,
+                                          Cfg.VerifyArtifacts),
+                               Build, &LM.Stats);
+    // Reproduce a concurrent inserter's rejection locally so VerifyError
+    // carries the real diagnostic (see compileShared).
+    if (!TC && !BuiltHere)
+      TC = Build();
   } else {
     TC = Build();
   }

@@ -692,7 +692,9 @@ void MCodeVerifier::checkLineTable() {
                         E.Pc, PrevPc));
     First = false;
     PrevPc = E.Pc;
-    if (E.Pc > N)
+    // pc == N (one past the last instruction) can never cover anything:
+    // noteLine's pop-and-replace keeps only entries that real code follows.
+    if (E.Pc >= N)
       finding("line-table", E.Pc,
               strFormat("line entry pc %u beyond code end %u", E.Pc, N));
     if (!boundary(E.Ip))
@@ -765,6 +767,12 @@ void MCodeVerifier::checkCallAndProbeShape() {
                 strFormat("%s callee %lld disagrees with bytecode immediate "
                           "%u at offset %u",
                           mopName(I.Op), (long long)I.Imm, S->ImmA, Ip));
+      // Out-of-range callee/type index (negative included via the unsigned
+      // cast): checkInst already recorded the call-index finding, and there
+      // is no signature to relate the arg base to — skip, don't deref.
+      if (I.Op == MOp::CallDirect ? uint64_t(I.Imm) >= M.Funcs.size()
+                                  : uint64_t(I.Imm) >= M.Types.size())
+        continue;
       const FuncType &FT = I.Op == MOp::CallDirect
                                ? M.funcType(uint32_t(I.Imm))
                                : M.Types[size_t(I.Imm)];

@@ -245,6 +245,39 @@ TEST(Verify, EmptiedBodyFires) {
   EXPECT_TRUE(hasCheck(R, "empty-code")) << R.text();
 }
 
+TEST(Verify, CorruptedCallIndexFires) {
+  // A corrupted CallDirect immediate must be reported as a call-index
+  // finding — and must NOT be dereferenced by the call-shape pass (which
+  // would read M.Funcs out of bounds on exactly the artifacts the verifier
+  // exists to reject).
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  const FuncDecl &F = mainFunc(*M);
+  auto Code = compileFunction(*M, F, CompilerOptions::allopt());
+  ASSERT_TRUE(Code);
+  uint32_t CallPc = UINT32_MAX;
+  for (uint32_t I = 0; I < Code->Insts.size(); ++I)
+    if (Code->Insts[I].Op == MOp::CallDirect) {
+      CallPc = I;
+      break;
+    }
+  ASSERT_NE(CallPc, UINT32_MAX) << "body compiled without a direct call";
+  int64_t Saved = Code->Insts[CallPc].Imm;
+  Code->Insts[CallPc].Imm = int64_t(M->Funcs.size()) + 5;
+  VerifyReport R = verifyMachineCode(*M, F, *Code, VerifyScope::baseline());
+  const VerifyFinding *Find = findCheck(R, "call-index");
+  ASSERT_NE(Find, nullptr) << R.text();
+  EXPECT_EQ(Find->Pc, CallPc);
+  EXPECT_NE(Find->Detail.find("outside"), std::string::npos) << Find->Detail;
+  // A negative index takes the same guarded path.
+  Code->Insts[CallPc].Imm = -3;
+  VerifyReport R2 = verifyMachineCode(*M, F, *Code, VerifyScope::baseline());
+  EXPECT_TRUE(hasCheck(R2, "call-index")) << R2.text();
+  // Restoring the callee restores a clean report.
+  Code->Insts[CallPc].Imm = Saved;
+  EXPECT_TRUE(verifyMachineCode(*M, F, *Code, VerifyScope::baseline()).ok());
+}
+
 TEST(Verify, CorruptedOsrEntryFires) {
   std::unique_ptr<Module> M = buildRichModule();
   ASSERT_TRUE(M);
