@@ -1,0 +1,204 @@
+//===- bench/bench_inst.cpp - instantiation fast-path benchmark -----------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the instantiation fast path (src/runtime/instance.h: instance
+// images + the engine instance pool) on warm repeated loads: every fig. 7
+// suite item is loaded N times in fresh engines sharing one compile cache
+// — so decode/validate/compile are already served as cached artifacts and
+// the remaining per-load cost is instantiation — once with pooling off
+// (plain segment-replay instantiate per load) and once with pooling on
+// (each load re-images the instance the previous load retired). Reports
+// median InstantiateNs and TotalSetupNs for both and the pooled-over-fresh
+// ratios.
+//
+// The acceptance bar (>= 3x geomean warm InstantiateNs, fresh over
+// pooled, across the fig. 7 suites) is checked on the single-pass
+// baseline config; the headline line prints PASS/FAIL and the process
+// exits nonzero on FAIL.
+//
+// A second table measures the batch regime: the m0 (early return)
+// variants of every item as a manifest across 1 -> 8 workers, compile
+// cache always on, per-worker instance pools off vs on — per-job cost is
+// almost pure setup, and with the cache warm, almost pure instantiation.
+//
+// WISP_BENCH_JSON rows:
+//   (config, item, fresh_inst_ns | pooled_inst_ns | inst_speedup |
+//    fresh_setup_ns | pooled_setup_ns | setup_speedup)
+//   (config, "geomean", inst_speedup | setup_speedup)
+//   (config="batch-m0-nopool"|"batch-m0-pool", item="jobs=K", wall_ms |
+//    throughput_jobs_per_s), (config="batch-m0", item="jobs=K",
+//    pool_speedup)
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+#include "cache/compilecache.h"
+#include "service/batch.h"
+
+#include <thread>
+
+using namespace wisp;
+using namespace wisp::bench;
+
+namespace {
+
+struct SetupStats {
+  uint64_t TotalNs = 0;
+  uint64_t InstNs = 0;
+};
+
+/// Median setup cost of loading \p Bytes N times in fresh engines that
+/// share \p Cache (always warm: one priming load runs first) and, when
+/// \p Pool is non-null, recycle each load's instance for the next.
+SetupStats measureSetup(const EngineConfig &CfgIn,
+                        const std::vector<uint8_t> &Bytes, int N,
+                        CompileCache *Cache, InstancePool *Pool) {
+  EngineConfig Cfg = CfgIn;
+  Cfg.UseCompileCache = true;
+  Cfg.PoolInstances = Pool != nullptr;
+  std::vector<uint64_t> Total, Inst;
+  for (int I = 0; I < N + 1; ++I) {
+    Engine E(Cfg, Cache, Pool);
+    WasmError Err;
+    std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
+    if (!LM) {
+      fprintf(stderr, "bench_inst: load failed (%s): %s\n", Cfg.Name.c_str(),
+              Err.Message.c_str());
+      exit(1);
+    }
+    if (I > 0) { // Skip the priming load (cache-cold, pool-empty).
+      Total.push_back(LM->Stats.TotalSetupNs);
+      Inst.push_back(LM->Stats.InstantiateNs);
+    }
+    if (Pool)
+      E.recycle(std::move(LM));
+  }
+  std::sort(Total.begin(), Total.end());
+  std::sort(Inst.begin(), Inst.end());
+  return {Total[Total.size() / 2], Inst[Inst.size() / 2]};
+}
+
+double safeRatio(double Num, double Den) { return Den > 0 ? Num / Den : 0; }
+
+} // namespace
+
+int main() {
+  jsonBench("bench_inst");
+  printHeader("bench_inst: pooled-vs-fresh instantiation on warm loads "
+              "(fig. 7 suites)",
+              "both columns share a warm compile cache (decode/compile "
+              "served); fresh = segment-replay instantiate per load, "
+              "pooled = re-image the instance the previous load retired");
+
+  // Setup is microseconds; use the same repetition bump as bench_cache.
+  int N = runs() * 5 + 4;
+  std::vector<LineItem> Items = allSuites(scale());
+
+  static const char *Configs[] = {"wizard-spc", "interp-threaded",
+                                  "wasmtime"};
+  double SpcGeomean = 0;
+  printf("  %-16s %13s %13s %10s %12s %12s %10s\n", "config", "fresh inst",
+         "pooled inst", "inst f/p", "fresh setup", "pooled setup",
+         "setup f/p");
+  for (const char *Name : Configs) {
+    EngineConfig Cfg = configByName(Name);
+    std::vector<double> InstRatios, SetupRatios, FreshInst, PooledInst,
+        FreshSetup, PooledSetup;
+    for (const LineItem &Item : Items) {
+      CompileCache FreshCache;
+      SetupStats Fresh =
+          measureSetup(Cfg, Item.Bytes, N, &FreshCache, nullptr);
+      CompileCache PoolCache;
+      InstancePool Pool;
+      SetupStats Pooled =
+          measureSetup(Cfg, Item.Bytes, N, &PoolCache, &Pool);
+
+      double InstRatio = safeRatio(double(Fresh.InstNs), double(Pooled.InstNs));
+      double SetupRatio =
+          safeRatio(double(Fresh.TotalNs), double(Pooled.TotalNs));
+      InstRatios.push_back(InstRatio);
+      SetupRatios.push_back(SetupRatio);
+      FreshInst.push_back(double(Fresh.InstNs));
+      PooledInst.push_back(double(Pooled.InstNs));
+      FreshSetup.push_back(double(Fresh.TotalNs));
+      PooledSetup.push_back(double(Pooled.TotalNs));
+      std::string ItemName = Item.Suite + "/" + Item.Name;
+      jsonRecord(Name, ItemName, "fresh_inst_ns", double(Fresh.InstNs));
+      jsonRecord(Name, ItemName, "pooled_inst_ns", double(Pooled.InstNs));
+      jsonRecord(Name, ItemName, "inst_speedup", InstRatio);
+      jsonRecord(Name, ItemName, "fresh_setup_ns", double(Fresh.TotalNs));
+      jsonRecord(Name, ItemName, "pooled_setup_ns", double(Pooled.TotalNs));
+      jsonRecord(Name, ItemName, "setup_speedup", SetupRatio);
+    }
+    Stat IR = stats(InstRatios);
+    Stat SR = stats(SetupRatios);
+    printf("  %-16s %13.0f %13.0f %9.2fx %12.0f %12.0f %9.2fx\n", Name,
+           stats(FreshInst).Geomean, stats(PooledInst).Geomean, IR.Geomean,
+           stats(FreshSetup).Geomean, stats(PooledSetup).Geomean, SR.Geomean);
+    jsonRecord(Name, "geomean", "inst_speedup", IR.Geomean);
+    jsonRecord(Name, "geomean", "setup_speedup", SR.Geomean);
+    if (std::string(Name) == "wizard-spc")
+      SpcGeomean = IR.Geomean;
+  }
+
+  // The acceptance bar: on the single-pass baseline, warm instantiation
+  // must be >= 3x faster from the pool (geomean across the fig. 7
+  // suites) than the segment-replay path.
+  bool Pass = SpcGeomean >= 3.0;
+  printf("\nheadline: warm InstantiateNs fresh-over-pooled geomean %.1fx on "
+         "wizard-spc (bar: >=3x) %s\n",
+         SpcGeomean, Pass ? "PASS" : "FAIL");
+  jsonRecord("wizard-spc", "headline", "inst_speedup_geomean", SpcGeomean);
+
+  // --- Batch regime: the m0 manifest, 1 -> 8 workers, pool off vs on ----
+  printf("\nbatch (m0 early-return variants, warm compile cache; per-job "
+         "cost ~= instantiation):\n");
+  static const char *BatchConfigs[] = {"wizard-spc", "interp-threaded",
+                                       "wasmtime"};
+  std::vector<BatchJob> Jobs;
+  for (int Round = 0; Round < 2; ++Round)
+    for (const LineItem &I : Items)
+      for (const char *Config : BatchConfigs) {
+        BatchJob Job;
+        Job.Index = uint32_t(Jobs.size());
+        Job.Module = I.Suite + "/" + I.Name;
+        Job.Config = Config;
+        Job.Bytes = I.M0Bytes;
+        Jobs.push_back(std::move(Job));
+      }
+  printf("  jobs=%zu hardware_concurrency=%u\n", Jobs.size(),
+         std::thread::hardware_concurrency());
+  printf("  %-10s %12s %12s %11s\n", "workers", "no-pool ms", "pool ms",
+         "nopool/pool");
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    auto Wall = [&](bool Pooled) {
+      std::vector<double> Walls;
+      for (int R = 0; R < runs(); ++R) {
+        BatchOptions Opts;
+        Opts.Workers = Workers;
+        Opts.CompileCache = true;
+        Opts.PoolInstances = Pooled;
+        Walls.push_back(runBatch(Jobs, Opts).WallMs);
+      }
+      std::sort(Walls.begin(), Walls.end());
+      return Walls[Walls.size() / 2];
+    };
+    double NoPool = Wall(false);
+    double Pool = Wall(true);
+    double Ratio = safeRatio(NoPool, Pool);
+    printf("  %-10u %12.2f %12.2f %10.2fx\n", Workers, NoPool, Pool, Ratio);
+    std::string Item = "jobs=" + std::to_string(Workers);
+    jsonRecord("batch-m0-nopool", Item, "wall_ms", NoPool);
+    jsonRecord("batch-m0-nopool", Item, "throughput_jobs_per_s",
+               NoPool > 0 ? double(Jobs.size()) / (NoPool / 1e3) : 0);
+    jsonRecord("batch-m0-pool", Item, "wall_ms", Pool);
+    jsonRecord("batch-m0-pool", Item, "throughput_jobs_per_s",
+               Pool > 0 ? double(Jobs.size()) / (Pool / 1e3) : 0);
+    jsonRecord("batch-m0", Item, "pool_speedup", Ratio);
+  }
+
+  return Pass ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 
 #include "cache/compilecache.h"
 
+#include "runtime/instance.h"
 #include "support/clock.h"
 
 #include <algorithm>
@@ -122,6 +123,14 @@ CacheKey wisp::irCacheKey(uint64_t CtxDigest, const Module &M,
   hashBody(H, CtxDigest, M, D);
   H.u8(EnableFusion);
   H.u8(Verified);
+  return H.key();
+}
+
+CacheKey wisp::instanceImageKey(const Module &M) {
+  KeyHasher H;
+  H.u8(0x49); // 'I'
+  H.u64(M.Bytes.size());
+  H.bytes(M.Bytes.data(), M.Bytes.size());
   return H.key();
 }
 
@@ -298,6 +307,15 @@ std::shared_ptr<const ThreadedCode> CompileCache::getOrPredecode(
   auto SizeOf = [](const ThreadedCode &TC) { return TC.byteSize() + 256; };
   return std::static_pointer_cast<const ThreadedCode>(
       getOrBuildImpl(K, timedBuilder<ThreadedCode>(Build, SizeOf), Stats));
+}
+
+std::shared_ptr<const InstanceImage> CompileCache::getOrBuildImage(
+    const CacheKey &K,
+    const std::function<std::shared_ptr<const InstanceImage>()> &Build,
+    CacheStats *Stats) {
+  auto SizeOf = [](const InstanceImage &I) { return I.byteSize(); };
+  return std::static_pointer_cast<const InstanceImage>(
+      getOrBuildImpl(K, timedBuilder<InstanceImage>(Build, SizeOf), Stats));
 }
 
 CompileCache::Totals CompileCache::totals() const {

@@ -60,6 +60,7 @@
 namespace wisp {
 
 enum class CompilerKind : uint8_t;
+struct InstanceImage;
 
 /// Per-load cache accounting. The engine's LoadStats derives from this so
 /// callers read LoadStats::CacheHits/CacheMisses/CacheSavedNs while the
@@ -164,6 +165,15 @@ CacheKey codeCacheKey(uint64_t CtxDigest, const Module &M, const FuncDecl &D,
 CacheKey irCacheKey(uint64_t CtxDigest, const Module &M, const FuncDecl &D,
                     bool EnableFusion, bool Verified);
 
+/// Key of a module's instance image (pre-evaluated globals, pre-resolved
+/// tables, pre-imaged initial memory). The image is fully determined by
+/// the module bytes — data/element segments and global initializers are
+/// all encoded there — so the key is the byte hash under its own
+/// artifact-kind tag. Note moduleContextDigest cannot serve here: it
+/// deliberately excludes exactly the sections (data, elements) the image
+/// is made of.
+CacheKey instanceImageKey(const Module &M);
+
 /// The content-addressed compile cache. See the file comment for the
 /// key/value model and the thread-safety contract.
 class CompileCache {
@@ -217,6 +227,10 @@ public:
   getOrPredecode(const CacheKey &K,
                  const std::function<std::shared_ptr<const ThreadedCode>()> &Build,
                  CacheStats *Stats);
+  std::shared_ptr<const InstanceImage> getOrBuildImage(
+      const CacheKey &K,
+      const std::function<std::shared_ptr<const InstanceImage>()> &Build,
+      CacheStats *Stats);
 
   Totals totals() const;
 

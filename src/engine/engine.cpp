@@ -17,10 +17,18 @@
 
 using namespace wisp;
 
-Engine::Engine(EngineConfig CfgIn, CompileCache *CacheIn)
+Engine::Engine(EngineConfig CfgIn, CompileCache *CacheIn, InstancePool *PoolIn)
     : Cfg(std::move(CfgIn)) {
   Cache = Cfg.UseCompileCache ? (CacheIn ? CacheIn : &CompileCache::process())
                               : nullptr;
+  if (Cfg.PoolInstances) {
+    if (PoolIn) {
+      Pool = PoolIn;
+    } else {
+      OwnedPool = std::make_unique<InstancePool>();
+      Pool = OwnedPool.get();
+    }
+  }
   T = std::make_unique<Thread>(Cfg.StackSlots, Cfg.wantsTagLane());
   T->Hooks = this;
   T->UseThreaded = Cfg.ThreadedDispatch &&
@@ -36,6 +44,53 @@ Engine::Engine(EngineConfig CfgIn, CompileCache *CacheIn)
 }
 
 Engine::~Engine() = default;
+
+InstancePool::Entry InstancePool::take(const Module *M) {
+  auto It = Map.find(M);
+  if (It == Map.end() || It->second.empty()) {
+    ++T.Misses;
+    return {};
+  }
+  Entry E = std::move(It->second.back());
+  It->second.pop_back();
+  --Count;
+  ++T.Hits;
+  return E;
+}
+
+void InstancePool::put(std::shared_ptr<const Module> M,
+                       std::shared_ptr<const InstanceImage> Image,
+                       std::unique_ptr<Instance> Inst) {
+  assert(M && Image && Inst && "pooling requires module, image, instance");
+  std::vector<Entry> &V = Map[M.get()];
+  if (V.size() >= MaxPerModule) {
+    ++T.Dropped;
+    return; // Inst destroyed here; memory stays bounded.
+  }
+  V.push_back(Entry{std::move(M), std::move(Image), std::move(Inst)});
+  ++Count;
+  ++T.Returned;
+}
+
+bool Engine::recycle(std::unique_ptr<LoadedModule> LM) {
+  if (!LM)
+    return false;
+  if (Current == LM.get())
+    Current = nullptr;
+  // Pool invariants: only imaged instances can be re-imaged; a probed
+  // engine's instances may carry instrumentation side effects that must
+  // not leak into an un-instrumented load; live GC objects may reference
+  // the instance (externrefs escape through results and probes), so a
+  // non-empty heap pins its instances out of the pool.
+  if (!Pool || !LM->Image || !LM->Inst)
+    return false;
+  if (Probes.anyProbes())
+    return false;
+  if (Heap.liveCount() > 0)
+    return false;
+  Pool->put(LM->M, LM->Image, std::move(LM->Inst));
+  return true;
+}
 
 std::unique_ptr<MCode> Engine::compileRaw(const Module &M, const FuncDecl &F,
                                           const CompilerOptions &Opts,
@@ -177,7 +232,38 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
   LM->Stats.CodeBytes = LM->M->codeBytes();
 
   uint64_t T2 = nowNs();
-  LM->Inst = instantiate(*LM->M, Hosts, &Heap, Err);
+  // Instantiation fast path: derive the module's instance image (shared
+  // through the compile cache when one is attached — the image depends
+  // only on the module bytes), then either re-image a pooled retired
+  // instance in place or memcpy a fresh instance from the image. Modules
+  // that are not imageable (they import globals) come back null and take
+  // the legacy path below, which reproduces any link-error diagnostic.
+  if (Pool) {
+    if (Cache) {
+      LM->Image = Cache->getOrBuildImage(
+          instanceImageKey(*LM->M),
+          [&]() -> std::shared_ptr<const InstanceImage> {
+            return buildInstanceImage(*LM->M, nullptr);
+          },
+          &LM->Stats);
+    } else {
+      LM->Image = buildInstanceImage(*LM->M, nullptr);
+    }
+  }
+  if (LM->Image) {
+    InstancePool::Entry E = Pool->take(LM->M.get());
+    if (E.Inst) {
+      LM->Stats.PoolHits++;
+      LM->Inst = reimageInstance(std::move(E.Inst), *LM->M, *LM->Image,
+                                 Hosts, &Heap, Err);
+    } else {
+      LM->Stats.PoolMisses++;
+    }
+    if (!LM->Inst)
+      LM->Inst = instantiateFromImage(*LM->M, *LM->Image, Hosts, &Heap, Err);
+  } else {
+    LM->Inst = instantiate(*LM->M, Hosts, &Heap, Err);
+  }
   if (!LM->Inst)
     return nullptr;
   uint64_t T3 = nowNs();

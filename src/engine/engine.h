@@ -73,6 +73,15 @@ struct EngineConfig {
   /// Probed bodies always bypass the cache. Disable with
   /// `wisp --no-compile-cache` (measurement runs want cold-start costs).
   bool UseCompileCache = true;
+  /// Use the instantiation fast path: derive (and cache) an InstanceImage
+  /// per module — globals pre-evaluated, element segments pre-resolved,
+  /// data segments pre-imaged — so instantiation is a handful of memcpys
+  /// instead of segment replay, and recycle retired instances through an
+  /// InstancePool (re-imaged in place, dirty-bounded) instead of
+  /// reallocating. Modules that import globals are not imageable (their
+  /// initial state depends on the link environment) and silently take the
+  /// legacy path. Disable with `wisp --no-instance-pool`.
+  bool PoolInstances = true;
   /// Statically verify every artifact this engine builds (src/verify/):
   /// compiled MCode and pre-decoded threaded IR are translation-validated
   /// against the wasm body before installation. Cached artifacts are
@@ -115,6 +124,13 @@ struct LoadStats : CacheStats {
   uint64_t StackMapBytes = 0;
   /// Bytes of pre-decoded threaded IR (SQ-space cost of the threaded tier).
   size_t IrBytes = 0;
+  /// Instance-pool accounting: a hit means this load re-imaged a retired
+  /// instance in place; a miss means pooling was on and imageable but no
+  /// retired instance was available (a fresh image instantiation was
+  /// paid). Loads outside the fast path (pool off, module not imageable)
+  /// count neither.
+  uint64_t PoolHits = 0;
+  uint64_t PoolMisses = 0;
 };
 
 /// A loaded, instantiated module plus its compiled code.
@@ -138,6 +154,52 @@ public:
   LoadStats Stats;
   /// moduleContextDigest(*M), memoized on first cached compile.
   uint64_t ContextDigest = 0;
+  /// The module's instance image (shared through the compile cache), or
+  /// null when the fast path was off or the module is not imageable.
+  /// Engine::recycle() requires it: only imaged instances are poolable.
+  std::shared_ptr<const InstanceImage> Image;
+};
+
+/// A pool of retired instances, keyed by module identity (valid because
+/// the compile cache shares decoded Module objects across loads of
+/// content-identical bytes; uncached loads get distinct Module objects
+/// and simply never hit). Entries pin their Module and image through
+/// shared handles, so a pool may outlive the engines that fed it — the
+/// batch runner keeps one per worker across jobs. Single-threaded, like
+/// the engines that own or borrow it.
+class InstancePool {
+public:
+  struct Entry {
+    std::shared_ptr<const Module> M;
+    std::shared_ptr<const InstanceImage> Image;
+    std::unique_ptr<Instance> Inst;
+  };
+
+  /// Retired instances kept per module; beyond this, put() drops the
+  /// instance (bounding pool memory at MaxPerModule minimum memories).
+  static constexpr size_t MaxPerModule = 8;
+
+  struct Totals {
+    uint64_t Hits = 0;     ///< take() served a retired instance.
+    uint64_t Misses = 0;   ///< take() had nothing for the module.
+    uint64_t Returned = 0; ///< Instances accepted by put().
+    uint64_t Dropped = 0;  ///< Instances rejected (per-module cap).
+  };
+
+  /// Takes a retired instance of \p M, or an empty entry.
+  Entry take(const Module *M);
+  /// Returns a retired instance; drops it beyond the per-module cap.
+  void put(std::shared_ptr<const Module> M,
+           std::shared_ptr<const InstanceImage> Image,
+           std::unique_ptr<Instance> Inst);
+
+  size_t size() const { return Count; }
+  const Totals &totals() const { return T; }
+
+private:
+  std::map<const Module *, std::vector<Entry>> Map;
+  size_t Count = 0;
+  Totals T;
 };
 
 /// The engine. Implements EngineHooks for probes and tiering.
@@ -176,7 +238,13 @@ public:
   /// a private CompileCache to scope sharing (the batch runner shares one
   /// per worker pool; tests isolate stats). With Cfg.UseCompileCache
   /// false the engine never touches any cache.
-  explicit Engine(EngineConfig Cfg, CompileCache *Cache = nullptr);
+  /// \p Pool selects the instance pool recycle() feeds and load() draws
+  /// from: nullptr means an engine-private pool when Cfg.PoolInstances is
+  /// set — pass a longer-lived pool to recycle instances across engines
+  /// (the batch runner keeps one per worker thread). With
+  /// Cfg.PoolInstances false the engine never pools or images.
+  explicit Engine(EngineConfig Cfg, CompileCache *Cache = nullptr,
+                  InstancePool *Pool = nullptr);
   ~Engine() override;
 
   const EngineConfig &config() const { return Cfg; }
@@ -191,10 +259,22 @@ public:
   /// when Cfg.VerifyArtifacts is set.
   const std::string &verifyError() const { return VerifyError; }
 
+  /// The instance pool this engine recycles through, or nullptr.
+  InstancePool *pool() const { return Pool; }
+
   /// Loads a module: decode, validate, instantiate, compile per mode.
   /// Fills timing statistics. Returns nullptr and \p Err on failure.
   std::unique_ptr<LoadedModule> load(std::vector<uint8_t> Bytes,
                                      WasmError *Err);
+
+  /// Retires \p LM, returning its instance to the pool for a later load
+  /// of the same module to re-image in place. Conservatively declines —
+  /// destroying the module normally — when pooling is off, the module
+  /// was not imaged, this engine has probes attached (instrumentation
+  /// side state must not leak into an un-instrumented load), or the GC
+  /// heap has live objects (they may reference the instance). Returns
+  /// true when the instance was pooled.
+  bool recycle(std::unique_ptr<LoadedModule> LM);
 
   /// Invokes an exported function. Runs lazy compilation if configured.
   TrapReason invoke(LoadedModule &LM, const std::string &ExportName,
@@ -262,6 +342,9 @@ private:
 
   EngineConfig Cfg;
   CompileCache *Cache = nullptr;
+  InstancePool *Pool = nullptr;
+  /// Backing storage when no pool was injected but pooling is on.
+  std::unique_ptr<InstancePool> OwnedPool;
   HostRegistry Hosts;
   GcHeap Heap;
   ProbeRegistry Probes;

@@ -158,6 +158,71 @@ TierRun runCacheTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
   return Warm;
 }
 
+/// Runs a "<base>+pool" configuration: the same seed twice through one
+/// private compile cache + instance pool — fresh-instantiated (the pool
+/// starts empty) then pool-recycled (the first run's retired instance is
+/// re-imaged in place) — and self-compares the two before the caller
+/// diffs the pooled run against the reference tier. Pooling must be
+/// perfectly transparent: any observable difference is state leaking
+/// between instantiations. Returns the pooled run.
+TierRun runPoolTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
+                    const std::string &ExportName,
+                    const std::vector<Value> &Args) {
+  std::string Base = Tier.substr(0, Tier.size() - 5); // Strip "+pool".
+  CompileCache Cache;
+  InstancePool Pool;
+  // Whether the previous RunOnce actually pooled its retired instance;
+  // recycle() legitimately declines (module not imageable, live heap
+  // objects), and only a recycled instance obligates the next load to hit.
+  bool Recycled = false;
+  auto RunOnce = [&](const std::string &Label) {
+    TierRun Run;
+    Run.Tier = Label;
+    EngineConfig Cfg = tierConfig(Base);
+    Cfg.UseCompileCache = true;
+    Cfg.PoolInstances = true;
+    Cfg.VerifyArtifacts = true;
+    Engine E(Cfg, &Cache, &Pool);
+    WasmError Err;
+    std::unique_ptr<LoadedModule> LM = E.load(Bytes, &Err);
+    if (!LM) {
+      Run.LoadError =
+          strFormat("%s (offset %zu)", Err.Message.c_str(), Err.Offset);
+      Run.VerifierReject = E.verifyError();
+      return Run;
+    }
+    Run.LoadOk = true;
+    Run.CacheHits = LM->Stats.CacheHits;
+    Run.PoolHits = LM->Stats.PoolHits;
+    Run.Trap = E.invoke(*LM, ExportName, Args, &Run.Results);
+    if (Run.Trap != TrapReason::None) {
+      Run.Results.clear();
+      Run.TrapIp = E.thread().TrapIp;
+      Run.TrapPcKnown = Base != "opt";
+    }
+    // Capture every observable before recycle() hands the instance (and
+    // its linear memory) back to the pool.
+    const LinearMemory &Mem = LM->Inst->Memory;
+    Run.Memory.assign(Mem.data(), Mem.data() + Mem.byteSize());
+    for (const Global &G : LM->Inst->Globals)
+      Run.GlobalBits.push_back(G.Bits);
+    Run.VerifierReject = E.verifyError();
+    Recycled = E.recycle(std::move(LM));
+    return Run;
+  };
+  TierRun Fresh = RunOnce(Tier + "(fresh)");
+  bool FreshRecycled = Recycled;
+  TierRun Pooled = RunOnce(Tier);
+  Pooled.SelfCheck = compareTierRuns(Fresh, Pooled);
+  if (!Pooled.SelfCheck.empty())
+    Pooled.SelfCheck = "fresh vs pooled: " + Pooled.SelfCheck;
+  else if (FreshRecycled && Pooled.PoolHits == 0)
+    Pooled.SelfCheck = "pooled load recorded no pool hits";
+  if (Pooled.VerifierReject.empty())
+    Pooled.VerifierReject = Fresh.VerifierReject;
+  return Pooled;
+}
+
 } // namespace
 
 std::string compareTierRuns(const TierRun &Ref, const TierRun &Run) {
@@ -250,6 +315,14 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
   Report.Runs.push_back(runCacheTier("spc+cache", Bytes, ExportName, Args));
   Report.Runs.push_back(
       runCacheTier("threaded+cache", Bytes, ExportName, Args));
+  // Instance-pool configurations: the seed runs fresh-instantiated, its
+  // retired instance is recycled into a private pool, and the seed runs
+  // again from the re-imaged pooled instance. The pooled run must be
+  // indistinguishable from the fresh one (results, traps, trap-site PCs,
+  // final memory, globals) and from the reference: pooling can never leak
+  // state between instantiations.
+  Report.Runs.push_back(runPoolTier("spc+pool", Bytes, ExportName, Args));
+  Report.Runs.push_back(runPoolTier("threaded+pool", Bytes, ExportName, Args));
   // Probe/monitor configurations: both interpreter dispatch strategies run
   // fully instrumented. Their semantics are checked against the reference
   // below, and their instrumentation state against each other (last loop

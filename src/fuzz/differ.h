@@ -55,10 +55,15 @@ struct TierRun {
   std::vector<uint64_t> EntryCounts;
   /// Compile-cache hits recorded by this run's load ("+cache" tiers).
   uint64_t CacheHits = 0;
+  /// Instance-pool hits recorded by this run's load ("+pool" tiers): the
+  /// load re-imaged a recycled instance instead of instantiating fresh.
+  uint64_t PoolHits = 0;
   /// "+cache" tiers run the seed twice against a private compile cache —
   /// cache-cold then cache-warm — and self-compare before the cross-tier
-  /// comparison. Non-empty = the two runs disagreed (or the warm load
-  /// unexpectedly recorded no hits); reported as a divergence.
+  /// comparison. "+pool" tiers do the same against a private instance
+  /// pool — fresh-instantiated then pool-recycled. Non-empty = the two
+  /// runs disagreed (or the second load unexpectedly recorded no
+  /// cache/pool hits); reported as a divergence.
   std::string SelfCheck;
   /// Every differ engine runs with VerifyArtifacts forced on; a static
   /// verifier rejection of any artifact this tier built (at load or during
@@ -94,6 +99,13 @@ const std::vector<std::string> &differTierNames();
 /// and cache-warm against a private compile cache: both runs must agree
 /// with each other (results, traps, trap-site PCs, memory, globals) and
 /// with the reference, and the warm load must actually hit the cache.
+/// Two instance-pool configurations ("spc+pool", "threaded+pool") run the
+/// seed fresh, recycle the retired instance into a private pool, then run
+/// it again from the re-imaged pooled instance: pooling must be perfectly
+/// transparent — identical results, traps, trap-site PCs, final memory
+/// and globals — so no state can ever leak between instantiations, and
+/// the second load must actually hit the pool whenever the first
+/// instance was recyclable.
 DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
                        const std::string &ExportName,
                        const std::vector<Value> &Args);

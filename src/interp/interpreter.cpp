@@ -527,6 +527,7 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
       TRAP(TrapReason::MemOutOfBounds);                                        \
     CType V = (ValExpr);                                                       \
     memcpy(MemData + EA, &V, sizeof(CType));                                   \
+    Inst->Memory.noteWrite(EA + sizeof(CType));                                \
   } while (0)
 
 #define WISP_OP(Name, ...)                                                     \
@@ -605,6 +606,7 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
         if (Src + Len > MemSize || Dst + Len > MemSize)
           TRAP(TrapReason::MemOutOfBounds);
         memmove(MemData + Dst, MemData + Src, size_t(Len));
+        Inst->Memory.noteWrite(Dst + Len);
         break;
       }
       case Opcode::MemoryFill: {
@@ -615,6 +617,7 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
         if (Dst + Len > MemSize)
           TRAP(TrapReason::MemOutOfBounds);
         memset(MemData + Dst, int(Val & 0xff), size_t(Len));
+        Inst->Memory.noteWrite(Dst + Len);
         break;
       }
       default:

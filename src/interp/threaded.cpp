@@ -220,6 +220,7 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
       TRAP(TrapReason::MemOutOfBounds);                                        \
     CType V = (ValExpr);                                                       \
     memcpy(MemData + EA, &V, sizeof(CType));                                   \
+    Inst->Memory.noteWrite(EA + sizeof(CType));                                \
   } while (0)
 
   // Branch glue: consume a takeBr result at handler top level.
@@ -489,6 +490,7 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
         if (Src + Len > MemSize || Dst + Len > MemSize)
           TRAP(TrapReason::MemOutOfBounds);
         memmove(MemData + Dst, MemData + Src, size_t(Len));
+        Inst->Memory.noteWrite(Dst + Len);
       }
       NEXT_SEQ();
 
@@ -499,6 +501,7 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
         if (Dst + Len > MemSize)
           TRAP(TrapReason::MemOutOfBounds);
         memset(MemData + Dst, int(Val & 0xff), size_t(Len));
+        Inst->Memory.noteWrite(Dst + Len);
       }
       NEXT_SEQ();
 

@@ -619,6 +619,7 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
       TRAP(TrapReason::MemOutOfBounds);                                        \
     CType V = CType(Src[I.A]);                                                 \
     memcpy(MemData + EA, &V, sizeof(CType));                                   \
+    Inst->Memory.noteWrite(EA + sizeof(CType));                                \
     break;                                                                     \
   }
       STORE_CASE(StM8, uint8_t, G)
@@ -646,6 +647,7 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
       if (WISP_UNLIKELY(Src + Len > MemSize || Dst + Len > MemSize))
         TRAP(TrapReason::MemOutOfBounds);
       memmove(MemData + Dst, MemData + Src, size_t(Len));
+      Inst->Memory.noteWrite(Dst + Len);
       break;
     }
     case MOp::MemFill: {
@@ -656,6 +658,7 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
       if (WISP_UNLIKELY(Dst + Len > MemSize))
         TRAP(TrapReason::MemOutOfBounds);
       memset(MemData + Dst, int(Val & 0xff), size_t(Len));
+      Inst->Memory.noteWrite(Dst + Len);
       break;
     }
     case MOp::GlobGet:

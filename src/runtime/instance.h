@@ -8,7 +8,25 @@
 /// Runtime instances of a module: linear memory, tables, globals, function
 /// instances with their per-tier state (interpreter by default, optional
 /// compiled code, tiering counters, probe bitmaps), and import binding to
-/// host functions.
+/// host functions and host globals.
+///
+/// Two instantiation fast paths back the engine's instance pool:
+///
+///  - An InstanceImage pre-evaluates everything about a module's initial
+///    state that does not depend on the host environment: data segments
+///    pre-evaluated into sparse (offset, bytes) runs, element segments
+///    resolved into initial table contents, global initializers evaluated
+///    into an initial-values vector. instantiateFromImage() then builds an
+///    instance with a handful of memcpys instead of segment replay, and
+///    the image itself is immutable and shareable through the compile
+///    cache (cache/compilecache.h).
+///  - reimageInstance() resets a *retired* instance of the same module
+///    back to the image in place: linear memory is restored with a
+///    dirty-bounded page scan (LinearMemory tracks a conservative
+///    high-water mark of stores; pages at or beyond it are pristine by
+///    construction), tables and globals are re-assigned from the image,
+///    and per-function tier state is cleared. No allocation on the steady
+///    state path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +43,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 
 namespace wisp {
 
@@ -43,7 +62,15 @@ struct HostFunc {
   HostFn Fn;
 };
 
-/// Registry of host functions keyed by (module, name).
+/// A host-provided (imported) global binding: the value an imported
+/// global resolves to at link time.
+struct HostGlobal {
+  ValType Type = ValType::I32;
+  bool Mutable = false;
+  uint64_t Bits = 0;
+};
+
+/// Registry of host functions and host globals keyed by (module, name).
 class HostRegistry {
 public:
   void add(const std::string &Mod, const std::string &Name, FuncType Type,
@@ -55,42 +82,146 @@ public:
     return It == Funcs.end() ? nullptr : &It->second;
   }
 
+  /// Binds an imported global: instantiation of a module importing
+  /// (\p Mod, \p Name) as a global resolves it to \p Bits. Unresolved
+  /// imported globals are a link error (they are NOT silently zero).
+  void addGlobal(const std::string &Mod, const std::string &Name, ValType T,
+                 uint64_t Bits, bool Mutable = false) {
+    Globals[{Mod, Name}] = HostGlobal{T, Mutable, Bits};
+  }
+  const HostGlobal *findGlobal(const std::string &Mod,
+                               const std::string &Name) const {
+    auto It = Globals.find({Mod, Name});
+    return It == Globals.end() ? nullptr : &It->second;
+  }
+
 private:
   std::map<std::pair<std::string, std::string>, HostFunc> Funcs;
+  std::map<std::pair<std::string, std::string>, HostGlobal> Globals;
 };
 
-/// Linear memory with bounds-checked accessors.
+/// One pre-evaluated data segment of an instance image: destination
+/// offset plus bytes, already bounds-checked against the declared
+/// memory minimum at image-build time. Images keep segments sparse (one
+/// run per segment, in application order) rather than flattened into a
+/// dense prefix: realistic modules place small segments at high offsets,
+/// and a dense prefix would cost megabytes of cached zeros per module
+/// plus a full-prefix memcpy per instantiation.
+struct MemRun {
+  uint64_t Off = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Linear memory with bounds-checked accessors and a conservative dirty
+/// high-water mark: every store path (both interpreters, the machine-code
+/// executor, bulk memory operations) records the end offset of its write
+/// via noteWrite(), so re-imaging a pooled instance only has to scan
+/// [0, dirtyHi()) — bytes at or beyond the mark still hold their initial
+/// image (or the zeros grow appended) by construction. Host functions
+/// that write linear memory directly must call noteWrite() themselves.
+///
+/// Backed by an anonymous memory mapping (calloc on platforms without
+/// mmap) rather than a std::vector so that a fresh memory is never
+/// explicitly zeroed: the kernel hands out lazily mapped zero pages, so
+/// instantiating a module with a multi-megabyte minimum costs no memset
+/// and no page faults beyond the bytes actually touched. Pages retained
+/// across a shrink (reimage keeps capacity) are the one place stale
+/// bytes can exist; every path that re-extends into retained capacity
+/// zeroes the reclaimed range explicitly.
 class LinearMemory {
 public:
-  void init(const Limits &L) {
-    Lim = L;
-    Data.assign(size_t(L.Min) * WasmPageSize, 0);
+  LinearMemory() = default;
+  ~LinearMemory() { release(); }
+  LinearMemory(const LinearMemory &) = delete;
+  LinearMemory &operator=(const LinearMemory &) = delete;
+  LinearMemory(LinearMemory &&O) noexcept { *this = std::move(O); }
+  LinearMemory &operator=(LinearMemory &&O) noexcept {
+    if (this != &O) {
+      release();
+      Buf = O.Buf;
+      Size = O.Size;
+      Cap = O.Cap;
+      Lim = O.Lim;
+      DirtyHi = O.DirtyHi;
+      O.Buf = nullptr;
+      O.Size = O.Cap = 0;
+      O.DirtyHi = 0;
+    }
+    return *this;
   }
-  uint32_t pages() const { return uint32_t(Data.size() / WasmPageSize); }
-  size_t byteSize() const { return Data.size(); }
-  uint8_t *data() { return Data.data(); }
-  const uint8_t *data() const { return Data.data(); }
+
+  /// (Re-)initializes to \p L.Min untouched zero pages.
+  void init(const Limits &L);
+
+  /// Initializes to \p L.Min zeroed pages with the pre-evaluated data
+  /// segments in \p Runs applied (in order; later runs overwrite).
+  void initFromImage(const Limits &L, const std::vector<MemRun> &Runs) {
+    init(L);
+    for (const MemRun &R : Runs)
+      memcpy(Buf + R.Off, R.Bytes.data(), R.Bytes.size());
+  }
+
+  /// Restores a used memory to its initial image in place: shrinks grown
+  /// memory back to L.Min pages, then repairs only the dirty prefix
+  /// [0, dirtyHi()) page by page — a page is compared against its
+  /// expected initial content (zeros overlaid with the runs that
+  /// intersect it) and rewritten only if it actually changed. Never
+  /// allocates on the steady-state path unless a dirty page intersects a
+  /// run (one scratch page) or the memory somehow shrank below L.Min.
+  void reimage(const Limits &L, const std::vector<MemRun> &Runs);
+
+  uint32_t pages() const { return uint32_t(Size / WasmPageSize); }
+  size_t byteSize() const { return Size; }
+  uint8_t *data() { return Buf; }
+  const uint8_t *data() const { return Buf; }
+
+  /// Records that bytes [?, End) were (possibly) written. Cheap enough
+  /// for the store hot paths: one compare and a rarely-taken store.
+  void noteWrite(uint64_t End) {
+    if (End > DirtyHi)
+      DirtyHi = End;
+  }
+  uint64_t dirtyHi() const { return DirtyHi; }
 
   /// Grows by \p Delta pages; returns the old page count or -1 on failure.
+  /// The cap is the declared maximum when present, else the architectural
+  /// 65536-page limit; both are enforced (a declared max above the
+  /// architectural limit never admits a grow past it).
   int64_t grow(uint32_t Delta) {
     uint64_t Old = pages();
     uint64_t New = Old + Delta;
-    uint64_t Cap = Lim.HasMax ? Lim.Max : 65536;
-    if (New > Cap || New > 65536)
+    uint64_t PageCap = Lim.HasMax ? Lim.Max : MaxMemoryPages;
+    if (New > PageCap || New > MaxMemoryPages)
       return -1;
-    Data.resize(size_t(New) * WasmPageSize, 0);
+    if (!extendZeroed(size_t(New) * WasmPageSize))
+      return -1;
+    // Appended pages are zero, which matches the initial image beyond its
+    // data runs — growing does not dirty anything.
     return int64_t(Old);
   }
 
-  /// Bounds check for an access of \p Size bytes at \p Addr + \p Offset.
-  bool inBounds(uint32_t Addr, uint32_t Offset, uint32_t Size) const {
-    uint64_t End = uint64_t(Addr) + Offset + Size;
-    return End <= Data.size();
+  /// Bounds check for an access of \p N bytes at \p Addr + \p Offset.
+  bool inBounds(uint32_t Addr, uint32_t Offset, uint32_t N) const {
+    uint64_t End = uint64_t(Addr) + Offset + N;
+    return End <= Size;
   }
 
 private:
-  std::vector<uint8_t> Data;
+  /// Extends the memory to \p NewBytes (>= Size) with the appended range
+  /// zeroed: reclaimed retained capacity is memset (it may hold stale
+  /// pre-shrink bytes), a larger buffer comes from a fresh zero mapping
+  /// (remapped in place on Linux — no copy, no faults).
+  bool extendZeroed(size_t NewBytes);
+  /// Returns the buffer to the OS (or allocator).
+  void release();
+
+  uint8_t *Buf = nullptr;
+  size_t Size = 0; ///< Current extent in bytes (pages() * WasmPageSize).
+  size_t Cap = 0;  ///< Allocated bytes; shrinks retain capacity.
   Limits Lim;
+  /// Conservative high-water mark of store end offsets since the last
+  /// (re-)imaging; bytes at or beyond it are pristine.
+  uint64_t DirtyHi = 0;
 };
 
 /// A funcref table; entries are function ids (index + 1, 0 = null).
@@ -172,13 +303,74 @@ public:
   }
 };
 
+/// A module's pre-imaged initial state: everything instantiate() would
+/// compute that depends only on the module itself. Immutable once built
+/// and shareable across instances, engines and threads (the compile cache
+/// hands out shared handles). Modules with imported globals are not
+/// imageable — their initial globals (and, through global.get offsets,
+/// nothing else, since offsets may only name earlier globals and imported
+/// ones resolve at link time) depend on the host environment.
+struct InstanceImage {
+  /// Pre-evaluated data segments (offsets resolved, bounds-checked), in
+  /// application order; initial memory is zeros with these applied.
+  std::vector<MemRun> MemRuns;
+  bool HasMemory = false;
+  Limits MemLimits;
+  /// Per-table initial contents (minimum size, element segments applied).
+  std::vector<std::vector<uint64_t>> TableImages;
+  std::vector<Limits> TableLimits;
+  /// Initial global values, in index order.
+  std::vector<Global> GlobalImage;
+
+  /// Approximate resident bytes (compile-cache capacity accounting).
+  size_t byteSize() const {
+    size_t N = sizeof(InstanceImage) + GlobalImage.size() * sizeof(Global);
+    for (const MemRun &R : MemRuns)
+      N += sizeof(MemRun) + R.Bytes.size();
+    for (const std::vector<uint64_t> &T : TableImages)
+      N += T.size() * sizeof(uint64_t);
+    return N;
+  }
+};
+
+/// Builds the instance image of \p M: globals pre-evaluated, element
+/// segments pre-resolved into table contents, data segments pre-evaluated
+/// into sparse memory runs. Returns nullptr (with \p Err when
+/// given) if the module is not imageable (it imports globals) or if a
+/// segment does not fit its memory/table — the caller falls back to
+/// instantiate(), which reproduces the link error exactly.
+std::unique_ptr<InstanceImage> buildInstanceImage(const Module &M,
+                                                  WasmError *Err);
+
 /// Instantiates \p M: binds imports from \p Hosts, allocates memory and
-/// tables, evaluates global initializers and applies data/element segments.
-/// Does NOT run the start function (the engine does, so setup cost is
-/// attributed correctly). Returns nullptr and fills \p Err on link errors.
+/// tables, evaluates global initializers and applies data/element
+/// segments. Does NOT run the start function (the engine does, so setup
+/// cost is attributed correctly). Returns nullptr and fills \p Err on
+/// link errors (unresolved or mismatched imports, out-of-bounds
+/// segments).
 std::unique_ptr<Instance> instantiate(const Module &M,
                                       const HostRegistry &Hosts,
                                       GcHeap *Heap, WasmError *Err);
+
+/// Image fast path: instantiates \p M from its pre-built image — import
+/// binding plus a handful of memcpys, no segment replay or initializer
+/// evaluation. \p Img must have been built from \p M.
+std::unique_ptr<Instance> instantiateFromImage(const Module &M,
+                                               const InstanceImage &Img,
+                                               const HostRegistry &Hosts,
+                                               GcHeap *Heap, WasmError *Err);
+
+/// Pool fast path: resets a retired instance of \p M back to \p Img in
+/// place — dirty-bounded memory repair, table/global re-assignment from
+/// the image, import re-binding against \p Hosts (the retiring engine's
+/// registry is gone), and per-function tier-state reset. On failure the
+/// instance is consumed and destroyed (a partially re-imaged instance
+/// never escapes) and nullptr is returned with \p Err filled.
+std::unique_ptr<Instance> reimageInstance(std::unique_ptr<Instance> Inst,
+                                          const Module &M,
+                                          const InstanceImage &Img,
+                                          const HostRegistry &Hosts,
+                                          GcHeap *Heap, WasmError *Err);
 
 } // namespace wisp
 

@@ -93,14 +93,18 @@ private:
 /// share nothing mutable except \p Cache — the batch-local compile cache,
 /// internally synchronized and handing out immutable artifacts — so
 /// identical bodies across jobs decode/compile once per batch.
-BatchJobResult runOneJob(const BatchJob &Job, CompileCache *Cache) {
+BatchJobResult runOneJob(const BatchJob &Job, CompileCache *Cache,
+                         InstancePool *Pool) {
   BatchJobResult R;
   R.Index = Job.Index;
   EngineConfig Cfg = configByName(Job.Config);
   // Explicit cache scoping: never fall back to the process-wide cache
   // from inside a batch, so reports depend only on the manifest.
   Cfg.UseCompileCache = Cache != nullptr;
-  Engine E(Cfg, Cache);
+  // Likewise for the instance pool: only the per-worker pool, never an
+  // engine-private one (which could not outlive this job anyway).
+  Cfg.PoolInstances = Pool != nullptr;
+  Engine E(Cfg, Cache, Pool);
   installGcHostFuncs(E);
   WasmError Err;
   std::unique_ptr<LoadedModule> LM = E.load(Job.Bytes, &Err);
@@ -136,6 +140,10 @@ BatchJobResult runOneJob(const BatchJob &Job, CompileCache *Cache) {
     R.Results.clear();
   R.ModeledCycles = E.thread().modeledCycles();
   R.Ok = true;
+  // Retire the instance into the per-worker pool (recycle declines on
+  // its own when the load was not imaged or the heap holds live
+  // objects); a later same-module job on this worker re-images it.
+  E.recycle(std::move(LM));
   return R;
 }
 
@@ -429,13 +437,23 @@ BatchReport runBatch(const std::vector<BatchJob> &Jobs,
   BoundedQueue Queue(size_t(Report.Workers) * 2);
   std::vector<std::thread> Pool;
   Pool.reserve(Report.Workers);
+  // One instance pool per worker, owned by the worker loop and reused
+  // across all of that worker's jobs (instances are single-threaded, so
+  // pools must never cross workers). Totals land in a per-worker slot and
+  // are summed after the join — no synchronization on the hot path.
+  Report.PoolEnabled = Opts.PoolInstances;
+  std::vector<InstancePool::Totals> PoolTotals(Report.Workers);
   for (unsigned W = 0; W < Report.Workers; ++W) {
-    Pool.emplace_back([&Jobs, &Report, &Queue, SharedCache] {
+    Pool.emplace_back([&Jobs, &Report, &Queue, &PoolTotals, SharedCache,
+                       &Opts, W] {
+      InstancePool WorkerPool;
+      InstancePool *P = Opts.PoolInstances ? &WorkerPool : nullptr;
       uint32_t Idx = 0;
       // Each result lands in its own pre-sized slot, so workers never
       // contend on the result vector.
       while (Queue.pop(&Idx))
-        Report.Results[Idx] = runOneJob(Jobs[Idx], SharedCache);
+        Report.Results[Idx] = runOneJob(Jobs[Idx], SharedCache, P);
+      PoolTotals[W] = WorkerPool.totals();
     });
   }
   for (uint32_t I = 0; I < uint32_t(Jobs.size()); ++I)
@@ -444,6 +462,11 @@ BatchReport runBatch(const std::vector<BatchJob> &Jobs,
   for (std::thread &Th : Pool)
     Th.join();
   Report.WallMs = nowMs() - T0;
+  for (const InstancePool::Totals &PT : PoolTotals) {
+    Report.PoolHits += PT.Hits;
+    Report.PoolMisses += PT.Misses;
+    Report.PoolReturned += PT.Returned;
+  }
   if (SharedCache) {
     CompileCache::Totals T = SharedCache->totals();
     Report.CacheHits = T.Hits;
@@ -525,6 +548,15 @@ void printBatchReport(FILE *Out, const std::vector<BatchJob> &Jobs,
             double(Report.CacheSavedNs) / 1e6);
   else
     fprintf(Out, "# cache: disabled\n");
+  // Pool counters depend on job-to-worker scheduling (see BatchReport),
+  // so they stay behind the stripped '#' prefix too.
+  if (Report.PoolEnabled)
+    fprintf(Out, "# pool: %llu hits, %llu misses, %llu returned\n",
+            (unsigned long long)Report.PoolHits,
+            (unsigned long long)Report.PoolMisses,
+            (unsigned long long)Report.PoolReturned);
+  else
+    fprintf(Out, "# pool: disabled\n");
 }
 
 } // namespace wisp

@@ -75,6 +75,14 @@ struct BatchReport {
   uint64_t CacheMisses = 0;
   uint64_t CacheSavedNs = 0;
   bool CacheEnabled = false;
+  /// Aggregate instance-pool counters summed over the per-worker pools.
+  /// NOT deterministic across worker counts (which jobs land on which
+  /// worker decides which loads hit a warm pool), so these ride the
+  /// '#'-prefixed summary lines that determinism checks strip.
+  uint64_t PoolHits = 0;
+  uint64_t PoolMisses = 0;
+  uint64_t PoolReturned = 0;
+  bool PoolEnabled = false;
 };
 
 /// Execution options for a batch.
@@ -85,6 +93,13 @@ struct BatchOptions {
   /// decode/compile once per batch instead of once per job. The cache is
   /// batch-local (not the process-wide one) so reports are reproducible.
   bool CompileCache = true;
+  /// Keep one instance pool per worker thread, reused across that
+  /// worker's jobs: a job whose module was already retired by an earlier
+  /// job on the same worker re-images the retired instance in place
+  /// instead of allocating and replaying segments. Pools are per-worker
+  /// (engines and instances are single-threaded; see engine/engine.h),
+  /// so no job ever observes another worker's instance.
+  bool PoolInstances = true;
 };
 
 /// Parses manifest text: one job per non-empty, non-comment line,

@@ -83,6 +83,13 @@ const char *UsageText =
     "                   an identical configuration normally decode and\n"
     "                   compile once per process — or once per batch);\n"
     "                   use for cold-start measurements\n"
+    "  --no-instance-pool\n"
+    "                   disable the instantiation fast path: no per-module\n"
+    "                   instance image (pre-imaged memory, pre-resolved\n"
+    "                   tables, pre-evaluated globals) and no recycling of\n"
+    "                   retired instances through the per-engine/per-worker\n"
+    "                   pools; every instantiation replays segments from\n"
+    "                   scratch. Use for cold-start measurements\n"
     "  --batch=FILE     batch mode: run every job of a manifest across a\n"
     "                   worker pool (one private engine per job) and print\n"
     "                   a deterministic per-job report. Manifest lines:\n"
@@ -168,6 +175,7 @@ struct CliOptions {
   bool Verify = false;
   bool Audit = false;
   bool NoCompileCache = false;
+  bool NoInstancePool = false;
   bool List = false;
   bool ListConfigs = false;
   std::string Batch; ///< --batch manifest path.
@@ -322,6 +330,7 @@ int runBatchMode(const CliOptions &Opt) {
   BatchOptions BOpts;
   BOpts.Workers = unsigned(Opt.Jobs);
   BOpts.CompileCache = !Opt.NoCompileCache;
+  BOpts.PoolInstances = !Opt.NoInstancePool;
   BatchReport Report = runBatch(Jobs, BOpts);
   printBatchReport(stdout, Jobs, Report, Opt.Stats);
   // Traps are results (reported per job); only infrastructure failures
@@ -378,6 +387,8 @@ int main(int argc, char **argv) {
       Opt.Audit = true;
     } else if (A == "--no-compile-cache") {
       Opt.NoCompileCache = true;
+    } else if (A == "--no-instance-pool") {
+      Opt.NoInstancePool = true;
     } else if (A == "--list") {
       Opt.List = true; // Handled after parsing so --scale is order-free.
     } else if (A == "--list-configs") {
@@ -467,6 +478,7 @@ int main(int argc, char **argv) {
     Cfg = configByName(Name);
   }
   Cfg.UseCompileCache = !Opt.NoCompileCache;
+  Cfg.PoolInstances = !Opt.NoInstancePool;
   if (Opt.Verify)
     Cfg.VerifyArtifacts = true;
 
@@ -597,6 +609,12 @@ int main(int argc, char **argv) {
              (unsigned long long)S.CacheHits,
              (unsigned long long)S.CacheMisses,
              double(S.CacheSavedNs) / 1e3);
+    if (Opt.NoInstancePool)
+      printf("  instance pool: disabled\n");
+    else
+      printf("  instance pool: %llu hits, %llu misses\n",
+             (unsigned long long)S.PoolHits,
+             (unsigned long long)S.PoolMisses);
     Thread &T = E.thread();
     printf("  executed %llu interp steps, %llu threaded steps, %llu jit "
            "cycles, %llu modeled cycles\n",

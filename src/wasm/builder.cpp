@@ -73,9 +73,17 @@ uint32_t ModuleBuilder::addTable(uint32_t Min, std::optional<uint32_t> Max,
   return uint32_t(Tables.size() - 1);
 }
 
+uint32_t ModuleBuilder::importGlobal(const std::string &Mod,
+                                     const std::string &Name, ValType T,
+                                     bool Mutable) {
+  assert(Globals.empty() && "global imports must precede global definitions");
+  GlobalImports.push_back({Mod, Name, T, Mutable});
+  return uint32_t(GlobalImports.size() - 1);
+}
+
 uint32_t ModuleBuilder::addGlobal(ValType T, bool Mutable, InitExpr Init) {
   Globals.push_back({T, Mutable, Init});
-  return uint32_t(Globals.size() - 1);
+  return uint32_t(GlobalImports.size() + Globals.size() - 1);
 }
 
 void ModuleBuilder::addExport(const std::string &Name, ExternKind Kind,
@@ -85,10 +93,19 @@ void ModuleBuilder::addExport(const std::string &Name, ExternKind Kind,
 
 void ModuleBuilder::addElem(uint32_t Offset,
                             std::vector<uint32_t> FuncIndices) {
-  Elems.push_back({Offset, std::move(FuncIndices)});
+  addElem(constInit(ValType::I32, Offset), std::move(FuncIndices));
 }
 
 void ModuleBuilder::addData(uint32_t Offset, std::vector<uint8_t> Bytes) {
+  addData(constInit(ValType::I32, Offset), std::move(Bytes));
+}
+
+void ModuleBuilder::addElem(InitExpr Offset,
+                            std::vector<uint32_t> FuncIndices) {
+  Elems.push_back({Offset, std::move(FuncIndices)});
+}
+
+void ModuleBuilder::addData(InitExpr Offset, std::vector<uint8_t> Bytes) {
   Datas.push_back({Offset, std::move(Bytes)});
 }
 
@@ -177,14 +194,21 @@ std::vector<uint8_t> ModuleBuilder::build() const {
   }
 
   // Import section.
-  if (!Imports.empty()) {
+  if (!Imports.empty() || !GlobalImports.empty()) {
     Sec.clear();
-    writeULEB128(Sec, Imports.size());
+    writeULEB128(Sec, Imports.size() + GlobalImports.size());
     for (const ImportedFunc &I : Imports) {
       writeName(Sec, I.Mod);
       writeName(Sec, I.Name);
-      Sec.push_back(0x00);
+      Sec.push_back(uint8_t(ExternKind::Func));
       writeULEB128(Sec, I.TypeIdx);
+    }
+    for (const ImportedGlobal &G : GlobalImports) {
+      writeName(Sec, G.Mod);
+      writeName(Sec, G.Name);
+      Sec.push_back(uint8_t(ExternKind::Global));
+      Sec.push_back(valTypeToByte(G.T));
+      Sec.push_back(G.Mutable ? 1 : 0);
     }
     writeSection(Out, 2, Sec);
   }
@@ -255,9 +279,7 @@ std::vector<uint8_t> ModuleBuilder::build() const {
     writeULEB128(Sec, Elems.size());
     for (const ElemSeg &E : Elems) {
       writeULEB128(Sec, 0); // Flags: active, table 0.
-      Sec.push_back(uint8_t(Opcode::I32Const));
-      writeSLEB128(Sec, int32_t(E.Offset));
-      Sec.push_back(uint8_t(Opcode::End));
+      writeInitExpr(Sec, E.Offset);
       writeULEB128(Sec, E.Funcs.size());
       for (uint32_t F : E.Funcs)
         writeULEB128(Sec, F);
@@ -298,9 +320,7 @@ std::vector<uint8_t> ModuleBuilder::build() const {
     writeULEB128(Sec, Datas.size());
     for (const DataSeg &D : Datas) {
       writeULEB128(Sec, 0); // Flags: active, memory 0.
-      Sec.push_back(uint8_t(Opcode::I32Const));
-      writeSLEB128(Sec, int32_t(D.Offset));
-      Sec.push_back(uint8_t(Opcode::End));
+      writeInitExpr(Sec, D.Offset);
       writeULEB128(Sec, D.Bytes.size());
       Sec.insert(Sec.end(), D.Bytes.begin(), D.Bytes.end());
     }

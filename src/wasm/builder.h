@@ -221,6 +221,12 @@ public:
   uint32_t importFunc(const std::string &Mod, const std::string &Name,
                       uint32_t TypeIdx);
 
+  /// Imports a global. Must precede all addGlobal calls (imported globals
+  /// occupy the front of the global index space). Returns the global
+  /// index.
+  uint32_t importGlobal(const std::string &Mod, const std::string &Name,
+                        ValType T, bool Mutable);
+
   /// Declares a module-defined function; returns a builder for its body.
   /// Callers close their own blocks; build() appends the single
   /// function-terminating `end` opcode.
@@ -240,6 +246,10 @@ public:
   }
   void addElem(uint32_t Offset, std::vector<uint32_t> FuncIndices);
   void addData(uint32_t Offset, std::vector<uint8_t> Bytes);
+  /// Segment variants with a full constant-expression offset (e.g. a
+  /// global.get of an imported global).
+  void addElem(InitExpr Offset, std::vector<uint32_t> FuncIndices);
+  void addData(InitExpr Offset, std::vector<uint8_t> Bytes);
   void setStart(uint32_t FuncIdx) { Start = FuncIdx; }
 
   /// Convenience: a global with an i32/i64/f32/f64 constant initializer.
@@ -259,12 +269,17 @@ private:
     std::string Mod, Name;
     uint32_t TypeIdx;
   };
+  struct ImportedGlobal {
+    std::string Mod, Name;
+    ValType T;
+    bool Mutable;
+  };
   struct ElemSeg {
-    uint32_t Offset;
+    InitExpr Offset;
     std::vector<uint32_t> Funcs;
   };
   struct DataSeg {
-    uint32_t Offset;
+    InitExpr Offset;
     std::vector<uint8_t> Bytes;
   };
   struct GlobalDef {
@@ -284,6 +299,7 @@ private:
 
   std::vector<FuncType> Types;
   std::vector<ImportedFunc> Imports;
+  std::vector<ImportedGlobal> GlobalImports;
   std::vector<std::unique_ptr<FuncBuilder>> Funcs;
   std::vector<Limits> Memories;
   std::vector<TableDef> Tables;

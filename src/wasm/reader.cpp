@@ -61,6 +61,7 @@ private:
   bool readDataSection(size_t End);
 
   bool readLimits(Limits *L);
+  bool checkMemoryLimits(const Limits &L);
   bool readInitExpr(InitExpr *E, ValType Expect);
   bool readName(std::string *S);
 
@@ -121,6 +122,17 @@ bool ModuleReader::readLimits(Limits *L) {
   return checkOk();
 }
 
+bool ModuleReader::checkMemoryLimits(const Limits &L) {
+  // A wasm32 memory addresses at most 2^32 bytes = 65536 pages. Without
+  // this cap a hostile module declaring a huge Min would drive init()
+  // into a multi-terabyte allocation before any instruction runs.
+  if (L.Min > MaxMemoryPages)
+    return error("memory minimum %u exceeds %u pages", L.Min, MaxMemoryPages);
+  if (L.HasMax && L.Max > MaxMemoryPages)
+    return error("memory maximum %u exceeds %u pages", L.Max, MaxMemoryPages);
+  return true;
+}
+
 bool ModuleReader::readInitExpr(InitExpr *E, ValType Expect) {
   Opcode Op = R.readOpcode();
   if (!checkOk())
@@ -150,8 +162,18 @@ bool ModuleReader::readInitExpr(InitExpr *E, ValType Expect) {
     E->K = InitExpr::GlobalGet;
     E->Index = R.readU32();
     if (R.ok()) {
-      if (E->Index >= M.NumImportedGlobals)
-        return error("init expr global.get %u must name an import", E->Index);
+      // Const exprs may only reference already-defined immutable globals.
+      // Global-section entries push their decl after reading the init
+      // expr, so M.Globals.size() here is exactly the already-defined
+      // boundary — forward and self references fail this check, which is
+      // what keeps instantiation's in-order evaluation sound (a forward
+      // reference would read a not-yet-initialized 0).
+      if (E->Index >= M.Globals.size())
+        return error("init expr global.get %u references an undefined global",
+                     E->Index);
+      if (M.Globals[E->Index].Mutable)
+        return error("init expr global.get %u references a mutable global",
+                     E->Index);
       E->Type = M.Globals[E->Index].Type;
     }
     break;
@@ -235,7 +257,7 @@ bool ModuleReader::readImportSection(size_t) {
     }
     case ExternKind::Memory: {
       MemoryDecl D;
-      if (!readLimits(&D.Lim))
+      if (!readLimits(&D.Lim) || !checkMemoryLimits(D.Lim))
         return false;
       M.Memories.push_back(D);
       break;
@@ -293,7 +315,7 @@ bool ModuleReader::readMemorySection(size_t) {
   uint32_t Count = R.readU32();
   for (uint32_t I = 0; I < Count && checkOk(); ++I) {
     MemoryDecl D;
-    if (!readLimits(&D.Lim))
+    if (!readLimits(&D.Lim) || !checkMemoryLimits(D.Lim))
       return false;
     if (M.Memories.size() >= 1)
       return error("at most one memory is supported");

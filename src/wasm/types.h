@@ -96,6 +96,11 @@ struct Limits {
   bool HasMax = false;
 };
 
+/// Architectural page limit of a 32-bit linear memory (2^32 / 2^16).
+/// Declared memory limits are validated against it at decode time, and
+/// LinearMemory::grow enforces it at runtime regardless of declared max.
+constexpr uint32_t MaxMemoryPages = 65536;
+
 } // namespace wisp
 
 #endif // WISP_WASM_TYPES_H

@@ -633,7 +633,73 @@ bool wisp::validateFunction(Module &M, FuncDecl &F, WasmError *Err) {
   return V.run();
 }
 
+/// Checks one constant initializer at module level. The reader enforces
+/// the same rules at decode time; this pass is defense-in-depth for
+/// modules assembled programmatically (fuzzer mutations, future binary
+/// paths) and is what instantiation's in-order global evaluation — and
+/// the instance-image builder's pre-evaluation — rely on: a global.get
+/// may only name an already-defined immutable global, so every read
+/// observes an initialized value.
+static bool validateInitExpr(const Module &M, const InitExpr &E,
+                             uint32_t DefinedBoundary, ValType Expect,
+                             const char *What, WasmError *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      Err->Message = Msg;
+    return false;
+  };
+  if (E.K == InitExpr::GlobalGet) {
+    if (E.Index >= DefinedBoundary)
+      return Fail(strFormat("%s references undefined global %u", What,
+                            E.Index));
+    if (M.Globals[E.Index].Mutable)
+      return Fail(strFormat("%s references mutable global %u", What, E.Index));
+    if (M.Globals[E.Index].Type != Expect)
+      return Fail(strFormat("%s type mismatch", What));
+  } else if (E.K == InitExpr::RefFuncIdx) {
+    if (E.Index >= M.Funcs.size())
+      return Fail(strFormat("%s ref.func index out of range", What));
+  } else if (E.K == InitExpr::Const && E.Type != Expect) {
+    return Fail(strFormat("%s type mismatch", What));
+  }
+  return true;
+}
+
 bool wisp::validateModule(Module &M, WasmError *Err) {
+  // Global initializers: each may only consult globals defined before it
+  // (imports precede all definitions in index space).
+  for (size_t I = 0; I < M.Globals.size(); ++I) {
+    const GlobalDecl &G = M.Globals[I];
+    if (G.Imported)
+      continue;
+    if (!validateInitExpr(M, G.Init, uint32_t(I), G.Type,
+                          "global init expr", Err))
+      return false;
+  }
+
+  // Segment offsets: all globals are in scope (segments follow the global
+  // section), but memory/table existence and offset types must hold.
+  for (const ElemSegment &E : M.Elems) {
+    if (E.TableIdx >= M.Tables.size()) {
+      if (Err)
+        Err->Message = "element segment without table";
+      return false;
+    }
+    if (!validateInitExpr(M, E.Offset, uint32_t(M.Globals.size()),
+                          ValType::I32, "element segment offset", Err))
+      return false;
+  }
+  for (const DataSegment &D : M.Datas) {
+    if (M.Memories.empty()) {
+      if (Err)
+        Err->Message = "data segment without memory";
+      return false;
+    }
+    if (!validateInitExpr(M, D.Offset, uint32_t(M.Globals.size()),
+                          ValType::I32, "data segment offset", Err))
+      return false;
+  }
+
   // Start function must be [] -> [].
   if (M.Start) {
     const FuncType &FT = M.funcType(*M.Start);

@@ -115,15 +115,15 @@ TEST(CacheKeys, RepeatedLoadHitsEverything) {
   Engine E1(cachedConfig("wizard-spc"), &Cache);
   auto LM1 = loadOn(E1, Bytes);
   ASSERT_TRUE(LM1);
-  // Cold: module + two bodies, all misses.
-  EXPECT_EQ(LM1->Stats.CacheMisses, 3u);
+  // Cold: module + two bodies + the instance image, all misses.
+  EXPECT_EQ(LM1->Stats.CacheMisses, 4u);
   EXPECT_EQ(LM1->Stats.CacheHits, 0u);
 
   Engine E2(cachedConfig("wizard-spc"), &Cache);
   auto LM2 = loadOn(E2, Bytes);
   ASSERT_TRUE(LM2);
   EXPECT_EQ(LM2->Stats.CacheMisses, 0u);
-  EXPECT_EQ(LM2->Stats.CacheHits, 3u);
+  EXPECT_EQ(LM2->Stats.CacheHits, 4u);
   EXPECT_GT(LM2->Stats.CacheSavedNs, 0u);
   // The shared artifacts are the *same objects*.
   EXPECT_EQ(LM2->M.get(), LM1->M.get());
@@ -147,7 +147,7 @@ TEST(CacheKeys, SameBytesDifferentConfigMisses) {
   Engine E2(cachedConfig("wasmer-base"), &Cache);
   auto LM2 = loadOn(E2, Bytes);
   ASSERT_TRUE(LM2);
-  EXPECT_EQ(LM2->Stats.CacheHits, 1u);   // Module only.
+  EXPECT_EQ(LM2->Stats.CacheHits, 2u);   // Module + instance image.
   EXPECT_EQ(LM2->Stats.CacheMisses, 2u); // Both bodies recompiled.
   EXPECT_NE(LM2->Inst->func(0)->Code, LM1->Inst->func(0)->Code);
 
@@ -155,7 +155,7 @@ TEST(CacheKeys, SameBytesDifferentConfigMisses) {
   Engine E3(cachedConfig("wazero"), &Cache);
   auto LM3 = loadOn(E3, Bytes);
   ASSERT_TRUE(LM3);
-  EXPECT_EQ(LM3->Stats.CacheHits, 1u);
+  EXPECT_EQ(LM3->Stats.CacheHits, 2u);
   EXPECT_EQ(LM3->Stats.CacheMisses, 2u);
 
   EXPECT_EQ(invokeOne(E2, *LM2, "run", {}).asI32(), 7);
@@ -192,7 +192,7 @@ TEST(CacheKeys, SameBodyBytesDifferentSignatureContextMisses) {
   auto LM2 = loadOn(E2, B);
   ASSERT_TRUE(LM2);
   EXPECT_EQ(LM2->Stats.CacheHits, 0u);   // Nothing may alias.
-  EXPECT_EQ(LM2->Stats.CacheMisses, 3u); // Module + both bodies.
+  EXPECT_EQ(LM2->Stats.CacheMisses, 4u); // Module + image + both bodies.
   EXPECT_NE(LM2->Inst->func(0)->Code, LM1->Inst->func(0)->Code);
 
   EXPECT_EQ(invokeOne(E1, *LM1, "run", {}).asI32(), 7);
@@ -211,7 +211,8 @@ TEST(CacheKeys, CodegenIrrelevantModuleDifferenceSharesBodies) {
   Engine E2(cachedConfig("wizard-spc"), &Cache);
   auto LM2 = loadOn(E2, addModule(0xBB));
   ASSERT_TRUE(LM2);
-  EXPECT_EQ(LM2->Stats.CacheMisses, 1u); // Module bytes differ.
+  EXPECT_EQ(LM2->Stats.CacheMisses, 2u); // Module bytes differ (so does
+                                         // the image: keyed on bytes).
   EXPECT_EQ(LM2->Stats.CacheHits, 1u);   // The body is shared.
   EXPECT_EQ(LM2->Inst->func(0)->Code, LM1->Inst->func(0)->Code);
   // ...while the instances keep their own memory (data segments applied
@@ -436,12 +437,12 @@ TEST(CacheConcurrency, EightThreadsOneCompile) {
     EXPECT_EQ(Results[I], Results[0]) << "thread " << I;
     EXPECT_EQ(Codes[I], Codes[0]) << "thread " << I;
   }
-  // crc is a single-function module: one module artifact + one body, each
-  // built exactly once; the other 7 threads hit (possibly waiting on the
-  // in-flight build).
+  // crc is a single-function module: one module artifact + one body +
+  // one instance image, each built exactly once; the other 7 threads hit
+  // (possibly waiting on the in-flight build).
   CompileCache::Totals T = Cache.totals();
-  EXPECT_EQ(T.Misses, 2u);
-  EXPECT_EQ(T.Hits, uint64_t(2 * (N - 1)));
+  EXPECT_EQ(T.Misses, 3u);
+  EXPECT_EQ(T.Hits, uint64_t(3 * (N - 1)));
 }
 
 // --- The batch-runner guarantee -------------------------------------------
@@ -464,11 +465,11 @@ TEST(CacheBatch, IdenticalJobsCompileEachBodyExactlyOnce) {
   ASSERT_EQ(R.Results.size(), 8u);
   for (const BatchJobResult &Job : R.Results)
     EXPECT_TRUE(Job.Ok) << Job.Error;
-  // crc: one module artifact + one body. 8 jobs -> 2 misses, 14 hits,
-  // independent of worker count and scheduling.
+  // crc: one module artifact + one body + one instance image. 8 jobs ->
+  // 3 misses, 21 hits, independent of worker count and scheduling.
   EXPECT_TRUE(R.CacheEnabled);
-  EXPECT_EQ(R.CacheMisses, 2u);
-  EXPECT_EQ(R.CacheHits, 14u);
+  EXPECT_EQ(R.CacheMisses, 3u);
+  EXPECT_EQ(R.CacheHits, 21u);
 
   // Cache off: same results, no cache traffic.
   BatchOptions Off;
@@ -502,10 +503,11 @@ TEST(CacheBatch, MixedConfigsShareTheModuleNotTheCode) {
   BatchReport R = runBatch(Jobs, Opts);
   for (const BatchJobResult &Job : R.Results)
     EXPECT_TRUE(Job.Ok) << Job.Error;
-  // 1 module + 1 spc body + 1 threaded-IR body = 3 misses; the other
-  // 8 module lookups - 1, 4 spc - 1 and 4 threaded - 1 all hit.
-  EXPECT_EQ(R.CacheMisses, 3u);
-  EXPECT_EQ(R.CacheHits, 13u);
+  // 1 module + 1 instance image (bytes-keyed, so configuration-shared)
+  // + 1 spc body + 1 threaded-IR body = 4 misses; the other 16 module/
+  // image lookups - 2, 4 spc - 1 and 4 threaded - 1 all hit.
+  EXPECT_EQ(R.CacheMisses, 4u);
+  EXPECT_EQ(R.CacheHits, 20u);
   // Same item, same value on both tiers.
   EXPECT_EQ(R.Results[0].Results[0].Bits, R.Results[1].Results[0].Bits);
 }
