@@ -1,0 +1,140 @@
+//===- bench/bench_serve.cpp - serve-mode latency and throughput -----------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the persistent service mode (src/service/serve.*): one serve
+// session per worker count, fed the fig. 7 suite items as job lines over
+// several rounds. The first round is cold by construction (each worker
+// builds its warm engines and the serve-local compile cache on first
+// contact with a configuration/module); later rounds hit warm engines,
+// cached artifacts and pooled instances — the steady-state regime the
+// serving layer exists for. Reports per-job service time (worker pickup
+// to done line; queue wait is excluded because the open-loop in-memory
+// submitter would otherwise dominate the numbers with its own speed) as
+// p50/p99, throughput in jobs/s at 1 and 8 workers, and the cold-vs-warm
+// split (first-round p50 vs last-round p50).
+//
+// WISP_BENCH_JSON rows: (config="serve", item="jobs=K",
+// metric=throughput_jobs_per_s | p50_ms | p99_ms | cold_p50_ms |
+// warm_p50_ms | cold_over_warm).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil.h"
+#include "service/serve.h"
+
+#include <thread>
+
+using namespace wisp;
+using namespace wisp::bench;
+
+namespace {
+
+constexpr int Rounds = 4;
+
+/// The job stream: Rounds passes over every fig. 7 suite item on the two
+/// configurations a serving mix actually splits across (baseline JIT and
+/// the threaded interpreter). Round boundaries matter: latencies are
+/// indexed by acceptance order, so the first JobsPerRound entries are the
+/// cold round and the last JobsPerRound the warmest.
+std::string buildJobLines(size_t *JobsPerRound) {
+  static const char *Tiers[] = {"spc", "threaded"};
+  std::vector<LineItem> Items = allSuites(scale());
+  std::string Lines;
+  *JobsPerRound = Items.size() * 2;
+  for (int Round = 0; Round < Rounds; ++Round)
+    for (const LineItem &I : Items)
+      for (const char *Tier : Tiers)
+        Lines += I.Suite + "/" + I.Name + " tier=" + Tier + "\n";
+  return Lines;
+}
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t Idx = size_t(P * double(V.size() - 1) + 0.5);
+  return V[std::min(Idx, V.size() - 1)];
+}
+
+/// One serve session over in-memory streams; returns its stats.
+ServeStats serveSession(const std::string &Input, unsigned Workers) {
+  ServeOptions Opts;
+  Opts.Workers = Workers;
+  // Roomy queue: this measures service latency, not shedding (admission
+  // control has its own tests); every job line must be accepted.
+  Opts.QueueCap = 1 << 16;
+  FILE *In = fmemopen(const_cast<char *>(Input.data()), Input.size(), "r");
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *Out = open_memstream(&Buf, &Len);
+  ServeStats Stats = runServe(In, Out, Opts);
+  fclose(In);
+  fclose(Out);
+  free(Buf);
+  return Stats;
+}
+
+} // namespace
+
+int main() {
+  jsonBench("bench_serve");
+  printHeader("bench_serve: service-mode latency (p50/p99) and throughput, "
+              "cold round vs warm rounds",
+              "job stream = 4 rounds of all fig. 7 suite items x {spc, "
+              "threaded}; warm engines + serve-local compile cache + "
+              "per-worker instance pools");
+
+  size_t JobsPerRound = 0;
+  std::string Input = buildJobLines(&JobsPerRound);
+  size_t Total = JobsPerRound * Rounds;
+  printf("jobs=%zu (%d rounds of %zu) hardware_concurrency=%u\n\n", Total,
+         Rounds, JobsPerRound, std::thread::hardware_concurrency());
+
+  printf("  %-10s %10s %9s %9s %12s %12s %11s\n", "workers", "jobs/s",
+         "p50 ms", "p99 ms", "cold p50 ms", "warm p50 ms", "cold/warm");
+  for (unsigned Workers : {1u, 8u}) {
+    // Median-of-runs for the aggregate numbers; latency percentiles pool
+    // every run's samples (more mass in the tail).
+    std::vector<double> Thrus;
+    std::vector<double> All, Cold, Warm;
+    for (int R = 0; R < runs(); ++R) {
+      ServeStats S = serveSession(Input, Workers);
+      if (S.Accepted != Total || S.Done != Total) {
+        fprintf(stderr,
+                "bench_serve: session lost jobs (%llu accepted, %llu done, "
+                "want %zu)\n",
+                (unsigned long long)S.Accepted, (unsigned long long)S.Done,
+                Total);
+        return 1;
+      }
+      double Secs = S.WallMs / 1e3;
+      Thrus.push_back(Secs > 0 ? double(Total) / Secs : 0);
+      All.insert(All.end(), S.ServiceMs.begin(), S.ServiceMs.end());
+      Cold.insert(Cold.end(), S.ServiceMs.begin(),
+                  S.ServiceMs.begin() + JobsPerRound);
+      Warm.insert(Warm.end(), S.ServiceMs.end() - JobsPerRound,
+                  S.ServiceMs.end());
+    }
+    std::sort(Thrus.begin(), Thrus.end());
+    double Thru = Thrus[Thrus.size() / 2];
+    double P50 = percentile(All, 0.50), P99 = percentile(All, 0.99);
+    double ColdP50 = percentile(Cold, 0.50);
+    double WarmP50 = percentile(Warm, 0.50);
+    double Ratio = WarmP50 > 0 ? ColdP50 / WarmP50 : 0;
+    printf("  %-10u %10.1f %9.3f %9.3f %12.3f %12.3f %10.2fx\n", Workers,
+           Thru, P50, P99, ColdP50, WarmP50, Ratio);
+    std::string Item = "jobs=" + std::to_string(Workers);
+    jsonRecord("serve", Item, "throughput_jobs_per_s", Thru);
+    jsonRecord("serve", Item, "p50_ms", P50);
+    jsonRecord("serve", Item, "p99_ms", P99);
+    jsonRecord("serve", Item, "cold_p50_ms", ColdP50);
+    jsonRecord("serve", Item, "warm_p50_ms", WarmP50);
+    jsonRecord("serve", Item, "cold_over_warm", Ratio);
+  }
+  printf("\nlatency = worker pickup to done line (queue wait excluded); "
+         "cold = first round of each session, warm = last round\n");
+  return 0;
+}

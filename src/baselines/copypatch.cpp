@@ -284,6 +284,9 @@ public:
 
   void run();
 
+  /// Governance checks at loop headers (same placement as the SPC).
+  bool EmitFuelChecks = false;
+
 private:
   struct Ctl {
     Opcode Kind = Opcode::Block;
@@ -475,6 +478,10 @@ void CopyPatch::compileOp(Opcode Op) {
     if (Op == Opcode::Loop) {
       C.Head = A.newLabel();
       A.bind(C.Head);
+      // Loop-header fuel charge: entry falls through it, backedges jump to
+      // Head and re-execute it — exactly the interpreter's charge points.
+      if (EmitFuelChecks)
+        A.emit(MOp::FuelCheck, 0, 0, 0, 0, int64_t(R.pc()));
     }
     Ctrl.push_back(std::move(C));
     return;
@@ -876,12 +883,13 @@ void wisp::warmCopyPatchTemplates() {
 
 std::unique_ptr<MCode> wisp::compileCopyPatch(const Module &M,
                                               const FuncDecl &F,
-                                              const CompilerOptions & /*Opts*/,
+                                              const CompilerOptions &Opts,
                                               const ProbeSiteOracle *
                                               /*Probes*/) {
   auto Code = std::make_unique<MCode>();
   auto Start = std::chrono::steady_clock::now();
   CopyPatch C(M, F, *Code);
+  C.EmitFuelChecks = Opts.EmitFuelChecks;
   C.run();
   auto End = std::chrono::steady_clock::now();
   Code->Stats.TimeNs = uint64_t(

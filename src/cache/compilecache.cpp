@@ -106,6 +106,7 @@ CacheKey wisp::codeCacheKey(uint64_t CtxDigest, const Module &M,
   H.u8(Opts.OptimizeProbes);
   H.u8(Opts.EmitDeoptChecks);
   H.u8(Opts.EmitOsrEntries);
+  H.u8(Opts.EmitFuelChecks);
   H.u8(Opts.NumGp);
   H.u8(Opts.NumFp);
   // VerifyArtifacts is not a codegen option, but it is part of the entry's
@@ -117,11 +118,12 @@ CacheKey wisp::codeCacheKey(uint64_t CtxDigest, const Module &M,
 
 CacheKey wisp::irCacheKey(uint64_t CtxDigest, const Module &M,
                           const FuncDecl &D, bool EnableFusion,
-                          bool Verified) {
+                          bool EmitFuelGates, bool Verified) {
   KeyHasher H;
   H.u8(0x54); // 'T'
   hashBody(H, CtxDigest, M, D);
   H.u8(EnableFusion);
+  H.u8(EmitFuelGates);
   H.u8(Verified);
   return H.key();
 }

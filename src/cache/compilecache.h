@@ -163,7 +163,7 @@ CacheKey codeCacheKey(uint64_t CtxDigest, const Module &M, const FuncDecl &D,
 
 /// Key of one pre-decoded threaded-IR body. \p Verified as codeCacheKey.
 CacheKey irCacheKey(uint64_t CtxDigest, const Module &M, const FuncDecl &D,
-                    bool EnableFusion, bool Verified);
+                    bool EnableFusion, bool EmitFuelGates, bool Verified);
 
 /// Key of a module's instance image (pre-evaluated globals, pre-resolved
 /// tables, pre-imaged initial memory). The image is fully determined by

@@ -10,7 +10,9 @@
 #include "baselines/twopass.h"
 #include "interp/interpreter.h"
 #include "opt/optcompiler.h"
+#include "runtime/watchdog.h"
 #include "support/clock.h"
+#include "support/format.h"
 #include "verify/verifier.h"
 #include "wasm/reader.h"
 #include "wasm/validator.h"
@@ -29,8 +31,17 @@ Engine::Engine(EngineConfig CfgIn, CompileCache *CacheIn, InstancePool *PoolIn)
       Pool = OwnedPool.get();
     }
   }
+  // Governance: any per-invocation limit forces fuel-check emission into
+  // every compiled tier (pure-JIT configurations would otherwise never
+  // observe a deadline or cancellation inside a loop) and threaded-IR fuel
+  // gates; invoke() arms the per-job state.
+  if (Cfg.governed())
+    Cfg.Opts.EmitFuelChecks = true;
   T = std::make_unique<Thread>(Cfg.StackSlots, Cfg.wantsTagLane());
   T->Hooks = this;
+  if (Cfg.MaxCallDepth)
+    T->MaxFrames = Cfg.MaxCallDepth;
+  T->Interruptible = Cfg.DeadlineMs > 0 || Cfg.Interruptible;
   T->UseThreaded = Cfg.ThreadedDispatch &&
                    (Cfg.Mode == ExecMode::Interp || Cfg.Mode == ExecMode::Tiered);
   if (Cfg.Mode == ExecMode::Tiered)
@@ -231,6 +242,26 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
   }
   LM->Stats.CodeBytes = LM->M->codeBytes();
 
+  // Resource governance: reject modules whose declared minimum footprint
+  // already exceeds this engine's per-job caps — before any allocation,
+  // and identically on every instantiation path (fresh, image, pooled).
+  if (Cfg.MaxMemoryPages && !LM->M->Memories.empty() &&
+      LM->M->Memories[0].Lim.Min > Cfg.MaxMemoryPages) {
+    if (Err)
+      Err->Message = strFormat("memory minimum %u pages exceeds job limit %u",
+                               LM->M->Memories[0].Lim.Min, Cfg.MaxMemoryPages);
+    return nullptr;
+  }
+  if (Cfg.MaxTableElems)
+    for (const TableDecl &Td : LM->M->Tables)
+      if (Td.Lim.Min > Cfg.MaxTableElems) {
+        if (Err)
+          Err->Message =
+              strFormat("table minimum %u elements exceeds job limit %u",
+                        Td.Lim.Min, Cfg.MaxTableElems);
+        return nullptr;
+      }
+
   uint64_t T2 = nowNs();
   // Instantiation fast path: derive the module's instance image (shared
   // through the compile cache when one is attached — the image depends
@@ -266,6 +297,8 @@ std::unique_ptr<LoadedModule> Engine::load(std::vector<uint8_t> Bytes,
   }
   if (!LM->Inst)
     return nullptr;
+  if (Cfg.MaxMemoryPages)
+    LM->Inst->Memory.setPageLimit(Cfg.MaxMemoryPages);
   uint64_t T3 = nowNs();
   LM->Stats.InstantiateNs = T3 - T2;
 
@@ -323,6 +356,10 @@ bool Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
   // Fusion is illegal when deopt checkpoints exist: a tier-down may resume
   // at any opcode boundary, including mid-pair.
   bool Fuse = !Cfg.Opts.EmitDeoptChecks;
+  // Governed engines get a synthetic FuelGate unit at every loop header;
+  // the flag is part of the IR cache key below so gated and ungated IR
+  // never share an entry.
+  bool Gates = Cfg.Opts.EmitFuelChecks;
   // As with compileShared, verification runs inside the builder: once per
   // cache insert, never on a hit, a rejected IR is never cached (and never
   // installed), and VerifyArtifacts is part of the key so verified and
@@ -331,7 +368,7 @@ bool Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
   auto Build = [&]() -> std::shared_ptr<const ThreadedCode> {
     BuiltHere = true;
     std::shared_ptr<const ThreadedCode> Built =
-        predecodeFunction(*LM.M, *Func->Decl, Func, Fuse);
+        predecodeFunction(*LM.M, *Func->Decl, Func, Fuse, Gates);
     if (Built && !verifyThreadedArtifact(*LM.M, *Func->Decl, *Built, Func))
       return nullptr;
     return Built;
@@ -346,7 +383,7 @@ bool Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
     if (!LM.ContextDigest)
       LM.ContextDigest = moduleContextDigest(*LM.M);
     TC = Cache->getOrPredecode(irCacheKey(LM.ContextDigest, *LM.M,
-                                          *Func->Decl, Fuse,
+                                          *Func->Decl, Fuse, Gates,
                                           Cfg.VerifyArtifacts),
                                Build, &LM.Stats);
     // Reproduce a concurrent inserter's rejection locally so VerifyError
@@ -374,7 +411,22 @@ TrapReason Engine::invoke(LoadedModule &LM, const std::string &ExportName,
   T->Inst = LM.Inst.get();
   if (Cfg.Mode == ExecMode::JitLazy && !F->Decl->Imported && !F->Code)
     compileAndInstall(F); // Lazy: compile time lands in run time.
+  if (Cfg.governed()) {
+    // Clearing the interrupt byte here neutralizes a watchdog fire (or an
+    // external cancel) that landed after the previous job finished: stale
+    // interrupts can never kill the job after the one they targeted.
+    T->Interrupt.store(0, std::memory_order_relaxed);
+    T->Interruptible = Cfg.DeadlineMs > 0 || Cfg.Interruptible;
+    T->armGovernance(Cfg.FuelBudget != 0, Cfg.FuelBudget);
+    if (Cfg.DeadlineMs) {
+      if (!Dog)
+        Dog = std::make_unique<Watchdog>();
+      Dog->arm(*T, Cfg.DeadlineMs);
+    }
+  }
   TrapReason R = wisp::invoke(*T, F, Args, Results);
+  if (Dog)
+    Dog->disarm();
   Current = nullptr;
   return R;
 }

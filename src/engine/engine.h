@@ -97,6 +97,33 @@ struct EngineConfig {
   bool VerifyArtifacts = true;
 #endif
 
+  // --- Execution governance (service mode; see DESIGN.md) ---
+  /// Fuel budget per invocation: deterministic, tier-independent count of
+  /// semantic events (frame pushes + loop-header arrivals). Exhaustion
+  /// traps with FuelExhausted at the identical bytecode pc on every tier.
+  /// 0 = unmetered.
+  uint64_t FuelBudget = 0;
+  /// Wall-clock deadline per invocation in milliseconds; expiry traps
+  /// with DeadlineExceeded at the next governance check. 0 = none.
+  uint32_t DeadlineMs = 0;
+  /// Honor asynchronous interrupts (Engine::cancel) even without fuel or
+  /// a deadline. Implied by FuelBudget/DeadlineMs.
+  bool Interruptible = false;
+  /// Maximum wasm call depth (frames); CallStackExhausted beyond it.
+  /// 0 = the Thread default (4096).
+  uint32_t MaxCallDepth = 0;
+  /// Runtime cap on linear-memory pages per job: loads whose declared
+  /// minimum exceeds it fail, memory.grow beyond it returns -1.
+  /// 0 = the architectural 65536-page limit only.
+  uint32_t MaxMemoryPages = 0;
+  /// Cap on table element counts at instantiation. 0 = unlimited.
+  uint32_t MaxTableElems = 0;
+
+  /// True when any per-invocation governance is configured.
+  bool governed() const {
+    return FuelBudget != 0 || DeadlineMs != 0 || Interruptible;
+  }
+
   /// Whether the value stack needs a tag lane.
   bool wantsTagLane() const {
     if (Mode != ExecMode::Jit && Mode != ExecMode::JitLazy)
@@ -277,9 +304,30 @@ public:
   bool recycle(std::unique_ptr<LoadedModule> LM);
 
   /// Invokes an exported function. Runs lazy compilation if configured.
+  /// Arms the configured governance (fuel budget, deadline watchdog) for
+  /// the duration of the call.
   TrapReason invoke(LoadedModule &LM, const std::string &ExportName,
                     const std::vector<Value> &Args,
                     std::vector<Value> *Results);
+
+  /// Requests cancellation of the invocation currently running on this
+  /// engine's thread (traps with Cancelled at its next governance check).
+  /// Safe to call from another OS thread — this is the one sanctioned
+  /// cross-thread entry point; it only touches the interrupt atomic. A
+  /// no-op unless the engine is configured governed().
+  void cancel() {
+    T->Interrupt.store(uint8_t(TrapReason::Cancelled),
+                       std::memory_order_relaxed);
+  }
+
+  /// Serve mode: re-targets the per-invocation fuel budget and deadline on
+  /// a warm engine between jobs. Only meaningful on an engine constructed
+  /// governed (e.g. Interruptible set) — fuel-check emission into compiled
+  /// artifacts is decided at construction and does not change here.
+  void setGovernance(uint64_t FuelBudget, uint32_t DeadlineMs) {
+    Cfg.FuelBudget = FuelBudget;
+    Cfg.DeadlineMs = DeadlineMs;
+  }
 
   /// Attaches a probe; recompiles or tiers down compiled functions so the
   /// probe is observed by all future execution.
@@ -349,6 +397,10 @@ private:
   GcHeap Heap;
   ProbeRegistry Probes;
   std::unique_ptr<Thread> T;
+  /// Deadline watchdog thread, created lazily on the first deadline-armed
+  /// invoke and reused for the engine's lifetime (serve workers keep warm
+  /// engines, so the thread amortizes across jobs).
+  std::unique_ptr<class Watchdog> Dog;
   LoadedModule *Current = nullptr; ///< Module served by hooks/invoke.
   std::string VerifyError;         ///< Last verification rejection.
 };

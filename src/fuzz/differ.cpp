@@ -67,21 +67,29 @@ EngineConfig tierConfig(const std::string &Tier) {
 
 TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
                    const std::string &ExportName, const std::vector<Value> &Args,
-                   CompileCache *Cache = nullptr) {
+                   CompileCache *Cache = nullptr, uint64_t Fuel = 0) {
   TierRun Run;
   Run.Tier = Tier;
-  // "<tier>+mon" runs the tier with branch + coverage monitors attached.
+  // "<tier>+mon" runs the tier with branch + coverage monitors attached;
+  // "<tier>+fuel" runs it governed under the caller-supplied fuel budget.
   std::string Base = Tier;
   bool Monitors = false;
+  bool Fueled = false;
   if (Base.size() > 4 && Base.compare(Base.size() - 4, 4, "+mon") == 0) {
     Base = Base.substr(0, Base.size() - 4);
     Monitors = true;
+  }
+  if (Base.size() > 5 && Base.compare(Base.size() - 5, 5, "+fuel") == 0) {
+    Base = Base.substr(0, Base.size() - 5);
+    Fueled = true;
   }
   // The one place that decides cache usage for differ runs: plain tiers
   // load a fresh module per seed, so the process-wide cache would only
   // grow (never hit) — they run cold. The "+cache" tiers pass a private
   // per-seed cache to diff cache-cold against cache-warm execution.
   EngineConfig Cfg = tierConfig(Base);
+  if (Fueled)
+    Cfg.FuelBudget = Fuel;
   Cfg.UseCompileCache = Cache != nullptr;
   // Compile-check-then-execute: every artifact any differ engine builds is
   // statically verified before it runs. A rejection is a first-class
@@ -221,6 +229,21 @@ TierRun runPoolTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
   if (Pooled.VerifierReject.empty())
     Pooled.VerifierReject = Fresh.VerifierReject;
   return Pooled;
+}
+
+/// Deterministic per-seed fuel budget: a small FNV-1a hash of the module
+/// bytes and argument bits folded into 1..32. Budgets this tiny land the
+/// exhaustion point inside the interesting part of nearly every generated
+/// program (frame pushes and loop headers each cost one unit), and deriving
+/// them from the seed itself keeps replays and shrinks exact.
+uint64_t fuelBudgetFor(const std::vector<uint8_t> &Bytes,
+                       const std::vector<Value> &Args) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (uint8_t B : Bytes)
+    H = (H ^ B) * 0x100000001b3ULL;
+  for (const Value &V : Args)
+    H = (H ^ V.Bits) * 0x100000001b3ULL;
+  return 1 + (H % 32);
 }
 
 } // namespace
@@ -370,6 +393,39 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
   if (!Mismatch.empty()) {
     Report.Diverged = true;
     Report.Detail = Mismatch;
+    return Report;
+  }
+  // Fuel-determinism configurations: every tier re-runs the seed governed
+  // by the same deliberately tiny, seed-derived fuel budget and must halt
+  // in exactly the same state as the switch interpreter under that budget
+  // — same trap (FuelExhausted or an earlier genuine trap), same
+  // exhaustion-site PC, same final memory and globals. This is the
+  // guarantee that makes a fuel budget a point in the execution rather
+  // than a tier-dependent approximation. These runs are compared within
+  // the family (their traps legitimately differ from the ungoverned
+  // reference) and are not appended to Report.Runs.
+  uint64_t Budget = fuelBudgetFor(Bytes, Args);
+  std::vector<TierRun> FuelRuns;
+  for (const std::string &Tier : differTierNames())
+    FuelRuns.push_back(
+        runOneTier(Tier + "+fuel", Bytes, ExportName, Args, nullptr, Budget));
+  for (const TierRun &Run : FuelRuns) {
+    if (!Run.VerifierReject.empty()) {
+      Report.Diverged = true;
+      Report.Detail = strFormat("verifier rejection (%s): %s",
+                                Run.Tier.c_str(), Run.VerifierReject.c_str());
+      return Report;
+    }
+  }
+  for (size_t I = 1; I < FuelRuns.size(); ++I) {
+    std::string FuelMismatch = compareTierRuns(FuelRuns[0], FuelRuns[I]);
+    if (!FuelMismatch.empty()) {
+      Report.Diverged = true;
+      Report.Detail = strFormat("fuel budget %llu: %s",
+                                (unsigned long long)Budget,
+                                FuelMismatch.c_str());
+      return Report;
+    }
   }
   return Report;
 }

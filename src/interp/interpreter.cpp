@@ -85,6 +85,16 @@ bool wisp::pushWasmFrame(Thread &T, FuncInstance *Func, uint32_t ArgBase) {
     T.setTrap(TrapReason::StackOverflow, D->BodyStart);
     return false;
   }
+  // Governance charge: one fuel unit per wasm frame push, checked here so
+  // every tier (both interpreters and all JIT pipelines route calls through
+  // this function) charges identically; the trap site is the callee entry.
+  if (WISP_UNLIKELY(T.Governed)) {
+    TrapReason R = T.governCheck();
+    if (WISP_UNLIKELY(R != TrapReason::None)) {
+      T.setTrap(R, D->BodyStart);
+      return false;
+    }
+  }
   Frame F;
   F.Func = Func;
   F.Vfp = ArgBase;
@@ -265,6 +275,18 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
     bool Backward = E.TargetIp <= uint32_t(OpPtr - Bytes);
     P = Bytes + E.TargetIp;
     Stp = E.TargetStp;
+    // Governance charge: one fuel unit per taken backedge (backward
+    // branches always target a loop header). Charged BEFORE the tier-up
+    // hook so an OSR entry placed after the compiled header check does not
+    // double-charge the transition iteration.
+    if (WISP_UNLIKELY(Backward && T.Governed)) {
+      TrapReason R = T.governCheck();
+      if (WISP_UNLIKELY(R != TrapReason::None)) {
+        writeback(P);
+        T.setTrap(R, E.TargetIp);
+        return 2; // Trapped.
+      }
+    }
     if (WISP_UNLIKELY(Backward && T.TierUpThreshold)) {
       if (++Func->HotCount == T.TierUpThreshold && T.Hooks) {
         writeback(P);
@@ -297,23 +319,36 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
     case uint8_t(Opcode::Nop):
       break;
     case uint8_t(Opcode::Block):
+      skipBlockType(P);
+      break;
     case uint8_t(Opcode::Loop):
       skipBlockType(P);
+      // Governance charge: loop-header arrival by fallthrough entry. The
+      // trap site is the header ip (first body instruction), matching the
+      // backedge charge in takeBranch and the JIT's header FuelCheck.
+      if (WISP_UNLIKELY(T.Governed)) {
+        TrapReason R = T.governCheck();
+        if (WISP_UNLIKELY(R != TrapReason::None)) {
+          writeback(P);
+          T.setTrap(R, uint32_t(P - Bytes));
+          return RunSignal::Trapped;
+        }
+      }
       break;
     case uint8_t(Opcode::If): {
       skipBlockType(P);
       uint32_t Cond = uint32_t(POP());
       if (Cond) {
         ++Stp; // Skip the false-edge entry.
-      } else if (takeBranch(ST[Stp], OpP)) {
-        return RunSignal::SwitchTier;
+      } else if (int Sig = takeBranch(ST[Stp], OpP)) {
+        return Sig == 2 ? RunSignal::Trapped : RunSignal::SwitchTier;
       }
       break;
     }
     case uint8_t(Opcode::Else):
       // Fallthrough from the then-branch: skip past the end.
-      if (takeBranch(ST[Stp], OpP))
-        return RunSignal::SwitchTier;
+      if (int Sig = takeBranch(ST[Stp], OpP))
+        return Sig == 2 ? RunSignal::Trapped : RunSignal::SwitchTier;
       break;
     case uint8_t(Opcode::End): {
       if (P != BodyEndP)
@@ -338,16 +373,16 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
     }
     case uint8_t(Opcode::Br):
       fastU32(P);
-      if (takeBranch(ST[Stp], OpP))
-        return RunSignal::SwitchTier;
+      if (int Sig = takeBranch(ST[Stp], OpP))
+        return Sig == 2 ? RunSignal::Trapped : RunSignal::SwitchTier;
       break;
     case uint8_t(Opcode::BrIf): {
       fastU32(P);
       uint32_t Cond = uint32_t(POP());
       if (!Cond) {
         ++Stp;
-      } else if (takeBranch(ST[Stp], OpP)) {
-        return RunSignal::SwitchTier;
+      } else if (int Sig = takeBranch(ST[Stp], OpP)) {
+        return Sig == 2 ? RunSignal::Trapped : RunSignal::SwitchTier;
       }
       break;
     }
@@ -355,8 +390,8 @@ RunSignal wisp::runInterpreter(Thread &T, size_t EntryDepth) {
       uint32_t N = fastU32(P);
       uint32_t Idx = uint32_t(POP());
       uint32_t Sel = Idx < N ? Idx : N;
-      if (takeBranch(ST[Stp + Sel], OpP))
-        return RunSignal::SwitchTier;
+      if (int Sig = takeBranch(ST[Stp + Sel], OpP))
+        return Sig == 2 ? RunSignal::Trapped : RunSignal::SwitchTier;
       break;
     }
     case uint8_t(Opcode::Return): {

@@ -131,7 +131,8 @@ uint32_t ThreadedCode::unitIndexAt(uint32_t BcIp) const {
 std::unique_ptr<ThreadedCode> wisp::predecodeFunction(const Module &M,
                                                       const FuncDecl &D,
                                                       const FuncInstance *FI,
-                                                      bool EnableFusion) {
+                                                      bool EnableFusion,
+                                                      bool EmitFuelGates) {
   auto TC = std::make_unique<ThreadedCode>();
   const uint32_t Body0 = D.BodyStart;
 
@@ -314,6 +315,23 @@ std::unique_ptr<ThreadedCode> wisp::predecodeFunction(const Module &M,
     }
     }
     Ps.push_back(P);
+    if (EmitFuelGates && Op == Opcode::Loop) {
+      // Governed engines: plant a fuel gate at the loop header ip (first
+      // body instruction). It shares the header's BcIp/Stp so its trap
+      // site matches the switch interpreter's loop-entry charge exactly.
+      // IsTarget keeps fusion lookahead from absorbing it.
+      Proto G;
+      G.BcIp = uint32_t(R.pc());
+      G.Stp = CurStp;
+      G.T = TOp::FuelGate;
+      G.IsTarget = true;
+      // A = the elided loop opcode's ip: call handlers resume a caller at
+      // this coordinate (instead of the gate's own ip) so the gate re-runs
+      // on return, exactly as the switch interpreter re-executes the loop
+      // entry it resumes at.
+      G.A = P.BcIp;
+      Ps.push_back(G);
+    }
   }
   assert(R.ok() && "predecode ran off validated code");
 
@@ -401,7 +419,8 @@ std::unique_ptr<ThreadedCode> wisp::predecodeFunction(const Module &M,
     U.B = P.B;
     if (P.IsBranch)
       pendBranch(P);
-    ++TC->NumSources;
+    if (P.T != TOp::FuelGate) // Gates are synthetic, not source opcodes.
+      ++TC->NumSources;
     TC->Units.push_back(U);
     ++I;
   }
@@ -409,9 +428,18 @@ std::unique_ptr<ThreadedCode> wisp::predecodeFunction(const Module &M,
   // --- Pass 3: branch resolution ---
   const SideTableEntry *ST = D.Table.Entries.data();
   const uint32_t NumLocals = D.numLocalSlots();
-  auto unitFor = [&](uint32_t TargetIp) {
+  auto unitFor = [&](uint32_t TargetIp, bool Backward) {
     uint32_t Idx = TC->unitIndexAt(TargetIp);
     assert(Idx != ThreadedCode::NoUnit && "branch target inside fused unit");
+    // Taken backedges charge fuel in the branch handler itself (before the
+    // tier-up hook, mirroring the switch interpreter), so a backward branch
+    // resolving exactly onto the header's fuel gate skips it. Forward
+    // resolutions that land on a gate non-exactly (a branch to the elided
+    // loop opcode) keep it: the switch interpreter would execute the loop
+    // entry there and charge.
+    if (Backward && TOp(TC->Units[Idx].Op) == TOp::FuelGate &&
+        TC->Units[Idx].BcIp == TargetIp)
+      ++Idx;
     return Idx;
   };
   auto ipFlag = [&](const SideTableEntry &E, uint32_t BrOpIp) {
@@ -428,7 +456,7 @@ std::unique_ptr<ThreadedCode> wisp::predecodeFunction(const Module &M,
       for (uint32_t K = 0; K <= PB.NumCases; ++K) {
         const SideTableEntry &E = ST[PB.EntryIdx + K];
         BrCase C;
-        C.TargetUnit = unitFor(E.TargetIp);
+        C.TargetUnit = unitFor(E.TargetIp, E.TargetIp <= PB.BrOpIp);
         C.DstBase = NumLocals + E.TargetHeight;
         C.ValCount = E.ValCount;
         C.IpFlag = ipFlag(E, PB.BrOpIp);
@@ -436,7 +464,7 @@ std::unique_ptr<ThreadedCode> wisp::predecodeFunction(const Module &M,
       }
     } else {
       const SideTableEntry &E = ST[PB.EntryIdx];
-      U.A = unitFor(E.TargetIp);
+      U.A = unitFor(E.TargetIp, E.TargetIp <= PB.BrOpIp);
       U.Aux = NumLocals + E.TargetHeight;
       assert(E.ValCount <= 0xffff && "merge arity exceeds IR field");
       U.ValCount = uint16_t(E.ValCount);

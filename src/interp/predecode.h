@@ -57,7 +57,8 @@ namespace wisp {
   X(Const)                                                                     \
   X(MemoryCopy)                                                                \
   X(MemoryFill)                                                                \
-  X(SetGet)
+  X(SetGet)                                                                    \
+  X(FuelGate)
 
 enum class TOp : uint16_t {
 #define WISP_TOP_ENUM(Name) Name,
@@ -143,10 +144,16 @@ public:
 /// mid-pair still fires exactly as on the switch interpreter. Fusion is
 /// disabled entirely with \p EnableFusion false (tiered configurations:
 /// deopt may resume at any checkpoint, which must never land mid-fusion).
+/// With \p EmitFuelGates a TOp::FuelGate unit is inserted at every loop
+/// header ip (governed engines): the gate performs the loop-entry fuel
+/// charge on fallthrough, while taken backedges charge inside the branch
+/// handler (before the tier-up hook) and resolve past the gate, so no
+/// arrival is ever charged twice.
 std::unique_ptr<ThreadedCode> predecodeFunction(const Module &M,
                                                 const FuncDecl &D,
                                                 const FuncInstance *FI,
-                                                bool EnableFusion);
+                                                bool EnableFusion,
+                                                bool EmitFuelGates = false);
 
 } // namespace wisp
 

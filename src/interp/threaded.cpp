@@ -76,6 +76,14 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
     uint32_t Idx = TC->unitIndexAt(F->Ip);
     if (WISP_UNLIKELY(Idx == ThreadedCode::NoUnit))
       return false;
+    // A frame resuming EXACTLY at a loop-header fuel gate already paid the
+    // charge for this arrival (a deopting JIT frame charged at the header
+    // FuelCheck; a probe pause charged at the gate before firing): skip
+    // it. Resumes that reach the gate non-exactly (through the elided loop
+    // opcode's ip) keep it — that arrival has not been charged yet.
+    if (WISP_UNLIKELY(TOp(TC->Units[Idx].Op) == TOp::FuelGate &&
+                      TC->Units[Idx].BcIp == F->Ip))
+      ++Idx;
     Units = TC->Units.data();
     Cases = TC->Cases.data();
     U = Units + Idx;
@@ -90,7 +98,8 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
 
   // Takes a pre-resolved branch. Returns 0 to continue at the (updated)
   // unit, 1 when the frame tiered up (yield to the dispatcher), 2 when a
-  // rejected tier-up left a frame this tier cannot resume.
+  // rejected tier-up left a frame this tier cannot resume, 3 when a
+  // governance check trapped at the branch target.
   auto takeBr = [&](uint32_t TargetUnit, uint32_t DstBase, uint32_t VC,
                     uint64_t IpFlag) -> int {
     uint32_t SrcBase = SpAbs - VC;
@@ -102,6 +111,21 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
     }
     SpAbs = Dst + VC;
     U = Units + TargetUnit;
+    // Governance charge: one fuel unit per taken backedge, BEFORE the
+    // tier-up hook (mirrors the switch interpreter's takeBranch) — an OSR
+    // entry placed after the compiled header check must not double-charge
+    // the transition iteration. Backward targets resolve past the header's
+    // fuel gate, so this is the only charge for the arrival.
+    if (WISP_UNLIKELY((IpFlag >> 32) != 0 && T.Governed)) {
+      TrapReason R = T.governCheck();
+      if (WISP_UNLIKELY(R != TrapReason::None)) {
+        F->Ip = uint32_t(IpFlag);
+        F->Stp = U->Stp;
+        F->Sp = SpAbs;
+        T.setTrap(R, uint32_t(IpFlag));
+        return 3; // Trapped.
+      }
+    }
     if (WISP_UNLIKELY((IpFlag >> 32) != 0) && T.TierUpThreshold) {
       if (++Func->HotCount == T.TierUpThreshold && T.Hooks) {
         F->Ip = uint32_t(IpFlag);
@@ -230,6 +254,8 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
     if (WISP_UNLIKELY(BrSig)) {                                                \
       if (BrSig == 1)                                                          \
         return RunSignal::SwitchTier;                                          \
+      if (BrSig == 3)                                                          \
+        return RunSignal::Trapped;                                             \
       return runInterpreter(T, EntryDepth);                                    \
     }                                                                          \
   }                                                                            \
@@ -256,10 +282,14 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
   static_assert(sizeof(HandlerTable) / sizeof(void *) == size_t(TOp::Count),
                 "handler table out of sync with TOp");
 
+  // A FuelGate shares its BcIp with the real header unit that follows it;
+  // the probe must fire once, on the real unit, or a probed loop header
+  // would pause twice per arrival.
 #define DISPATCH()                                                             \
   do {                                                                         \
     ++T.ThreadedSteps;                                                         \
-    if (WISP_UNLIKELY(HasProbes) && Func->probedAt(U->BcIp)) {                 \
+    if (WISP_UNLIKELY(HasProbes) && TOp(U->Op) != TOp::FuelGate &&             \
+        Func->probedAt(U->BcIp)) {                                             \
       if (!probePause())                                                       \
         return runInterpreter(T, EntryDepth);                                  \
     }                                                                          \
@@ -289,7 +319,8 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
 
   for (;;) {
     ++T.ThreadedSteps;
-    if (WISP_UNLIKELY(HasProbes) && Func->probedAt(U->BcIp)) {
+    if (WISP_UNLIKELY(HasProbes) && TOp(U->Op) != TOp::FuelGate &&
+        Func->probedAt(U->BcIp)) {
       if (!probePause())
         return runInterpreter(T, EntryDepth);
     }
@@ -354,7 +385,11 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
         uint32_t NArgs = uint32_t(Callee->Type->Params.size());
         uint32_t ArgBase = SpAbs - NArgs;
         // Write the resume point (the next unit) back before transferring.
-        F->Ip = U[1].BcIp;
+        // When the next unit is a loop-header fuel gate, resume at the
+        // elided loop opcode's ip instead of the gate's header ip: the
+        // return has not charged this loop entry yet, and an exact-match
+        // resume would skip the gate (see restore()).
+        F->Ip = TOp(U[1].Op) == TOp::FuelGate ? U[1].A : U[1].BcIp;
         F->Stp = U[1].Stp;
         F->Sp = SpAbs;
         if (Callee->Host) {
@@ -395,7 +430,7 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
           TRAP(TrapReason::IndirectCallTypeMismatch);
         uint32_t NArgs = uint32_t(Callee->Type->Params.size());
         uint32_t ArgBase = SpAbs - NArgs;
-        F->Ip = U[1].BcIp;
+        F->Ip = TOp(U[1].Op) == TOp::FuelGate ? U[1].A : U[1].BcIp;
         F->Stp = U[1].Stp;
         F->Sp = ArgBase; // Args are consumed by the callee.
         if (Callee->Host) {
@@ -512,6 +547,18 @@ RunSignal wisp::runThreadedInterpreter(Thread &T, size_t EntryDepth) {
         if (Tg)
           Tg[SpAbs] = Tg[LocalBase + U->Aux];
         ++SpAbs;
+      }
+      NEXT_SEQ();
+
+      OP(FuelGate) {
+        // Loop-entry fallthrough charge (taken backedges charge in takeBr
+        // and resolve past this unit). Trap ip is the header ip — the same
+        // coordinate every other tier reports for fuel exhaustion here.
+        if (WISP_UNLIKELY(T.Governed)) {
+          TrapReason R = T.governCheck();
+          if (WISP_UNLIKELY(R != TrapReason::None))
+            TRAP(R);
+        }
       }
       NEXT_SEQ();
 

@@ -879,6 +879,23 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
       }
       break;
 
+    case MOp::FuelCheck:
+      // Governance charge at a loop-header arrival (fallthrough, backedge
+      // and OSR-skipped entry all agree with the interpreter tiers by
+      // construction; see DESIGN.md). Traps at the bytecode header ip
+      // carried in Imm rather than through the line table, so the trap pc
+      // is identical across tiers for the same fuel budget.
+      if (WISP_UNLIKELY(T.Governed)) {
+        TrapReason R = T.governCheck();
+        if (WISP_UNLIKELY(R != TrapReason::None)) {
+          writeback();
+          T.JitCycles += Cyc;
+          T.setTrap(R, uint32_t(I.Imm));
+          return RunSignal::Trapped;
+        }
+      }
+      break;
+
     case MOp::NumOps:
       assert(false && "invalid machine opcode");
       TRAP(TrapReason::Unreachable);

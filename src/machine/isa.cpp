@@ -62,6 +62,7 @@ const char *wisp::mopName(MOp Op) {
     CASE(CallDirect) CASE(CallIndirect) CASE(Ret) CASE(TrapOp)
     CASE(ProbeFire) CASE(ProbeTosG) CASE(ProbeTosF) CASE(CntInc)
     CASE(DeoptCheck)
+    CASE(FuelCheck)
     CASE(NumOps)
   }
 #undef CASE

@@ -222,6 +222,7 @@ enum class MOp : uint16_t {
   ProbeTosF, ///< optimized probe: pass F[A] (type D) at offset Imm
   CntInc,    ///< ++*(uint64_t*)Imm  (intrinsified counter probe)
   DeoptCheck,///< if func->DeoptRequested: tier down to Ip=Imm, Stp=Imm2
+  FuelCheck, ///< governance charge at loop header; traps at bytecode Imm
   NumOps
 };
 

@@ -81,6 +81,9 @@ public:
 
   void run();
 
+  /// Governance checks at loop headers (same placement as the SPC).
+  bool EmitFuelChecks = false;
+
 private:
   // --- IR building ---
   int newVreg(ValType Ty) {
@@ -507,6 +510,15 @@ void OptCompiler::buildOp(Opcode Op) {
       C.HeadLabel = newLabel();
       C.LoopStartPos = int(Insts.size());
       placeLabel(C.HeadLabel);
+      if (EmitFuelChecks) {
+        // Loop-header fuel charge; SideEffect pins it against DCE, and
+        // nothing hoists (LoopRanges only extend live intervals).
+        IRInst FC;
+        FC.Op = MOp::FuelCheck;
+        FC.Imm = int64_t(R.pc());
+        FC.SideEffect = true;
+        Insts.push_back(FC);
+      }
     } else {
       for (ValType T : C.Results)
         C.MergeVregs.push_back(newVreg(T));
@@ -1419,6 +1431,9 @@ void OptCompiler::emitMachine() {
     case MOp::TrapOp:
       A.emit(MOp::TrapOp, 0, 0, 0, 0, I.Imm);
       break;
+    case MOp::FuelCheck:
+      A.emit(MOp::FuelCheck, 0, 0, 0, 0, I.Imm);
+      break;
     case MOp::StSlot:
     case MOp::StSlotF: {
       Reg R = srcReg(I.A, Sc1, ScF1);
@@ -1543,11 +1558,12 @@ void OptCompiler::run() {
 
 std::unique_ptr<MCode> wisp::compileOptimizing(const Module &M,
                                                const FuncDecl &F,
-                                               const CompilerOptions & /*Opts*/,
+                                               const CompilerOptions &Opts,
                                                const ProbeSiteOracle *) {
   auto Code = std::make_unique<MCode>();
   auto Start = std::chrono::steady_clock::now();
   OptCompiler C(M, F, *Code);
+  C.EmitFuelChecks = Opts.EmitFuelChecks;
   C.run();
   auto End = std::chrono::steady_clock::now();
   Code->Stats.TimeNs = uint64_t(

@@ -9,7 +9,10 @@
 #include "support/format.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define WISP_MEM_MMAP 1
@@ -35,7 +38,25 @@ using namespace wisp;
 
 namespace {
 
+/// Fault-injection countdown: negative = disarmed; otherwise the request
+/// after this many successes fails with ENOMEM. Atomic because the serve
+/// fault injector arms it from the control thread while workers allocate.
+std::atomic<int64_t> MemFaultCountdown{-1};
+
+bool injectMapFault() {
+  int64_t C = MemFaultCountdown.load(std::memory_order_relaxed);
+  if (C < 0)
+    return false;
+  if (MemFaultCountdown.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    errno = ENOMEM;
+    return true;
+  }
+  return false;
+}
+
 uint8_t *mapZeroPages(size_t N) {
+  if (injectMapFault())
+    return nullptr;
 #if WISP_MEM_MMAP
   void *P = mmap(nullptr, N, PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -46,6 +67,10 @@ uint8_t *mapZeroPages(size_t N) {
 }
 
 } // namespace
+
+void wisp::setMemoryFaultCountdown(int64_t N) {
+  MemFaultCountdown.store(N, std::memory_order_relaxed);
+}
 
 void LinearMemory::release() {
   if (!Buf)
@@ -59,7 +84,7 @@ void LinearMemory::release() {
   Cap = 0;
 }
 
-void LinearMemory::init(const Limits &L) {
+bool LinearMemory::init(const Limits &L) {
   Lim = L;
   size_t N = size_t(L.Min) * WasmPageSize;
   release(); // Re-init of a used memory (rare): start from fresh zeros.
@@ -69,6 +94,10 @@ void LinearMemory::init(const Limits &L) {
   }
   Size = Cap;
   DirtyHi = 0;
+  // A failed mapping leaves a valid empty memory (Buf null, Size 0); the
+  // caller must turn this into a link error, not proceed — a module that
+  // declared a non-empty minimum would otherwise see every access trap.
+  return N == 0 || Buf != nullptr;
 }
 
 bool LinearMemory::extendZeroed(size_t NewBytes) {
@@ -77,6 +106,8 @@ bool LinearMemory::extendZeroed(size_t NewBytes) {
       memset(Buf + Size, 0, NewBytes - Size);
   } else {
 #if WISP_MEM_MREMAP
+    if (Buf && injectMapFault()) // mapZeroPages injects for the null case.
+      return false;
     void *NB = Buf ? mremap(Buf, Cap, NewBytes, MREMAP_MAYMOVE)
                    : mapZeroPages(NewBytes);
     if (!NB || NB == MAP_FAILED)
@@ -208,7 +239,13 @@ std::unique_ptr<Instance> wisp::instantiate(const Module &M,
 
   // Memory.
   if (!M.Memories.empty()) {
-    Inst->Memory.init(M.Memories[0].Lim);
+    if (!Inst->Memory.init(M.Memories[0].Lim)) {
+      if (Err)
+        Err->Message = strFormat(
+            "linear memory allocation of %u pages failed: %s",
+            M.Memories[0].Lim.Min, strerror(errno));
+      return nullptr;
+    }
     Inst->HasMemory = true;
   }
 
@@ -341,7 +378,13 @@ std::unique_ptr<Instance> wisp::instantiateFromImage(const Module &M,
   Inst->Globals = Img.GlobalImage;
 
   if (Img.HasMemory) {
-    Inst->Memory.initFromImage(Img.MemLimits, Img.MemRuns);
+    if (!Inst->Memory.initFromImage(Img.MemLimits, Img.MemRuns)) {
+      if (Err)
+        Err->Message = strFormat(
+            "linear memory allocation of %u pages failed: %s",
+            Img.MemLimits.Min, strerror(errno));
+      return nullptr;
+    }
     Inst->HasMemory = true;
   }
 
@@ -354,7 +397,7 @@ std::unique_ptr<Instance> wisp::instantiateFromImage(const Module &M,
   return Inst;
 }
 
-void LinearMemory::reimage(const Limits &L, const std::vector<MemRun> &Runs) {
+bool LinearMemory::reimage(const Limits &L, const std::vector<MemRun> &Runs) {
   Lim = L;
   size_t Want = size_t(L.Min) * WasmPageSize;
   if (Size > Want) {
@@ -364,9 +407,12 @@ void LinearMemory::reimage(const Limits &L, const std::vector<MemRun> &Runs) {
     Size = Want;
   } else if (Size < Want) {
     DirtyHi = Size; // Conservative: whole old extent may be dirty.
-    bool Ok = extendZeroed(Want);
-    assert(Ok && "out of memory re-extending a pooled memory");
-    (void)Ok;
+    // Re-extension can genuinely fail (a pooled memory only retains the
+    // capacity it last had; the image minimum may be larger after a
+    // shrink, and the OS may refuse the growth). Report it — the pooled
+    // instance is unusable and must be destroyed, not handed out.
+    if (!extendZeroed(Want))
+      return false;
   }
   uint64_t Dirty = std::min<uint64_t>(DirtyHi, Want);
   // Repair page by page within the dirty prefix: compare against the
@@ -405,6 +451,7 @@ void LinearMemory::reimage(const Limits &L, const std::vector<MemRun> &Runs) {
       memcpy(Dst, Scratch.data(), N);
   }
   DirtyHi = 0;
+  return true;
 }
 
 std::unique_ptr<Instance> wisp::reimageInstance(std::unique_ptr<Instance> Inst,
@@ -431,7 +478,13 @@ std::unique_ptr<Instance> wisp::reimageInstance(std::unique_ptr<Instance> Inst,
   }
 
   if (Img.HasMemory) {
-    Inst->Memory.reimage(Img.MemLimits, Img.MemRuns);
+    if (!Inst->Memory.reimage(Img.MemLimits, Img.MemRuns)) {
+      if (Err)
+        Err->Message = strFormat(
+            "re-extending pooled memory to %u pages failed: %s",
+            Img.MemLimits.Min, strerror(errno));
+      return nullptr; // Consumes (destroys) the half-repaired instance.
+    }
     Inst->HasMemory = true;
   } else {
     Inst->HasMemory = false;

@@ -143,6 +143,7 @@ public:
       Cap = O.Cap;
       Lim = O.Lim;
       DirtyHi = O.DirtyHi;
+      PageLimit = O.PageLimit;
       O.Buf = nullptr;
       O.Size = O.Cap = 0;
       O.DirtyHi = 0;
@@ -150,15 +151,22 @@ public:
     return *this;
   }
 
-  /// (Re-)initializes to \p L.Min untouched zero pages.
-  void init(const Limits &L);
+  /// (Re-)initializes to \p L.Min untouched zero pages. Returns false when
+  /// the backing mapping cannot be allocated (the memory is left empty and
+  /// valid: Buf null, Size 0) — callers must surface this as a link error,
+  /// never instantiate over a zero-length memory the module declared
+  /// non-empty.
+  bool init(const Limits &L);
 
   /// Initializes to \p L.Min zeroed pages with the pre-evaluated data
   /// segments in \p Runs applied (in order; later runs overwrite).
-  void initFromImage(const Limits &L, const std::vector<MemRun> &Runs) {
-    init(L);
+  /// Returns false on allocation failure (see init()).
+  bool initFromImage(const Limits &L, const std::vector<MemRun> &Runs) {
+    if (!init(L))
+      return false;
     for (const MemRun &R : Runs)
       memcpy(Buf + R.Off, R.Bytes.data(), R.Bytes.size());
+    return true;
   }
 
   /// Restores a used memory to its initial image in place: shrinks grown
@@ -168,7 +176,9 @@ public:
   /// intersect it) and rewritten only if it actually changed. Never
   /// allocates on the steady-state path unless a dirty page intersects a
   /// run (one scratch page) or the memory somehow shrank below L.Min.
-  void reimage(const Limits &L, const std::vector<MemRun> &Runs);
+  /// Returns false when re-extending a shrunk-below-minimum memory fails
+  /// (the pooled instance must then be destroyed, not reused).
+  bool reimage(const Limits &L, const std::vector<MemRun> &Runs);
 
   uint32_t pages() const { return uint32_t(Size / WasmPageSize); }
   size_t byteSize() const { return Size; }
@@ -186,18 +196,27 @@ public:
   /// Grows by \p Delta pages; returns the old page count or -1 on failure.
   /// The cap is the declared maximum when present, else the architectural
   /// 65536-page limit; both are enforced (a declared max above the
-  /// architectural limit never admits a grow past it).
+  /// architectural limit never admits a grow past it), as is the engine's
+  /// runtime page limit when one is set (resource governance).
   int64_t grow(uint32_t Delta) {
     uint64_t Old = pages();
     uint64_t New = Old + Delta;
     uint64_t PageCap = Lim.HasMax ? Lim.Max : MaxMemoryPages;
-    if (New > PageCap || New > MaxMemoryPages)
+    if (New > PageCap || New > MaxMemoryPages || New > PageLimit)
       return -1;
     if (!extendZeroed(size_t(New) * WasmPageSize))
       return -1;
     // Appended pages are zero, which matches the initial image beyond its
     // data runs — growing does not dirty anything.
     return int64_t(Old);
+  }
+
+  /// Applies a per-job runtime page cap on top of the declared limits
+  /// (0 restores the architectural default). Enforced by grow(); the
+  /// engine rejects modules whose declared minimum already exceeds it
+  /// before instantiation, and re-applies the cap on pool reuse.
+  void setPageLimit(uint32_t Pages) {
+    PageLimit = Pages ? Pages : MaxMemoryPages;
   }
 
   /// Bounds check for an access of \p N bytes at \p Addr + \p Offset.
@@ -222,6 +241,9 @@ private:
   /// Conservative high-water mark of store end offsets since the last
   /// (re-)imaging; bytes at or beyond it are pristine.
   uint64_t DirtyHi = 0;
+  /// Engine-imposed runtime page cap (resource governance); survives
+  /// reimage so a pooled instance keeps its job's limit until reset.
+  uint32_t PageLimit = MaxMemoryPages;
 };
 
 /// A funcref table; entries are function ids (index + 1, 0 = null).
@@ -332,6 +354,14 @@ struct InstanceImage {
     return N;
   }
 };
+
+/// Test/fault-injection hook for linear-memory allocation failures:
+/// arms a countdown of successful page-mapping requests; the (N+1)th
+/// request fails as if the OS were out of memory. Pass a negative value
+/// to disarm (the default). Used by the robustness tests and the serve
+/// fault injector to drive every allocation-failure path without
+/// actually exhausting the machine.
+void setMemoryFaultCountdown(int64_t N);
 
 /// Builds the instance image of \p M: globals pre-evaluated, element
 /// segments pre-resolved into table contents, data segments pre-evaluated

@@ -18,6 +18,7 @@
 #include "runtime/trap.h"
 #include "runtime/valuestack.h"
 
+#include <atomic>
 #include <vector>
 
 namespace wisp {
@@ -64,6 +65,57 @@ public:
   TrapReason Trap = TrapReason::None;
   uint32_t TrapIp = 0;
   uint32_t MaxFrames = 4096;
+
+  // --- Execution governance (fuel, deadlines, cancellation) ---
+  //
+  // Fuel is a deterministic, tier-independent budget of *semantic events*:
+  // one unit per wasm frame push plus one unit per loop-header arrival
+  // (loop entry fallthrough and every taken backedge). Every tier charges
+  // at exactly these points, so for a fixed budget every tier exhausts at
+  // the identical bytecode PC with identical memory/global state — a
+  // property the differ verifies. The interrupt byte is the one piece of
+  // cross-thread state: a watchdog (or any canceller) stores a TrapReason
+  // into it, and the next governance check on the execution thread
+  // converts it into a trap at a deterministic check site.
+  /// Master gate: all governance checks are skipped when false, keeping
+  /// ungoverned execution at its old cost.
+  bool Governed = false;
+  /// Fuel metering armed (Fuel is live) when true.
+  bool FuelEnabled = false;
+  /// Remaining fuel units; budget N traps on the (N+1)th charge.
+  uint64_t Fuel = 0;
+  /// Pending asynchronous interruption, written cross-thread as a raw
+  /// TrapReason byte (None = no interruption pending).
+  std::atomic<uint8_t> Interrupt{0};
+
+  /// Arms/disarms governance for the next invocation.
+  void armGovernance(bool EnableFuel, uint64_t Budget) {
+    FuelEnabled = EnableFuel;
+    Fuel = Budget;
+    Governed = EnableFuel || Interrupt.load(std::memory_order_relaxed) != 0 ||
+               Interruptible;
+  }
+  /// Marked by engines whose jobs may be interrupted (deadline/cancel):
+  /// keeps Governed true even with fuel off so interrupt checks happen.
+  bool Interruptible = false;
+
+  /// One governance charge at a semantic event (frame push or loop-header
+  /// arrival). Returns the trap reason to raise, or None to continue.
+  /// Pending interrupts win over fuel so a deadline that fires in the same
+  /// window as exhaustion reports deterministically as the interrupt.
+  TrapReason governCheck() {
+    uint8_t I = Interrupt.load(std::memory_order_relaxed);
+    if (I != 0) {
+      Interrupt.store(0, std::memory_order_relaxed);
+      return TrapReason(I);
+    }
+    if (FuelEnabled) {
+      if (Fuel == 0)
+        return TrapReason::FuelExhausted;
+      --Fuel;
+    }
+    return TrapReason::None;
+  }
 
   /// Engine callbacks for probes and tiering; may be null.
   class EngineHooks *Hooks = nullptr;

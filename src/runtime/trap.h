@@ -29,6 +29,9 @@ enum class TrapReason : uint8_t {
   IndirectCallTypeMismatch,
   TableOutOfBounds,
   HostError,
+  FuelExhausted,     ///< Per-job fuel budget ran out (execution governance).
+  DeadlineExceeded,  ///< Wall-clock watchdog cancelled the job.
+  Cancelled,         ///< Explicit external cancellation.
 };
 
 /// Printable name of a trap reason.
@@ -56,6 +59,12 @@ inline const char *trapReasonName(TrapReason R) {
     return "undefined table element";
   case TrapReason::HostError:
     return "host error";
+  case TrapReason::FuelExhausted:
+    return "fuel exhausted";
+  case TrapReason::DeadlineExceeded:
+    return "deadline exceeded";
+  case TrapReason::Cancelled:
+    return "cancelled";
   }
   return "<bad trap>";
 }

@@ -1,0 +1,107 @@
+//===- runtime/watchdog.h - wall-clock deadline watchdog --------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-engine wall-clock watchdog. One background thread sleeps on a
+/// condition variable; arm() gives it a target Thread and a deadline, and
+/// if the deadline passes while still armed it stores DeadlineExceeded
+/// into the target's interrupt byte — the only cross-thread write in the
+/// whole governance design. The execution thread converts the interrupt
+/// into a trap at its next governance check (frame push or loop-header
+/// arrival), so a runaway job is stopped within one check interval of the
+/// deadline.
+///
+/// Late fires are benign by construction: disarm() (or a re-arm) bumps the
+/// generation so a woken watchdog discards its stale deadline, and the
+/// engine clears the interrupt byte when arming the next invocation, so a
+/// fire that slips in after a job completes can never kill the job after
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_RUNTIME_WATCHDOG_H
+#define WISP_RUNTIME_WATCHDOG_H
+
+#include "runtime/thread.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace wisp {
+
+class Watchdog {
+public:
+  Watchdog() : Worker([this] { run(); }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Quit = true;
+    }
+    CV.notify_all();
+    Worker.join();
+  }
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+  /// Arms the watchdog: \p T's interrupt byte is set once \p Ms
+  /// milliseconds elapse, unless disarm() (or another arm()) intervenes.
+  void arm(Thread &T, uint32_t Ms) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Target = &T;
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Ms);
+      ++Gen;
+    }
+    CV.notify_all();
+  }
+
+  /// Disarms; a concurrently-firing deadline may still have stored the
+  /// interrupt (the caller clears the byte before its next job).
+  void disarm() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Target = nullptr;
+      ++Gen;
+    }
+    CV.notify_all();
+  }
+
+private:
+  void run() {
+    std::unique_lock<std::mutex> L(Mu);
+    for (;;) {
+      CV.wait(L, [&] { return Quit || Target != nullptr; });
+      if (Quit)
+        return;
+      uint64_t G = Gen;
+      if (CV.wait_until(L, Deadline, [&] { return Quit || Gen != G; })) {
+        if (Quit)
+          return;
+        continue; // Re-armed or disarmed; pick up the new state.
+      }
+      // Deadline passed while this arming is still current.
+      if (Target)
+        Target->Interrupt.store(uint8_t(TrapReason::DeadlineExceeded),
+                                std::memory_order_relaxed);
+      Target = nullptr;
+    }
+  }
+
+  std::mutex Mu;
+  std::condition_variable CV;
+  Thread *Target = nullptr;
+  std::chrono::steady_clock::time_point Deadline;
+  uint64_t Gen = 0;
+  bool Quit = false;
+  std::thread Worker;
+};
+
+} // namespace wisp
+
+#endif // WISP_RUNTIME_WATCHDOG_H

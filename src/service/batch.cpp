@@ -104,6 +104,9 @@ BatchJobResult runOneJob(const BatchJob &Job, CompileCache *Cache,
   // Likewise for the instance pool: only the per-worker pool, never an
   // engine-private one (which could not outlive this job anyway).
   Cfg.PoolInstances = Pool != nullptr;
+  // Per-job governance from the manifest's fuel= / deadline-ms= keys.
+  Cfg.FuelBudget = Job.Fuel;
+  Cfg.DeadlineMs = Job.DeadlineMs;
   Engine E(Cfg, Cache, Pool);
   installGcHostFuncs(E);
   WasmError Err;
@@ -329,6 +332,32 @@ bool parseBatchManifest(const std::string &Text,
         Job.Scale = int(S);
       } else if (T == "m0") {
         Job.UseM0 = true;
+      } else if (const char *V = Val("id=")) {
+        if (!*V) {
+          *Err = strFormat("manifest line %u: empty id=", LineNo);
+          return false;
+        }
+        Job.Id = V;
+      } else if (const char *V = Val("fuel=")) {
+        char *End = nullptr;
+        unsigned long long F = strtoull(V, &End, 10);
+        if (End == V || *End || F == 0) {
+          *Err = strFormat("manifest line %u: bad fuel '%s' (want a "
+                           "positive budget)",
+                           LineNo, V);
+          return false;
+        }
+        Job.Fuel = F;
+      } else if (const char *V = Val("deadline-ms=")) {
+        char *End = nullptr;
+        long D = strtol(V, &End, 10);
+        if (End == V || *End || D < 1 || D > 3600000) {
+          *Err = strFormat("manifest line %u: bad deadline-ms '%s' (want "
+                           "1..3600000)",
+                           LineNo, V);
+          return false;
+        }
+        Job.DeadlineMs = uint32_t(D);
       } else if (const char *V = Val("args=")) {
         // Comma-separated values, parsed against the export signature at
         // run time (the signature is unknown until the module loads).
@@ -355,7 +384,8 @@ bool parseBatchManifest(const std::string &Text,
         }
       } else {
         *Err = strFormat("manifest line %u: unknown key '%s' (want tier= "
-                         "config= invoke= scale= m0 args=)",
+                         "config= invoke= scale= m0 args= id= fuel= "
+                         "deadline-ms=)",
                          LineNo, T.c_str());
         return false;
       }
@@ -384,6 +414,8 @@ bool parseBatchManifest(const std::string &Text,
     } else {
       Job.Config = "wizard-spc";
     }
+    if (Job.Id.empty())
+      Job.Id = std::to_string(Job.Index);
     Out->push_back(std::move(Job));
   }
   if (Out->empty()) {

@@ -43,6 +43,13 @@ struct BatchJob {
   bool UseM0 = false;
   std::vector<std::string> RawArgs; ///< Parsed against the export signature.
   std::vector<uint8_t> Bytes;       ///< Resolved module bytes.
+  /// Client-chosen job id echoed on serve-mode report lines (id= key;
+  /// defaults to the manifest index rendered in decimal).
+  std::string Id;
+  /// Per-job governance (fuel= / deadline-ms= keys): 0 means unmetered /
+  /// no deadline. Enforced identically by the batch runner and serve mode.
+  uint64_t Fuel = 0;
+  uint32_t DeadlineMs = 0;
 };
 
 /// Deterministic observation of one executed job. Deliberately carries no
@@ -104,7 +111,7 @@ struct BatchOptions {
 
 /// Parses manifest text: one job per non-empty, non-comment line,
 ///   <module> [tier=T|config=NAME] [invoke=NAME] [scale=N] [m0]
-///            [args=v1,v2,...]
+///            [args=v1,v2,...] [id=NAME] [fuel=N] [deadline-ms=N]
 /// Returns false and a line-numbered diagnostic in \p Err on malformed
 /// input (unknown key, tier+config conflict, bad scale, unknown
 /// tier/config). Module bytes are *not* resolved here.

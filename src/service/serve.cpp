@@ -1,0 +1,464 @@
+//===- service/serve.cpp - persistent service mode --------------------------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/serve.h"
+
+#include "engine/registry.h"
+#include "support/clock.h"
+#include "support/format.h"
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace wisp {
+
+namespace {
+
+/// One admitted job flowing reader -> queue -> worker.
+struct ServeJob {
+  BatchJob Job;
+  uint64_t Seq = 0;      ///< Acceptance order; indexes ServeStats latencies.
+  double EnqueueMs = 0;  ///< Admission timestamp; latency is done - this.
+};
+
+/// The admission queue. Unlike the batch runner's queue, the submission
+/// side never blocks: tryPush() fails on a full queue and the reader sheds
+/// the job with a reject line. Workers block on pop() until close().
+class ServeQueue {
+public:
+  explicit ServeQueue(size_t Cap) : Cap(Cap ? Cap : 1) {}
+
+  bool tryPush(ServeJob J) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (Closed || Q.size() >= Cap)
+        return false;
+      Q.push_back(std::move(J));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> L(Mu);
+    Closed = true;
+    NotEmpty.notify_all();
+  }
+
+  bool pop(ServeJob *Out) {
+    std::unique_lock<std::mutex> L(Mu);
+    NotEmpty.wait(L, [&] { return !Q.empty() || Closed; });
+    if (Q.empty())
+      return false;
+    *Out = std::move(Q.front());
+    Q.pop_front();
+    return true;
+  }
+
+private:
+  std::mutex Mu;
+  std::condition_variable NotEmpty;
+  std::deque<ServeJob> Q;
+  size_t Cap;
+  bool Closed = false;
+};
+
+/// Resolved-module cache shared by the workers: suite generation
+/// materializes a whole suite per call, so each distinct
+/// (module, scale, m0) spec resolves once per session and every repeat is
+/// a map lookup. Bytes are handed out through shared ownership — an entry
+/// may be evicted-by-nothing (the cache only grows; specs are few) while
+/// a worker still loads from it.
+class ModuleCache {
+public:
+  bool resolve(const BatchJob &Job, std::shared_ptr<std::vector<uint8_t>> *Out,
+               std::string *Err) {
+    std::string Key =
+        strFormat("%s\x1f%d\x1f%d", Job.Module.c_str(), Job.Scale,
+                  int(Job.UseM0));
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      *Out = It->second;
+      return true;
+    }
+    auto Bytes = std::make_shared<std::vector<uint8_t>>();
+    if (!resolveModuleSpec(Job.Module, Job.Scale, Job.UseM0, Bytes.get(),
+                           Err))
+      return false;
+    Map.emplace(std::move(Key), Bytes);
+    *Out = std::move(Bytes);
+    return true;
+  }
+
+private:
+  std::mutex Mu;
+  std::map<std::string, std::shared_ptr<std::vector<uint8_t>>> Map;
+};
+
+/// Deterministic per-worker fault plan for one job.
+struct FaultPlan {
+  uint64_t TinyFuel = 0;   ///< Non-zero: override the job's fuel budget.
+  int64_t MemFault = -1;   ///< >= 0: arm the allocation-failure countdown.
+  int CancelAfterUs = -1;  ///< >= 0: concurrent cancel() after this delay.
+  bool any() const {
+    return TinyFuel || MemFault >= 0 || CancelAfterUs >= 0;
+  }
+};
+
+/// Everything one worker keeps warm across its jobs.
+struct ServeWorker {
+  /// Warm engines, one per configuration this worker has served. Each is
+  /// constructed governed (Interruptible set) so fuel/deadline check
+  /// sites are compiled into every artifact it ever produces; per-job
+  /// budgets then only flip Engine::setGovernance.
+  std::map<std::string, std::unique_ptr<Engine>> Engines;
+  InstancePool Pool;
+  uint64_t Lcg = 0; ///< Fault-injection stream; 0 = injection off.
+};
+
+uint64_t lcgNext(uint64_t &X) {
+  X = X * 6364136223846793005ULL + 1442695040888963407ULL;
+  return X >> 16;
+}
+
+FaultPlan planFaults(ServeWorker &W) {
+  FaultPlan P;
+  if (!W.Lcg)
+    return P;
+  uint64_t R = lcgNext(W.Lcg);
+  switch (R % 8) {
+  case 0: // Tiny fuel budget: the job almost certainly exhausts.
+    P.TinyFuel = 1 + (lcgNext(W.Lcg) % 16);
+    break;
+  case 1: // Allocation failure soon: load or grow must fail cleanly.
+    P.MemFault = int64_t(lcgNext(W.Lcg) % 4);
+    break;
+  case 2: // Concurrent cancellation racing the invoke.
+    P.CancelAfterUs = int(lcgNext(W.Lcg) % 2500);
+    break;
+  default:
+    break;
+  }
+  return P;
+}
+
+/// The serve analogue of the batch runner's runOneJob, against warm
+/// state: same load/lookup/parse/invoke/recycle sequence, but the engine,
+/// compile cache and instance pool outlive the job. Returns the body of
+/// the done line (everything after "done <id> ").
+std::string runServeJob(ServeWorker &W, const ServeOptions &Opts,
+                        CompileCache &Cache, ModuleCache &Modules,
+                        const BatchJob &Job, bool *Trapped, bool *Errored,
+                        uint64_t *Faults) {
+  std::string Err;
+  std::shared_ptr<std::vector<uint8_t>> Bytes;
+  if (!Modules.resolve(Job, &Bytes, &Err)) {
+    *Errored = true;
+    return strFormat("error: %s", Err.c_str());
+  }
+
+  std::unique_ptr<Engine> &Slot = W.Engines[Job.Config];
+  if (!Slot) {
+    EngineConfig Cfg = configByName(Job.Config);
+    Cfg.UseCompileCache = true;
+    Cfg.PoolInstances = true;
+    // Governed from birth: check-site emission is a construction-time
+    // decision (see Engine::setGovernance), and a serve engine must be
+    // able to meter any later job.
+    Cfg.Interruptible = true;
+    Cfg.MaxCallDepth = Opts.MaxCallDepth;
+    Cfg.MaxMemoryPages = Opts.MaxMemoryPages;
+    Cfg.MaxTableElems = Opts.MaxTableElems;
+    Slot = std::make_unique<Engine>(Cfg, &Cache, &W.Pool);
+    installGcHostFuncs(*Slot);
+  }
+  Engine &E = *Slot;
+
+  uint64_t Fuel = Job.Fuel ? Job.Fuel : Opts.DefaultFuel;
+  uint32_t DeadlineMs = Job.DeadlineMs ? Job.DeadlineMs
+                                       : Opts.DefaultDeadlineMs;
+  FaultPlan Plan = planFaults(W);
+  if (Plan.any())
+    ++*Faults;
+  if (Plan.TinyFuel)
+    Fuel = Plan.TinyFuel;
+  E.setGovernance(Fuel, DeadlineMs);
+  // The countdown is process-global, so an armed fault may land on a
+  // neighbouring worker's allocation instead of this job's — fine for a
+  // stress harness: whoever draws it must fail cleanly and still report.
+  if (Plan.MemFault >= 0)
+    setMemoryFaultCountdown(Plan.MemFault);
+
+  std::string Body;
+  WasmError LoadErr;
+  std::unique_ptr<LoadedModule> LM = E.load(*Bytes, &LoadErr);
+  if (!LM) {
+    *Errored = true;
+    Body = strFormat("error: load failed: %s", LoadErr.Message.c_str());
+  } else if (FuncInstance *F = LM->Inst->findExportedFunc(Job.Invoke)) {
+    const std::vector<ValType> &Params = F->Type->Params;
+    if (Job.RawArgs.size() != Params.size()) {
+      *Errored = true;
+      Body = strFormat("error: '%s' takes %zu argument(s), got %zu",
+                       Job.Invoke.c_str(), Params.size(), Job.RawArgs.size());
+    } else {
+      std::vector<Value> Args;
+      bool ArgsOk = true;
+      for (size_t I = 0; I < Params.size() && ArgsOk; ++I) {
+        Value V;
+        if (parseValueText(Job.RawArgs[I], Params[I], &V)) {
+          Args.push_back(V);
+        } else {
+          *Errored = true;
+          ArgsOk = false;
+          Body = strFormat("error: cannot parse argument %zu '%s' as %s",
+                           I + 1, Job.RawArgs[I].c_str(),
+                           valTypeName(Params[I]));
+        }
+      }
+      if (ArgsOk) {
+        // The cancellation fault races a real cancel() against the
+        // invoke, exactly like an operator killing a stuck job; joined
+        // before the result line so reporting stays exactly-once.
+        std::thread Canceller;
+        if (Plan.CancelAfterUs >= 0)
+          Canceller = std::thread([&E, Us = Plan.CancelAfterUs] {
+            std::this_thread::sleep_for(std::chrono::microseconds(Us));
+            E.cancel();
+          });
+        std::vector<Value> Results;
+        TrapReason Trap = E.invoke(*LM, Job.Invoke, Args, &Results);
+        if (Canceller.joinable())
+          Canceller.join();
+        if (Trap != TrapReason::None) {
+          *Trapped = true;
+          Body = strFormat("trap: %s", trapReasonName(Trap));
+        } else {
+          Body = "= ";
+          if (Results.empty())
+            Body += "<void>";
+          for (size_t V = 0; V < Results.size(); ++V) {
+            if (V)
+              Body += ", ";
+            Body += valueText(Results[V]);
+          }
+        }
+      }
+    }
+  } else {
+    *Errored = true;
+    Body = strFormat("error: no exported function '%s'", Job.Invoke.c_str());
+  }
+  if (Plan.MemFault >= 0)
+    setMemoryFaultCountdown(-1); // Bound the blast radius to ~this job.
+  if (LM)
+    E.recycle(std::move(LM));
+  return Body;
+}
+
+/// SIGTERM/SIGINT flag for CLI serve mode. The handlers are installed
+/// WITHOUT SA_RESTART so a blocking stdin read returns EINTR and the
+/// reader notices the flag instead of waiting for the next job line.
+volatile sig_atomic_t GServeStop = 0;
+
+void serveStopHandler(int) { GServeStop = 1; }
+
+/// True if the job line spells an explicit id= key (as opposed to the
+/// parser's per-line default of "0", which serve replaces with the
+/// session-wide acceptance sequence).
+bool lineHasExplicitId(const std::string &Line) {
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && isspace(uint8_t(Line[I])))
+      ++I;
+    size_t Start = I;
+    while (I < Line.size() && !isspace(uint8_t(Line[I])))
+      ++I;
+    if (I - Start > 3 && Line.compare(Start, 3, "id=") == 0)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+ServeStats runServe(FILE *In, FILE *Out, const ServeOptions &Opts) {
+  ServeStats Stats;
+  unsigned Workers = Opts.Workers ? Opts.Workers : 1;
+  size_t QueueCap = Opts.QueueCap ? Opts.QueueCap : size_t(Workers) * 4;
+  double T0 = nowMs();
+
+  struct sigaction OldTerm, OldInt;
+  if (Opts.InstallSignalHandlers) {
+    GServeStop = 0;
+    struct sigaction SA;
+    memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = serveStopHandler;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = 0; // Deliberately no SA_RESTART: interrupt the read.
+    sigaction(SIGTERM, &SA, &OldTerm);
+    sigaction(SIGINT, &SA, &OldInt);
+  }
+
+  ServeQueue Queue(QueueCap);
+  CompileCache Cache(CompileCache::configuredCapacityBytes());
+  ModuleCache Modules;
+  std::mutex OutMu; // Guards Out, Stats counters and the latency vector.
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (unsigned WI = 0; WI < Workers; ++WI) {
+    Pool.emplace_back([&, WI] {
+      ServeWorker W;
+      if (Opts.FaultSeed)
+        W.Lcg = Opts.FaultSeed ^ (0x9e3779b97f4a7c15ULL * (WI + 1));
+      ServeJob SJ;
+      while (Queue.pop(&SJ)) {
+        double Pickup = nowMs();
+        bool Trapped = false, Errored = false;
+        uint64_t Faults = 0;
+        std::string Body = runServeJob(W, Opts, Cache, Modules, SJ.Job,
+                                       &Trapped, &Errored, &Faults);
+        double Done = nowMs();
+        double Latency = Done - SJ.EnqueueMs;
+        std::lock_guard<std::mutex> L(OutMu);
+        fprintf(Out, "done %s %s ms=%.3f\n", SJ.Job.Id.c_str(), Body.c_str(),
+                Latency);
+        fflush(Out);
+        if (Trapped)
+          ++Stats.Trapped;
+        else if (Errored)
+          ++Stats.Errors;
+        else
+          ++Stats.Done;
+        Stats.Faults += Faults;
+        Stats.LatenciesMs[SJ.Seq] = Latency;
+        Stats.ServiceMs[SJ.Seq] = Done - Pickup;
+      }
+    });
+  }
+
+  fprintf(Out, "# serve: ready, %u worker(s), queue cap %zu\n", Workers,
+          QueueCap);
+  fflush(Out);
+
+  std::string Line;
+  Line.reserve(256);
+  char Buf[4096];
+  bool Draining = false;
+  while (!Draining) {
+    if (Opts.InstallSignalHandlers && GServeStop)
+      break;
+    Line.clear();
+    bool Eof = false;
+    for (;;) { // Assemble one full line (fgets may split long ones).
+      errno = 0;
+      if (!fgets(Buf, sizeof(Buf), In)) {
+        if (errno == EINTR && !(Opts.InstallSignalHandlers && GServeStop)) {
+          clearerr(In);
+          continue;
+        }
+        Eof = true;
+        break;
+      }
+      Line += Buf;
+      if (!Line.empty() && Line.back() == '\n') {
+        Line.pop_back();
+        break;
+      }
+    }
+    if (Eof)
+      break;
+
+    // Control lines first — `shutdown` must work even though it is not a
+    // resolvable module spec. Comments strip exactly like manifest lines.
+    std::string Trimmed = Line;
+    size_t Hash = Trimmed.find('#');
+    if (Hash != std::string::npos)
+      Trimmed.resize(Hash);
+    size_t NonWs = Trimmed.find_first_not_of(" \t\r");
+    Trimmed = NonWs == std::string::npos ? std::string() : Trimmed.substr(NonWs);
+    while (!Trimmed.empty() &&
+           (Trimmed.back() == ' ' || Trimmed.back() == '\t' ||
+            Trimmed.back() == '\r'))
+      Trimmed.pop_back();
+    if (Trimmed.empty())
+      continue; // Blank or comment-only line.
+    if (Trimmed == "shutdown") {
+      Draining = true;
+      break;
+    }
+
+    std::vector<BatchJob> Parsed;
+    std::string Err;
+    if (!parseBatchManifest(Line + "\n", &Parsed, &Err)) {
+      std::lock_guard<std::mutex> L(OutMu);
+      ++Stats.Rejected;
+      fprintf(Out, "reject - parse: %s\n", Err.c_str());
+      fflush(Out);
+      continue;
+    }
+    ServeJob SJ;
+    SJ.Job = std::move(Parsed[0]);
+    {
+      std::lock_guard<std::mutex> L(OutMu);
+      SJ.Seq = Stats.Accepted; // Tentative; rolled back on shed.
+      if (!lineHasExplicitId(Line))
+        SJ.Job.Id = std::to_string(SJ.Seq);
+      SJ.EnqueueMs = nowMs();
+      std::string Id = SJ.Job.Id;
+      Stats.LatenciesMs.push_back(0);
+      Stats.ServiceMs.push_back(0);
+      if (Queue.tryPush(std::move(SJ))) {
+        ++Stats.Accepted;
+      } else {
+        Stats.LatenciesMs.pop_back();
+        Stats.ServiceMs.pop_back();
+        ++Stats.Rejected;
+        fprintf(Out, "reject %s queue-full\n", Id.c_str());
+        fflush(Out);
+      }
+    }
+  }
+
+  // Drain: stop admission, let the workers finish every accepted job.
+  Queue.close();
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  if (Opts.InstallSignalHandlers) {
+    sigaction(SIGTERM, &OldTerm, nullptr);
+    sigaction(SIGINT, &OldInt, nullptr);
+  }
+
+  Stats.WallMs = nowMs() - T0;
+  double Secs = Stats.WallMs / 1e3;
+  fprintf(Out,
+          "# serve: drained, %llu accepted, %llu rejected, %llu done, "
+          "%llu trapped, %llu errors, %llu faults, %u worker(s), %.1f ms, "
+          "%.1f jobs/s\n",
+          (unsigned long long)Stats.Accepted,
+          (unsigned long long)Stats.Rejected, (unsigned long long)Stats.Done,
+          (unsigned long long)Stats.Trapped,
+          (unsigned long long)Stats.Errors, (unsigned long long)Stats.Faults,
+          Workers, Stats.WallMs,
+          Secs > 0 ? double(Stats.Accepted) / Secs : 0.0);
+  fflush(Out);
+  return Stats;
+}
+
+} // namespace wisp

@@ -400,6 +400,10 @@ private:
     if (Opts.EmitDeoptChecks)
       A.emit(MOp::DeoptCheck, 0, 0, 0, 0, int64_t(Ip), int64_t(Stp));
   }
+  void emitFuelCheck(uint32_t Ip) {
+    if (Opts.EmitFuelChecks)
+      A.emit(MOp::FuelCheck, 0, 0, 0, 0, int64_t(Ip), 0);
+  }
 
   // --- Constant folding ---
   bool tryFoldBinop(Opcode Op, uint64_t Av, uint64_t Bv, uint64_t *Out);
@@ -1169,10 +1173,17 @@ void SPC::compileOp(Opcode Op, uint32_t) {
       dropAllRegs();
       dropConsts();
       C.Head = A.newLabel();
+      A.bind(C.Head);
+      // Order matters for fuel determinism: the check sits at the head so
+      // both entry fallthrough and taken backedges charge, the OSR entry
+      // lands AFTER it (the interpreter charged that arrival at its own
+      // branch site before tiering up), and the deopt check follows so a
+      // tiered-down frame resumes at the plain header ip, which the
+      // interpreter tiers do not re-charge.
+      emitFuelCheck(uint32_t(R.pc()));
       if (Opts.EmitOsrEntries)
         Code.OsrEntries.push_back(
             MCode::OsrEntry{uint32_t(R.pc()), Stp, A.pc()});
-      A.bind(C.Head);
       emitDeoptCheck(uint32_t(R.pc()));
     }
     Ctrl.push_back(std::move(C));

@@ -63,6 +63,7 @@ struct CompilerOptions {
   bool OptimizeProbes = true;    ///< Intrinsify counter/TOS probes.
   bool EmitDeoptChecks = false;  ///< Support tier-down at checkpoints.
   bool EmitOsrEntries = false;   ///< Record OSR entries at loop headers.
+  bool EmitFuelChecks = false;   ///< Governance checks at loop headers.
   uint8_t NumGp = 11;            ///< Allocatable general registers (<= 13).
   uint8_t NumFp = 12;            ///< Allocatable float registers (<= 15).
 

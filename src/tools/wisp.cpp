@@ -24,6 +24,7 @@
 #include "interp/predecode.h"
 #include "opt/optcompiler.h"
 #include "service/batch.h"
+#include "service/serve.h"
 #include "spc/compiler.h"
 #include "suites/suites.h"
 #include "support/clock.h"
@@ -90,15 +91,38 @@ const char *UsageText =
     "                   retired instances through the per-engine/per-worker\n"
     "                   pools; every instantiation replays segments from\n"
     "                   scratch. Use for cold-start measurements\n"
+    "  --fuel=N         meter execution: trap with FuelExhausted after N\n"
+    "                   fuel units (frames pushed + loop-header arrivals);\n"
+    "                   the trap site is identical on every tier\n"
+    "  --deadline-ms=N  wall-clock deadline: a watchdog interrupts the run\n"
+    "                   with DeadlineExceeded after N ms (1..3600000)\n"
+    "  --max-call-depth=N / --max-pages=N / --max-table-elems=N\n"
+    "                   resource limits: cap the wasm frame stack (trap:\n"
+    "                   StackOverflow), linear-memory pages (grow returns\n"
+    "                   -1; a module whose minimum exceeds the cap fails to\n"
+    "                   load) and table elements (load-time cap)\n"
     "  --batch=FILE     batch mode: run every job of a manifest across a\n"
     "                   worker pool (one private engine per job) and print\n"
     "                   a deterministic per-job report. Manifest lines:\n"
     "                     <module> [tier=T|config=NAME] [invoke=NAME]\n"
     "                              [scale=N] [m0] [args=v1,v2,...]\n"
+    "                              [id=NAME] [fuel=N] [deadline-ms=N]\n"
     "                   ('#' comments). Mutually exclusive with the\n"
     "                   single-module flags above; traps are reported as\n"
     "                   results, infrastructure failures exit nonzero\n"
-    "  --jobs=K         batch worker threads (default 1; requires --batch)\n"
+    "  --serve          service mode: read job lines (batch-manifest\n"
+    "                   syntax) from stdin, keep engines/caches/instance\n"
+    "                   pools warm across jobs, answer each accepted job\n"
+    "                   with exactly one 'done <id> ...' line. Admission is\n"
+    "                   bounded ('reject <id> queue-full' under overload);\n"
+    "                   EOF, a 'shutdown' line, or SIGTERM drains\n"
+    "                   gracefully. --fuel/--deadline-ms set per-job\n"
+    "                   defaults (manifest keys override), --max-* set\n"
+    "                   session-wide caps; WISP_FAULT_SEED=N enables\n"
+    "                   deterministic fault injection for stress testing\n"
+    "  --queue-cap=K    serve admission-queue capacity (default 4x jobs)\n"
+    "  --jobs=K         worker threads (default 1; requires --batch or\n"
+    "                   --serve)\n"
     "  --list           list embedded suite items and exit\n"
     "  --list-configs   list named engine configurations and exit\n"
     "  --help           show this help\n";
@@ -179,8 +203,16 @@ struct CliOptions {
   bool List = false;
   bool ListConfigs = false;
   std::string Batch; ///< --batch manifest path.
+  bool Serve = false;
   int Jobs = 1;
   bool JobsSet = false;
+  long QueueCap = 0;
+  /// Governance (single-module flags; serve-mode defaults/caps).
+  uint64_t Fuel = 0;
+  uint32_t DeadlineMs = 0;
+  uint32_t MaxCallDepth = 0;
+  uint32_t MaxPages = 0;
+  uint32_t MaxTableElems = 0;
 };
 
 /// Audit mode: instead of executing, push every function of the module
@@ -341,6 +373,34 @@ int runBatchMode(const CliOptions &Opt) {
   return 0;
 }
 
+/// Service mode: stdin job lines -> stdout protocol lines until EOF, a
+/// `shutdown` line, or SIGTERM/SIGINT; then drain and exit 0. Per-job
+/// errors are protocol lines, not process failures — a clean drain is a
+/// clean exit.
+int runServeMode(const CliOptions &Opt) {
+  ServeOptions SOpts;
+  SOpts.Workers = unsigned(Opt.Jobs);
+  SOpts.QueueCap = size_t(Opt.QueueCap);
+  SOpts.DefaultFuel = Opt.Fuel;
+  SOpts.DefaultDeadlineMs = Opt.DeadlineMs;
+  SOpts.MaxCallDepth = Opt.MaxCallDepth;
+  SOpts.MaxMemoryPages = Opt.MaxPages;
+  SOpts.MaxTableElems = Opt.MaxTableElems;
+  SOpts.InstallSignalHandlers = true;
+  if (const char *S = getenv("WISP_FAULT_SEED")) {
+    char *End = nullptr;
+    unsigned long long Seed = strtoull(S, &End, 0);
+    if (End == S || *End) {
+      fprintf(stderr, "wisp: bad WISP_FAULT_SEED '%s' (want an integer)\n",
+              S);
+      return 2;
+    }
+    SOpts.FaultSeed = Seed;
+  }
+  runServe(stdin, stdout, SOpts);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -366,6 +426,49 @@ int main(int argc, char **argv) {
         return usageError("bad --scale value: %s\n", V);
     } else if (const char *V = Val("--batch=")) {
       Opt.Batch = V;
+    } else if (A == "--serve") {
+      Opt.Serve = true;
+    } else if (const char *V = Val("--queue-cap=")) {
+      char *End = nullptr;
+      long Cap = strtol(V, &End, 10);
+      if (End == V || *End || Cap < 1 || Cap > 1 << 20)
+        return usageError("bad --queue-cap value: %s (want 1..1048576)\n", V);
+      Opt.QueueCap = Cap;
+    } else if (const char *V = Val("--fuel=")) {
+      char *End = nullptr;
+      unsigned long long Fuel = strtoull(V, &End, 10);
+      if (End == V || *End || Fuel == 0)
+        return usageError("bad --fuel value: %s (want a positive budget)\n",
+                          V);
+      Opt.Fuel = Fuel;
+    } else if (const char *V = Val("--deadline-ms=")) {
+      char *End = nullptr;
+      long Ms = strtol(V, &End, 10);
+      if (End == V || *End || Ms < 1 || Ms > 3600000)
+        return usageError("bad --deadline-ms value: %s (want 1..3600000)\n",
+                          V);
+      Opt.DeadlineMs = uint32_t(Ms);
+    } else if (const char *V = Val("--max-call-depth=")) {
+      char *End = nullptr;
+      long N = strtol(V, &End, 10);
+      if (End == V || *End || N < 1 || N > 1000000)
+        return usageError("bad --max-call-depth value: %s (want "
+                          "1..1000000)\n",
+                          V);
+      Opt.MaxCallDepth = uint32_t(N);
+    } else if (const char *V = Val("--max-pages=")) {
+      char *End = nullptr;
+      long N = strtol(V, &End, 10);
+      if (End == V || *End || N < 1 || N > 65536)
+        return usageError("bad --max-pages value: %s (want 1..65536)\n", V);
+      Opt.MaxPages = uint32_t(N);
+    } else if (const char *V = Val("--max-table-elems=")) {
+      char *End = nullptr;
+      long N = strtol(V, &End, 10);
+      if (End == V || *End || N < 1)
+        return usageError("bad --max-table-elems value: %s (want >= 1)\n",
+                          V);
+      Opt.MaxTableElems = uint32_t(N);
     } else if (const char *V = Val("--jobs=")) {
       char *End = nullptr;
       long Jobs = strtol(V, &End, 10);
@@ -422,6 +525,13 @@ int main(int argc, char **argv) {
                            : Opt.Time              ? "--time"
                            : Opt.Verify            ? "--verify"
                            : Opt.Audit             ? "--audit"
+                           : Opt.Serve             ? "--serve"
+                           : Opt.Fuel              ? "--fuel"
+                           : Opt.DeadlineMs        ? "--deadline-ms"
+                           : Opt.MaxCallDepth      ? "--max-call-depth"
+                           : Opt.MaxPages          ? "--max-pages"
+                           : Opt.MaxTableElems     ? "--max-table-elems"
+                           : Opt.QueueCap          ? "--queue-cap"
                            : !Opt.Module.empty()   ? "<module>"
                                                    : nullptr;
     if (Conflict)
@@ -431,8 +541,33 @@ int main(int argc, char **argv) {
                         Conflict);
     return runBatchMode(Opt);
   }
+  // Serve mode: per-job settings arrive on the job lines; governance
+  // flags become session defaults/caps, everything single-module
+  // conflicts.
+  if (Opt.Serve) {
+    const char *Conflict = Opt.TierSet         ? "--tier"
+                           : !Opt.Config.empty() ? "--config"
+                           : Opt.InvokeSet       ? "--invoke"
+                           : Opt.ScaleSet        ? "--scale"
+                           : Opt.UseM0           ? "--m0"
+                           : !Opt.Monitors.empty() ? "--monitor"
+                           : Opt.Time              ? "--time"
+                           : Opt.Verify            ? "--verify"
+                           : Opt.Audit             ? "--audit"
+                           : Opt.Stats             ? "--stats"
+                           : !Opt.Module.empty()   ? "<module>"
+                                                   : nullptr;
+    if (Conflict)
+      return usageError("--serve is mutually exclusive with single-module "
+                        "flags (got %s; put per-job settings on the job "
+                        "lines)\n",
+                        Conflict);
+    return runServeMode(Opt);
+  }
   if (Opt.JobsSet)
-    return usageError("%s", "--jobs requires --batch\n");
+    return usageError("%s", "--jobs requires --batch or --serve\n");
+  if (Opt.QueueCap)
+    return usageError("%s", "--queue-cap requires --serve\n");
   if (Opt.Module.empty())
     return usageError("%s", "no module given\n");
 
@@ -445,6 +580,8 @@ int main(int argc, char **argv) {
                            : !Opt.Monitors.empty()  ? "--monitor"
                            : Opt.Verify             ? "--verify"
                            : Opt.Time               ? "--time"
+                           : Opt.Fuel               ? "--fuel"
+                           : Opt.DeadlineMs         ? "--deadline-ms"
                                                     : nullptr;
     if (Conflict)
       return usageError("--audit is mutually exclusive with execution "
@@ -481,6 +618,13 @@ int main(int argc, char **argv) {
   Cfg.PoolInstances = !Opt.NoInstancePool;
   if (Opt.Verify)
     Cfg.VerifyArtifacts = true;
+  // Execution governance: metering/deadline/caps for this one invocation
+  // (the engine bakes fuel check sites in when any of these is set).
+  Cfg.FuelBudget = Opt.Fuel;
+  Cfg.DeadlineMs = Opt.DeadlineMs;
+  Cfg.MaxCallDepth = Opt.MaxCallDepth;
+  Cfg.MaxMemoryPages = Opt.MaxPages;
+  Cfg.MaxTableElems = Opt.MaxTableElems;
 
   // Resolve the module bytes.
   std::vector<uint8_t> Bytes;

@@ -603,6 +603,16 @@ void MCodeVerifier::checkInst(uint32_t Pc, const MInst &I) {
                         mopName(I.Op), (long long)I.Imm));
     break;
 
+  case MOp::FuelCheck:
+    // The trap site is the Imm itself (not the line table); it must name a
+    // real opcode boundary or a fuel trap would report a pc no other tier
+    // can reach.
+    if (I.Imm < 0 || !boundary(uint32_t(I.Imm)))
+      finding("fuel-site", Pc,
+              strFormat("FuelCheck at non-boundary bytecode offset %lld",
+                        (long long)I.Imm));
+    break;
+
   case MOp::DeoptCheck: {
     const OpSite *S = I.Imm >= 0 ? Scan.at(uint32_t(I.Imm)) : nullptr;
     if (!S)
@@ -958,6 +968,12 @@ void ThreadedVerifier::checkResolvedTarget(uint32_t Idx,
                       E.TargetIp));
     return;
   }
+  // Backward branches deliberately resolve PAST an exact-match loop-header
+  // fuel gate: the branch handler itself charges taken backedges, so
+  // landing on the gate would double-charge the arrival.
+  if (Want < TC.Units.size() && TOp(TC.Units[Want].Op) == TOp::FuelGate &&
+      TC.Units[Want].BcIp == E.TargetIp && E.TargetIp <= BrOpIp)
+    ++Want;
   if (TargetUnit != Want)
     finding("threaded-branch", Idx,
             strFormat("branch resolves to unit %u, side table demands unit "
@@ -1097,7 +1113,11 @@ void ThreadedVerifier::checkUnits() {
               strFormat("unknown handler token %u", U.Op));
       continue;
     }
-    if (Idx && U.BcIp <= PrevIp)
+    // A loop-header fuel gate shares its BcIp with the real header unit
+    // that follows; that is the one sanctioned duplicate.
+    if (Idx && (U.BcIp < PrevIp ||
+                (U.BcIp == PrevIp &&
+                 TOp(TC.Units[Idx - 1].Op) != TOp::FuelGate)))
       finding("threaded-units", Idx,
               strFormat("units not strictly ascending: ip %u after %u",
                         U.BcIp, PrevIp));

@@ -115,6 +115,90 @@ if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
   message(FATAL_ERROR "--verify single-module run failed (rc=${RC}): ${OUT}")
 endif()
 
+# --- Execution-governance flags: value validation, mode conflicts, and
+# --- the trap exit path ---
+expect_fail(bad-fuel-zero "bad --fuel value" --fuel=0 nop)
+expect_fail(bad-fuel-text "bad --fuel value" --fuel=lots nop)
+expect_fail(bad-deadline-zero "bad --deadline-ms value" --deadline-ms=0 nop)
+expect_fail(bad-deadline-huge "bad --deadline-ms value"
+            --deadline-ms=9999999999 nop)
+expect_fail(bad-deadline-text "bad --deadline-ms value"
+            --deadline-ms=soon nop)
+expect_fail(bad-depth-zero "bad --max-call-depth value"
+            --max-call-depth=0 nop)
+expect_fail(bad-pages-zero "bad --max-pages value" --max-pages=0 nop)
+expect_fail(bad-pages-huge "bad --max-pages value" --max-pages=65537 nop)
+expect_fail(bad-table-elems "bad --max-table-elems value"
+            --max-table-elems=0 nop)
+expect_fail(bad-queue-cap "bad --queue-cap value" --queue-cap=0)
+expect_fail(queue-cap-without-serve "--queue-cap requires --serve"
+            --queue-cap=8 nop)
+expect_fail(batch-fuel-conflict "mutually exclusive.*--fuel"
+            --batch=m.txt --fuel=100)
+expect_fail(batch-deadline-conflict "mutually exclusive.*--deadline-ms"
+            --batch=m.txt --deadline-ms=100)
+expect_fail(batch-serve-conflict "mutually exclusive.*--serve"
+            --batch=m.txt --serve)
+expect_fail(audit-fuel-conflict "mutually exclusive.*--fuel"
+            --audit --fuel=100 nop)
+expect_fail(serve-tier-conflict "mutually exclusive.*--tier"
+            --serve --tier=int)
+expect_fail(serve-module-conflict "mutually exclusive.*<module>"
+            --serve nop)
+expect_fail(serve-stats-conflict "mutually exclusive.*--stats"
+            --serve --stats)
+expect_fail(serve-flag-value "unknown option" --serve=1 nop)
+# A metered run that exhausts its budget exits through the trap path (3),
+# with the fuel trap on stderr.
+execute_process(
+  COMMAND ${WISP_BIN} --tier=spc --fuel=5 ostrich/crc
+  OUTPUT_QUIET ERROR_VARIABLE ERR RESULT_VARIABLE RC)
+if(NOT RC EQUAL 3 OR NOT ERR MATCHES "trap: fuel exhausted")
+  message(FATAL_ERROR "--fuel=5 run should trap (rc=${RC}): ${ERR}")
+endif()
+# A roomy budget composes with a normal run.
+execute_process(
+  COMMAND ${WISP_BIN} --tier=spc --fuel=100000000 --deadline-ms=60000
+          --max-call-depth=1000 --max-pages=256 nop
+  OUTPUT_VARIABLE OUT RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
+  message(FATAL_ERROR "governed single-module run failed (rc=${RC}): ${OUT}")
+endif()
+
+# --- Serve mode end to end: accepted jobs answer exactly once, malformed
+# --- job lines reject, `shutdown` drains. Driven through stdin via a
+# --- manifest-like input file.
+set(SERVE_IN ${CMAKE_CURRENT_BINARY_DIR}/cli_errors_serve_in.txt)
+file(WRITE ${SERVE_IN}
+  "nop tier=spc id=a\n"
+  "nop frobnicate=1\n"
+  "ostrich/crc tier=spc fuel=5 id=metered\n"
+  "shutdown\n"
+  "nop tier=spc id=never\n")
+execute_process(
+  COMMAND ${WISP_BIN} --serve --jobs=2
+  INPUT_FILE ${SERVE_IN}
+  OUTPUT_VARIABLE OUT RESULT_VARIABLE RC)
+file(REMOVE ${SERVE_IN})
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "serve session failed (rc=${RC}): ${OUT}")
+endif()
+if(NOT OUT MATCHES "done a = <void>")
+  message(FATAL_ERROR "serve: missing done line for job a: ${OUT}")
+endif()
+if(NOT OUT MATCHES "reject - parse: .*unknown key")
+  message(FATAL_ERROR "serve: malformed line not rejected: ${OUT}")
+endif()
+if(NOT OUT MATCHES "done metered trap: fuel exhausted")
+  message(FATAL_ERROR "serve: metered job did not trap: ${OUT}")
+endif()
+if(OUT MATCHES "done never")
+  message(FATAL_ERROR "serve: job after shutdown was admitted: ${OUT}")
+endif()
+if(NOT OUT MATCHES "# serve: drained, 2 accepted, 1 rejected")
+  message(FATAL_ERROR "serve: summary mismatch: ${OUT}")
+endif()
+
 # --- Module and export resolution ---
 expect_fail(no-module "no module given" --tier=spc)
 expect_fail(missing-module "cannot resolve module" /no/such/file.wasm)

@@ -1,0 +1,427 @@
+//===- tests/test_governance.cpp - fuel, deadlines, limits, faults ---------===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution-governance tests: fuel metering halts every tier at the same
+/// semantic point, wall-clock deadlines and cross-thread cancellation stop
+/// runaway jobs, per-job resource limits are enforced uniformly, injected
+/// allocation failures surface as errors (never aborts), and a trapped
+/// engine/instance stays fully reusable afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#include "testutil.h"
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace wisp;
+
+namespace {
+
+/// sum(n) = n + (n-1) + ... + 1, via a block+loop. One fuel unit per frame
+/// push and per loop-header arrival, so sum(N) costs 2 + N units (frame,
+/// loop entry, N-1 backedges... plus the entry arrival).
+std::vector<uint8_t> loopSumModule() {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  uint32_t Sum = F.addLocal(ValType::I32);
+  F.block();
+  F.localGet(0);
+  F.op(Opcode::I32Eqz);
+  F.brIf(0);
+  F.loop();
+  F.localGet(Sum);
+  F.localGet(0);
+  F.op(Opcode::I32Add);
+  F.localSet(Sum);
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Sub);
+  F.localTee(0);
+  F.brIf(0);
+  F.end();
+  F.end();
+  F.localGet(Sum);
+  MB.exportFunc("run", MB.funcIndex(F));
+  return MB.build();
+}
+
+/// An infinite loop: only governance can stop it.
+std::vector<uint8_t> spinModule() {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  F.loop();
+  F.br(0);
+  F.end();
+  MB.exportFunc("spin", MB.funcIndex(F));
+  return MB.build();
+}
+
+/// grow(n): memory.grow by n pages, returns the previous page count or -1.
+std::vector<uint8_t> growModule(uint32_t MinPages = 1) {
+  ModuleBuilder MB;
+  MB.addMemory(MinPages);
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.memoryGrow();
+  MB.exportFunc("grow", MB.funcIndex(F));
+  return MB.build();
+}
+
+/// div(x) = 100 / x: traps DivByZero at x == 0, returns normally otherwise.
+std::vector<uint8_t> divModule() {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.i32Const(100);
+  F.localGet(0);
+  F.op(Opcode::I32DivS);
+  MB.exportFunc("div", MB.funcIndex(F));
+  return MB.build();
+}
+
+/// The tier matrix every governance guarantee is checked against.
+const char *const GovTiers[] = {"int",     "threaded", "spc", "copypatch",
+                                "twopass", "opt",      "tiered"};
+
+EngineConfig govConfig(const std::string &Tier) {
+  EngineConfig Cfg;
+  Cfg.Name = "gov-" + Tier;
+  Cfg.VerifyArtifacts = true;
+  if (Tier == "int") {
+    Cfg.Mode = ExecMode::Interp;
+    return Cfg;
+  }
+  if (Tier == "threaded") {
+    Cfg.Mode = ExecMode::Interp;
+    Cfg.ThreadedDispatch = true;
+    return Cfg;
+  }
+  if (Tier == "tiered") {
+    Cfg.Mode = ExecMode::Tiered;
+    Cfg.Compiler = CompilerKind::SinglePass;
+    Cfg.TierUpThreshold = 4; // Cross tier boundaries mid-run.
+    Cfg.Opts.EmitDeoptChecks = true;
+    Cfg.Opts.EmitOsrEntries = true;
+    return Cfg;
+  }
+  Cfg.Mode = ExecMode::Jit;
+  Cfg.Opts.Tags = TagMode::None;
+  if (Tier == "spc")
+    Cfg.Compiler = CompilerKind::SinglePass;
+  else if (Tier == "copypatch")
+    Cfg.Compiler = CompilerKind::CopyPatch;
+  else if (Tier == "twopass")
+    Cfg.Compiler = CompilerKind::TwoPass;
+  else
+    Cfg.Compiler = CompilerKind::Optimizing;
+  return Cfg;
+}
+
+} // namespace
+
+// --- Fuel metering -------------------------------------------------------
+
+TEST(Fuel, ExhaustionPcIdenticalAcrossTiers) {
+  // Fuel units are semantic events (frame pushes + loop-header arrivals),
+  // so the same budget must exhaust at the same bytecode pc on every tier
+  // — including the optimizing pipeline, whose fuel sites carry explicit
+  // bytecode offsets even though it records no general line table.
+  for (uint64_t Budget : {1ull, 2ull, 5ull, 17ull}) {
+    bool HaveRef = false;
+    uint32_t RefIp = 0;
+    for (const char *Tier : GovTiers) {
+      EngineConfig Cfg = govConfig(Tier);
+      Cfg.FuelBudget = Budget;
+      Engine E(Cfg);
+      WasmError Err;
+      auto LM = E.load(loopSumModule(), &Err);
+      ASSERT_NE(LM, nullptr) << Tier << ": " << Err.Message;
+      std::vector<Value> Out;
+      EXPECT_EQ(E.invoke(*LM, "run", {Value::makeI32(1000)}, &Out),
+                TrapReason::FuelExhausted)
+          << Tier << " budget " << Budget;
+      if (!HaveRef) {
+        HaveRef = true;
+        RefIp = E.thread().TrapIp;
+      } else {
+        EXPECT_EQ(E.thread().TrapIp, RefIp) << Tier << " budget " << Budget;
+      }
+      EXPECT_TRUE(E.verifyError().empty()) << E.verifyError();
+    }
+  }
+}
+
+TEST(Fuel, SufficientBudgetCompletesAndRearmsPerInvocation) {
+  for (const char *Tier : GovTiers) {
+    EngineConfig Cfg = govConfig(Tier);
+    Cfg.FuelBudget = 1000;
+    Engine E(Cfg);
+    WasmError Err;
+    auto LM = E.load(loopSumModule(), &Err);
+    ASSERT_NE(LM, nullptr) << Tier << ": " << Err.Message;
+    // The budget is per-invocation: two runs that each fit must both
+    // complete (no carry-over of spent fuel).
+    for (int Round = 0; Round < 2; ++Round) {
+      std::vector<Value> Out;
+      ASSERT_EQ(E.invoke(*LM, "run", {Value::makeI32(100)}, &Out),
+                TrapReason::None)
+          << Tier << " round " << Round;
+      EXPECT_EQ(Out[0], Value::makeI32(5050)) << Tier;
+    }
+  }
+}
+
+TEST(Fuel, ExhaustedEngineStaysUsable) {
+  for (const char *Tier : GovTiers) {
+    EngineConfig Cfg = govConfig(Tier);
+    Cfg.FuelBudget = 5;
+    Engine E(Cfg);
+    WasmError Err;
+    auto LM = E.load(loopSumModule(), &Err);
+    ASSERT_NE(LM, nullptr) << Tier << ": " << Err.Message;
+    std::vector<Value> Out;
+    EXPECT_EQ(E.invoke(*LM, "run", {Value::makeI32(1000)}, &Out),
+              TrapReason::FuelExhausted)
+        << Tier;
+    // A small job still fits in the re-armed budget.
+    ASSERT_EQ(E.invoke(*LM, "run", {Value::makeI32(1)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(1)) << Tier;
+  }
+}
+
+// --- Deadlines and cancellation ------------------------------------------
+
+TEST(Deadline, StopsInfiniteLoopOnEveryTier) {
+  for (const char *Tier : GovTiers) {
+    EngineConfig Cfg = govConfig(Tier);
+    Cfg.DeadlineMs = 25;
+    Engine E(Cfg);
+    WasmError Err;
+    auto LM = E.load(spinModule(), &Err);
+    ASSERT_NE(LM, nullptr) << Tier << ": " << Err.Message;
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<Value> Out;
+    EXPECT_EQ(E.invoke(*LM, "spin", {}, &Out), TrapReason::DeadlineExceeded)
+        << Tier;
+    auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count();
+    // Generous bound: the point is that it stopped near the deadline, not
+    // minutes later (CI machines can stall arbitrarily, so stay loose).
+    EXPECT_LT(ElapsedMs, 10000) << Tier;
+  }
+}
+
+TEST(Deadline, FastJobUnaffectedAndStaleFireNeutralized) {
+  EngineConfig Cfg = govConfig("threaded");
+  Cfg.DeadlineMs = 30;
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(loopSumModule(), &Err);
+  ASSERT_NE(LM, nullptr) << Err.Message;
+  std::vector<Value> Out;
+  ASSERT_EQ(E.invoke(*LM, "run", {Value::makeI32(50)}, &Out), TrapReason::None);
+  EXPECT_EQ(Out[0], Value::makeI32(1275));
+  // Sleep past the (disarmed) deadline: a stale watchdog fire must not be
+  // able to kill the next job.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_EQ(E.invoke(*LM, "run", {Value::makeI32(50)}, &Out), TrapReason::None);
+  EXPECT_EQ(Out[0], Value::makeI32(1275));
+}
+
+TEST(Cancel, CrossThreadCancelStopsInfiniteLoop) {
+  EngineConfig Cfg = govConfig("spc");
+  Cfg.Interruptible = true;
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(spinModule(), &Err);
+  ASSERT_NE(LM, nullptr) << Err.Message;
+  std::thread Killer([&E] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    E.cancel();
+  });
+  std::vector<Value> Out;
+  EXPECT_EQ(E.invoke(*LM, "spin", {}, &Out), TrapReason::Cancelled);
+  Killer.join();
+  // And the engine runs the next job normally.
+  auto LM2 = E.load(loopSumModule(), &Err);
+  ASSERT_NE(LM2, nullptr) << Err.Message;
+  ASSERT_EQ(E.invoke(*LM2, "run", {Value::makeI32(10)}, &Out),
+            TrapReason::None);
+  EXPECT_EQ(Out[0], Value::makeI32(55));
+}
+
+// --- Resource limits ------------------------------------------------------
+
+TEST(Limits, MemoryMinimumAboveCapFailsLoad) {
+  EngineConfig Cfg = govConfig("int");
+  Cfg.MaxMemoryPages = 2;
+  Engine E(Cfg);
+  WasmError Err;
+  EXPECT_EQ(E.load(growModule(/*MinPages=*/4), &Err), nullptr);
+  EXPECT_NE(Err.Message.find("exceeds job limit"), std::string::npos)
+      << Err.Message;
+}
+
+TEST(Limits, GrowBeyondCapReturnsMinusOne) {
+  for (const char *Tier : {"int", "threaded", "spc"}) {
+    EngineConfig Cfg = govConfig(Tier);
+    Cfg.MaxMemoryPages = 2;
+    Engine E(Cfg);
+    WasmError Err;
+    auto LM = E.load(growModule(/*MinPages=*/1), &Err);
+    ASSERT_NE(LM, nullptr) << Tier << ": " << Err.Message;
+    std::vector<Value> Out;
+    // 1 -> 2 pages fits the cap...
+    ASSERT_EQ(E.invoke(*LM, "grow", {Value::makeI32(1)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(1)) << Tier;
+    // ...but 2 -> 3 exceeds it: -1, not a trap, exactly like hitting a
+    // declared maximum.
+    ASSERT_EQ(E.invoke(*LM, "grow", {Value::makeI32(1)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(-1)) << Tier;
+  }
+}
+
+TEST(Limits, TableMinimumAboveCapFailsLoad) {
+  ModuleBuilder MB;
+  MB.addTable(8);
+  uint32_t T = MB.addType({}, {});
+  FuncBuilder &F = MB.addFunc(T);
+  MB.exportFunc("f", MB.funcIndex(F));
+  EngineConfig Cfg = govConfig("int");
+  Cfg.MaxTableElems = 4;
+  Engine E(Cfg);
+  WasmError Err;
+  EXPECT_EQ(E.load(MB.build(), &Err), nullptr);
+  EXPECT_NE(Err.Message.find("exceeds job limit"), std::string::npos)
+      << Err.Message;
+}
+
+// --- Injected allocation failures ----------------------------------------
+
+TEST(Faults, InstantiationMapFailureIsLinkError) {
+  EngineConfig Cfg = govConfig("int");
+  Cfg.PoolInstances = false; // Take the legacy instantiate path.
+  Engine E(Cfg);
+  setMemoryFaultCountdown(0); // Next mapping request fails.
+  WasmError Err;
+  EXPECT_EQ(E.load(growModule(), &Err), nullptr);
+  setMemoryFaultCountdown(-1);
+  EXPECT_NE(Err.Message.find("allocation"), std::string::npos) << Err.Message;
+  // The engine survives: the same load succeeds without the fault.
+  auto LM = E.load(growModule(), &Err);
+  ASSERT_NE(LM, nullptr) << Err.Message;
+}
+
+TEST(Faults, ImageInstantiationMapFailureIsLinkError) {
+  EngineConfig Cfg = govConfig("int"); // Pooling on: image fast path.
+  Engine E(Cfg);
+  setMemoryFaultCountdown(0);
+  WasmError Err;
+  EXPECT_EQ(E.load(growModule(), &Err), nullptr);
+  setMemoryFaultCountdown(-1);
+  EXPECT_NE(Err.Message.find("failed"), std::string::npos) << Err.Message;
+  auto LM = E.load(growModule(), &Err);
+  ASSERT_NE(LM, nullptr) << Err.Message;
+}
+
+TEST(Faults, GrowMapFailureReturnsMinusOneNotAbort) {
+  EngineConfig Cfg = govConfig("int");
+  Engine E(Cfg);
+  WasmError Err;
+  auto LM = E.load(growModule(), &Err);
+  ASSERT_NE(LM, nullptr) << Err.Message;
+  std::vector<Value> Out;
+  setMemoryFaultCountdown(0);
+  ASSERT_EQ(E.invoke(*LM, "grow", {Value::makeI32(4)}, &Out),
+            TrapReason::None);
+  setMemoryFaultCountdown(-1);
+  EXPECT_EQ(Out[0], Value::makeI32(-1));
+  // Without the fault the same grow succeeds and memory is intact.
+  ASSERT_EQ(E.invoke(*LM, "grow", {Value::makeI32(4)}, &Out),
+            TrapReason::None);
+  EXPECT_EQ(Out[0], Value::makeI32(1));
+}
+
+// --- Trap-then-reuse ------------------------------------------------------
+
+TEST(TrapReuse, TrappedInstanceStaysPoolRecyclable) {
+  // After a genuine wasm trap the engine must stay usable and the
+  // instance must remain pool-recyclable — a service worker never tears
+  // down its warm state because one job trapped.
+  for (const char *Tier : {"spc", "threaded"}) {
+    EngineConfig Cfg = govConfig(Tier);
+    Cfg.UseCompileCache = true;
+    Cfg.PoolInstances = true;
+    CompileCache Cache;
+    InstancePool Pool;
+    Engine E(Cfg, &Cache, &Pool);
+    WasmError Err;
+    auto LM = E.load(divModule(), &Err);
+    ASSERT_NE(LM, nullptr) << Tier << ": " << Err.Message;
+    std::vector<Value> Out;
+    EXPECT_EQ(E.invoke(*LM, "div", {Value::makeI32(0)}, &Out),
+              TrapReason::DivByZero)
+        << Tier;
+    // Same instance, next job: works.
+    ASSERT_EQ(E.invoke(*LM, "div", {Value::makeI32(4)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(25)) << Tier;
+    // Recycle the (previously trapped) instance and re-load: the pool
+    // serves it and the re-imaged instance behaves like a fresh one.
+    ASSERT_TRUE(E.recycle(std::move(LM))) << Tier;
+    auto LM2 = E.load(divModule(), &Err);
+    ASSERT_NE(LM2, nullptr) << Tier << ": " << Err.Message;
+    EXPECT_GE(LM2->Stats.PoolHits, 1u) << Tier;
+    ASSERT_EQ(E.invoke(*LM2, "div", {Value::makeI32(5)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(20)) << Tier;
+  }
+}
+
+TEST(TrapReuse, FuelExhaustedInstanceStaysPoolRecyclable) {
+  for (const char *Tier : {"spc", "threaded"}) {
+    EngineConfig Cfg = govConfig(Tier);
+    Cfg.FuelBudget = 5;
+    Cfg.UseCompileCache = true;
+    Cfg.PoolInstances = true;
+    CompileCache Cache;
+    InstancePool Pool;
+    Engine E(Cfg, &Cache, &Pool);
+    WasmError Err;
+    auto LM = E.load(loopSumModule(), &Err);
+    ASSERT_NE(LM, nullptr) << Tier << ": " << Err.Message;
+    std::vector<Value> Out;
+    EXPECT_EQ(E.invoke(*LM, "run", {Value::makeI32(1000)}, &Out),
+              TrapReason::FuelExhausted)
+        << Tier;
+    ASSERT_TRUE(E.recycle(std::move(LM))) << Tier;
+    auto LM2 = E.load(loopSumModule(), &Err);
+    ASSERT_NE(LM2, nullptr) << Tier << ": " << Err.Message;
+    EXPECT_GE(LM2->Stats.PoolHits, 1u) << Tier;
+    ASSERT_EQ(E.invoke(*LM2, "run", {Value::makeI32(1)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(1)) << Tier;
+  }
+}

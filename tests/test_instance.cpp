@@ -625,4 +625,113 @@ TEST(InstancePoolTest, PoolCapDropsExcessInstances) {
   EXPECT_EQ(Pool.totals().Dropped, 2u);
 }
 
+// --- Call-depth limits ---------------------------------------------------
+
+// depth(n): if n == 0 return 0; return depth(n-1) + 1. Recursion depth is
+// exactly n + 1 frames (including the exported frame).
+std::vector<uint8_t> deepRecursionModule() {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &F = MB.addFunc(T);
+  F.localGet(0);
+  F.op(Opcode::I32Eqz);
+  F.ifOp(BlockType::oneResult(ValType::I32));
+  F.i32Const(0);
+  F.elseOp();
+  F.localGet(0);
+  F.i32Const(1);
+  F.op(Opcode::I32Sub);
+  F.call(MB.funcIndex(F));
+  F.i32Const(1);
+  F.op(Opcode::I32Add);
+  F.end();
+  MB.exportFunc("depth", MB.funcIndex(F));
+  return MB.build();
+}
+
+// even(n)/odd(n) by mutual recursion; even(n) alternates between the two
+// bodies all the way down.
+std::vector<uint8_t> mutualRecursionModule() {
+  ModuleBuilder MB;
+  uint32_t T = MB.addType({ValType::I32}, {ValType::I32});
+  FuncBuilder &Even = MB.addFunc(T);
+  FuncBuilder &Odd = MB.addFunc(T);
+  Even.localGet(0);
+  Even.op(Opcode::I32Eqz);
+  Even.ifOp(BlockType::oneResult(ValType::I32));
+  Even.i32Const(1);
+  Even.elseOp();
+  Even.localGet(0);
+  Even.i32Const(1);
+  Even.op(Opcode::I32Sub);
+  Even.call(MB.funcIndex(Odd));
+  Even.end();
+  Odd.localGet(0);
+  Odd.op(Opcode::I32Eqz);
+  Odd.ifOp(BlockType::oneResult(ValType::I32));
+  Odd.i32Const(0);
+  Odd.elseOp();
+  Odd.localGet(0);
+  Odd.i32Const(1);
+  Odd.op(Opcode::I32Sub);
+  Odd.call(MB.funcIndex(Even));
+  Odd.end();
+  MB.exportFunc("even", MB.funcIndex(Even));
+  return MB.build();
+}
+
+// The uniform call-depth limit: every tier traps StackOverflow once the
+// configured frame budget is hit, and completes normally just under it.
+TEST(CallDepth, UniformLimitAcrossTiers) {
+  static const char *const Tiers[] = {"int",     "threaded", "spc",
+                                      "copypatch", "twopass", "opt"};
+  for (const char *Tier : Tiers) {
+    EngineConfig Cfg;
+    Cfg.Name = std::string("depth-") + Tier;
+    Cfg.MaxCallDepth = 64;
+    if (std::string(Tier) == "int") {
+      Cfg.Mode = ExecMode::Interp;
+    } else if (std::string(Tier) == "threaded") {
+      Cfg.Mode = ExecMode::Interp;
+      Cfg.ThreadedDispatch = true;
+    } else {
+      Cfg.Mode = ExecMode::Jit;
+      Cfg.Opts.Tags = TagMode::None;
+      Cfg.Compiler = std::string(Tier) == "spc" ? CompilerKind::SinglePass
+                     : std::string(Tier) == "copypatch"
+                         ? CompilerKind::CopyPatch
+                     : std::string(Tier) == "twopass" ? CompilerKind::TwoPass
+                                                      : CompilerKind::Optimizing;
+    }
+    Engine E(Cfg);
+    WasmError Err;
+    auto LM = E.load(deepRecursionModule(), &Err);
+    ASSERT_NE(LM, nullptr) << Tier << ": " << Err.Message;
+    std::vector<Value> Out;
+    // 10 frames: well under the limit.
+    ASSERT_EQ(E.invoke(*LM, "depth", {Value::makeI32(9)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(9)) << Tier;
+    // 1000 frames: over the limit on every tier, and the engine survives.
+    EXPECT_EQ(E.invoke(*LM, "depth", {Value::makeI32(999)}, &Out),
+              TrapReason::StackOverflow)
+        << Tier;
+    ASSERT_EQ(E.invoke(*LM, "depth", {Value::makeI32(3)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(3)) << Tier;
+
+    auto LM2 = E.load(mutualRecursionModule(), &Err);
+    ASSERT_NE(LM2, nullptr) << Tier << ": " << Err.Message;
+    ASSERT_EQ(E.invoke(*LM2, "even", {Value::makeI32(8)}, &Out),
+              TrapReason::None)
+        << Tier;
+    EXPECT_EQ(Out[0], Value::makeI32(1)) << Tier;
+    EXPECT_EQ(E.invoke(*LM2, "even", {Value::makeI32(999)}, &Out),
+              TrapReason::StackOverflow)
+        << Tier;
+  }
+}
+
 } // namespace

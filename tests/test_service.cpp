@@ -12,12 +12,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/batch.h"
+#include "service/serve.h"
 
 #include "engine/registry.h"
 #include "suites/suites.h"
 #include "testutil.h"
 
+#include <cstdio>
 #include <thread>
+#include <unistd.h>
 
 using namespace wisp;
 
@@ -290,6 +293,232 @@ TEST(Batch, ConcurrentPrivateEnginesAgree) {
   for (std::thread &T : Threads)
     T.join();
   EXPECT_EQ(Got, Expected);
+}
+
+// --- Serve mode ----------------------------------------------------------
+
+/// One in-process serve session over in-memory streams.
+struct ServeRun {
+  ServeStats Stats;
+  std::string Out;
+
+  /// Lines starting with \p Prefix.
+  std::vector<std::string> lines(const std::string &Prefix) const {
+    std::vector<std::string> Found;
+    size_t Pos = 0;
+    while (Pos < Out.size()) {
+      size_t Nl = Out.find('\n', Pos);
+      if (Nl == std::string::npos)
+        Nl = Out.size();
+      std::string Line = Out.substr(Pos, Nl - Pos);
+      if (Line.compare(0, Prefix.size(), Prefix) == 0)
+        Found.push_back(Line);
+      Pos = Nl + 1;
+    }
+    return Found;
+  }
+};
+
+ServeRun serveOn(const std::string &Input, const ServeOptions &Opts) {
+  FILE *In = fmemopen(const_cast<char *>(Input.data()), Input.size(), "r");
+  EXPECT_NE(In, nullptr);
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *Out = open_memstream(&Buf, &Len);
+  ServeRun R;
+  R.Stats = runServe(In, Out, Opts);
+  fclose(In);
+  fclose(Out);
+  R.Out.assign(Buf, Len);
+  free(Buf);
+  return R;
+}
+
+TEST(Serve, AnswersEveryAcceptedJobExactlyOnce) {
+  ServeOptions Opts;
+  Opts.Workers = 2;
+  Opts.QueueCap = 64; // Roomy: nothing sheds, so done lines == job lines.
+  ServeRun R = serveOn("nop tier=spc\n"
+                       "ostrich/crc tier=int id=crc-int\n"
+                       "ostrich/crc tier=spc id=crc-spc\n"
+                       "# a comment line\n"
+                       "\n"
+                       "nop tier=threaded\n"
+                       "shutdown\n",
+                       Opts);
+  EXPECT_EQ(R.Stats.Accepted, 4u);
+  EXPECT_EQ(R.Stats.Rejected, 0u);
+  EXPECT_EQ(R.Stats.Done, 4u);
+  EXPECT_EQ(R.lines("done ").size(), 4u);
+  EXPECT_EQ(R.lines("done crc-int ").size(), 1u);
+  EXPECT_EQ(R.lines("done crc-spc ").size(), 1u);
+  // Latencies recorded per accepted job, in acceptance order.
+  ASSERT_EQ(R.Stats.LatenciesMs.size(), 4u);
+  for (double L : R.Stats.LatenciesMs)
+    EXPECT_GT(L, 0.0);
+  // Both tiers computed the same crc: the value part of the two lines
+  // (after the id, before ms=) must match.
+  std::string A = R.lines("done crc-int ")[0];
+  std::string B = R.lines("done crc-spc ")[0];
+  A = A.substr(strlen("done crc-int "), A.rfind(" ms=") - strlen("done crc-int "));
+  B = B.substr(strlen("done crc-spc "), B.rfind(" ms=") - strlen("done crc-spc "));
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A.empty());
+}
+
+TEST(Serve, RejectsMalformedLinesAndStopsAtShutdown) {
+  ServeOptions Opts;
+  ServeRun R = serveOn("nop tier=spc frobnicate=1\n" // Unknown key.
+                       "nop fuel=0\n"                // Bad governance value.
+                       "nop tier=spc\n"
+                       "shutdown\n"
+                       "nop tier=spc\n", // Never admitted: after shutdown.
+                       Opts);
+  EXPECT_EQ(R.Stats.Accepted, 1u);
+  EXPECT_EQ(R.Stats.Rejected, 2u);
+  ASSERT_EQ(R.lines("reject - parse: ").size(), 2u);
+  EXPECT_NE(R.lines("reject - parse: ")[0].find("unknown key"),
+            std::string::npos);
+  EXPECT_NE(R.lines("reject - parse: ")[1].find("bad fuel"),
+            std::string::npos);
+  EXPECT_EQ(R.lines("done ").size(), 1u);
+}
+
+TEST(Serve, HonorsPerJobFuelAndSessionDefaults) {
+  // Per-line fuel= key: a tiny budget traps, a big one completes.
+  ServeOptions Opts;
+  ServeRun R = serveOn("ostrich/crc tier=spc fuel=5 id=tiny\n"
+                       "ostrich/crc tier=spc fuel=100000000 id=big\n",
+                       Opts);
+  ASSERT_EQ(R.lines("done tiny ").size(), 1u);
+  EXPECT_NE(R.lines("done tiny ")[0].find("trap: fuel exhausted"),
+            std::string::npos);
+  ASSERT_EQ(R.lines("done big ").size(), 1u);
+  EXPECT_NE(R.lines("done big ")[0].find("= "), std::string::npos);
+
+  // Session default applies when the line has no fuel= key; a line key
+  // overrides it.
+  Opts.DefaultFuel = 5;
+  ServeRun R2 = serveOn("ostrich/crc tier=int id=defaulted\n"
+                       "ostrich/crc tier=int fuel=100000000 id=override\n",
+                       Opts);
+  EXPECT_NE(R2.lines("done defaulted ")[0].find("trap: fuel exhausted"),
+            std::string::npos);
+  EXPECT_NE(R2.lines("done override ")[0].find("= "), std::string::npos);
+}
+
+TEST(Serve, DeadlineStopsAnInfiniteLoopJob) {
+  // The spin module only exists in memory; serve jobs arrive as module
+  // specs, so park it in a file the manifest line can name.
+  std::string Path = testing::TempDir() + "/wisp_serve_spin.wasm";
+  std::vector<uint8_t> Bytes = [] {
+    ModuleBuilder MB;
+    uint32_t T = MB.addType({}, {});
+    FuncBuilder &F = MB.addFunc(T);
+    F.loop();
+    F.br(0);
+    F.end();
+    MB.exportFunc("run", MB.funcIndex(F));
+    return MB.build();
+  }();
+  FILE *F = fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  fwrite(Bytes.data(), 1, Bytes.size(), F);
+  fclose(F);
+
+  ServeOptions Opts;
+  ServeRun R = serveOn(Path + " tier=spc deadline-ms=30 id=spin\n"
+                       "nop tier=spc id=after\n",
+                       Opts);
+  remove(Path.c_str());
+  ASSERT_EQ(R.lines("done spin ").size(), 1u);
+  EXPECT_NE(R.lines("done spin ")[0].find("trap: deadline exceeded"),
+            std::string::npos)
+      << R.Out;
+  // The worker (and its warm engine) survives to serve the next job.
+  ASSERT_EQ(R.lines("done after ").size(), 1u);
+  EXPECT_NE(R.lines("done after ")[0].find("= "), std::string::npos);
+  EXPECT_EQ(R.Stats.Trapped, 1u);
+}
+
+TEST(Serve, BoundedAdmissionShedsInsteadOfBlocking) {
+  // One slow worker, capacity 1: the burst must produce rejects, and
+  // accepted + rejected must account for every job line. Every accepted
+  // job still gets exactly one done line.
+  ServeOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueCap = 1;
+  std::string Input;
+  for (int I = 0; I < 32; ++I)
+    Input += "ostrich/crc tier=int id=j" + std::to_string(I) + "\n";
+  ServeRun R = serveOn(Input, Opts);
+  EXPECT_EQ(R.Stats.Accepted + R.Stats.Rejected, 32u);
+  EXPECT_GT(R.Stats.Rejected, 0u);
+  EXPECT_EQ(R.lines("done ").size(), R.Stats.Accepted);
+  for (const std::string &L : R.lines("reject "))
+    EXPECT_NE(L.find("queue-full"), std::string::npos);
+}
+
+TEST(Serve, FaultInjectionKeepsReportingExactlyOnce) {
+  // Deterministic chaos: tiny fuel budgets, allocation failures and
+  // concurrent cancels land on ~3/8 of jobs; whatever happens, every
+  // accepted job reports exactly once and the session drains cleanly.
+  ServeOptions Opts;
+  Opts.Workers = 4;
+  Opts.QueueCap = 64;
+  Opts.FaultSeed = 0xfeedface;
+  std::string Input;
+  for (int I = 0; I < 48; ++I)
+    Input += "ostrich/crc tier=spc id=f" + std::to_string(I) + "\n";
+  ServeRun R = serveOn(Input, Opts);
+  EXPECT_EQ(R.Stats.Accepted, 48u);
+  EXPECT_EQ(R.lines("done ").size(), 48u);
+  for (int I = 0; I < 48; ++I)
+    EXPECT_EQ(R.lines("done f" + std::to_string(I) + " ").size(), 1u);
+  EXPECT_GT(R.Stats.Faults, 0u);
+  // With 48 jobs and ~1/8 tiny-fuel faults the odds that none trapped
+  // are negligible — and a trap must never be double-reported.
+  EXPECT_EQ(R.Stats.Done + R.Stats.Trapped + R.Stats.Errors, 48u);
+}
+
+TEST(Serve, DrainsInFlightJobsOnEofUnderLoad) {
+  // Drain-under-load: a writer feeds jobs through a real pipe and closes
+  // it mid-stream (the in-process analogue of SIGTERM); every job that
+  // was accepted before EOF must still be reported exactly once.
+  int Fds[2];
+  ASSERT_EQ(pipe(Fds), 0);
+  FILE *In = fdopen(Fds[0], "r");
+  ASSERT_NE(In, nullptr);
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *Out = open_memstream(&Buf, &Len);
+
+  std::thread Writer([W = Fds[1]] {
+    for (int I = 0; I < 24; ++I) {
+      std::string Line = "ostrich/crc tier=int id=d" + std::to_string(I) + "\n";
+      ssize_t N = write(W, Line.data(), Line.size());
+      (void)N;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    close(W); // EOF with jobs still queued and running.
+  });
+
+  ServeOptions Opts;
+  Opts.Workers = 2;
+  Opts.QueueCap = 64;
+  ServeStats Stats = runServe(In, Out, Opts);
+  Writer.join();
+  fclose(In);
+  fclose(Out);
+  ServeRun R;
+  R.Stats = Stats;
+  R.Out.assign(Buf, Len);
+  free(Buf);
+
+  EXPECT_EQ(R.Stats.Accepted, 24u);
+  EXPECT_EQ(R.lines("done ").size(), 24u);
+  for (int I = 0; I < 24; ++I)
+    EXPECT_EQ(R.lines("done d" + std::to_string(I) + " ").size(), 1u);
 }
 
 } // namespace
