@@ -1,0 +1,163 @@
+//===- analysis/analysis.h - whole-module static analysis -------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-module static analysis over validated function bodies: a one-pass
+/// abstract interpreter derives per-function operand-stack and frame-size
+/// bounds, constant-feeding facts (for guaranteed-trap and dead br_table
+/// case lints) and the direct/indirect call edges; an interprocedural layer
+/// builds the call graph, detects recursion (SCCs), bounds worst-case call
+/// depth for the recursion-free regions, and infers static memory-page
+/// bounds. The facts feed three consumers:
+///
+///   1. `wisp --analyze` — a human report plus a JSON machine artifact.
+///   2. The serve/batch admission precheck — jobs whose static bounds
+///      provably exceed the effective governance caps are rejected at
+///      admission instead of running to the trap.
+///   3. The artifact verifier — per-function stack/frame bounds tighten
+///      the `frame-size` and `call-shape` checks on every tier, including
+///      the optimizing one.
+///
+/// Soundness contract (fuzz-verified by the differ on every seed): observed
+/// call depth never exceeds DepthBound when DepthBounded; observed memory
+/// pages never exceed PageBound when PagesBounded; no executed function is
+/// ever reported unreachable; and a trap-free run of an export reaches at
+/// least its MustDepth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_ANALYSIS_ANALYSIS_H
+#define WISP_ANALYSIS_ANALYSIS_H
+
+#include "wasm/module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+/// MustDepth value meaning "no trap-free complete execution exists"
+/// (unconditional recursion): the job must trap under ANY finite cap.
+constexpr uint32_t AnalysisDepthInfinite = UINT32_MAX;
+
+/// One lint finding. Every finding is a *guarantee*, not a heuristic:
+/// unreachable means no call path from any root can reach the function;
+/// a guaranteed-trap site traps on every execution that reaches it; a
+/// dead br_table case can never be selected.
+struct LintFinding {
+  enum Kind : uint8_t {
+    UnreachableFunc, ///< No path from exports/start/tables reaches it.
+    GuaranteedTrap,  ///< Site traps whenever executed.
+    DeadBrTableCase, ///< Constant selector: cases that cannot be picked.
+  };
+  Kind K = GuaranteedTrap;
+  uint32_t FuncIndex = 0;
+  uint32_t Ip = 0; ///< Bytecode offset; the body start for function-level.
+  std::string Detail;
+};
+
+const char *lintKindName(LintFinding::Kind K);
+
+/// Per-function facts from one pass of the abstract interpreter.
+struct FuncFacts {
+  uint32_t FuncIndex = 0;
+  bool Imported = false;
+  /// Max operand-stack height over *reachable* opcodes (slots; locals
+  /// excluded). Always <= the validator's MaxStack, and a floor every
+  /// tier's frame must cover: FrameSlots >= locals + StackBound.
+  uint32_t StackBound = 0;
+  /// Declared locals (params included) + StackBound.
+  uint32_t FrameSlotBound = 0;
+  bool HasLoop = false;        ///< Contains a `loop` header.
+  bool GrowsMemory = false;    ///< Contains `memory.grow`.
+  bool HasIndirectCall = false;
+  std::vector<uint32_t> Callees; ///< Direct callees, deduped, sorted.
+  /// Worst-case call depth in frames (this function's frame = 1) over
+  /// every possible call chain, when DepthBounded. Indirect calls add
+  /// conservative edges to every type-compatible table-segment function.
+  bool DepthBounded = false;
+  uint32_t DepthBound = 0;
+  /// Guaranteed minimum call depth of any trap-free complete execution:
+  /// direct calls on the unconditional prefix of the body (before the
+  /// first branch, loop, indirect call or side exit) must execute.
+  /// AnalysisDepthInfinite encodes unconditional recursion.
+  uint32_t MustDepth = 1;
+  /// Reachable from the module roots (exports, start, escaped refs).
+  bool Reachable = false;
+  /// Part of a call-graph cycle (conservative: indirect edges included).
+  bool InRecursiveScc = false;
+};
+
+/// Whole-module facts: the per-function layer plus the interprocedural
+/// call-graph, memory and table facts, and the collected lint findings.
+struct ModuleAnalysis {
+  std::vector<FuncFacts> Funcs;
+  /// No call-graph cycle anywhere (conservative indirect edges included).
+  bool RecursionFree = false;
+  /// No reachable function contains a loop (with RecursionFree, every
+  /// execution terminates and total work is statically bounded).
+  bool LoopFree = false;
+  /// Worst-case call depth from any root, when DepthBounded.
+  bool DepthBounded = false;
+  uint32_t DepthBound = 0;
+  bool HasMemory = false;
+  uint32_t MinPages = 0;
+  /// Some *reachable* function contains memory.grow (host functions never
+  /// grow wasm linear memory, so this is the only growth channel).
+  bool GrowsMemory = false;
+  /// Static bound on linear-memory pages ever held, when PagesBounded:
+  /// the declared min if no reachable memory.grow exists, else the
+  /// declared max. Unbounded only for growing memories without a max.
+  bool PagesBounded = false;
+  uint32_t PageBound = 0;
+  /// Largest declared table element count. The feature set has no
+  /// table.grow, so table sizes are static — growth-freedom is a fact.
+  uint32_t TableElems = 0;
+  std::vector<LintFinding> Lints;
+
+  bool clean() const { return Lints.empty(); }
+};
+
+/// Per-function pass only (no interprocedural layer): cheap enough to run
+/// per artifact inside the verifier path. \p F must be a validated,
+/// module-defined function.
+FuncFacts analyzeFunction(const Module &M, const FuncDecl &F);
+
+/// Full module analysis: per-function pass + call graph + memory facts +
+/// lints. \p M must be decoded and validated.
+ModuleAnalysis analyzeModule(const Module &M);
+
+// --- Report surfaces -----------------------------------------------------
+
+/// Human-readable report (the `wisp --analyze` output).
+std::string analysisReportText(const Module &M, const ModuleAnalysis &A,
+                               const std::string &ModuleName);
+
+/// Machine-readable JSON artifact sharing the serializer with
+/// `wisp --audit --json`.
+std::string analysisReportJson(const Module &M, const ModuleAnalysis &A,
+                               const std::string &ModuleName);
+
+// --- Admission precheck --------------------------------------------------
+
+/// Decides whether a job provably cannot complete under the effective
+/// governance caps: its memory/table declarations would be rejected at
+/// load, or every trap-free execution of \p Invoke (or the start
+/// function) must exceed the call-depth cap. Caps of 0 mean the engine
+/// defaults (call depth 4096; pages bounded only by the architecture).
+/// Returns true when the job must be rejected and fills \p Reason.
+/// \p Invoke may be empty (checks only load-time and start-function
+/// bounds) or name a missing export (not this function's concern — the
+/// job will error at lookup).
+bool staticBoundsReject(const Module &M, const ModuleAnalysis &A,
+                        const std::string &Invoke, uint32_t MaxCallDepth,
+                        uint32_t MaxMemoryPages, uint32_t MaxTableElems,
+                        std::string *Reason);
+
+} // namespace wisp
+
+#endif // WISP_ANALYSIS_ANALYSIS_H

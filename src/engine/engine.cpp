@@ -6,6 +6,7 @@
 
 #include "engine/engine.h"
 
+#include "analysis/analysis.h"
 #include "baselines/copypatch.h"
 #include "baselines/twopass.h"
 #include "interp/interpreter.h"
@@ -132,6 +133,11 @@ bool Engine::verifyMCodeArtifact(const Module &M, const FuncDecl &F,
   VerifyScope Scope = Kind == CompilerKind::Optimizing
                           ? VerifyScope::optimizing()
                           : VerifyScope::baseline();
+  // Tighten with per-function analyzer facts: the reachable-only operand-
+  // stack bound upgrades the frame-size floor and adds argument-window
+  // bounds on every tier — the optimizing one included, which previously
+  // got purely structural checks.
+  Scope = Scope.withFacts(analyzeFunction(M, F).StackBound);
   VerifyReport R = verifyMachineCode(M, F, Code, Scope);
   if (R.ok())
     return true;

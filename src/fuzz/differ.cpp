@@ -6,10 +6,13 @@
 
 #include "fuzz/differ.h"
 
+#include "analysis/analysis.h"
 #include "engine/engine.h"
 #include "instr/monitors.h"
 #include "support/format.h"
 #include "support/rng.h"
+#include "wasm/reader.h"
+#include "wasm/validator.h"
 
 #include <cstring>
 
@@ -121,6 +124,7 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
     // offsets are meaningless and excluded from trap-site comparison.
     Run.TrapPcKnown = Base != "opt";
   }
+  Run.HighWaterFrames = E.thread().HighWaterFrames;
   const LinearMemory &Mem = LM->Inst->Memory;
   Run.Memory.assign(Mem.data(), Mem.data() + Mem.byteSize());
   for (const Global &G : LM->Inst->Globals)
@@ -208,6 +212,7 @@ TierRun runPoolTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
       Run.TrapIp = E.thread().TrapIp;
       Run.TrapPcKnown = Base != "opt";
     }
+    Run.HighWaterFrames = E.thread().HighWaterFrames;
     // Capture every observable before recycle() hands the instance (and
     // its linear memory) back to the pool.
     const LinearMemory &Mem = LM->Inst->Memory;
@@ -244,6 +249,49 @@ uint64_t fuelBudgetFor(const std::vector<uint8_t> &Bytes,
   for (const Value &V : Args)
     H = (H ^ V.Bits) * 0x100000001b3ULL;
   return 1 + (H % 32);
+}
+
+/// Checks one executed run against the static analyzer's guarantees.
+/// Returns an empty string when every bound held, else a description of
+/// the first violation (reported with the "static-bounds" signature).
+/// Upper bounds (call depth, memory pages, reachability) hold for partial
+/// executions too, so governed/fuel runs are checked the same way; the
+/// MustDepth lower bound only constrains trap-free complete runs and is
+/// gated on \p CheckMustDepth.
+std::string staticBoundsViolation(const Module &M, const ModuleAnalysis &A,
+                                  const std::string &ExportName,
+                                  const TierRun &Run, bool CheckMustDepth) {
+  if (!Run.LoadOk)
+    return "";
+  if (A.DepthBounded && Run.HighWaterFrames > A.DepthBound)
+    return strFormat("%s: observed call depth %u exceeds the static bound %u",
+                     Run.Tier.c_str(), Run.HighWaterFrames, A.DepthBound);
+  if (A.PagesBounded &&
+      Run.Memory.size() > size_t(A.PageBound) * WasmPageSize)
+    return strFormat("%s: observed memory %zu bytes exceeds the static bound "
+                     "of %u pages",
+                     Run.Tier.c_str(), Run.Memory.size(), A.PageBound);
+  // Coverage-instrumented runs witness per-function entry: an executed
+  // function the analyzer called unreachable is a reachability unsoundness.
+  for (size_t I = 0; I < Run.EntryCounts.size() && I < A.Funcs.size(); ++I)
+    if (Run.EntryCounts[I] > 0 && !A.Funcs[I].Reachable)
+      return strFormat("%s: func %zu executed (%llu entries) but was "
+                       "reported statically unreachable",
+                       Run.Tier.c_str(), I,
+                       (unsigned long long)Run.EntryCounts[I]);
+  if (CheckMustDepth && Run.Trap == TrapReason::None) {
+    if (const Export *E = M.findExport(ExportName, ExternKind::Func)) {
+      uint32_t Must = A.Funcs[E->Index].MustDepth;
+      if (Run.HighWaterFrames < Must)
+        return strFormat("%s: trap-free run reached depth %u but the "
+                         "analyzer guarantees a minimum of %s",
+                         Run.Tier.c_str(), Run.HighWaterFrames,
+                         Must == AnalysisDepthInfinite
+                             ? "infinity (unconditional recursion)"
+                             : strFormat("%u", Must).c_str());
+    }
+  }
+  return "";
 }
 
 } // namespace
@@ -395,6 +443,29 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
     Report.Detail = Mismatch;
     return Report;
   }
+  // Static-bound soundness: every executed run is a dynamic witness against
+  // the analyzer's guarantees — observed call depth vs. DepthBound,
+  // observed pages vs. PageBound, coverage entries vs. reachability, and
+  // (trap-free runs) the MustDepth floor. A violation is an analyzer bug,
+  // reported with its own "static-bounds" signature so campaigns bucket it
+  // apart from tier divergences.
+  WasmError AErr;
+  std::unique_ptr<Module> AM = decodeModule(Bytes, &AErr);
+  if (AM && !validateModule(*AM, &AErr))
+    AM.reset(); // Reference loaded, so this cannot happen; stay safe.
+  ModuleAnalysis MA;
+  if (AM)
+    MA = analyzeModule(*AM);
+  for (const TierRun &Run : Report.Runs) {
+    if (!AM)
+      break;
+    std::string V = staticBoundsViolation(*AM, MA, ExportName, Run, true);
+    if (!V.empty()) {
+      Report.Diverged = true;
+      Report.Detail = "static-bounds: " + V;
+      return Report;
+    }
+  }
   // Fuel-determinism configurations: every tier re-runs the seed governed
   // by the same deliberately tiny, seed-derived fuel budget and must halt
   // in exactly the same state as the switch interpreter under that budget
@@ -414,6 +485,19 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
       Report.Diverged = true;
       Report.Detail = strFormat("verifier rejection (%s): %s",
                                 Run.Tier.c_str(), Run.VerifierReject.c_str());
+      return Report;
+    }
+  }
+  // Upper bounds hold for partial executions, so the governed family is
+  // checked too (MustDepth is not: fuel exhaustion legitimately halts a
+  // run short of its guaranteed depth).
+  for (const TierRun &Run : FuelRuns) {
+    if (!AM)
+      break;
+    std::string V = staticBoundsViolation(*AM, MA, ExportName, Run, false);
+    if (!V.empty()) {
+      Report.Diverged = true;
+      Report.Detail = "static-bounds: " + V;
       return Report;
     }
   }

@@ -42,6 +42,10 @@ struct TierRun {
   /// agreement is only checked between runs where this is true.
   bool TrapPcKnown = false;
   std::vector<Value> Results;
+  /// High-water wasm frame count the run's thread observed (start function
+  /// included) — the dynamic witness checked against the static analyzer's
+  /// call-depth bounds on every seed.
+  uint32_t HighWaterFrames = 0;
   std::vector<uint8_t> Memory;      ///< Final linear memory contents.
   std::vector<uint64_t> GlobalBits; ///< Final global values, in order.
   /// Monitor configurations ("+mon" tiers): branch and coverage monitors

@@ -118,6 +118,8 @@ bool wisp::pushWasmFrame(Thread &T, FuncInstance *Func, uint32_t ArgBase) {
     }
   }
   T.Frames.push_back(F);
+  if (T.Frames.size() > T.HighWaterFrames)
+    T.HighWaterFrames = uint32_t(T.Frames.size());
   return true;
 }
 

@@ -65,6 +65,11 @@ public:
   TrapReason Trap = TrapReason::None;
   uint32_t TrapIp = 0;
   uint32_t MaxFrames = 4096;
+  /// High-water mark of Frames.size() since construction (or since a
+  /// harness reset it). Every tier pushes wasm frames through the same
+  /// path, so this is the tier-independent observed call depth — the
+  /// dynamic witness the differ checks against the static DepthBound.
+  uint32_t HighWaterFrames = 0;
 
   // --- Execution governance (fuel, deadlines, cancellation) ---
   //

@@ -6,8 +6,11 @@
 
 #include "service/batch.h"
 
+#include "analysis/analysis.h"
 #include "engine/registry.h"
 #include "suites/suites.h"
+#include "wasm/reader.h"
+#include "wasm/validator.h"
 #include "support/clock.h"
 #include "support/format.h"
 
@@ -464,6 +467,44 @@ BatchReport runBatch(const std::vector<BatchJob> &Jobs,
   CompileCache *SharedCache = Opts.CompileCache ? &Cache : nullptr;
   double T0 = nowMs();
 
+  // Static admission precheck: a job whose analyzer-inferred bounds prove
+  // it cannot complete under the effective caps (batch engines run with
+  // the defaults: 4096-frame call depth, architecture-bounded pages) gets
+  // its deterministic error result filled in here and never reaches the
+  // queue. Decisions are memoized per (module spec, invoke) since
+  // manifests repeat specs heavily.
+  std::vector<bool> Skip(Jobs.size(), false);
+  if (Opts.StaticPrecheck) {
+    std::map<std::string, std::pair<bool, std::string>> Memo;
+    for (size_t I = 0; I < Jobs.size(); ++I) {
+      const BatchJob &Job = Jobs[I];
+      if (Job.Bytes.empty())
+        continue; // Unresolved spec: the worker path reports the error.
+      std::string Key =
+          strFormat("%s\x1f%d\x1f%d\x1f%s", Job.Module.c_str(), Job.Scale,
+                    int(Job.UseM0), Job.Invoke.c_str());
+      auto It = Memo.find(Key);
+      if (It == Memo.end()) {
+        std::pair<bool, std::string> Decision{false, std::string()};
+        WasmError WErr;
+        std::unique_ptr<Module> M = decodeModule(Job.Bytes, &WErr);
+        if (M && validateModule(*M, &WErr)) {
+          ModuleAnalysis A = analyzeModule(*M);
+          Decision.first = staticBoundsReject(*M, A, Job.Invoke, 0, 0, 0,
+                                              &Decision.second);
+        }
+        It = Memo.emplace(std::move(Key), std::move(Decision)).first;
+      }
+      if (It->second.first) {
+        Skip[I] = true;
+        BatchJobResult &R = Report.Results[I];
+        R.Index = Job.Index;
+        R.Ok = false;
+        R.Error = "static-bounds: " + It->second.second;
+      }
+    }
+  }
+
   // Bounded to 2x the worker count: enough to keep every worker fed,
   // small enough that submission exerts backpressure.
   BoundedQueue Queue(size_t(Report.Workers) * 2);
@@ -489,7 +530,8 @@ BatchReport runBatch(const std::vector<BatchJob> &Jobs,
     });
   }
   for (uint32_t I = 0; I < uint32_t(Jobs.size()); ++I)
-    Queue.push(I);
+    if (!Skip[I])
+      Queue.push(I);
   Queue.close();
   for (std::thread &Th : Pool)
     Th.join();

@@ -107,6 +107,12 @@ struct BatchOptions {
   /// (engines and instances are single-threaded; see engine/engine.h),
   /// so no job ever observes another worker's instance.
   bool PoolInstances = true;
+  /// Static admission precheck: jobs whose analyzer-inferred bounds prove
+  /// they cannot complete under the effective caps (batch mode runs with
+  /// engine defaults) are answered with an "error: static-bounds: ..."
+  /// result at admission instead of being scheduled and run to the trap.
+  /// The CLI exposes --no-static-precheck to turn this off.
+  bool StaticPrecheck = true;
 };
 
 /// Parses manifest text: one job per non-empty, non-comment line,

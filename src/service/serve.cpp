@@ -6,9 +6,12 @@
 
 #include "service/serve.h"
 
+#include "analysis/analysis.h"
 #include "engine/registry.h"
 #include "support/clock.h"
 #include "support/format.h"
+#include "wasm/reader.h"
+#include "wasm/validator.h"
 
 #include <cctype>
 #include <cerrno>
@@ -270,6 +273,44 @@ std::string runServeJob(ServeWorker &W, const ServeOptions &Opts,
   return Body;
 }
 
+/// Reader-thread admission precheck: decides once per distinct
+/// (module spec, invoke) whether the job's static bounds prove it cannot
+/// complete under the session caps, and memoizes the decision so repeat
+/// jobs — the steady state of a serve session — cost one map lookup. A
+/// spec that fails to resolve/decode/validate is NOT rejected here: the
+/// worker path owns those error reports.
+class StaticPrecheck {
+public:
+  bool reject(const BatchJob &Job, ModuleCache &Modules,
+              const ServeOptions &Opts, std::string *Reason) {
+    std::string Key =
+        strFormat("%s\x1f%d\x1f%d\x1f%s", Job.Module.c_str(), Job.Scale,
+                  int(Job.UseM0), Job.Invoke.c_str());
+    auto It = Memo.find(Key);
+    if (It == Memo.end()) {
+      std::pair<bool, std::string> Decision{false, std::string()};
+      std::shared_ptr<std::vector<uint8_t>> Bytes;
+      std::string Err;
+      if (Modules.resolve(Job, &Bytes, &Err)) {
+        WasmError WErr;
+        std::unique_ptr<Module> M = decodeModule(*Bytes, &WErr);
+        if (M && validateModule(*M, &WErr)) {
+          ModuleAnalysis A = analyzeModule(*M);
+          Decision.first = staticBoundsReject(
+              *M, A, Job.Invoke, Opts.MaxCallDepth, Opts.MaxMemoryPages,
+              Opts.MaxTableElems, &Decision.second);
+        }
+      }
+      It = Memo.emplace(std::move(Key), std::move(Decision)).first;
+    }
+    *Reason = It->second.second;
+    return It->second.first;
+  }
+
+private:
+  std::map<std::string, std::pair<bool, std::string>> Memo;
+};
+
 /// SIGTERM/SIGINT flag for CLI serve mode. The handlers are installed
 /// WITHOUT SA_RESTART so a blocking stdin read returns EINTR and the
 /// reader notices the flag instead of waiting for the next job line.
@@ -317,6 +358,7 @@ ServeStats runServe(FILE *In, FILE *Out, const ServeOptions &Opts) {
   ServeQueue Queue(QueueCap);
   CompileCache Cache(CompileCache::configuredCapacityBytes());
   ModuleCache Modules;
+  StaticPrecheck Precheck; // Reader-thread only; no lock needed.
   std::mutex OutMu; // Guards Out, Stats counters and the latency vector.
 
   std::vector<std::thread> Pool;
@@ -411,6 +453,24 @@ ServeStats runServe(FILE *In, FILE *Out, const ServeOptions &Opts) {
       fprintf(Out, "reject - parse: %s\n", Err.c_str());
       fflush(Out);
       continue;
+    }
+    // Static admission precheck: a job that provably cannot complete
+    // under the session caps is shed here — exactly-once, before it
+    // consumes a queue slot or a worker — mirroring the queue-full reject
+    // flow (same id assignment, Rejected counter, no Accepted bump).
+    if (Opts.StaticPrecheck) {
+      std::string Reason;
+      if (Precheck.reject(Parsed[0], Modules, Opts, &Reason)) {
+        std::lock_guard<std::mutex> L(OutMu);
+        std::string Id = lineHasExplicitId(Line)
+                             ? Parsed[0].Id
+                             : std::to_string(Stats.Accepted);
+        ++Stats.Rejected;
+        fprintf(Out, "reject %s static-bounds: %s\n", Id.c_str(),
+                Reason.c_str());
+        fflush(Out);
+        continue;
+      }
     }
     ServeJob SJ;
     SJ.Job = std::move(Parsed[0]);

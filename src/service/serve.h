@@ -63,6 +63,13 @@ struct ServeOptions {
   uint32_t MaxCallDepth = 0;
   uint32_t MaxMemoryPages = 0;
   uint32_t MaxTableElems = 0;
+  /// Static admission precheck: a job whose analyzer-inferred bounds prove
+  /// it cannot complete under the session caps (declared memory/table
+  /// minima over the caps, or a guaranteed call depth over MaxCallDepth)
+  /// is shed at admission with `reject <id> static-bounds: <reason>` —
+  /// exactly-once, before it consumes a queue slot or a worker. Decisions
+  /// are memoized per (module spec, invoke). --no-static-precheck disables.
+  bool StaticPrecheck = true;
   /// Non-zero enables deterministic fault injection (see \file comment).
   uint64_t FaultSeed = 0;
   /// Let SIGTERM/SIGINT stop admission and drain (CLI mode). Off by

@@ -1,0 +1,169 @@
+//===- support/json.h - minimal JSON writer ---------------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small append-only JSON serializer shared by the machine-readable
+/// report surfaces (`wisp --analyze`, `wisp --audit --json`). Callers are
+/// responsible for structural balance (every obj() gets a close()); the
+/// writer handles quoting, escaping and comma placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SUPPORT_JSON_H
+#define WISP_SUPPORT_JSON_H
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wisp {
+
+class JsonWriter {
+public:
+  std::string take() { return std::move(Out); }
+  const std::string &str() const { return Out; }
+
+  void obj() {
+    comma();
+    Out += '{';
+    First.push_back(true);
+  }
+  void arr() {
+    comma();
+    Out += '[';
+    First.push_back(true);
+  }
+  void closeObj() {
+    Out += '}';
+    First.pop_back();
+  }
+  void closeArr() {
+    Out += ']';
+    First.pop_back();
+  }
+
+  void key(const char *K) {
+    comma();
+    quote(K);
+    Out += ':';
+    Pending = true;
+  }
+  void keyObj(const char *K) {
+    key(K);
+    Out += '{';
+    First.push_back(true);
+    Pending = false;
+  }
+  void keyArr(const char *K) {
+    key(K);
+    Out += '[';
+    First.push_back(true);
+    Pending = false;
+  }
+
+  void str(const char *K, const std::string &V) {
+    key(K);
+    value(V);
+  }
+  void num(const char *K, uint64_t V) {
+    key(K);
+    char Buf[24];
+    snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+    Out += Buf;
+    Pending = false;
+  }
+  void num(const char *K, int64_t V) {
+    key(K);
+    char Buf[24];
+    snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+    Out += Buf;
+    Pending = false;
+  }
+  void num(const char *K, uint32_t V) { num(K, uint64_t(V)); }
+  void num(const char *K, double V) {
+    key(K);
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%.6g", V);
+    Out += Buf;
+    Pending = false;
+  }
+  void boolean(const char *K, bool V) {
+    key(K);
+    Out += V ? "true" : "false";
+    Pending = false;
+  }
+
+  /// Array-element values (no key).
+  void value(const std::string &V) {
+    if (!Pending)
+      comma();
+    quote(V.c_str());
+    Pending = false;
+  }
+  void value(uint64_t V) {
+    if (!Pending)
+      comma();
+    char Buf[24];
+    snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+    Out += Buf;
+    Pending = false;
+  }
+
+private:
+  void comma() {
+    if (Pending) {
+      Pending = false;
+      return;
+    }
+    if (!First.empty()) {
+      if (!First.back())
+        Out += ',';
+      First.back() = false;
+    }
+  }
+  void quote(const char *S) {
+    Out += '"';
+    for (const char *P = S; *P; ++P) {
+      unsigned char C = (unsigned char)*P;
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      case '\r':
+        Out += "\\r";
+        break;
+      default:
+        if (C < 0x20) {
+          char Buf[8];
+          snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += char(C);
+        }
+      }
+    }
+    Out += '"';
+  }
+
+  std::string Out;
+  std::vector<bool> First;
+  bool Pending = false;
+};
+
+} // namespace wisp
+
+#endif // WISP_SUPPORT_JSON_H

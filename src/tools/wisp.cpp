@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/analysis.h"
 #include "baselines/copypatch.h"
 #include "baselines/twopass.h"
 #include "engine/engine.h"
@@ -28,6 +29,7 @@
 #include "spc/compiler.h"
 #include "suites/suites.h"
 #include "support/clock.h"
+#include "support/json.h"
 #include "verify/verifier.h"
 #include "wasm/reader.h"
 #include "wasm/validator.h"
@@ -78,6 +80,19 @@ const char *UsageText =
     "                   threaded-IR pre-decoder and print a per-compiler\n"
     "                   verification report; exits nonzero on any finding.\n"
     "                   Mutually exclusive with execution flags\n"
+    "  --analyze        static-analysis mode: instead of running, print the\n"
+    "                   whole-module analysis report — per-function operand\n"
+    "                   stack/frame bounds, call graph (recursion, worst-\n"
+    "                   case call depth), loop freedom, memory-page bounds\n"
+    "                   and lint findings (unreachable functions,\n"
+    "                   guaranteed-trap sites, dead br_table cases). The\n"
+    "                   report is tier-independent. Exits 1 when any lint\n"
+    "                   finding fires, 0 on a clean module.\n"
+    "                   WISP_ANALYZE_JSON=<path> additionally writes the\n"
+    "                   machine-readable artifact\n"
+    "  --json           with --analyze or --audit: print the machine-\n"
+    "                   readable JSON report on stdout instead of the\n"
+    "                   human-readable one\n"
     "  --no-compile-cache\n"
     "                   disable the content-addressed compile cache\n"
     "                   (repeated loads of identical modules/bodies under\n"
@@ -119,7 +134,15 @@ const char *UsageText =
     "                   gracefully. --fuel/--deadline-ms set per-job\n"
     "                   defaults (manifest keys override), --max-* set\n"
     "                   session-wide caps; WISP_FAULT_SEED=N enables\n"
-    "                   deterministic fault injection for stress testing\n"
+    "                   deterministic fault injection for stress testing.\n"
+    "                   Jobs whose static bounds provably exceed the caps\n"
+    "                   are shed at admission ('reject <id> static-bounds:\n"
+    "                   <reason>')\n"
+    "  --no-static-precheck\n"
+    "                   disable the static admission precheck (requires\n"
+    "                   --batch or --serve): provably-over-cap jobs are\n"
+    "                   admitted and run to the governed trap instead of\n"
+    "                   being rejected at admission\n"
     "  --queue-cap=K    serve admission-queue capacity (default 4x jobs)\n"
     "  --jobs=K         worker threads (default 1; requires --batch or\n"
     "                   --serve)\n"
@@ -198,6 +221,9 @@ struct CliOptions {
   bool Time = false;
   bool Verify = false;
   bool Audit = false;
+  bool Analyze = false;
+  bool Json = false; ///< --analyze/--audit machine-readable output.
+  bool NoStaticPrecheck = false; ///< Disable batch/serve admission precheck.
   bool NoCompileCache = false;
   bool NoInstancePool = false;
   bool List = false;
@@ -214,6 +240,51 @@ struct CliOptions {
   uint32_t MaxPages = 0;
   uint32_t MaxTableElems = 0;
 };
+
+/// Analyze mode: instead of executing, run the whole-module static
+/// analysis and print the report — human-readable by default, the JSON
+/// machine artifact with --json. WISP_ANALYZE_JSON=<path> additionally
+/// writes the JSON artifact to a file (the WISP_BENCH_JSON idiom). The
+/// report is tier-independent: any --tier/--config value yields identical
+/// output. Exits 1 when any lint finding fires, 0 on a clean module.
+int runAnalyzeMode(const CliOptions &Opt) {
+  std::vector<uint8_t> Bytes;
+  std::string ResolveErr;
+  if (!resolveModuleSpec(Opt.Module, Opt.Scale, Opt.UseM0, &Bytes,
+                         &ResolveErr)) {
+    fprintf(stderr, "wisp: %s (see --list)\n", ResolveErr.c_str());
+    return 1;
+  }
+  WasmError Err;
+  std::unique_ptr<Module> M = decodeModule(std::move(Bytes), &Err);
+  if (!M) {
+    fprintf(stderr, "wisp: decode failed: %s (offset %zu)\n",
+            Err.Message.c_str(), Err.Offset);
+    return 1;
+  }
+  if (!validateModule(*M, &Err)) {
+    fprintf(stderr, "wisp: validation failed: %s (offset %zu)\n",
+            Err.Message.c_str(), Err.Offset);
+    return 1;
+  }
+  ModuleAnalysis A = analyzeModule(*M);
+  std::string Json = analysisReportJson(*M, A, Opt.Module);
+  if (Opt.Json)
+    fputs(Json.c_str(), stdout);
+  else
+    fputs(analysisReportText(*M, A, Opt.Module).c_str(), stdout);
+  if (const char *Path = getenv("WISP_ANALYZE_JSON")) {
+    FILE *F = fopen(Path, "w");
+    if (!F) {
+      fprintf(stderr, "wisp: cannot write WISP_ANALYZE_JSON file '%s'\n",
+              Path);
+      return 1;
+    }
+    fputs(Json.c_str(), F);
+    fclose(F);
+  }
+  return A.clean() ? 0 : 1;
+}
 
 /// Audit mode: instead of executing, push every function of the module
 /// through all four compiler pipelines and the threaded-IR pre-decoder and
@@ -242,8 +313,6 @@ int runAuditMode(const CliOptions &Opt) {
   for (const FuncDecl &F : M->Funcs)
     if (!F.Imported)
       ++Bodies;
-  printf("audit: %s, %zu function bod%s\n", Opt.Module.c_str(), Bodies,
-         Bodies == 1 ? "y" : "ies");
 
   // Each pipeline is audited under the options its production tier ships
   // with (the Fig. 3/10 registry shapes), so the artifacts checked here
@@ -258,13 +327,19 @@ int runAuditMode(const CliOptions &Opt) {
       {"copy-and-patch", CompilerKind::CopyPatch},
       {"optimizing", CompilerKind::Optimizing},
   };
+  /// One audited pipeline, collected so the text and JSON emitters share
+  /// the same pass over the compilers.
+  struct PipelineAudit {
+    const char *Label;
+    size_t Artifacts;
+    size_t Findings;
+    std::string Text;
+  };
+  std::vector<PipelineAudit> Audits;
   size_t TotalFindings = 0;
   auto report = [&](const char *Label, size_t Artifacts, size_t NFind,
                     const std::string &Text) {
-    printf("  %-15s %s: %zu artifact(s), %zu finding(s)\n", Label,
-           NFind ? "FAIL" : "ok", Artifacts, NFind);
-    if (!Text.empty())
-      printf("%s", Text.c_str());
+    Audits.push_back(PipelineAudit{Label, Artifacts, NFind, Text});
     TotalFindings += NFind;
   };
   for (const Pipeline &P : Pipelines) {
@@ -334,12 +409,42 @@ int runAuditMode(const CliOptions &Opt) {
     }
     report("threaded-ir", Artifacts, NFind, Text);
   }
-  if (TotalFindings) {
-    printf("audit: FAILED with %zu finding(s)\n", TotalFindings);
-    return 1;
+  if (Opt.Json) {
+    // Machine-readable report, same serializer as `wisp --analyze --json`.
+    JsonWriter W;
+    W.obj();
+    W.str("module", Opt.Module);
+    W.num("bodies", uint64_t(Bodies));
+    W.keyArr("pipelines");
+    for (const PipelineAudit &A : Audits) {
+      W.obj();
+      W.str("name", A.Label);
+      W.num("artifacts", uint64_t(A.Artifacts));
+      W.num("findings", uint64_t(A.Findings));
+      if (!A.Text.empty())
+        W.str("detail", A.Text);
+      W.closeObj();
+    }
+    W.closeArr();
+    W.num("total_findings", uint64_t(TotalFindings));
+    W.boolean("ok", TotalFindings == 0);
+    W.closeObj();
+    printf("%s\n", W.str().c_str());
+  } else {
+    printf("audit: %s, %zu function bod%s\n", Opt.Module.c_str(), Bodies,
+           Bodies == 1 ? "y" : "ies");
+    for (const PipelineAudit &A : Audits) {
+      printf("  %-15s %s: %zu artifact(s), %zu finding(s)\n", A.Label,
+             A.Findings ? "FAIL" : "ok", A.Artifacts, A.Findings);
+      if (!A.Text.empty())
+        printf("%s", A.Text.c_str());
+    }
+    if (TotalFindings)
+      printf("audit: FAILED with %zu finding(s)\n", TotalFindings);
+    else
+      printf("audit: all artifacts verified\n");
   }
-  printf("audit: all artifacts verified\n");
-  return 0;
+  return TotalFindings ? 1 : 0;
 }
 
 /// Batch mode: parse + resolve the manifest, run it across the worker
@@ -363,6 +468,7 @@ int runBatchMode(const CliOptions &Opt) {
   BOpts.Workers = unsigned(Opt.Jobs);
   BOpts.CompileCache = !Opt.NoCompileCache;
   BOpts.PoolInstances = !Opt.NoInstancePool;
+  BOpts.StaticPrecheck = !Opt.NoStaticPrecheck;
   BatchReport Report = runBatch(Jobs, BOpts);
   printBatchReport(stdout, Jobs, Report, Opt.Stats);
   // Traps are results (reported per job); only infrastructure failures
@@ -386,6 +492,7 @@ int runServeMode(const CliOptions &Opt) {
   SOpts.MaxCallDepth = Opt.MaxCallDepth;
   SOpts.MaxMemoryPages = Opt.MaxPages;
   SOpts.MaxTableElems = Opt.MaxTableElems;
+  SOpts.StaticPrecheck = !Opt.NoStaticPrecheck;
   SOpts.InstallSignalHandlers = true;
   if (const char *S = getenv("WISP_FAULT_SEED")) {
     char *End = nullptr;
@@ -488,6 +595,12 @@ int main(int argc, char **argv) {
       Opt.Verify = true;
     } else if (A == "--audit") {
       Opt.Audit = true;
+    } else if (A == "--analyze") {
+      Opt.Analyze = true;
+    } else if (A == "--json") {
+      Opt.Json = true;
+    } else if (A == "--no-static-precheck") {
+      Opt.NoStaticPrecheck = true;
     } else if (A == "--no-compile-cache") {
       Opt.NoCompileCache = true;
     } else if (A == "--no-instance-pool") {
@@ -525,6 +638,8 @@ int main(int argc, char **argv) {
                            : Opt.Time              ? "--time"
                            : Opt.Verify            ? "--verify"
                            : Opt.Audit             ? "--audit"
+                           : Opt.Analyze           ? "--analyze"
+                           : Opt.Json              ? "--json"
                            : Opt.Serve             ? "--serve"
                            : Opt.Fuel              ? "--fuel"
                            : Opt.DeadlineMs        ? "--deadline-ms"
@@ -554,6 +669,8 @@ int main(int argc, char **argv) {
                            : Opt.Time              ? "--time"
                            : Opt.Verify            ? "--verify"
                            : Opt.Audit             ? "--audit"
+                           : Opt.Analyze           ? "--analyze"
+                           : Opt.Json              ? "--json"
                            : Opt.Stats             ? "--stats"
                            : !Opt.Module.empty()   ? "<module>"
                                                    : nullptr;
@@ -568,8 +685,37 @@ int main(int argc, char **argv) {
     return usageError("%s", "--jobs requires --batch or --serve\n");
   if (Opt.QueueCap)
     return usageError("%s", "--queue-cap requires --serve\n");
+  if (Opt.NoStaticPrecheck)
+    return usageError("%s", "--no-static-precheck requires --batch or "
+                            "--serve\n");
   if (Opt.Module.empty())
     return usageError("%s", "no module given\n");
+
+  // Analyze mode replaces execution entirely: the report is derived from
+  // the validated module alone, so execution flags conflict. --tier and
+  // --config stay accepted (and ignored) because the analysis is
+  // tier-independent by construction — identical output for every tier.
+  if (Opt.Analyze) {
+    const char *Conflict = Opt.Audit               ? "--audit"
+                           : Opt.InvokeSet          ? "--invoke"
+                           : !Opt.Monitors.empty()  ? "--monitor"
+                           : Opt.Verify             ? "--verify"
+                           : Opt.Time               ? "--time"
+                           : Opt.Stats              ? "--stats"
+                           : Opt.Fuel               ? "--fuel"
+                           : Opt.DeadlineMs         ? "--deadline-ms"
+                           : Opt.MaxCallDepth       ? "--max-call-depth"
+                           : Opt.MaxPages           ? "--max-pages"
+                           : Opt.MaxTableElems      ? "--max-table-elems"
+                                                    : nullptr;
+    if (Conflict)
+      return usageError("--analyze is mutually exclusive with execution "
+                        "flags (got %s; analysis never runs the module)\n",
+                        Conflict);
+    return runAnalyzeMode(Opt);
+  }
+  if (Opt.Json && !Opt.Audit)
+    return usageError("%s", "--json requires --analyze or --audit\n");
 
   // Audit mode replaces execution: it runs all pipelines itself, so every
   // tier/execution flag conflicts with it (verification is implied).

@@ -753,6 +753,29 @@ void MCodeVerifier::checkCallAndProbeShape() {
                           "%lld",
                           mopName(I.Op), (long long)I.Imm2,
                           (long long)Code.Insts[Pc - 1].Imm));
+      // Facts-tightened argument-window bounds, valid on every tier (the
+      // optimizing one included): the argument base can never dip into the
+      // locals area, and base + argument count must stay inside the frame
+      // reservation the prologue made.
+      if (Scope.HaveFacts &&
+          (I.Op == MOp::CallDirect ? uint64_t(I.Imm) < M.Funcs.size()
+                                   : uint64_t(I.Imm) < M.Types.size())) {
+        const FuncType &AFT = I.Op == MOp::CallDirect
+                                  ? M.funcType(uint32_t(I.Imm))
+                                  : M.Types[size_t(I.Imm)];
+        if (I.Imm2 < int64_t(NL))
+          finding("call-shape", Pc,
+                  strFormat("%s arg base %lld dips into the %u-slot locals "
+                            "area",
+                            mopName(I.Op), (long long)I.Imm2, NL));
+        else if (I.Imm2 + int64_t(AFT.Params.size()) >
+                 int64_t(Code.FrameSlots))
+          finding("call-shape", Pc,
+                  strFormat("%s arg base %lld + %zu args exceeds the %u-slot "
+                            "frame reservation",
+                            mopName(I.Op), (long long)I.Imm2,
+                            AFT.Params.size(), Code.FrameSlots));
+      }
       if (!Scope.CheckCallShape)
         continue;
       if (Pc == 0 || Code.Insts[Pc - 1].Op != MOp::StSp) {
@@ -841,6 +864,17 @@ void MCodeVerifier::checkFrameAndInsts() {
             strFormat("frame reserves %u slots but the function has %u "
                       "local slots",
                       Code.FrameSlots, NL));
+  // With analyzer facts the floor tightens from "covers the locals" to
+  // "covers locals + the reachable operand-stack bound" — and, unlike the
+  // structural check, this applies to the optimizing tier too (its frame
+  // is locals + spills + max reachable height + scratch, always >= this).
+  else if (Scope.HaveFacts && Code.FrameSlots < NL + Scope.OperandStackBound)
+    finding("frame-size", 0,
+            strFormat("frame reserves %u slots but the analyzer's reachable "
+                      "operand-stack bound demands %u (locals %u + stack "
+                      "bound %u)",
+                      Code.FrameSlots, NL + Scope.OperandStackBound, NL,
+                      Scope.OperandStackBound));
   if (N == 0) {
     finding("empty-code", 0, "compiled body contains no instructions");
     return;

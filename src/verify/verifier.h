@@ -90,9 +90,27 @@ struct VerifyScope {
   /// Calls/probes follow the baseline frame discipline: operands spilled
   /// to their canonical slots, arg base = locals + validator height - args.
   bool CheckCallShape = true;
+  /// Static-analysis facts are present: OperandStackBound below is the
+  /// analyzer's reachable-only operand-stack bound for this function, and
+  /// the tightened checks apply on EVERY tier (the optimizing one
+  /// included): the frame must reserve at least locals + bound slots, and
+  /// every call's argument window must sit above the locals area and
+  /// inside the frame reservation. Sound on the optimizing tier because
+  /// its frame is locals + spills + max reachable height + scratch, and
+  /// the reachable-only bound never counts dead-code pushes the optimizer
+  /// may elide.
+  bool HaveFacts = false;
+  uint32_t OperandStackBound = 0;
 
   static VerifyScope baseline() { return VerifyScope{}; }
   static VerifyScope optimizing() { return VerifyScope{false, false}; }
+  /// Attaches analyzer facts to either base scope.
+  VerifyScope withFacts(uint32_t StackBound) const {
+    VerifyScope S = *this;
+    S.HaveFacts = true;
+    S.OperandStackBound = StackBound;
+    return S;
+  }
 };
 
 /// Statically verifies one compiled function body against the validated

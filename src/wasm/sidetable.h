@@ -17,6 +17,7 @@
 #ifndef WISP_WASM_SIDETABLE_H
 #define WISP_WASM_SIDETABLE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -107,6 +107,46 @@ expect_fail(batch-audit-conflict "mutually exclusive.*--audit"
             --batch=m.txt --audit)
 expect_fail(verify-flag-value "unknown option" --verify=1 nop)
 expect_fail(audit-flag-value "unknown option" --audit=1 nop)
+
+# --- --analyze conflict matrix: analysis never runs the module, so every
+# --- execution flag conflicts; --batch/--serve own their own flag sets
+# --- (their matrices fire first); --audit is the other static mode.
+# --- --tier/--config are deliberately accepted (cli_smoke asserts the
+# --- report is identical across tiers).
+expect_fail(analyze-audit-conflict "mutually exclusive.*--audit"
+            --analyze --audit nop)
+expect_fail(analyze-invoke-conflict "mutually exclusive.*--invoke"
+            --analyze --invoke=run nop)
+expect_fail(analyze-monitor-conflict "mutually exclusive.*--monitor"
+            --analyze --monitor=branches nop)
+expect_fail(analyze-verify-conflict "mutually exclusive.*--verify"
+            --analyze --verify nop)
+expect_fail(analyze-time-conflict "mutually exclusive.*--time"
+            --analyze --time nop)
+expect_fail(analyze-stats-conflict "mutually exclusive.*--stats"
+            --analyze --stats nop)
+expect_fail(analyze-fuel-conflict "mutually exclusive.*--fuel"
+            --analyze --fuel=100 nop)
+expect_fail(analyze-depth-conflict "mutually exclusive.*--max-call-depth"
+            --analyze --max-call-depth=64 nop)
+expect_fail(batch-analyze-conflict "mutually exclusive.*--analyze"
+            --batch=m.txt --analyze)
+expect_fail(serve-analyze-conflict "mutually exclusive.*--analyze"
+            --serve --analyze)
+expect_fail(analyze-no-module "no module given" --analyze)
+expect_fail(analyze-flag-value "unknown option" --analyze=1 nop)
+# --json is a report format, not a mode of its own.
+expect_fail(json-without-mode "--json requires --analyze or --audit"
+            --json nop)
+expect_fail(batch-json-conflict "mutually exclusive.*--json"
+            --batch=m.txt --json)
+expect_fail(serve-json-conflict "mutually exclusive.*--json"
+            --serve --json)
+# --no-static-precheck governs batch/serve admission only.
+expect_fail(precheck-without-mode
+            "--no-static-precheck requires --batch or --serve"
+            --no-static-precheck nop)
+expect_fail(precheck-flag-value "unknown option" --no-static-precheck=1 nop)
 # --verify itself composes with a normal run.
 execute_process(
   COMMAND ${WISP_BIN} --verify --tier=spc nop

@@ -72,6 +72,65 @@ if(NOT OUT MATCHES "audit: all artifacts verified")
   message(FATAL_ERROR "wisp --audit ${ITEM} did not report success:\n${OUT}")
 endif()
 
+# Analyze mode: tier-independent by construction — the report must be
+# byte-identical under every --tier value, exit 0 on a clean module, and
+# name the analysis surfaces (call graph, memory bound, per-function
+# bounds). The --json artifact must be identical across tiers too.
+set(ANALYZE_REF "")
+foreach(tier int threaded spc copypatch twopass opt)
+  execute_process(
+    COMMAND ${WISP_BIN} --analyze --tier=${tier} ${ITEM}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+      "wisp --analyze --tier=${tier} ${ITEM} exited ${RC}\nstderr: ${ERR}")
+  endif()
+  if(ANALYZE_REF STREQUAL "")
+    set(ANALYZE_REF "${OUT}")
+  elseif(NOT OUT STREQUAL ANALYZE_REF)
+    message(FATAL_ERROR
+      "--analyze output differs on tier ${tier} (analysis must be "
+      "tier-independent):\n--- reference\n${ANALYZE_REF}\n--- ${tier}\n${OUT}")
+  endif()
+  execute_process(
+    COMMAND ${WISP_BIN} --analyze --json --tier=${tier} ${ITEM}
+    OUTPUT_VARIABLE JOUT
+    RESULT_VARIABLE JRC)
+  if(NOT JRC EQUAL 0)
+    message(FATAL_ERROR "wisp --analyze --json --tier=${tier} exited ${JRC}")
+  endif()
+  if(tier STREQUAL "int")
+    set(ANALYZE_JSON_REF "${JOUT}")
+  elseif(NOT JOUT STREQUAL ANALYZE_JSON_REF)
+    message(FATAL_ERROR "--analyze --json differs on tier ${tier}")
+  endif()
+endforeach()
+foreach(want "static analysis: ${ITEM}" "call graph:" "memory:"
+        "per-function bounds" "lints: none")
+  if(NOT ANALYZE_REF MATCHES "${want}")
+    message(FATAL_ERROR
+      "--analyze report is missing '${want}':\n${ANALYZE_REF}")
+  endif()
+endforeach()
+if(NOT ANALYZE_JSON_REF MATCHES "\"depth_bounded\":" OR
+   NOT ANALYZE_JSON_REF MATCHES "\"functions\":\\[" OR
+   NOT ANALYZE_JSON_REF MATCHES "\"lints\":\\[\\]")
+  message(FATAL_ERROR "--analyze --json artifact malformed:\n${ANALYZE_JSON_REF}")
+endif()
+
+# --audit --json shares the serializer: a clean module yields ok:true and
+# one entry per pipeline.
+execute_process(
+  COMMAND ${WISP_BIN} --audit --json ${ITEM}
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0 OR NOT OUT MATCHES "\"ok\":true" OR
+   NOT OUT MATCHES "\"name\":\"threaded-ir\"")
+  message(FATAL_ERROR "wisp --audit --json ${ITEM} malformed (rc=${RC}):\n${OUT}")
+endif()
+
 # The stats/timing surface must work on the minimal module.
 execute_process(
   COMMAND ${WISP_BIN} --tier=spc --invoke=run --stats --time nop
