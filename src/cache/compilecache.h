@@ -72,8 +72,15 @@ struct CacheStats {
   /// (toggle off, probed bodies) count neither hits nor misses.
   uint64_t CacheMisses = 0;
   /// Recorded build time of every served hit — the compile/decode work
-  /// this load did not repeat.
+  /// this load did not repeat. Disk hits contribute their recorded
+  /// original build time too (the work a cross-process warm start skips).
   uint64_t CacheSavedNs = 0;
+  /// Artifacts admitted from the on-disk second level (cache/diskcache.h)
+  /// after deserialization + re-verification. Counted instead of — not in
+  /// addition to — CacheHits/CacheMisses for that artifact.
+  uint64_t DiskHits = 0;
+  /// Disk lookups that found nothing usable and fell through to a build.
+  uint64_t DiskMisses = 0;
 };
 
 /// A 128-bit content-hash key. Collisions across distinct inputs are
@@ -189,6 +196,8 @@ public:
     uint64_t Misses = 0;
     uint64_t SavedNs = 0;   ///< Recorded build time of served hits.
     uint64_t Evictions = 0; ///< Entries dropped to stay under capacity.
+    uint64_t DiskHits = 0;  ///< Entries admitted from the disk level.
+    uint64_t DiskMisses = 0;///< Disk lookups that fell through to a build.
     size_t Entries = 0;     ///< Resident ready entries.
     size_t Bytes = 0;       ///< Approximate resident artifact bytes.
   };
@@ -219,14 +228,30 @@ public:
   getOrBuildModule(const CacheKey &K,
                    const std::function<std::shared_ptr<const Module>()> &Build,
                    CacheStats *Stats);
+  /// The compile and pre-decode lookups optionally take a second cache
+  /// level (process -> disk -> build): on a process miss \p DiskLoad runs
+  /// first — it must return a fully admitted artifact (deserialized AND
+  /// re-verified; admission policy belongs to the engine, not here) with
+  /// its original build time, or null to fall through to \p Build — and a
+  /// fresh \p Build result is handed to \p DiskStore for persistence.
+  /// Disk-admitted artifacts become ordinary resident entries: later
+  /// process hits on the key pay nothing and count as CacheHits.
   std::shared_ptr<const MCode>
   getOrCompile(const CacheKey &K,
                const std::function<std::shared_ptr<const MCode>()> &Build,
-               CacheStats *Stats);
-  std::shared_ptr<const ThreadedCode>
-  getOrPredecode(const CacheKey &K,
-                 const std::function<std::shared_ptr<const ThreadedCode>()> &Build,
-                 CacheStats *Stats);
+               CacheStats *Stats,
+               const std::function<std::shared_ptr<const MCode>(uint64_t *)>
+                   &DiskLoad = {},
+               const std::function<void(const MCode &, uint64_t)> &DiskStore =
+                   {});
+  std::shared_ptr<const ThreadedCode> getOrPredecode(
+      const CacheKey &K,
+      const std::function<std::shared_ptr<const ThreadedCode>()> &Build,
+      CacheStats *Stats,
+      const std::function<std::shared_ptr<const ThreadedCode>(uint64_t *)>
+          &DiskLoad = {},
+      const std::function<void(const ThreadedCode &, uint64_t)> &DiskStore =
+          {});
   std::shared_ptr<const InstanceImage> getOrBuildImage(
       const CacheKey &K,
       const std::function<std::shared_ptr<const InstanceImage>()> &Build,
@@ -253,9 +278,14 @@ private:
     size_t Bytes = 0;     ///< Valid when Ready.
   };
 
+  /// \p TryDisk (optional) is consulted before \p Build on a process
+  /// miss; \p StoreDisk (optional) receives freshly built payloads. Both
+  /// run outside the cache lock, like builders.
   std::shared_ptr<const void>
-  getOrBuildImpl(const CacheKey &K,
-                 const std::function<Payload()> &Build, CacheStats *Stats);
+  getOrBuildImpl(const CacheKey &K, const std::function<Payload()> &Build,
+                 CacheStats *Stats,
+                 const std::function<Payload()> &TryDisk = {},
+                 const std::function<void(const Payload &)> &StoreDisk = {});
   void evictLocked();
 
   mutable std::mutex Mu;

@@ -9,6 +9,7 @@
 #include "analysis/analysis.h"
 #include "baselines/copypatch.h"
 #include "baselines/twopass.h"
+#include "cache/diskcache.h"
 #include "interp/interpreter.h"
 #include "opt/optcompiler.h"
 #include "runtime/watchdog.h"
@@ -18,12 +19,26 @@
 #include "wasm/reader.h"
 #include "wasm/validator.h"
 
+#include <cstdlib>
+
 using namespace wisp;
 
 Engine::Engine(EngineConfig CfgIn, CompileCache *CacheIn, InstancePool *PoolIn)
     : Cfg(std::move(CfgIn)) {
   Cache = Cfg.UseCompileCache ? (CacheIn ? CacheIn : &CompileCache::process())
                               : nullptr;
+  // The persistent second level sits behind the in-process cache (it is
+  // consulted from inside the cache's miss path), so it requires one. A
+  // directory that cannot be opened degrades to uncached operation —
+  // never a load failure.
+  if (Cache && Cfg.UseDiskCache) {
+    std::string Dir = Cfg.DiskCacheDir;
+    if (Dir.empty())
+      if (const char *Env = getenv("WISP_CACHE_DIR"))
+        Dir = Env;
+    if (!Dir.empty())
+      Disk = DiskCache::open(Dir);
+  }
   if (Cfg.PoolInstances) {
     if (PoolIn) {
       Pool = PoolIn;
@@ -121,9 +136,34 @@ std::unique_ptr<MCode> Engine::compileRaw(const Module &M, const FuncDecl &F,
   return nullptr;
 }
 
+namespace {
+
+/// Applies an artifact's patch-point table against the engine's probe
+/// registry, resolving every engine-absolute operand the emitters left
+/// symbolic (machine/isa.h PatchKind). Runs after verification — the
+/// verifier checks the *relocatable* form, including that every CntInc is
+/// still unbound — and before the artifact is shared or installed. Probed
+/// bodies are the only ones with patch points, and they bypass the compile
+/// cache, so a bound artifact is always private to this engine.
+void bindPatchPoints(MCode &Code, const ProbeRegistry &Probes) {
+  for (const PatchPoint &P : Code.Patches) {
+    switch (P.Kind) {
+    case PatchKind::CounterCell:
+      Code.Insts[P.Pc].Imm = int64_t(
+          uintptr_t(Probes.counterAddr(Code.FuncIndex, uint32_t(P.Operand))));
+      break;
+    }
+  }
+}
+
+} // namespace
+
 std::unique_ptr<MCode> Engine::compileOne(const Module &M,
                                           const FuncDecl &F) {
-  return compileRaw(M, F, Cfg.Opts, Cfg.Compiler);
+  std::unique_ptr<MCode> Code = compileRaw(M, F, Cfg.Opts, Cfg.Compiler);
+  if (Code)
+    bindPatchPoints(*Code, Probes);
+  return Code;
 }
 
 bool Engine::verifyMCodeArtifact(const Module &M, const FuncDecl &F,
@@ -169,18 +209,67 @@ const MCode *Engine::compileShared(LoadedModule &LM, const FuncDecl &F,
   bool BuiltHere = false;
   auto Build = [&]() -> std::shared_ptr<const MCode> {
     BuiltHere = true;
-    std::shared_ptr<const MCode> Built = compileRaw(*LM.M, F, Opts, Kind);
+    std::unique_ptr<MCode> Built = compileRaw(*LM.M, F, Opts, Kind);
     if (Built && !verifyMCodeArtifact(*LM.M, F, *Built, Kind))
       return nullptr;
-    return Built;
+    // Bind after verification (which checks the relocatable form) and
+    // before sharing. On the cached path the table is empty — probed
+    // bodies bypass the cache — so cached artifacts stay relocatable.
+    if (Built)
+      bindPatchPoints(*Built, Probes);
+    return std::shared_ptr<const MCode>(std::move(Built));
   };
   std::shared_ptr<const MCode> C;
   if (cacheUsable()) {
     if (!LM.ContextDigest)
       LM.ContextDigest = moduleContextDigest(*LM.M);
-    C = Cache->getOrCompile(codeCacheKey(LM.ContextDigest, *LM.M, F, Kind,
-                                         Opts, Cfg.VerifyArtifacts),
-                            Build, &LM.Stats);
+    CacheKey K = codeCacheKey(LM.ContextDigest, *LM.M, F, Kind, Opts,
+                              Cfg.VerifyArtifacts);
+    // The persistent second level: the process cache consults it on a
+    // miss, before building, and offers fresh builds back for publication.
+    // Disk bytes crossed a process boundary, so they are re-verified here
+    // on every load — unconditionally, even when Cfg.VerifyArtifacts is
+    // off (the header checksum proves integrity, not provenance). A
+    // rejected file is deleted and the caller falls through to a clean
+    // rebuild; it is never served.
+    std::function<std::shared_ptr<const MCode>(uint64_t *)> DiskLoad;
+    std::function<void(const MCode &, uint64_t)> DiskStore;
+    if (Disk) {
+      DiskLoad = [&, K](uint64_t *BuildNs) -> std::shared_ptr<const MCode> {
+        std::vector<uint8_t> Payload;
+        if (!Disk->load(K, DiskArtifactKind::Code, &Payload, BuildNs,
+                        &DiskNote))
+          return nullptr;
+        std::shared_ptr<MCode> Code = deserializeMCode(Payload);
+        if (!Code) {
+          Disk->removeRejected(K, DiskArtifactKind::Code);
+          DiskNote = "disk artifact rejected (deserialization): " +
+                     Disk->path(K, DiskArtifactKind::Code);
+          return nullptr;
+        }
+        VerifyScope Scope = Kind == CompilerKind::Optimizing
+                                ? VerifyScope::optimizing()
+                                : VerifyScope::baseline();
+        Scope = Scope.withFacts(analyzeFunction(*LM.M, F).StackBound);
+        VerifyReport R = verifyMachineCode(*LM.M, F, *Code, Scope);
+        if (!R.ok()) {
+          Disk->removeRejected(K, DiskArtifactKind::Code);
+          DiskNote = "disk artifact rejected (verifier): " +
+                     Disk->path(K, DiskArtifactKind::Code) + "\n" + R.text();
+          return nullptr;
+        }
+        // The admitted artifact is relocatable by verifier rule (every
+        // CntInc unbound); bind it like a fresh build. cacheUsable ⇒ no
+        // probes ⇒ the table is empty today, but the ordering is load →
+        // verify → bind either way.
+        bindPatchPoints(*Code, Probes);
+        return Code;
+      };
+      DiskStore = [&, K](const MCode &Code, uint64_t BuildNs) {
+        Disk->store(K, DiskArtifactKind::Code, serializeMCode(Code), BuildNs);
+      };
+    }
+    C = Cache->getOrCompile(K, Build, &LM.Stats, DiskLoad, DiskStore);
     // A waiter served a failed in-flight build got null without running the
     // builder, so this engine's VerifyError is still empty. Compilation and
     // verification are deterministic: rebuild locally to reproduce the
@@ -388,10 +477,45 @@ bool Engine::predecodeAndInstall(LoadedModule &LM, FuncInstance *Func) {
     // never be inserted under — or served from — the unprobed key.
     if (!LM.ContextDigest)
       LM.ContextDigest = moduleContextDigest(*LM.M);
-    TC = Cache->getOrPredecode(irCacheKey(LM.ContextDigest, *LM.M,
-                                          *Func->Decl, Fuse, Gates,
-                                          Cfg.VerifyArtifacts),
-                               Build, &LM.Stats);
+    CacheKey K = irCacheKey(LM.ContextDigest, *LM.M, *Func->Decl, Fuse,
+                            Gates, Cfg.VerifyArtifacts);
+    // Disk second level, mirroring compileShared: deserialized IR is
+    // re-verified on every load regardless of Cfg.VerifyArtifacts, against
+    // the empty probe bitmap (cacheUsable ⇒ no probes, matching the
+    // cached-predecode precondition above). Damage or rejection deletes
+    // the file and falls through to a clean re-predecode.
+    std::function<std::shared_ptr<const ThreadedCode>(uint64_t *)> DiskLoad;
+    std::function<void(const ThreadedCode &, uint64_t)> DiskStore;
+    if (Disk) {
+      DiskLoad =
+          [&, K](uint64_t *BuildNs) -> std::shared_ptr<const ThreadedCode> {
+        std::vector<uint8_t> Payload;
+        if (!Disk->load(K, DiskArtifactKind::Ir, &Payload, BuildNs,
+                        &DiskNote))
+          return nullptr;
+        std::shared_ptr<ThreadedCode> TCd = deserializeThreadedCode(Payload);
+        if (!TCd) {
+          Disk->removeRejected(K, DiskArtifactKind::Ir);
+          DiskNote = "disk artifact rejected (deserialization): " +
+                     Disk->path(K, DiskArtifactKind::Ir);
+          return nullptr;
+        }
+        VerifyReport R = verifyThreadedCode(
+            *LM.M, *Func->Decl, *TCd, [](uint32_t) { return false; });
+        if (!R.ok()) {
+          Disk->removeRejected(K, DiskArtifactKind::Ir);
+          DiskNote = "disk artifact rejected (verifier): " +
+                     Disk->path(K, DiskArtifactKind::Ir) + "\n" + R.text();
+          return nullptr;
+        }
+        return TCd;
+      };
+      DiskStore = [&, K](const ThreadedCode &TCs, uint64_t BuildNs) {
+        Disk->store(K, DiskArtifactKind::Ir, serializeThreadedCode(TCs),
+                    BuildNs);
+      };
+    }
+    TC = Cache->getOrPredecode(K, Build, &LM.Stats, DiskLoad, DiskStore);
     // Reproduce a concurrent inserter's rejection locally so VerifyError
     // carries the real diagnostic (see compileShared).
     if (!TC && !BuiltHere)

@@ -32,6 +32,8 @@
 
 namespace wisp {
 
+class DiskCache;
+
 /// How a configuration executes Wasm code.
 enum class ExecMode : uint8_t {
   Interp,  ///< Interpreter only.
@@ -73,6 +75,18 @@ struct EngineConfig {
   /// Probed bodies always bypass the cache. Disable with
   /// `wisp --no-compile-cache` (measurement runs want cold-start costs).
   bool UseCompileCache = true;
+  /// Root directory of the persistent on-disk artifact cache
+  /// (cache/diskcache.h): the second level below the in-process compile
+  /// cache, so a repeat workload in a *new* process skips the compile
+  /// pipeline. Empty (the default) falls back to the WISP_CACHE_DIR
+  /// environment variable; if that is unset too, no disk level is opened.
+  /// Requires UseCompileCache (the disk level sits behind the process
+  /// level). Set via `wisp --cache-dir=DIR`.
+  std::string DiskCacheDir;
+  /// Gate for the disk level: with false the engine never reads or writes
+  /// disk artifacts even when a directory is configured. Disable with
+  /// `wisp --no-disk-cache` (cold-start measurement in a warm directory).
+  bool UseDiskCache = true;
   /// Use the instantiation fast path: derive (and cache) an InstanceImage
   /// per module — globals pre-evaluated, element segments pre-resolved,
   /// data segments pre-imaged — so instantiation is a handful of memcpys
@@ -285,6 +299,15 @@ public:
   /// if every artifact this engine built verified clean. Only populated
   /// when Cfg.VerifyArtifacts is set.
   const std::string &verifyError() const { return VerifyError; }
+  /// The persistent artifact store this engine consults below the
+  /// in-process cache, or nullptr when no directory is configured.
+  DiskCache *disk() const { return Disk.get(); }
+  /// Why the most recent disk artifact was rejected at load (damage,
+  /// deserialization failure, or verifier findings — one per line), or
+  /// empty. Diagnostic only: a rejected disk artifact is deleted and
+  /// rebuilt, it never fails the load, so this is kept separate from
+  /// verifyError() (which reports artifacts *this* engine built).
+  const std::string &diskNote() const { return DiskNote; }
 
   /// The instance pool this engine recycles through, or nullptr.
   InstancePool *pool() const { return Pool; }
@@ -390,6 +413,11 @@ private:
 
   EngineConfig Cfg;
   CompileCache *Cache = nullptr;
+  /// The on-disk second level, opened at construction when a directory is
+  /// configured (Cfg.DiskCacheDir, else WISP_CACHE_DIR). Engine-private:
+  /// cross-engine and cross-process coordination lives in the filesystem
+  /// (atomic publish via rename), not in shared memory.
+  std::unique_ptr<DiskCache> Disk;
   InstancePool *Pool = nullptr;
   /// Backing storage when no pool was injected but pooling is on.
   std::unique_ptr<InstancePool> OwnedPool;
@@ -403,6 +431,7 @@ private:
   std::unique_ptr<class Watchdog> Dog;
   LoadedModule *Current = nullptr; ///< Module served by hooks/invoke.
   std::string VerifyError;         ///< Last verification rejection.
+  std::string DiskNote;            ///< Last disk-artifact rejection.
 };
 
 /// Installs the GC demo host functions (wisp.alloc/link/payload/collect)

@@ -14,7 +14,10 @@
 #include "wasm/reader.h"
 #include "wasm/validator.h"
 
+#include <cstdlib>
 #include <cstring>
+#include <dirent.h>
+#include <unistd.h>
 
 namespace wisp {
 
@@ -30,6 +33,10 @@ namespace {
 EngineConfig tierConfig(const std::string &Tier) {
   EngineConfig Cfg;
   Cfg.Name = "fuzz-" + Tier;
+  // Never pick up a WISP_CACHE_DIR from the fuzzer's environment: only
+  // the "+disk" tiers re-enable this, against a private per-seed
+  // directory (see runOneTier / runDiskTier).
+  Cfg.UseDiskCache = false;
   if (Tier == "int") {
     Cfg.Mode = ExecMode::Interp;
     return Cfg;
@@ -70,7 +77,8 @@ EngineConfig tierConfig(const std::string &Tier) {
 
 TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
                    const std::string &ExportName, const std::vector<Value> &Args,
-                   CompileCache *Cache = nullptr, uint64_t Fuel = 0) {
+                   CompileCache *Cache = nullptr, uint64_t Fuel = 0,
+                   const std::string &DiskDir = std::string()) {
   TierRun Run;
   Run.Tier = Tier;
   // "<tier>+mon" runs the tier with branch + coverage monitors attached;
@@ -94,6 +102,13 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
   if (Fueled)
     Cfg.FuelBudget = Fuel;
   Cfg.UseCompileCache = Cache != nullptr;
+  // The disk level is opt-in per run: only the "+disk" tiers pass a
+  // directory. Explicitly off otherwise, so a WISP_CACHE_DIR in the
+  // fuzzer's environment can never leak persisted artifacts between
+  // seeds or campaigns.
+  Cfg.DiskCacheDir = DiskDir;
+  if (!DiskDir.empty())
+    Cfg.UseDiskCache = true;
   // Compile-check-then-execute: every artifact any differ engine builds is
   // statically verified before it runs. A rejection is a first-class
   // finding (TierRun::VerifierReject) — the fuzzer no longer needs to
@@ -116,6 +131,7 @@ TierRun runOneTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
     E.reinstrument(*LM);
   }
   Run.CacheHits = LM->Stats.CacheHits;
+  Run.DiskHits = LM->Stats.DiskHits;
   Run.Trap = E.invoke(*LM, ExportName, Args, &Run.Results);
   if (Run.Trap != TrapReason::None) {
     Run.Results.clear();
@@ -167,6 +183,72 @@ TierRun runCacheTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
   // carry its findings on the run the caller keeps.
   if (Warm.VerifierReject.empty())
     Warm.VerifierReject = Cold.VerifierReject;
+  return Warm;
+}
+
+/// Creates a unique private directory for one "+disk" tier run, or an
+/// empty string on failure (the tier then runs disk-less and self-compares
+/// trivially rather than failing the campaign on an environment problem).
+std::string makeDiskTierDir() {
+  const char *Tmp = getenv("TMPDIR");
+  std::string Templ =
+      std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/wisp-fuzz-disk-XXXXXX";
+  std::vector<char> Buf(Templ.begin(), Templ.end());
+  Buf.push_back('\0');
+  if (!mkdtemp(Buf.data()))
+    return std::string();
+  return std::string(Buf.data());
+}
+
+/// Removes a disk-tier directory and its artifact files (the store writes
+/// a flat directory of .wac files — no recursion needed).
+void removeDiskTierDir(const std::string &Dir) {
+  if (Dir.empty())
+    return;
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (struct dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ::remove((Dir + "/" + Name).c_str());
+    }
+    closedir(D);
+  }
+  ::rmdir(Dir.c_str());
+}
+
+/// Runs a "<base>+disk" configuration: the same seed disk-cold then
+/// disk-warm against a private per-seed artifact directory. The warm run
+/// gets a *fresh* in-process compile cache, so the only way it can skip
+/// compilation is through the disk: serialize → publish → load →
+/// deserialize → re-verify → admit, i.e. a cross-process warm start in
+/// miniature. The two runs must be indistinguishable, and the warm load
+/// must actually hit the disk. Returns the warm run.
+TierRun runDiskTier(const std::string &Tier, const std::vector<uint8_t> &Bytes,
+                    const std::string &ExportName,
+                    const std::vector<Value> &Args) {
+  std::string Base = Tier.substr(0, Tier.size() - 5); // Strip "+disk".
+  std::string Dir = makeDiskTierDir();
+  TierRun Cold, Warm;
+  {
+    CompileCache ColdCache;
+    Cold = runOneTier(Base, Bytes, ExportName, Args, &ColdCache, 0, Dir);
+  }
+  {
+    // Fresh process-level cache: nothing in memory survives from the cold
+    // run, exactly like a new process sharing the directory.
+    CompileCache WarmCache;
+    Warm = runOneTier(Base, Bytes, ExportName, Args, &WarmCache, 0, Dir);
+  }
+  Cold.Tier = Tier + "(cold)";
+  Warm.Tier = Tier;
+  Warm.SelfCheck = compareTierRuns(Cold, Warm);
+  if (!Warm.SelfCheck.empty())
+    Warm.SelfCheck = "disk-cold vs disk-warm: " + Warm.SelfCheck;
+  else if (Warm.LoadOk && !Dir.empty() && Warm.DiskHits == 0)
+    Warm.SelfCheck = "disk-warm load recorded no disk hits";
+  if (Warm.VerifierReject.empty())
+    Warm.VerifierReject = Cold.VerifierReject;
+  removeDiskTierDir(Dir);
   return Warm;
 }
 
@@ -386,6 +468,13 @@ DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
   Report.Runs.push_back(runCacheTier("spc+cache", Bytes, ExportName, Args));
   Report.Runs.push_back(
       runCacheTier("threaded+cache", Bytes, ExportName, Args));
+  // Persistent-cache configurations: disk-cold then disk-warm against a
+  // private per-seed directory, the warm run on a fresh in-process cache
+  // so the artifact must round-trip through the disk (serialize, publish,
+  // load, deserialize, re-verify). "spc+disk" covers MCode, "threaded+disk"
+  // the pre-decoded IR.
+  Report.Runs.push_back(runDiskTier("spc+disk", Bytes, ExportName, Args));
+  Report.Runs.push_back(runDiskTier("threaded+disk", Bytes, ExportName, Args));
   // Instance-pool configurations: the seed runs fresh-instantiated, its
   // retired instance is recycled into a private pool, and the seed runs
   // again from the re-imaged pooled instance. The pooled run must be

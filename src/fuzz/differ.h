@@ -62,12 +62,19 @@ struct TierRun {
   /// Instance-pool hits recorded by this run's load ("+pool" tiers): the
   /// load re-imaged a recycled instance instead of instantiating fresh.
   uint64_t PoolHits = 0;
+  /// On-disk artifact-cache hits recorded by this run's load ("+disk"
+  /// tiers): the load deserialized, re-verified and admitted a persisted
+  /// artifact instead of compiling.
+  uint64_t DiskHits = 0;
   /// "+cache" tiers run the seed twice against a private compile cache —
   /// cache-cold then cache-warm — and self-compare before the cross-tier
   /// comparison. "+pool" tiers do the same against a private instance
-  /// pool — fresh-instantiated then pool-recycled. Non-empty = the two
-  /// runs disagreed (or the second load unexpectedly recorded no
-  /// cache/pool hits); reported as a divergence.
+  /// pool — fresh-instantiated then pool-recycled. "+disk" tiers run
+  /// disk-cold then disk-warm against a private on-disk store, with a
+  /// fresh in-process cache for the warm run so only the disk level can
+  /// serve it (a cross-process warm start in miniature). Non-empty = the
+  /// two runs disagreed (or the second load unexpectedly recorded no
+  /// cache/pool/disk hits); reported as a divergence.
   std::string SelfCheck;
   /// Every differ engine runs with VerifyArtifacts forced on; a static
   /// verifier rejection of any artifact this tier built (at load or during
@@ -109,7 +116,12 @@ const std::vector<std::string> &differTierNames();
 /// transparent — identical results, traps, trap-site PCs, final memory
 /// and globals — so no state can ever leak between instantiations, and
 /// the second load must actually hit the pool whenever the first
-/// instance was recyclable.
+/// instance was recyclable. Two persistent-cache configurations
+/// ("spc+disk", "threaded+disk") run the seed disk-cold then disk-warm
+/// against a private per-seed directory, giving the warm run a fresh
+/// in-process compile cache so the artifact must travel through
+/// serialize → disk → deserialize → re-verify: the cross-process warm
+/// start, checked for transparency on every seed.
 DiffReport runAllTiers(const std::vector<uint8_t> &Bytes,
                        const std::string &ExportName,
                        const std::vector<Value> &Args);

@@ -862,6 +862,7 @@ RunSignal wisp::runExecutor(Thread &T, size_t EntryDepth) {
     }
     case MOp::CntInc:
       Cyc += 4;
+      assert(I.Imm != 0 && "unbound CntInc patch point reached the executor");
       ++*reinterpret_cast<uint64_t *>(uintptr_t(I.Imm));
       break;
     case MOp::DeoptCheck:

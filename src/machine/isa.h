@@ -25,6 +25,7 @@
 
 #include "wasm/types.h"
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -220,7 +221,8 @@ enum class MOp : uint16_t {
   ProbeFire, ///< generic probe dispatch at bytecode offset Imm
   ProbeTosG, ///< optimized probe: pass G[A] (type D) at offset Imm
   ProbeTosF, ///< optimized probe: pass F[A] (type D) at offset Imm
-  CntInc,    ///< ++*(uint64_t*)Imm  (intrinsified counter probe)
+  CntInc,    ///< ++*(uint64_t*)Imm  (intrinsified counter probe; Imm is 0
+             ///< until the engine binds the artifact's patch table)
   DeoptCheck,///< if func->DeoptRequested: tier down to Ip=Imm, Stp=Imm2
   FuelCheck, ///< governance charge at loop header; traps at bytecode Imm
   NumOps
@@ -264,6 +266,28 @@ struct LineEntry {
   uint32_t Ip = 0;
 };
 
+/// What a bind-time patch point resolves. Compiled artifacts are
+/// position-independent: nothing process- or instance-absolute is ever
+/// baked into an instruction stream. Anything that needs such an address
+/// records a patch point instead, and the engine applies the table against
+/// its own registries immediately before installing the code — which is
+/// what lets artifacts be content-addressed, shared across engines, and
+/// persisted to disk (cache/diskcache.h).
+enum class PatchKind : uint8_t {
+  /// Insts[Pc] is a CntInc whose Imm must become the address of the
+  /// probe-counter cell attached at bytecode offset Operand. Until bound,
+  /// the Imm is 0 (the verifier enforces this, so no artifact crossing a
+  /// process boundary can smuggle an absolute address through CntInc).
+  CounterCell,
+};
+
+/// One bind-time patch: kind + instruction pc + kind-specific operand.
+struct PatchPoint {
+  PatchKind Kind = PatchKind::CounterCell;
+  uint32_t Pc = 0;
+  uint64_t Operand = 0;
+};
+
 /// Compiled machine code for one function.
 class MCode {
 public:
@@ -285,6 +309,11 @@ public:
     uint32_t Pc = 0;
   };
   std::vector<OsrEntry> OsrEntries;
+  /// Bind-time patch table (see PatchKind): every engine-absolute operand
+  /// lives here, keyed by pc, and the instruction stream stays relocatable
+  /// until Engine installs the artifact. Empty for unprobed bodies — the
+  /// only artifacts the compile cache (and the disk cache) ever hold.
+  std::vector<PatchPoint> Patches;
   uint32_t FuncIndex = 0;
   uint32_t FrameSlots = 0;
   CompileStats Stats;
@@ -302,9 +331,16 @@ public:
   void noteLine(uint32_t Ip) {
     uint32_t Pc = uint32_t(Insts.size());
     // Keep the table sorted: an opcode that emitted nothing is shadowed by
-    // its successor, and peephole fusion may have popped an instruction.
-    while (!LineTable.empty() && LineTable.back().Pc >= Pc)
+    // its successor at the same pc. A *strictly* greater recorded Pc would
+    // mean the instruction stream shrank since that entry was recorded —
+    // no emitter rewinds Insts, and silently absorbing such an entry would
+    // erase valid trap attribution — so it is an emitter bug, rejected in
+    // debug builds rather than papered over.
+    while (!LineTable.empty() && LineTable.back().Pc >= Pc) {
+      assert(LineTable.back().Pc == Pc &&
+             "non-monotonic line table: emitter rewound the code stream");
       LineTable.pop_back();
+    }
     LineTable.push_back({Pc, Ip});
   }
 

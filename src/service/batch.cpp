@@ -13,6 +13,7 @@
 #include "wasm/validator.h"
 #include "support/clock.h"
 #include "support/format.h"
+#include "support/parse.h"
 
 #include <cctype>
 #include <cerrno>
@@ -96,14 +97,18 @@ private:
 /// share nothing mutable except \p Cache — the batch-local compile cache,
 /// internally synchronized and handing out immutable artifacts — so
 /// identical bodies across jobs decode/compile once per batch.
-BatchJobResult runOneJob(const BatchJob &Job, CompileCache *Cache,
-                         InstancePool *Pool) {
+BatchJobResult runOneJob(const BatchJob &Job, const BatchOptions &Opts,
+                         CompileCache *Cache, InstancePool *Pool) {
   BatchJobResult R;
   R.Index = Job.Index;
   EngineConfig Cfg = configByName(Job.Config);
   // Explicit cache scoping: never fall back to the process-wide cache
   // from inside a batch, so reports depend only on the manifest.
   Cfg.UseCompileCache = Cache != nullptr;
+  // The persistent disk level rides below the batch-local cache: jobs in
+  // a later batch (a new process) warm-start from this one's artifacts.
+  Cfg.DiskCacheDir = Opts.CacheDir;
+  Cfg.UseDiskCache = Opts.DiskCache;
   // Likewise for the instance pool: only the per-worker pool, never an
   // engine-private one (which could not outlive this job anyway).
   Cfg.PoolInstances = Pool != nullptr;
@@ -181,16 +186,20 @@ bool parseValueText(const std::string &Text, ValType Ty, Value *Out) {
   case ValType::I32:
   case ValType::I64: {
     // Accept the full signed and unsigned range of the target width;
-    // reject anything that would silently truncate.
+    // reject anything that would silently truncate. The unsigned branch
+    // goes through the strict parser (support/parse.h): bare strtoull
+    // would skip leading whitespace and wrap out-of-range values.
     long long V;
     if (Text[0] == '-') {
       V = strtoll(S, &End, 0);
+      if (End == S || *End || errno == ERANGE)
+        return false;
     } else {
-      unsigned long long U = strtoull(S, &End, 0);
+      uint64_t U;
+      if (!parseU64(S, &U, 0))
+        return false;
       V = (long long)U;
     }
-    if (End == S || *End || errno == ERANGE)
-      return false;
     if (Ty == ValType::I32) {
       if (Text[0] == '-' ? V < INT32_MIN : (unsigned long long)V > UINT32_MAX)
         return false;
@@ -342,9 +351,8 @@ bool parseBatchManifest(const std::string &Text,
         }
         Job.Id = V;
       } else if (const char *V = Val("fuel=")) {
-        char *End = nullptr;
-        unsigned long long F = strtoull(V, &End, 10);
-        if (End == V || *End || F == 0) {
+        uint64_t F = 0;
+        if (!parseU64(V, &F) || F == 0) {
           *Err = strFormat("manifest line %u: bad fuel '%s' (want a "
                            "positive budget)",
                            LineNo, V);
@@ -525,7 +533,7 @@ BatchReport runBatch(const std::vector<BatchJob> &Jobs,
       // Each result lands in its own pre-sized slot, so workers never
       // contend on the result vector.
       while (Queue.pop(&Idx))
-        Report.Results[Idx] = runOneJob(Jobs[Idx], SharedCache, P);
+        Report.Results[Idx] = runOneJob(Jobs[Idx], Opts, SharedCache, P);
       PoolTotals[W] = WorkerPool.totals();
     });
   }
@@ -546,7 +554,15 @@ BatchReport runBatch(const std::vector<BatchJob> &Jobs,
     Report.CacheHits = T.Hits;
     Report.CacheMisses = T.Misses;
     Report.CacheSavedNs = T.SavedNs;
+    Report.DiskHits = T.DiskHits;
+    Report.DiskMisses = T.DiskMisses;
   }
+  // The disk level only opens when a cache directory is actually
+  // configured (flag or WISP_CACHE_DIR) and the gate is on; mirror that
+  // so the summary prints "disabled" instead of a misleading 0/0.
+  const char *EnvDir = getenv("WISP_CACHE_DIR");
+  Report.DiskEnabled = Opts.DiskCache && SharedCache &&
+                       (!Opts.CacheDir.empty() || (EnvDir && *EnvDir));
   return Report;
 }
 
@@ -622,6 +638,16 @@ void printBatchReport(FILE *Out, const std::vector<BatchJob> &Jobs,
             double(Report.CacheSavedNs) / 1e6);
   else
     fprintf(Out, "# cache: disabled\n");
+  // Disk hits mean artifacts admitted from a previous process's store —
+  // the cross-invocation warm-start signal CI asserts on. Deterministic
+  // for a fixed manifest + directory state, but timing-adjacent (a warm
+  // directory changes it), so it stays behind the stripped '#' prefix.
+  if (Report.DiskEnabled)
+    fprintf(Out, "# disk: %llu hits, %llu misses\n",
+            (unsigned long long)Report.DiskHits,
+            (unsigned long long)Report.DiskMisses);
+  else
+    fprintf(Out, "# disk: disabled\n");
   // Pool counters depend on job-to-worker scheduling (see BatchReport),
   // so they stay behind the stripped '#' prefix too.
   if (Report.PoolEnabled)

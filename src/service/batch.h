@@ -82,6 +82,13 @@ struct BatchReport {
   uint64_t CacheMisses = 0;
   uint64_t CacheSavedNs = 0;
   bool CacheEnabled = false;
+  /// Aggregate on-disk artifact-cache counters (cache/diskcache.h),
+  /// summed like the in-process split above: disk hits are artifacts
+  /// admitted from a previous process's store instead of built. Only
+  /// meaningful when a cache directory was configured.
+  uint64_t DiskHits = 0;
+  uint64_t DiskMisses = 0;
+  bool DiskEnabled = false;
   /// Aggregate instance-pool counters summed over the per-worker pools.
   /// NOT deterministic across worker counts (which jobs land on which
   /// worker decides which loads hit a warm pool), so these ride the
@@ -113,6 +120,13 @@ struct BatchOptions {
   /// result at admission instead of being scheduled and run to the trap.
   /// The CLI exposes --no-static-precheck to turn this off.
   bool StaticPrecheck = true;
+  /// Root of the persistent on-disk artifact cache shared by every job
+  /// engine (engine/engine.h DiskCacheDir). Empty defers to the
+  /// WISP_CACHE_DIR environment variable; unset both and no disk level
+  /// opens. The CLI passes --cache-dir through here.
+  std::string CacheDir;
+  /// Gate for the disk level (`wisp --no-disk-cache`).
+  bool DiskCache = true;
 };
 
 /// Parses manifest text: one job per non-empty, non-comment line,

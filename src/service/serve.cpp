@@ -179,6 +179,8 @@ std::string runServeJob(ServeWorker &W, const ServeOptions &Opts,
     EngineConfig Cfg = configByName(Job.Config);
     Cfg.UseCompileCache = true;
     Cfg.PoolInstances = true;
+    Cfg.DiskCacheDir = Opts.CacheDir;
+    Cfg.UseDiskCache = Opts.DiskCache;
     // Governed from birth: check-site emission is a construction-time
     // decision (see Engine::setGovernance), and a serve engine must be
     // able to meter any later job.

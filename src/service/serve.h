@@ -70,6 +70,13 @@ struct ServeOptions {
   /// exactly-once, before it consumes a queue slot or a worker. Decisions
   /// are memoized per (module spec, invoke). --no-static-precheck disables.
   bool StaticPrecheck = true;
+  /// Root of the persistent on-disk artifact cache shared by the session's
+  /// warm engines (engine/engine.h DiskCacheDir). Empty defers to the
+  /// WISP_CACHE_DIR environment variable; unset both and no disk level
+  /// opens. The CLI passes --cache-dir through here.
+  std::string CacheDir;
+  /// Gate for the disk level (`wisp --no-disk-cache`).
+  bool DiskCache = true;
   /// Non-zero enables deterministic fault injection (see \file comment).
   uint64_t FaultSeed = 0;
   /// Let SIGTERM/SIGINT stop admission and drain (CLI mode). Off by

@@ -1031,8 +1031,12 @@ void SPC::handleProbe(uint32_t Ip) {
   if (Kind == ProbeSiteKind::None)
     return;
   if (Opts.OptimizeProbes && Kind == ProbeSiteKind::Counter) {
-    uint64_t *Addr = Probes->counterAddr(F.Index, Ip);
-    A.emit(MOp::CntInc, 0, 0, 0, 0, int64_t(uintptr_t(Addr)));
+    // Emit the counter increment relocatable: the cell address is not
+    // baked here but recorded as a patch point the engine resolves against
+    // its probe registry at install time (machine/isa.h PatchKind).
+    Code.Patches.push_back(
+        {PatchKind::CounterCell, A.pc(), uint64_t(Ip)});
+    A.emit(MOp::CntInc);
     return;
   }
   if (Opts.OptimizeProbes && Kind == ProbeSiteKind::TosReader &&

@@ -1,0 +1,58 @@
+//===- support/parse.h - strict numeric parsing -----------------*- C++ -*-===//
+//
+// Part of the wisp project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One strict unsigned parser for every numeric flag, manifest key and
+/// environment variable. strtoull alone is a trap for operator-facing
+/// input: it skips leading whitespace, accepts a leading '-' by wrapping
+/// the value modulo 2^64, ignores trailing junk unless the caller checks,
+/// and reports overflow only through errno. parseU64 rejects all of that
+/// uniformly so "-1", " 5", "10x" and 2^64 never silently become limits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WISP_SUPPORT_PARSE_H
+#define WISP_SUPPORT_PARSE_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace wisp {
+
+/// Parses all of \p S as an unsigned 64-bit integer. Returns false —
+/// leaving \p Out untouched — on null/empty input, leading whitespace or
+/// sign characters, any trailing junk, or overflow. \p Base as strtoull
+/// (10 for decimal flags; 0 honors 0x/0 prefixes for value text).
+inline bool parseU64(const char *S, uint64_t *Out, int Base = 10) {
+  if (!S || !*S)
+    return false;
+  // strtoull itself would skip whitespace and wrap a '-' modulo 2^64.
+  if (S[0] == ' ' || S[0] == '\t' || S[0] == '\n' || S[0] == '\r' ||
+      S[0] == '-' || S[0] == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = strtoull(S, &End, Base);
+  if (errno == ERANGE || End == S || *End)
+    return false;
+  *Out = V;
+  return true;
+}
+
+/// Bounded variant: additionally rejects values outside [Min, Max].
+inline bool parseU64InRange(const char *S, uint64_t Min, uint64_t Max,
+                            uint64_t *Out, int Base = 10) {
+  uint64_t V = 0;
+  if (!parseU64(S, &V, Base) || V < Min || V > Max)
+    return false;
+  *Out = V;
+  return true;
+}
+
+} // namespace wisp
+
+#endif // WISP_SUPPORT_PARSE_H

@@ -28,8 +28,10 @@
 #include "service/serve.h"
 #include "spc/compiler.h"
 #include "suites/suites.h"
+#include "cache/diskcache.h"
 #include "support/clock.h"
 #include "support/json.h"
+#include "support/parse.h"
 #include "verify/verifier.h"
 #include "wasm/reader.h"
 #include "wasm/validator.h"
@@ -99,6 +101,17 @@ const char *UsageText =
     "                   an identical configuration normally decode and\n"
     "                   compile once per process — or once per batch);\n"
     "                   use for cold-start measurements\n"
+    "  --cache-dir=DIR  persistent artifact cache: compiled machine code\n"
+    "                   and pre-decoded threaded IR are serialized under\n"
+    "                   DIR (created if needed) and re-verified + reused by\n"
+    "                   later wisp processes, skipping the compile pipeline\n"
+    "                   on cross-process warm starts. Defaults to the\n"
+    "                   WISP_CACHE_DIR environment variable; no directory\n"
+    "                   means no disk level. Composes with --batch/--serve\n"
+    "                   (all worker engines share the directory)\n"
+    "  --no-disk-cache  ignore --cache-dir/WISP_CACHE_DIR: never read or\n"
+    "                   write disk artifacts (cold-start measurement in a\n"
+    "                   warm directory)\n"
     "  --no-instance-pool\n"
     "                   disable the instantiation fast path: no per-module\n"
     "                   instance image (pre-imaged memory, pre-resolved\n"
@@ -226,6 +239,8 @@ struct CliOptions {
   bool NoStaticPrecheck = false; ///< Disable batch/serve admission precheck.
   bool NoCompileCache = false;
   bool NoInstancePool = false;
+  std::string CacheDir;     ///< --cache-dir (persistent artifact cache root).
+  bool NoDiskCache = false; ///< --no-disk-cache.
   bool List = false;
   bool ListConfigs = false;
   std::string Batch; ///< --batch manifest path.
@@ -469,6 +484,8 @@ int runBatchMode(const CliOptions &Opt) {
   BOpts.CompileCache = !Opt.NoCompileCache;
   BOpts.PoolInstances = !Opt.NoInstancePool;
   BOpts.StaticPrecheck = !Opt.NoStaticPrecheck;
+  BOpts.CacheDir = Opt.CacheDir;
+  BOpts.DiskCache = !Opt.NoDiskCache;
   BatchReport Report = runBatch(Jobs, BOpts);
   printBatchReport(stdout, Jobs, Report, Opt.Stats);
   // Traps are results (reported per job); only infrastructure failures
@@ -494,10 +511,11 @@ int runServeMode(const CliOptions &Opt) {
   SOpts.MaxTableElems = Opt.MaxTableElems;
   SOpts.StaticPrecheck = !Opt.NoStaticPrecheck;
   SOpts.InstallSignalHandlers = true;
+  SOpts.CacheDir = Opt.CacheDir;
+  SOpts.DiskCache = !Opt.NoDiskCache;
   if (const char *S = getenv("WISP_FAULT_SEED")) {
-    char *End = nullptr;
-    unsigned long long Seed = strtoull(S, &End, 0);
-    if (End == S || *End) {
+    uint64_t Seed = 0;
+    if (!parseU64(S, &Seed, 0)) {
       fprintf(stderr, "wisp: bad WISP_FAULT_SEED '%s' (want an integer)\n",
               S);
       return 2;
@@ -527,10 +545,13 @@ int main(int argc, char **argv) {
       Opt.Invoke = V;
       Opt.InvokeSet = true;
     } else if (const char *V = Val("--scale=")) {
-      Opt.Scale = atoi(V);
+      // Strict parse: atoi would accept "3x" as 3 and silently clamp
+      // overflow; any junk, sign, or out-of-range value is a usage error.
+      uint64_t Scale = 0;
       Opt.ScaleSet = true;
-      if (Opt.Scale < 1)
+      if (!parseU64InRange(V, 1, 1u << 20, &Scale))
         return usageError("bad --scale value: %s\n", V);
+      Opt.Scale = int(Scale);
     } else if (const char *V = Val("--batch=")) {
       Opt.Batch = V;
     } else if (A == "--serve") {
@@ -542,9 +563,8 @@ int main(int argc, char **argv) {
         return usageError("bad --queue-cap value: %s (want 1..1048576)\n", V);
       Opt.QueueCap = Cap;
     } else if (const char *V = Val("--fuel=")) {
-      char *End = nullptr;
-      unsigned long long Fuel = strtoull(V, &End, 10);
-      if (End == V || *End || Fuel == 0)
+      uint64_t Fuel = 0;
+      if (!parseU64(V, &Fuel) || Fuel == 0)
         return usageError("bad --fuel value: %s (want a positive budget)\n",
                           V);
       Opt.Fuel = Fuel;
@@ -603,6 +623,13 @@ int main(int argc, char **argv) {
       Opt.NoStaticPrecheck = true;
     } else if (A == "--no-compile-cache") {
       Opt.NoCompileCache = true;
+    } else if (const char *V = Val("--cache-dir=")) {
+      if (!*V)
+        return usageError("bad --cache-dir value: %s (want a directory)\n",
+                          V);
+      Opt.CacheDir = V;
+    } else if (A == "--no-disk-cache") {
+      Opt.NoDiskCache = true;
     } else if (A == "--no-instance-pool") {
       Opt.NoInstancePool = true;
     } else if (A == "--list") {
@@ -762,6 +789,8 @@ int main(int argc, char **argv) {
   }
   Cfg.UseCompileCache = !Opt.NoCompileCache;
   Cfg.PoolInstances = !Opt.NoInstancePool;
+  Cfg.DiskCacheDir = Opt.CacheDir;
+  Cfg.UseDiskCache = !Opt.NoDiskCache;
   if (Opt.Verify)
     Cfg.VerifyArtifacts = true;
   // Execution governance: metering/deadline/caps for this one invocation
@@ -899,6 +928,10 @@ int main(int argc, char **argv) {
              (unsigned long long)S.CacheHits,
              (unsigned long long)S.CacheMisses,
              double(S.CacheSavedNs) / 1e3);
+    if (const DiskCache *D = E.disk())
+      printf("  disk cache: %llu hits, %llu misses (%s)\n",
+             (unsigned long long)S.DiskHits,
+             (unsigned long long)S.DiskMisses, D->dir().c_str());
     if (Opt.NoInstancePool)
       printf("  instance pool: disabled\n");
     else

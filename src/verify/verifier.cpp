@@ -482,6 +482,7 @@ private:
   void checkInst(uint32_t Pc, const MInst &I);
   void computeReachability();
   void checkLineTable();
+  void checkPatchPoints();
   void checkTrapCoverage();
   void checkCallAndProbeShape();
   void checkOsrEntries();
@@ -603,6 +604,19 @@ void MCodeVerifier::checkInst(uint32_t Pc, const MInst &I) {
                         mopName(I.Op), (long long)I.Imm));
     break;
 
+  case MOp::CntInc:
+    // Verification always sees the relocatable form: the engine binds the
+    // patch table only after this pass. A nonzero Imm is an absolute
+    // address baked into the artifact — exactly what a deserialized (or
+    // adversarial) artifact must never be able to smuggle past admission,
+    // since the executor increments through it blindly.
+    if (I.Imm != 0)
+      finding("patch-point", Pc,
+              strFormat("CntInc carries baked address %lld; relocatable "
+                        "artifacts must leave it unbound",
+                        (long long)I.Imm));
+    break;
+
   case MOp::FuelCheck:
     // The trap site is the Imm itself (not the line table); it must name a
     // real opcode boundary or a fuel trap would report a pc no other tier
@@ -713,6 +727,45 @@ void MCodeVerifier::checkLineTable() {
                         "offset %u",
                         E.Pc, E.Ip));
   }
+}
+
+void MCodeVerifier::checkPatchPoints() {
+  // The patch table is the only road from a relocatable artifact to an
+  // engine-absolute operand, so it gets the same structural scrutiny as
+  // the code: every entry must target an in-range instruction of the kind
+  // it claims to patch, at a real opcode boundary, and every CntInc must
+  // be reachable *through* the table (an uncovered CntInc would execute
+  // with its unbound zero operand). checkInst separately rejects CntInc
+  // instructions that already carry a baked address.
+  std::vector<bool> Covered(N, false);
+  for (const PatchPoint &P : Code.Patches) {
+    if (P.Pc >= N) {
+      finding("patch-point", P.Pc,
+              strFormat("patch point beyond code end %u", N));
+      continue;
+    }
+    switch (P.Kind) {
+    case PatchKind::CounterCell:
+      if (Code.Insts[P.Pc].Op != MOp::CntInc)
+        finding("patch-point", P.Pc,
+                strFormat("CounterCell patch targets %s, not CntInc",
+                          mopName(Code.Insts[P.Pc].Op)));
+      else if (Covered[P.Pc])
+        finding("patch-point", P.Pc, "duplicate patch point");
+      else
+        Covered[P.Pc] = true;
+      if (P.Operand > ~uint32_t(0) || !boundary(uint32_t(P.Operand)))
+        finding("patch-point", P.Pc,
+                strFormat("CounterCell patch at non-boundary bytecode "
+                          "offset %llu",
+                          (unsigned long long)P.Operand));
+      break;
+    }
+  }
+  for (uint32_t Pc = 0; Pc < N; ++Pc)
+    if (Code.Insts[Pc].Op == MOp::CntInc && !Covered[Pc])
+      finding("patch-point", Pc,
+              "CntInc not covered by any CounterCell patch point");
 }
 
 void MCodeVerifier::checkTrapCoverage() {
@@ -889,6 +942,7 @@ void MCodeVerifier::run() {
     return;
   computeReachability();
   checkLineTable();
+  checkPatchPoints();
   if (Scope.TrapPcKnown)
     checkTrapCoverage();
   checkCallAndProbeShape();

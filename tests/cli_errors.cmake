@@ -29,6 +29,14 @@ endfunction()
 # --- Malformed flag values ---
 expect_fail(bad-scale-zero "bad --scale value" --scale=0 nop)
 expect_fail(bad-scale-text "bad --scale value" --scale=abc nop)
+# The checked parser rejects what raw atoi silently mangled: trailing
+# junk, negatives (atoi would wrap or truncate), and overflow past the
+# 2^20 iteration cap.
+expect_fail(bad-scale-junk "bad --scale value" --scale=3x nop)
+expect_fail(bad-scale-negative "bad --scale value" --scale=-1 nop)
+expect_fail(bad-scale-overflow "bad --scale value"
+            --scale=99999999999999999999 nop)
+expect_fail(bad-scale-toolarge "bad --scale value" --scale=1048577 nop)
 expect_fail(unknown-option "unknown option" --frobnicate nop)
 expect_fail(unknown-tier "unknown tier" --tier=warp nop)
 expect_fail(unknown-config "unknown config" --config=nonesuch nop)
@@ -53,6 +61,38 @@ execute_process(
 if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
   message(FATAL_ERROR "--no-compile-cache single-module run failed (rc=${RC}): ${OUT}")
 endif()
+
+# --- Disk-cache flags: --cache-dir needs a value, the off toggle takes
+# --- none, and a valid directory composes with a normal run ---
+expect_fail(cache-dir-empty "bad --cache-dir value" --cache-dir= nop)
+expect_fail(cache-dir-novalue "unknown option" --cache-dir nop)
+expect_fail(disk-flag-value "unknown option" --no-disk-cache=1 nop)
+expect_fail(disk-flag-positive "unknown option" --disk-cache nop)
+set(DISK_DIR ${CMAKE_CURRENT_BINARY_DIR}/cli_errors_diskcache)
+file(REMOVE_RECURSE ${DISK_DIR})
+execute_process(
+  COMMAND ${WISP_BIN} --tier=spc --cache-dir=${DISK_DIR} nop
+  OUTPUT_VARIABLE OUT RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
+  message(FATAL_ERROR "--cache-dir single-module run failed (rc=${RC}): ${OUT}")
+endif()
+file(GLOB DISK_FILES ${DISK_DIR}/*.wac)
+if(NOT DISK_FILES)
+  message(FATAL_ERROR "--cache-dir run published no artifacts in ${DISK_DIR}")
+endif()
+# --no-disk-cache wins over --cache-dir: nothing new may be written.
+file(REMOVE_RECURSE ${DISK_DIR})
+execute_process(
+  COMMAND ${WISP_BIN} --tier=spc --cache-dir=${DISK_DIR} --no-disk-cache nop
+  OUTPUT_VARIABLE OUT RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0 OR NOT OUT MATCHES "run\\(\\) = ")
+  message(FATAL_ERROR "--no-disk-cache override failed (rc=${RC}): ${OUT}")
+endif()
+file(GLOB DISK_FILES ${DISK_DIR}/*.wac)
+if(DISK_FILES)
+  message(FATAL_ERROR "--no-disk-cache still wrote artifacts: ${DISK_FILES}")
+endif()
+file(REMOVE_RECURSE ${DISK_DIR})
 
 # --- --batch vs. single-module flags (per-job settings belong in the
 # --- manifest) and --jobs validation ---
@@ -159,6 +199,10 @@ endif()
 # --- the trap exit path ---
 expect_fail(bad-fuel-zero "bad --fuel value" --fuel=0 nop)
 expect_fail(bad-fuel-text "bad --fuel value" --fuel=lots nop)
+expect_fail(bad-fuel-junk "bad --fuel value" --fuel=100k nop)
+expect_fail(bad-fuel-negative "bad --fuel value" --fuel=-5 nop)
+expect_fail(bad-fuel-overflow "bad --fuel value"
+            --fuel=99999999999999999999 nop)
 expect_fail(bad-deadline-zero "bad --deadline-ms value" --deadline-ms=0 nop)
 expect_fail(bad-deadline-huge "bad --deadline-ms value"
             --deadline-ms=9999999999 nop)

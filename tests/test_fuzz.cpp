@@ -117,11 +117,12 @@ TEST(FuzzDiffer, ReportsAllTiersAndMonitorConfigs) {
       runAllTiers(M.toBytes(), "f", argsForSeed(11, M.main().Params));
   // Eight execution tiers (incl. the tiered/OSR configurations) plus the
   // two compile-cache cold/warm configurations (spc+cache,
-  // threaded+cache) plus the two instance-pool fresh/pooled
-  // configurations (spc+pool, threaded+pool) plus the two instrumented
-  // interpreter configurations (int+mon, threaded+mon).
+  // threaded+cache) plus the two persistent-cache disk-cold/disk-warm
+  // configurations (spc+disk, threaded+disk) plus the two instance-pool
+  // fresh/pooled configurations (spc+pool, threaded+pool) plus the two
+  // instrumented interpreter configurations (int+mon, threaded+mon).
   ASSERT_EQ(differTierNames().size(), 8u);
-  ASSERT_EQ(Report.Runs.size(), differTierNames().size() + 6);
+  ASSERT_EQ(Report.Runs.size(), differTierNames().size() + 8);
   EXPECT_EQ(Report.Runs[0].Tier, "int");
   EXPECT_EQ(Report.Runs[6].Tier, "tiered");
   EXPECT_EQ(Report.Runs[7].Tier, "tiered-threaded");
@@ -133,16 +134,25 @@ TEST(FuzzDiffer, ReportsAllTiersAndMonitorConfigs) {
   EXPECT_GE(Report.Runs[9].CacheHits, 2u);
   EXPECT_TRUE(Report.Runs[8].SelfCheck.empty()) << Report.Runs[8].SelfCheck;
   EXPECT_TRUE(Report.Runs[9].SelfCheck.empty()) << Report.Runs[9].SelfCheck;
+  // The disk runs are the warm pass of a disk-cold/disk-warm pair on a
+  // fresh in-process cache: every compiled body (or pre-decoded IR body)
+  // was served from the on-disk store through deserialize + re-verify.
+  EXPECT_EQ(Report.Runs[10].Tier, "spc+disk");
+  EXPECT_EQ(Report.Runs[11].Tier, "threaded+disk");
+  EXPECT_GE(Report.Runs[10].DiskHits, 1u);
+  EXPECT_GE(Report.Runs[11].DiskHits, 1u);
+  EXPECT_TRUE(Report.Runs[10].SelfCheck.empty()) << Report.Runs[10].SelfCheck;
+  EXPECT_TRUE(Report.Runs[11].SelfCheck.empty()) << Report.Runs[11].SelfCheck;
   // The pool runs are the pooled pass of a fresh/pooled pair: generator
   // modules are imageable (no imported globals) and leave no live heap
   // objects, so the fresh instance was recycled and the pooled load must
   // have re-imaged it.
-  EXPECT_EQ(Report.Runs[10].Tier, "spc+pool");
-  EXPECT_EQ(Report.Runs[11].Tier, "threaded+pool");
-  EXPECT_GE(Report.Runs[10].PoolHits, 1u);
-  EXPECT_GE(Report.Runs[11].PoolHits, 1u);
-  EXPECT_TRUE(Report.Runs[10].SelfCheck.empty()) << Report.Runs[10].SelfCheck;
-  EXPECT_TRUE(Report.Runs[11].SelfCheck.empty()) << Report.Runs[11].SelfCheck;
+  EXPECT_EQ(Report.Runs[12].Tier, "spc+pool");
+  EXPECT_EQ(Report.Runs[13].Tier, "threaded+pool");
+  EXPECT_GE(Report.Runs[12].PoolHits, 1u);
+  EXPECT_GE(Report.Runs[13].PoolHits, 1u);
+  EXPECT_TRUE(Report.Runs[12].SelfCheck.empty()) << Report.Runs[12].SelfCheck;
+  EXPECT_TRUE(Report.Runs[13].SelfCheck.empty()) << Report.Runs[13].SelfCheck;
   EXPECT_EQ(Report.Runs[Report.Runs.size() - 2].Tier, "int+mon");
   EXPECT_EQ(Report.Runs.back().Tier, "threaded+mon");
   EXPECT_TRUE(Report.Runs.back().Instrumented);

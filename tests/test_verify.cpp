@@ -470,3 +470,162 @@ TEST(Verify, EngineVerifiesEagerLoadsClean) {
   ASSERT_EQ(Out.size(), 1u);
   EXPECT_EQ(Out[0], Value::makeI32(42));
 }
+
+// --- Patch-point table: the relocatable-artifact contract ---------------
+
+namespace {
+
+/// Classifies every site as a pure counter, so OptimizeProbes intrinsifies
+/// each one into a relocatable CntInc + CounterCell patch entry.
+class CounterEverywhereOracle : public ProbeSiteOracle {
+public:
+  ProbeSiteKind classify(uint32_t, uint32_t) const override {
+    return ProbeSiteKind::Counter;
+  }
+  uint64_t *counterAddr(uint32_t, uint32_t) const override { return nullptr; }
+};
+
+/// Compiles the rich module's main body with a counter probe on every
+/// opcode: the result carries at least one unbound CntInc covered by the
+/// patch table.
+std::unique_ptr<MCode> compileCounterBody(const Module &M) {
+  CounterEverywhereOracle Probes;
+  auto Code =
+      compileFunction(M, mainFunc(M), CompilerOptions::allopt(), &Probes);
+  EXPECT_TRUE(Code);
+  if (Code) {
+    EXPECT_FALSE(Code->Patches.empty());
+    for (const PatchPoint &P : Code->Patches)
+      EXPECT_EQ(Code->Insts[P.Pc].Imm, 0) << "emitter baked an address";
+  }
+  return Code;
+}
+
+} // namespace
+
+TEST(Verify, RelocatableCounterBodyIsClean) {
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  auto Code = compileCounterBody(*M);
+  ASSERT_TRUE(Code);
+  VerifyReport R =
+      verifyMachineCode(*M, mainFunc(*M), *Code, VerifyScope::baseline());
+  EXPECT_TRUE(R.ok()) << R.text();
+}
+
+TEST(Verify, BakedCounterAddressFires) {
+  // The attack the relocation refactor closes off: a (deserialized,
+  // adversarial) artifact smuggling an absolute cell address in CntInc's
+  // immediate. The executor would increment through it blindly; the
+  // verifier must reject the artifact before it can ever execute.
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  auto Code = compileCounterBody(*M);
+  ASSERT_TRUE(Code);
+  Code->Insts[Code->Patches.front().Pc].Imm = 0x7FFF0000DEADBEEFll;
+  VerifyReport R =
+      verifyMachineCode(*M, mainFunc(*M), *Code, VerifyScope::baseline());
+  EXPECT_FALSE(R.ok());
+  const VerifyFinding *Find = findCheck(R, "patch-point");
+  ASSERT_NE(Find, nullptr) << R.text();
+  EXPECT_EQ(Find->Pc, Code->Patches.front().Pc);
+}
+
+TEST(Verify, UncoveredCntIncFires) {
+  // A CntInc with no covering table entry would execute with its unbound
+  // zero operand — the bind step could never reach it.
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  auto Code = compileCounterBody(*M);
+  ASSERT_TRUE(Code);
+  uint32_t Orphaned = Code->Patches.back().Pc;
+  Code->Patches.pop_back();
+  VerifyReport R =
+      verifyMachineCode(*M, mainFunc(*M), *Code, VerifyScope::baseline());
+  EXPECT_FALSE(R.ok());
+  const VerifyFinding *Find = findCheck(R, "patch-point");
+  ASSERT_NE(Find, nullptr) << R.text();
+  EXPECT_EQ(Find->Pc, Orphaned);
+}
+
+TEST(Verify, PatchPointBeyondCodeEndFires) {
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  auto Code = compileCounterBody(*M);
+  ASSERT_TRUE(Code);
+  Code->Patches.push_back(
+      {PatchKind::CounterCell, uint32_t(Code->Insts.size()) + 7, 0});
+  VerifyReport R =
+      verifyMachineCode(*M, mainFunc(*M), *Code, VerifyScope::baseline());
+  EXPECT_TRUE(hasCheck(R, "patch-point")) << R.text();
+}
+
+TEST(Verify, PatchPointOnNonCntIncFires) {
+  // Retargeting a valid entry at an arbitrary instruction must fire twice
+  // over: the target is not a CntInc, and the real CntInc is uncovered.
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  auto Code = compileCounterBody(*M);
+  ASSERT_TRUE(Code);
+  PatchPoint &P = Code->Patches.front();
+  uint32_t NonCnt = UINT32_MAX;
+  for (uint32_t I = 0; I < Code->Insts.size(); ++I)
+    if (Code->Insts[I].Op != MOp::CntInc) {
+      NonCnt = I;
+      break;
+    }
+  ASSERT_NE(NonCnt, UINT32_MAX);
+  P.Pc = NonCnt;
+  VerifyReport R =
+      verifyMachineCode(*M, mainFunc(*M), *Code, VerifyScope::baseline());
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasCheck(R, "patch-point")) << R.text();
+}
+
+TEST(Verify, DuplicatePatchPointFires) {
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  auto Code = compileCounterBody(*M);
+  ASSERT_TRUE(Code);
+  Code->Patches.push_back(Code->Patches.front());
+  VerifyReport R =
+      verifyMachineCode(*M, mainFunc(*M), *Code, VerifyScope::baseline());
+  EXPECT_FALSE(R.ok());
+  const VerifyFinding *Find = findCheck(R, "patch-point");
+  ASSERT_NE(Find, nullptr) << R.text();
+  EXPECT_NE(Find->Detail.find("duplicate"), std::string::npos) << R.text();
+}
+
+TEST(Verify, PatchPointNonBoundaryOperandFires) {
+  // The operand names the probed bytecode offset the engine uses to look
+  // up the counter cell; an off-boundary (or 32-bit-overflowing) value
+  // could never have come from a real probe site.
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  auto Code = compileCounterBody(*M);
+  ASSERT_TRUE(Code);
+  Code->Patches.front().Operand = ~uint64_t(0);
+  VerifyReport R =
+      verifyMachineCode(*M, mainFunc(*M), *Code, VerifyScope::baseline());
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasCheck(R, "patch-point")) << R.text();
+}
+
+TEST(Verify, BackwardLineTablePcFires) {
+  // Companion to MCode::noteLine's debug assert: a line entry whose Pc
+  // runs backward (the emitter rewound the code stream, or a deserialized
+  // artifact was tampered with) erases trap attribution and must be
+  // rejected by the release-build verifier too.
+  std::unique_ptr<Module> M = buildRichModule();
+  ASSERT_TRUE(M);
+  const FuncDecl &F = mainFunc(*M);
+  auto Code = compileFunction(*M, F, CompilerOptions::allopt());
+  ASSERT_TRUE(Code);
+  ASSERT_GE(Code->LineTable.size(), 2u);
+  Code->LineTable.push_back({0, Code->LineTable.front().Ip});
+  VerifyReport R = verifyMachineCode(*M, F, *Code, VerifyScope::baseline());
+  EXPECT_FALSE(R.ok());
+  const VerifyFinding *Find = findCheck(R, "line-table");
+  ASSERT_NE(Find, nullptr) << R.text();
+  EXPECT_NE(Find->Detail.find("ascending"), std::string::npos) << R.text();
+}
